@@ -1,0 +1,42 @@
+//! Criterion bench: the dancing-links exact-cover substrate used by the
+//! §VI packing upgrade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exactcover::DlxBuilder;
+
+/// Exact-cover formulation of n×n Latin squares.
+fn latin_square_builder(n: usize) -> DlxBuilder {
+    let cell = |r: usize, c: usize| r * n + c;
+    let rowsym = |r: usize, s: usize| n * n + r * n + s;
+    let colsym = |c: usize, s: usize| 2 * n * n + c * n + s;
+    let mut b = DlxBuilder::new(3 * n * n, 0);
+    for r in 0..n {
+        for c in 0..n {
+            for s in 0..n {
+                b.add_row(&[cell(r, c), rowsym(r, s), colsym(c, s)]);
+            }
+        }
+    }
+    b
+}
+
+fn bench_latin_squares(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dlx_latin_squares");
+    for n in [3usize, 4] {
+        let builder = latin_square_builder(n);
+        group.bench_function(format!("count_{n}x{n}"), |b| {
+            b.iter(|| builder.build().count_solutions());
+        });
+    }
+    group.finish();
+}
+
+fn bench_first_solution(c: &mut Criterion) {
+    let builder = latin_square_builder(5);
+    c.bench_function("dlx_first_solution_5x5", |b| {
+        b.iter(|| builder.build().first_solution().unwrap());
+    });
+}
+
+criterion_group!(benches, bench_latin_squares, bench_first_solution);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: the lower-bound machinery — exact rational rank
+//! (Bareiss), GF(p) rank, GF(2) rank and the greedy fooling set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::{greedy_fooling_set, rank_gf2, rank_gfp, rank_rational, PRIMES_61};
+
+fn bench_ranks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank");
+    for size in [10usize, 30, 100] {
+        let m = ebmf::gen::random_benchmark(size, size, 0.5, 21).matrix;
+        if size <= 40 {
+            group.bench_with_input(BenchmarkId::new("bareiss", size), &m, |b, m| {
+                b.iter(|| rank_rational(m).unwrap());
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("gfp", size), &m, |b, m| {
+            b.iter(|| rank_gfp(m, PRIMES_61[0]));
+        });
+        group.bench_with_input(BenchmarkId::new("gf2", size), &m, |b, m| {
+            b.iter(|| rank_gf2(m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fooling(c: &mut Criterion) {
+    let m = ebmf::gen::random_benchmark(10, 10, 0.3, 13).matrix;
+    c.bench_function("greedy_fooling_set/10x10@30%", |b| {
+        b.iter(|| greedy_fooling_set(&m));
+    });
+}
+
+criterion_group!(benches, bench_ranks, bench_fooling);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: row-packing heuristic scaling (paper §III-B claims
+//! `O(n³k)`; the 100×100 point is the paper's technology-limit scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebmf::{row_packing, trivial_partition, PackingConfig};
+use rect_addr_bench::packing_progression;
+
+fn bench_row_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_packing");
+    for (size, occ) in [(10usize, 0.5), (20, 0.5), (50, 0.2), (100, 0.05), (100, 0.2)] {
+        let bench = ebmf::gen::random_benchmark(size, size, occ, 42);
+        let m = bench.matrix;
+        group.bench_with_input(
+            BenchmarkId::new("trials10", format!("{size}x{size}@{:.0}%", occ * 100.0)),
+            &m,
+            |b, m| {
+                b.iter(|| row_packing(m, &PackingConfig::with_trials(10)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trivial(c: &mut Criterion) {
+    let bench = ebmf::gen::random_benchmark(100, 100, 0.1, 7);
+    c.bench_function("trivial_partition/100x100@10%", |b| {
+        b.iter(|| trivial_partition(&bench.matrix));
+    });
+}
+
+fn bench_progression(c: &mut Criterion) {
+    let bench = ebmf::gen::gap_benchmark(10, 10, 4, 3);
+    c.bench_function("packing_progression/10x10gap4/100trials", |b| {
+        b.iter(|| packing_progression(&bench.matrix, &[1, 10, 100], 1));
+    });
+}
+
+criterion_group!(benches, bench_row_packing, bench_trivial, bench_progression);
+criterion_main!(benches);

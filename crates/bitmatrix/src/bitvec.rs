@@ -1,0 +1,421 @@
+//! Fixed-length bit vectors backed by `u64` words.
+//!
+//! [`BitVec`] is the workhorse of the whole repository: matrix rows, basis
+//! vectors in the row-packing heuristic, row/column selectors of rectangles,
+//! and don't-care masks are all `BitVec`s. The representation is a dense
+//! little-endian word array; bit `i` lives in word `i / 64` at position
+//! `i % 64`. All operations keep the invariant that bits at positions
+//! `>= len` are zero, so word-wise comparisons are exact.
+
+use std::fmt;
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-length sequence of bits supporting set algebra.
+///
+/// The length is chosen at construction time and never changes; operations
+/// combining two vectors panic if the lengths differ (mixing rows of
+/// different matrices is always a logic error in this codebase).
+///
+/// # Examples
+///
+/// ```
+/// use rect_addr_bitmatrix::BitVec;
+///
+/// let a = BitVec::from_indices(8, [0, 2, 4]);
+/// let b = BitVec::from_indices(8, [2, 4, 6]);
+/// let both = a.and(&b);
+/// assert_eq!(both.ones().collect::<Vec<_>>(), vec![2, 4]);
+/// assert!(both.is_subset_of(&a));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates an all-one vector of `len` bits.
+    pub fn ones_vec(len: usize) -> Self {
+        let mut v = BitVec {
+            len,
+            words: vec![!0u64; len.div_ceil(WORD_BITS)],
+        };
+        v.clear_tail();
+        v
+    }
+
+    /// Creates a vector of `len` bits with exactly the given indices set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, indices: I) -> Self {
+        let mut v = BitVec::zeros(len);
+        for i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Creates a vector from a slice of `bool`s, one per bit.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length (distinct from being all-zero).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_subset_of(&self, other: &BitVec) -> bool {
+        self.assert_same_len(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Whether `self` and `other` share no set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_disjoint(&self, other: &BitVec) -> bool {
+        self.assert_same_len(other);
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Bitwise AND, producing a new vector.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.and_assign(other);
+        out
+    }
+
+    /// Bitwise OR, producing a new vector.
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// Bitwise XOR, producing a new vector.
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign(other);
+        out
+    }
+
+    /// Set difference `self \ other`, producing a new vector.
+    pub fn difference(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.difference_assign(other);
+        out
+    }
+
+    /// In-place bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        self.assert_same_len(other);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        self.assert_same_len(other);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        self.assert_same_len(other);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place set difference: clears every bit that is set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn difference_assign(&mut self, other: &BitVec) {
+        self.assert_same_len(other);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterator over the indices of set bits, in increasing order.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            vec: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the indices of set bits into a `Vec`.
+    pub fn to_indices(&self) -> Vec<usize> {
+        self.ones().collect()
+    }
+
+    fn assert_same_len(&self, other: &BitVec) {
+        assert_eq!(
+            self.len, other.len,
+            "bit vector length mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+
+    /// Zeroes any bits beyond `len` in the last word (representation invariant).
+    fn clear_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitVec`]. Produced by [`BitVec::ones`].
+pub struct Ones<'a> {
+    vec: &'a BitVec,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.vec.words.len() {
+                return None;
+            }
+            self.current = self.vec.words[self.word_idx];
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}]", self)
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// Renders as a string of `0`/`1` characters, lowest index first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            f.write_str(if self.get(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_all_zero() {
+        let v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        assert!(v.is_zero());
+        assert!((0..130).all(|i| !v.get(i)));
+    }
+
+    #[test]
+    fn ones_vec_has_all_bits_and_clean_tail() {
+        let v = BitVec::ones_vec(70);
+        assert_eq!(v.count_ones(), 70);
+        assert!((0..70).all(|i| v.get(i)));
+        // tail invariant: XOR with itself gives zero words even past len
+        let z = v.xor(&v);
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut v = BitVec::zeros(128);
+        for i in [0, 1, 62, 63, 64, 65, 126, 127] {
+            v.set(i, true);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.set(63, false);
+        assert!(!v.get(63));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let mut a = BitVec::zeros(10);
+        let b = BitVec::zeros(11);
+        a.and_assign(&b);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = BitVec::from_indices(100, [1, 50, 99]);
+        let b = BitVec::from_indices(100, [1, 2, 50, 99]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        let c = BitVec::from_indices(100, [0, 3]);
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        // the empty set is a subset of everything and disjoint from everything
+        let e = BitVec::zeros(100);
+        assert!(e.is_subset_of(&a));
+        assert!(e.is_disjoint(&a));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitVec::from_indices(10, [0, 1, 2]);
+        let b = BitVec::from_indices(10, [2, 3]);
+        assert_eq!(a.and(&b).to_indices(), vec![2]);
+        assert_eq!(a.or(&b).to_indices(), vec![0, 1, 2, 3]);
+        assert_eq!(a.xor(&b).to_indices(), vec![0, 1, 3]);
+        assert_eq!(a.difference(&b).to_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn ones_iterator_matches_get() {
+        let v = BitVec::from_indices(200, [0, 63, 64, 127, 128, 199]);
+        assert_eq!(v.to_indices(), vec![0, 63, 64, 127, 128, 199]);
+        assert_eq!(v.first_one(), Some(0));
+        assert_eq!(BitVec::zeros(5).first_one(), None);
+    }
+
+    #[test]
+    fn display_and_from_bools() {
+        let v = BitVec::from_bools(&[true, false, true, true]);
+        assert_eq!(v.to_string(), "1011");
+        let w: BitVec = [true, false, true, true].into_iter().collect();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn zero_length_vector_is_well_behaved() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert!(v.is_zero());
+        assert_eq!(v.ones().count(), 0);
+        assert_eq!(v.to_string(), "");
+        let o = BitVec::ones_vec(0);
+        assert_eq!(v, o);
+    }
+}

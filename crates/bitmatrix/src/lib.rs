@@ -1,0 +1,131 @@
+//! Bit-packed dense binary matrices.
+//!
+//! This crate is the data-representation substrate of the `rect-addr`
+//! workspace, which reproduces *Depth-Optimal Addressing of 2D Qubit Array
+//! with 1D Controls Based on Exact Binary Matrix Factorization* (DATE 2024).
+//! Everything the paper manipulates — addressing patterns, rank-1 rectangles,
+//! benchmark instances — is a binary matrix, represented here as a vector of
+//! bit-packed rows.
+//!
+//! * [`BitVec`] — fixed-length bit vector with set algebra (subset,
+//!   disjointness, and/or/xor/difference), the row type.
+//! * [`BitMatrix`] — dense binary matrix: transpose, Kronecker product,
+//!   row/column dedup, outer products, parsing/printing.
+//! * [`random_matrix`] and friends — seeded random instances.
+//!
+//! # Examples
+//!
+//! ```
+//! use rect_addr_bitmatrix::{BitMatrix, BitVec};
+//!
+//! // The rank-1 "rectangle" spanned by rows {0,2} and columns {1,3}:
+//! let rect = BitMatrix::outer(
+//!     &BitVec::from_indices(3, [0, 2]),
+//!     &BitVec::from_indices(4, [1, 3]),
+//! );
+//! assert_eq!(rect.count_ones(), 4);
+//! ```
+
+mod bitvec;
+mod matrix;
+mod random;
+
+pub use bitvec::{BitVec, Ones};
+pub use matrix::{BitMatrix, ParseMatrixError};
+pub use random::{
+    invert_permutation, random_matrix, random_matrix_with_ones, random_permutation, random_vec,
+};
+
+#[cfg(all(test, feature = "serde"))]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn bitvec_json_roundtrip() {
+        let v = BitVec::from_indices(70, [0, 63, 64, 69]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: BitVec = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn bitmatrix_json_roundtrip() {
+        let m: BitMatrix = "101\n010\n111".parse().unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BitMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_matrix() -> impl Strategy<Value = BitMatrix> {
+        (1usize..12, 1usize..12).prop_flat_map(|(m, n)| {
+            proptest::collection::vec(proptest::collection::vec(any::<bool>(), n), m)
+                .prop_map(move |rows| {
+                    BitMatrix::from_fn(m, n, |i, j| rows[i][j])
+                })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_is_involution(m in arb_matrix()) {
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn transpose_preserves_ones(m in arb_matrix()) {
+            prop_assert_eq!(m.count_ones(), m.transpose().count_ones());
+        }
+
+        #[test]
+        fn display_parse_roundtrip(m in arb_matrix()) {
+            let parsed: BitMatrix = m.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, m);
+        }
+
+        #[test]
+        fn dedup_preserves_distinct_nonzero_rows(m in arb_matrix()) {
+            let (d, groups) = m.dedup_rows();
+            // every group member equals the kept representative
+            for (k, g) in groups.iter().enumerate() {
+                for &orig in g {
+                    prop_assert_eq!(m.row(orig), d.row(k));
+                }
+            }
+            // every nonzero original row is accounted for
+            let covered: usize = groups.iter().map(|g| g.len()).sum();
+            let nonzero = m.iter_rows().filter(|r| !r.is_zero()).count();
+            prop_assert_eq!(covered, nonzero);
+        }
+
+        #[test]
+        fn kron_count_is_product(a in arb_matrix(), b in arb_matrix()) {
+            prop_assert_eq!(a.kron(&b).count_ones(), a.count_ones() * b.count_ones());
+        }
+
+        #[test]
+        fn subset_iff_difference_empty(
+            bits_a in proptest::collection::vec(any::<bool>(), 40),
+            bits_b in proptest::collection::vec(any::<bool>(), 40),
+        ) {
+            let a = BitVec::from_bools(&bits_a);
+            let b = BitVec::from_bools(&bits_b);
+            prop_assert_eq!(a.is_subset_of(&b), a.difference(&b).is_zero());
+        }
+
+        #[test]
+        fn xor_twice_is_identity(
+            bits_a in proptest::collection::vec(any::<bool>(), 70),
+            bits_b in proptest::collection::vec(any::<bool>(), 70),
+        ) {
+            let a = BitVec::from_bools(&bits_a);
+            let b = BitVec::from_bools(&bits_b);
+            prop_assert_eq!(a.xor(&b).xor(&b), a);
+        }
+    }
+}

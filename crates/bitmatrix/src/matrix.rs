@@ -1,0 +1,620 @@
+//! Dense binary matrices stored as bit-packed rows.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::BitVec;
+
+/// A dense `m × n` binary matrix.
+///
+/// Rows are bit-packed [`BitVec`]s of length `n`. Rectangular-addressing
+/// patterns, rank-1 factors and benchmark instances are all `BitMatrix`
+/// values. The matrix owns its rows; cheap row views are available via
+/// [`BitMatrix::row`].
+///
+/// # Examples
+///
+/// ```
+/// use rect_addr_bitmatrix::BitMatrix;
+///
+/// let m: BitMatrix = "101\n010".parse()?;
+/// assert_eq!((m.nrows(), m.ncols()), (2, 3));
+/// assert!(m.get(0, 0) && !m.get(1, 2));
+/// assert_eq!(m.transpose().to_string(), "10\n01\n10");
+/// # Ok::<(), rect_addr_bitmatrix::ParseMatrixError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BitMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `m × n` matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        BitMatrix {
+            nrows,
+            ncols,
+            rows: (0..nrows).map(|_| BitVec::zeros(ncols)).collect(),
+        }
+    }
+
+    /// Creates an all-one `m × n` matrix.
+    pub fn ones(nrows: usize, ncols: usize) -> Self {
+        BitMatrix {
+            nrows,
+            ncols,
+            rows: (0..nrows).map(|_| BitVec::ones_vec(ncols)).collect(),
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(
+        nrows: usize,
+        ncols: usize,
+        mut f: F,
+    ) -> Self {
+        let mut m = BitMatrix::zeros(nrows, ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                if f(i, j) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from owned rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have length `ncols`.
+    pub fn from_rows(rows: Vec<BitVec>, ncols: usize) -> Self {
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(
+                r.len(),
+                ncols,
+                "row {i} has length {} but ncols is {ncols}",
+                r.len()
+            );
+        }
+        BitMatrix {
+            nrows: rows.len(),
+            ncols,
+            rows,
+        }
+    }
+
+    /// Builds a matrix from nested `0`/`1` integer literals (test helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have uneven lengths or contain values other than 0/1.
+    pub fn from_dense(rows: &[&[u8]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut m = BitMatrix::zeros(nrows, ncols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), ncols, "row {i} has uneven length");
+            for (j, &v) in row.iter().enumerate() {
+                match v {
+                    0 => {}
+                    1 => m.set(i, j, true),
+                    other => panic!("matrix entry must be 0 or 1, got {other}"),
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Returns entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.nrows, "row index {i} out of range ({})", self.nrows);
+        self.rows[i].get(j)
+    }
+
+    /// Sets entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        assert!(i < self.nrows, "row index {i} out of range ({})", self.nrows);
+        self.rows[i].set(j, value);
+    }
+
+    /// Borrow row `i` as a bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// Mutably borrow row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_mut(&mut self, i: usize) -> &mut BitVec {
+        &mut self.rows[i]
+    }
+
+    /// Iterator over rows.
+    pub fn iter_rows(&self) -> std::slice::Iter<'_, BitVec> {
+        self.rows.iter()
+    }
+
+    /// Extracts column `j` as a bit vector of length `nrows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn col(&self, j: usize) -> BitVec {
+        assert!(j < self.ncols, "column index {j} out of range ({})", self.ncols);
+        BitVec::from_indices(
+            self.nrows,
+            (0..self.nrows).filter(|&i| self.rows[i].get(j)),
+        )
+    }
+
+    /// Total number of 1 entries.
+    pub fn count_ones(&self) -> usize {
+        self.rows.iter().map(BitVec::count_ones).sum()
+    }
+
+    /// Fraction of entries that are 1 (0.0 for an empty matrix).
+    pub fn occupancy(&self) -> f64 {
+        let cells = self.nrows * self.ncols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / cells as f64
+        }
+    }
+
+    /// Whether every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.rows.iter().all(BitVec::is_zero)
+    }
+
+    /// Positions of all 1 entries in row-major order.
+    pub fn ones_positions(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (i, r) in self.rows.iter().enumerate() {
+            for j in r.ones() {
+                out.push((i, j));
+            }
+        }
+        out
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zeros(self.ncols, self.nrows);
+        for (i, r) in self.rows.iter().enumerate() {
+            for j in r.ones() {
+                t.set(j, i, true);
+            }
+        }
+        t
+    }
+
+    /// Entry-wise OR of two equal-shape matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn or(&self, other: &BitMatrix) -> BitMatrix {
+        self.assert_same_shape(other);
+        let rows = self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .map(|(a, b)| a.or(b))
+            .collect();
+        BitMatrix::from_rows(rows, self.ncols)
+    }
+
+    /// Entry-wise AND of two equal-shape matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn and(&self, other: &BitMatrix) -> BitMatrix {
+        self.assert_same_shape(other);
+        let rows = self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .map(|(a, b)| a.and(b))
+            .collect();
+        BitMatrix::from_rows(rows, self.ncols)
+    }
+
+    /// Whether the two matrices share no 1 entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn is_disjoint(&self, other: &BitMatrix) -> bool {
+        self.assert_same_shape(other);
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .all(|(a, b)| a.is_disjoint(b))
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    ///
+    /// Entry `((i·p + k), (j·q + l))` of the result is
+    /// `self[i,j] AND other[k,l]` where `other` is `p × q`. This is the
+    /// two-level FTQC structure of the paper's Section V: the logical
+    /// pattern tensored with the physical patch pattern.
+    pub fn kron(&self, other: &BitMatrix) -> BitMatrix {
+        let (p, q) = other.shape();
+        BitMatrix::from_fn(self.nrows * p, self.ncols * q, |r, c| {
+            self.get(r / p, c / q) && other.get(r % p, c % q)
+        })
+    }
+
+    /// Sub-matrix given by the selected rows and columns (in the given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> BitMatrix {
+        BitMatrix::from_fn(rows.len(), cols.len(), |i, j| self.get(rows[i], cols[j]))
+    }
+
+    /// Returns a copy with rows permuted: row `i` of the result is row
+    /// `perm[i]` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..nrows`.
+    pub fn permute_rows(&self, perm: &[usize]) -> BitMatrix {
+        assert_eq!(perm.len(), self.nrows, "permutation length mismatch");
+        let mut seen = vec![false; self.nrows];
+        for &p in perm {
+            assert!(p < self.nrows && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let rows = perm.iter().map(|&p| self.rows[p].clone()).collect();
+        BitMatrix::from_rows(rows, self.ncols)
+    }
+
+    /// Removes empty rows and duplicate rows, returning the reduced matrix
+    /// together with, for each kept row, the list of original row indices it
+    /// represents.
+    ///
+    /// This is the preprocessing used by the trivial heuristic of the paper
+    /// (Section III-B): duplicated rows can share rectangles, and empty rows
+    /// need none.
+    pub fn dedup_rows(&self) -> (BitMatrix, Vec<Vec<usize>>) {
+        let mut kept: Vec<BitVec> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            if r.is_zero() {
+                continue;
+            }
+            if let Some(k) = kept.iter().position(|v| v == r) {
+                groups[k].push(i);
+            } else {
+                kept.push(r.clone());
+                groups.push(vec![i]);
+            }
+        }
+        (BitMatrix::from_rows(kept, self.ncols), groups)
+    }
+
+    /// Convenience: matrix with both rows and columns deduplicated and empty
+    /// ones removed. Returns only the reduced matrix (group bookkeeping is
+    /// provided by [`BitMatrix::dedup_rows`] when needed).
+    pub fn dedup_rows_cols(&self) -> BitMatrix {
+        let (r, _) = self.dedup_rows();
+        let (rt, _) = r.transpose().dedup_rows();
+        rt.transpose()
+    }
+
+    /// The outer product `col · row`: a rank-1 matrix that is 1 exactly on
+    /// `{i : col[i]=1} × {j : row[j]=1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are inconsistent with `(col.len(), row.len())`.
+    pub fn outer(col: &BitVec, row: &BitVec) -> BitMatrix {
+        let mut m = BitMatrix::zeros(col.len(), row.len());
+        for i in col.ones() {
+            *m.row_mut(i) = row.clone();
+        }
+        m
+    }
+
+    fn assert_same_shape(&self, other: &BitMatrix) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "matrix shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix({}x{})", self.nrows, self.ncols)?;
+        for r in &self.rows {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BitMatrix {
+    /// Renders rows as `0`/`1` strings separated by newlines (no trailing
+    /// newline). `parse()` accepts this format back.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`BitMatrix`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMatrixError {
+    /// A character other than `0`, `1` or whitespace was found.
+    InvalidCharacter(char),
+    /// Two non-empty lines had different numbers of digits.
+    UnevenRows { expected: usize, found: usize },
+    /// The input contained no matrix rows.
+    Empty,
+}
+
+impl fmt::Display for ParseMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMatrixError::InvalidCharacter(c) => {
+                write!(f, "invalid character {c:?} in matrix literal")
+            }
+            ParseMatrixError::UnevenRows { expected, found } => {
+                write!(f, "uneven rows: expected {expected} columns, found {found}")
+            }
+            ParseMatrixError::Empty => write!(f, "empty matrix literal"),
+        }
+    }
+}
+
+impl std::error::Error for ParseMatrixError {}
+
+impl FromStr for BitMatrix {
+    type Err = ParseMatrixError;
+
+    /// Parses a matrix from lines of `0`/`1` digits. Spaces and tabs inside a
+    /// line are ignored; blank lines are skipped.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut rows: Vec<BitVec> = Vec::new();
+        let mut ncols: Option<usize> = None;
+        for line in s.lines() {
+            let mut bits = Vec::new();
+            for c in line.chars() {
+                match c {
+                    '0' => bits.push(false),
+                    '1' => bits.push(true),
+                    c if c.is_whitespace() => {}
+                    c => return Err(ParseMatrixError::InvalidCharacter(c)),
+                }
+            }
+            if bits.is_empty() {
+                continue;
+            }
+            match ncols {
+                None => ncols = Some(bits.len()),
+                Some(n) if n != bits.len() => {
+                    return Err(ParseMatrixError::UnevenRows {
+                        expected: n,
+                        found: bits.len(),
+                    })
+                }
+                _ => {}
+            }
+            rows.push(BitVec::from_bools(&bits));
+        }
+        match ncols {
+            None => Err(ParseMatrixError::Empty),
+            Some(n) => Ok(BitMatrix::from_rows(rows, n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1b() -> BitMatrix {
+        // The 6x6 matrix of the paper's Figure 1b.
+        "101100\n010011\n101010\n010101\n111000\n000111".parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let m = fig1b();
+        assert_eq!(m.shape(), (6, 6));
+        let s = m.to_string();
+        let m2: BitMatrix = s.parse().unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn parse_accepts_spaces_and_blank_lines() {
+        let m: BitMatrix = "1 0 1\n\n0 1 0\n".parse().unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.get(0, 0) && m.get(1, 1));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            "10\n1".parse::<BitMatrix>(),
+            Err(ParseMatrixError::UnevenRows { expected: 2, found: 1 })
+        );
+        assert_eq!(
+            "102".parse::<BitMatrix>(),
+            Err(ParseMatrixError::InvalidCharacter('2'))
+        );
+        assert_eq!("\n  \n".parse::<BitMatrix>(), Err(ParseMatrixError::Empty));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = fig1b();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (6, 6));
+        assert_eq!(m.get(0, 2), m.transpose().get(2, 0));
+    }
+
+    #[test]
+    fn count_and_occupancy() {
+        let m = BitMatrix::ones(4, 5);
+        assert_eq!(m.count_ones(), 20);
+        assert!((m.occupancy() - 1.0).abs() < 1e-12);
+        assert_eq!(BitMatrix::zeros(3, 3).occupancy(), 0.0);
+        assert_eq!(BitMatrix::zeros(0, 0).occupancy(), 0.0);
+    }
+
+    #[test]
+    fn identity_and_cols() {
+        let m = BitMatrix::identity(4);
+        for j in 0..4 {
+            assert_eq!(m.col(j).to_indices(), vec![j]);
+        }
+        assert_eq!(m.count_ones(), 4);
+    }
+
+    #[test]
+    fn outer_product_is_rectangle() {
+        let col = BitVec::from_indices(4, [1, 3]);
+        let row = BitVec::from_indices(5, [0, 2]);
+        let m = BitMatrix::outer(&col, &row);
+        assert_eq!(m.count_ones(), 4);
+        assert!(m.get(1, 0) && m.get(1, 2) && m.get(3, 0) && m.get(3, 2));
+        assert!(!m.get(0, 0) && !m.get(2, 2));
+    }
+
+    #[test]
+    fn kron_matches_definition() {
+        let a: BitMatrix = "10\n01".parse().unwrap();
+        let b: BitMatrix = "11\n10".parse().unwrap();
+        let k = a.kron(&b);
+        assert_eq!(k.shape(), (4, 4));
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    k.get(i, j),
+                    a.get(i / 2, j / 2) && b.get(i % 2, j % 2),
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+        assert_eq!(k.count_ones(), a.count_ones() * b.count_ones());
+    }
+
+    #[test]
+    fn dedup_rows_groups() {
+        let m: BitMatrix = "101\n000\n101\n011".parse().unwrap();
+        let (r, groups) = m.dedup_rows();
+        assert_eq!(r.nrows(), 2);
+        assert_eq!(groups, vec![vec![0, 2], vec![3]]);
+    }
+
+    #[test]
+    fn dedup_rows_cols_shrinks_both() {
+        // duplicate rows AND duplicate columns
+        let m: BitMatrix = "1100\n1100\n0011".parse().unwrap();
+        let d = m.dedup_rows_cols();
+        assert_eq!(d.shape(), (2, 2));
+        assert_eq!(d, BitMatrix::identity(2));
+    }
+
+    #[test]
+    fn permute_rows_and_submatrix() {
+        let m = fig1b();
+        let perm = [5, 4, 3, 2, 1, 0];
+        let p = m.permute_rows(&perm);
+        for i in 0..6 {
+            assert_eq!(p.row(i), m.row(5 - i));
+        }
+        let s = m.submatrix(&[0, 2], &[0, 2, 4]);
+        assert_eq!(s.shape(), (2, 3));
+        assert!(s.get(0, 0) && s.get(0, 1) && !s.get(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rows_rejects_non_permutation() {
+        fig1b().permute_rows(&[0, 0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ones_positions_row_major() {
+        let m: BitMatrix = "010\n100".parse().unwrap();
+        assert_eq!(m.ones_positions(), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn disjoint_and_or() {
+        let a: BitMatrix = "10\n00".parse().unwrap();
+        let b: BitMatrix = "00\n01".parse().unwrap();
+        assert!(a.is_disjoint(&b));
+        let c = a.or(&b);
+        assert_eq!(c.count_ones(), 2);
+        assert!(a.and(&b).is_zero());
+    }
+
+    #[test]
+    fn from_dense_matches_parse() {
+        let m = BitMatrix::from_dense(&[&[1, 0, 1], &[0, 1, 0]]);
+        let p: BitMatrix = "101\n010".parse().unwrap();
+        assert_eq!(m, p);
+    }
+}

@@ -1,0 +1,151 @@
+//! Random binary matrices and permutations.
+//!
+//! All generators take an explicit [`rand::Rng`], so benchmark instances are
+//! reproducible from a seed. The paper's three benchmark families build on
+//! these primitives (see `rect-addr-ebmf::gen`).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{BitMatrix, BitVec};
+
+/// Samples an `m × n` matrix with iid Bernoulli(`occupancy`) entries.
+///
+/// # Panics
+///
+/// Panics if `occupancy` is not within `[0, 1]`.
+pub fn random_matrix<R: Rng + ?Sized>(
+    nrows: usize,
+    ncols: usize,
+    occupancy: f64,
+    rng: &mut R,
+) -> BitMatrix {
+    assert!(
+        (0.0..=1.0).contains(&occupancy),
+        "occupancy {occupancy} outside [0, 1]"
+    );
+    BitMatrix::from_fn(nrows, ncols, |_, _| rng.gen_bool(occupancy))
+}
+
+/// Samples an `m × n` matrix with exactly `ones` entries set, uniformly over
+/// all such matrices.
+///
+/// # Panics
+///
+/// Panics if `ones > nrows * ncols`.
+pub fn random_matrix_with_ones<R: Rng + ?Sized>(
+    nrows: usize,
+    ncols: usize,
+    ones: usize,
+    rng: &mut R,
+) -> BitMatrix {
+    let cells = nrows * ncols;
+    assert!(ones <= cells, "cannot place {ones} ones in {cells} cells");
+    let mut idx: Vec<usize> = (0..cells).collect();
+    idx.shuffle(rng);
+    let mut m = BitMatrix::zeros(nrows, ncols);
+    for &c in idx.iter().take(ones) {
+        m.set(c / ncols, c % ncols, true);
+    }
+    m
+}
+
+/// Samples a random bit vector of length `len` with Bernoulli(`occupancy`)
+/// entries.
+///
+/// # Panics
+///
+/// Panics if `occupancy` is not within `[0, 1]`.
+pub fn random_vec<R: Rng + ?Sized>(len: usize, occupancy: f64, rng: &mut R) -> BitVec {
+    assert!(
+        (0.0..=1.0).contains(&occupancy),
+        "occupancy {occupancy} outside [0, 1]"
+    );
+    BitVec::from_indices(len, (0..len).filter(|_| rng.gen_bool(occupancy)))
+}
+
+/// Samples a uniformly random permutation of `0..n`.
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    p.shuffle(rng);
+    p
+}
+
+/// Returns the inverse of a permutation: `inv[perm[i]] == i`.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..perm.len()`.
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let n = perm.len();
+    let mut inv = vec![usize::MAX; n];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(p < n && inv[p] == usize::MAX, "not a permutation");
+        inv[p] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_matrix_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_matrix(5, 7, 0.0, &mut rng).is_zero());
+        assert_eq!(random_matrix(5, 7, 1.0, &mut rng).count_ones(), 35);
+    }
+
+    #[test]
+    fn random_matrix_is_deterministic_per_seed() {
+        let a = random_matrix(10, 10, 0.4, &mut StdRng::seed_from_u64(42));
+        let b = random_matrix(10, 10, 0.4, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = random_matrix(10, 10, 0.4, &mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c, "different seeds should (practically) differ");
+    }
+
+    #[test]
+    fn random_matrix_with_ones_exact_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for ones in [0, 1, 17, 50] {
+            let m = random_matrix_with_ones(5, 10, ones, &mut rng);
+            assert_eq!(m.count_ones(), ones);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn random_matrix_with_too_many_ones_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        random_matrix_with_ones(2, 2, 5, &mut rng);
+    }
+
+    #[test]
+    fn occupancy_statistics_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = random_matrix(100, 100, 0.3, &mut rng);
+        let occ = m.occupancy();
+        assert!((0.25..0.35).contains(&occ), "occupancy {occ} far from 0.3");
+    }
+
+    #[test]
+    fn permutation_and_inverse() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = random_permutation(20, &mut rng);
+        let inv = invert_permutation(&p);
+        for i in 0..20 {
+            assert_eq!(inv[p[i]], i);
+            assert_eq!(p[inv[i]], i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invert_rejects_duplicates() {
+        invert_permutation(&[0, 0, 1]);
+    }
+}

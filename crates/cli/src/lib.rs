@@ -1,0 +1,472 @@
+//! Implementation of the `rect-addr` command-line tool.
+//!
+//! The binary front-end (`src/main.rs`) is a thin wrapper over [`run`] so
+//! that every subcommand, including its argument parsing and output
+//! formatting, is unit-testable without spawning processes.
+//!
+//! Subcommands:
+//!
+//! * `solve <file>` — exact minimum-depth partition (SAP) of a 0/1 matrix;
+//! * `pack <file>` — row-packing heuristic only (`--trials N`);
+//! * `rank <file>` — all lower bounds: real rank, GF(2) rank, fooling set;
+//! * `schedule <file>` — compile and print an AOD shot schedule;
+//! * `complete <file> <dcfile>` — EBMF with don't-cares (vacancies);
+//! * `gen <family>` — emit a benchmark instance (`rand`/`opt`/`gap`);
+//! * `sat <file.cnf>` — run the built-in CDCL solver on DIMACS input.
+//!
+//! Matrices are read as lines of `0`/`1` characters (the `bitmatrix`
+//! parsing format); `-` means stdin.
+
+use std::fmt::Write as _;
+
+use bitmatrix::BitMatrix;
+use ebmf::gen::{gap_benchmark, known_optimal_benchmark, random_benchmark};
+use ebmf::{
+    complete_ebmf, lower_bound, row_packing, sap, validate_completion, PackingConfig, SapConfig,
+};
+use linalg::max_fooling_set;
+use qaddress::{AddressingSchedule, Pulse, QubitArray};
+
+/// Exit status plus rendered stdout of one CLI invocation.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliOutput {
+    /// Process exit code (0 = success).
+    pub code: i32,
+    /// Text for stdout.
+    pub stdout: String,
+}
+
+impl CliOutput {
+    fn ok(stdout: String) -> Self {
+        CliOutput { code: 0, stdout }
+    }
+
+    fn err(msg: String) -> Self {
+        CliOutput {
+            code: 2,
+            stdout: format!("error: {msg}\n\n{USAGE}"),
+        }
+    }
+}
+
+/// Usage text shown on argument errors and by `help`.
+pub const USAGE: &str = "\
+rect-addr — depth-optimal rectangular addressing via EBMF (DATE 2024)
+
+USAGE:
+  rect-addr solve    <matrix-file|-> [--svg out.svg]   exact minimum-depth partition (SAP)
+  rect-addr pack     <matrix-file|-> [--trials N]   row-packing heuristic
+  rect-addr rank     <matrix-file|->            lower bounds (rank, GF(2), fooling)
+  rect-addr cover    <matrix-file|->            minimum rectangle COVER (Boolean rank)
+  rect-addr schedule <matrix-file|->            compile an AOD shot schedule
+  rect-addr complete <matrix-file> <dc-file>    EBMF with don't-care cells
+  rect-addr gen      rand <m> <n> <occ%> <seed>     emit a random instance
+  rect-addr gen      opt  <m> <n> <k> <seed>        emit a known-optimal instance
+  rect-addr gen      gap  <m> <n> <pairs> <seed>    emit a rank-gap instance
+  rect-addr sat      <file.cnf|->               run the CDCL solver on DIMACS
+  rect-addr help
+
+Matrix files contain one row of 0/1 digits per line; '-' reads stdin.";
+
+fn read_input(path: &str, stdin: &mut dyn std::io::Read) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        stdin
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn read_matrix(path: &str, stdin: &mut dyn std::io::Read) -> Result<BitMatrix, String> {
+    read_input(path, stdin)?
+        .parse()
+        .map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Runs the CLI on the given arguments (without the program name).
+/// Reads stdin only when an input path is `-`.
+pub fn run(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
+    match args.first().map(String::as_str) {
+        Some("solve") => cmd_matrix_required(args, stdin, cmd_solve),
+        Some("pack") => cmd_matrix_required(args, stdin, cmd_pack),
+        Some("rank") => cmd_matrix_required(args, stdin, cmd_rank),
+        Some("cover") => cmd_matrix_required(args, stdin, cmd_cover),
+        Some("schedule") => cmd_matrix_required(args, stdin, cmd_schedule),
+        Some("complete") => cmd_complete(args, stdin),
+        Some("gen") => cmd_gen(args),
+        Some("sat") => cmd_sat(args, stdin),
+        Some("help") | Some("--help") | Some("-h") => CliOutput::ok(format!("{USAGE}\n")),
+        Some(other) => CliOutput::err(format!("unknown subcommand {other:?}")),
+        None => CliOutput::err("missing subcommand".to_string()),
+    }
+}
+
+fn cmd_matrix_required(
+    args: &[String],
+    stdin: &mut dyn std::io::Read,
+    f: fn(&BitMatrix, &[String]) -> Result<String, String>,
+) -> CliOutput {
+    let Some(path) = args.get(1) else {
+        return CliOutput::err(format!("{} needs a matrix file", args[0]));
+    };
+    match read_matrix(path, stdin).and_then(|m| f(&m, &args[2..])) {
+        Ok(s) => CliOutput::ok(s),
+        Err(e) => CliOutput::err(e),
+    }
+}
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|e| format!("{flag}: {e}")),
+    }
+}
+
+fn cmd_solve(m: &BitMatrix, rest: &[String]) -> Result<String, String> {
+    let out = sap(m, &SapConfig::default());
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "depth {} ({}); real rank {}; {} SAT queries; {:.3}s packing + {:.3}s SAT",
+        out.depth(),
+        if out.proved_optimal { "optimal" } else { "best effort" },
+        out.real_rank.rank,
+        out.stats.queries.len(),
+        out.stats.packing_seconds,
+        out.stats.sat_seconds,
+    );
+    let _ = writeln!(s, "{}", out.partition);
+    if let Some(i) = rest.iter().position(|a| a == "--svg") {
+        let path = rest
+            .get(i + 1)
+            .ok_or_else(|| "--svg needs an output path".to_string())?;
+        let doc = ebmf::svg::partition_to_svg(&out.partition, m, &Default::default());
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(s, "wrote {path}");
+    }
+    Ok(s)
+}
+
+fn cmd_pack(m: &BitMatrix, rest: &[String]) -> Result<String, String> {
+    let trials = parse_flag(rest, "--trials", 100)?;
+    let p = row_packing(m, &PackingConfig::with_trials(trials));
+    let lb = lower_bound(m, false);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "depth {} after {} trials (lower bound {}{})",
+        p.len(),
+        trials,
+        lb.value,
+        if p.len() == lb.value { ", optimal" } else { "" },
+    );
+    let _ = writeln!(s, "{p}");
+    Ok(s)
+}
+
+fn cmd_rank(m: &BitMatrix, _rest: &[String]) -> Result<String, String> {
+    let lb = lower_bound(m, true);
+    let fooling = max_fooling_set(m, 2_000_000);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "real rank        {}{}",
+        lb.real_rank.rank,
+        if lb.real_rank.exact { "" } else { " (GF(p) lower bound)" },
+    );
+    let _ = writeln!(s, "GF(2) rank       {}", lb.gf2_rank);
+    let _ = writeln!(
+        s,
+        "fooling set      {}{}  {:?}",
+        fooling.size(),
+        if fooling.proved_maximum { " (maximum)" } else { " (heuristic)" },
+        fooling.cells,
+    );
+    let _ = writeln!(s, "binary rank  >=  {}", lb.value.max(fooling.size()));
+    Ok(s)
+}
+
+fn cmd_cover(m: &BitMatrix, _rest: &[String]) -> Result<String, String> {
+    let (cover, n) = ebmf::cover::boolean_rank(m);
+    let mut s = String::new();
+    let _ = writeln!(s, "Boolean rank (min rectangle cover) {n}");
+    let _ = writeln!(
+        s,
+        "(binary rank / partition depth may be larger; overlaps shown by later rectangles)"
+    );
+    let _ = writeln!(s, "{cover}");
+    Ok(s)
+}
+
+fn cmd_schedule(m: &BitMatrix, _rest: &[String]) -> Result<String, String> {
+    let out = sap(m, &SapConfig::default());
+    let schedule = AddressingSchedule::from_partition(&out.partition, Pulse::Rz(0.0));
+    let array = QubitArray::new(m.nrows(), m.ncols());
+    schedule
+        .verify(&array, m)
+        .map_err(|e| format!("internal: schedule failed verification: {e}"))?;
+    let mut s = String::new();
+    let _ = writeln!(s, "{} shots, {} control bits:", schedule.depth(), schedule.total_control_bits());
+    for (k, shot) in schedule.shots().iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "shot {k}: rows {:?} cols {:?}",
+            shot.aod.row_tones().to_indices(),
+            shot.aod.col_tones().to_indices(),
+        );
+    }
+    Ok(s)
+}
+
+fn cmd_complete(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
+    let (Some(mpath), Some(dcpath)) = (args.get(1), args.get(2)) else {
+        return CliOutput::err("complete needs <matrix-file> <dc-file>".to_string());
+    };
+    let result = (|| -> Result<String, String> {
+        let m = read_matrix(mpath, stdin)?;
+        let dc = read_matrix(dcpath, stdin)?;
+        if dc.shape() != m.shape() {
+            return Err("matrix and don't-care mask shapes differ".to_string());
+        }
+        if !m.and(&dc).is_zero() {
+            return Err("a cell cannot be both 1 and don't-care".to_string());
+        }
+        let out = complete_ebmf(&m, &dc);
+        validate_completion(&out.partition, &m, &dc)
+            .map_err(|e| format!("internal: invalid completion: {e}"))?;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "depth {} with don't-cares ({})",
+            out.partition.len(),
+            if out.proved_optimal { "optimal" } else { "best effort" },
+        );
+        let _ = writeln!(s, "{}", out.partition);
+        Ok(s)
+    })();
+    match result {
+        Ok(s) => CliOutput::ok(s),
+        Err(e) => CliOutput::err(e),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> CliOutput {
+    let usage = "gen needs: rand|opt|gap <m> <n> <param> <seed>";
+    let parse = |s: Option<&String>| -> Result<u64, String> {
+        s.ok_or_else(|| usage.to_string())?
+            .parse::<u64>()
+            .map_err(|e| format!("{usage}: {e}"))
+    };
+    let result = (|| -> Result<String, String> {
+        let family = args.get(1).ok_or(usage)?.clone();
+        let m = parse(args.get(2))? as usize;
+        let n = parse(args.get(3))? as usize;
+        let param = parse(args.get(4))?;
+        let seed = parse(args.get(5))?;
+        let bench = match family.as_str() {
+            "rand" => {
+                if param > 100 {
+                    return Err("occupancy must be 0..=100".to_string());
+                }
+                random_benchmark(m, n, param as f64 / 100.0, seed)
+            }
+            "opt" => {
+                if param as usize > m.min(n) || param == 0 {
+                    return Err(format!("k must be in 1..={}", m.min(n)));
+                }
+                known_optimal_benchmark(m, n, param as usize, seed).0
+            }
+            "gap" => {
+                if param == 0 || 2 * param as usize > m {
+                    return Err(format!("pairs must be in 1..={}", m / 2));
+                }
+                gap_benchmark(m, n, param as usize, seed)
+            }
+            other => return Err(format!("unknown family {other:?} ({usage})")),
+        };
+        Ok(format!("{}\n", bench.matrix))
+    })();
+    match result {
+        Ok(s) => CliOutput::ok(s),
+        Err(e) => CliOutput::err(e),
+    }
+}
+
+fn cmd_sat(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
+    let Some(path) = args.get(1) else {
+        return CliOutput::err("sat needs a DIMACS file".to_string());
+    };
+    let result = (|| -> Result<String, String> {
+        let text = read_input(path, stdin)?;
+        let cnf = sat::parse_dimacs(&text).map_err(|e| e.to_string())?;
+        let mut solver = cnf.into_solver();
+        let mut s = String::new();
+        match solver.solve() {
+            sat::SolveResult::Sat => {
+                let _ = writeln!(s, "s SATISFIABLE");
+                let lits: Vec<String> = solver
+                    .model()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| if v { format!("{}", i + 1) } else { format!("-{}", i + 1) })
+                    .collect();
+                let _ = writeln!(s, "v {} 0", lits.join(" "));
+            }
+            sat::SolveResult::Unsat => {
+                let _ = writeln!(s, "s UNSATISFIABLE");
+            }
+            sat::SolveResult::Unknown => {
+                let _ = writeln!(s, "s UNKNOWN");
+            }
+        }
+        Ok(s)
+    })();
+    match result {
+        Ok(s) => CliOutput::ok(s),
+        Err(e) => CliOutput::err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str], stdin: &str) -> CliOutput {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&args, &mut stdin.as_bytes())
+    }
+
+    const FIG1B: &str = "101100\n010011\n101010\n010101\n111000\n000111\n";
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str(&["help"], "");
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_subcommand_errors() {
+        let out = run_str(&[], "");
+        assert_eq!(out.code, 2);
+        assert!(out.stdout.contains("missing subcommand"));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        let out = run_str(&["frobnicate"], "");
+        assert_eq!(out.code, 2);
+    }
+
+    #[test]
+    fn solve_fig1b_from_stdin() {
+        let out = run_str(&["solve", "-"], FIG1B);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("depth 5 (optimal)"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn solve_writes_svg_when_requested() {
+        let path = std::env::temp_dir().join("rect_addr_cli_out.svg");
+        let path_str = path.to_str().unwrap();
+        let out = run_str(&["solve", "-", "--svg", path_str], FIG1B);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.starts_with("<svg"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pack_reports_depth_and_bound() {
+        let out = run_str(&["pack", "-", "--trials", "50"], FIG1B);
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.contains("after 50 trials"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn rank_reports_all_bounds() {
+        let out = run_str(&["rank", "-"], FIG1B);
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.contains("real rank        4"), "{}", out.stdout);
+        assert!(out.stdout.contains("fooling set      5 (maximum)"), "{}", out.stdout);
+        assert!(out.stdout.contains("binary rank  >=  5"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn cover_reports_boolean_rank() {
+        let out = run_str(&["cover", "-"], "110\n011\n111\n");
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.contains("Boolean rank (min rectangle cover) 2"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn schedule_lists_shots() {
+        let out = run_str(&["schedule", "-"], FIG1B);
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.contains("5 shots"), "{}", out.stdout);
+        assert!(out.stdout.contains("shot 4:"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn gen_rand_produces_parseable_matrix() {
+        let out = run_str(&["gen", "rand", "6", "8", "50", "3"], "");
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let m: BitMatrix = out.stdout.trim().parse().unwrap();
+        assert_eq!(m.shape(), (6, 8));
+    }
+
+    #[test]
+    fn gen_opt_and_gap_validate_params() {
+        assert_eq!(run_str(&["gen", "opt", "4", "4", "9", "1"], "").code, 2);
+        assert_eq!(run_str(&["gen", "gap", "10", "10", "9", "1"], "").code, 2);
+        assert_eq!(run_str(&["gen", "opt", "10", "10", "3", "1"], "").code, 0);
+        assert_eq!(run_str(&["gen", "gap", "10", "10", "3", "1"], "").code, 0);
+    }
+
+    #[test]
+    fn sat_solves_stdin_dimacs() {
+        let out = run_str(&["sat", "-"], "p cnf 2 2\n1 2 0\n-1 0\n");
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.contains("s SATISFIABLE"));
+        assert!(out.stdout.contains("v -1 2 0"), "{}", out.stdout);
+
+        let unsat = run_str(&["sat", "-"], "p cnf 1 2\n1 0\n-1 0\n");
+        assert!(unsat.stdout.contains("s UNSATISFIABLE"));
+    }
+
+    #[test]
+    fn complete_uses_dont_cares() {
+        // Write temp files (complete reads two paths, stdin can't serve both).
+        let dir = std::env::temp_dir();
+        let mpath = dir.join("rect_addr_cli_m.txt");
+        let dcpath = dir.join("rect_addr_cli_dc.txt");
+        std::fs::write(&mpath, "10\n01\n").unwrap();
+        std::fs::write(&dcpath, "01\n10\n").unwrap();
+        let out = run_str(
+            &["complete", mpath.to_str().unwrap(), dcpath.to_str().unwrap()],
+            "",
+        );
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("depth 1"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn bad_matrix_reports_parse_error() {
+        let out = run_str(&["solve", "-"], "10\n2\n");
+        assert_eq!(out.code, 2);
+        assert!(out.stdout.contains("error"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let out = run_str(&["solve", "/nonexistent/xyz.txt"], "");
+        assert_eq!(out.code, 2);
+    }
+}

@@ -1,0 +1,11 @@
+//! `rect-addr` — command-line front-end. All logic lives in the library
+//! crate (`rect_addr_cli::run`) so it can be unit-tested.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = rect_addr_cli::run(&args, &mut std::io::stdin().lock());
+    print!("{}", out.stdout);
+    ExitCode::from(out.code as u8)
+}

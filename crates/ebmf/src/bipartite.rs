@@ -1,0 +1,159 @@
+//! The graph-theoretic view: biclique partitions of bipartite graphs
+//! (paper §II, Fig. 2a).
+//!
+//! Interpreting the matrix as the biadjacency matrix of a bipartite graph —
+//! left vertices = rows, right vertices = columns, edges = 1-cells — every
+//! rectangle is a *biclique* (complete bipartite subgraph) and an EBMF is a
+//! partition of the edge set into bicliques. This module provides the
+//! conversion plus the *normal set basis* reading used to motivate row
+//! packing.
+
+use bitmatrix::BitMatrix;
+
+use crate::Partition;
+
+/// A bipartite graph given by adjacency lists of the left side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bipartite {
+    /// Number of left vertices (matrix rows).
+    pub num_left: usize,
+    /// Number of right vertices (matrix columns).
+    pub num_right: usize,
+    /// `adj[i]` lists the right neighbours of left vertex `i`, ascending.
+    pub adj: Vec<Vec<usize>>,
+}
+
+impl Bipartite {
+    /// Builds the bipartite graph of a biadjacency matrix.
+    pub fn from_matrix(m: &BitMatrix) -> Self {
+        Bipartite {
+            num_left: m.nrows(),
+            num_right: m.ncols(),
+            adj: (0..m.nrows()).map(|i| m.row(i).to_indices()).collect(),
+        }
+    }
+
+    /// Reconstructs the biadjacency matrix.
+    pub fn to_matrix(&self) -> BitMatrix {
+        let mut m = BitMatrix::zeros(self.num_left, self.num_right);
+        for (i, nbrs) in self.adj.iter().enumerate() {
+            for &j in nbrs {
+                m.set(i, j, true);
+            }
+        }
+        m
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Degree of left vertex `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn left_degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+}
+
+/// A biclique: complete bipartite subgraph given by its two vertex sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Biclique {
+    /// Left vertices (rows).
+    pub left: Vec<usize>,
+    /// Right vertices (columns).
+    pub right: Vec<usize>,
+}
+
+impl Biclique {
+    /// Number of edges in the biclique.
+    pub fn num_edges(&self) -> usize {
+        self.left.len() * self.right.len()
+    }
+}
+
+/// Reads a rectangle partition as a biclique partition (paper Fig. 2a).
+pub fn as_bicliques(p: &Partition) -> Vec<Biclique> {
+    p.iter()
+        .map(|r| Biclique {
+            left: r.rows().to_indices(),
+            right: r.cols().to_indices(),
+        })
+        .collect()
+}
+
+/// The *normal set basis* view (paper §II): each left vertex's neighbour
+/// set decomposed as a disjoint union of basis sets — the partition's
+/// column supports, restricted to rectangles containing that row.
+///
+/// Returns `(basis, decomposition)` where `decomposition[i]` lists indices
+/// into `basis` whose union is row `i`'s neighbour set.
+#[allow(clippy::needless_range_loop)]
+pub fn normal_set_basis(p: &Partition) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let (nrows, _) = p.shape();
+    let basis: Vec<Vec<usize>> = p.iter().map(|r| r.cols().to_indices()).collect();
+    let mut decomposition = vec![Vec::new(); nrows];
+    for (k, r) in p.iter().enumerate() {
+        for i in r.rows().ones() {
+            decomposition[i].push(k);
+        }
+    }
+    (basis, decomposition)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::{row_packing, PackingConfig};
+
+    fn fig2a() -> BitMatrix {
+        // The 6×6 matrix of paper Fig. 2.
+        "101100\n010011\n101010\n010101\n111000\n000111".parse().unwrap()
+    }
+
+    #[test]
+    fn graph_matrix_roundtrip() {
+        let m = fig2a();
+        let g = Bipartite::from_matrix(&m);
+        assert_eq!(g.to_matrix(), m);
+        assert_eq!(g.num_edges(), m.count_ones());
+        assert_eq!(g.left_degree(0), 3);
+    }
+
+    #[test]
+    fn bicliques_partition_the_edges() {
+        let m = fig2a();
+        let p = row_packing(&m, &PackingConfig::with_trials(20));
+        assert!(p.validate(&m).is_ok());
+        let bicliques = as_bicliques(&p);
+        let edge_total: usize = bicliques.iter().map(Biclique::num_edges).sum();
+        assert_eq!(edge_total, m.count_ones(), "edge-disjoint and exhaustive");
+    }
+
+    #[test]
+    fn normal_set_basis_decomposes_rows() {
+        let m = fig2a();
+        let p = row_packing(&m, &PackingConfig::with_trials(20));
+        let (basis, decomposition) = normal_set_basis(&p);
+        assert_eq!(basis.len(), p.len());
+        for i in 0..m.nrows() {
+            let mut union: Vec<usize> = decomposition[i]
+                .iter()
+                .flat_map(|&k| basis[k].iter().copied())
+                .collect();
+            union.sort_unstable();
+            assert_eq!(union, m.row(i).to_indices(), "row {i} decomposition");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Bipartite::from_matrix(&BitMatrix::zeros(3, 4));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.to_matrix(), BitMatrix::zeros(3, 4));
+    }
+}

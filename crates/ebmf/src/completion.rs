@@ -1,0 +1,309 @@
+//! EBMF with don't-cares — binary matrix *completion* (paper §VI).
+//!
+//! Vacancies in an atom array hold no qubit, so a shot may illuminate them
+//! any number of times. Modeling vacancies as don't-care cells turns the
+//! factorization problem into a completion problem: rectangles must still
+//! cover every care-1 exactly once and no care-0, but may overlap freely on
+//! don't-cares — which can only reduce the depth. The paper leaves this as
+//! future work; this module implements both an exact solver (reusing the
+//! SAT encoder's don't-care mode) and a DC-aware packing heuristic.
+
+use bitmatrix::{random_permutation, BitMatrix, BitVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sat::SolveResult;
+
+use crate::{EbmfEncoder, Partition, PartitionError, Rectangle};
+
+/// Validates a partition against a care-matrix plus don't-care mask:
+/// rectangles must be nonempty, cover every 1 of `m` exactly once, and may
+/// cover don't-cares arbitrarily often — but never a care-0.
+///
+/// # Errors
+///
+/// Returns the first violation, reusing [`PartitionError`] variants (an
+/// overlap on a care-1 reports `Overlap`; covering a care-0 reports
+/// `CoversZero`).
+///
+/// # Panics
+///
+/// Panics if `m` and `dont_care` shapes differ or a cell is both.
+pub fn validate_completion(
+    p: &Partition,
+    m: &BitMatrix,
+    dont_care: &BitMatrix,
+) -> Result<(), PartitionError> {
+    assert_eq!(m.shape(), dont_care.shape(), "mask shape mismatch");
+    assert!(m.and(dont_care).is_zero(), "cell both 1 and don't-care");
+    if p.shape() != m.shape() {
+        return Err(PartitionError::ShapeMismatch {
+            partition: p.shape(),
+            matrix: m.shape(),
+        });
+    }
+    for (idx, r) in p.iter().enumerate() {
+        if r.is_empty() {
+            return Err(PartitionError::EmptyRectangle { index: idx });
+        }
+        for (i, j) in r.cells() {
+            if !m.get(i, j) && !dont_care.get(i, j) {
+                return Err(PartitionError::CoversZero { index: idx, cell: (i, j) });
+            }
+        }
+    }
+    // Exactly-once coverage applies to care-1 cells only.
+    let mut covered = BitMatrix::zeros(m.nrows(), m.ncols());
+    for (idx, r) in p.iter().enumerate() {
+        for i in r.rows().ones() {
+            let care_hits = r.cols().and(m.row(i));
+            if !covered.row(i).is_disjoint(&care_hits) {
+                let clash = covered
+                    .row(i)
+                    .and(&care_hits)
+                    .first_one()
+                    .expect("non-disjoint");
+                let first = p
+                    .rectangles()[..idx]
+                    .iter()
+                    .position(|q| q.contains(i, clash))
+                    .expect("earlier cover exists");
+                return Err(PartitionError::Overlap { first, second: idx });
+            }
+            covered.row_mut(i).or_assign(&care_hits);
+        }
+    }
+    for i in 0..m.nrows() {
+        if let Some(j) = m.row(i).difference(covered.row(i)).first_one() {
+            return Err(PartitionError::Uncovered { cell: (i, j) });
+        }
+    }
+    Ok(())
+}
+
+/// Don't-care-aware row packing: like Algorithm 2, but a basis vector `v`
+/// may be used on row `i` whenever `v ⊆ ones(i) ∪ dc(i)` — the don't-care
+/// cells absorb the mismatch. The basis update is restricted to exact
+/// containment (conservative but always sound).
+pub fn row_packing_with_dont_cares(
+    m: &BitMatrix,
+    dont_care: &BitMatrix,
+    trials: usize,
+    seed: u64,
+) -> Partition {
+    assert_eq!(m.shape(), dont_care.shape(), "mask shape mismatch");
+    assert!(m.and(dont_care).is_zero(), "cell both 1 and don't-care");
+    let nrows = m.nrows();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<Partition> = None;
+    for trial in 0..trials.max(1) {
+        let order = if trial == 0 {
+            (0..nrows).collect::<Vec<_>>()
+        } else {
+            random_permutation(nrows, &mut rng)
+        };
+        let p = pack_once_dc(m, dont_care, &order);
+        if best.as_ref().is_none_or(|b| p.len() < b.len()) {
+            best = Some(p);
+        }
+    }
+    best.expect("at least one trial")
+}
+
+fn pack_once_dc(m: &BitMatrix, dont_care: &BitMatrix, order: &[usize]) -> Partition {
+    let nrows = m.nrows();
+    let ncols = m.ncols();
+    let mut rects: Vec<Rectangle> = Vec::new(); // rows in original indices
+    for &i in order {
+        let ones = m.row(i).clone();
+        if ones.is_zero() {
+            continue;
+        }
+        let coverable = ones.or(dont_care.row(i));
+        let mut residue = ones.clone();
+        for rect in rects.iter_mut() {
+            let v = rect.cols().clone();
+            if v.is_zero() || !v.is_subset_of(&coverable) {
+                continue;
+            }
+            // The vector's care hits on this row must all be outstanding —
+            // re-covering an already-covered 1 would break disjointness —
+            // and it must cover at least one (avoid useless growth).
+            let care_hits = v.and(&ones);
+            if !care_hits.is_zero() && care_hits.is_subset_of(&residue) {
+                rect.rows_mut().set(i, true);
+                residue.difference_assign(&care_hits);
+                if residue.is_zero() {
+                    break;
+                }
+            }
+        }
+        if !residue.is_zero() {
+            let mut rows = BitVec::zeros(nrows);
+            rows.set(i, true);
+            rects.push(Rectangle::new(rows, residue));
+        }
+    }
+    Partition::from_rectangles(nrows, ncols, rects)
+}
+
+/// Outcome of the exact completion solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionOutcome {
+    /// Best completion-partition found.
+    pub partition: Partition,
+    /// Whether its depth was proved minimum.
+    pub proved_optimal: bool,
+}
+
+/// Exact minimum-depth EBMF with don't-cares: descending SAT queries from
+/// the DC-aware heuristic's depth, mirroring Algorithm 1.
+///
+/// Note that the real-rank bound of Eq. 3 does **not** apply verbatim under
+/// don't-cares (completion can beat the care-matrix rank), so the descent
+/// runs to UNSAT or to 1.
+pub fn complete_ebmf(m: &BitMatrix, dont_care: &BitMatrix) -> CompletionOutcome {
+    let heuristic = row_packing_with_dont_cares(m, dont_care, 10, 0);
+    debug_assert!(validate_completion(&heuristic, m, dont_care).is_ok());
+    if m.is_zero() {
+        return CompletionOutcome {
+            partition: Partition::empty(m.nrows(), m.ncols()),
+            proved_optimal: true,
+        };
+    }
+    let mut best = heuristic;
+    if best.len() == 1 {
+        return CompletionOutcome {
+            partition: best,
+            proved_optimal: true,
+        };
+    }
+    let mut encoder = EbmfEncoder::with_dont_cares(m, dont_care, best.len() - 1);
+    let proved;
+    loop {
+        if encoder.bound() == 0 {
+            proved = true;
+            break;
+        }
+        match encoder.solve() {
+            SolveResult::Sat => {
+                let p = encoder.extract_partition();
+                debug_assert!(validate_completion(&p, m, dont_care).is_ok());
+                best = p;
+                if best.len() == 1 {
+                    proved = true;
+                    break;
+                }
+                encoder.narrow(best.len() - 1);
+            }
+            SolveResult::Unsat => {
+                proved = true;
+                break;
+            }
+            SolveResult::Unknown => {
+                proved = false;
+                break;
+            }
+        }
+    }
+    CompletionOutcome {
+        partition: best,
+        proved_optimal: proved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{binary_rank, lower_bound};
+
+    #[test]
+    fn dont_cares_strictly_help_on_identity() {
+        // I_3 needs 3 rectangles; with all off-diagonals don't-care, one
+        // 3×3 rectangle suffices.
+        let m = BitMatrix::identity(3);
+        let dc = BitMatrix::from_fn(3, 3, |i, j| i != j);
+        assert_eq!(binary_rank(&m), 3);
+        let out = complete_ebmf(&m, &dc);
+        assert!(out.proved_optimal);
+        assert_eq!(out.partition.len(), 1);
+        assert!(validate_completion(&out.partition, &m, &dc).is_ok());
+    }
+
+    #[test]
+    fn empty_dont_care_reduces_to_plain_ebmf() {
+        let m: BitMatrix = "110\n011\n111".parse().unwrap();
+        let dc = BitMatrix::zeros(3, 3);
+        let out = complete_ebmf(&m, &dc);
+        assert!(out.proved_optimal);
+        assert_eq!(out.partition.len(), 3, "Eq. (2) needs 3 without vacancies");
+        assert!(out.partition.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn partial_dont_care_between_plain_and_full() {
+        // Fig. 1b matrix with a few vacancies can only get easier.
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let dc = BitMatrix::from_fn(6, 6, |i, j| !m.get(i, j) && (i + j) % 3 == 0);
+        let out = complete_ebmf(&m, &dc);
+        assert!(out.proved_optimal);
+        assert!(out.partition.len() <= 5);
+        assert!(validate_completion(&out.partition, &m, &dc).is_ok());
+    }
+
+    #[test]
+    fn heuristic_output_is_always_valid() {
+        let m: BitMatrix = "1010\n0101\n1111".parse().unwrap();
+        let dc = BitMatrix::from_fn(3, 4, |i, j| !m.get(i, j) && j == 0);
+        let p = row_packing_with_dont_cares(&m, &dc, 5, 1);
+        assert!(validate_completion(&p, &m, &dc).is_ok());
+    }
+
+    #[test]
+    fn validate_completion_rejects_care_zero_cover() {
+        let m: BitMatrix = "10\n00".parse().unwrap();
+        let dc = BitMatrix::zeros(2, 2);
+        let mut p = Partition::empty(2, 2);
+        p.push(Rectangle::from_cells(2, 2, [(0, 0), (1, 0)]));
+        assert!(matches!(
+            validate_completion(&p, &m, &dc),
+            Err(PartitionError::CoversZero { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_completion_allows_dc_overlap() {
+        // Two rectangles overlapping on a don't-care cell only.
+        let m: BitMatrix = "11\n10".parse().unwrap();
+        let dc: BitMatrix = "00\n01".parse().unwrap();
+        let mut p = Partition::empty(2, 2);
+        p.push(Rectangle::from_cells(2, 2, [(0, 0), (1, 0)])); // col 0
+        p.push(Rectangle::from_cells(2, 2, [(0, 1), (1, 1)])); // col 1: (1,1) is DC
+        assert!(validate_completion(&p, &m, &dc).is_ok());
+    }
+
+    #[test]
+    fn validate_completion_detects_care_overlap() {
+        let m: BitMatrix = "11".parse().unwrap();
+        let dc = BitMatrix::zeros(1, 2);
+        let mut p = Partition::empty(1, 2);
+        p.push(Rectangle::from_cells(1, 2, [(0, 0), (0, 1)]));
+        p.push(Rectangle::from_cells(1, 2, [(0, 1)]));
+        assert!(matches!(
+            validate_completion(&p, &m, &dc),
+            Err(PartitionError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn lower_bound_not_binding_under_dont_cares() {
+        // Sanity note test: rank of I_3 is 3, yet completion reached 1 —
+        // the Eq. 3 bound genuinely does not apply to completion.
+        let m = BitMatrix::identity(3);
+        let lb = lower_bound(&m, false);
+        assert_eq!(lb.value, 3);
+        let dc = BitMatrix::from_fn(3, 3, |i, j| i != j);
+        assert_eq!(complete_ebmf(&m, &dc).partition.len(), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! Rectangle *covers* and the Boolean rank — the overlap-allowed sibling of
+//! EBMF.
+//!
+//! The paper's §II frames rectangle partitions inside communication
+//! complexity, where the companion quantity is the minimum number of
+//! 1-monochromatic rectangles whose **union** (overlaps allowed) is the 1s
+//! of `M` — the *Boolean rank* / minimum biclique cover number, with
+//! `rank_Bool(M) ≤ r_B(M)`. Physically, a cover is the right model when
+//! double-addressing a qubit is acceptable (e.g. idempotent calibration
+//! pulses), while the paper's partitions are required when it is not
+//! (`Rz` phases accumulate).
+//!
+//! Both a greedy heuristic and an exact SAT-based solver are provided; the
+//! SAT encoding uses per-rectangle row/column selector variables
+//! (`cell (i,j) ∈ R_k ⇔ r_{i,k} ∧ c_{j,k}`) with Tseitin product variables
+//! on the 1-cells.
+
+use bitmatrix::{BitMatrix, BitVec};
+use sat::{SolveResult, Solver, Var};
+
+use crate::{Partition, Rectangle};
+
+/// A rectangle cover of the 1s of a matrix (rectangles may overlap on 1s,
+/// never on 0s). Reuses [`Partition`] storage; validation differs.
+pub type Cover = Partition;
+
+/// Checks that `cover` covers every 1 of `m`, covers no 0, and contains no
+/// empty rectangle. Overlaps on 1-cells are allowed.
+pub fn is_valid_cover(cover: &Cover, m: &BitMatrix) -> bool {
+    if cover.shape() != m.shape() {
+        return false;
+    }
+    let mut covered = BitMatrix::zeros(m.nrows(), m.ncols());
+    for r in cover {
+        if r.is_empty() {
+            return false;
+        }
+        for (i, j) in r.cells() {
+            if !m.get(i, j) {
+                return false;
+            }
+            covered.set(i, j, true);
+        }
+    }
+    covered == *m
+}
+
+/// Greedy cover: repeatedly pick an uncovered 1-cell and grow a maximal
+/// rectangle of `m` around it (first rows, then columns), preferring rows
+/// that keep the column span large.
+pub fn greedy_cover(m: &BitMatrix) -> Cover {
+    let (nrows, ncols) = m.shape();
+    let mut uncovered = m.clone();
+    let mut out = Partition::empty(nrows, ncols);
+    while let Some((i, j)) = first_one(&uncovered) {
+        // Start from the full row support of row i.
+        let mut cols = m.row(i).clone();
+        let mut rows = BitVec::zeros(nrows);
+        rows.set(i, true);
+        // Shrink columns to those of the seed cell's "best" rectangle:
+        // grow rows greedily while keeping j covered, intersecting spans.
+        for r in 0..nrows {
+            if r == i {
+                continue;
+            }
+            let inter = cols.and(m.row(r));
+            // Accept the row only if it keeps the seed column and does not
+            // shrink the rectangle below its current uncovered payoff.
+            if inter.get(j) && inter.count_ones() * (rows.count_ones() + 1)
+                >= cols.count_ones() * rows.count_ones()
+            {
+                cols = inter;
+                rows.set(r, true);
+            }
+        }
+        let rect = Rectangle::new(rows, cols);
+        for (r, c) in rect.cells() {
+            uncovered.set(r, c, false);
+        }
+        out.push(rect);
+    }
+    out
+}
+
+fn first_one(m: &BitMatrix) -> Option<(usize, usize)> {
+    (0..m.nrows()).find_map(|i| m.row(i).first_one().map(|j| (i, j)))
+}
+
+/// Decides `rank_Bool(m) ≤ b` by SAT; returns a witness cover when
+/// satisfiable.
+///
+/// Encoding: variables `r[i][k]`, `c[j][k]` select rows/columns of
+/// rectangle `k`; for every 0-cell, `¬r[i][k] ∨ ¬c[j][k]`; for every
+/// 1-cell, a Tseitin variable `p[e][k] ⇔ r[i][k] ∧ c[j][k]` feeds the
+/// coverage clause `⋁_k p[e][k]`.
+#[allow(clippy::needless_range_loop)] // parallel rvar/cvar indexing is clearer
+pub fn cover_decision(m: &BitMatrix, b: usize) -> Option<Cover> {
+    let (nrows, ncols) = m.shape();
+    let ones = m.ones_positions();
+    if ones.is_empty() {
+        return Some(Partition::empty(nrows, ncols));
+    }
+    if b == 0 {
+        return None;
+    }
+    let mut solver = Solver::new();
+    let rvar: Vec<Vec<Var>> = (0..nrows)
+        .map(|_| (0..b).map(|_| solver.new_var()).collect())
+        .collect();
+    let cvar: Vec<Vec<Var>> = (0..ncols)
+        .map(|_| (0..b).map(|_| solver.new_var()).collect())
+        .collect();
+    // 0-cells break every rectangle containing both their row and column.
+    for i in 0..nrows {
+        for j in 0..ncols {
+            if !m.get(i, j) {
+                for k in 0..b {
+                    solver.add_clause([rvar[i][k].negative(), cvar[j][k].negative()]);
+                }
+            }
+        }
+    }
+    // 1-cells: product variables + coverage.
+    for &(i, j) in &ones {
+        let mut coverage = Vec::with_capacity(b);
+        for k in 0..b {
+            let p = solver.new_var();
+            // p ⇒ r ∧ c ; r ∧ c ⇒ p.
+            solver.add_clause([p.negative(), rvar[i][k].positive()]);
+            solver.add_clause([p.negative(), cvar[j][k].positive()]);
+            solver.add_clause([
+                rvar[i][k].negative(),
+                cvar[j][k].negative(),
+                p.positive(),
+            ]);
+            coverage.push(p.positive());
+        }
+        solver.add_clause(coverage);
+    }
+    match solver.solve() {
+        SolveResult::Sat => {
+            let model = solver.model();
+            let mut cover = Partition::empty(nrows, ncols);
+            for k in 0..b {
+                let rows = BitVec::from_indices(
+                    nrows,
+                    (0..nrows).filter(|&i| model[rvar[i][k].index()]),
+                );
+                let cols = BitVec::from_indices(
+                    ncols,
+                    (0..ncols).filter(|&j| model[cvar[j][k].index()]),
+                );
+                let rect = Rectangle::new(rows, cols);
+                if !rect.is_empty() {
+                    cover.push(rect);
+                }
+            }
+            debug_assert!(is_valid_cover(&cover, m));
+            Some(cover)
+        }
+        _ => None,
+    }
+}
+
+/// The Boolean rank (minimum biclique **cover** number) of `m`, computed by
+/// descending SAT queries from the greedy cover size.
+///
+/// # Examples
+///
+/// ```
+/// use bitmatrix::BitMatrix;
+/// use rect_addr_ebmf::cover::boolean_rank;
+///
+/// // Paper Eq. (2): binary rank 3, but two overlapping rectangles cover it.
+/// let m: BitMatrix = "110\n011\n111".parse()?;
+/// assert_eq!(boolean_rank(&m).1, 2);
+/// # Ok::<(), bitmatrix::ParseMatrixError>(())
+/// ```
+pub fn boolean_rank(m: &BitMatrix) -> (Cover, usize) {
+    let mut best = greedy_cover(m);
+    debug_assert!(is_valid_cover(&best, m));
+    while !best.is_empty() {
+        match cover_decision(m, best.len() - 1) {
+            Some(cover) => best = cover,
+            None => break,
+        }
+    }
+    let n = best.len();
+    (best, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary_rank;
+
+    #[test]
+    fn eq2_boolean_rank_is_two() {
+        // Binary rank 3, Boolean rank 2: overlap at the centre cell.
+        let m: BitMatrix = "110\n011\n111".parse().unwrap();
+        let (cover, n) = boolean_rank(&m);
+        assert_eq!(n, 2);
+        assert!(is_valid_cover(&cover, &m));
+        assert_eq!(binary_rank(&m), 3);
+    }
+
+    #[test]
+    fn identity_boolean_rank_is_n() {
+        // No overlap possible: cover = partition.
+        let m = BitMatrix::identity(4);
+        assert_eq!(boolean_rank(&m).1, 4);
+    }
+
+    #[test]
+    fn ones_and_zeros() {
+        assert_eq!(boolean_rank(&BitMatrix::ones(3, 5)).1, 1);
+        assert_eq!(boolean_rank(&BitMatrix::zeros(2, 2)).1, 0);
+    }
+
+    #[test]
+    fn boolean_rank_never_exceeds_binary_rank() {
+        let mut state = 0xABCDu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10 {
+            let m = BitMatrix::from_fn(4, 4, |_, _| rnd() % 2 == 0);
+            let bool_rank = boolean_rank(&m).1;
+            let bin_rank = binary_rank(&m);
+            assert!(
+                bool_rank <= bin_rank,
+                "cover {bool_rank} > partition {bin_rank} on\n{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_cover_is_always_valid() {
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let g = greedy_cover(&m);
+        assert!(is_valid_cover(&g, &m));
+    }
+
+    #[test]
+    fn cover_decision_boundary() {
+        let m = BitMatrix::identity(3);
+        assert!(cover_decision(&m, 3).is_some());
+        assert!(cover_decision(&m, 2).is_none());
+        assert!(cover_decision(&m, 0).is_none());
+        assert!(cover_decision(&BitMatrix::zeros(2, 2), 0).is_some());
+    }
+
+    #[test]
+    fn invalid_covers_rejected() {
+        let m: BitMatrix = "10\n01".parse().unwrap();
+        // Covers a zero.
+        let mut bad = Partition::empty(2, 2);
+        bad.push(Rectangle::from_cells(2, 2, [(0, 0), (1, 1)]));
+        assert!(!is_valid_cover(&bad, &m));
+        // Misses a one.
+        let mut missing = Partition::empty(2, 2);
+        missing.push(Rectangle::singleton(2, 2, 0, 0));
+        assert!(!is_valid_cover(&missing, &m));
+        // Overlap on ones is fine.
+        let m2 = BitMatrix::ones(2, 2);
+        let mut overlap = Partition::empty(2, 2);
+        overlap.push(Rectangle::from_cells(2, 2, [(0, 0), (1, 1)]));
+        overlap.push(Rectangle::from_cells(2, 2, [(0, 0), (0, 1)]));
+        assert!(is_valid_cover(&overlap, &m2));
+    }
+}

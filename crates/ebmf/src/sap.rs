@@ -1,0 +1,385 @@
+//! SAP — *SMT and packing* (paper Algorithm 1), with the SMT oracle replaced
+//! by the in-repo SAT encoder.
+//!
+//! The driver obtains a quick upper bound from row packing, then walks the
+//! rectangle budget `b` downward with incremental SAT queries until either a
+//! query is UNSAT (the incumbent is optimal), the budget drops below a sound
+//! lower bound (the incumbent matches it — optimal), or a resource limit is
+//! hit (the incumbent is returned as the best-so-far, exactly the anytime
+//! behaviour the paper highlights for its Figure 4 cases).
+
+use std::time::{Duration, Instant};
+
+use bitmatrix::BitMatrix;
+use linalg::RealRank;
+use sat::SolveResult;
+
+use crate::{lower_bound, row_packing, EbmfEncoder, LowerBound, PackingConfig, Partition};
+
+/// Configuration of the [`sap`] solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SapConfig {
+    /// Configuration of the row-packing phase.
+    pub packing: PackingConfig,
+    /// Include the greedy fooling-set bound in the termination bound.
+    /// Off by default: the paper's Algorithm 1 terminates on the real rank.
+    pub use_fooling_bound: bool,
+    /// Emit value-precedence symmetry breaking clauses (recommended).
+    pub symmetry_breaking: bool,
+    /// Conflict budget per SAT query (`None` = run to completion).
+    pub conflict_budget: Option<u64>,
+    /// Wall-clock limit for the whole SAT phase, checked between queries.
+    pub time_limit: Option<Duration>,
+    /// Skip the SAT phase entirely when the matrix has more 1-cells than
+    /// this (the paper's 100×100 instances are "too large for SMT").
+    pub max_sat_cells: Option<usize>,
+    /// Record a clausal proof and replay it through the independent RUP
+    /// checker whenever optimality is concluded from an UNSAT answer. The
+    /// verdict lands in [`SapOutcome::certified`].
+    pub certify: bool,
+}
+
+impl Default for SapConfig {
+    fn default() -> Self {
+        SapConfig {
+            packing: PackingConfig::default(),
+            use_fooling_bound: false,
+            symmetry_breaking: true,
+            conflict_budget: None,
+            time_limit: None,
+            max_sat_cells: None,
+            certify: false,
+        }
+    }
+}
+
+impl SapConfig {
+    /// Config with the given number of packing trials (other fields default).
+    pub fn with_trials(trials: usize) -> Self {
+        SapConfig {
+            packing: PackingConfig::with_trials(trials),
+            ..SapConfig::default()
+        }
+    }
+}
+
+/// One SAT query made by the descending loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatQuery {
+    /// The bound `b` queried (`r_B ≤ b`?).
+    pub bound: usize,
+    /// The answer.
+    pub result: SolveResult,
+    /// Wall-clock seconds spent in this query.
+    pub seconds: f64,
+    /// Conflicts spent in this query.
+    pub conflicts: u64,
+}
+
+/// Phase timings and query log — the data behind the paper's Figure 4.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SapStats {
+    /// Seconds spent in the row-packing heuristic.
+    pub packing_seconds: f64,
+    /// Seconds spent computing lower bounds.
+    pub bound_seconds: f64,
+    /// Seconds spent in SAT solving (the paper's "SMT" share).
+    pub sat_seconds: f64,
+    /// Per-query log, in descending-bound order.
+    pub queries: Vec<SatQuery>,
+}
+
+impl SapStats {
+    /// Total wall-clock seconds across all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.packing_seconds + self.bound_seconds + self.sat_seconds
+    }
+}
+
+/// Result of [`sap`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SapOutcome {
+    /// The best partition found (always valid for the input matrix).
+    pub partition: Partition,
+    /// Whether `partition.len()` was *proved* equal to `r_B(M)`.
+    pub proved_optimal: bool,
+    /// The lower bound used for termination.
+    pub lower_bound: LowerBound,
+    /// The real-rank component (reported in the paper's Table I/Fig. 4).
+    pub real_rank: RealRank,
+    /// When [`SapConfig::certify`] is set and optimality was concluded from
+    /// an UNSAT answer: `Some(true)` iff the recorded clausal proof passed
+    /// the independent RUP checker. `None` when optimality needed no SAT
+    /// proof (heuristic met the rank floor) or certification was off.
+    pub certified: Option<bool>,
+    /// Phase timings and the SAT query log.
+    pub stats: SapStats,
+}
+
+impl SapOutcome {
+    /// The number of rectangles of the best partition — an upper bound on
+    /// (and, when `proved_optimal`, equal to) the binary rank.
+    pub fn depth(&self) -> usize {
+        self.partition.len()
+    }
+}
+
+/// Runs SAP (paper Algorithm 1) on `m`.
+///
+/// 1. Row packing provides a valid EBMF `P` (upper bound).
+/// 2. The real rank (and optional extra bounds) provides the termination
+///    floor (paper Eq. 3).
+/// 3. A SAT encoder is built for `b = |P| − 1` and the bound is narrowed
+///    after every satisfiable query; the incumbent is updated so an
+///    interrupt at any time still returns the best solution found.
+pub fn sap(m: &BitMatrix, config: &SapConfig) -> SapOutcome {
+    let t0 = Instant::now();
+    let mut best = row_packing(m, &config.packing);
+    let packing_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let lb = lower_bound(m, config.use_fooling_bound);
+    let bound_seconds = t1.elapsed().as_secs_f64();
+
+    let mut stats = SapStats {
+        packing_seconds,
+        bound_seconds,
+        ..SapStats::default()
+    };
+
+    debug_assert!(best.validate(m).is_ok());
+    let mut proved = best.len() <= lb.value;
+    let skip_sat = config
+        .max_sat_cells
+        .is_some_and(|max| m.count_ones() > max);
+
+    let mut certified = None;
+    if !proved && !skip_sat && best.len() > 1 {
+        let sat_start = Instant::now();
+        let mut enc_opts = crate::EncoderOptions {
+            bound: best.len() - 1,
+            symmetry_breaking: config.symmetry_breaking,
+            ..crate::EncoderOptions::new(best.len() - 1)
+        };
+        enc_opts.proof_logging = config.certify;
+        let mut encoder = EbmfEncoder::with_encoder_options(m, None, enc_opts);
+        encoder.set_conflict_budget(config.conflict_budget);
+        loop {
+            let b = encoder.bound();
+            if b < lb.value {
+                proved = true; // |best| == lb.value: matches the floor
+                break;
+            }
+            let conflicts_before = encoder.solver_stats().conflicts;
+            let tq = Instant::now();
+            let result = encoder.solve();
+            let seconds = tq.elapsed().as_secs_f64();
+            stats.queries.push(SatQuery {
+                bound: b,
+                result,
+                seconds,
+                conflicts: encoder.solver_stats().conflicts - conflicts_before,
+            });
+            match result {
+                SolveResult::Sat => {
+                    let p = encoder.extract_partition();
+                    debug_assert!(p.validate(m).is_ok());
+                    debug_assert!(p.len() <= b);
+                    best = p;
+                    if best.len() <= lb.value {
+                        proved = true;
+                        break;
+                    }
+                    encoder.narrow(best.len() - 1);
+                }
+                SolveResult::Unsat => {
+                    // r_B > b, and |best| == b + 1.
+                    proved = true;
+                    if config.certify {
+                        certified = Some(encoder.verify_unsat_proof().is_ok());
+                    }
+                    break;
+                }
+                SolveResult::Unknown => break, // budget exhausted: anytime exit
+            }
+            if let Some(limit) = config.time_limit {
+                if sat_start.elapsed() > limit {
+                    break;
+                }
+            }
+        }
+        stats.sat_seconds = sat_start.elapsed().as_secs_f64();
+    }
+
+    SapOutcome {
+        partition: best,
+        proved_optimal: proved,
+        lower_bound: lb,
+        real_rank: lb.real_rank,
+        certified,
+        stats,
+    }
+}
+
+/// The binary rank `r_B(m)`, computed exactly (no resource limits).
+///
+/// Practical for matrices up to roughly the paper's exact-benchmark sizes
+/// (≤ 10×30); larger inputs may take exponential time.
+///
+/// # Examples
+///
+/// ```
+/// use bitmatrix::BitMatrix;
+/// use rect_addr_ebmf::binary_rank;
+///
+/// let m: BitMatrix = "110\n011\n111".parse()?;
+/// assert_eq!(binary_rank(&m), 3); // paper Eq. (2)
+/// # Ok::<(), bitmatrix::ParseMatrixError>(())
+/// ```
+pub fn binary_rank(m: &BitMatrix) -> usize {
+    let outcome = sap(m, &SapConfig::with_trials(20));
+    assert!(
+        outcome.proved_optimal,
+        "sap without limits must prove optimality"
+    );
+    outcome.partition.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1b_is_five() {
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let out = sap(&m, &SapConfig::default());
+        assert!(out.proved_optimal);
+        assert_eq!(out.depth(), 5);
+        assert!(out.partition.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn eq2_is_three_with_rank_three() {
+        let m: BitMatrix = "110\n011\n111".parse().unwrap();
+        let out = sap(&m, &SapConfig::default());
+        assert!(out.proved_optimal);
+        assert_eq!(out.depth(), 3);
+        assert_eq!(out.real_rank.rank, 3);
+    }
+
+    #[test]
+    fn rank_gap_matrix_proved_by_unsat() {
+        // XOR-style matrix where rank_ℝ < r_B: [[0,1,1],[1,0,1],[1,1,0]]
+        // has rank 3 … use a genuine gap case instead: rows {110, 001, 111}.
+        // rank = 2? [1,1,0],[0,0,1],[1,1,1]: row3 = row1+row2 → rank 2.
+        // r_B: the 1s of row 111 can't merge across… compute: must be ≥ 2.
+        let m: BitMatrix = "110\n001\n111".parse().unwrap();
+        let out = sap(&m, &SapConfig::default());
+        assert!(out.proved_optimal);
+        assert_eq!(out.real_rank.rank, 2);
+        assert_eq!(out.depth(), 2, "{:?}", out.partition.to_string());
+    }
+
+    #[test]
+    fn zero_matrix_is_zero() {
+        let out = sap(&BitMatrix::zeros(4, 4), &SapConfig::default());
+        assert!(out.proved_optimal);
+        assert_eq!(out.depth(), 0);
+    }
+
+    #[test]
+    fn single_cell_is_one() {
+        let m: BitMatrix = "01\n00".parse().unwrap();
+        let out = sap(&m, &SapConfig::default());
+        assert!(out.proved_optimal);
+        assert_eq!(out.depth(), 1);
+    }
+
+    #[test]
+    fn binary_rank_of_identity() {
+        assert_eq!(binary_rank(&BitMatrix::identity(5)), 5);
+    }
+
+    #[test]
+    fn max_sat_cells_skips_exact_phase() {
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let cfg = SapConfig {
+            max_sat_cells: Some(1),
+            ..SapConfig::default()
+        };
+        let out = sap(&m, &cfg);
+        assert!(out.stats.queries.is_empty(), "SAT phase must be skipped");
+        assert!(out.partition.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn stats_record_queries() {
+        let m = BitMatrix::identity(4); // packing finds 4 = rank: no SAT needed
+        let out = sap(&m, &SapConfig::default());
+        assert!(out.proved_optimal);
+        assert!(out.stats.queries.is_empty());
+
+        // Eq. (2) has rank 3 and the heuristic finds 3: also no SAT needed.
+        // Force a SAT descent with a matrix whose packing result exceeds the
+        // rank bound … the Fig. 1b matrix packs to 5 but has rank 5? Its
+        // rank is 5, so again no queries if packing reaches 5. Use a gap
+        // matrix: rank 2, r_B 3.
+        let gap: BitMatrix = "1100\n0011\n1111\n1010".parse().unwrap();
+        let out2 = sap(&gap, &SapConfig::default());
+        assert!(out2.proved_optimal);
+        if out2.depth() > out2.lower_bound.value {
+            assert!(!out2.stats.queries.is_empty());
+            let last = out2.stats.queries.last().unwrap();
+            assert_eq!(last.result, SolveResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn certified_optimality_on_fig1b() {
+        // Fig. 1b's optimality rests on an UNSAT answer at b = 4 (the rank
+        // floor is only 4); with `certify` the proof is replayed through
+        // the independent RUP checker.
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let cfg = SapConfig {
+            certify: true,
+            ..SapConfig::default()
+        };
+        let out = sap(&m, &cfg);
+        assert!(out.proved_optimal);
+        assert_eq!(out.depth(), 5);
+        assert_eq!(out.certified, Some(true), "RUP checker must accept the proof");
+    }
+
+    #[test]
+    fn certification_not_applicable_without_unsat() {
+        // Identity: packing meets the rank floor, no SAT query happens.
+        let out = sap(&BitMatrix::identity(4), &SapConfig {
+            certify: true,
+            ..SapConfig::default()
+        });
+        assert!(out.proved_optimal);
+        assert_eq!(out.certified, None);
+    }
+
+    #[test]
+    fn anytime_budget_returns_valid_incumbent() {
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let cfg = SapConfig {
+            conflict_budget: Some(1),
+            ..SapConfig::default()
+        };
+        let out = sap(&m, &cfg);
+        assert!(out.partition.validate(&m).is_ok());
+        // With a 1-conflict budget the outcome may or may not be proved,
+        // but the incumbent must be at least as good as packing alone.
+        assert!(out.depth() <= 6);
+    }
+}

@@ -1,0 +1,186 @@
+//! SVG rendering of partitions — publication-style figures like the
+//! paper's Fig. 1b (distinct marker per rectangle, dashed cells for
+//! untargeted sites).
+
+use std::fmt::Write as _;
+
+use bitmatrix::BitMatrix;
+
+use crate::Partition;
+
+/// Options for [`partition_to_svg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgOptions {
+    /// Side length of one grid cell in SVG units.
+    pub cell_size: f64,
+    /// Margin around the grid.
+    pub margin: f64,
+    /// Draw grid lines.
+    pub grid: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            cell_size: 24.0,
+            margin: 8.0,
+            grid: true,
+        }
+    }
+}
+
+/// A qualitative colour cycle (Okabe–Ito palette: colour-blind safe).
+const PALETTE: [&str; 8] = [
+    "#E69F00", "#56B4E9", "#009E73", "#F0E442", "#0072B2", "#D55E00", "#CC79A7", "#999999",
+];
+
+/// Renders a partition over its matrix as a standalone SVG document: one
+/// fill colour per rectangle, open circles for unaddressed 1-cells (none
+/// when the partition is complete), dashed outlines for 0-cells.
+///
+/// # Examples
+///
+/// ```
+/// use bitmatrix::BitMatrix;
+/// use rect_addr_ebmf::{sap, SapConfig, svg::partition_to_svg};
+///
+/// let m: BitMatrix = "11\n11".parse()?;
+/// let p = sap(&m, &SapConfig::default()).partition;
+/// let doc = partition_to_svg(&p, &m, &Default::default());
+/// assert!(doc.starts_with("<svg") && doc.ends_with("</svg>\n"));
+/// # Ok::<(), bitmatrix::ParseMatrixError>(())
+/// ```
+#[allow(clippy::needless_range_loop)] // (i, j) grid walk mirrors the SVG layout
+pub fn partition_to_svg(p: &Partition, m: &BitMatrix, opts: &SvgOptions) -> String {
+    let (rows, cols) = m.shape();
+    let cs = opts.cell_size;
+    let w = opts.margin * 2.0 + cols as f64 * cs;
+    let h = opts.margin * 2.0 + rows as f64 * cs;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = writeln!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    if opts.grid {
+        for i in 0..=rows {
+            let y = opts.margin + i as f64 * cs;
+            let _ = writeln!(
+                out,
+                r##"<line x1="{x1}" y1="{y}" x2="{x2}" y2="{y}" stroke="#ddd" stroke-width="1"/>"##,
+                x1 = opts.margin,
+                x2 = opts.margin + cols as f64 * cs,
+            );
+        }
+        for j in 0..=cols {
+            let x = opts.margin + j as f64 * cs;
+            let _ = writeln!(
+                out,
+                r##"<line x1="{x}" y1="{y1}" x2="{x}" y2="{y2}" stroke="#ddd" stroke-width="1"/>"##,
+                y1 = opts.margin,
+                y2 = opts.margin + rows as f64 * cs,
+            );
+        }
+    }
+    let labels = p.labels();
+    for i in 0..rows {
+        for j in 0..cols {
+            let cx = opts.margin + (j as f64 + 0.5) * cs;
+            let cy = opts.margin + (i as f64 + 0.5) * cs;
+            let r = cs * 0.36;
+            match labels[i][j] {
+                Some(k) => {
+                    let colour = PALETTE[k % PALETTE.len()];
+                    let _ = writeln!(
+                        out,
+                        r#"<circle cx="{cx}" cy="{cy}" r="{r}" fill="{colour}" stroke="black" stroke-width="1"><title>rect {k}</title></circle>"#
+                    );
+                }
+                None if m.get(i, j) => {
+                    // Un-partitioned 1-cell: hollow marker (flags bugs
+                    // visually when rendering partial partitions).
+                    let _ = writeln!(
+                        out,
+                        r#"<circle cx="{cx}" cy="{cy}" r="{r}" fill="none" stroke="red" stroke-width="2"/>"#
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        r##"<circle cx="{cx}" cy="{cy}" r="{r}" fill="none" stroke="#bbb" stroke-width="1" stroke-dasharray="3 2"/>"##
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sap, SapConfig};
+
+    #[test]
+    fn renders_well_formed_document() {
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let p = sap(&m, &SapConfig::default()).partition;
+        let doc = partition_to_svg(&p, &m, &SvgOptions::default());
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>\n"));
+        // 5 rectangles → 5 distinct palette colours present.
+        for k in 0..5 {
+            assert!(doc.contains(&format!("rect {k}")), "missing rect {k}");
+        }
+        // 18 filled markers (one per 1-cell), 18 dashed (one per 0-cell).
+        assert_eq!(doc.matches("<title>").count(), 18);
+        assert_eq!(doc.matches("stroke-dasharray").count(), 18);
+        // Complete partition → no red hollow markers.
+        assert!(!doc.contains("stroke=\"red\""));
+    }
+
+    #[test]
+    fn partial_partition_shows_uncovered_cells() {
+        let m: BitMatrix = "11".parse().unwrap();
+        let mut p = Partition::empty(1, 2);
+        p.push(crate::Rectangle::singleton(1, 2, 0, 0));
+        let doc = partition_to_svg(&p, &m, &SvgOptions::default());
+        assert!(doc.contains("stroke=\"red\""), "uncovered 1-cell must be flagged");
+    }
+
+    #[test]
+    fn grid_can_be_disabled() {
+        let m: BitMatrix = "1".parse().unwrap();
+        let p = sap(&m, &SapConfig::default()).partition;
+        let with = partition_to_svg(&p, &m, &SvgOptions::default());
+        let without = partition_to_svg(
+            &p,
+            &m,
+            &SvgOptions {
+                grid: false,
+                ..SvgOptions::default()
+            },
+        );
+        assert!(with.matches("<line").count() > 0);
+        assert_eq!(without.matches("<line").count(), 0);
+    }
+
+    #[test]
+    fn document_size_scales_with_cell_size() {
+        let m: BitMatrix = "10\n01".parse().unwrap();
+        let p = sap(&m, &SapConfig::default()).partition;
+        let doc = partition_to_svg(
+            &p,
+            &m,
+            &SvgOptions {
+                cell_size: 10.0,
+                margin: 0.0,
+                grid: false,
+            },
+        );
+        assert!(doc.contains(r#"width="20" height="20""#), "{doc}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Tensor products of partitions — the FTQC two-level structure (paper §V).
+//!
+//! A logical-level pattern `M̂` of operations on surface-code patches and a
+//! physical-level pattern `M` inside one patch compose to the physical
+//! operation `M̂ ⊗ M`. Partitions compose the same way:
+//! `r_B(M̂ ⊗ M) ≤ r_B(M̂) · r_B(M)` via [`tensor_partition`], and Watson's
+//! bound (paper Eq. 5) lower-bounds the product rank by fooling sets —
+//! [`tensor_bounds`] evaluates both sides so the multiplicativity question
+//! (open, per the paper) can be explored experimentally.
+
+use bitmatrix::BitMatrix;
+use linalg::max_fooling_set;
+
+use crate::{sap, Partition, SapConfig};
+
+/// The tensor (Kronecker) product of two partitions: one rectangle
+/// `R̂ ⊗ R` per pair. If the inputs are valid partitions of `M̂` and `M`,
+/// the output is a valid partition of `M̂ ⊗ M` with
+/// `len = len(M̂-partition) · len(M-partition)`.
+pub fn tensor_partition(logical: &Partition, physical: &Partition) -> Partition {
+    let (lm, ln) = logical.shape();
+    let (pm, pn) = physical.shape();
+    let mut out = Partition::empty(lm * pm, ln * pn);
+    for a in logical {
+        for b in physical {
+            out.push(a.kron(b));
+        }
+    }
+    out
+}
+
+/// Both sides of the paper's Eq. 5 sandwich for `r_B(M̂ ⊗ M)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorBounds {
+    /// `r_B(M̂)` (computed exactly).
+    pub rb_logical: usize,
+    /// `r_B(M)` (computed exactly).
+    pub rb_physical: usize,
+    /// Maximum fooling-set size `φ(M̂)`.
+    pub fooling_logical: usize,
+    /// Maximum fooling-set size `φ(M)`.
+    pub fooling_physical: usize,
+    /// Watson's lower bound `max(r_B(M̂)·φ(M), r_B(M)·φ(M̂))`.
+    pub lower: usize,
+    /// The product upper bound `r_B(M̂)·r_B(M)`.
+    pub upper: usize,
+}
+
+/// Computes Eq. 5's lower bound and the tensor-product upper bound for
+/// `r_B(M̂ ⊗ M)`. Exact solves — use small matrices.
+pub fn tensor_bounds(logical: &BitMatrix, physical: &BitMatrix) -> TensorBounds {
+    let cfg = SapConfig::default();
+    let rb_l = sap(logical, &cfg);
+    let rb_p = sap(physical, &cfg);
+    assert!(rb_l.proved_optimal && rb_p.proved_optimal);
+    let f_l = max_fooling_set(logical, 10_000_000);
+    let f_p = max_fooling_set(physical, 10_000_000);
+    let rb_logical = rb_l.depth();
+    let rb_physical = rb_p.depth();
+    let fooling_logical = f_l.size();
+    let fooling_physical = f_p.size();
+    TensorBounds {
+        rb_logical,
+        rb_physical,
+        fooling_logical,
+        fooling_physical,
+        lower: (rb_logical * fooling_physical).max(rb_physical * fooling_logical),
+        upper: rb_logical * rb_physical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row_packing;
+    use crate::PackingConfig;
+
+    #[test]
+    fn tensor_of_valid_partitions_is_valid() {
+        let a: BitMatrix = "10\n11".parse().unwrap();
+        let b: BitMatrix = "11\n01".parse().unwrap();
+        let pa = row_packing(&a, &PackingConfig::with_trials(5));
+        let pb = row_packing(&b, &PackingConfig::with_trials(5));
+        assert!(pa.validate(&a).is_ok() && pb.validate(&b).is_ok());
+        let t = tensor_partition(&pa, &pb);
+        assert!(t.validate(&a.kron(&b)).is_ok());
+        assert_eq!(t.len(), pa.len() * pb.len());
+    }
+
+    #[test]
+    fn all_ones_patch_is_free() {
+        // Paper §V: when M is all-ones (apply the gate to a whole patch),
+        // φ(M) = r_B(M) = 1 and the logical partition is optimal.
+        let logical: BitMatrix = "10\n01".parse().unwrap();
+        let patch = BitMatrix::ones(3, 3);
+        let tb = tensor_bounds(&logical, &patch);
+        assert_eq!(tb.rb_physical, 1);
+        assert_eq!(tb.fooling_physical, 1);
+        assert_eq!(tb.lower, tb.upper, "sandwich closes: product is optimal");
+        assert_eq!(tb.upper, 2);
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let a: BitMatrix = "110\n011\n111".parse().unwrap(); // Eq. (2)
+        let b: BitMatrix = "10\n01".parse().unwrap();
+        let tb = tensor_bounds(&a, &b);
+        assert!(tb.lower <= tb.upper);
+        assert_eq!(tb.rb_logical, 3);
+        assert_eq!(tb.fooling_logical, 2);
+        assert_eq!(tb.rb_physical, 2);
+        // lower = max(3·2, 2·2) = 6 = upper here: product is optimal.
+        assert_eq!(tb.lower, 6);
+        assert_eq!(tb.upper, 6);
+    }
+
+    #[test]
+    fn tensor_with_empty_partition() {
+        let a = Partition::empty(2, 2);
+        let b = Partition::empty(3, 3);
+        let t = tensor_partition(&a, &b);
+        assert_eq!(t.shape(), (6, 6));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,451 @@
+//! Knuth's Algorithm X with dancing links.
+//!
+//! The row-packing heuristic of the paper decomposes each matrix row into a
+//! disjoint union of existing basis vectors greedily, and its §VI names
+//! Knuth's exact-cover algorithm as the natural upgrade. This module
+//! provides that upgrade: an index-based dancing-links implementation with
+//! the minimum-size column heuristic, optional (secondary) items, solution
+//! enumeration, and a node budget for anytime use.
+
+/// Builder for an exact-cover problem.
+///
+/// Items (columns) are split into *primary* — each must be covered exactly
+/// once — and *secondary* — each may be covered at most once. Options (rows)
+/// are added with [`DlxBuilder::add_row`] and are identified by insertion
+/// index.
+///
+/// # Examples
+///
+/// ```
+/// use rect_addr_exactcover::DlxBuilder;
+///
+/// // Cover {0,1,2,3} with rows {0,1}, {2,3}, {1,2}: unique solution.
+/// let mut b = DlxBuilder::new(4, 0);
+/// b.add_row(&[0, 1]);
+/// b.add_row(&[2, 3]);
+/// b.add_row(&[1, 2]);
+/// let mut solver = b.build();
+/// let mut sol = solver.first_solution().unwrap();
+/// sol.sort();
+/// assert_eq!(sol, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DlxBuilder {
+    num_primary: usize,
+    num_secondary: usize,
+    rows: Vec<Vec<usize>>,
+}
+
+impl DlxBuilder {
+    /// Creates a problem with `num_primary` mandatory items and
+    /// `num_secondary` optional items. Item indices run from 0: primaries
+    /// first, then secondaries.
+    pub fn new(num_primary: usize, num_secondary: usize) -> Self {
+        DlxBuilder {
+            num_primary,
+            num_secondary,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds an option covering the given items; returns its row index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an item index is out of range or repeated within the row.
+    pub fn add_row(&mut self, items: &[usize]) -> usize {
+        let total = self.num_primary + self.num_secondary;
+        let mut sorted: Vec<usize> = items.to_vec();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert_ne!(w[0], w[1], "repeated item {} in row", w[0]);
+        }
+        for &i in items {
+            assert!(i < total, "item {i} out of range ({total} items)");
+        }
+        self.rows.push(items.to_vec());
+        self.rows.len() - 1
+    }
+
+    /// Number of rows added so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Finalizes the dancing-links structure.
+    pub fn build(&self) -> Dlx {
+        Dlx::from_builder(self)
+    }
+}
+
+/// Dancing-links solver produced by [`DlxBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct Dlx {
+    // Node arrays. Nodes 0..=num_items are the root (0) and column headers
+    // (item i ↦ header i+1); data nodes follow.
+    left: Vec<usize>,
+    right: Vec<usize>,
+    up: Vec<usize>,
+    down: Vec<usize>,
+    /// Column header of each node (headers point to themselves).
+    col: Vec<usize>,
+    /// Originating row index of each data node (usize::MAX for headers).
+    row_id: Vec<usize>,
+    /// Live node count per column header.
+    size: Vec<usize>,
+    nodes_visited: u64,
+}
+
+const NO_ROW: usize = usize::MAX;
+
+impl Dlx {
+    fn from_builder(b: &DlxBuilder) -> Dlx {
+        let total_items = b.num_primary + b.num_secondary;
+        let mut d = Dlx {
+            left: Vec::new(),
+            right: Vec::new(),
+            up: Vec::new(),
+            down: Vec::new(),
+            col: Vec::new(),
+            row_id: Vec::new(),
+            size: vec![0; total_items + 1],
+            nodes_visited: 0,
+        };
+        // Root + headers, initially self-linked vertically.
+        for i in 0..=total_items {
+            d.left.push(i);
+            d.right.push(i);
+            d.up.push(i);
+            d.down.push(i);
+            d.col.push(i);
+            d.row_id.push(NO_ROW);
+        }
+        // Horizontally link root and *primary* headers only; secondary
+        // columns are never candidates for covering.
+        let mut prev = 0usize;
+        for i in 0..b.num_primary {
+            let h = i + 1;
+            d.left[h] = prev;
+            d.right[prev] = h;
+            prev = h;
+        }
+        d.right[prev] = 0;
+        d.left[0] = prev;
+
+        for (r, items) in b.rows.iter().enumerate() {
+            let mut first_in_row: Option<usize> = None;
+            for &item in items {
+                let h = item + 1;
+                let node = d.left.len();
+                // Vertical insertion above the header (i.e., at column end).
+                let above = d.up[h];
+                d.up.push(above);
+                d.down.push(h);
+                d.left.push(node);
+                d.right.push(node);
+                d.col.push(h);
+                d.row_id.push(r);
+                d.down[above] = node;
+                d.up[h] = node;
+                d.size[h] += 1;
+                // Horizontal insertion into the row's circular list.
+                if let Some(f) = first_in_row {
+                    let l = d.left[f];
+                    d.left[node] = l;
+                    d.right[node] = f;
+                    d.right[l] = node;
+                    d.left[f] = node;
+                } else {
+                    first_in_row = Some(node);
+                }
+            }
+        }
+        d
+    }
+
+    fn cover(&mut self, h: usize) {
+        self.right[self.left[h]] = self.right[h];
+        self.left[self.right[h]] = self.left[h];
+        let mut i = self.down[h];
+        while i != h {
+            let mut j = self.right[i];
+            while j != i {
+                self.up[self.down[j]] = self.up[j];
+                self.down[self.up[j]] = self.down[j];
+                self.size[self.col[j]] -= 1;
+                j = self.right[j];
+            }
+            i = self.down[i];
+        }
+    }
+
+    fn uncover(&mut self, h: usize) {
+        let mut i = self.up[h];
+        while i != h {
+            let mut j = self.left[i];
+            while j != i {
+                self.size[self.col[j]] += 1;
+                self.up[self.down[j]] = j;
+                self.down[self.up[j]] = j;
+                j = self.left[j];
+            }
+            i = self.up[i];
+        }
+        self.right[self.left[h]] = h;
+        self.left[self.right[h]] = h;
+    }
+
+    /// Chooses the uncovered primary column with the fewest options.
+    fn choose_column(&self) -> Option<usize> {
+        let mut best = None;
+        let mut best_size = usize::MAX;
+        let mut h = self.right[0];
+        while h != 0 {
+            if self.size[h] < best_size {
+                best_size = self.size[h];
+                best = Some(h);
+            }
+            h = self.right[h];
+        }
+        best
+    }
+
+    /// Depth-first search. `emit` receives each solution (row indices);
+    /// returning `false` stops the search. Returns `false` if the node
+    /// budget was exhausted before the search space was exhausted.
+    fn search(
+        &mut self,
+        partial: &mut Vec<usize>,
+        budget: &mut u64,
+        emit: &mut dyn FnMut(&[usize]) -> bool,
+        stopped: &mut bool,
+    ) {
+        if *stopped {
+            return;
+        }
+        if *budget == 0 {
+            *stopped = true;
+            return;
+        }
+        *budget -= 1;
+        self.nodes_visited += 1;
+        let Some(h) = self.choose_column() else {
+            // All primary items covered: a solution.
+            if !emit(partial) {
+                *stopped = true;
+            }
+            return;
+        };
+        if self.size[h] == 0 {
+            return; // dead end
+        }
+        self.cover(h);
+        let mut r = self.down[h];
+        while r != h {
+            partial.push(self.row_id[r]);
+            let mut j = self.right[r];
+            while j != r {
+                self.cover(self.col[j]);
+                j = self.right[j];
+            }
+            self.search(partial, budget, emit, stopped);
+            let mut j = self.left[r];
+            while j != r {
+                self.uncover(self.col[j]);
+                j = self.left[j];
+            }
+            partial.pop();
+            if *stopped {
+                break;
+            }
+            r = self.down[r];
+        }
+        self.uncover(h);
+    }
+
+    /// Finds one exact cover, or `None` if none exists.
+    pub fn first_solution(&mut self) -> Option<Vec<usize>> {
+        let mut found = None;
+        self.run(u64::MAX, |sol| {
+            found = Some(sol.to_vec());
+            false
+        });
+        found
+    }
+
+    /// Enumerates up to `limit` solutions.
+    pub fn solutions(&mut self, limit: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        self.run(u64::MAX, |sol| {
+            out.push(sol.to_vec());
+            out.len() < limit
+        });
+        out
+    }
+
+    /// Counts all solutions (beware: can be exponential).
+    pub fn count_solutions(&mut self) -> u64 {
+        let mut n = 0u64;
+        self.run(u64::MAX, |_| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// Runs the search with a node budget, invoking `emit` per solution.
+    /// Returns `true` if the search space was fully explored.
+    pub fn run<F: FnMut(&[usize]) -> bool>(&mut self, node_budget: u64, mut emit: F) -> bool {
+        let mut partial = Vec::new();
+        let mut budget = node_budget;
+        let mut stopped = false;
+        self.search(&mut partial, &mut budget, &mut emit, &mut stopped);
+        !stopped
+    }
+
+    /// Total search-tree nodes visited over this solver's lifetime.
+    pub fn nodes_visited(&self) -> u64 {
+        self.nodes_visited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knuth_paper_example() {
+        // The example from Knuth's "Dancing Links" paper (7 items).
+        let mut b = DlxBuilder::new(7, 0);
+        b.add_row(&[2, 4, 5]); // row 0
+        b.add_row(&[0, 3, 6]); // row 1
+        b.add_row(&[1, 2, 5]); // row 2
+        b.add_row(&[0, 3]); //    row 3
+        b.add_row(&[1, 6]); //    row 4
+        b.add_row(&[3, 4, 6]); // row 5
+        let mut d = b.build();
+        let mut sol = d.first_solution().unwrap();
+        sol.sort_unstable();
+        assert_eq!(sol, vec![0, 3, 4]);
+        assert_eq!(d.clone().count_solutions(), 1);
+    }
+
+    #[test]
+    fn no_solution() {
+        let mut b = DlxBuilder::new(3, 0);
+        b.add_row(&[0, 1]);
+        b.add_row(&[1, 2]);
+        let mut d = b.build();
+        assert_eq!(d.first_solution(), None);
+        assert_eq!(d.count_solutions(), 0);
+    }
+
+    #[test]
+    fn empty_problem_has_empty_solution() {
+        let b = DlxBuilder::new(0, 0);
+        let mut d = b.build();
+        assert_eq!(d.first_solution(), Some(vec![]));
+    }
+
+    #[test]
+    fn uncoverable_item_means_unsat() {
+        let mut b = DlxBuilder::new(2, 0);
+        b.add_row(&[0]);
+        let mut d = b.build();
+        assert_eq!(d.first_solution(), None);
+    }
+
+    #[test]
+    fn multiple_solutions_enumerated() {
+        // Partition {0,1} by singletons or the pair: 2 covers.
+        let mut b = DlxBuilder::new(2, 0);
+        b.add_row(&[0]);
+        b.add_row(&[1]);
+        b.add_row(&[0, 1]);
+        let mut d = b.build();
+        assert_eq!(d.count_solutions(), 2);
+        let sols = b.build().solutions(10);
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn solutions_limit_respected() {
+        let mut b = DlxBuilder::new(1, 0);
+        for _ in 0..5 {
+            b.add_row(&[0]);
+        }
+        let mut d = b.build();
+        assert_eq!(d.solutions(3).len(), 3);
+        assert_eq!(b.build().count_solutions(), 5);
+    }
+
+    #[test]
+    fn secondary_items_are_optional() {
+        // Item 1 is secondary: covering it is allowed but not required.
+        let mut b = DlxBuilder::new(1, 1);
+        b.add_row(&[0]); // leaves secondary uncovered
+        let mut d = b.build();
+        assert_eq!(d.count_solutions(), 1);
+
+        // But two rows sharing a secondary item still conflict.
+        let mut b2 = DlxBuilder::new(2, 1);
+        b2.add_row(&[0, 2]);
+        b2.add_row(&[1, 2]);
+        b2.add_row(&[1]);
+        let mut d2 = b2.build();
+        let sols = d2.solutions(10);
+        assert_eq!(sols.len(), 1, "rows 0 and 1 clash on the secondary item");
+        let mut s = sols[0].clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 2]);
+    }
+
+    #[test]
+    fn node_budget_stops_search() {
+        let mut b = DlxBuilder::new(8, 0);
+        // Many interchangeable rows => big search tree.
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    b.add_row(&[i, j]);
+                }
+            }
+        }
+        let mut d = b.build();
+        let complete = d.run(2, |_| true);
+        assert!(!complete, "tiny budget must interrupt the search");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_item_index_panics() {
+        let mut b = DlxBuilder::new(2, 0);
+        b.add_row(&[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated item")]
+    fn repeated_item_panics() {
+        let mut b = DlxBuilder::new(2, 0);
+        b.add_row(&[1, 1]);
+    }
+
+    #[test]
+    fn latin_square_2x2_count() {
+        // Exact cover formulation of 2x2 Latin squares: cells (r,c) with
+        // symbol s. Items: cell(r,c), row-symbol(r,s), col-symbol(c,s).
+        let cell = |r: usize, c: usize| r * 2 + c;
+        let rowsym = |r: usize, s: usize| 4 + r * 2 + s;
+        let colsym = |c: usize, s: usize| 8 + c * 2 + s;
+        let mut b = DlxBuilder::new(12, 0);
+        for r in 0..2 {
+            for c in 0..2 {
+                for s in 0..2 {
+                    b.add_row(&[cell(r, c), rowsym(r, s), colsym(c, s)]);
+                }
+            }
+        }
+        let mut d = b.build();
+        assert_eq!(d.count_solutions(), 2, "there are exactly two 2x2 Latin squares");
+    }
+}

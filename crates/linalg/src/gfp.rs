@@ -1,0 +1,167 @@
+//! Rank of binary matrices over prime fields GF(p).
+//!
+//! For any prime `p`, `rank_{GF(p)}(M) ≤ rank_ℚ(M)`: a nonzero minor mod `p`
+//! is nonzero over ℚ. The paper uses `rank_ℝ(M) ≤ r_B(M)` (its Eq. 3) as the
+//! termination bound of Algorithm 1, so any GF(p) rank is a *sound* stand-in —
+//! it can only make the exact search do extra (UNSAT) queries, never accept a
+//! suboptimal partition as optimal. Taking the maximum over several large
+//! primes makes the bound equal to `rank_ℚ` except with negligible
+//! probability.
+
+use bitmatrix::BitMatrix;
+
+/// Three large primes below 2⁶². Entries stay `< p` and products fit `u128`.
+pub const PRIMES_61: [u64; 3] = [
+    2_305_843_009_213_693_951, // 2^61 - 1 (Mersenne)
+    4_611_686_018_427_387_847, // largest prime < 2^62
+    2_305_843_009_213_693_669, // another prime just below 2^61
+];
+
+#[inline]
+fn mod_mul(a: u64, b: u64, p: u64) -> u64 {
+    ((a as u128 * b as u128) % p as u128) as u64
+}
+
+#[inline]
+fn mod_sub(a: u64, b: u64, p: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + p - b
+    }
+}
+
+/// Modular exponentiation `base^exp mod p`.
+fn mod_pow(mut base: u64, mut exp: u64, p: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, p);
+        }
+        base = mod_mul(base, base, p);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat's little theorem (`p` must be prime).
+fn mod_inv(a: u64, p: u64) -> u64 {
+    debug_assert!(!a.is_multiple_of(p), "zero has no inverse");
+    mod_pow(a, p - 2, p)
+}
+
+/// Computes the rank of `m` over GF(`p`) by Gaussian elimination.
+///
+/// # Panics
+///
+/// Panics if `p < 2` (not a field). Correctness requires `p` prime; the
+/// built-in [`PRIMES_61`] are prime.
+#[allow(clippy::needless_range_loop)] // in-place elimination indexes two rows at once
+pub fn rank_gfp(m: &BitMatrix, p: u64) -> usize {
+    assert!(p >= 2, "modulus must be at least 2");
+    let (nrows, ncols) = m.shape();
+    // Dense u64 copy of the 0/1 matrix.
+    let mut a: Vec<Vec<u64>> = (0..nrows)
+        .map(|i| (0..ncols).map(|j| u64::from(m.get(i, j))).collect())
+        .collect();
+    let mut rank = 0usize;
+    let mut pivot_row = 0usize;
+    for col in 0..ncols {
+        if pivot_row >= nrows {
+            break;
+        }
+        // Find a row with a nonzero entry in this column.
+        let Some(sel) = (pivot_row..nrows).find(|&r| !a[r][col].is_multiple_of(p)) else {
+            continue;
+        };
+        a.swap(pivot_row, sel);
+        let inv = mod_inv(a[pivot_row][col] % p, p);
+        for j in col..ncols {
+            a[pivot_row][j] = mod_mul(a[pivot_row][j] % p, inv, p);
+        }
+        for r in 0..nrows {
+            if r != pivot_row && !a[r][col].is_multiple_of(p) {
+                let factor = a[r][col] % p;
+                for j in col..ncols {
+                    let sub = mod_mul(factor, a[pivot_row][j], p);
+                    a[r][j] = mod_sub(a[r][j] % p, sub, p);
+                }
+            }
+        }
+        rank += 1;
+        pivot_row += 1;
+    }
+    rank
+}
+
+/// Rank over GF(p) maximised over the built-in [`PRIMES_61`].
+///
+/// Always a lower bound on `rank_ℚ(m)`; equal to it unless `rank_ℚ` drops
+/// modulo all three primes simultaneously, which for 0/1 matrices of the
+/// sizes used here has probability far below 2⁻¹⁰⁰.
+pub fn rank_gfp_max(m: &BitMatrix) -> usize {
+    PRIMES_61.iter().map(|&p| rank_gfp(m, p)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_full_rank() {
+        let m = BitMatrix::identity(8);
+        for &p in &PRIMES_61 {
+            assert_eq!(rank_gfp(&m, p), 8);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        assert_eq!(rank_gfp(&BitMatrix::zeros(4, 6), PRIMES_61[0]), 0);
+    }
+
+    #[test]
+    fn all_ones_has_rank_one() {
+        assert_eq!(rank_gfp(&BitMatrix::ones(5, 7), PRIMES_61[0]), 1);
+    }
+
+    #[test]
+    fn duplicate_rows_do_not_increase_rank() {
+        let m: BitMatrix = "101\n101\n010".parse().unwrap();
+        assert_eq!(rank_gfp(&m, PRIMES_61[0]), 2);
+    }
+
+    #[test]
+    fn cyclic_3x3_has_rank_3_over_large_p_but_2_over_gf2() {
+        // [[0,1,1],[1,0,1],[1,1,0]] has determinant 2: rank 3 over Q and any
+        // odd prime, rank 2 over GF(2).
+        let m: BitMatrix = "011\n101\n110".parse().unwrap();
+        assert_eq!(rank_gfp(&m, PRIMES_61[0]), 3);
+        assert_eq!(rank_gfp(&m, 2), 2);
+        assert_eq!(rank_gfp_max(&m), 3);
+    }
+
+    #[test]
+    fn rank_bounded_by_dimensions() {
+        let m: BitMatrix = "110011\n001100".parse().unwrap();
+        assert!(rank_gfp(&m, PRIMES_61[1]) <= 2);
+    }
+
+    #[test]
+    fn wide_and_tall_agree_with_transpose() {
+        let m: BitMatrix = "1101\n0110\n1011".parse().unwrap();
+        for &p in &PRIMES_61 {
+            assert_eq!(rank_gfp(&m, p), rank_gfp(&m.transpose(), p));
+        }
+    }
+
+    #[test]
+    fn mod_pow_and_inv() {
+        let p = PRIMES_61[0];
+        for a in [1u64, 2, 3, 12345, p - 1] {
+            assert_eq!(mod_mul(a, mod_inv(a, p), p), 1);
+        }
+        assert_eq!(mod_pow(2, 10, 1_000_003), 1024);
+    }
+}

@@ -1,0 +1,134 @@
+//! The 1D-control (AOD) model.
+//!
+//! A 2D acousto-optic deflector drives one RF tone per selected row and per
+//! selected column; light lands on the *crossings* — a combinatorial
+//! rectangle (paper Fig. 1a). Specifying a configuration therefore costs
+//! `|rows| + |cols|` control bits instead of `|rows| · |cols|`, the
+//! quadratic control reduction the paper's introduction highlights.
+
+use bitmatrix::{BitMatrix, BitVec};
+use ebmf::Rectangle;
+
+/// One AOD configuration: the active row and column tones.
+///
+/// # Examples
+///
+/// ```
+/// use bitmatrix::BitVec;
+/// use rect_addr_qaddress::AodConfig;
+///
+/// let cfg = AodConfig::new(
+///     BitVec::from_indices(4, [1, 2]),
+///     BitVec::from_indices(4, [0, 3]),
+/// );
+/// assert_eq!(cfg.num_addressed(), 4);  // 2 × 2 crossings
+/// assert_eq!(cfg.control_bits(), 8);   // 4 + 4 one-bit row/col switches
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AodConfig {
+    row_tones: BitVec,
+    col_tones: BitVec,
+}
+
+impl AodConfig {
+    /// Creates a configuration from row/column tone masks.
+    pub fn new(row_tones: BitVec, col_tones: BitVec) -> Self {
+        AodConfig { row_tones, col_tones }
+    }
+
+    /// The configuration realizing a rectangle.
+    pub fn from_rectangle(r: &Rectangle) -> Self {
+        AodConfig {
+            row_tones: r.rows().clone(),
+            col_tones: r.cols().clone(),
+        }
+    }
+
+    /// The rectangle of sites addressed by this configuration.
+    pub fn rectangle(&self) -> Rectangle {
+        Rectangle::new(self.row_tones.clone(), self.col_tones.clone())
+    }
+
+    /// Active row tones.
+    pub fn row_tones(&self) -> &BitVec {
+        &self.row_tones
+    }
+
+    /// Active column tones.
+    pub fn col_tones(&self) -> &BitVec {
+        &self.col_tones
+    }
+
+    /// Number of addressed sites (crossings).
+    pub fn num_addressed(&self) -> usize {
+        self.row_tones.count_ones() * self.col_tones.count_ones()
+    }
+
+    /// Control-bit cost of specifying this configuration: one bit per row
+    /// plus one per column (`|X| + |Y|`, paper §I).
+    pub fn control_bits(&self) -> usize {
+        self.row_tones.len() + self.col_tones.len()
+    }
+
+    /// Number of active RF tones (`|X'| + |Y'|`).
+    pub fn active_tones(&self) -> usize {
+        self.row_tones.count_ones() + self.col_tones.count_ones()
+    }
+
+    /// The addressed sites as a matrix mask.
+    pub fn site_mask(&self) -> BitMatrix {
+        BitMatrix::outer(&self.row_tones, &self.col_tones)
+    }
+
+    /// Whether site `(i, j)` is illuminated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices exceed the tone-mask lengths.
+    pub fn addresses(&self, i: usize, j: usize) -> bool {
+        self.row_tones.get(i) && self.col_tones.get(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_roundtrip() {
+        let r = Rectangle::from_cells(4, 4, [(0, 1), (2, 3)]);
+        let cfg = AodConfig::from_rectangle(&r);
+        assert_eq!(cfg.rectangle(), r);
+        assert_eq!(cfg.num_addressed(), 4);
+    }
+
+    #[test]
+    fn site_mask_matches_addresses() {
+        let cfg = AodConfig::new(
+            BitVec::from_indices(3, [0, 2]),
+            BitVec::from_indices(3, [1]),
+        );
+        let mask = cfg.site_mask();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(mask.get(i, j), cfg.addresses(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn control_cost_is_linear_not_quadratic() {
+        // A 10×10 block: 100 sites addressed with 20 control bits.
+        let cfg = AodConfig::new(BitVec::ones_vec(10), BitVec::ones_vec(10));
+        assert_eq!(cfg.num_addressed(), 100);
+        assert_eq!(cfg.control_bits(), 20);
+        assert_eq!(cfg.active_tones(), 20);
+    }
+
+    #[test]
+    fn empty_configuration_addresses_nothing() {
+        let cfg = AodConfig::new(BitVec::zeros(5), BitVec::ones_vec(5));
+        assert_eq!(cfg.num_addressed(), 0);
+        assert!(cfg.site_mask().is_zero());
+    }
+}

@@ -1,0 +1,151 @@
+//! The 2D qubit array model.
+
+use bitmatrix::BitMatrix;
+
+/// A 2D array of qubit sites with optional vacancies (paper Fig. 1a: a
+/// neutral-atom tweezer array; §VI: sites without atoms are don't-cares).
+///
+/// # Examples
+///
+/// ```
+/// use rect_addr_qaddress::QubitArray;
+///
+/// let array = QubitArray::new(4, 5);
+/// assert_eq!(array.num_sites(), 20);
+/// assert!(array.site_occupied(0, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QubitArray {
+    nrows: usize,
+    ncols: usize,
+    /// 1 where the site is vacant (no atom).
+    vacancies: BitMatrix,
+}
+
+impl QubitArray {
+    /// A fully occupied `rows × cols` array.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        QubitArray {
+            nrows,
+            ncols,
+            vacancies: BitMatrix::zeros(nrows, ncols),
+        }
+    }
+
+    /// An array with the given vacancy mask (1 = no atom at the site).
+    pub fn with_vacancies(vacancies: BitMatrix) -> Self {
+        QubitArray {
+            nrows: vacancies.nrows(),
+            ncols: vacancies.ncols(),
+            vacancies,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Total number of sites (occupied or vacant).
+    pub fn num_sites(&self) -> usize {
+        self.nrows * self.ncols
+    }
+
+    /// Number of occupied sites (atoms).
+    pub fn num_qubits(&self) -> usize {
+        self.num_sites() - self.vacancies.count_ones()
+    }
+
+    /// Whether site `(i, j)` holds an atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn site_occupied(&self, i: usize, j: usize) -> bool {
+        !self.vacancies.get(i, j)
+    }
+
+    /// The vacancy mask (1 = vacant).
+    pub fn vacancies(&self) -> &BitMatrix {
+        &self.vacancies
+    }
+
+    /// Checks that `pattern` only targets occupied sites.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending site `(i, j)` that is vacant (or an
+    /// out-of-shape error as `None` shape marker is impossible — shape
+    /// mismatches panic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` shape differs from the array shape.
+    pub fn check_pattern(&self, pattern: &BitMatrix) -> Result<(), (usize, usize)> {
+        assert_eq!(
+            pattern.shape(),
+            self.shape(),
+            "pattern shape {:?} does not match array shape {:?}",
+            pattern.shape(),
+            self.shape()
+        );
+        match pattern.and(&self.vacancies).ones_positions().first() {
+            Some(&cell) => Err(cell),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_array_counts() {
+        let a = QubitArray::new(3, 4);
+        assert_eq!(a.shape(), (3, 4));
+        assert_eq!(a.num_sites(), 12);
+        assert_eq!(a.num_qubits(), 12);
+        assert!(a.site_occupied(2, 3));
+    }
+
+    #[test]
+    fn vacancies_reduce_qubits() {
+        let mask: BitMatrix = "010\n000".parse().unwrap();
+        let a = QubitArray::with_vacancies(mask);
+        assert_eq!(a.num_qubits(), 5);
+        assert!(!a.site_occupied(0, 1));
+        assert!(a.site_occupied(0, 0));
+    }
+
+    #[test]
+    fn check_pattern_accepts_occupied_targets() {
+        let a = QubitArray::new(2, 2);
+        let p: BitMatrix = "10\n01".parse().unwrap();
+        assert_eq!(a.check_pattern(&p), Ok(()));
+    }
+
+    #[test]
+    fn check_pattern_rejects_vacant_target() {
+        let mask: BitMatrix = "01\n00".parse().unwrap();
+        let a = QubitArray::with_vacancies(mask);
+        let p: BitMatrix = "01\n00".parse().unwrap();
+        assert_eq!(a.check_pattern(&p), Err((0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match array shape")]
+    fn check_pattern_shape_mismatch_panics() {
+        let _ = QubitArray::new(2, 2).check_pattern(&BitMatrix::zeros(3, 3));
+    }
+}

@@ -1,0 +1,150 @@
+//! 1D memory-block layouts for qLDPC-style codes (paper §V, Fig. 5b).
+//!
+//! Quantum LDPC codes store many logical qubits per block; blocks sit in a
+//! 1D line and serve as memory. A round of single-qubit logical operations
+//! becomes a binary matrix: one row per block, one column per in-block
+//! offset. The paper conjectures that *row-by-row addressing is usually
+//! optimal* here, because wide random matrices are almost surely full
+//! rank — this module provides the layout model and the experiment that
+//! checks the conjecture (regenerating the Fig. 5b discussion and feeding
+//! the `fig5b_conjecture` benchmark binary).
+
+use bitmatrix::{random_matrix, BitMatrix};
+use ebmf::trivial_partition;
+use linalg::real_rank;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A 1D arrangement of logical memory blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Number of blocks in the line.
+    pub num_blocks: usize,
+    /// Logical qubits per block.
+    pub block_size: usize,
+}
+
+impl BlockLayout {
+    /// Creates a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(num_blocks: usize, block_size: usize) -> Self {
+        assert!(num_blocks > 0 && block_size > 0, "layout must be nonempty");
+        BlockLayout { num_blocks, block_size }
+    }
+
+    /// The pattern matrix of a round of operations: entry `(b, q)` is 1 when
+    /// logical qubit `q` of block `b` receives the operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` shape differs from `(num_blocks, block_size)`.
+    pub fn pattern(&self, ops: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            ops.shape(),
+            (self.num_blocks, self.block_size),
+            "ops shape mismatch"
+        );
+        ops.clone()
+    }
+
+    /// Depth of plain row-by-row addressing: one shot per distinct nonzero
+    /// block pattern.
+    pub fn row_by_row_depth(&self, ops: &BitMatrix) -> usize {
+        let (dedup, _) = self.pattern(ops).dedup_rows();
+        dedup.nrows()
+    }
+}
+
+/// Whether row-by-row addressing is *provably optimal* for the pattern:
+/// true when the distinct-nonzero-row count already matches the real-rank
+/// lower bound (Eq. 3), so no rectangle partition can do better.
+pub fn row_addressing_optimal(ops: &BitMatrix) -> bool {
+    let (dedup, _) = ops.dedup_rows();
+    let depth = dedup.nrows();
+    real_rank(ops).rank == depth
+}
+
+/// Empirical frequency (over `samples` random patterns at `occupancy`) of
+/// row-by-row addressing being provably optimal — the paper's §V evidence
+/// that wide matrices (10×20, 10×30) are easier than square ones.
+pub fn row_optimality_frequency(
+    layout: BlockLayout,
+    occupancy: f64,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let ops = random_matrix(layout.num_blocks, layout.block_size, occupancy, &mut rng);
+        if row_addressing_optimal(&ops) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples.max(1) as f64
+}
+
+/// Depth saved by rectangular addressing relative to row-by-row on a
+/// specific pattern: `(row_by_row_depth, trivial_partition_depth)`.
+pub fn depth_comparison(layout: BlockLayout, ops: &BitMatrix) -> (usize, usize) {
+    (
+        layout.row_by_row_depth(ops),
+        trivial_partition(ops).len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_by_row_counts_distinct_rows() {
+        let layout = BlockLayout::new(4, 3);
+        let ops: BitMatrix = "101\n101\n000\n011".parse().unwrap();
+        assert_eq!(layout.row_by_row_depth(&ops), 2);
+    }
+
+    #[test]
+    fn full_rank_pattern_is_row_optimal() {
+        let ops = BitMatrix::identity(4);
+        assert!(row_addressing_optimal(&ops));
+    }
+
+    #[test]
+    fn rank_deficient_pattern_is_not_proved_row_optimal() {
+        // Rows {110, 011, 101} have rank 3 = rows: optimal. Take instead
+        // rows {111, 110, 001}: rank 2 < 3 distinct rows → not proved.
+        let ops: BitMatrix = "111\n110\n001".parse().unwrap();
+        assert!(!row_addressing_optimal(&ops));
+    }
+
+    #[test]
+    fn wider_blocks_are_more_often_row_optimal() {
+        // The paper's observation: at 50% occupancy, 10×30 beats 10×10.
+        let narrow = row_optimality_frequency(BlockLayout::new(10, 10), 0.5, 40, 1);
+        let wide = row_optimality_frequency(BlockLayout::new(10, 30), 0.5, 40, 1);
+        assert!(
+            wide >= narrow,
+            "wide {wide} should be at least narrow {narrow}"
+        );
+        assert!(wide > 0.9, "10×30 at 50% is almost surely full rank");
+    }
+
+    #[test]
+    fn depth_comparison_orders() {
+        let layout = BlockLayout::new(3, 4);
+        let ops: BitMatrix = "1100\n1100\n0011".parse().unwrap();
+        let (row, trivial) = depth_comparison(layout, &ops);
+        assert_eq!(row, 2);
+        assert!(trivial <= row);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_layout_rejected() {
+        BlockLayout::new(0, 5);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fault-tolerant quantum computing: the two-level tensor structure
+//! (paper §V, Fig. 5a).
+//!
+//! A logical circuit layer asks for an operation `U` on a 2D pattern `M̂` of
+//! surface-code patches; inside each patch, `U` corresponds to a 2D pattern
+//! `M` of physical gates on the patch's data qubits. The full physical
+//! pattern is `M̂ ⊗ M`, and a rectangle partition can be obtained as the
+//! tensor product of per-level partitions — optimal whenever the patch
+//! pattern is all-ones (transversal gates), since then
+//! `φ(M) = r_B(M) = 1` closes the Eq. 5 sandwich.
+
+use bitmatrix::BitMatrix;
+use ebmf::{row_packing, sap, tensor_partition, PackingConfig, Partition, SapConfig};
+
+use crate::{AddressingSchedule, Pulse};
+
+/// A surface-code patch: a `d × d` grid of data qubits (check qubits are
+/// not modelled — the paper's Fig. 5a likewise shows data qubits only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurfaceCodePatch {
+    /// Code distance (grid side).
+    pub distance: usize,
+}
+
+impl SurfaceCodePatch {
+    /// Creates a patch of the given code distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance == 0`.
+    pub fn new(distance: usize) -> Self {
+        assert!(distance > 0, "code distance must be positive");
+        SurfaceCodePatch { distance }
+    }
+
+    /// The physical pattern of a transversal single-qubit operation: every
+    /// data qubit in the patch is addressed (all-ones `d × d`).
+    pub fn transversal_pattern(&self) -> BitMatrix {
+        BitMatrix::ones(self.distance, self.distance)
+    }
+
+    /// A partial-patch pattern (e.g. a gauge-fixing or boundary operation):
+    /// the first `rows` rows of the patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > distance`.
+    pub fn boundary_pattern(&self, rows: usize) -> BitMatrix {
+        assert!(rows <= self.distance, "boundary exceeds patch");
+        BitMatrix::from_fn(self.distance, self.distance, |i, _| i < rows)
+    }
+}
+
+/// Parses a logical-level operation grid like the paper's Fig. 5a
+/// (`U` = apply the operation, `I`/`.` = identity).
+///
+/// # Errors
+///
+/// Returns the offending character if it is not `U`, `I`, `.` or
+/// whitespace, or a row-length mismatch message.
+pub fn parse_logical_pattern(text: &str) -> Result<BitMatrix, String> {
+    let mut rows: Vec<Vec<bool>> = Vec::new();
+    for line in text.lines() {
+        let mut row = Vec::new();
+        for c in line.chars() {
+            match c {
+                'U' | 'u' | '1' => row.push(true),
+                'I' | 'i' | '.' | '0' => row.push(false),
+                c if c.is_whitespace() => {}
+                c => return Err(format!("unexpected character {c:?} in logical pattern")),
+            }
+        }
+        if !row.is_empty() {
+            rows.push(row);
+        }
+    }
+    let ncols = rows.first().map_or(0, Vec::len);
+    if rows.iter().any(|r| r.len() != ncols) {
+        return Err("uneven rows in logical pattern".to_string());
+    }
+    Ok(BitMatrix::from_fn(rows.len(), ncols, |i, j| rows[i][j]))
+}
+
+/// Result of the two-level compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoLevelSchedule {
+    /// Partition of the logical pattern `M̂`.
+    pub logical_partition: Partition,
+    /// Partition of the physical patch pattern `M`.
+    pub physical_partition: Partition,
+    /// The composed partition of `M̂ ⊗ M`.
+    pub composed: Partition,
+    /// The executable schedule (one shot per composed rectangle).
+    pub schedule: AddressingSchedule,
+}
+
+/// Compiles a logical pattern over patches into a physical schedule via the
+/// tensor product of per-level partitions (paper §V): solve the small
+/// levels, multiply the solutions.
+///
+/// `exact` solves both levels to optimality with SAP (use for paper-sized
+/// patterns); otherwise row packing with 100 trials is used per level.
+pub fn two_level_schedule(
+    logical: &BitMatrix,
+    patch: &BitMatrix,
+    pulse: Pulse,
+    exact: bool,
+) -> TwoLevelSchedule {
+    let solve = |m: &BitMatrix| -> Partition {
+        if exact {
+            sap(m, &SapConfig::default()).partition
+        } else {
+            row_packing(m, &PackingConfig::with_trials(100))
+        }
+    };
+    let logical_partition = solve(logical);
+    let physical_partition = solve(patch);
+    let composed = tensor_partition(&logical_partition, &physical_partition);
+    let schedule = AddressingSchedule::from_partition(&composed, pulse);
+    TwoLevelSchedule {
+        logical_partition,
+        physical_partition,
+        composed,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QubitArray;
+
+    /// The logical grid of paper Fig. 5a.
+    const FIG5A: &str = "UIUUII\nIUIIUU\nUIUIUI\nIUIUIU\nUUUIII\nIIIUUU";
+
+    #[test]
+    fn parse_fig5a() {
+        let m = parse_logical_pattern(FIG5A).unwrap();
+        assert_eq!(m.shape(), (6, 6));
+        // Fig. 5a's logical pattern is exactly the Fig. 1b matrix.
+        let fig1b: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        assert_eq!(m, fig1b);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_logical_pattern("UX").is_err());
+        assert!(parse_logical_pattern("UU\nU").is_err());
+    }
+
+    #[test]
+    fn transversal_patch_keeps_logical_depth() {
+        // All-ones patch: r_B(patch) = 1, so the composed depth equals the
+        // logical depth — and is optimal (paper §V).
+        let logical = parse_logical_pattern(FIG5A).unwrap();
+        let patch = SurfaceCodePatch::new(3).transversal_pattern();
+        let out = two_level_schedule(&logical, &patch, Pulse::X, true);
+        assert_eq!(out.physical_partition.len(), 1);
+        assert_eq!(out.composed.len(), out.logical_partition.len());
+        assert_eq!(out.schedule.depth(), 5);
+
+        // The composed partition is a valid EBMF of the tensor pattern.
+        let full = logical.kron(&patch);
+        assert!(out.composed.validate(&full).is_ok());
+        let array = QubitArray::new(full.nrows(), full.ncols());
+        assert_eq!(out.schedule.verify(&array, &full), Ok(()));
+    }
+
+    #[test]
+    fn boundary_patch_multiplies_depths() {
+        let logical: BitMatrix = "10\n01".parse().unwrap();
+        let patch = SurfaceCodePatch::new(3).boundary_pattern(2);
+        let out = two_level_schedule(&logical, &patch, Pulse::Rz(0.25), true);
+        assert_eq!(out.logical_partition.len(), 2);
+        assert_eq!(out.physical_partition.len(), 1, "a row band is one rectangle");
+        assert_eq!(out.composed.len(), 2);
+        assert!(out.composed.validate(&logical.kron(&patch)).is_ok());
+    }
+
+    #[test]
+    fn heuristic_mode_also_valid() {
+        let logical = parse_logical_pattern(FIG5A).unwrap();
+        let patch = SurfaceCodePatch::new(2).transversal_pattern();
+        let out = two_level_schedule(&logical, &patch, Pulse::H, false);
+        assert!(out.composed.validate(&logical.kron(&patch)).is_ok());
+        assert!(out.schedule.depth() <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_distance_rejected() {
+        SurfaceCodePatch::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds patch")]
+    fn oversized_boundary_rejected() {
+        SurfaceCodePatch::new(3).boundary_pattern(4);
+    }
+}

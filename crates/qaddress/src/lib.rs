@@ -1,0 +1,91 @@
+//! Qubit-array addressing: the hardware-facing layer of the `rect-addr`
+//! workspace.
+//!
+//! Where `rect-addr-ebmf` solves the combinatorial problem (how few
+//! rectangles partition a pattern), this crate speaks the language of the
+//! experiment the paper models (Bluvstein et al.'s reconfigurable atom
+//! arrays): qubit sites and vacancies ([`QubitArray`]), AOD row/column
+//! tones ([`AodConfig`]), executable shot sequences
+//! ([`AddressingSchedule`], [`compile`]), the fault-tolerant two-level
+//! structure of §V ([`two_level_schedule`]), and the 1D memory-block layout
+//! conjecture of Fig. 5b ([`row_optimality_frequency`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use bitmatrix::BitMatrix;
+//! use rect_addr_qaddress::{compile, Pulse, QubitArray, Strategy};
+//!
+//! let array = QubitArray::new(6, 6);
+//! let pattern: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111".parse()?;
+//! let schedule = compile(&array, &pattern, Strategy::Exact, Pulse::Rz(0.31)).unwrap();
+//! assert_eq!(schedule.depth(), 5); // paper Fig. 1b: five shots, provably minimal
+//! # Ok::<(), bitmatrix::ParseMatrixError>(())
+//! ```
+
+mod aod;
+mod array;
+mod blocks;
+mod ftqc;
+pub mod patterns;
+mod schedule;
+
+pub use aod::AodConfig;
+pub use array::QubitArray;
+pub use blocks::{
+    depth_comparison, row_addressing_optimal, row_optimality_frequency, BlockLayout,
+};
+pub use ftqc::{
+    parse_logical_pattern, two_level_schedule, SurfaceCodePatch, TwoLevelSchedule,
+};
+pub use schedule::{
+    compile, AddressingSchedule, Pulse, ScheduleError, Shot, Strategy,
+};
+
+#[cfg(test)]
+mod proptests {
+    use super::{compile, Pulse, QubitArray, Strategy as Strat};
+    use bitmatrix::BitMatrix;
+    use proptest::prelude::*;
+
+    fn arb_pattern() -> impl Strategy<Value = BitMatrix> {
+        (1usize..8, 1usize..8).prop_flat_map(|(m, n)| {
+            proptest::collection::vec(any::<bool>(), m * n)
+                .prop_map(move |bits| BitMatrix::from_fn(m, n, |i, j| bits[i * n + j]))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn compiled_schedules_always_verify(m in arb_pattern()) {
+            let array = QubitArray::new(m.nrows(), m.ncols());
+            for strat in [Strat::Individual, Strat::Trivial, Strat::Packing(3)] {
+                let s = compile(&array, &m, strat, Pulse::X).unwrap();
+                prop_assert_eq!(s.verify(&array, &m), Ok(()));
+            }
+        }
+
+        #[test]
+        fn packing_depth_between_bounds(m in arb_pattern()) {
+            let array = QubitArray::new(m.nrows(), m.ncols());
+            let packed = compile(&array, &m, Strat::Packing(3), Pulse::X).unwrap();
+            let trivial = compile(&array, &m, Strat::Trivial, Pulse::X).unwrap();
+            let individual = compile(&array, &m, Strat::Individual, Pulse::X).unwrap();
+            prop_assert!(packed.depth() <= trivial.depth());
+            prop_assert!(trivial.depth() <= individual.depth().max(1).max(trivial.depth()));
+            prop_assert!(packed.depth() <= individual.depth().max(packed.depth()));
+        }
+
+        #[test]
+        fn vacancy_compilation_verifies(m in arb_pattern()) {
+            // Make every 0-cell on odd diagonals a vacancy; pattern stays legal.
+            let vac = BitMatrix::from_fn(m.nrows(), m.ncols(),
+                |i, j| !m.get(i, j) && (i + j) % 2 == 1);
+            let array = QubitArray::with_vacancies(vac);
+            let s = compile(&array, &m, Strat::Packing(3), Pulse::Rz(0.1)).unwrap();
+            prop_assert_eq!(s.verify(&array, &m), Ok(()));
+        }
+    }
+}

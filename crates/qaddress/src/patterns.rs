@@ -1,0 +1,126 @@
+//! A library of realistic addressing patterns.
+//!
+//! The paper's introduction motivates rectangular addressing with the
+//! workloads of current atom-array experiments (Bluvstein et al.): global
+//! single-qubit layers, sublattice (checkerboard) operations, stripe
+//! patterns for staggered readout, and block-structured logical layouts.
+//! These generators provide named instances of those workloads for
+//! examples, tests and benchmarks.
+
+use bitmatrix::BitMatrix;
+
+/// All qubits — one shot, the best case for rectangular addressing.
+pub fn full(rows: usize, cols: usize) -> BitMatrix {
+    BitMatrix::ones(rows, cols)
+}
+
+/// The checkerboard sublattice (`(i+j) % 2 == parity`) used for
+/// alternating-sublattice gates. Despite looking scattered, its binary
+/// rank is only 2: (even rows × even cols) ⊔ (odd rows × odd cols).
+pub fn checkerboard(rows: usize, cols: usize, parity: usize) -> BitMatrix {
+    BitMatrix::from_fn(rows, cols, |i, j| (i + j) % 2 == parity % 2)
+}
+
+/// Horizontal stripes of the given period: rows `i` with
+/// `i % period == phase` are fully addressed. One rectangle no matter the
+/// size — rectangular addressing's ideal workload.
+///
+/// # Panics
+///
+/// Panics if `period == 0`.
+pub fn stripes(rows: usize, cols: usize, period: usize, phase: usize) -> BitMatrix {
+    assert!(period > 0, "period must be positive");
+    BitMatrix::from_fn(rows, cols, |i, _| i % period == phase % period)
+}
+
+/// The boundary frame of the array (readout / edge-qubit operations).
+pub fn border(rows: usize, cols: usize) -> BitMatrix {
+    BitMatrix::from_fn(rows, cols, |i, j| {
+        i == 0 || j == 0 || i + 1 == rows || j + 1 == cols
+    })
+}
+
+/// Block-diagonal pattern: `blocks` square blocks of side `side` along the
+/// diagonal (independent logical patches receiving the same operation).
+pub fn block_diagonal(blocks: usize, side: usize) -> BitMatrix {
+    let n = blocks * side;
+    BitMatrix::from_fn(n, n, |i, j| i / side == j / side)
+}
+
+/// A centred rectangular window (zone-addressing a storage region).
+///
+/// # Panics
+///
+/// Panics if the window exceeds the grid.
+pub fn window(rows: usize, cols: usize, win_rows: usize, win_cols: usize) -> BitMatrix {
+    assert!(win_rows <= rows && win_cols <= cols, "window exceeds grid");
+    let r0 = (rows - win_rows) / 2;
+    let c0 = (cols - win_cols) / 2;
+    BitMatrix::from_fn(rows, cols, |i, j| {
+        (r0..r0 + win_rows).contains(&i) && (c0..c0 + win_cols).contains(&j)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebmf::{binary_rank, row_packing, trivial_partition, PackingConfig};
+
+    #[test]
+    fn full_is_one_rectangle() {
+        assert_eq!(binary_rank(&full(6, 8)), 1);
+    }
+
+    #[test]
+    fn stripes_are_one_rectangle() {
+        let m = stripes(9, 7, 3, 1);
+        assert_eq!(binary_rank(&m), 1, "identical rows merge into one rectangle");
+        assert_eq!(m.row(1).count_ones(), 7);
+        assert_eq!(m.row(0).count_ones(), 0);
+    }
+
+    #[test]
+    fn checkerboard_is_two_rectangles() {
+        // (even rows × even cols) ⊔ (odd rows × odd cols): rectangular
+        // addressing handles sublattices in two shots regardless of size.
+        let m = checkerboard(5, 5, 0);
+        assert_eq!(binary_rank(&m), 2);
+        let wide = checkerboard(3, 7, 1);
+        assert_eq!(binary_rank(&wide), 2);
+    }
+
+    #[test]
+    fn border_is_two_rectangles() {
+        // {top, bottom} × all columns ⊔ middle rows × {left, right}.
+        let m = border(8, 8);
+        assert_eq!(binary_rank(&m), 2, "a frame needs only two shots");
+    }
+
+    #[test]
+    fn block_diagonal_is_blocks_rectangles() {
+        let m = block_diagonal(3, 2);
+        assert_eq!(m.shape(), (6, 6));
+        assert_eq!(binary_rank(&m), 3);
+        // Even the trivial heuristic gets this (distinct rows = 3).
+        assert_eq!(trivial_partition(&m).len(), 3);
+    }
+
+    #[test]
+    fn window_is_one_rectangle() {
+        let m = window(10, 10, 4, 6);
+        assert_eq!(m.count_ones(), 24);
+        assert_eq!(row_packing(&m, &PackingConfig::with_trials(1)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds grid")]
+    fn oversized_window_rejected() {
+        window(4, 4, 5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        stripes(4, 4, 0, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Brute-force SAT by exhaustive enumeration — the reference oracle for
+//! testing the CDCL solver (and, downstream, the EBMF encoder) on small
+//! instances.
+
+use crate::dimacs::Cnf;
+
+/// Exhaustively searches all `2^num_vars` assignments; returns the first
+/// satisfying model (lowest bits of the counter = variable 0) or `None`.
+///
+/// # Panics
+///
+/// Panics if `cnf.num_vars > 24` (the search would exceed 16M assignments).
+pub fn solve_brute_force(cnf: &Cnf) -> Option<Vec<bool>> {
+    assert!(
+        cnf.num_vars <= 24,
+        "brute force limited to 24 variables, got {}",
+        cnf.num_vars
+    );
+    let n = cnf.num_vars;
+    for bits in 0u64..(1u64 << n) {
+        let model: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+        if evaluate(cnf, &model) {
+            return Some(model);
+        }
+    }
+    None
+}
+
+/// Evaluates the formula under a full assignment.
+pub fn evaluate(cnf: &Cnf, model: &[bool]) -> bool {
+    cnf.clauses.iter().all(|c| {
+        c.iter()
+            .any(|&l| model[l.var().index()] == l.is_positive())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        let sat = Cnf::from_dimacs_clauses(&[vec![1, 2], vec![-1]]);
+        let model = solve_brute_force(&sat).unwrap();
+        assert!(evaluate(&sat, &model));
+        assert!(!model[0] && model[1]);
+
+        let unsat = Cnf::from_dimacs_clauses(&[vec![1], vec![-1]]);
+        assert_eq!(solve_brute_force(&unsat), None);
+    }
+
+    #[test]
+    fn empty_formula_sat_with_empty_model() {
+        let cnf = Cnf::default();
+        assert_eq!(solve_brute_force(&cnf), Some(vec![]));
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let cnf = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![]],
+        };
+        assert_eq!(solve_brute_force(&cnf), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! Clause storage: a simple arena with tombstone deletion.
+
+use crate::types::Lit;
+
+/// Reference to a clause in the solver's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A disjunction of literals plus solver metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct Clause {
+    /// The literals. Invariant during search: `lits[0]` and `lits[1]` are the
+    /// watched literals, and when the clause is the reason for a propagation,
+    /// the propagated literal is `lits[0]`.
+    pub lits: Vec<Lit>,
+    /// Literal Block Distance at learning time (0 for problem clauses).
+    pub lbd: u32,
+    /// Whether this clause was learnt (eligible for database reduction).
+    pub learnt: bool,
+    /// Tombstone flag set by deletion; watch lists are rebuilt afterwards.
+    pub deleted: bool,
+}
+
+/// Arena of clauses. Deletion tombstones the entry; the solver rebuilds its
+/// watch lists after a reduction pass, so stale references never survive.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// Count of live learnt clauses, maintained on add/delete.
+    num_learnt: usize,
+}
+
+impl ClauseDb {
+    pub fn new() -> Self {
+        ClauseDb::default()
+    }
+
+    pub fn add(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses live on the trail");
+        if learnt {
+            self.num_learnt += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            lbd,
+            learnt,
+            deleted: false,
+        });
+        ClauseRef((self.clauses.len() - 1) as u32)
+    }
+
+    #[inline]
+    pub fn get(&self, cr: ClauseRef) -> &Clause {
+        &self.clauses[cr.index()]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, cr: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cr.index()]
+    }
+
+    pub fn delete(&mut self, cr: ClauseRef) {
+        let c = &mut self.clauses[cr.index()];
+        if !c.deleted {
+            if c.learnt {
+                self.num_learnt -= 1;
+            }
+            c.deleted = true;
+            c.lits = Vec::new(); // release memory eagerly
+        }
+    }
+
+    pub fn num_learnt(&self) -> usize {
+        self.num_learnt
+    }
+
+    /// Iterates over references of all live clauses.
+    pub fn live_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Iterates over references of live learnt clauses.
+    pub fn learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted && c.learnt)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(xs: &[i64]) -> Vec<Lit> {
+        xs.iter().map(|&x| Lit::from_dimacs(x)).collect()
+    }
+
+    #[test]
+    fn add_get_delete() {
+        let mut db = ClauseDb::new();
+        let a = db.add(lits(&[1, 2]), false, 0);
+        let b = db.add(lits(&[-1, 3]), true, 2);
+        assert_eq!(db.get(a).lits[0].var(), Var::from_index(0));
+        assert_eq!(db.num_learnt(), 1);
+        assert_eq!(db.live_refs().count(), 2);
+        db.delete(b);
+        assert_eq!(db.num_learnt(), 0);
+        assert_eq!(db.live_refs().count(), 1);
+        // double delete is a no-op
+        db.delete(b);
+        assert_eq!(db.num_learnt(), 0);
+    }
+
+    #[test]
+    fn learnt_refs_only_learnt() {
+        let mut db = ClauseDb::new();
+        db.add(lits(&[1, 2]), false, 0);
+        let l = db.add(lits(&[2, 3]), true, 1);
+        let learnt: Vec<_> = db.learnt_refs().collect();
+        assert_eq!(learnt, vec![l]);
+    }
+}

@@ -1,0 +1,209 @@
+//! DIMACS CNF parsing and writing.
+
+use std::fmt::Write as _;
+
+use crate::types::Lit;
+
+/// A CNF formula in memory: a variable count and a list of clauses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Number of variables (variables are `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses, each a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Builds a CNF from DIMACS-style integer clauses (`3` ⇒ x₂, `-3` ⇒ ¬x₂),
+    /// inferring the variable count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal is 0.
+    pub fn from_dimacs_clauses(clauses: &[Vec<i64>]) -> Cnf {
+        let num_vars = clauses
+            .iter()
+            .flatten()
+            .map(|&v| v.unsigned_abs() as usize)
+            .max()
+            .unwrap_or(0);
+        Cnf {
+            num_vars,
+            clauses: clauses
+                .iter()
+                .map(|c| c.iter().map(|&v| Lit::from_dimacs(v)).collect())
+                .collect(),
+        }
+    }
+
+    /// Loads the formula into a fresh [`Solver`](crate::Solver).
+    pub fn into_solver(&self) -> crate::Solver {
+        let mut s = crate::Solver::with_vars(self.num_vars);
+        for c in &self.clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+
+    /// Serializes in DIMACS CNF format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for &l in c {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+}
+
+/// Error produced by [`parse_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader(String),
+    /// A token was not an integer.
+    BadToken(String),
+    /// A clause referenced a variable above the declared count.
+    VarOutOfRange { var: usize, declared: usize },
+    /// The final clause was not terminated by `0`.
+    UnterminatedClause,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::BadHeader(l) => write!(f, "malformed DIMACS header: {l:?}"),
+            DimacsError::BadToken(t) => write!(f, "malformed DIMACS token: {t:?}"),
+            DimacsError::VarOutOfRange { var, declared } => {
+                write!(f, "variable {var} exceeds declared count {declared}")
+            }
+            DimacsError::UnterminatedClause => write!(f, "final clause not terminated by 0"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses a DIMACS CNF document. Comment lines (`c …`) are skipped; the
+/// declared clause count is not enforced (files in the wild often lie).
+///
+/// # Errors
+///
+/// Returns a [`DimacsError`] on malformed headers or tokens, variables out
+/// of the declared range, or a missing final `0` terminator.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, DimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 || parts[1] != "cnf" {
+                return Err(DimacsError::BadHeader(line.to_string()));
+            }
+            let v = parts[2]
+                .parse::<usize>()
+                .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+            num_vars = Some(v);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError::BadToken(tok.to_string()))?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let var = v.unsigned_abs() as usize;
+                if let Some(declared) = num_vars {
+                    if var > declared {
+                        return Err(DimacsError::VarOutOfRange { var, declared });
+                    }
+                }
+                current.push(Lit::from_dimacs(v));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError::UnterminatedClause);
+    }
+    let inferred = clauses
+        .iter()
+        .flatten()
+        .map(|l| l.var().index() + 1)
+        .max()
+        .unwrap_or(0);
+    Ok(Cnf {
+        num_vars: num_vars.unwrap_or(inferred).max(inferred),
+        clauses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parse_simple_document() {
+        let text = "c example\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0][1].to_dimacs(), -2);
+    }
+
+    #[test]
+    fn roundtrip_through_to_dimacs() {
+        let cnf = Cnf::from_dimacs_clauses(&[vec![1, -2], vec![2, 3], vec![-1]]);
+        let again = parse_dimacs(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let cnf = parse_dimacs("p cnf 2 1\n1\n-2 0\n").unwrap();
+        assert_eq!(cnf.clauses, vec![vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parse_dimacs("p dnf 1 1\n1 0"),
+            Err(DimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\n1 x 0"),
+            Err(DimacsError::BadToken(_))
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\n2 0"),
+            Err(DimacsError::VarOutOfRange { var: 2, declared: 1 })
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\n1"),
+            Err(DimacsError::UnterminatedClause)
+        ));
+    }
+
+    #[test]
+    fn into_solver_solves() {
+        let cnf = Cnf::from_dimacs_clauses(&[vec![1, 2], vec![-1, 2], vec![-2, 1], vec![-1, -2]]);
+        let mut s = cnf.into_solver();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn header_missing_is_tolerated() {
+        let cnf = parse_dimacs("1 2 0\n-1 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 2);
+        assert_eq!(cnf.clauses.len(), 2);
+    }
+}

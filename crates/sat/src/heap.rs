@@ -1,0 +1,165 @@
+//! Indexed binary max-heap ordering variables by VSIDS activity.
+//!
+//! Supports `O(log n)` insert, pop and increase-key (activity bumps only ever
+//! increase, and global rescaling divides all activities uniformly, which
+//! preserves the heap order).
+
+use crate::types::Var;
+
+/// A max-heap of variables keyed by an external activity array.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    pub fn new() -> Self {
+        VarHeap::default()
+    }
+
+    /// Registers a new variable index (must be called in index order).
+    pub fn grow_to(&mut self, num_vars: usize) {
+        while self.pos.len() < num_vars {
+            self.pos.push(ABSENT);
+        }
+    }
+
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != ABSENT
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts `v` if absent.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&i) = self.pos.get(v.index()) {
+            if i != ABSENT {
+                self.sift_up(i, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[largest].index()] {
+                largest = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[largest].index()] {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = [0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(4);
+        for i in 0..4 {
+            h.insert(Var::from_index(i), &act);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&act))
+            .map(Var::index)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let act = [1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(2);
+        h.insert(Var::from_index(0), &act);
+        h.insert(Var::from_index(1), &act);
+        assert_eq!(h.pop_max(&act), Some(Var::from_index(1)));
+        assert!(!h.contains(Var::from_index(1)));
+        h.insert(Var::from_index(1), &act);
+        assert!(h.contains(Var::from_index(1)));
+        assert_eq!(h.pop_max(&act), Some(Var::from_index(1)));
+    }
+
+    #[test]
+    fn bump_moves_var_up() {
+        let mut act = vec![3.0, 2.0, 1.0];
+        let mut h = VarHeap::new();
+        h.grow_to(3);
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &act);
+        }
+        act[2] = 10.0;
+        h.bumped(Var::from_index(2), &act);
+        assert_eq!(h.pop_max(&act), Some(Var::from_index(2)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let act = [1.0];
+        let mut h = VarHeap::new();
+        h.grow_to(1);
+        h.insert(Var::from_index(0), &act);
+        h.insert(Var::from_index(0), &act);
+        assert_eq!(h.pop_max(&act), Some(Var::from_index(0)));
+        assert_eq!(h.pop_max(&act), None);
+    }
+}

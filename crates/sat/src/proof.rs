@@ -1,0 +1,294 @@
+//! Clausal (DRAT-style) proof logging and checking.
+//!
+//! When UNSAT answers carry weight — here they certify that `b` rectangles
+//! do **not** suffice, i.e. they prove depth optimality — the solver can
+//! record every learnt clause as a lemma and the checker can replay the
+//! derivation: each lemma must be *RUP* (reverse unit propagation: assuming
+//! its negation and unit-propagating the formula-so-far yields a conflict),
+//! and the final lemma must be the empty clause. The checker shares no code
+//! with the solver's propagation engine, so a bug would have to appear in
+//! both independently to slip through.
+
+use std::fmt;
+
+use crate::types::Lit;
+
+/// One step of a clausal proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A lemma addition; the clause must be RUP w.r.t. the current formula.
+    Add(Vec<Lit>),
+    /// A clause deletion (learnt-database reduction).
+    Delete(Vec<Lit>),
+}
+
+/// A recorded proof: the original axioms and the lemma/deletion trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Proof {
+    /// Clauses added by the user (pre-simplification).
+    pub axioms: Vec<Vec<Lit>>,
+    /// The derivation steps, in order.
+    pub steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// Whether the proof ends by deriving the empty clause.
+    pub fn derives_empty_clause(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s, ProofStep::Add(c) if c.is_empty()))
+    }
+
+    /// Serializes in DRAT text format (`d` lines for deletions, `0`
+    /// terminators), compatible with external checkers such as `drat-trim`.
+    pub fn to_drat(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for step in &self.steps {
+            match step {
+                ProofStep::Add(c) => {
+                    for l in c {
+                        let _ = write!(out, "{} ", l.to_dimacs());
+                    }
+                    let _ = writeln!(out, "0");
+                }
+                ProofStep::Delete(c) => {
+                    let _ = write!(out, "d ");
+                    for l in c {
+                        let _ = write!(out, "{} ", l.to_dimacs());
+                    }
+                    let _ = writeln!(out, "0");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Why proof checking failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// A lemma was not derivable by reverse unit propagation.
+    NotRup {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// A deletion referenced a clause not present in the formula.
+    DeleteMissing {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// The proof never derives the empty clause (no refutation).
+    NoEmptyClause,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::NotRup { step } => write!(f, "step {step} is not RUP"),
+            ProofError::DeleteMissing { step } => {
+                write!(f, "step {step} deletes a clause that is not present")
+            }
+            ProofError::NoEmptyClause => write!(f, "proof does not derive the empty clause"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// Independent RUP checker (no code shared with the CDCL engine).
+///
+/// Verifies that every `Add` step is derivable by reverse unit propagation
+/// from the axioms plus earlier lemmas (minus deletions), and that the
+/// empty clause is eventually derived.
+///
+/// # Errors
+///
+/// See [`ProofError`].
+pub fn check_rup_refutation(proof: &Proof) -> Result<(), ProofError> {
+    let mut formula: Vec<Vec<Lit>> = proof.axioms.clone();
+    let mut derived_empty = formula.iter().any(Vec::is_empty);
+    for (idx, step) in proof.steps.iter().enumerate() {
+        match step {
+            ProofStep::Add(clause) => {
+                if !is_rup(&formula, clause) {
+                    return Err(ProofError::NotRup { step: idx });
+                }
+                if clause.is_empty() {
+                    derived_empty = true;
+                }
+                formula.push(clause.clone());
+            }
+            ProofStep::Delete(clause) => {
+                let mut key = clause.clone();
+                key.sort_unstable();
+                let pos = formula.iter().position(|c| {
+                    let mut k = c.clone();
+                    k.sort_unstable();
+                    k == key
+                });
+                match pos {
+                    Some(p) => {
+                        formula.swap_remove(p);
+                    }
+                    None => return Err(ProofError::DeleteMissing { step: idx }),
+                }
+            }
+        }
+    }
+    if derived_empty {
+        Ok(())
+    } else {
+        Err(ProofError::NoEmptyClause)
+    }
+}
+
+/// RUP test: assume the negation of `clause` and unit-propagate `formula`
+/// to a fixpoint; the lemma is derivable iff a conflict arises.
+fn is_rup(formula: &[Vec<Lit>], clause: &[Lit]) -> bool {
+    // Assignment map: lit code -> bool (true = literal is true).
+    let max_var = formula
+        .iter()
+        .chain(std::iter::once(&clause.to_vec()))
+        .flatten()
+        .map(|l| l.var().index())
+        .max();
+    let Some(max_var) = max_var else {
+        // No variables at all: empty clause over empty formula is RUP only
+        // if the formula contains the empty clause.
+        return formula.iter().any(Vec::is_empty);
+    };
+    let mut value: Vec<Option<bool>> = vec![None; max_var + 1];
+    // Negated lemma literals become facts.
+    for &l in clause {
+        match value[l.var().index()] {
+            Some(v) if v == l.is_positive() => return true, // ¬C inconsistent: trivially RUP
+            _ => value[l.var().index()] = Some(!l.is_positive()),
+        }
+    }
+    // Naive counting propagation to fixpoint. Fine for certification-size
+    // instances; not meant for industrial proofs.
+    loop {
+        let mut changed = false;
+        for c in formula {
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0;
+            let mut satisfied = false;
+            for &l in c {
+                match value[l.var().index()] {
+                    Some(v) if v == l.is_positive() => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => return true, // conflict
+                1 => {
+                    let l = unassigned.expect("counted one unassigned literal");
+                    value[l.var().index()] = Some(l.is_positive());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(xs: &[i64]) -> Vec<Lit> {
+        xs.iter().map(|&x| Lit::from_dimacs(x)).collect()
+    }
+
+    #[test]
+    fn trivial_refutation_checks() {
+        // Axioms x, ¬x: the empty clause is directly RUP.
+        let proof = Proof {
+            axioms: vec![lits(&[1]), lits(&[-1])],
+            steps: vec![ProofStep::Add(vec![])],
+        };
+        assert_eq!(check_rup_refutation(&proof), Ok(()));
+    }
+
+    #[test]
+    fn missing_empty_clause_rejected() {
+        let proof = Proof {
+            axioms: vec![lits(&[1])],
+            steps: vec![],
+        };
+        assert_eq!(check_rup_refutation(&proof), Err(ProofError::NoEmptyClause));
+    }
+
+    #[test]
+    fn bogus_lemma_rejected() {
+        // Lemma ¬x is not RUP from axiom (x ∨ y).
+        let proof = Proof {
+            axioms: vec![lits(&[1, 2])],
+            steps: vec![ProofStep::Add(lits(&[-1]))],
+        };
+        assert_eq!(check_rup_refutation(&proof), Err(ProofError::NotRup { step: 0 }));
+    }
+
+    #[test]
+    fn chained_lemmas_check() {
+        // Axioms: (x∨y), (x∨¬y), (¬x∨y), (¬x∨¬y).
+        // Lemma x is RUP; lemma ¬x… then empty.
+        let proof = Proof {
+            axioms: vec![lits(&[1, 2]), lits(&[1, -2]), lits(&[-1, 2]), lits(&[-1, -2])],
+            steps: vec![
+                ProofStep::Add(lits(&[1])),
+                ProofStep::Add(vec![]),
+            ],
+        };
+        assert_eq!(check_rup_refutation(&proof), Ok(()));
+    }
+
+    #[test]
+    fn deletion_bookkeeping() {
+        let proof = Proof {
+            axioms: vec![lits(&[1]), lits(&[-1]), lits(&[1, 2])],
+            steps: vec![
+                ProofStep::Delete(lits(&[2, 1])), // order-insensitive match
+                ProofStep::Add(vec![]),
+            ],
+        };
+        assert_eq!(check_rup_refutation(&proof), Ok(()));
+
+        let missing = Proof {
+            axioms: vec![lits(&[1])],
+            steps: vec![ProofStep::Delete(lits(&[3]))],
+        };
+        assert_eq!(
+            check_rup_refutation(&missing),
+            Err(ProofError::DeleteMissing { step: 0 })
+        );
+    }
+
+    #[test]
+    fn drat_serialization() {
+        let proof = Proof {
+            axioms: vec![],
+            steps: vec![
+                ProofStep::Add(lits(&[1, -2])),
+                ProofStep::Delete(lits(&[1, -2])),
+                ProofStep::Add(vec![]),
+            ],
+        };
+        assert_eq!(proof.to_drat(), "1 -2 0\nd 1 -2 0\n0\n");
+        assert!(proof.derives_empty_clause());
+    }
+}

@@ -1,0 +1,207 @@
+//! Variables, literals and solve results.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index starting at 0.
+///
+/// Create variables through [`Solver::new_var`](crate::Solver::new_var) so
+/// the solver's internal arrays stay in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Constructs a variable from its dense index.
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// The literal of this variable with the given polarity.
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `var << 1 | sign` where `sign == 1` means negated, so that
+/// negation is a single XOR and literals index arrays densely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// Builds a literal from a variable and a polarity.
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Lit {
+        var.lit(positive)
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is the positive occurrence of its variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The dense code of this literal (`2·var` or `2·var + 1`), used for
+    /// watch-list indexing.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parses a literal from a nonzero DIMACS integer (`-3` ⇒ ¬x₂).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    pub fn from_dimacs(value: i64) -> Lit {
+        assert!(value != 0, "DIMACS literal cannot be 0");
+        let var = Var((value.unsigned_abs() - 1) as u32);
+        var.lit(value > 0)
+    }
+
+    /// Converts to the DIMACS integer convention (1-based, sign = polarity).
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().index() as i64 + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "¬{}", self.var())
+        }
+    }
+}
+
+/// Outcome of a [`Solver::solve`](crate::Solver::solve) call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (read it with
+    /// [`Solver::model`](crate::Solver::model)).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before an answer was reached.
+    Unknown,
+}
+
+impl SolveResult {
+    /// `true` iff the result is [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SolveResult::Sat
+    }
+
+    /// `true` iff the result is [`SolveResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        self == SolveResult::Unsat
+    }
+}
+
+/// Aggregate search statistics, reset only when the solver is dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub learnt_deleted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var::from_index(3);
+        assert_eq!(v.positive().code(), 6);
+        assert_eq!(v.negative().code(), 7);
+        assert_eq!(v.positive().var(), v);
+        assert!(v.positive().is_positive());
+        assert!(!v.negative().is_positive());
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        let l = Var::from_index(5).positive();
+        assert_eq!(!!l, l);
+        assert_eq!((!l).var(), l.var());
+        assert_ne!(!l, l);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for v in [1i64, -1, 7, -42] {
+            assert_eq!(Lit::from_dimacs(v).to_dimacs(), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be 0")]
+    fn dimacs_zero_rejected() {
+        Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(2);
+        assert_eq!(v.positive().to_string(), "x2");
+        assert_eq!(v.negative().to_string(), "¬x2");
+    }
+}

@@ -1,0 +1,104 @@
+//! Using the built-in CDCL SAT solver as a standalone DIMACS solver — the
+//! substrate that replaces Z3 in this reproduction.
+//!
+//! ```sh
+//! cargo run --release --example dimacs_sat              # embedded demo
+//! cargo run --release --example dimacs_sat -- file.cnf  # solve a file
+//! ```
+
+use std::process::ExitCode;
+
+use sat::{parse_dimacs, SolveResult};
+
+const DEMO: &str = "\
+c 8-queens would be overkill; here is a 3-colouring of C5 (odd cycle, 3-colourable)
+c vertex v in {0..4}, colour c in {0..2}: var = 3v + c + 1
+p cnf 15 40
+1 2 3 0
+4 5 6 0
+7 8 9 0
+10 11 12 0
+13 14 15 0
+-1 -2 0
+-1 -3 0
+-2 -3 0
+-4 -5 0
+-4 -6 0
+-5 -6 0
+-7 -8 0
+-7 -9 0
+-8 -9 0
+-10 -11 0
+-10 -12 0
+-11 -12 0
+-13 -14 0
+-13 -15 0
+-14 -15 0
+-1 -4 0
+-2 -5 0
+-3 -6 0
+-4 -7 0
+-5 -8 0
+-6 -9 0
+-7 -10 0
+-8 -11 0
+-9 -12 0
+-10 -13 0
+-11 -14 0
+-12 -15 0
+-13 -1 0
+-14 -2 0
+-15 -3 0
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let text = match args.get(1) {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            println!("(no file given; solving the embedded 3-colouring of C5)");
+            DEMO.to_string()
+        }
+    };
+    let cnf = match parse_dimacs(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("c {} variables, {} clauses", cnf.num_vars, cnf.clauses.len());
+    let mut solver = cnf.into_solver();
+    match solver.solve() {
+        SolveResult::Sat => {
+            println!("s SATISFIABLE");
+            let line: Vec<String> = solver
+                .model()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    if v {
+                        format!("{}", i + 1)
+                    } else {
+                        format!("-{}", i + 1)
+                    }
+                })
+                .collect();
+            println!("v {} 0", line.join(" "));
+        }
+        SolveResult::Unsat => println!("s UNSATISFIABLE"),
+        SolveResult::Unknown => println!("s UNKNOWN"),
+    }
+    let st = solver.stats();
+    println!(
+        "c {} conflicts, {} decisions, {} propagations, {} restarts",
+        st.conflicts, st.decisions, st.propagations, st.restarts
+    );
+    ExitCode::SUCCESS
+}

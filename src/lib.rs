@@ -1,0 +1,18 @@
+//! `rect-addr`: depth-optimal rectangular addressing of 2D qubit arrays.
+//!
+//! Umbrella crate re-exporting the workspace members. See the individual
+//! crates for full documentation:
+//!
+//! * [`bitmatrix`] — bit-packed binary matrices;
+//! * [`linalg`] — exact rank computations and fooling-set bounds;
+//! * [`sat`] — the CDCL SAT solver used by the exact EBMF solver;
+//! * [`exactcover`] — Algorithm X / dancing links;
+//! * [`ebmf`] — the paper's core contribution: row packing and SAP;
+//! * [`qaddress`] — AOD addressing schedules and the FTQC two-level layer.
+
+pub use bitmatrix;
+pub use ebmf;
+pub use exactcover;
+pub use linalg;
+pub use qaddress;
+pub use sat;

@@ -1,0 +1,99 @@
+//! Integration tests for the §VI extensions: don't-care completion and
+//! tensor-rank exploration, wired through multiple crates.
+
+use bitmatrix::{random_matrix, BitMatrix};
+use ebmf::{
+    binary_rank, complete_ebmf, sap, tensor_bounds, tensor_partition, validate_completion,
+    PackingConfig, SapConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Completion depth is sandwiched: it cannot beat 1 and cannot exceed the
+/// plain binary rank; adding don't-cares is monotone (more DCs ≤ depth).
+#[test]
+fn completion_monotone_in_dont_cares() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..4 {
+        let m = random_matrix(5, 5, 0.4, &mut rng);
+        if m.is_zero() {
+            continue;
+        }
+        let rb = binary_rank(&m);
+        let few_dc = BitMatrix::from_fn(5, 5, |i, j| !m.get(i, j) && (i + j) % 4 == 0);
+        let many_dc = BitMatrix::from_fn(5, 5, |i, j| !m.get(i, j));
+        let few = complete_ebmf(&m, &few_dc);
+        let many = complete_ebmf(&m, &many_dc);
+        assert!(few.proved_optimal && many.proved_optimal);
+        assert!(validate_completion(&few.partition, &m, &few_dc).is_ok());
+        assert!(validate_completion(&many.partition, &m, &many_dc).is_ok());
+        assert!(few.partition.len() <= rb);
+        assert!(many.partition.len() <= few.partition.len());
+        assert!(!many.partition.is_empty());
+    }
+}
+
+/// With ALL zeros as don't-cares, the answer is the number of distinct
+/// nonzero "row-content classes" … concretely: every pattern collapses to
+/// at most the number of distinct nonzero rows, and for row-constant
+/// patterns to exactly 1.
+#[test]
+fn full_dont_care_collapses_row_bands() {
+    let m: BitMatrix = "11000\n00110\n00001\n00000".parse().unwrap();
+    let dc = BitMatrix::from_fn(4, 5, |i, j| !m.get(i, j));
+    let out = complete_ebmf(&m, &dc);
+    assert!(out.proved_optimal);
+    assert_eq!(
+        out.partition.len(),
+        1,
+        "with all zeros don't-care, one full rectangle covers everything"
+    );
+}
+
+/// Eq. 5 sandwich holds on random pairs, checked with the exact solver on
+/// the actual tensor product.
+#[test]
+fn tensor_sandwich_on_random_pairs() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..3 {
+        let a = random_matrix(3, 3, 0.5, &mut rng);
+        let b = random_matrix(2, 3, 0.5, &mut rng);
+        if a.is_zero() || b.is_zero() {
+            continue;
+        }
+        let tb = tensor_bounds(&a, &b);
+        let exact = sap(&a.kron(&b), &SapConfig::with_trials(50));
+        assert!(exact.proved_optimal);
+        assert!(tb.lower <= exact.depth(), "Eq. 5 lower bound violated");
+        assert!(exact.depth() <= tb.upper, "tensor product upper bound violated");
+    }
+}
+
+/// The tensor partition of optimal factor partitions achieves the upper
+/// bound exactly.
+#[test]
+fn tensor_partition_achieves_upper_bound() {
+    let a: BitMatrix = "10\n01".parse().unwrap();
+    let b: BitMatrix = "110\n011\n111".parse().unwrap();
+    let pa = sap(&a, &SapConfig::default()).partition;
+    let pb = sap(&b, &SapConfig::default()).partition;
+    let t = tensor_partition(&pa, &pb);
+    assert!(t.validate(&a.kron(&b)).is_ok());
+    assert_eq!(t.len(), pa.len() * pb.len());
+}
+
+/// Vacancy-aware packing heuristic quality: on a checkerboard pattern with
+/// complement vacancies, the whole board is one rectangle.
+#[test]
+fn checkerboard_with_vacancies_is_depth_one() {
+    let m = BitMatrix::from_fn(6, 6, |i, j| (i + j) % 2 == 0);
+    let dc = BitMatrix::from_fn(6, 6, |i, j| (i + j) % 2 == 1);
+    let out = complete_ebmf(&m, &dc);
+    assert!(out.proved_optimal);
+    assert_eq!(out.partition.len(), 1);
+    // The heuristic alone also benefits (may not reach 1, but must beat
+    // the vacancy-blind packing).
+    let blind = ebmf::row_packing(&m, &PackingConfig::with_trials(10));
+    let aware = ebmf::row_packing_with_dont_cares(&m, &dc, 10, 0);
+    assert!(aware.len() <= blind.len());
+}

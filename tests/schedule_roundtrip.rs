@@ -1,0 +1,103 @@
+//! Cross-crate integration tests: from patterns to verified AOD schedules,
+//! including the FTQC two-level path and vacancy-aware compilation.
+
+use bitmatrix::{random_matrix, BitMatrix};
+use ebmf::{sap, SapConfig};
+use qaddress::{
+    compile, parse_logical_pattern, two_level_schedule, AddressingSchedule, Pulse, QubitArray,
+    Strategy, SurfaceCodePatch,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every strategy produces a schedule that verifies, and exact ≤ packing ≤
+/// trivial ≤ individual in depth.
+#[test]
+fn strategy_depth_ordering_on_random_patterns() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        let pattern = random_matrix(7, 7, 0.4, &mut rng);
+        let array = QubitArray::new(7, 7);
+        let depths: Vec<usize> = [
+            Strategy::Exact,
+            Strategy::Packing(20),
+            Strategy::Trivial,
+            Strategy::Individual,
+        ]
+        .into_iter()
+        .map(|s| {
+            let sched = compile(&array, &pattern, s, Pulse::X).unwrap();
+            sched.verify(&array, &pattern).unwrap();
+            sched.depth()
+        })
+        .collect();
+        assert!(depths[0] <= depths[1], "exact ≤ packing: {depths:?}");
+        assert!(depths[1] <= depths[2], "packing ≤ trivial: {depths:?}");
+        assert!(depths[2] <= depths[3].max(depths[2]), "trivial vs individual: {depths:?}");
+    }
+}
+
+/// The two-level (tensor) schedule equals the direct exact solution when
+/// the patch is transversal — and never beats it (upper-bound property).
+#[test]
+fn two_level_versus_direct() {
+    let logical = parse_logical_pattern("UUI\nIUU\nUIU").unwrap();
+    let patch = SurfaceCodePatch::new(2).transversal_pattern();
+    let composed = two_level_schedule(&logical, &patch, Pulse::X, true);
+
+    let full = logical.kron(&patch);
+    let direct = sap(&full, &SapConfig::default());
+    assert!(direct.proved_optimal);
+    assert!(
+        direct.depth() <= composed.schedule.depth(),
+        "tensor product is an upper bound on r_B"
+    );
+    // Transversal patch: the bound is tight (paper §V).
+    assert_eq!(direct.depth(), composed.schedule.depth());
+}
+
+/// Vacancy-aware exact compilation is never deeper than vacancy-blind.
+#[test]
+fn vacancies_never_hurt() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..4 {
+        let pattern = random_matrix(5, 5, 0.35, &mut rng);
+        let vac = BitMatrix::from_fn(5, 5, |i, j| !pattern.get(i, j) && (i + 2 * j) % 3 == 0);
+        let blind_array = QubitArray::new(5, 5);
+        let aware_array = QubitArray::with_vacancies(vac);
+        let blind = compile(&blind_array, &pattern, Strategy::Exact, Pulse::X).unwrap();
+        let aware = compile(&aware_array, &pattern, Strategy::Exact, Pulse::X).unwrap();
+        aware.verify(&aware_array, &pattern).unwrap();
+        assert!(
+            aware.depth() <= blind.depth(),
+            "don't-cares can only reduce depth"
+        );
+    }
+}
+
+/// Schedules rebuilt from a partition's factor matrices behave identically.
+#[test]
+fn schedule_from_factor_roundtrip() {
+    let pattern: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+        .parse()
+        .unwrap();
+    let out = sap(&pattern, &SapConfig::default());
+    let (h, w) = out.partition.to_factors();
+    let rebuilt = ebmf::Partition::from_factors(&h, &w);
+    let array = QubitArray::new(6, 6);
+    let s1 = AddressingSchedule::from_partition(&out.partition, Pulse::Rz(0.1));
+    let s2 = AddressingSchedule::from_partition(&rebuilt, Pulse::Rz(0.1));
+    assert_eq!(s1.depth(), s2.depth());
+    s1.verify(&array, &pattern).unwrap();
+    s2.verify(&array, &pattern).unwrap();
+}
+
+/// Control-cost accounting: every shot costs m + n bits, total depth·(m+n),
+/// which beats per-site addressing whenever depth < #ones·(m·n)/(m+n).
+#[test]
+fn control_cost_accounting() {
+    let pattern = random_matrix(10, 10, 0.5, &mut StdRng::seed_from_u64(2));
+    let array = QubitArray::new(10, 10);
+    let sched = compile(&array, &pattern, Strategy::Packing(10), Pulse::X).unwrap();
+    assert_eq!(sched.total_control_bits(), sched.depth() * 20);
+}

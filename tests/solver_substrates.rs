@@ -1,0 +1,126 @@
+//! Integration tests of the solver substrates (SAT, DLX) driven through
+//! the public workspace API, plus cross-substrate consistency checks.
+
+use bitmatrix::BitMatrix;
+use ebmf::{row_packing, sap, PackingConfig, SapConfig};
+use exactcover::DlxBuilder;
+use sat::{parse_dimacs, solve_brute_force, Cnf, SolveResult, Solver};
+
+/// The SAT solver handles a formula exported/imported through DIMACS the
+/// same way as one built directly.
+#[test]
+fn dimacs_roundtrip_preserves_answers() {
+    let clauses: Vec<Vec<i64>> = vec![
+        vec![1, 2, 3],
+        vec![-1, -2],
+        vec![-1, -3],
+        vec![-2, -3],
+        vec![1, 2],
+    ];
+    let cnf = Cnf::from_dimacs_clauses(&clauses);
+    let reparsed = parse_dimacs(&cnf.to_dimacs()).unwrap();
+    let mut a = cnf.into_solver();
+    let mut b = reparsed.into_solver();
+    assert_eq!(a.solve(), b.solve());
+    assert_eq!(a.solve(), SolveResult::Sat);
+}
+
+/// Exhaustive agreement between CDCL and brute force on structured
+/// formulas (not just the random ones covered by proptest in-crate).
+#[test]
+fn cdcl_vs_brute_force_on_structured_instances() {
+    // At-most-one chains, implication ladders, parity constraints.
+    let instances: Vec<Vec<Vec<i64>>> = vec![
+        vec![vec![1], vec![-1, 2], vec![-2, 3], vec![-3, -1]],
+        vec![vec![1, 2], vec![1, -2], vec![-1, 2], vec![-1, -2]],
+        vec![vec![1, 2, 3], vec![1, -2, -3], vec![-1, 2, -3], vec![-1, -2, 3]],
+        vec![vec![-4, 1], vec![-4, 2], vec![4, -1, -2], vec![4], vec![-1, -2, 3]],
+    ];
+    for (i, cls) in instances.iter().enumerate() {
+        let cnf = Cnf::from_dimacs_clauses(cls);
+        let brute = solve_brute_force(&cnf);
+        let mut s = cnf.into_solver();
+        let res = s.solve();
+        assert_eq!(
+            res.is_sat(),
+            brute.is_some(),
+            "instance {i}: CDCL {res:?} vs brute {brute:?}"
+        );
+    }
+}
+
+/// The EBMF SAT encoding agrees with a hand-rolled direct check: r_B of
+/// small structured matrices computed two independent ways.
+#[test]
+fn ebmf_encoder_agrees_with_dlx_cover_count_bound() {
+    // For a block-diagonal matrix, r_B is the sum of block binary ranks.
+    let block: BitMatrix = "11\n11".parse().unwrap();
+    let m = BitMatrix::from_fn(4, 4, |i, j| block.get(i % 2, j % 2) && (i / 2 == j / 2));
+    let out = sap(&m, &SapConfig::default());
+    assert!(out.proved_optimal);
+    assert_eq!(out.depth(), 2, "two all-ones blocks");
+}
+
+/// DLX and the packing heuristic cooperate: on matrices whose rows are
+/// unions of a hidden basis, exact-cover packing recovers the basis size.
+#[test]
+fn dlx_packing_recovers_hidden_basis() {
+    // Hidden basis: {0,1}, {2,3}, {4}; rows are sums of basis subsets.
+    let m: BitMatrix = "11000\n00110\n00001\n11110\n11001\n00111\n11111"
+        .parse()
+        .unwrap();
+    let cfg = PackingConfig {
+        exact_cover: true,
+        trials: 5,
+        ..PackingConfig::default()
+    };
+    let p = row_packing(&m, &cfg);
+    assert!(p.validate(&m).is_ok());
+    assert_eq!(p.len(), 3, "hidden basis has 3 vectors\n{p}");
+}
+
+/// Incremental SAT usage mirrors Algorithm 1: a satisfiable query, a
+/// narrowing clause batch, then UNSAT — all on one solver instance.
+#[test]
+fn incremental_descent_pattern() {
+    let mut s = Solver::with_vars(6);
+    let v: Vec<_> = (0..6).map(sat::Var::from_index).collect();
+    // Exactly-one over three "labels" for two "cells" + a conflict rule.
+    for cell in 0..2 {
+        let base = cell * 3;
+        s.add_clause((0..3).map(|k| v[base + k].positive()));
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                s.add_clause([v[base + a].negative(), v[base + b].negative()]);
+            }
+        }
+    }
+    // Cells must differ in label.
+    for k in 0..3 {
+        s.add_clause([v[k].negative(), v[3 + k].negative()]);
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+    // Narrow: ban label 2 for both cells (two labels left: still SAT).
+    s.add_clause([v[2].negative()]);
+    s.add_clause([v[5].negative()]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    // Narrow again: ban label 1 (one label for two distinct cells: UNSAT).
+    s.add_clause([v[1].negative()]);
+    s.add_clause([v[4].negative()]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+/// DLX count agrees with an independent inclusion check on a partition
+/// problem derived from a matrix row.
+#[test]
+fn dlx_counts_row_decompositions() {
+    // Row {0,1,2,3}; basis vectors {0,1}, {2,3}, {0,2}, {1,3}, {0,1,2,3}.
+    let mut b = DlxBuilder::new(4, 0);
+    b.add_row(&[0, 1]);
+    b.add_row(&[2, 3]);
+    b.add_row(&[0, 2]);
+    b.add_row(&[1, 3]);
+    b.add_row(&[0, 1, 2, 3]);
+    // Covers: {01,23}, {02,13}, {0123} → 3 decompositions.
+    assert_eq!(b.build().count_solutions(), 3);
+}
