@@ -7,7 +7,13 @@ use rect_addr_bench::packing_progression;
 
 fn bench_row_packing(c: &mut Criterion) {
     let mut group = c.benchmark_group("row_packing");
-    for (size, occ) in [(10usize, 0.5), (20, 0.5), (50, 0.2), (100, 0.05), (100, 0.2)] {
+    for (size, occ) in [
+        (10usize, 0.5),
+        (20, 0.5),
+        (50, 0.2),
+        (100, 0.05),
+        (100, 0.2),
+    ] {
         let bench = ebmf::gen::random_benchmark(size, size, occ, 42);
         let m = bench.matrix;
         group.bench_with_input(

@@ -2,20 +2,28 @@
 //! the UNSAT proofs that the paper's Figure 4 identifies as the dominant
 //! cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use bitmatrix::BitMatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
 use ebmf::{sap, EbmfEncoder, SapConfig};
 
 fn fig1b() -> BitMatrix {
-    "101100\n010011\n101010\n010101\n111000\n000111".parse().unwrap()
+    "101100\n010011\n101010\n010101\n111000\n000111"
+        .parse()
+        .unwrap()
 }
 
 fn bench_sap_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("sap");
     let cases = [
         ("fig1b_6x6", fig1b()),
-        ("gap_10x10_k3", ebmf::gen::gap_benchmark(10, 10, 3, 11).matrix),
-        ("rand_10x10_50", ebmf::gen::random_benchmark(10, 10, 0.5, 5).matrix),
+        (
+            "gap_10x10_k3",
+            ebmf::gen::gap_benchmark(10, 10, 3, 11).matrix,
+        ),
+        (
+            "rand_10x10_50",
+            ebmf::gen::random_benchmark(10, 10, 0.5, 5).matrix,
+        ),
     ];
     for (name, m) in cases {
         group.bench_function(name, |b| {

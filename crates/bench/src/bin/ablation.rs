@@ -13,9 +13,7 @@
 use std::time::Instant;
 
 use ebmf::gen::{gap_benchmark, random_benchmark, Benchmark};
-use ebmf::{
-    binary_rank, row_packing, EbmfEncoder, PackingConfig, RowOrder,
-};
+use ebmf::{binary_rank, row_packing, EbmfEncoder, PackingConfig, RowOrder};
 
 fn variant_configs() -> Vec<(&'static str, PackingConfig)> {
     let base = PackingConfig {
@@ -57,12 +55,20 @@ fn main() {
     }
     for occ10 in [3, 5, 7] {
         for c in 0..10 {
-            benches.push(random_benchmark(10, 10, occ10 as f64 / 10.0, 600 + (occ10 * 10 + c) as u64));
+            benches.push(random_benchmark(
+                10,
+                10,
+                occ10 as f64 / 10.0,
+                600 + (occ10 * 10 + c) as u64,
+            ));
         }
     }
     let optima: Vec<usize> = benches.iter().map(|b| binary_rank(&b.matrix)).collect();
 
-    println!("ROW PACKING VARIANTS ({} instances: gap 2-5 + random 30/50/70%)", benches.len());
+    println!(
+        "ROW PACKING VARIANTS ({} instances: gap 2-5 + random 30/50/70%)",
+        benches.len()
+    );
     println!(
         "{:<24} {:>10} {:>12} {:>12}",
         "variant", "% optimal", "avg depth", "avg excess"

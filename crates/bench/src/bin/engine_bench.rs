@@ -1,0 +1,155 @@
+//! Engine throughput + canonical-cache hit-rate benchmark.
+//!
+//! Streams a synthetic circuit-layer workload — distinct random patterns
+//! plus row/column-permuted duplicates, the redundancy profile the
+//! canonical-form cache targets — through `Engine::run_batch`, once against
+//! a cold cache and once replaying the same stream warm. Emits
+//! `BENCH_engine.json` in the working directory.
+//!
+//! Usage: `engine_bench [jobs] [distinct] [size] [workers]`
+//! (defaults: 400 jobs, 50 distinct 10×10 patterns, CPU workers).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bitmatrix::BitMatrix;
+use ebmf::gen::random_benchmark;
+use engine::protocol::{JobRequest, JobResponse};
+use engine::{Engine, EngineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct RunMetrics {
+    wall_seconds: f64,
+    jobs_per_second: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+    mean_job_millis: f64,
+    max_job_millis: f64,
+    proved_optimal: usize,
+}
+
+fn build_stream(jobs: usize, distinct: usize, size: usize) -> String {
+    let bases: Vec<BitMatrix> = (0..distinct)
+        .map(|i| random_benchmark(size, size, 0.4, 9_000 + i as u64).matrix)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(123);
+    let mut out = String::new();
+    for i in 0..jobs {
+        let base = &bases[i % bases.len()];
+        let matrix = if i < bases.len() {
+            base.clone()
+        } else {
+            let rp = bitmatrix::random_permutation(base.nrows(), &mut rng);
+            let cp = bitmatrix::random_permutation(base.ncols(), &mut rng);
+            base.submatrix(&rp, &cp)
+        };
+        let req = JobRequest {
+            id: format!("job-{i:04}"),
+            matrix,
+            budget_ms: Some(10_000),
+            conflicts: None,
+        };
+        out.push_str(&req.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+fn run_stream(engine: &Engine, stream: &str, jobs: usize) -> RunMetrics {
+    let before = engine.cache_stats();
+    let start = Instant::now();
+    let mut raw = Vec::new();
+    let summary = engine
+        .run_batch(stream.as_bytes(), &mut raw)
+        .expect("in-memory batch cannot fail on I/O");
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(summary.solved, jobs, "every job must solve");
+
+    let responses: Vec<JobResponse> = String::from_utf8(raw)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(|l| JobResponse::parse_line(l).expect("well-formed response"))
+        .collect();
+    let after = engine.cache_stats();
+    let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+    let mean = responses.iter().map(|r| r.millis).sum::<f64>() / responses.len().max(1) as f64;
+    let max = responses.iter().map(|r| r.millis).fold(0.0, f64::max);
+    RunMetrics {
+        wall_seconds: wall,
+        jobs_per_second: jobs as f64 / wall,
+        cache_hits: hits,
+        cache_misses: misses,
+        hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        mean_job_millis: mean,
+        max_job_millis: max,
+        proved_optimal: responses.iter().filter(|r| r.proved_optimal).count(),
+    }
+}
+
+fn emit(out: &mut String, label: &str, m: &RunMetrics, last: bool) {
+    let _ = write!(
+        out,
+        "  \"{label}\": {{\n    \"wall_seconds\": {:.4},\n    \"jobs_per_second\": {:.1},\n    \
+         \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"hit_rate\": {:.4},\n    \
+         \"mean_job_millis\": {:.3},\n    \"max_job_millis\": {:.3},\n    \
+         \"proved_optimal\": {}\n  }}{}\n",
+        m.wall_seconds,
+        m.jobs_per_second,
+        m.cache_hits,
+        m.cache_misses,
+        m.hit_rate,
+        m.mean_job_millis,
+        m.max_job_millis,
+        m.proved_optimal,
+        if last { "" } else { "," },
+    );
+}
+
+fn main() {
+    let arg = |i: usize, default: usize| {
+        std::env::args()
+            .nth(i)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(default)
+    };
+    let jobs = arg(1, 400);
+    let distinct = arg(2, 50).max(1);
+    let size = arg(3, 10);
+    let workers = arg(4, 0);
+
+    let stream = build_stream(jobs, distinct, size);
+    let engine = Engine::new(EngineConfig {
+        workers,
+        ..EngineConfig::default()
+    });
+
+    eprintln!("engine_bench: {jobs} jobs, {distinct} distinct {size}x{size} patterns");
+    let cold = run_stream(&engine, &stream, jobs);
+    eprintln!(
+        "cold: {:.0} jobs/s, hit rate {:.1}%",
+        cold.jobs_per_second,
+        cold.hit_rate * 100.0
+    );
+    // Same stream again: every job is now a canonical-cache hit.
+    let warm = run_stream(&engine, &stream, jobs);
+    eprintln!(
+        "warm: {:.0} jobs/s, hit rate {:.1}%",
+        warm.jobs_per_second,
+        warm.hit_rate * 100.0
+    );
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"bench\": \"engine\",\n  \"jobs\": {jobs},\n  \"distinct\": {distinct},\n  \
+         \"size\": {size},\n  \"duplicate_fraction\": {:.4},\n",
+        (jobs.saturating_sub(distinct)) as f64 / jobs.max(1) as f64,
+    );
+    emit(&mut json, "cold", &cold, false);
+    emit(&mut json, "warm", &warm, true);
+    json.push_str("}\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("{json}");
+}

@@ -17,7 +17,10 @@ use ebmf::{row_packing, PackingConfig};
 
 fn main() {
     const TRIALS: usize = 10;
-    println!("row packing runtime vs matrix size ({} trials, 20% occupancy)", TRIALS);
+    println!(
+        "row packing runtime vs matrix size ({} trials, 20% occupancy)",
+        TRIALS
+    );
     println!("{:>6} {:>12} {:>12}", "n", "seconds", "ratio");
     let mut prev: Option<f64> = None;
     for n in [25usize, 50, 100, 200, 400] {

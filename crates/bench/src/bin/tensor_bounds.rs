@@ -31,7 +31,10 @@ fn main() {
         let exact = sap(&kron, &SapConfig::with_trials(50));
         assert!(exact.proved_optimal, "9x9 products are certifiable");
         let rbk = exact.depth();
-        assert!(tb.lower <= rbk && rbk <= tb.upper, "Eq. 5 sandwich violated");
+        assert!(
+            tb.lower <= rbk && rbk <= tb.upper,
+            "Eq. 5 sandwich violated"
+        );
         total += 1;
         if rbk == tb.upper {
             multiplicative += 1;
@@ -44,7 +47,11 @@ fn main() {
             tb.lower,
             rbk,
             tb.upper,
-            if rbk < tb.upper { "  <- strictly sub-multiplicative!" } else { "" },
+            if rbk < tb.upper {
+                "  <- strictly sub-multiplicative!"
+            } else {
+                ""
+            },
         );
     }
     println!(

@@ -7,9 +7,7 @@ use std::time::Duration;
 
 use bitmatrix::{random_permutation, BitMatrix};
 use ebmf::gen::{table1_suite, Benchmark};
-use ebmf::{
-    row_packing_once, sap, trivial_partition, PackingConfig, Partition, SapConfig,
-};
+use ebmf::{row_packing_once, sap, trivial_partition, PackingConfig, Partition, SapConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -65,9 +65,7 @@ mod proptests {
     fn arb_matrix() -> impl Strategy<Value = BitMatrix> {
         (1usize..12, 1usize..12).prop_flat_map(|(m, n)| {
             proptest::collection::vec(proptest::collection::vec(any::<bool>(), n), m)
-                .prop_map(move |rows| {
-                    BitMatrix::from_fn(m, n, |i, j| rows[i][j])
-                })
+                .prop_map(move |rows| BitMatrix::from_fn(m, n, |i, j| rows[i][j]))
         })
     }
 

@@ -60,11 +60,7 @@ impl BitMatrix {
     }
 
     /// Builds a matrix from a function of `(row, col)`.
-    pub fn from_fn<F: FnMut(usize, usize) -> bool>(
-        nrows: usize,
-        ncols: usize,
-        mut f: F,
-    ) -> Self {
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(nrows: usize, ncols: usize, mut f: F) -> Self {
         let mut m = BitMatrix::zeros(nrows, ncols);
         for i in 0..nrows {
             for j in 0..ncols {
@@ -141,7 +137,11 @@ impl BitMatrix {
     /// Panics if `i` or `j` is out of range.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> bool {
-        assert!(i < self.nrows, "row index {i} out of range ({})", self.nrows);
+        assert!(
+            i < self.nrows,
+            "row index {i} out of range ({})",
+            self.nrows
+        );
         self.rows[i].get(j)
     }
 
@@ -152,7 +152,11 @@ impl BitMatrix {
     /// Panics if `i` or `j` is out of range.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: bool) {
-        assert!(i < self.nrows, "row index {i} out of range ({})", self.nrows);
+        assert!(
+            i < self.nrows,
+            "row index {i} out of range ({})",
+            self.nrows
+        );
         self.rows[i].set(j, value);
     }
 
@@ -185,11 +189,12 @@ impl BitMatrix {
     ///
     /// Panics if `j` is out of range.
     pub fn col(&self, j: usize) -> BitVec {
-        assert!(j < self.ncols, "column index {j} out of range ({})", self.ncols);
-        BitVec::from_indices(
-            self.nrows,
-            (0..self.nrows).filter(|&i| self.rows[i].get(j)),
-        )
+        assert!(
+            j < self.ncols,
+            "column index {j} out of range ({})",
+            self.ncols
+        );
+        BitVec::from_indices(self.nrows, (0..self.nrows).filter(|&i| self.rows[i].get(j)))
     }
 
     /// Total number of 1 entries.
@@ -473,7 +478,9 @@ mod tests {
 
     fn fig1b() -> BitMatrix {
         // The 6x6 matrix of the paper's Figure 1b.
-        "101100\n010011\n101010\n010101\n111000\n000111".parse().unwrap()
+        "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap()
     }
 
     #[test]
@@ -496,7 +503,10 @@ mod tests {
     fn parse_errors() {
         assert_eq!(
             "10\n1".parse::<BitMatrix>(),
-            Err(ParseMatrixError::UnevenRows { expected: 2, found: 1 })
+            Err(ParseMatrixError::UnevenRows {
+                expected: 2,
+                found: 1
+            })
         );
         assert_eq!(
             "102".parse::<BitMatrix>(),

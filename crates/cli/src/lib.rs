@@ -9,13 +9,17 @@
 //! * `solve <file>` — exact minimum-depth partition (SAP) of a 0/1 matrix;
 //! * `pack <file>` — row-packing heuristic only (`--trials N`);
 //! * `rank <file>` — all lower bounds: real rank, GF(2) rank, fooling set;
+//! * `cover <file>` — minimum rectangle *cover* (Boolean rank);
 //! * `schedule <file>` — compile and print an AOD shot schedule;
 //! * `complete <file> <dcfile>` — EBMF with don't-cares (vacancies);
 //! * `gen <family>` — emit a benchmark instance (`rand`/`opt`/`gap`);
-//! * `sat <file.cnf>` — run the built-in CDCL solver on DIMACS input.
+//! * `sat <file.cnf>` — run the built-in CDCL solver on DIMACS input;
+//! * `batch <file>` — solve a JSON-lines job stream concurrently through the
+//!   engine (portfolio racing + canonical-form cache);
+//! * `serve` — the same loop reading jobs from stdin until EOF.
 //!
-//! Matrices are read as lines of `0`/`1` characters (the `bitmatrix`
-//! parsing format); `-` means stdin.
+//! `--version` / `-V` prints the version. Matrices are read as lines of
+//! `0`/`1` characters (the `bitmatrix` parsing format); `-` means stdin.
 
 use std::fmt::Write as _;
 
@@ -24,6 +28,7 @@ use ebmf::gen::{gap_benchmark, known_optimal_benchmark, random_benchmark};
 use ebmf::{
     complete_ebmf, lower_bound, row_packing, sap, validate_completion, PackingConfig, SapConfig,
 };
+use engine::{Engine, EngineConfig};
 use linalg::max_fooling_set;
 use qaddress::{AddressingSchedule, Pulse, QubitArray};
 
@@ -64,7 +69,14 @@ USAGE:
   rect-addr gen      opt  <m> <n> <k> <seed>        emit a known-optimal instance
   rect-addr gen      gap  <m> <n> <pairs> <seed>    emit a rank-gap instance
   rect-addr sat      <file.cnf|->               run the CDCL solver on DIMACS
-  rect-addr help
+  rect-addr batch    <jobs.jsonl|-> [opts]      solve a JSON-lines job stream
+  rect-addr serve    [opts]                     batch mode reading stdin until EOF
+  rect-addr help | --version
+
+Batch/serve options: --workers N, --budget-ms T, --conflicts C, --trials K,
+--no-sat. One job per line: {\"id\": \"l0\", \"matrix\": [\"101\", \"010\"],
+\"budget_ms\": 500}; responses stream back in completion order with
+provenance, cache-hit flag and the rectangle partition.
 
 Matrix files contain one row of 0/1 digits per line; '-' reads stdin.";
 
@@ -98,7 +110,12 @@ pub fn run(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
         Some("complete") => cmd_complete(args, stdin),
         Some("gen") => cmd_gen(args),
         Some("sat") => cmd_sat(args, stdin),
+        Some("batch") => cmd_batch(args, stdin),
+        Some("serve") => cmd_serve(args, stdin),
         Some("help") | Some("--help") | Some("-h") => CliOutput::ok(format!("{USAGE}\n")),
+        Some("--version") | Some("-V") => {
+            CliOutput::ok(format!("rect-addr {}\n", env!("CARGO_PKG_VERSION")))
+        }
         Some(other) => CliOutput::err(format!("unknown subcommand {other:?}")),
         None => CliOutput::err("missing subcommand".to_string()),
     }
@@ -136,7 +153,11 @@ fn cmd_solve(m: &BitMatrix, rest: &[String]) -> Result<String, String> {
         s,
         "depth {} ({}); real rank {}; {} SAT queries; {:.3}s packing + {:.3}s SAT",
         out.depth(),
-        if out.proved_optimal { "optimal" } else { "best effort" },
+        if out.proved_optimal {
+            "optimal"
+        } else {
+            "best effort"
+        },
         out.real_rank.rank,
         out.stats.queries.len(),
         out.stats.packing_seconds,
@@ -179,14 +200,22 @@ fn cmd_rank(m: &BitMatrix, _rest: &[String]) -> Result<String, String> {
         s,
         "real rank        {}{}",
         lb.real_rank.rank,
-        if lb.real_rank.exact { "" } else { " (GF(p) lower bound)" },
+        if lb.real_rank.exact {
+            ""
+        } else {
+            " (GF(p) lower bound)"
+        },
     );
     let _ = writeln!(s, "GF(2) rank       {}", lb.gf2_rank);
     let _ = writeln!(
         s,
         "fooling set      {}{}  {:?}",
         fooling.size(),
-        if fooling.proved_maximum { " (maximum)" } else { " (heuristic)" },
+        if fooling.proved_maximum {
+            " (maximum)"
+        } else {
+            " (heuristic)"
+        },
         fooling.cells,
     );
     let _ = writeln!(s, "binary rank  >=  {}", lb.value.max(fooling.size()));
@@ -213,7 +242,12 @@ fn cmd_schedule(m: &BitMatrix, _rest: &[String]) -> Result<String, String> {
         .verify(&array, m)
         .map_err(|e| format!("internal: schedule failed verification: {e}"))?;
     let mut s = String::new();
-    let _ = writeln!(s, "{} shots, {} control bits:", schedule.depth(), schedule.total_control_bits());
+    let _ = writeln!(
+        s,
+        "{} shots, {} control bits:",
+        schedule.depth(),
+        schedule.total_control_bits()
+    );
     for (k, shot) in schedule.shots().iter().enumerate() {
         let _ = writeln!(
             s,
@@ -246,7 +280,11 @@ fn cmd_complete(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
             s,
             "depth {} with don't-cares ({})",
             out.partition.len(),
-            if out.proved_optimal { "optimal" } else { "best effort" },
+            if out.proved_optimal {
+                "optimal"
+            } else {
+                "best effort"
+            },
         );
         let _ = writeln!(s, "{}", out.partition);
         Ok(s)
@@ -299,6 +337,117 @@ fn cmd_gen(args: &[String]) -> CliOutput {
     }
 }
 
+/// Builds an [`EngineConfig`] from `--workers/--budget-ms/--conflicts/
+/// --trials/--no-sat` flags. Budgets are only overridden when their flag is
+/// present, so [`EngineConfig::default`] stays the single source of truth.
+fn engine_config(rest: &[String]) -> Result<EngineConfig, String> {
+    let mut cfg = EngineConfig::default();
+    cfg.workers = parse_flag(rest, "--workers", cfg.workers)?;
+    cfg.portfolio.packing_trials = parse_flag(rest, "--trials", cfg.portfolio.packing_trials)?;
+    if rest.iter().any(|a| a == "--budget-ms") {
+        let budget_ms = parse_flag(rest, "--budget-ms", 0)?;
+        cfg.portfolio.time_budget = Some(std::time::Duration::from_millis(budget_ms as u64));
+    }
+    if rest.iter().any(|a| a == "--conflicts") {
+        cfg.portfolio.conflict_budget = Some(parse_flag(rest, "--conflicts", 0)? as u64);
+    }
+    if rest.iter().any(|a| a == "--no-sat") {
+        cfg.portfolio.sap = false;
+    }
+    Ok(cfg)
+}
+
+/// The job source of one batch/serve invocation.
+enum BatchInput<'a> {
+    /// Already-collected text (the unit-testable [`run`] path).
+    Text(String),
+    /// The process's real stdin, streamed (binary `batch -` / `serve`).
+    Stdin,
+    /// A job file, streamed.
+    File(&'a str),
+}
+
+/// Shared core of all batch/serve entry points: build the engine from
+/// flags, stream `input` through it into `output`, append the summary
+/// trailer line.
+fn run_engine_batch<W: std::io::Write>(
+    input: BatchInput<'_>,
+    rest: &[String],
+    output: &mut W,
+) -> Result<(), String> {
+    let engine = Engine::new(engine_config(rest)?);
+    let summary = match input {
+        BatchInput::Text(text) => engine.run_batch(text.as_bytes(), output),
+        BatchInput::Stdin => engine.run_batch(std::io::BufReader::new(std::io::stdin()), output),
+        BatchInput::File(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+            engine.run_batch(std::io::BufReader::new(file), output)
+        }
+    }
+    .map_err(|e| format!("batch I/O: {e}"))?;
+    let stats = engine.cache_stats();
+    writeln!(
+        output,
+        "{{\"summary\": true, \"solved\": {}, \"failed\": {}, \"cache_hits\": {}, \"cache_entries\": {}}}",
+        summary.solved, summary.failed, stats.hits, stats.entries,
+    )
+    .map_err(|e| format!("batch I/O: {e}"))
+}
+
+/// Collect-mode wrapper around [`run_engine_batch`] for the [`run`] harness.
+fn cmd_batch_collected(path: &str, rest: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
+    let result = read_input(path, stdin).and_then(|text| {
+        let mut out = Vec::new();
+        run_engine_batch(BatchInput::Text(text), rest, &mut out)?;
+        Ok(String::from_utf8(out).expect("responses are UTF-8"))
+    });
+    match result {
+        Ok(s) => CliOutput::ok(s),
+        Err(e) => CliOutput::err(e),
+    }
+}
+
+fn cmd_batch(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
+    let Some(path) = args.get(1) else {
+        return CliOutput::err("batch needs a JSON-lines job file (or '-')".to_string());
+    };
+    cmd_batch_collected(path, &args[2..], stdin)
+}
+
+fn cmd_serve(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
+    cmd_batch_collected("-", &args[1..], stdin)
+}
+
+/// Streaming front-end for `batch` / `serve`, used by the binary: response
+/// lines reach `output` as jobs complete (a long-lived `serve` peer sees
+/// every answer immediately), rather than being collected like [`run`] does.
+/// Returns `None` when `args` is not a streaming subcommand, so the caller
+/// can fall back to [`run`].
+pub fn try_run_streaming<W: std::io::Write>(args: &[String], output: &mut W) -> Option<i32> {
+    let (path, rest) = match args.first().map(String::as_str) {
+        Some("batch") => match args.get(1) {
+            Some(p) => (p.as_str(), &args[2..]),
+            None => return None, // run() reports the usage error
+        },
+        Some("serve") => ("-", &args[1..]),
+        _ => return None,
+    };
+    let input = if path == "-" {
+        BatchInput::Stdin
+    } else {
+        BatchInput::File(path)
+    };
+    match run_engine_batch(input, rest, output) {
+        Ok(()) => Some(0),
+        Err(e) => {
+            // stderr, not `output`: the output stream is the machine-parsed
+            // JSON-lines response channel and must never carry usage text.
+            eprintln!("error: {e}\n\n{USAGE}");
+            Some(2)
+        }
+    }
+}
+
 fn cmd_sat(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
     let Some(path) = args.get(1) else {
         return CliOutput::err("sat needs a DIMACS file".to_string());
@@ -315,7 +464,13 @@ fn cmd_sat(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
                     .model()
                     .iter()
                     .enumerate()
-                    .map(|(i, &v)| if v { format!("{}", i + 1) } else { format!("-{}", i + 1) })
+                    .map(|(i, &v)| {
+                        if v {
+                            format!("{}", i + 1)
+                        } else {
+                            format!("-{}", i + 1)
+                        }
+                    })
                     .collect();
                 let _ = writeln!(s, "v {} 0", lits.join(" "));
             }
@@ -395,7 +550,11 @@ mod tests {
         let out = run_str(&["rank", "-"], FIG1B);
         assert_eq!(out.code, 0);
         assert!(out.stdout.contains("real rank        4"), "{}", out.stdout);
-        assert!(out.stdout.contains("fooling set      5 (maximum)"), "{}", out.stdout);
+        assert!(
+            out.stdout.contains("fooling set      5 (maximum)"),
+            "{}",
+            out.stdout
+        );
         assert!(out.stdout.contains("binary rank  >=  5"), "{}", out.stdout);
     }
 
@@ -403,7 +562,11 @@ mod tests {
     fn cover_reports_boolean_rank() {
         let out = run_str(&["cover", "-"], "110\n011\n111\n");
         assert_eq!(out.code, 0);
-        assert!(out.stdout.contains("Boolean rank (min rectangle cover) 2"), "{}", out.stdout);
+        assert!(
+            out.stdout.contains("Boolean rank (min rectangle cover) 2"),
+            "{}",
+            out.stdout
+        );
     }
 
     #[test]
@@ -450,11 +613,79 @@ mod tests {
         std::fs::write(&mpath, "10\n01\n").unwrap();
         std::fs::write(&dcpath, "01\n10\n").unwrap();
         let out = run_str(
-            &["complete", mpath.to_str().unwrap(), dcpath.to_str().unwrap()],
+            &[
+                "complete",
+                mpath.to_str().unwrap(),
+                dcpath.to_str().unwrap(),
+            ],
             "",
         );
         assert_eq!(out.code, 0, "{}", out.stdout);
         assert!(out.stdout.contains("depth 1"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn version_flag_reports_version() {
+        for flag in ["--version", "-V"] {
+            let out = run_str(&[flag], "");
+            assert_eq!(out.code, 0);
+            assert_eq!(
+                out.stdout,
+                format!("rect-addr {}\n", env!("CARGO_PKG_VERSION"))
+            );
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_three_jobs() {
+        let jobs = "\
+{\"id\": \"a\", \"matrix\": [\"101100\", \"010011\", \"101010\", \"010101\", \"111000\", \"000111\"]}\n\
+{\"id\": \"b\", \"matrix\": \"10;01\"}\n\
+{\"id\": \"c\", \"matrix\": [\"11\", \"11\"]}\n";
+        let out = run_str(&["batch", "-", "--workers", "2"], jobs);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let lines: Vec<&str> = out.stdout.lines().collect();
+        assert_eq!(lines.len(), 4, "3 responses + summary:\n{}", out.stdout);
+        assert!(lines[3].contains("\"summary\": true"));
+        assert!(lines[3].contains("\"solved\": 3"));
+
+        let mut seen = std::collections::BTreeMap::new();
+        for line in &lines[..3] {
+            let resp = ::engine::protocol::JobResponse::parse_line(line).unwrap();
+            assert!(resp.ok, "{line}");
+            seen.insert(resp.id.clone(), resp);
+        }
+        assert_eq!(seen["a"].depth, 5);
+        assert!(seen["a"].proved_optimal);
+        assert_eq!(seen["b"].depth, 2);
+        assert_eq!(seen["c"].depth, 1);
+        // Round-trip the partition and validate it against the matrix.
+        let fig1b: BitMatrix = FIG1B.parse().unwrap();
+        assert!(seen["a"].to_partition(6, 6).validate(&fig1b).is_ok());
+    }
+
+    #[test]
+    fn serve_processes_stdin_jobs() {
+        let jobs = "{\"id\": \"x\", \"matrix\": \"1\"}\n";
+        let out = run_str(&["serve"], jobs);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("\"id\": \"x\""));
+        assert!(out.stdout.contains("\"solved\": 1"));
+    }
+
+    #[test]
+    fn batch_reports_bad_flag_values() {
+        let out = run_str(&["batch", "-", "--workers", "lots"], "");
+        assert_eq!(out.code, 2);
+        assert!(out.stdout.contains("--workers"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn streaming_entry_point_only_handles_batch_and_serve() {
+        let mut sink = Vec::new();
+        let args: Vec<String> = vec!["rank".to_string(), "-".to_string()];
+        assert!(try_run_streaming(&args, &mut sink).is_none());
+        assert!(sink.is_empty());
     }
 
     #[test]

@@ -1,11 +1,20 @@
 //! `rect-addr` — command-line front-end. All logic lives in the library
-//! crate (`rect_addr_cli::run`) so it can be unit-tested.
+//! crate (`rect_addr_cli::run`) so it can be unit-tested; the streaming
+//! subcommands (`batch`, `serve`) write responses as jobs complete via
+//! `rect_addr_cli::try_run_streaming`.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Some(code) = rect_addr_cli::try_run_streaming(&args, &mut stdout) {
+        return ExitCode::from(code as u8);
+    }
     let out = rect_addr_cli::run(&args, &mut std::io::stdin().lock());
-    print!("{}", out.stdout);
+    // Ignore write failures (e.g. broken pipe from `rect-addr ... | head`)
+    // instead of panicking; the exit code still reflects the command.
+    let _ = stdout.write_all(out.stdout.as_bytes());
     ExitCode::from(out.code as u8)
 }

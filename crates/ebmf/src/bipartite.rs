@@ -112,7 +112,9 @@ mod tests {
 
     fn fig2a() -> BitMatrix {
         // The 6×6 matrix of paper Fig. 2.
-        "101100\n010011\n101010\n010101\n111000\n000111".parse().unwrap()
+        "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap()
     }
 
     #[test]

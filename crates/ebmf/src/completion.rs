@@ -47,7 +47,10 @@ pub fn validate_completion(
         }
         for (i, j) in r.cells() {
             if !m.get(i, j) && !dont_care.get(i, j) {
-                return Err(PartitionError::CoversZero { index: idx, cell: (i, j) });
+                return Err(PartitionError::CoversZero {
+                    index: idx,
+                    cell: (i, j),
+                });
             }
         }
     }
@@ -62,8 +65,7 @@ pub fn validate_completion(
                     .and(&care_hits)
                     .first_one()
                     .expect("non-disjoint");
-                let first = p
-                    .rectangles()[..idx]
+                let first = p.rectangles()[..idx]
                     .iter()
                     .position(|q| q.contains(i, clash))
                     .expect("earlier cover exists");

@@ -66,8 +66,9 @@ pub fn greedy_cover(m: &BitMatrix) -> Cover {
             let inter = cols.and(m.row(r));
             // Accept the row only if it keeps the seed column and does not
             // shrink the rectangle below its current uncovered payoff.
-            if inter.get(j) && inter.count_ones() * (rows.count_ones() + 1)
-                >= cols.count_ones() * rows.count_ones()
+            if inter.get(j)
+                && inter.count_ones() * (rows.count_ones() + 1)
+                    >= cols.count_ones() * rows.count_ones()
             {
                 cols = inter;
                 rows.set(r, true);
@@ -128,11 +129,7 @@ pub fn cover_decision(m: &BitMatrix, b: usize) -> Option<Cover> {
             // p ⇒ r ∧ c ; r ∧ c ⇒ p.
             solver.add_clause([p.negative(), rvar[i][k].positive()]);
             solver.add_clause([p.negative(), cvar[j][k].positive()]);
-            solver.add_clause([
-                rvar[i][k].negative(),
-                cvar[j][k].negative(),
-                p.positive(),
-            ]);
+            solver.add_clause([rvar[i][k].negative(), cvar[j][k].negative(), p.positive()]);
             coverage.push(p.positive());
         }
         solver.add_clause(coverage);
@@ -142,14 +139,10 @@ pub fn cover_decision(m: &BitMatrix, b: usize) -> Option<Cover> {
             let model = solver.model();
             let mut cover = Partition::empty(nrows, ncols);
             for k in 0..b {
-                let rows = BitVec::from_indices(
-                    nrows,
-                    (0..nrows).filter(|&i| model[rvar[i][k].index()]),
-                );
-                let cols = BitVec::from_indices(
-                    ncols,
-                    (0..ncols).filter(|&j| model[cvar[j][k].index()]),
-                );
+                let rows =
+                    BitVec::from_indices(nrows, (0..nrows).filter(|&i| model[rvar[i][k].index()]));
+                let cols =
+                    BitVec::from_indices(ncols, (0..ncols).filter(|&j| model[cvar[j][k].index()]));
                 let rect = Rectangle::new(rows, cols);
                 if !rect.is_empty() {
                     cover.push(rect);

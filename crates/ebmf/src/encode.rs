@@ -316,6 +316,15 @@ impl EbmfEncoder {
         self.solver.set_conflict_budget(budget);
     }
 
+    /// Installs (or clears) a cooperative interrupt on the underlying SAT
+    /// solver: once the token trips, the in-flight query answers
+    /// [`SolveResult::Unknown`] at its next conflict or decision. This is
+    /// the cancellation hook the `rect-addr-engine` portfolio runner uses to
+    /// stop a SAT search whose budget has expired.
+    pub fn set_interrupt(&mut self, token: Option<sat::CancelToken>) {
+        self.solver.set_interrupt(token);
+    }
+
     /// Statistics of the underlying SAT solver.
     pub fn solver_stats(&self) -> SolverStats {
         self.solver.stats()
@@ -426,7 +435,10 @@ mod tests {
         let p3 = solve_rb(&m, 3).expect("3 rectangles must suffice");
         assert!(p3.validate(&m).is_ok());
         assert!(p3.len() <= 3);
-        assert!(solve_rb(&m, 2).is_none(), "binary rank of Eq. (2) matrix is 3");
+        assert!(
+            solve_rb(&m, 2).is_none(),
+            "binary rank of Eq. (2) matrix is 3"
+        );
     }
 
     #[test]
@@ -493,7 +505,10 @@ mod tests {
         let m: BitMatrix = "10110\n11010\n00111\n10101".parse().unwrap();
         for b in 1..=6 {
             if let Some(p) = solve_rb(&m, b) {
-                assert!(p.validate(&m).is_ok(), "bound {b} produced invalid partition");
+                assert!(
+                    p.validate(&m).is_ok(),
+                    "bound {b} produced invalid partition"
+                );
                 assert!(p.len() <= b);
             }
         }

@@ -99,9 +99,7 @@ pub fn exact_search(m: &BitMatrix, node_budget: u64) -> ExactSearchOutcome {
 
     // A tiny budget can expire before the first leaf; fall back to the
     // all-singletons assignment (always a valid partition).
-    let assignment = search
-        .best
-        .unwrap_or_else(|| (0..n_cells).collect());
+    let assignment = search.best.unwrap_or_else(|| (0..n_cells).collect());
     let num_groups = assignment.iter().copied().max().map_or(0, |g| g + 1);
     let mut rect_cells: Vec<Vec<(usize, usize)>> = vec![Vec::new(); num_groups];
     for (e, &g) in assignment.iter().enumerate() {
@@ -265,8 +263,18 @@ mod tests {
 
     #[test]
     fn identity_and_ones() {
-        assert_eq!(exact_search(&BitMatrix::identity(4), u64::MAX).partition.len(), 4);
-        assert_eq!(exact_search(&BitMatrix::ones(4, 5), u64::MAX).partition.len(), 1);
+        assert_eq!(
+            exact_search(&BitMatrix::identity(4), u64::MAX)
+                .partition
+                .len(),
+            4
+        );
+        assert_eq!(
+            exact_search(&BitMatrix::ones(4, 5), u64::MAX)
+                .partition
+                .len(),
+            1
+        );
         assert_eq!(exact_search(&BitMatrix::zeros(3, 3), 10).partition.len(), 0);
     }
 
@@ -306,7 +314,10 @@ mod tests {
             .unwrap();
         let out = exact_search(&m, 3);
         assert!(!out.proved_optimal);
-        assert!(out.partition.validate(&m).is_ok(), "incumbent is still valid");
+        assert!(
+            out.partition.validate(&m).is_ok(),
+            "incumbent is still valid"
+        );
     }
 
     #[test]

@@ -130,7 +130,10 @@ pub fn known_optimal_benchmark(
 ///
 /// Panics if `2k > nrows` or `k == 0`.
 pub fn gap_benchmark(nrows: usize, ncols: usize, k: usize, seed: u64) -> Benchmark {
-    assert!(k >= 1 && 2 * k <= nrows, "need 2k ≤ nrows, got k={k}, m={nrows}");
+    assert!(
+        k >= 1 && 2 * k <= nrows,
+        "need 2k ≤ nrows, got k={k}, m={nrows}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     // The hidden row needs at least 2 ones to split into nonempty parts;
     // at 50% occupancy on ≥ 4 columns this is almost immediate.
@@ -282,11 +285,7 @@ mod tests {
         for k in 2..=5 {
             let bench = gap_benchmark(10, 10, k, 31 + k as u64);
             let rr = real_rank(&bench.matrix);
-            assert!(
-                rr.rank <= 10 - k + 1,
-                "k={k}: rank {} above m-k+1",
-                rr.rank
-            );
+            assert!(rr.rank <= 10 - k + 1, "k={k}: rank {} above m-k+1", rr.rank);
         }
     }
 

@@ -213,7 +213,11 @@ fn exact_cover_decomposition(
 pub fn row_packing(m: &BitMatrix, config: &PackingConfig) -> Partition {
     let mut best = trivial_partition(m);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let orientations: &[bool] = if config.transpose { &[false, true] } else { &[false] };
+    let orientations: &[bool] = if config.transpose {
+        &[false, true]
+    } else {
+        &[false]
+    };
     for &transposed in orientations {
         let target = if transposed { m.transpose() } else { m.clone() };
         let trials = match config.order {
@@ -232,7 +236,11 @@ pub fn row_packing(m: &BitMatrix, config: &PackingConfig) -> Partition {
                 }
             };
             let p = row_packing_once(&target, &order, config);
-            let p = if transposed { transpose_partition(&p) } else { p };
+            let p = if transposed {
+                transpose_partition(&p)
+            } else {
+                p
+            };
             if p.len() < best.len() {
                 best = p;
             }
@@ -246,7 +254,9 @@ mod tests {
     use super::*;
 
     fn fig1b() -> BitMatrix {
-        "101100\n010011\n101010\n010101\n111000\n000111".parse().unwrap()
+        "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap()
     }
 
     /// The 5×5 matrix of paper Fig. 3 (rows r0..r4).

@@ -110,7 +110,11 @@ impl Partition {
     /// Creates a partition from rectangles (not validated — call
     /// [`Partition::validate`]).
     pub fn from_rectangles(nrows: usize, ncols: usize, rects: Vec<Rectangle>) -> Self {
-        Partition { nrows, ncols, rects }
+        Partition {
+            nrows,
+            ncols,
+            rects,
+        }
     }
 
     /// Grid shape `(nrows, ncols)`.
@@ -163,7 +167,10 @@ impl Partition {
             }
             for (i, j) in r.cells() {
                 if !m.get(i, j) {
-                    return Err(PartitionError::CoversZero { index: idx, cell: (i, j) });
+                    return Err(PartitionError::CoversZero {
+                        index: idx,
+                        cell: (i, j),
+                    });
                 }
             }
         }
@@ -179,8 +186,7 @@ impl Partition {
                         .and(r.cols())
                         .first_one()
                         .expect("non-disjoint row must share a column");
-                    let first = self
-                        .rects[..idx]
+                    let first = self.rects[..idx]
                         .iter()
                         .position(|q| q.contains(i, clash_col))
                         .expect("overlap must involve an earlier rectangle");
@@ -322,7 +328,9 @@ mod tests {
     use super::*;
 
     fn fig1b() -> BitMatrix {
-        "101100\n010011\n101010\n010101\n111000\n000111".parse().unwrap()
+        "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap()
     }
 
     fn valid_partition_of_fig1b() -> Partition {
@@ -365,7 +373,10 @@ mod tests {
         let m: BitMatrix = "1".parse().unwrap();
         let mut p = Partition::empty(1, 1);
         p.push(Rectangle::new(BitVec::zeros(1), BitVec::zeros(1)));
-        assert_eq!(p.validate(&m), Err(PartitionError::EmptyRectangle { index: 0 }));
+        assert_eq!(
+            p.validate(&m),
+            Err(PartitionError::EmptyRectangle { index: 0 })
+        );
     }
 
     #[test]
@@ -375,7 +386,10 @@ mod tests {
         p.push(Rectangle::from_cells(2, 2, [(0, 0), (0, 1)]));
         assert_eq!(
             p.validate(&m),
-            Err(PartitionError::CoversZero { index: 0, cell: (0, 1) })
+            Err(PartitionError::CoversZero {
+                index: 0,
+                cell: (0, 1)
+            })
         );
     }
 
@@ -387,7 +401,10 @@ mod tests {
         p.push(Rectangle::from_cells(2, 2, [(1, 1)]));
         assert_eq!(
             p.validate(&m),
-            Err(PartitionError::Overlap { first: 0, second: 1 })
+            Err(PartitionError::Overlap {
+                first: 0,
+                second: 1
+            })
         );
     }
 
@@ -396,7 +413,10 @@ mod tests {
         let m: BitMatrix = "11".parse().unwrap();
         let mut p = Partition::empty(1, 2);
         p.push(Rectangle::singleton(1, 2, 0, 0));
-        assert_eq!(p.validate(&m), Err(PartitionError::Uncovered { cell: (0, 1) }));
+        assert_eq!(
+            p.validate(&m),
+            Err(PartitionError::Uncovered { cell: (0, 1) })
+        );
     }
 
     #[test]

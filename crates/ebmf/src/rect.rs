@@ -141,7 +141,12 @@ impl Rectangle {
 impl fmt::Display for Rectangle {
     /// Renders as `{rows} × {cols}` using index lists.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?} × {:?}", self.rows.to_indices(), self.cols.to_indices())
+        write!(
+            f,
+            "{:?} × {:?}",
+            self.rows.to_indices(),
+            self.cols.to_indices()
+        )
     }
 }
 

@@ -12,12 +12,12 @@ use std::time::{Duration, Instant};
 
 use bitmatrix::BitMatrix;
 use linalg::RealRank;
-use sat::SolveResult;
+use sat::{CancelToken, SolveResult};
 
 use crate::{lower_bound, row_packing, EbmfEncoder, LowerBound, PackingConfig, Partition};
 
 /// Configuration of the [`sap`] solver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SapConfig {
     /// Configuration of the row-packing phase.
     pub packing: PackingConfig,
@@ -37,6 +37,12 @@ pub struct SapConfig {
     /// checker whenever optimality is concluded from an UNSAT answer. The
     /// verdict lands in [`SapOutcome::certified`].
     pub certify: bool,
+    /// Cooperative cancellation: when the token trips, the SAT phase stops
+    /// at its next conflict or decision (even mid-query) and the best
+    /// incumbent found so far is returned. `None` disables the hook. This is
+    /// how the `rect-addr-engine` portfolio runner reclaims a worker whose
+    /// time budget expired.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SapConfig {
@@ -49,6 +55,7 @@ impl Default for SapConfig {
             time_limit: None,
             max_sat_cells: None,
             certify: false,
+            cancel: None,
         }
     }
 }
@@ -149,9 +156,7 @@ pub fn sap(m: &BitMatrix, config: &SapConfig) -> SapOutcome {
 
     debug_assert!(best.validate(m).is_ok());
     let mut proved = best.len() <= lb.value;
-    let skip_sat = config
-        .max_sat_cells
-        .is_some_and(|max| m.count_ones() > max);
+    let skip_sat = config.max_sat_cells.is_some_and(|max| m.count_ones() > max);
 
     let mut certified = None;
     if !proved && !skip_sat && best.len() > 1 {
@@ -164,11 +169,19 @@ pub fn sap(m: &BitMatrix, config: &SapConfig) -> SapOutcome {
         enc_opts.proof_logging = config.certify;
         let mut encoder = EbmfEncoder::with_encoder_options(m, None, enc_opts);
         encoder.set_conflict_budget(config.conflict_budget);
+        encoder.set_interrupt(config.cancel.clone());
         loop {
             let b = encoder.bound();
             if b < lb.value {
                 proved = true; // |best| == lb.value: matches the floor
                 break;
+            }
+            if config
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+            {
+                break; // anytime exit: keep the incumbent, optimality unproved
             }
             let conflicts_before = encoder.solver_stats().conflicts;
             let tq = Instant::now();
@@ -353,18 +366,44 @@ mod tests {
         let out = sap(&m, &cfg);
         assert!(out.proved_optimal);
         assert_eq!(out.depth(), 5);
-        assert_eq!(out.certified, Some(true), "RUP checker must accept the proof");
+        assert_eq!(
+            out.certified,
+            Some(true),
+            "RUP checker must accept the proof"
+        );
     }
 
     #[test]
     fn certification_not_applicable_without_unsat() {
         // Identity: packing meets the rank floor, no SAT query happens.
-        let out = sap(&BitMatrix::identity(4), &SapConfig {
-            certify: true,
-            ..SapConfig::default()
-        });
+        let out = sap(
+            &BitMatrix::identity(4),
+            &SapConfig {
+                certify: true,
+                ..SapConfig::default()
+            },
+        );
         assert!(out.proved_optimal);
         assert_eq!(out.certified, None);
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_sat_phase() {
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = SapConfig {
+            cancel: Some(token),
+            ..SapConfig::default()
+        };
+        let out = sap(&m, &cfg);
+        // The incumbent is still the (valid) packing result; no query ran
+        // and optimality was not claimed via SAT.
+        assert!(out.partition.validate(&m).is_ok());
+        assert!(out.stats.queries.is_empty());
+        assert!(!out.proved_optimal);
     }
 
     #[test]

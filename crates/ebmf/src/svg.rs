@@ -148,7 +148,10 @@ mod tests {
         let mut p = Partition::empty(1, 2);
         p.push(crate::Rectangle::singleton(1, 2, 0, 0));
         let doc = partition_to_svg(&p, &m, &SvgOptions::default());
-        assert!(doc.contains("stroke=\"red\""), "uncovered 1-cell must be flagged");
+        assert!(
+            doc.contains("stroke=\"red\""),
+            "uncovered 1-cell must be flagged"
+        );
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Permutation-invariant memoization of solve outcomes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ebmf::Partition;
+
+use crate::canon::CanonicalForm;
+use crate::portfolio::Provenance;
+
+/// A memoized solve outcome, stored in canonical coordinates.
+#[derive(Debug, Clone)]
+struct StoredEntry {
+    partition: Partition,
+    proved_optimal: bool,
+    provenance: Provenance,
+}
+
+/// A solve outcome retrieved from (or destined for) the cache, already
+/// mapped to the coordinates of the queried matrix.
+#[derive(Debug, Clone)]
+pub struct CachedOutcome {
+    /// The partition, valid for the queried matrix.
+    pub partition: Partition,
+    /// Whether the stored depth was proved equal to the binary rank.
+    pub proved_optimal: bool,
+    /// Which strategy produced the stored result.
+    pub provenance: Provenance,
+}
+
+/// Cache hit/miss/size counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to solve.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+    /// Inserts dropped because the cache was at capacity.
+    pub evicted_inserts: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe map from canonical matrix forms to solved partitions.
+///
+/// Keys are produced by [`canonical_form`](crate::canonical_form), so a hit
+/// means the queried matrix is a row/column permutation of a previously
+/// solved one; the stored partition is mapped back through the query's own
+/// canonizing permutations before being returned. The map is guarded by a
+/// single [`Mutex`] — lookups are microseconds against solves that take
+/// milliseconds to seconds, so contention is negligible at the current
+/// worker counts (a sharded map is a ROADMAP follow-on).
+#[derive(Debug)]
+pub struct CanonicalCache {
+    map: Mutex<HashMap<String, StoredEntry>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl CanonicalCache {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        CanonicalCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the canonical form, mapping a hit back onto the coordinates
+    /// of the matrix `canon` was computed from. The mutex guards only the
+    /// map access; permutation mapping happens after unlock.
+    pub fn get(&self, canon: &CanonicalForm) -> Option<CachedOutcome> {
+        let entry = {
+            let map = self.map.lock().expect("cache mutex poisoned");
+            map.get(canon.key()).cloned()
+        };
+        match entry {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(CachedOutcome {
+                    partition: canon.partition_to_original(&entry.partition),
+                    proved_optimal: entry.proved_optimal,
+                    provenance: entry.provenance,
+                })
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a solved partition (given in the coordinates of the matrix
+    /// `canon` was computed from). A better or newly-proved result replaces
+    /// an existing entry; otherwise first-write wins. At capacity, new keys
+    /// are dropped (counted in [`CacheStats::evicted_inserts`]).
+    pub fn insert(
+        &self,
+        canon: &CanonicalForm,
+        partition: &Partition,
+        proved_optimal: bool,
+        provenance: Provenance,
+    ) {
+        let entry = StoredEntry {
+            partition: canon.partition_to_canonical(partition),
+            proved_optimal,
+            provenance,
+        };
+        let mut map = self.map.lock().expect("cache mutex poisoned");
+        match map.get_mut(canon.key()) {
+            Some(existing) => {
+                let better = entry.partition.len() < existing.partition.len()
+                    || (proved_optimal && !existing.proved_optimal);
+                if better {
+                    *existing = entry;
+                }
+            }
+            None => {
+                if map.len() < self.capacity {
+                    map.insert(canon.key().to_string(), entry);
+                } else {
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache mutex poisoned").len() as u64,
+            evicted_inserts: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonical_form;
+    use bitmatrix::BitMatrix;
+    use ebmf::{row_packing, PackingConfig};
+
+    #[test]
+    fn miss_then_hit_on_permuted_duplicate() {
+        let cache = CanonicalCache::new(64);
+        // Irregular degrees: the signature canonizer is exact here (only
+        // biregular matrices can confuse it — see the canon module docs).
+        let m: BitMatrix = "111100\n010011\n101010\n010100\n111001\n000111"
+            .parse()
+            .unwrap();
+        let canon = canonical_form(&m);
+        assert!(cache.get(&canon).is_none());
+
+        let p = row_packing(&m, &PackingConfig::with_trials(8));
+        cache.insert(&canon, &p, false, Provenance::Packing);
+
+        // A row/col-permuted duplicate must hit and yield a valid partition
+        // in *its* coordinates.
+        let dup = m.submatrix(&[5, 0, 3, 2, 4, 1], &[1, 0, 2, 5, 4, 3]);
+        let dup_canon = canonical_form(&dup);
+        let hit = cache.get(&dup_canon).expect("permuted duplicate must hit");
+        assert!(hit.partition.validate(&dup).is_ok());
+        assert_eq!(hit.partition.len(), p.len());
+        assert_eq!(hit.provenance, Provenance::Packing);
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn better_result_replaces_entry() {
+        let cache = CanonicalCache::new(4);
+        let m: BitMatrix = "11\n11".parse().unwrap();
+        let canon = canonical_form(&m);
+        let unproved = ebmf::trivial_partition(&m);
+        cache.insert(&canon, &unproved, false, Provenance::Trivial);
+        let best = row_packing(&m, &PackingConfig::with_trials(2));
+        cache.insert(&canon, &best, true, Provenance::Sap);
+        let hit = cache.get(&canon).unwrap();
+        assert!(hit.proved_optimal);
+    }
+
+    #[test]
+    fn capacity_bounds_entries() {
+        let cache = CanonicalCache::new(1);
+        let a: BitMatrix = "10\n01".parse().unwrap();
+        let b: BitMatrix = "111\n111".parse().unwrap();
+        let (ca, cb) = (canonical_form(&a), canonical_form(&b));
+        cache.insert(&ca, &ebmf::trivial_partition(&a), true, Provenance::Trivial);
+        cache.insert(&cb, &ebmf::trivial_partition(&b), true, Provenance::Trivial);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evicted_inserts, 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Permutation-invariant canonical forms of binary matrices.
+//!
+//! Two addressing patterns that differ only by a relabeling of rows and
+//! columns have the same binary rank, and any EBMF of one maps to an EBMF of
+//! the other by applying the same relabeling to every rectangle. The engine
+//! exploits this: jobs are keyed by a *canonical representative* of their
+//! permutation class, so a circuit whose layers repeat a pattern under
+//! different wire orders is solved once.
+//!
+//! The canonical labeling is computed by Weisfeiler–Leman-style signature
+//! refinement on the bipartite row/column graph (rows and columns iterate
+//! hashes of their neighbours' labels), followed by a lexicographic settling
+//! pass that orders label-tied rows and columns by their bit content. This
+//! is a heuristic canonizer, not a graph-isomorphism decision procedure:
+//! highly symmetric matrices may canonize to different representatives under
+//! different input orders, which only costs a cache miss. **Soundness never
+//! depends on it** — the cache key is the full canonical bit pattern, so
+//! equal keys always mean genuinely permutation-equivalent matrices.
+
+use bitmatrix::{BitMatrix, BitVec};
+use ebmf::{Partition, Rectangle};
+
+/// A matrix together with the permutations that canonize it.
+///
+/// Row `i` of [`CanonicalForm::matrix`] is row `row_perm[i]` of the original
+/// matrix (and likewise for columns), i.e.
+/// `matrix[i][j] == original[row_perm[i]][col_perm[j]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    /// The canonical representative of the permutation class.
+    pub matrix: BitMatrix,
+    /// Original row index of each canonical row.
+    pub row_perm: Vec<usize>,
+    /// Original column index of each canonical column.
+    pub col_perm: Vec<usize>,
+    /// Rendered once at construction: shape plus the canonical bit pattern.
+    key: String,
+}
+
+impl CanonicalForm {
+    /// The cache key: shape plus the canonical bit pattern (precomputed).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Maps a partition of the *canonical* matrix back onto the original.
+    pub fn partition_to_original(&self, p: &Partition) -> Partition {
+        permute_partition(p, &self.row_perm, &self.col_perm)
+    }
+
+    /// Maps a partition of the *original* matrix onto the canonical one.
+    pub fn partition_to_canonical(&self, p: &Partition) -> Partition {
+        permute_partition(
+            p,
+            &invert_permutation(&self.row_perm),
+            &invert_permutation(&self.col_perm),
+        )
+    }
+}
+
+/// Relabels a partition: index `i` becomes `row_map[i]` / `col_map[j]`.
+fn permute_partition(p: &Partition, row_map: &[usize], col_map: &[usize]) -> Partition {
+    let (nrows, ncols) = p.shape();
+    let rects = p
+        .iter()
+        .map(|r| {
+            Rectangle::new(
+                BitVec::from_indices(nrows, r.rows().ones().map(|i| row_map[i])),
+                BitVec::from_indices(ncols, r.cols().ones().map(|j| col_map[j])),
+            )
+        })
+        .collect();
+    Partition::from_rectangles(nrows, ncols, rects)
+}
+
+fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn combine(h: u64, x: u64) -> u64 {
+    mix(h ^ x.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// One refinement round: every row hashes the sorted multiset of its
+/// neighbouring column labels (and vice versa, via the transpose `mt`), so
+/// the cost is proportional to the one-cells, not the full grid.
+fn refine_once(m: &BitMatrix, mt: &BitMatrix, row_lab: &mut [u64], col_lab: &mut [u64]) {
+    let mut scratch: Vec<u64> = Vec::new();
+    let new_rows: Vec<u64> = (0..m.nrows())
+        .map(|i| {
+            scratch.clear();
+            scratch.extend(m.row(i).ones().map(|j| col_lab[j]));
+            scratch.sort_unstable();
+            scratch.iter().fold(mix(row_lab[i]), |h, &l| combine(h, l))
+        })
+        .collect();
+    let new_cols: Vec<u64> = (0..m.ncols())
+        .map(|j| {
+            scratch.clear();
+            scratch.extend(mt.row(j).ones().map(|i| row_lab[i]));
+            scratch.sort_unstable();
+            scratch.iter().fold(mix(!col_lab[j]), |h, &l| combine(h, l))
+        })
+        .collect();
+    row_lab.copy_from_slice(&new_rows);
+    col_lab.copy_from_slice(&new_cols);
+}
+
+/// Number of distinct values, as a cheap partition-stability probe.
+fn class_count(labels: &[u64]) -> usize {
+    let mut sorted: Vec<u64> = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Compares two rows of `m` by bit content under the column order `cols`.
+fn cmp_rows(m: &BitMatrix, a: usize, b: usize, cols: &[usize]) -> std::cmp::Ordering {
+    for &j in cols {
+        match m.get(a, j).cmp(&m.get(b, j)) {
+            std::cmp::Ordering::Equal => {}
+            other => return other.reverse(), // 1s first: denser rows sort earlier
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Computes the canonical form of `m`.
+///
+/// Cost is `O(r · E log E)` for `r` refinement rounds over the `E` one-cells
+/// — microseconds at the paper's 100×100 technology-limit scale, against SAT
+/// queries that take seconds.
+///
+/// # Examples
+///
+/// ```
+/// use bitmatrix::BitMatrix;
+/// use rect_addr_engine::canonical_form;
+///
+/// let a: BitMatrix = "110\n001".parse()?;
+/// let b: BitMatrix = "100\n011".parse()?; // a with columns rotated
+/// assert_eq!(canonical_form(&a).key(), canonical_form(&b).key());
+/// # Ok::<(), bitmatrix::ParseMatrixError>(())
+/// ```
+pub fn canonical_form(m: &BitMatrix) -> CanonicalForm {
+    let (nr, nc) = m.shape();
+    let mt = m.transpose();
+    let mut row_lab: Vec<u64> = (0..nr).map(|i| mix(m.row(i).count_ones() as u64)).collect();
+    let mut col_lab: Vec<u64> = (0..nc)
+        .map(|j| mix(!(mt.row(j).count_ones() as u64)))
+        .collect();
+
+    // Refine until the class partition stops splitting (or a small cap; the
+    // diameter of the bipartite graph bounds the useful rounds).
+    let mut classes = (class_count(&row_lab), class_count(&col_lab));
+    for _ in 0..(nr + nc).max(2).ilog2() + 2 {
+        refine_once(m, &mt, &mut row_lab, &mut col_lab);
+        let next = (class_count(&row_lab), class_count(&col_lab));
+        if next == classes {
+            break;
+        }
+        classes = next;
+    }
+
+    // Order by label, settling label ties lexicographically by bit content
+    // under the other side's current order; alternate until stable.
+    let mut row_perm: Vec<usize> = (0..nr).collect();
+    let mut col_perm: Vec<usize> = (0..nc).collect();
+    row_perm.sort_by_key(|&i| row_lab[i]);
+    col_perm.sort_by_key(|&j| col_lab[j]);
+    for _ in 0..32 {
+        let mut next_rows = row_perm.clone();
+        next_rows.sort_by(|&a, &b| {
+            row_lab[a]
+                .cmp(&row_lab[b])
+                .then_with(|| cmp_rows(m, a, b, &col_perm))
+        });
+        let mut next_cols = col_perm.clone();
+        next_cols.sort_by(|&a, &b| {
+            col_lab[a]
+                .cmp(&col_lab[b])
+                .then_with(|| cmp_rows(&mt, a, b, &next_rows))
+        });
+        let stable = next_rows == row_perm && next_cols == col_perm;
+        row_perm = next_rows;
+        col_perm = next_cols;
+        if stable {
+            break;
+        }
+    }
+
+    let matrix = m.submatrix(&row_perm, &col_perm);
+    let key = format!("{nr}x{nc}:{matrix}");
+    CanonicalForm {
+        matrix,
+        row_perm,
+        col_perm,
+        key,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn permuted(m: &BitMatrix, seed: u64) -> BitMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rp = bitmatrix::random_permutation(m.nrows(), &mut rng);
+        let cp = bitmatrix::random_permutation(m.ncols(), &mut rng);
+        m.submatrix(&rp, &cp)
+    }
+
+    #[test]
+    fn canonical_matrix_is_a_permutation_of_input() {
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let c = canonical_form(&m);
+        assert_eq!(c.matrix, m.submatrix(&c.row_perm, &c.col_perm));
+        assert_eq!(c.matrix.count_ones(), m.count_ones());
+    }
+
+    #[test]
+    fn permuted_duplicates_share_a_key() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let m = bitmatrix::random_matrix(8, 10, 0.45, &mut rng);
+            let base = canonical_form(&m).key().to_string();
+            for seed in 0..5 {
+                let p = permuted(&m, seed * 31 + trial);
+                assert_eq!(
+                    canonical_form(&p).key(),
+                    base,
+                    "trial {trial} seed {seed}\n{m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_matrices_get_different_keys() {
+        let a: BitMatrix = "110\n011".parse().unwrap();
+        let b: BitMatrix = "111\n011".parse().unwrap();
+        assert_ne!(canonical_form(&a).key(), canonical_form(&b).key());
+    }
+
+    #[test]
+    fn partition_roundtrips_through_canonical_coordinates() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = bitmatrix::random_matrix(7, 7, 0.5, &mut rng);
+        let c = canonical_form(&m);
+        let p = ebmf::row_packing(&m, &ebmf::PackingConfig::with_trials(4));
+        assert!(p.validate(&m).is_ok());
+        let canon_p = c.partition_to_canonical(&p);
+        assert!(
+            canon_p.validate(&c.matrix).is_ok(),
+            "canonical image must be valid"
+        );
+        let back = c.partition_to_original(&canon_p);
+        assert!(back.validate(&m).is_ok());
+        assert_eq!(back.len(), p.len());
+    }
+
+    #[test]
+    fn hit_partition_maps_to_permuted_instance() {
+        // Solve the canonical instance once, then reuse it for a permuted
+        // duplicate — the core cache scenario.
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = bitmatrix::random_matrix(6, 9, 0.4, &mut rng);
+        let dup = permuted(&m, 99);
+        let (cm, cd) = (canonical_form(&m), canonical_form(&dup));
+        assert_eq!(cm.key(), cd.key());
+
+        let solved = ebmf::row_packing(&m, &ebmf::PackingConfig::with_trials(8));
+        let canonical_partition = cm.partition_to_canonical(&solved);
+        let mapped = cd.partition_to_original(&canonical_partition);
+        assert!(mapped.validate(&dup).is_ok());
+        assert_eq!(mapped.len(), solved.len());
+    }
+}

@@ -1,0 +1,439 @@
+//! The serving engine: canonical-form cache wrapped around the portfolio
+//! runner, plus the concurrent streaming batch driver.
+
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use bitmatrix::BitMatrix;
+use ebmf::Partition;
+
+use crate::cache::{CacheStats, CanonicalCache};
+use crate::canon::canonical_form;
+use crate::portfolio::{portfolio_solve, PortfolioConfig, Provenance};
+use crate::protocol::{JobRequest, JobResponse};
+
+/// Configuration of an [`Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Concurrent jobs in flight during [`Engine::run_batch`]. `0` means
+    /// one per available CPU.
+    pub workers: usize,
+    /// Defaults for every job's portfolio race (per-job `budget_ms` /
+    /// `conflicts` request fields override the budgets).
+    pub portfolio: PortfolioConfig,
+    /// Maximum entries of the canonical-form cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            portfolio: PortfolioConfig::default(),
+            cache_capacity: 65_536,
+        }
+    }
+}
+
+/// Outcome of one [`Engine::solve`] call.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// The best partition found (valid for the queried matrix).
+    pub partition: Partition,
+    /// Whether the depth was proved equal to the binary rank.
+    pub proved_optimal: bool,
+    /// Strategy that produced the partition ([`Provenance::Cache`] on hits).
+    pub provenance: Provenance,
+    /// Whether the canonical-form cache answered the query.
+    pub cache_hit: bool,
+    /// Wall-clock time spent on this call.
+    pub elapsed: Duration,
+}
+
+/// Totals of one [`Engine::run_batch`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchSummary {
+    /// Jobs answered successfully.
+    pub solved: usize,
+    /// Jobs answered with an error response.
+    pub failed: usize,
+}
+
+/// The concurrent portfolio-solving engine.
+///
+/// Shares one permutation-invariant result cache across all jobs; safe to
+/// use from multiple threads through a shared reference.
+///
+/// # Examples
+///
+/// ```
+/// use bitmatrix::BitMatrix;
+/// use rect_addr_engine::{Engine, EngineConfig};
+///
+/// let engine = Engine::new(EngineConfig::default());
+/// let m: BitMatrix = "110\n011\n111".parse()?;
+/// let out = engine.solve(&m);
+/// assert_eq!(out.partition.len(), 3);
+/// assert!(out.proved_optimal);
+///
+/// // A row-permuted duplicate is answered from the cache.
+/// let dup: BitMatrix = "111\n110\n011".parse()?;
+/// let hit = engine.solve(&dup);
+/// assert!(hit.cache_hit);
+/// assert!(hit.partition.validate(&dup).is_ok());
+/// # Ok::<(), bitmatrix::ParseMatrixError>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: CanonicalCache,
+}
+
+impl Engine {
+    /// Creates an engine with an empty cache.
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = CanonicalCache::new(config.cache_capacity);
+        Engine { config, cache }
+    }
+
+    /// The configured defaults.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cache counters (hits / misses / entries).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Solves one matrix with the default portfolio budgets.
+    pub fn solve(&self, m: &BitMatrix) -> EngineOutcome {
+        self.solve_with(m, &self.config.portfolio)
+    }
+
+    /// Solves one matrix under an explicit portfolio configuration.
+    ///
+    /// Consults the canonical-form cache first. *Proved-optimal* entries
+    /// short-circuit — no budget can improve them. An *unproved* entry is
+    /// only a known upper bound, so the race still runs under this job's
+    /// budget (which may be more generous than the one that produced the
+    /// entry) and the better of the two answers wins and is memoized; the
+    /// outcome still reports `cache_hit` when the stored bound prevailed.
+    /// On a miss, the portfolio result is memoized keyed by the canonical
+    /// form, so every future row/column permutation of `m` hits.
+    pub fn solve_with(&self, m: &BitMatrix, portfolio: &PortfolioConfig) -> EngineOutcome {
+        let start = Instant::now();
+        let canon = canonical_form(m);
+        let cached = self.cache.get(&canon);
+        if let Some(hit) = &cached {
+            if hit.proved_optimal {
+                return EngineOutcome {
+                    partition: hit.partition.clone(),
+                    proved_optimal: true,
+                    provenance: Provenance::Cache,
+                    cache_hit: true,
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+        let out = portfolio_solve(m, portfolio);
+        self.cache
+            .insert(&canon, &out.partition, out.proved_optimal, out.provenance);
+        match cached {
+            // The stored (unproved) bound is still at least as good as this
+            // race's answer: serve it as the hit it is.
+            Some(hit) if !out.proved_optimal && hit.partition.len() <= out.partition.len() => {
+                EngineOutcome {
+                    partition: hit.partition,
+                    proved_optimal: false,
+                    provenance: Provenance::Cache,
+                    cache_hit: true,
+                    elapsed: start.elapsed(),
+                }
+            }
+            _ => EngineOutcome {
+                partition: out.partition,
+                proved_optimal: out.proved_optimal,
+                provenance: out.provenance,
+                cache_hit: false,
+                elapsed: start.elapsed(),
+            },
+        }
+    }
+
+    /// Builds the per-job portfolio config from engine defaults plus request
+    /// overrides.
+    fn job_portfolio(&self, req: &JobRequest) -> PortfolioConfig {
+        let mut cfg = self.config.portfolio.clone();
+        if let Some(ms) = req.budget_ms {
+            cfg.time_budget = Some(Duration::from_millis(ms));
+        }
+        if let Some(c) = req.conflicts {
+            cfg.conflict_budget = Some(c);
+        }
+        cfg
+    }
+
+    /// Solves one parsed request into a response line.
+    pub fn solve_job(&self, req: &JobRequest) -> JobResponse {
+        let cfg = self.job_portfolio(req);
+        let out = self.solve_with(&req.matrix, &cfg);
+        JobResponse {
+            id: req.id.clone(),
+            ok: true,
+            depth: out.partition.len(),
+            proved_optimal: out.proved_optimal,
+            provenance: out.provenance.as_str().to_string(),
+            cache_hit: out.cache_hit,
+            millis: out.elapsed.as_secs_f64() * 1e3,
+            partition: out
+                .partition
+                .iter()
+                .map(|r| (r.rows().to_indices(), r.cols().to_indices()))
+                .collect(),
+            error: None,
+        }
+    }
+
+    /// Streams JSON-lines jobs from `input` through a worker pool, writing
+    /// one response line per job to `output` **in completion order**.
+    ///
+    /// Jobs are dispatched as soon as their line is read — a slow job never
+    /// blocks later lines from being solved, and results are flushed as they
+    /// arrive, so a long-lived peer (`rect-addr serve`) sees every answer as
+    /// soon as it exists. Unparseable lines produce `ok: false` responses
+    /// (carrying the line's `id` when one was readable); blank lines are
+    /// skipped. The call returns when `input` reaches end-of-stream and
+    /// every dispatched job has been answered.
+    pub fn run_batch<R: BufRead + Send, W: Write>(
+        &self,
+        input: R,
+        output: &mut W,
+    ) -> std::io::Result<BatchSummary> {
+        let workers = if self.config.workers == 0 {
+            // Each in-flight job races up to `strategies` CPU-bound threads,
+            // so divide the cores among them instead of oversubscribing.
+            let strategies = 2
+                + usize::from(self.config.portfolio.exact_cover)
+                + usize::from(self.config.portfolio.sap);
+            std::thread::available_parallelism()
+                .map_or(4, usize::from)
+                .div_ceil(strategies)
+                .max(1)
+        } else {
+            self.config.workers
+        };
+        let mut summary = BatchSummary::default();
+
+        let (job_tx, job_rx) = mpsc::channel::<JobRequest>();
+        let (res_tx, res_rx) = mpsc::channel::<JobResponse>();
+        // Workers share one receiver behind a mutex; `abort` stops solving
+        // once the consumer is gone. Both are declared outside the scope so
+        // scoped threads may borrow them.
+        let job_rx = std::sync::Mutex::new(job_rx);
+        let job_rx = &job_rx;
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        let abort = &abort;
+
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            for _ in 0..workers.max(1) {
+                let res_tx = res_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the lock only while dequeuing, not while solving.
+                    let job = match job_rx.lock().expect("job queue poisoned").recv() {
+                        Ok(job) => job,
+                        Err(_) => break, // queue closed and drained
+                    };
+                    if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                        continue; // consumer gone: drain without solving
+                    }
+                    if res_tx.send(self.solve_job(&job)).is_err() {
+                        break;
+                    }
+                });
+            }
+
+            // Reader: parse + dispatch each line as it arrives. Parse
+            // failures answer immediately without occupying a worker.
+            let reader = scope.spawn(move || -> std::io::Result<()> {
+                for (idx, line) in input.lines().enumerate() {
+                    let line = line?;
+                    if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                        break; // consumer gone: stop dispatching
+                    }
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match JobRequest::parse_line(&line, idx + 1) {
+                        Ok(job) => {
+                            if job_tx.send(job).is_err() {
+                                break;
+                            }
+                        }
+                        Err((id, msg)) => {
+                            if res_tx.send(JobResponse::failure(id, msg)).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+                // job_tx and res_tx drop here: workers drain and exit.
+            });
+
+            // Writer: emit responses in completion order as they arrive. The
+            // loop ends once the reader and every worker have dropped their
+            // sender, i.e. when all dispatched jobs are answered. On a write
+            // error (e.g. the consumer hung up) keep draining instead of
+            // returning: an early return would leave the scope join blocked
+            // on the reader, which sits in a blocking read until the next
+            // input line. Responses after the first failure are discarded.
+            let mut write_error: Option<std::io::Error> = None;
+            for response in res_rx {
+                if response.ok {
+                    summary.solved += 1;
+                } else {
+                    summary.failed += 1;
+                }
+                if write_error.is_none() {
+                    let attempt = writeln!(output, "{}", response.to_json_line())
+                        .and_then(|()| output.flush());
+                    if let Err(e) = attempt {
+                        write_error = Some(e);
+                        // Tell the reader to stop dispatching and the
+                        // workers to stop solving: the remaining drain is
+                        // then near-instant instead of minutes of SAT work
+                        // whose output nobody reads.
+                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            }
+            reader.join().expect("reader thread panicked")?;
+            match write_error {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })?;
+
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            workers: 4,
+            portfolio: PortfolioConfig {
+                time_budget: Some(Duration::from_secs(5)),
+                packing_trials: 16,
+                ..PortfolioConfig::default()
+            },
+            cache_capacity: 1024,
+        })
+    }
+
+    #[test]
+    fn solve_caches_permuted_duplicates() {
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(21);
+        let m = bitmatrix::random_matrix(7, 9, 0.4, &mut rng);
+        let first = e.solve(&m);
+        assert!(!first.cache_hit);
+        assert!(first.partition.validate(&m).is_ok());
+
+        let rp = bitmatrix::random_permutation(7, &mut rng);
+        let cp = bitmatrix::random_permutation(9, &mut rng);
+        let dup = m.submatrix(&rp, &cp);
+        let second = e.solve(&dup);
+        assert!(second.cache_hit, "permuted duplicate must hit the cache");
+        assert_eq!(second.provenance, Provenance::Cache);
+        assert!(second.partition.validate(&dup).is_ok());
+        assert_eq!(second.partition.len(), first.partition.len());
+        assert_eq!(second.proved_optimal, first.proved_optimal);
+        assert_eq!(e.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn run_batch_answers_every_job_and_reports_errors() {
+        let e = engine();
+        let input = "\
+{\"id\": \"a\", \"matrix\": [\"10\", \"01\"]}\n\
+\n\
+{\"id\": \"bad\", \"matrix\": [\"10\", \"0\"]}\n\
+{\"id\": \"b\", \"matrix\": \"11;11\"}\n";
+        let mut out = Vec::new();
+        let summary = e.run_batch(input.as_bytes(), &mut out).unwrap();
+        assert_eq!(
+            summary,
+            BatchSummary {
+                solved: 2,
+                failed: 1
+            }
+        );
+
+        let text = String::from_utf8(out).unwrap();
+        let responses: Vec<JobResponse> = text
+            .lines()
+            .map(|l| JobResponse::parse_line(l).unwrap())
+            .collect();
+        assert_eq!(responses.len(), 3);
+        let by_id = |id: &str| responses.iter().find(|r| r.id == id).unwrap();
+        assert!(by_id("a").ok && by_id("a").depth == 2);
+        assert!(by_id("b").ok && by_id("b").depth == 1);
+        assert!(!by_id("bad").ok);
+        assert!(by_id("bad")
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("invalid matrix"));
+    }
+
+    #[test]
+    fn unproved_cache_entry_is_improved_by_generous_budget() {
+        let e = engine();
+        // Rank-gap matrix: real rank 2 < r_B = 3, so heuristics can't prove
+        // optimality and a starved race caches an unproved bound.
+        let m: BitMatrix = "1100\n0011\n1111\n1010".parse().unwrap();
+        let starved = PortfolioConfig {
+            time_budget: Some(Duration::ZERO),
+            conflict_budget: Some(1),
+            packing_trials: 1,
+            exact_cover: false,
+            sap: true,
+        };
+        let first = e.solve_with(&m, &starved);
+        assert!(first.partition.validate(&m).is_ok());
+
+        // A generous budget must not be short-circuited by the unproved
+        // entry: the race reruns and the proved result replaces it.
+        let second = e.solve_with(&m, &PortfolioConfig::default());
+        assert!(
+            second.proved_optimal,
+            "generous budget must prove the gap matrix"
+        );
+        assert_eq!(second.partition.len(), 3);
+
+        // Now the proved entry short-circuits.
+        let third = e.solve(&m);
+        assert!(third.cache_hit && third.proved_optimal);
+    }
+
+    #[test]
+    fn per_job_budget_overrides_engine_default() {
+        let e = engine();
+        let req = JobRequest::parse_line(
+            "{\"id\": \"t\", \"matrix\": \"10;01\", \"budget_ms\": 7, \"conflicts\": 3}",
+            1,
+        )
+        .unwrap();
+        let cfg = e.job_portfolio(&req);
+        assert_eq!(cfg.time_budget, Some(Duration::from_millis(7)));
+        assert_eq!(cfg.conflict_budget, Some(3));
+    }
+}

@@ -1,0 +1,52 @@
+//! The `rect-addr` serving engine: concurrent portfolio solving with
+//! permutation-invariant caching and a streaming batch protocol.
+//!
+//! The solver crates answer one matrix at a time; real workloads — per-layer
+//! addressing of a whole circuit, parameter sweeps over benchmark families —
+//! submit thousands of related matrices, many identical up to row/column
+//! relabeling. This crate is the layer between the solvers and the CLI that
+//! makes such workloads cheap:
+//!
+//! * [`canonical_form`] — a canonical labeling of the row/column permutation
+//!   class of a [`BitMatrix`](bitmatrix::BitMatrix), via bipartite signature
+//!   refinement;
+//! * [`CanonicalCache`] — memoizes solved partitions keyed by canonical
+//!   form, mapping hits back through the query's own permutations, so a
+//!   pattern repeated across circuit layers is solved once;
+//! * [`portfolio_solve`] — races `trivial` / `row_packing` (± DLX exact
+//!   cover) / full `sap` on scoped threads under wall-clock and conflict
+//!   budgets, cancelling the SAT search mid-query via
+//!   [`CancelToken`](sat::CancelToken) when the budget expires, and returns
+//!   the best anytime incumbent with its [`Provenance`];
+//! * [`Engine`] — cache-wrapped portfolio plus [`Engine::run_batch`]: a
+//!   worker pool that streams JSON-lines job requests ([`protocol`]) and
+//!   emits responses in completion order. The CLI exposes it as
+//!   `rect-addr batch <file|->` and `rect-addr serve`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rect_addr_engine::{Engine, EngineConfig};
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let mut out = Vec::new();
+//! let jobs = "{\"id\": \"l0\", \"matrix\": [\"10\", \"01\"]}\n\
+//!             {\"id\": \"l1\", \"matrix\": [\"01\", \"10\"]}\n";
+//! let summary = engine.run_batch(jobs.as_bytes(), &mut out)?;
+//! assert_eq!(summary.solved, 2);
+//! // l1 is l0 with rows swapped: answered from the canonical-form cache.
+//! assert_eq!(engine.cache_stats().hits, 1);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+mod cache;
+mod canon;
+#[allow(clippy::module_inception)]
+mod engine;
+mod portfolio;
+pub mod protocol;
+
+pub use cache::{CacheStats, CachedOutcome, CanonicalCache};
+pub use canon::{canonical_form, CanonicalForm};
+pub use engine::{BatchSummary, Engine, EngineConfig, EngineOutcome};
+pub use portfolio::{portfolio_solve, PortfolioConfig, PortfolioOutcome, Provenance};

@@ -1,0 +1,367 @@
+//! The strategy portfolio: race heuristics and the exact solver under a
+//! budget, keep the best anytime incumbent.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use bitmatrix::BitMatrix;
+use ebmf::{row_packing, sap, trivial_partition, PackingConfig, Partition, SapConfig};
+use sat::CancelToken;
+
+/// Which strategy produced a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Provenance {
+    /// Served from the canonical-form cache.
+    Cache,
+    /// The `min(#rows, #cols)` trivial partition (paper §III-B).
+    Trivial,
+    /// Shuffled greedy row packing (paper Algorithm 2).
+    Packing,
+    /// Row packing with the DLX exact-cover upgrade (paper §VI).
+    PackingDlx,
+    /// The full SAP descent (paper Algorithm 1) — the only strategy that can
+    /// *prove* optimality beyond depth ≤ 1.
+    Sap,
+}
+
+impl Provenance {
+    /// Stable lowercase name used by the JSON-lines protocol.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Provenance::Cache => "cache",
+            Provenance::Trivial => "trivial",
+            Provenance::Packing => "packing",
+            Provenance::PackingDlx => "packing-dlx",
+            Provenance::Sap => "sap",
+        }
+    }
+
+    /// Parses [`Provenance::as_str`] output.
+    pub fn from_str_opt(s: &str) -> Option<Provenance> {
+        Some(match s {
+            "cache" => Provenance::Cache,
+            "trivial" => Provenance::Trivial,
+            "packing" => Provenance::Packing,
+            "packing-dlx" => Provenance::PackingDlx,
+            "sap" => Provenance::Sap,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Configuration of [`portfolio_solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Wall-clock budget per job. When it expires the SAT strategy is
+    /// cancelled mid-query (via [`CancelToken`]) and the packing strategies
+    /// stop at their next trial boundary; the best incumbent found so far
+    /// wins. The budget is best-effort: the race can overrun by the
+    /// granularity of one packing trial (plus SAP's small seeding pass) —
+    /// milliseconds at the paper's ≤100×100 technology-limit scale.
+    /// `None` runs every strategy to completion.
+    pub time_budget: Option<Duration>,
+    /// Conflict budget per SAT query (`None` = unlimited).
+    pub conflict_budget: Option<u64>,
+    /// Row-packing trials for the heuristic strategies.
+    pub packing_trials: usize,
+    /// Also race a DLX exact-cover-upgraded packing strategy.
+    pub exact_cover: bool,
+    /// Race the full SAP exact solver (disable for heuristic-only serving).
+    pub sap: bool,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            time_budget: Some(Duration::from_secs(10)),
+            conflict_budget: None,
+            packing_trials: 64,
+            exact_cover: true,
+            sap: true,
+        }
+    }
+}
+
+/// Result of one portfolio race.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The best partition found (always valid for the input matrix).
+    pub partition: Partition,
+    /// Whether the depth was proved equal to the binary rank.
+    pub proved_optimal: bool,
+    /// The strategy that produced [`PortfolioOutcome::partition`].
+    pub provenance: Provenance,
+    /// Number of strategies that reported a result before the budget cutoff.
+    pub strategies_finished: usize,
+    /// Wall-clock time of the whole race.
+    pub elapsed: Duration,
+}
+
+struct StrategyResult {
+    provenance: Provenance,
+    partition: Partition,
+    proved_optimal: bool,
+}
+
+/// Runs `trials` single-shuffle packing passes, polling the cancel token
+/// between passes so a budget expiry stops the heuristic at trial
+/// granularity (the residual overrun is one trial, not the whole batch).
+/// Always completes at least one trial so a valid partition exists.
+fn cancellable_packing(
+    m: &BitMatrix,
+    trials: usize,
+    exact_cover: bool,
+    token: &CancelToken,
+) -> Partition {
+    let mut best: Option<Partition> = None;
+    for t in 0..trials.max(1) as u64 {
+        if t > 0 && token.is_cancelled() {
+            break;
+        }
+        let cfg = PackingConfig {
+            trials: 1,
+            seed: PackingConfig::default().seed.wrapping_add(t),
+            exact_cover,
+            ..PackingConfig::default()
+        };
+        let p = row_packing(m, &cfg);
+        let better = best.as_ref().is_none_or(|b| p.len() < b.len());
+        if better {
+            best = Some(p);
+        }
+        if best.as_ref().is_some_and(|b| b.len() <= 1) {
+            break; // cannot improve further
+        }
+    }
+    best.expect("at least one packing trial runs")
+}
+
+/// Races the configured strategies on `m` and returns the best result.
+///
+/// All strategies run concurrently on `std::thread`s scoped to this call.
+/// The trivial partition and greedy packing report within milliseconds, so a
+/// valid incumbent exists almost immediately; SAP keeps improving it and —
+/// given budget — proves optimality. When `time_budget` expires, the shared
+/// [`CancelToken`] stops the SAT search at its next conflict or decision and
+/// the race settles on the best anytime answer, mirroring the paper's
+/// Figure 4 anytime behaviour.
+///
+/// Winner selection: proved-optimal beats unproved, then smaller depth,
+/// then cheaper provenance.
+pub fn portfolio_solve(m: &BitMatrix, config: &PortfolioConfig) -> PortfolioOutcome {
+    let start = Instant::now();
+    let token = CancelToken::new();
+    let (tx, rx) = mpsc::channel::<StrategyResult>();
+
+    let mut results: Vec<StrategyResult> = Vec::new();
+    let mut finished_before_cutoff = 0usize;
+    std::thread::scope(|scope| {
+        let mut launched = 0usize;
+
+        // Strategy 1: trivial baseline (microseconds — the floor incumbent).
+        {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let p = trivial_partition(m);
+                let proved = p.len() <= 1;
+                let _ = tx.send(StrategyResult {
+                    provenance: Provenance::Trivial,
+                    partition: p,
+                    proved_optimal: proved,
+                });
+            });
+            launched += 1;
+        }
+
+        // Strategy 2: shuffled greedy packing (cancellable per trial).
+        {
+            let tx = tx.clone();
+            let trials = config.packing_trials;
+            let token = token.clone();
+            scope.spawn(move || {
+                let p = cancellable_packing(m, trials, false, &token);
+                let proved = p.len() <= 1;
+                let _ = tx.send(StrategyResult {
+                    provenance: Provenance::Packing,
+                    partition: p,
+                    proved_optimal: proved,
+                });
+            });
+            launched += 1;
+        }
+
+        // Strategy 3: packing with the DLX exact-cover upgrade.
+        if config.exact_cover {
+            let tx = tx.clone();
+            let trials = config.packing_trials;
+            let token = token.clone();
+            scope.spawn(move || {
+                let p = cancellable_packing(m, trials, true, &token);
+                let proved = p.len() <= 1;
+                let _ = tx.send(StrategyResult {
+                    provenance: Provenance::PackingDlx,
+                    partition: p,
+                    proved_optimal: proved,
+                });
+            });
+            launched += 1;
+        }
+
+        // Strategy 4: the full SAP descent, cancellable mid-query. Its
+        // internal packing seed is kept tiny: the dedicated packing
+        // strategies already race, and seeding trials cannot be cancelled —
+        // a weaker starting bound only costs SAT queries, which can.
+        if config.sap {
+            let tx = tx.clone();
+            let sap_cfg = SapConfig {
+                packing: PackingConfig::with_trials(config.packing_trials.clamp(1, 4)),
+                conflict_budget: config.conflict_budget,
+                time_limit: config.time_budget,
+                cancel: Some(token.clone()),
+                ..SapConfig::default()
+            };
+            scope.spawn(move || {
+                let out = sap(m, &sap_cfg);
+                let _ = tx.send(StrategyResult {
+                    provenance: Provenance::Sap,
+                    partition: out.partition,
+                    proved_optimal: out.proved_optimal,
+                });
+            });
+            launched += 1;
+        }
+        drop(tx);
+
+        // Collect until every strategy reported or the budget expired; after
+        // expiry, trip the token and drain the survivors (they unwind fast).
+        // Without a budget, block until every strategy completes.
+        let deadline = config.time_budget.map(|b| start + b);
+        loop {
+            let received = match deadline {
+                None => rx.recv().ok(),
+                Some(d) => rx
+                    .recv_timeout(d.saturating_duration_since(Instant::now()))
+                    .ok(),
+            };
+            match received {
+                Some(res) => {
+                    // A proved-optimal answer ends the race early.
+                    let done = res.proved_optimal;
+                    results.push(res);
+                    if results.len() == launched || done {
+                        token.cancel();
+                        break;
+                    }
+                }
+                // Budget expired (or, without a budget, all senders are
+                // gone, which the drain below also observes).
+                None => {
+                    token.cancel();
+                    break;
+                }
+            }
+        }
+        finished_before_cutoff = results.len();
+        // Drain whatever still lands while scope joins the threads (these
+        // arrived after the cutoff and don't count as finished).
+        while results.len() < launched {
+            match rx.recv() {
+                Ok(res) => results.push(res),
+                Err(_) => break,
+            }
+        }
+    });
+
+    let strategies_finished = finished_before_cutoff;
+    let best = results
+        .into_iter()
+        .min_by_key(|r| (!r.proved_optimal, r.partition.len(), r.provenance))
+        .expect("at least the trivial strategy always reports");
+    PortfolioOutcome {
+        partition: best.partition,
+        proved_optimal: best.proved_optimal,
+        provenance: best.provenance,
+        strategies_finished,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1b() -> BitMatrix {
+        "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_budget_proves_fig1b() {
+        let out = portfolio_solve(&fig1b(), &PortfolioConfig::default());
+        assert!(out.proved_optimal);
+        assert_eq!(out.partition.len(), 5);
+        assert!(out.partition.validate(&fig1b()).is_ok());
+        assert_eq!(out.provenance, Provenance::Sap);
+    }
+
+    #[test]
+    fn tiny_budget_still_returns_valid_partition() {
+        let m = fig1b();
+        let cfg = PortfolioConfig {
+            time_budget: Some(Duration::from_millis(0)),
+            conflict_budget: Some(1),
+            packing_trials: 1,
+            ..PortfolioConfig::default()
+        };
+        let out = portfolio_solve(&m, &cfg);
+        assert!(out.partition.validate(&m).is_ok());
+        assert!(out.partition.len() <= 6);
+    }
+
+    #[test]
+    fn heuristic_only_portfolio_never_claims_optimality_beyond_depth_one() {
+        let m = fig1b();
+        let cfg = PortfolioConfig {
+            sap: false,
+            exact_cover: false,
+            ..PortfolioConfig::default()
+        };
+        let out = portfolio_solve(&m, &cfg);
+        assert!(out.partition.validate(&m).is_ok());
+        assert!(!out.proved_optimal);
+        assert!(matches!(
+            out.provenance,
+            Provenance::Trivial | Provenance::Packing
+        ));
+    }
+
+    #[test]
+    fn zero_matrix_races_to_empty_partition() {
+        let m = BitMatrix::zeros(4, 5);
+        let out = portfolio_solve(&m, &PortfolioConfig::default());
+        assert!(out.proved_optimal);
+        assert_eq!(out.partition.len(), 0);
+    }
+
+    #[test]
+    fn provenance_strings_roundtrip() {
+        for p in [
+            Provenance::Cache,
+            Provenance::Trivial,
+            Provenance::Packing,
+            Provenance::PackingDlx,
+            Provenance::Sap,
+        ] {
+            assert_eq!(Provenance::from_str_opt(p.as_str()), Some(p));
+        }
+        assert_eq!(Provenance::from_str_opt("nope"), None);
+    }
+}

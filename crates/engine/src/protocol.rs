@@ -1,0 +1,660 @@
+//! The streaming batch protocol: JSON-lines job requests and responses.
+//!
+//! One job per line. A request:
+//!
+//! ```json
+//! {"id": "layer-17", "matrix": ["101100", "010011"], "budget_ms": 500}
+//! ```
+//!
+//! `matrix` is either an array of `0`/`1` row strings or a single string
+//! with `;`-separated rows. Optional fields: `budget_ms` (per-job wall-clock
+//! budget) and `conflicts` (per-SAT-query conflict budget). A response:
+//!
+//! ```json
+//! {"id": "layer-17", "ok": true, "depth": 5, "proved_optimal": true,
+//!  "provenance": "sap", "cache_hit": false, "millis": 12.3,
+//!  "partition": [{"rows": [0, 2], "cols": [0, 2]}]}
+//! ```
+//!
+//! Responses are emitted in **completion order**, not submission order — the
+//! `id` field is the correlation key. Failed jobs answer
+//! `{"id": ..., "ok": false, "error": "..."}`.
+//!
+//! The build environment has no serde, so this module carries a small
+//! hand-rolled JSON reader/writer covering the subset the protocol needs
+//! (objects, arrays, strings with escapes, numbers, booleans, null).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use bitmatrix::{BitMatrix, BitVec};
+use ebmf::{Partition, Rectangle};
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion order is not preserved).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value of `key` when `self` is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string content when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value when `self` is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value when `self` is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements when `self` is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (rejecting trailing garbage).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if matches!(b.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+/// Reads four hex digits starting at `at`.
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    b.get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| "invalid \\u escape".to_string())
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // High surrogate: combine with the following
+                            // `\uXXXX` low surrogate (standard encoders emit
+                            // astral characters as surrogate pairs).
+                            if b.get(*pos + 1..*pos + 3) == Some(br"\u") {
+                                let low = parse_hex4(b, *pos + 3)?;
+                                if (0xDC00..=0xDFFF).contains(&low) {
+                                    code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    *pos += 6;
+                                }
+                            }
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err("invalid escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x80 => {
+                out.push(c as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: copy the whole scalar value.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8")?;
+                let ch = s.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b']')) {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b'}')) {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Appends a JSON-escaped string literal (with quotes) to `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One job of a batch: a matrix to factorize plus optional budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Correlation id echoed in the response.
+    pub id: String,
+    /// The pattern matrix.
+    pub matrix: BitMatrix,
+    /// Per-job wall-clock budget in milliseconds (overrides engine default).
+    pub budget_ms: Option<u64>,
+    /// Per-SAT-query conflict budget (overrides engine default).
+    pub conflicts: Option<u64>,
+}
+
+impl JobRequest {
+    /// Parses one request line. `line_no` (1-based) names anonymous jobs
+    /// `job-<line_no>` and contextualizes errors. On failure returns the id
+    /// (when one was readable) plus the error message.
+    pub fn parse_line(line: &str, line_no: usize) -> Result<JobRequest, (String, String)> {
+        let fallback_id = format!("job-{line_no}");
+        let json = parse_json(line).map_err(|e| (fallback_id.clone(), e))?;
+        let id = match json.get("id") {
+            // A present but non-string id would break response correlation
+            // if silently renamed — reject it instead.
+            Some(v) => v
+                .as_str()
+                .map(str::to_string)
+                .ok_or((fallback_id, "id must be a string".to_string()))?,
+            None => fallback_id,
+        };
+        let err = |msg: &str| (id.clone(), msg.to_string());
+
+        let matrix_text = match json.get("matrix") {
+            Some(Json::Str(s)) => s.replace(';', "\n"),
+            Some(Json::Arr(rows)) => {
+                let mut lines = Vec::with_capacity(rows.len());
+                for r in rows {
+                    lines.push(
+                        r.as_str()
+                            .ok_or_else(|| err("matrix rows must be strings"))?
+                            .to_string(),
+                    );
+                }
+                lines.join("\n")
+            }
+            Some(_) => return Err(err("matrix must be a string or array of strings")),
+            None => return Err(err("missing \"matrix\" field")),
+        };
+        let matrix: BitMatrix = matrix_text
+            .parse()
+            .map_err(|e| (id.clone(), format!("invalid matrix: {e}")))?;
+
+        let uint = |field: &str| -> Result<Option<u64>, (String, String)> {
+            match json.get(field) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .filter(|n| *n >= 0.0)
+                    .map(|n| Some(n as u64))
+                    .ok_or_else(|| err(&format!("{field} must be a non-negative number"))),
+            }
+        };
+        let budget_ms = uint("budget_ms")?;
+        let conflicts = uint("conflicts")?;
+        Ok(JobRequest {
+            id,
+            matrix,
+            budget_ms,
+            conflicts,
+        })
+    }
+
+    /// Serializes the request as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"id\": ");
+        write_json_string(&mut out, &self.id);
+        out.push_str(", \"matrix\": [");
+        for (i, row) in self.matrix.iter_rows().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(&mut out, &row.to_string());
+        }
+        out.push(']');
+        if let Some(b) = self.budget_ms {
+            let _ = write!(out, ", \"budget_ms\": {b}");
+        }
+        if let Some(c) = self.conflicts {
+            let _ = write!(out, ", \"conflicts\": {c}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One result line of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResponse {
+    /// Correlation id of the request.
+    pub id: String,
+    /// Whether the job solved (`false` → see [`JobResponse::error`]).
+    pub ok: bool,
+    /// Depth (number of rectangles / AOD shots) of the partition.
+    pub depth: usize,
+    /// Whether the depth was proved equal to the binary rank.
+    pub proved_optimal: bool,
+    /// Strategy that produced the result (`cache` for cache hits).
+    pub provenance: String,
+    /// Whether the canonical-form cache answered the job.
+    pub cache_hit: bool,
+    /// Wall-clock milliseconds spent on the job.
+    pub millis: f64,
+    /// The rectangles as `(rows, cols)` index lists.
+    pub partition: Vec<(Vec<usize>, Vec<usize>)>,
+    /// Error message when `ok` is false.
+    pub error: Option<String>,
+}
+
+impl JobResponse {
+    /// An error response for a job that could not be parsed or solved.
+    pub fn failure(id: String, error: String) -> JobResponse {
+        JobResponse {
+            id,
+            ok: false,
+            depth: 0,
+            proved_optimal: false,
+            provenance: String::new(),
+            cache_hit: false,
+            millis: 0.0,
+            partition: Vec::new(),
+            error: Some(error),
+        }
+    }
+
+    /// Rebuilds the partition for a matrix of the given shape (used by
+    /// round-trip validation in tests and clients).
+    pub fn to_partition(&self, nrows: usize, ncols: usize) -> Partition {
+        let rects = self
+            .partition
+            .iter()
+            .map(|(rows, cols)| {
+                Rectangle::new(
+                    BitVec::from_indices(nrows, rows.iter().copied()),
+                    BitVec::from_indices(ncols, cols.iter().copied()),
+                )
+            })
+            .collect();
+        Partition::from_rectangles(nrows, ncols, rects)
+    }
+
+    /// Serializes the response as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"id\": ");
+        write_json_string(&mut out, &self.id);
+        let _ = write!(out, ", \"ok\": {}", self.ok);
+        if let Some(err) = &self.error {
+            out.push_str(", \"error\": ");
+            write_json_string(&mut out, err);
+            out.push('}');
+            return out;
+        }
+        let _ = write!(
+            out,
+            ", \"depth\": {}, \"proved_optimal\": {}, \"provenance\": ",
+            self.depth, self.proved_optimal
+        );
+        write_json_string(&mut out, &self.provenance);
+        let _ = write!(
+            out,
+            ", \"cache_hit\": {}, \"millis\": {:.3}, \"partition\": [",
+            self.cache_hit, self.millis
+        );
+        for (i, (rows, cols)) in self.partition.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let list = |v: &[usize]| {
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let _ = write!(
+                out,
+                "{{\"rows\": [{}], \"cols\": [{}]}}",
+                list(rows),
+                list(cols)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses one response line (the inverse of [`JobResponse::to_json_line`]).
+    pub fn parse_line(line: &str) -> Result<JobResponse, String> {
+        let json = parse_json(line)?;
+        let id = json
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("missing id")?
+            .to_string();
+        let ok = json.get("ok").and_then(Json::as_bool).ok_or("missing ok")?;
+        if !ok {
+            let error = json
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string();
+            return Ok(JobResponse::failure(id, error));
+        }
+        let index_list = |v: &Json, field: &str| -> Result<Vec<usize>, String> {
+            v.get(field)
+                .and_then(Json::as_arr)
+                .ok_or(format!("missing {field}"))?
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                        .map(|n| n as usize)
+                        .ok_or_else(|| format!("non-index in {field}"))
+                })
+                .collect()
+        };
+        let partition = json
+            .get("partition")
+            .and_then(Json::as_arr)
+            .ok_or("missing partition")?
+            .iter()
+            .map(|rect| Ok((index_list(rect, "rows")?, index_list(rect, "cols")?)))
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(JobResponse {
+            id,
+            ok,
+            depth: json
+                .get("depth")
+                .and_then(Json::as_f64)
+                .ok_or("missing depth")? as usize,
+            proved_optimal: json
+                .get("proved_optimal")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            provenance: json
+                .get("provenance")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            cache_hit: json
+                .get("cache_hit")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            millis: json.get("millis").and_then(Json::as_f64).unwrap_or(0.0),
+            partition,
+            error: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let j = parse_json(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\"\nA"}, "d": true, "e": null}"#)
+            .unwrap();
+        assert_eq!(
+            j.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(
+            j.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\"\nA")
+        );
+        assert_eq!(j.get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("e"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn json_parser_combines_surrogate_pairs() {
+        // U+1F600 as a standard encoder (e.g. json.dumps) emits it: an
+        // escaped UTF-16 surrogate pair.
+        let j = parse_json("{\"id\": \"job-\\ud83d\\ude00\"}").unwrap();
+        assert_eq!(j.get("id").unwrap().as_str(), Some("job-\u{1F600}"));
+        // Raw (unescaped) UTF-8 passes through unchanged.
+        let raw = parse_json("\"job-\u{1F600}\"").unwrap();
+        assert_eq!(raw.as_str(), Some("job-\u{1F600}"));
+        // Lone surrogates degrade to U+FFFD rather than erroring.
+        let lone = parse_json(r#""\ud83d!""#).unwrap();
+        assert_eq!(lone.as_str(), Some("\u{FFFD}!"));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("[1, 2,, 3]").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn request_roundtrip_array_and_string_matrix() {
+        let req = JobRequest {
+            id: "layer-17".to_string(),
+            matrix: "101\n010".parse().unwrap(),
+            budget_ms: Some(500),
+            conflicts: None,
+        };
+        let parsed = JobRequest::parse_line(&req.to_json_line(), 1).unwrap();
+        assert_eq!(parsed, req);
+
+        let semi = JobRequest::parse_line(r#"{"id": "s", "matrix": "101;010"}"#, 1).unwrap();
+        assert_eq!(semi.matrix, req.matrix);
+    }
+
+    #[test]
+    fn request_defaults_id_from_line_number() {
+        let req = JobRequest::parse_line(r#"{"matrix": ["1"]}"#, 42).unwrap();
+        assert_eq!(req.id, "job-42");
+    }
+
+    #[test]
+    fn request_rejects_non_string_id() {
+        // Silently renaming a numeric id would break response correlation.
+        let (id, msg) = JobRequest::parse_line(r#"{"id": 17, "matrix": ["1"]}"#, 3).unwrap_err();
+        assert_eq!(id, "job-3");
+        assert!(msg.contains("id must be a string"), "{msg}");
+    }
+
+    #[test]
+    fn request_errors_carry_the_id() {
+        let (id, msg) =
+            JobRequest::parse_line(r#"{"id": "bad", "matrix": ["102"]}"#, 7).unwrap_err();
+        assert_eq!(id, "bad");
+        assert!(msg.contains("invalid matrix"), "{msg}");
+        let (id2, _) = JobRequest::parse_line("not json", 9).unwrap_err();
+        assert_eq!(id2, "job-9");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = JobResponse {
+            id: "a".to_string(),
+            ok: true,
+            depth: 2,
+            proved_optimal: true,
+            provenance: "sap".to_string(),
+            cache_hit: false,
+            millis: 1.5,
+            partition: vec![(vec![0], vec![0, 2]), (vec![1], vec![1])],
+            error: None,
+        };
+        let parsed = JobResponse::parse_line(&resp.to_json_line()).unwrap();
+        assert_eq!(parsed, resp);
+
+        let p = parsed.to_partition(2, 3);
+        assert_eq!(p.len(), 2);
+        assert!(p.validate(&"101\n010".parse().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let resp = JobResponse::failure("x".to_string(), "invalid matrix: bad".to_string());
+        let parsed = JobResponse::parse_line(&resp.to_json_line()).unwrap();
+        assert!(!parsed.ok);
+        assert_eq!(parsed.error.as_deref(), Some("invalid matrix: bad"));
+    }
+}

@@ -446,6 +446,10 @@ mod tests {
             }
         }
         let mut d = b.build();
-        assert_eq!(d.count_solutions(), 2, "there are exactly two 2x2 Latin squares");
+        assert_eq!(
+            d.count_solutions(),
+            2,
+            "there are exactly two 2x2 Latin squares"
+        );
     }
 }

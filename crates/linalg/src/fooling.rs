@@ -109,14 +109,18 @@ pub fn max_fooling_set(m: &BitMatrix, node_budget: u64) -> FoolingSet {
     let mut best: Vec<usize> = greedy
         .cells
         .iter()
-        .map(|c| cells.iter().position(|x| x == c).expect("greedy cell exists"))
+        .map(|c| {
+            cells
+                .iter()
+                .position(|x| x == c)
+                .expect("greedy cell exists")
+        })
         .collect();
 
     let mut nodes_left = node_budget;
     let mut current: Vec<usize> = Vec::new();
     let all = BitVec::from_indices(n, 0..n);
-    let complete =
-        expand(&adj, &mut current, all, &mut best, &mut nodes_left);
+    let complete = expand(&adj, &mut current, all, &mut best, &mut nodes_left);
 
     let mut out: Vec<(usize, usize)> = best.iter().map(|&u| cells[u]).collect();
     out.sort_unstable();

@@ -132,7 +132,9 @@ mod tests {
         let mut state = 0x9E3779B97F4A7C15u64;
         for trial in 0..50 {
             let m = BitMatrix::from_fn(6, 6, |_, _| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) & 1 == 1
             });
             let rq = rank_rational(&m).unwrap();
@@ -144,7 +146,13 @@ mod tests {
     #[test]
     fn real_rank_small_is_exact() {
         let m: BitMatrix = "10\n01".parse().unwrap();
-        assert_eq!(real_rank(&m), RealRank { rank: 2, exact: true });
+        assert_eq!(
+            real_rank(&m),
+            RealRank {
+                rank: 2,
+                exact: true
+            }
+        );
     }
 
     #[test]

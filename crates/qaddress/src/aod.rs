@@ -33,7 +33,10 @@ pub struct AodConfig {
 impl AodConfig {
     /// Creates a configuration from row/column tone masks.
     pub fn new(row_tones: BitVec, col_tones: BitVec) -> Self {
-        AodConfig { row_tones, col_tones }
+        AodConfig {
+            row_tones,
+            col_tones,
+        }
     }
 
     /// The configuration realizing a rectangle.

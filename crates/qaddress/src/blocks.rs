@@ -32,7 +32,10 @@ impl BlockLayout {
     /// Panics if either dimension is zero.
     pub fn new(num_blocks: usize, block_size: usize) -> Self {
         assert!(num_blocks > 0 && block_size > 0, "layout must be nonempty");
-        BlockLayout { num_blocks, block_size }
+        BlockLayout {
+            num_blocks,
+            block_size,
+        }
     }
 
     /// The pattern matrix of a round of operations: entry `(b, q)` is 1 when
@@ -90,10 +93,7 @@ pub fn row_optimality_frequency(
 /// Depth saved by rectangular addressing relative to row-by-row on a
 /// specific pattern: `(row_by_row_depth, trivial_partition_depth)`.
 pub fn depth_comparison(layout: BlockLayout, ops: &BitMatrix) -> (usize, usize) {
-    (
-        layout.row_by_row_depth(ops),
-        trivial_partition(ops).len(),
-    )
+    (layout.row_by_row_depth(ops), trivial_partition(ops).len())
 }
 
 #[cfg(test)]

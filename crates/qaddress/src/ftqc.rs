@@ -174,7 +174,11 @@ mod tests {
         let patch = SurfaceCodePatch::new(3).boundary_pattern(2);
         let out = two_level_schedule(&logical, &patch, Pulse::Rz(0.25), true);
         assert_eq!(out.logical_partition.len(), 2);
-        assert_eq!(out.physical_partition.len(), 1, "a row band is one rectangle");
+        assert_eq!(
+            out.physical_partition.len(),
+            1,
+            "a row band is one rectangle"
+        );
         assert_eq!(out.composed.len(), 2);
         assert!(out.composed.validate(&logical.kron(&patch)).is_ok());
     }

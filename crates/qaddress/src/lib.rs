@@ -32,15 +32,9 @@ mod schedule;
 
 pub use aod::AodConfig;
 pub use array::QubitArray;
-pub use blocks::{
-    depth_comparison, row_addressing_optimal, row_optimality_frequency, BlockLayout,
-};
-pub use ftqc::{
-    parse_logical_pattern, two_level_schedule, SurfaceCodePatch, TwoLevelSchedule,
-};
-pub use schedule::{
-    compile, AddressingSchedule, Pulse, ScheduleError, Shot, Strategy,
-};
+pub use blocks::{depth_comparison, row_addressing_optimal, row_optimality_frequency, BlockLayout};
+pub use ftqc::{parse_logical_pattern, two_level_schedule, SurfaceCodePatch, TwoLevelSchedule};
+pub use schedule::{compile, AddressingSchedule, Pulse, ScheduleError, Shot, Strategy};
 
 #[cfg(test)]
 mod proptests {

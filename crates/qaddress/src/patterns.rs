@@ -74,7 +74,11 @@ mod tests {
     #[test]
     fn stripes_are_one_rectangle() {
         let m = stripes(9, 7, 3, 1);
-        assert_eq!(binary_rank(&m), 1, "identical rows merge into one rectangle");
+        assert_eq!(
+            binary_rank(&m),
+            1,
+            "identical rows merge into one rectangle"
+        );
         assert_eq!(m.row(1).count_ones(), 7);
         assert_eq!(m.row(0).count_ones(), 0);
     }

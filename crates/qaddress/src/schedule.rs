@@ -166,7 +166,11 @@ impl AddressingSchedule {
     ///
     /// Panics if shapes are inconsistent.
     pub fn verify(&self, array: &QubitArray, pattern: &BitMatrix) -> Result<(), ScheduleError> {
-        assert_eq!(pattern.shape(), array.shape(), "pattern/array shape mismatch");
+        assert_eq!(
+            pattern.shape(),
+            array.shape(),
+            "pattern/array shape mismatch"
+        );
         assert_eq!(self.shape, array.shape(), "schedule/array shape mismatch");
         if let Err(site) = array.check_pattern(pattern) {
             return Err(ScheduleError::TargetsVacancy { site });
@@ -178,7 +182,10 @@ impl AddressingSchedule {
                     continue; // illuminating a vacancy is harmless
                 }
                 if !pattern.get(i, j) {
-                    return Err(ScheduleError::AddressesNonTarget { shot: idx, site: (i, j) });
+                    return Err(ScheduleError::AddressesNonTarget {
+                        shot: idx,
+                        site: (i, j),
+                    });
                 }
                 if hit.get(i, j) {
                     return Err(ScheduleError::DoubleAddressed { site: (i, j) });
@@ -222,7 +229,12 @@ pub fn compile(
         Strategy::Individual => {
             let mut p = Partition::empty(pattern.nrows(), pattern.ncols());
             for (i, j) in pattern.ones_positions() {
-                p.push(ebmf::Rectangle::singleton(pattern.nrows(), pattern.ncols(), i, j));
+                p.push(ebmf::Rectangle::singleton(
+                    pattern.nrows(),
+                    pattern.ncols(),
+                    i,
+                    j,
+                ));
             }
             p
         }
@@ -252,7 +264,9 @@ mod tests {
     use super::*;
 
     fn fig1b() -> BitMatrix {
-        "101100\n010011\n101010\n010101\n111000\n000111".parse().unwrap()
+        "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap()
     }
 
     #[test]
@@ -344,12 +358,19 @@ mod tests {
 
         let zero: BitMatrix = "10".parse().unwrap();
         let stray = AddressingSchedule::from_partition(
-            &Partition::from_rectangles(1, 2, vec![ebmf::Rectangle::from_cells(1, 2, [(0, 0), (0, 1)])]),
+            &Partition::from_rectangles(
+                1,
+                2,
+                vec![ebmf::Rectangle::from_cells(1, 2, [(0, 0), (0, 1)])],
+            ),
             Pulse::X,
         );
         assert_eq!(
             stray.verify(&array, &zero),
-            Err(ScheduleError::AddressesNonTarget { shot: 0, site: (0, 1) })
+            Err(ScheduleError::AddressesNonTarget {
+                shot: 0,
+                site: (0, 1)
+            })
         );
     }
 
@@ -369,7 +390,12 @@ mod tests {
     fn zero_pattern_gives_empty_schedule() {
         let array = QubitArray::new(3, 3);
         let m = BitMatrix::zeros(3, 3);
-        for strat in [Strategy::Individual, Strategy::Trivial, Strategy::Packing(2), Strategy::Exact] {
+        for strat in [
+            Strategy::Individual,
+            Strategy::Trivial,
+            Strategy::Packing(2),
+            Strategy::Exact,
+        ] {
             let s = compile(&array, &m, strat, Pulse::X).unwrap();
             assert_eq!(s.depth(), 0, "{strat:?}");
             assert_eq!(s.verify(&array, &m), Ok(()));

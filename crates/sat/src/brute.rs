@@ -28,10 +28,9 @@ pub fn solve_brute_force(cnf: &Cnf) -> Option<Vec<bool>> {
 
 /// Evaluates the formula under a full assignment.
 pub fn evaluate(cnf: &Cnf, model: &[bool]) -> bool {
-    cnf.clauses.iter().all(|c| {
-        c.iter()
-            .any(|&l| model[l.var().index()] == l.is_positive())
-    })
+    cnf.clauses
+        .iter()
+        .all(|c| c.iter().any(|&l| model[l.var().index()] == l.is_positive()))
 }
 
 #[cfg(test)]

@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn clause_spanning_lines() {
         let cnf = parse_dimacs("p cnf 2 1\n1\n-2 0\n").unwrap();
-        assert_eq!(cnf.clauses, vec![vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]]);
+        assert_eq!(
+            cnf.clauses,
+            vec![vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]]
+        );
     }
 
     #[test]
@@ -185,7 +188,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_dimacs("p cnf 1 1\n2 0"),
-            Err(DimacsError::VarOutOfRange { var: 2, declared: 1 })
+            Err(DimacsError::VarOutOfRange {
+                var: 2,
+                declared: 1
+            })
         ));
         assert!(matches!(
             parse_dimacs("p cnf 1 1\n1"),

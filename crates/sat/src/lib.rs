@@ -31,6 +31,7 @@
 //! ```
 
 mod brute;
+mod cancel;
 mod clause;
 mod dimacs;
 mod heap;
@@ -39,6 +40,7 @@ mod solver;
 mod types;
 
 pub use brute::{evaluate, solve_brute_force};
+pub use cancel::CancelToken;
 pub use dimacs::{parse_dimacs, Cnf, DimacsError};
 pub use proof::{check_rup_refutation, Proof, ProofError, ProofStep};
 pub use solver::Solver;
@@ -55,8 +57,7 @@ mod proptests {
             (1i64..=10, any::<bool>()).prop_map(|(v, s)| if s { v } else { -v }),
             1..=3,
         );
-        proptest::collection::vec(clause, 0..40)
-            .prop_map(|cs| Cnf::from_dimacs_clauses(&cs))
+        proptest::collection::vec(clause, 0..40).prop_map(|cs| Cnf::from_dimacs_clauses(&cs))
     }
 
     proptest! {

@@ -240,7 +240,10 @@ mod tests {
             axioms: vec![lits(&[1, 2])],
             steps: vec![ProofStep::Add(lits(&[-1]))],
         };
-        assert_eq!(check_rup_refutation(&proof), Err(ProofError::NotRup { step: 0 }));
+        assert_eq!(
+            check_rup_refutation(&proof),
+            Err(ProofError::NotRup { step: 0 })
+        );
     }
 
     #[test]
@@ -248,11 +251,13 @@ mod tests {
         // Axioms: (x∨y), (x∨¬y), (¬x∨y), (¬x∨¬y).
         // Lemma x is RUP; lemma ¬x… then empty.
         let proof = Proof {
-            axioms: vec![lits(&[1, 2]), lits(&[1, -2]), lits(&[-1, 2]), lits(&[-1, -2])],
-            steps: vec![
-                ProofStep::Add(lits(&[1])),
-                ProofStep::Add(vec![]),
+            axioms: vec![
+                lits(&[1, 2]),
+                lits(&[1, -2]),
+                lits(&[-1, 2]),
+                lits(&[-1, -2]),
             ],
+            steps: vec![ProofStep::Add(lits(&[1])), ProofStep::Add(vec![])],
         };
         assert_eq!(check_rup_refutation(&proof), Ok(()));
     }

@@ -1,5 +1,6 @@
 //! The CDCL search engine.
 
+use crate::cancel::CancelToken;
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::proof::{check_rup_refutation, Proof, ProofError, ProofStep};
@@ -63,6 +64,8 @@ pub struct Solver {
     seen: Vec<bool>,
     stats: SolverStats,
     conflict_budget: Option<u64>,
+    /// Cooperative interrupt checked at every conflict and decision.
+    interrupt: Option<CancelToken>,
     /// Learnt-clause count that triggers the next database reduction.
     max_learnt: f64,
     model: Vec<bool>,
@@ -100,6 +103,7 @@ impl Solver {
             seen: Vec::new(),
             stats: SolverStats::default(),
             conflict_budget: None,
+            interrupt: None,
             max_learnt: 2000.0,
             model: Vec::new(),
             proof: None,
@@ -146,6 +150,21 @@ impl Solver {
     /// [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Installs (or clears) a cooperative interrupt token. While solving,
+    /// the token is polled at every conflict and decision; once tripped the
+    /// solver backtracks to level 0 and answers
+    /// [`SolveResult::Unknown`], exactly like an exhausted conflict budget.
+    pub fn set_interrupt(&mut self, token: Option<CancelToken>) {
+        self.interrupt = token;
+    }
+
+    #[inline]
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
     }
 
     /// Starts recording a clausal proof: every clause added from now on is
@@ -291,8 +310,14 @@ impl Solver {
             let c = self.db.get(cr);
             (c.lits[0], c.lits[1])
         };
-        self.watches[(!l0).code()].push(Watcher { clause: cr, blocker: l1 });
-        self.watches[(!l1).code()].push(Watcher { clause: cr, blocker: l0 });
+        self.watches[(!l0).code()].push(Watcher {
+            clause: cr,
+            blocker: l1,
+        });
+        self.watches[(!l1).code()].push(Watcher {
+            clause: cr,
+            blocker: l0,
+        });
     }
 
     #[inline]
@@ -345,7 +370,10 @@ impl Solver {
                 }
                 let first = self.db.get(cr).lits[0];
                 if first != w.blocker && self.value_lit(first) == Some(true) {
-                    ws[j] = Watcher { clause: cr, blocker: first };
+                    ws[j] = Watcher {
+                        clause: cr,
+                        blocker: first,
+                    };
                     j += 1;
                     continue;
                 }
@@ -357,12 +385,18 @@ impl Solver {
                         self.db.get_mut(cr).lits.swap(1, k);
                         // lk != !p (lk is non-false, !p is false), so this
                         // never pushes into the list we are draining.
-                        self.watches[(!lk).code()].push(Watcher { clause: cr, blocker: first });
+                        self.watches[(!lk).code()].push(Watcher {
+                            clause: cr,
+                            blocker: first,
+                        });
                         continue 'next_watcher;
                     }
                 }
                 // No replacement: clause is unit or conflicting.
-                ws[j] = Watcher { clause: cr, blocker: first };
+                ws[j] = Watcher {
+                    clause: cr,
+                    blocker: first,
+                };
                 j += 1;
                 if self.value_lit(first) == Some(false) {
                     // Conflict: flush the queue, keep remaining watchers.
@@ -462,9 +496,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()]
-                    > self.level[learnt[max_i].var().index()]
-                {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -635,6 +667,10 @@ impl Solver {
                         return SolveResult::Unknown;
                     }
                 }
+                if self.interrupted() {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
                 if self.db.num_learnt() as f64 > self.max_learnt {
                     self.reduce_db();
                     self.max_learnt *= 1.3;
@@ -680,6 +716,11 @@ impl Solver {
                     self.cancel_until(0);
                     return SolveResult::Sat;
                 };
+                if self.interrupted() {
+                    self.order.insert(v, &self.activity);
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
                 self.stats.decisions += 1;
                 self.new_decision_level();
                 self.enqueue(v.lit(self.saved_phase[v.index()]), None);
@@ -851,12 +892,7 @@ mod tests {
     #[test]
     fn model_satisfies_formula() {
         let mut s = Solver::new();
-        let clauses: Vec<Vec<i64>> = vec![
-            vec![1, 2, -3],
-            vec![-1, 3],
-            vec![2, 3],
-            vec![-2, -3, 1],
-        ];
+        let clauses: Vec<Vec<i64>> = vec![vec![1, 2, -3], vec![-1, 3], vec![2, 3], vec![-2, -3, 1]];
         for c in &clauses {
             add(&mut s, c);
         }

@@ -37,7 +37,11 @@ fn main() {
             trivial.depth(),
             packed.depth(),
             lb.value,
-            if packed.depth() == lb.value { "  <- proved optimal" } else { "" },
+            if packed.depth() == lb.value {
+                "  <- proved optimal"
+            } else {
+                ""
+            },
         );
     }
 
@@ -55,9 +59,18 @@ fn main() {
         with_dc.len()
     );
     let sparse_array = QubitArray::with_vacancies(vacancies);
-    let s = compile(&sparse_array, &pattern, Strategy::Packing(10), Pulse::Rz(0.5)).unwrap();
+    let s = compile(
+        &sparse_array,
+        &pattern,
+        Strategy::Packing(10),
+        Pulse::Rz(0.5),
+    )
+    .unwrap();
     s.verify(&sparse_array, &pattern).unwrap();
-    println!("compiled vacancy-aware schedule: {} shots, verified", s.depth());
+    println!(
+        "compiled vacancy-aware schedule: {} shots, verified",
+        s.depth()
+    );
 }
 
 fn row_packing(pattern: &BitMatrix) -> usize {

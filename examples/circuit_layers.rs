@@ -22,14 +22,29 @@ fn main() {
     // A small showcase circuit on a 16×16 array.
     let layers: Vec<(&str, BitMatrix, Pulse)> = vec![
         ("global H", patterns::full(N, N), Pulse::H),
-        ("sublattice A Rz", patterns::checkerboard(N, N, 0), Pulse::Rz(0.7)),
-        ("sublattice B Rz", patterns::checkerboard(N, N, 1), Pulse::Rz(-0.7)),
+        (
+            "sublattice A Rz",
+            patterns::checkerboard(N, N, 0),
+            Pulse::Rz(0.7),
+        ),
+        (
+            "sublattice B Rz",
+            patterns::checkerboard(N, N, 1),
+            Pulse::Rz(-0.7),
+        ),
         ("stripe echo", patterns::stripes(N, N, 2, 0), Pulse::X),
-        ("zone window", patterns::window(N, N, 6, 10), Pulse::Rz(0.31)),
+        (
+            "zone window",
+            patterns::window(N, N, 6, 10),
+            Pulse::Rz(0.31),
+        ),
         ("readout frame", patterns::border(N, N), Pulse::X),
     ];
 
-    println!("compiling a {}-layer circuit on a {N}x{N} array\n", layers.len());
+    println!(
+        "compiling a {}-layer circuit on a {N}x{N} array\n",
+        layers.len()
+    );
     println!(
         "{:<18} {:>8} {:>11} {:>11} {:>14}",
         "layer", "targets", "individual", "rect.depth", "control bits"

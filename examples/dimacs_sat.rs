@@ -73,7 +73,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("c {} variables, {} clauses", cnf.num_vars, cnf.clauses.len());
+    println!(
+        "c {} variables, {} clauses",
+        cnf.num_vars,
+        cnf.clauses.len()
+    );
     let mut solver = cnf.into_solver();
     match solver.solve() {
         SolveResult::Sat => {

@@ -64,7 +64,11 @@ fn eq_5() {
             tb.fooling_physical,
             tb.lower,
             tb.upper,
-            if tb.lower == tb.upper { "  (sandwich closes: product partition optimal)" } else { "" },
+            if tb.lower == tb.upper {
+                "  (sandwich closes: product partition optimal)"
+            } else {
+                ""
+            },
         );
     }
     println!();
@@ -72,13 +76,23 @@ fn eq_5() {
 
 fn fig_5b() {
     println!("=== Figure 5b: 1D logical blocks - is row-by-row addressing enough? ===");
-    println!("{:>14} {:>6} {:>22}", "layout", "occ", "row-optimal frequency");
+    println!(
+        "{:>14} {:>6} {:>22}",
+        "layout", "occ", "row-optimal frequency"
+    );
     for (blocks, size) in [(10, 10), (10, 20), (10, 30)] {
         for occ in [0.2, 0.5, 0.8] {
-            let freq =
-                row_optimality_frequency(BlockLayout::new(blocks, size), occ, 50, 42);
-            println!("{:>9}x{:<4} {:>5.0}% {:>21.0}%", blocks, size, occ * 100.0, freq * 100.0);
+            let freq = row_optimality_frequency(BlockLayout::new(blocks, size), occ, 50, 42);
+            println!(
+                "{:>9}x{:<4} {:>5.0}% {:>21.0}%",
+                blocks,
+                size,
+                occ * 100.0,
+                freq * 100.0
+            );
         }
     }
-    println!("wider blocks -> full rank more often -> row-by-row provably optimal (paper conjecture)");
+    println!(
+        "wider blocks -> full rank more often -> row-by-row provably optimal (paper conjecture)"
+    );
 }

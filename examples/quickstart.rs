@@ -18,7 +18,12 @@ fn main() {
     let pattern: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
         .parse()
         .expect("valid matrix literal");
-    println!("Pattern ({}x{}, {} targets):", pattern.nrows(), pattern.ncols(), pattern.count_ones());
+    println!(
+        "Pattern ({}x{}, {} targets):",
+        pattern.nrows(),
+        pattern.ncols(),
+        pattern.count_ones()
+    );
     println!("{pattern}\n");
 
     // Solve the exact binary matrix factorization with SAP (Algorithm 1).
@@ -26,27 +31,44 @@ fn main() {
     println!(
         "SAP: depth {} ({}), real rank {}, {} SAT queries, {:.1} ms total",
         outcome.depth(),
-        if outcome.proved_optimal { "proved optimal" } else { "best effort" },
+        if outcome.proved_optimal {
+            "proved optimal"
+        } else {
+            "best effort"
+        },
         outcome.real_rank.rank,
         outcome.stats.queries.len(),
         outcome.stats.total_seconds() * 1e3,
     );
-    println!("Partition (one symbol per rectangle):\n{}\n", outcome.partition);
+    println!(
+        "Partition (one symbol per rectangle):\n{}\n",
+        outcome.partition
+    );
 
     // Independent optimality certificate: a fooling set of matching size.
     let fooling = max_fooling_set(&pattern, 1_000_000);
     println!(
         "Fooling set of size {} {}: {:?}",
         fooling.size(),
-        if fooling.proved_maximum { "(maximum)" } else { "(heuristic)" },
+        if fooling.proved_maximum {
+            "(maximum)"
+        } else {
+            "(heuristic)"
+        },
         fooling.cells,
     );
-    assert_eq!(fooling.size(), outcome.depth(), "Fig. 1b: certificate is tight");
+    assert_eq!(
+        fooling.size(),
+        outcome.depth(),
+        "Fig. 1b: certificate is tight"
+    );
 
     // Compile to an executable AOD schedule.
     let array = QubitArray::new(pattern.nrows(), pattern.ncols());
     let schedule = AddressingSchedule::from_partition(&outcome.partition, Pulse::Rz(0.31));
-    schedule.verify(&array, &pattern).expect("schedule must verify");
+    schedule
+        .verify(&array, &pattern)
+        .expect("schedule must verify");
     println!("\nAOD schedule ({} shots):", schedule.depth());
     for (k, shot) in schedule.shots().iter().enumerate() {
         println!(

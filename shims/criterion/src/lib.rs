@@ -1,0 +1,215 @@
+//! Offline drop-in subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, covering the API surface used by this workspace's
+//! `crates/bench` targets: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim as a path dependency named `criterion`. Instead of
+//! statistical sampling it times a fixed small number of iterations per
+//! benchmark (`CRITERION_SHIM_ITERS` overrides the default of 3) and prints
+//! one mean-time line per benchmark — enough to compare hot paths locally
+//! and to smoke-test that every bench target still compiles and runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group (subset of upstream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Mean wall-clock time per iteration of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed() / self.iters.max(1) as u32;
+    }
+}
+
+/// The benchmark manager (subset of upstream `Criterion`).
+pub struct Criterion {
+    iters: u64,
+}
+
+fn shim_iters() -> u64 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            iters: shim_iters(),
+        }
+    }
+}
+
+fn run_one(iters: u64, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    println!(
+        "bench {id:<48} {:>12.3} ms/iter ({iters} iters)",
+        b.elapsed.as_secs_f64() * 1e3
+    );
+}
+
+impl Criterion {
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.iters, &id.into().id, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks (subset of upstream `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the statistical sample count; the shim ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion.iters, &id, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion.iters, &id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream emits summary reports; the shim does not).
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimizer from eliding a value (re-export of
+/// [`std::hint::black_box`]).
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a group runner (subset of upstream).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups (subset of upstream).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags (`--test`,
+            // `--bench`); the shim runs the same fixed iterations either way.
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u32;
+        Criterion { iters: 2 }.bench_function("smoke", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion { iters: 1 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let input = vec![1, 2, 3];
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::new("sum", 3), &input, |b, v| {
+            b.iter(|| seen = v.iter().sum());
+        });
+        group.finish();
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

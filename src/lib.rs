@@ -8,10 +8,13 @@
 //! * [`sat`] — the CDCL SAT solver used by the exact EBMF solver;
 //! * [`exactcover`] — Algorithm X / dancing links;
 //! * [`ebmf`] — the paper's core contribution: row packing and SAP;
-//! * [`qaddress`] — AOD addressing schedules and the FTQC two-level layer.
+//! * [`qaddress`] — AOD addressing schedules and the FTQC two-level layer;
+//! * [`engine`] — concurrent portfolio solving with canonical-form caching
+//!   and the JSON-lines streaming batch protocol.
 
 pub use bitmatrix;
 pub use ebmf;
+pub use engine;
 pub use exactcover;
 pub use linalg;
 pub use qaddress;

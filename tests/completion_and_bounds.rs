@@ -65,7 +65,10 @@ fn tensor_sandwich_on_random_pairs() {
         let exact = sap(&a.kron(&b), &SapConfig::with_trials(50));
         assert!(exact.proved_optimal);
         assert!(tb.lower <= exact.depth(), "Eq. 5 lower bound violated");
-        assert!(exact.depth() <= tb.upper, "tensor product upper bound violated");
+        assert!(
+            exact.depth() <= tb.upper,
+            "tensor product upper bound violated"
+        );
     }
 }
 

@@ -22,10 +22,18 @@ fn known_optimal_family_is_easy() {
         assert_eq!(out.depth(), k, "k={k}");
 
         let trivial = trivial_partition(m);
-        assert_eq!(trivial.len(), k, "trivial finds optimum on opt family, k={k}");
+        assert_eq!(
+            trivial.len(),
+            k,
+            "trivial finds optimum on opt family, k={k}"
+        );
 
         let packed = row_packing(m, &PackingConfig::with_trials(1));
-        assert_eq!(packed.len(), k, "packing finds optimum on opt family, k={k}");
+        assert_eq!(
+            packed.len(),
+            k,
+            "packing finds optimum on opt family, k={k}"
+        );
     }
 }
 
@@ -127,5 +135,9 @@ fn paper_anchor_instances() {
         .unwrap();
     assert_eq!(binary_rank(&fig1b), 5);
     assert_eq!(max_fooling_set(&fig1b, 1_000_000).size(), 5);
-    assert_eq!(real_rank(&fig1b).rank, 4, "rank alone cannot certify Fig. 1b");
+    assert_eq!(
+        real_rank(&fig1b).rank,
+        4,
+        "rank alone cannot certify Fig. 1b"
+    );
 }

@@ -33,7 +33,10 @@ fn strategy_depth_ordering_on_random_patterns() {
         .collect();
         assert!(depths[0] <= depths[1], "exact ≤ packing: {depths:?}");
         assert!(depths[1] <= depths[2], "packing ≤ trivial: {depths:?}");
-        assert!(depths[2] <= depths[3].max(depths[2]), "trivial vs individual: {depths:?}");
+        assert!(
+            depths[2] <= depths[3].max(depths[2]),
+            "trivial vs individual: {depths:?}"
+        );
     }
 }
 

@@ -33,8 +33,19 @@ fn cdcl_vs_brute_force_on_structured_instances() {
     let instances: Vec<Vec<Vec<i64>>> = vec![
         vec![vec![1], vec![-1, 2], vec![-2, 3], vec![-3, -1]],
         vec![vec![1, 2], vec![1, -2], vec![-1, 2], vec![-1, -2]],
-        vec![vec![1, 2, 3], vec![1, -2, -3], vec![-1, 2, -3], vec![-1, -2, 3]],
-        vec![vec![-4, 1], vec![-4, 2], vec![4, -1, -2], vec![4], vec![-1, -2, 3]],
+        vec![
+            vec![1, 2, 3],
+            vec![1, -2, -3],
+            vec![-1, 2, -3],
+            vec![-1, -2, 3],
+        ],
+        vec![
+            vec![-4, 1],
+            vec![-4, 2],
+            vec![4, -1, -2],
+            vec![4],
+            vec![-1, -2, 3],
+        ],
     ];
     for (i, cls) in instances.iter().enumerate() {
         let cnf = Cnf::from_dimacs_clauses(cls);
