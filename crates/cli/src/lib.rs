@@ -74,9 +74,11 @@ USAGE:
   rect-addr help | --version
 
 Batch/serve options: --workers N, --budget-ms T, --conflicts C, --trials K,
---no-sat. One job per line: {\"id\": \"l0\", \"matrix\": [\"101\", \"010\"],
-\"budget_ms\": 500}; responses stream back in completion order with
-provenance, cache-hit flag and the rectangle partition.
+--no-sat, --shards N (cache shards), --warm-sessions N (0 = cold SAP),
+--no-adaptive (always race every strategy). One job per line: {\"id\": \"l0\",
+\"matrix\": [\"101\", \"010\"], \"budget_ms\": 500}; responses stream back in
+completion order with provenance, cache-hit flag, SAT conflict count and
+the rectangle partition.
 
 Matrix files contain one row of 0/1 digits per line; '-' reads stdin.";
 
@@ -338,12 +340,15 @@ fn cmd_gen(args: &[String]) -> CliOutput {
 }
 
 /// Builds an [`EngineConfig`] from `--workers/--budget-ms/--conflicts/
-/// --trials/--no-sat` flags. Budgets are only overridden when their flag is
-/// present, so [`EngineConfig::default`] stays the single source of truth.
+/// --trials/--no-sat/--shards/--warm-sessions/--no-adaptive` flags. Values
+/// are only overridden when their flag is present, so
+/// [`EngineConfig::default`] stays the single source of truth.
 fn engine_config(rest: &[String]) -> Result<EngineConfig, String> {
     let mut cfg = EngineConfig::default();
     cfg.workers = parse_flag(rest, "--workers", cfg.workers)?;
     cfg.portfolio.packing_trials = parse_flag(rest, "--trials", cfg.portfolio.packing_trials)?;
+    cfg.cache_shards = parse_flag(rest, "--shards", cfg.cache_shards)?.max(1);
+    cfg.warm_sessions = parse_flag(rest, "--warm-sessions", cfg.warm_sessions)?;
     if rest.iter().any(|a| a == "--budget-ms") {
         let budget_ms = parse_flag(rest, "--budget-ms", 0)?;
         cfg.portfolio.time_budget = Some(std::time::Duration::from_millis(budget_ms as u64));
@@ -353,6 +358,9 @@ fn engine_config(rest: &[String]) -> Result<EngineConfig, String> {
     }
     if rest.iter().any(|a| a == "--no-sat") {
         cfg.portfolio.sap = false;
+    }
+    if rest.iter().any(|a| a == "--no-adaptive") {
+        cfg.adaptive = false;
     }
     Ok(cfg)
 }
@@ -388,9 +396,18 @@ fn run_engine_batch<W: std::io::Write>(
     let stats = engine.cache_stats();
     writeln!(
         output,
-        "{{\"summary\": true, \"solved\": {}, \"failed\": {}, \"cache_hits\": {}, \"cache_entries\": {}}}",
-        summary.solved, summary.failed, stats.hits, stats.entries,
+        "{{\"summary\": true, \"solved\": {}, \"failed\": {}, \"cache_hits\": {}, \
+         \"cache_entries\": {}, \"cache_evictions\": {}, \"flight_waits\": {}, \
+         \"warm_sessions\": {}}}",
+        summary.solved,
+        summary.failed,
+        stats.hits,
+        stats.entries,
+        stats.evictions,
+        stats.flight_waits,
+        engine.warm_sessions(),
     )
+    .and_then(|()| output.flush())
     .map_err(|e| format!("batch I/O: {e}"))
 }
 
@@ -671,6 +688,50 @@ mod tests {
         assert_eq!(out.code, 0, "{}", out.stdout);
         assert!(out.stdout.contains("\"id\": \"x\""));
         assert!(out.stdout.contains("\"solved\": 1"));
+    }
+
+    #[test]
+    fn batch_engine_flags_configure_the_engine() {
+        let args: Vec<String> = [
+            "--workers",
+            "3",
+            "--shards",
+            "4",
+            "--warm-sessions",
+            "0",
+            "--no-adaptive",
+            "--no-sat",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = engine_config(&args).unwrap();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.cache_shards, 4);
+        assert_eq!(cfg.warm_sessions, 0);
+        assert!(!cfg.adaptive);
+        assert!(!cfg.portfolio.sap);
+        // Defaults untouched when flags are absent.
+        let dflt = engine_config(&[]).unwrap();
+        assert_eq!(dflt.cache_shards, EngineConfig::default().cache_shards);
+        assert!(dflt.adaptive);
+    }
+
+    #[test]
+    fn batch_summary_reports_engine_counters() {
+        let jobs =
+            "{\"id\": \"x\", \"matrix\": \"10;01\"}\n{\"id\": \"y\", \"matrix\": \"01;10\"}\n";
+        let out = run_str(&["batch", "-", "--workers", "1"], jobs);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let summary = out.stdout.lines().last().unwrap();
+        for field in [
+            "\"cache_evictions\":",
+            "\"flight_waits\":",
+            "\"warm_sessions\":",
+            "\"cache_hits\": 1",
+        ] {
+            assert!(summary.contains(field), "missing {field} in {summary}");
+        }
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub struct EncoderOptions {
     /// Record a clausal proof so UNSAT answers can be independently
     /// verified (see [`EbmfEncoder::verify_unsat_proof`]).
     pub proof_logging: bool,
+    /// Encode the depth bound through **assumption selector literals**
+    /// instead of permanent ban clauses: one selector `off[k]` per label with
+    /// `off[k] → ¬x[e][k]`, so [`EbmfEncoder::solve_at`] can query any bound
+    /// `≤ capacity` — including re-widening after an UNSAT answer — while
+    /// every learnt clause stays valid and is reused across queries. This is
+    /// the warm-start substrate of the engine's per-canonical-class SAP
+    /// sessions.
+    pub assumption_bounds: bool,
 }
 
 impl EncoderOptions {
@@ -76,12 +84,19 @@ impl EncoderOptions {
             symmetry_breaking: true,
             amo: AmoEncoding::Pairwise,
             proof_logging: false,
+            assumption_bounds: false,
         }
     }
 
     /// Returns a copy with proof logging enabled.
     pub fn with_proof_logging(mut self) -> Self {
         self.proof_logging = true;
+        self
+    }
+
+    /// Returns a copy with assumption-encoded bounds enabled.
+    pub fn with_assumption_bounds(mut self) -> Self {
+        self.assumption_bounds = true;
         self
     }
 }
@@ -116,6 +131,9 @@ pub struct EbmfEncoder {
     bound: usize,
     /// Flat `cells.len() × capacity` variable table.
     vars: Vec<Var>,
+    /// Per-label "ban" selectors (assumption-bound mode only): assuming
+    /// `bound_selectors[k]` positive forbids label `k`.
+    bound_selectors: Vec<Var>,
     /// Whether the last `solve` returned SAT (enables extraction).
     last_sat: bool,
 }
@@ -181,6 +199,7 @@ impl EbmfEncoder {
             symmetry_breaking,
             amo,
             proof_logging,
+            assumption_bounds,
         } = options;
         let (nrows, ncols) = m.shape();
         if let Some(dc) = dont_care {
@@ -294,6 +313,21 @@ impl EbmfEncoder {
             }
         }
 
+        // Assumption-bound mode: one ban selector per label. The clauses
+        // `off[k] → ¬x[e][k]` are inert until a query assumes `off[k]`, so
+        // the same clause database answers every bound `≤ capacity`.
+        let bound_selectors: Vec<Var> = if assumption_bounds {
+            let off: Vec<Var> = (0..bound).map(|_| solver.new_var()).collect();
+            for (k, &sel) in off.iter().enumerate() {
+                for e in 0..t {
+                    solver.add_clause([sel.negative(), var(e, k).negative()]);
+                }
+            }
+            off
+        } else {
+            Vec::new()
+        };
+
         EbmfEncoder {
             solver,
             shape: (nrows, ncols),
@@ -302,6 +336,7 @@ impl EbmfEncoder {
             capacity: bound,
             bound,
             vars,
+            bound_selectors,
             last_sat: false,
         }
     }
@@ -311,9 +346,37 @@ impl EbmfEncoder {
         self.bound
     }
 
+    /// The label capacity the encoding was built with (the ceiling of
+    /// [`EbmfEncoder::solve_at`] queries).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether this encoder was built with assumption-encoded bounds.
+    pub fn assumption_bounds(&self) -> bool {
+        !self.bound_selectors.is_empty()
+    }
+
     /// Limits each subsequent solve to `budget` conflicts (anytime mode).
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.solver.set_conflict_budget(budget);
+    }
+
+    /// Installs a resumable conflict pool shared across
+    /// [`EbmfEncoder::solve_at`] queries (see
+    /// [`Solver::set_resumable_budget`](sat::Solver::set_resumable_budget)).
+    pub fn set_resumable_budget(&mut self, budget: Option<u64>) {
+        self.solver.set_resumable_budget(budget);
+    }
+
+    /// Tops up the resumable conflict pool.
+    pub fn add_budget(&mut self, extra: u64) {
+        self.solver.add_budget(extra);
+    }
+
+    /// Conflicts left in the resumable pool (`None` = no pool).
+    pub fn remaining_budget(&self) -> Option<u64> {
+        self.solver.remaining_budget()
     }
 
     /// Installs (or clears) a cooperative interrupt on the underlying SAT
@@ -330,9 +393,11 @@ impl EbmfEncoder {
         self.solver.stats()
     }
 
-    /// Lowers the bound to `new_bound` by banning all higher labels
-    /// (incremental: learnt clauses are kept). The paper's
-    /// `narrow_down_depth`.
+    /// Lowers the bound to `new_bound`. In the default (permanent-clause)
+    /// mode all higher labels are banned by unit clauses — the paper's
+    /// `narrow_down_depth`, incremental because learnt clauses are kept. In
+    /// assumption-bound mode nothing is added: the next solve simply assumes
+    /// the ban selectors of the excluded labels.
     ///
     /// # Panics
     ///
@@ -343,10 +408,12 @@ impl EbmfEncoder {
             "cannot widen the bound ({new_bound} > {})",
             self.bound
         );
-        for k in new_bound..self.bound {
-            for e in 0..self.cells.len() {
-                let v = self.vars[e * self.capacity + k];
-                self.solver.add_clause([v.negative()]);
+        if self.bound_selectors.is_empty() {
+            for k in new_bound..self.bound {
+                for e in 0..self.cells.len() {
+                    let v = self.vars[e * self.capacity + k];
+                    self.solver.add_clause([v.negative()]);
+                }
             }
         }
         self.bound = new_bound;
@@ -363,7 +430,56 @@ impl EbmfEncoder {
             self.last_sat = false;
             return SolveResult::Unsat;
         }
+        if !self.bound_selectors.is_empty() {
+            return self.solve_at(self.bound);
+        }
         let res = self.solver.solve();
+        self.last_sat = res.is_sat();
+        res
+    }
+
+    /// Queries `r_B(M) ≤ bound` through the assumption selectors, drawing
+    /// conflicts from the resumable pool when one is installed. Unlike
+    /// [`EbmfEncoder::narrow`] + [`EbmfEncoder::solve`], the bound may move
+    /// in **either** direction between calls, and every learnt clause is
+    /// shared across all queries — this is the warm-start entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoder was not built with
+    /// [`EncoderOptions::assumption_bounds`], or if `bound` exceeds the
+    /// construction capacity.
+    pub fn solve_at(&mut self, bound: usize) -> SolveResult {
+        if self.cells.is_empty() {
+            self.last_sat = true;
+            return SolveResult::Sat;
+        }
+        assert!(
+            !self.bound_selectors.is_empty(),
+            "solve_at requires EncoderOptions::assumption_bounds"
+        );
+        assert!(
+            bound <= self.capacity,
+            "bound {bound} exceeds encoding capacity {}",
+            self.capacity
+        );
+        self.bound = bound;
+        if bound == 0 {
+            self.last_sat = false;
+            return SolveResult::Unsat;
+        }
+        let assumptions: Vec<sat::Lit> = self.bound_selectors[bound..]
+            .iter()
+            .map(|s| s.positive())
+            .collect();
+        // Draw from the resumable pool when one is installed; otherwise
+        // honor the per-call budget of `set_conflict_budget` like `solve`
+        // does, so switching encodings never silently unbounds a query.
+        let res = if self.solver.remaining_budget().is_some() {
+            self.solver.solve_under_assumptions(&assumptions)
+        } else {
+            self.solver.solve_with_assumptions(&assumptions)
+        };
         self.last_sat = res.is_sat();
         res
     }
@@ -565,7 +681,7 @@ mod tests {
                         bound: b,
                         symmetry_breaking: true,
                         amo: AmoEncoding::Pairwise,
-                        proof_logging: false,
+                        ..EncoderOptions::new(b)
                     },
                 );
                 let mut seq = EbmfEncoder::with_encoder_options(
@@ -575,7 +691,7 @@ mod tests {
                         bound: b,
                         symmetry_breaking: true,
                         amo: AmoEncoding::Sequential,
-                        proof_logging: false,
+                        ..EncoderOptions::new(b)
                     },
                 );
                 assert_eq!(pw.solve(), seq.solve(), "bound {b} on\n{m}");
@@ -597,7 +713,7 @@ mod tests {
                 bound: 4,
                 symmetry_breaking: true,
                 amo: AmoEncoding::Sequential,
-                proof_logging: false,
+                ..EncoderOptions::new(4)
             },
         );
         assert!(enc.solve().is_sat());
@@ -605,6 +721,96 @@ mod tests {
         assert!(enc.solve().is_sat());
         enc.narrow(2);
         assert!(enc.solve().is_unsat());
+    }
+
+    fn assumption_encoder(m: &BitMatrix, capacity: usize) -> EbmfEncoder {
+        EbmfEncoder::with_encoder_options(
+            m,
+            None,
+            EncoderOptions::new(capacity).with_assumption_bounds(),
+        )
+    }
+
+    #[test]
+    fn assumption_bounds_agree_with_permanent_narrowing() {
+        let matrices: [BitMatrix; 3] = [
+            "110\n011\n111".parse().unwrap(),
+            BitMatrix::identity(4),
+            "1101\n0111\n1011".parse().unwrap(),
+        ];
+        for m in &matrices {
+            let mut warm = assumption_encoder(m, 6);
+            for b in (1..=6).rev() {
+                let cold = EbmfEncoder::new(m, b).solve();
+                assert_eq!(warm.solve_at(b), cold, "bound {b} on\n{m}");
+                if warm.solve_at(b).is_sat() {
+                    let p = warm.extract_partition();
+                    assert!(p.validate(m).is_ok(), "bound {b} model invalid");
+                    assert!(p.len() <= b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assumption_bounds_can_rewiden_after_unsat() {
+        // Permanent narrowing can never widen; the selector encoding can.
+        let m = BitMatrix::identity(3);
+        let mut enc = assumption_encoder(&m, 5);
+        assert!(enc.solve_at(2).is_unsat());
+        assert!(enc.solve_at(3).is_sat());
+        assert!(enc.extract_partition().validate(&m).is_ok());
+        assert!(enc.solve_at(2).is_unsat(), "learnt clauses stay sound");
+    }
+
+    #[test]
+    fn assumption_bounds_resume_from_exhausted_pool() {
+        // Identity 7 at bound 6 without symmetry breaking is pigeonhole-hard;
+        // a tiny resumable pool must be exhausted at least once and, after
+        // refills, conclude UNSAT using the clauses learnt in earlier slices.
+        let m = BitMatrix::identity(7);
+        let mut enc = EbmfEncoder::with_encoder_options(
+            &m,
+            None,
+            EncoderOptions {
+                symmetry_breaking: false,
+                ..EncoderOptions::new(6).with_assumption_bounds()
+            },
+        );
+        enc.set_resumable_budget(Some(20));
+        let mut refills = 0u32;
+        let result = loop {
+            match enc.solve_at(6) {
+                SolveResult::Unknown => {
+                    assert_eq!(enc.remaining_budget(), Some(0));
+                    enc.add_budget(20);
+                    refills += 1;
+                    assert!(refills < 10_000, "must terminate");
+                }
+                done => break done,
+            }
+        };
+        assert!(result.is_unsat());
+        assert!(refills > 0, "instance must exhaust the first pool slice");
+    }
+
+    #[test]
+    fn assumption_bounds_honor_per_call_budget_without_pool() {
+        // No resumable pool installed: solve_at must still respect the
+        // per-call conflict budget instead of running unbounded.
+        let m = BitMatrix::identity(7);
+        let mut enc = EbmfEncoder::with_encoder_options(
+            &m,
+            None,
+            EncoderOptions {
+                symmetry_breaking: false,
+                ..EncoderOptions::new(6).with_assumption_bounds()
+            },
+        );
+        enc.set_conflict_budget(Some(10));
+        assert_eq!(enc.solve_at(6), SolveResult::Unknown);
+        enc.set_conflict_budget(None);
+        assert!(enc.solve_at(6).is_unsat());
     }
 
     #[test]

@@ -131,6 +131,200 @@ impl SapOutcome {
     }
 }
 
+/// A persistent SAP solver for one matrix, warm-startable across runs.
+///
+/// The session owns the row-packing incumbent, the lower bound and — once
+/// the descent has started — one incremental [`EbmfEncoder`] whose learnt
+/// clauses survive between [`SapSession::run`] calls. A run that stops on an
+/// exhausted budget leaves the session mid-descent; a later run **resumes**
+/// from the same depth bound with every learnt clause retained, so the
+/// conflicts already spent are never re-spent. The engine keeps one session
+/// per canonical matrix class for exactly this reason: cache-adjacent jobs
+/// (same class, fresh budgets) continue each other's SAT search instead of
+/// re-encoding from scratch.
+///
+/// The depth bound is encoded through assumption selector literals
+/// ([`crate::EncoderOptions::assumption_bounds`]) except under
+/// [`SapConfig::certify`], where the permanent-clause path is kept because
+/// an UNSAT answer relative to assumptions has no standalone clausal
+/// refutation to verify.
+#[derive(Debug)]
+pub struct SapSession {
+    m: BitMatrix,
+    lb: LowerBound,
+    best: Partition,
+    proved: bool,
+    encoder: Option<EbmfEncoder>,
+    /// SAT conflicts spent across all runs of this session.
+    conflicts: u64,
+    /// Construction-phase timings, reported by the first run only.
+    packing_seconds: f64,
+    bound_seconds: f64,
+}
+
+impl SapSession {
+    /// Creates a session: runs row packing and the lower bounds, but no SAT.
+    pub fn new(m: &BitMatrix, config: &SapConfig) -> Self {
+        let t0 = Instant::now();
+        let best = row_packing(m, &config.packing);
+        let packing_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let lb = lower_bound(m, config.use_fooling_bound);
+        let bound_seconds = t1.elapsed().as_secs_f64();
+
+        debug_assert!(best.validate(m).is_ok());
+        let proved = best.len() <= lb.value;
+        SapSession {
+            m: m.clone(),
+            lb,
+            best,
+            proved,
+            encoder: None,
+            conflicts: 0,
+            packing_seconds,
+            bound_seconds,
+        }
+    }
+
+    /// The matrix this session solves.
+    pub fn matrix(&self) -> &BitMatrix {
+        &self.m
+    }
+
+    /// The best partition found so far (always valid for the matrix).
+    pub fn best(&self) -> &Partition {
+        &self.best
+    }
+
+    /// Whether the incumbent depth is proved equal to the binary rank.
+    pub fn proved_optimal(&self) -> bool {
+        self.proved
+    }
+
+    /// Total SAT conflicts spent across all runs of this session.
+    pub fn total_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Adopts an externally-found partition (e.g. a cached result from a
+    /// permuted duplicate) when it beats the current incumbent, so the next
+    /// run descends from below it instead of re-deriving it.
+    pub fn offer_incumbent(&mut self, p: &Partition) {
+        debug_assert!(p.validate(&self.m).is_ok());
+        if p.len() < self.best.len() {
+            self.best = p.clone();
+            if self.best.len() <= self.lb.value {
+                self.proved = true;
+            }
+        }
+    }
+
+    /// Runs (or resumes) the depth descent under `config`'s budgets and
+    /// returns the current outcome. Proved sessions return immediately.
+    pub fn run(&mut self, config: &SapConfig) -> SapOutcome {
+        let mut stats = SapStats {
+            packing_seconds: std::mem::take(&mut self.packing_seconds),
+            bound_seconds: std::mem::take(&mut self.bound_seconds),
+            ..SapStats::default()
+        };
+        let skip_sat = config
+            .max_sat_cells
+            .is_some_and(|max| self.m.count_ones() > max);
+
+        let mut certified = None;
+        if !self.proved && !skip_sat && self.best.len() > 1 {
+            let sat_start = Instant::now();
+            if self.encoder.is_none() {
+                let enc_opts = crate::EncoderOptions {
+                    symmetry_breaking: config.symmetry_breaking,
+                    proof_logging: config.certify,
+                    // See the type docs: proofs need globally-derived UNSAT.
+                    assumption_bounds: !config.certify,
+                    ..crate::EncoderOptions::new(self.best.len() - 1)
+                };
+                self.encoder = Some(EbmfEncoder::with_encoder_options(&self.m, None, enc_opts));
+            }
+            let encoder = self.encoder.as_mut().expect("encoder just ensured");
+            encoder.set_conflict_budget(config.conflict_budget);
+            encoder.set_interrupt(config.cancel.clone());
+            loop {
+                // Resume point: one below the incumbent, clamped to what the
+                // encoding can express (the incumbent may have improved past
+                // the first run's starting capacity via `offer_incumbent`).
+                let b = (self.best.len() - 1).min(encoder.capacity());
+                if b < self.lb.value {
+                    self.proved = true; // |best| == lb.value: matches the floor
+                    break;
+                }
+                if config
+                    .cancel
+                    .as_ref()
+                    .is_some_and(CancelToken::is_cancelled)
+                {
+                    break; // anytime exit: keep the incumbent, optimality unproved
+                }
+                let conflicts_before = encoder.solver_stats().conflicts;
+                let tq = Instant::now();
+                let result = if encoder.assumption_bounds() {
+                    // Per-query budget through the resumable pool, so an
+                    // exhausted query can be continued by the next run.
+                    encoder.set_resumable_budget(config.conflict_budget);
+                    encoder.solve_at(b)
+                } else {
+                    encoder.narrow(b);
+                    encoder.solve()
+                };
+                let seconds = tq.elapsed().as_secs_f64();
+                let spent = encoder.solver_stats().conflicts - conflicts_before;
+                self.conflicts += spent;
+                stats.queries.push(SatQuery {
+                    bound: b,
+                    result,
+                    seconds,
+                    conflicts: spent,
+                });
+                match result {
+                    SolveResult::Sat => {
+                        let p = encoder.extract_partition();
+                        debug_assert!(p.validate(&self.m).is_ok());
+                        debug_assert!(p.len() <= b);
+                        self.best = p;
+                        if self.best.len() <= self.lb.value {
+                            self.proved = true;
+                            break;
+                        }
+                    }
+                    SolveResult::Unsat => {
+                        // r_B > b, and |best| == b + 1.
+                        self.proved = true;
+                        if config.certify {
+                            certified = Some(encoder.verify_unsat_proof().is_ok());
+                        }
+                        break;
+                    }
+                    SolveResult::Unknown => break, // budget exhausted: anytime exit
+                }
+                if let Some(limit) = config.time_limit {
+                    if sat_start.elapsed() > limit {
+                        break;
+                    }
+                }
+            }
+            stats.sat_seconds = sat_start.elapsed().as_secs_f64();
+        }
+
+        SapOutcome {
+            partition: self.best.clone(),
+            proved_optimal: self.proved,
+            lower_bound: self.lb,
+            real_rank: self.lb.real_rank,
+            certified,
+            stats,
+        }
+    }
+}
+
 /// Runs SAP (paper Algorithm 1) on `m`.
 ///
 /// 1. Row packing provides a valid EBMF `P` (upper bound).
@@ -139,99 +333,11 @@ impl SapOutcome {
 /// 3. A SAT encoder is built for `b = |P| − 1` and the bound is narrowed
 ///    after every satisfiable query; the incumbent is updated so an
 ///    interrupt at any time still returns the best solution found.
+///
+/// This is a one-shot wrapper over [`SapSession`]; long-lived callers (the
+/// engine's per-canonical-class warm store) keep the session and resume it.
 pub fn sap(m: &BitMatrix, config: &SapConfig) -> SapOutcome {
-    let t0 = Instant::now();
-    let mut best = row_packing(m, &config.packing);
-    let packing_seconds = t0.elapsed().as_secs_f64();
-
-    let t1 = Instant::now();
-    let lb = lower_bound(m, config.use_fooling_bound);
-    let bound_seconds = t1.elapsed().as_secs_f64();
-
-    let mut stats = SapStats {
-        packing_seconds,
-        bound_seconds,
-        ..SapStats::default()
-    };
-
-    debug_assert!(best.validate(m).is_ok());
-    let mut proved = best.len() <= lb.value;
-    let skip_sat = config.max_sat_cells.is_some_and(|max| m.count_ones() > max);
-
-    let mut certified = None;
-    if !proved && !skip_sat && best.len() > 1 {
-        let sat_start = Instant::now();
-        let mut enc_opts = crate::EncoderOptions {
-            bound: best.len() - 1,
-            symmetry_breaking: config.symmetry_breaking,
-            ..crate::EncoderOptions::new(best.len() - 1)
-        };
-        enc_opts.proof_logging = config.certify;
-        let mut encoder = EbmfEncoder::with_encoder_options(m, None, enc_opts);
-        encoder.set_conflict_budget(config.conflict_budget);
-        encoder.set_interrupt(config.cancel.clone());
-        loop {
-            let b = encoder.bound();
-            if b < lb.value {
-                proved = true; // |best| == lb.value: matches the floor
-                break;
-            }
-            if config
-                .cancel
-                .as_ref()
-                .is_some_and(CancelToken::is_cancelled)
-            {
-                break; // anytime exit: keep the incumbent, optimality unproved
-            }
-            let conflicts_before = encoder.solver_stats().conflicts;
-            let tq = Instant::now();
-            let result = encoder.solve();
-            let seconds = tq.elapsed().as_secs_f64();
-            stats.queries.push(SatQuery {
-                bound: b,
-                result,
-                seconds,
-                conflicts: encoder.solver_stats().conflicts - conflicts_before,
-            });
-            match result {
-                SolveResult::Sat => {
-                    let p = encoder.extract_partition();
-                    debug_assert!(p.validate(m).is_ok());
-                    debug_assert!(p.len() <= b);
-                    best = p;
-                    if best.len() <= lb.value {
-                        proved = true;
-                        break;
-                    }
-                    encoder.narrow(best.len() - 1);
-                }
-                SolveResult::Unsat => {
-                    // r_B > b, and |best| == b + 1.
-                    proved = true;
-                    if config.certify {
-                        certified = Some(encoder.verify_unsat_proof().is_ok());
-                    }
-                    break;
-                }
-                SolveResult::Unknown => break, // budget exhausted: anytime exit
-            }
-            if let Some(limit) = config.time_limit {
-                if sat_start.elapsed() > limit {
-                    break;
-                }
-            }
-        }
-        stats.sat_seconds = sat_start.elapsed().as_secs_f64();
-    }
-
-    SapOutcome {
-        partition: best,
-        proved_optimal: proved,
-        lower_bound: lb,
-        real_rank: lb.real_rank,
-        certified,
-        stats,
-    }
+    SapSession::new(m, config).run(config)
 }
 
 /// The binary rank `r_B(m)`, computed exactly (no resource limits).
@@ -404,6 +510,88 @@ mod tests {
         assert!(out.partition.validate(&m).is_ok());
         assert!(out.stats.queries.is_empty());
         assert!(!out.proved_optimal);
+    }
+
+    /// A matrix whose descent needs enough conflicts that a small per-run
+    /// budget leaves the session mid-descent at least once (a rank-gap
+    /// instance whose final UNSAT query costs thousands of conflicts when
+    /// symmetry breaking is off).
+    fn hard_matrix() -> BitMatrix {
+        crate::gen::gap_benchmark(10, 10, 3, 2).matrix
+    }
+
+    #[test]
+    fn session_resumes_descent_across_runs() {
+        let m = hard_matrix();
+        let cfg = SapConfig {
+            // No symmetry breaking keeps the final UNSAT query hard.
+            symmetry_breaking: false,
+            conflict_budget: Some(500),
+            packing: PackingConfig::with_trials(4),
+            ..SapConfig::default()
+        };
+        let mut session = SapSession::new(&m, &cfg);
+        let mut runs = 0u32;
+        while !session.proved_optimal() {
+            let out = session.run(&cfg);
+            assert!(out.partition.validate(&m).is_ok());
+            runs += 1;
+            assert!(runs < 10_000, "session must converge");
+        }
+        assert!(runs > 1, "first slice must exhaust its budget");
+
+        // Cold baseline: the same budget restarted from scratch each round
+        // makes no progress at all — it re-spends the same conflicts.
+        let cold = sap(&m, &cfg);
+        assert!(!cold.proved_optimal, "one cold slice must not prove it");
+        // And the session's total spend stays close to a single unlimited
+        // descent (no re-derivation), far below runs × cold-slice work.
+        let unlimited = sap(
+            &m,
+            &SapConfig {
+                conflict_budget: None,
+                ..cfg.clone()
+            },
+        );
+        assert!(unlimited.proved_optimal);
+        let single_shot: u64 = unlimited.stats.queries.iter().map(|q| q.conflicts).sum();
+        assert!(
+            session.total_conflicts() <= single_shot.max(500) * 3,
+            "warm resume must not blow up: {} vs single-shot {}",
+            session.total_conflicts(),
+            single_shot
+        );
+    }
+
+    #[test]
+    fn session_offer_incumbent_skips_proved_work() {
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let cfg = SapConfig::default();
+        let mut donor = SapSession::new(&m, &cfg);
+        let proved = donor.run(&cfg);
+        assert!(proved.proved_optimal);
+
+        let mut session = SapSession::new(&m, &cfg);
+        session.offer_incumbent(&proved.partition);
+        assert_eq!(session.best().len(), 5);
+        // The offered depth-5 incumbent is above the rank floor (4), so the
+        // session still has to prove UNSAT at 4 — but never re-searches 5.
+        let out = session.run(&cfg);
+        assert!(out.proved_optimal);
+        assert!(out.stats.queries.iter().all(|q| q.bound <= 4));
+    }
+
+    #[test]
+    fn session_on_proved_matrix_runs_no_queries() {
+        let cfg = SapConfig::default();
+        let mut session = SapSession::new(&BitMatrix::identity(4), &cfg);
+        assert!(session.proved_optimal(), "packing meets the rank floor");
+        let out = session.run(&cfg);
+        assert!(out.proved_optimal);
+        assert!(out.stats.queries.is_empty());
+        assert_eq!(session.total_conflicts(), 0);
     }
 
     #[test]

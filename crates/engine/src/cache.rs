@@ -1,8 +1,23 @@
-//! Permutation-invariant memoization of solve outcomes.
+//! Permutation-invariant memoization of solve outcomes: a sharded,
+//! LRU-evicting map with **single-flight** solve coalescing.
+//!
+//! The cache is split into shards selected by key hash, each behind its own
+//! mutex, so lookups from many workers never serialize on one lock. Within a
+//! shard, entries carry a last-used tick and the least-recently-used entry
+//! is evicted when a shard fills — new (hot) keys are never dropped in
+//! favour of stale ones.
+//!
+//! Single-flight: [`CanonicalCache::begin`] registers a *pending* entry on a
+//! miss and hands the caller a [`FlightGuard`]; concurrent callers of the
+//! same canonical key block on the flight instead of racing duplicate
+//! portfolios, and are answered the moment the leader completes. A leader
+//! that unwinds without completing aborts the flight and wakes the waiters,
+//! one of which then becomes the new leader.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 use ebmf::Partition;
 
@@ -32,14 +47,18 @@ pub struct CachedOutcome {
 /// Cache hit/miss/size counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (including flight waits).
     pub hits: u64,
     /// Lookups that had to solve.
     pub misses: u64,
-    /// Entries currently stored.
+    /// Entries currently stored (pending flights included).
     pub entries: u64,
-    /// Inserts dropped because the cache was at capacity.
-    pub evicted_inserts: u64,
+    /// Entries dropped by per-shard LRU eviction.
+    pub evictions: u64,
+    /// Hits served by waiting on another worker's in-flight solve.
+    pub flight_waits: u64,
+    /// Number of shards the key space is split into.
+    pub shards: u64,
 }
 
 impl CacheStats {
@@ -54,52 +73,269 @@ impl CacheStats {
     }
 }
 
+/// State of one in-flight solve, shared between the leader and its waiters.
+#[derive(Debug)]
+struct Flight {
+    /// `None` while in flight; `Some(result)` once resolved. An aborted
+    /// flight resolves to `Some(None)`.
+    state: Mutex<Option<Option<StoredEntry>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, entry: Option<StoredEntry>) {
+        let mut state = self.state.lock().expect("flight mutex poisoned");
+        if state.is_none() {
+            *state = Some(entry);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until the flight resolves; `None` means it was aborted.
+    fn wait(&self) -> Option<StoredEntry> {
+        let mut state = self.state.lock().expect("flight mutex poisoned");
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self.cv.wait(state).expect("flight mutex poisoned");
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Ready { entry: StoredEntry, last_used: u64 },
+    Pending(std::sync::Arc<Flight>),
+}
+
+#[derive(Debug, Default)]
+struct ShardMap {
+    entries: HashMap<String, Slot>,
+    /// Monotonic LRU clock, bumped on every touch.
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<ShardMap>,
+}
+
+/// Outcome of [`CanonicalCache::begin`].
+#[derive(Debug)]
+pub enum CacheDecision<'a> {
+    /// The cache answered — either from a stored entry or by waiting on a
+    /// concurrent flight for the same canonical key.
+    Hit {
+        /// The stored result, mapped to the caller's coordinates.
+        outcome: CachedOutcome,
+        /// `true` when this call blocked on another worker's in-flight
+        /// solve. Proved results end the caller's work either way; an
+        /// unproved waited-on result is only the leader's budget-limited
+        /// bound, which a caller with a more generous budget may still
+        /// improve (ideally by resuming the warm session, not repeating).
+        waited: bool,
+    },
+    /// Genuine miss: the caller is the flight leader and **must** either
+    /// [`FlightGuard::complete`] the guard or drop it (aborting the flight).
+    Miss(FlightGuard<'a>),
+}
+
+/// Leadership of one in-flight solve; see [`CanonicalCache::begin`].
+#[derive(Debug)]
+pub struct FlightGuard<'a> {
+    cache: &'a CanonicalCache,
+    shard: usize,
+    key: String,
+    flight: std::sync::Arc<Flight>,
+    done: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publishes the solve result: stores it (in canonical coordinates) and
+    /// wakes every waiter of this flight. If an out-of-band `insert` landed
+    /// a *better* entry for this key while the flight was open (possible
+    /// when the slot was evicted mid-improvement and re-led), the
+    /// better-result-wins rule of [`CanonicalCache::insert`] applies and the
+    /// waiters receive the winning entry.
+    pub fn complete(
+        mut self,
+        canon: &CanonicalForm,
+        partition: &Partition,
+        proved_optimal: bool,
+        provenance: Provenance,
+    ) {
+        debug_assert_eq!(canon.key(), self.key, "guard used with a different key");
+        let entry = StoredEntry {
+            partition: canon.partition_to_canonical(partition),
+            proved_optimal,
+            provenance,
+        };
+        self.done = true;
+        let shard = &self.cache.shards[self.shard];
+        let published = {
+            let mut map = shard.map.lock().expect("cache shard poisoned");
+            map.tick += 1;
+            let tick = map.tick;
+            match map.entries.get_mut(&self.key) {
+                Some(Slot::Ready {
+                    entry: existing,
+                    last_used,
+                }) => {
+                    if better_than(&entry, existing) {
+                        *existing = entry;
+                    }
+                    *last_used = tick;
+                    existing.clone()
+                }
+                _ => {
+                    map.entries.insert(
+                        self.key.clone(),
+                        Slot::Ready {
+                            entry: entry.clone(),
+                            last_used: tick,
+                        },
+                    );
+                    entry
+                }
+            }
+        };
+        self.flight.resolve(Some(published));
+    }
+}
+
+/// The cache's replacement rule: smaller depth wins, then newly-proved.
+fn better_than(candidate: &StoredEntry, existing: &StoredEntry) -> bool {
+    candidate.partition.len() < existing.partition.len()
+        || (candidate.proved_optimal && !existing.proved_optimal)
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // Leader unwound without a result: drop the pending slot (unless an
+        // out-of-band insert already made it ready) and wake the waiters so
+        // one of them can take over.
+        let shard = &self.cache.shards[self.shard];
+        {
+            let mut map = shard.map.lock().expect("cache shard poisoned");
+            if matches!(map.entries.get(&self.key), Some(Slot::Pending(_))) {
+                map.entries.remove(&self.key);
+            }
+        }
+        self.flight.resolve(None);
+    }
+}
+
 /// A thread-safe map from canonical matrix forms to solved partitions.
 ///
 /// Keys are produced by [`canonical_form`](crate::canonical_form), so a hit
 /// means the queried matrix is a row/column permutation of a previously
 /// solved one; the stored partition is mapped back through the query's own
-/// canonizing permutations before being returned. The map is guarded by a
-/// single [`Mutex`] — lookups are microseconds against solves that take
-/// milliseconds to seconds, so contention is negligible at the current
-/// worker counts (a sharded map is a ROADMAP follow-on).
+/// canonizing permutations before being returned. See the module docs for
+/// the sharding, eviction and single-flight behaviour.
 #[derive(Debug)]
 pub struct CanonicalCache {
-    map: Mutex<HashMap<String, StoredEntry>>,
-    capacity: usize,
+    shards: Box<[Shard]>,
+    capacity_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
-    evicted: AtomicU64,
+    evictions: AtomicU64,
+    flight_waits: AtomicU64,
 }
 
+/// Default shard count of [`CanonicalCache::new`].
+pub const DEFAULT_SHARDS: usize = 16;
+
 impl CanonicalCache {
-    /// An empty cache holding at most `capacity` entries.
+    /// An empty cache of [`DEFAULT_SHARDS`] shards holding at most
+    /// `capacity` entries in total.
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with an explicit shard count (rounded up to at least
+    /// one); total capacity is split evenly across shards.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity_per_shard = capacity.div_ceil(shards).max(1);
         CanonicalCache {
-            map: Mutex::new(HashMap::new()),
-            capacity,
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            capacity_per_shard,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            evicted: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            flight_waits: AtomicU64::new(0),
         }
     }
 
-    /// Looks up the canonical form, mapping a hit back onto the coordinates
-    /// of the matrix `canon` was computed from. The mutex guards only the
-    /// map access; permutation mapping happens after unlock.
+    fn shard_of(&self, key: &str) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Evicts the least-recently-used ready entry when the shard is full.
+    /// Pending flights are never evicted (waiters hold their `Arc`s); a
+    /// shard that is transiently all-pending may overflow by the number of
+    /// concurrent flights.
+    fn make_room(&self, map: &mut ShardMap) {
+        if map.entries.len() < self.capacity_per_shard {
+            return;
+        }
+        let victim = map
+            .entries
+            .iter()
+            .filter_map(|(k, slot)| match slot {
+                Slot::Ready { last_used, .. } => Some((*last_used, k)),
+                Slot::Pending(_) => None,
+            })
+            .min_by_key(|&(last_used, _)| last_used)
+            .map(|(_, k)| k.clone());
+        if let Some(key) = victim {
+            map.entries.remove(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn map_outcome(canon: &CanonicalForm, entry: &StoredEntry) -> CachedOutcome {
+        CachedOutcome {
+            partition: canon.partition_to_original(&entry.partition),
+            proved_optimal: entry.proved_optimal,
+            provenance: entry.provenance,
+        }
+    }
+
+    /// Non-blocking lookup: answers from a ready entry, counting pending
+    /// flights (and absences) as misses. The shard mutex guards only the map
+    /// access; permutation mapping happens after unlock.
     pub fn get(&self, canon: &CanonicalForm) -> Option<CachedOutcome> {
+        let shard = &self.shards[self.shard_of(canon.key())];
         let entry = {
-            let map = self.map.lock().expect("cache mutex poisoned");
-            map.get(canon.key()).cloned()
+            let mut map = shard.map.lock().expect("cache shard poisoned");
+            map.tick += 1;
+            let tick = map.tick;
+            match map.entries.get_mut(canon.key()) {
+                Some(Slot::Ready { entry, last_used }) => {
+                    *last_used = tick;
+                    Some(entry.clone())
+                }
+                _ => None,
+            }
         };
         match entry {
             Some(entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(CachedOutcome {
-                    partition: canon.partition_to_original(&entry.partition),
-                    proved_optimal: entry.proved_optimal,
-                    provenance: entry.provenance,
-                })
+                Some(Self::map_outcome(canon, &entry))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -108,10 +344,68 @@ impl CanonicalCache {
         }
     }
 
+    /// Single-flight lookup: a ready entry answers immediately; a pending
+    /// flight **blocks** until its leader publishes (the wait is counted as
+    /// a hit); a genuine miss registers a pending entry and returns a
+    /// [`FlightGuard`] making the caller the leader.
+    pub fn begin(&self, canon: &CanonicalForm) -> CacheDecision<'_> {
+        let shard_idx = self.shard_of(canon.key());
+        let shard = &self.shards[shard_idx];
+        loop {
+            let flight = {
+                let mut map = shard.map.lock().expect("cache shard poisoned");
+                map.tick += 1;
+                let tick = map.tick;
+                match map.entries.get_mut(canon.key()) {
+                    Some(Slot::Ready { entry, last_used }) => {
+                        *last_used = tick;
+                        let entry = entry.clone();
+                        drop(map);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return CacheDecision::Hit {
+                            outcome: Self::map_outcome(canon, &entry),
+                            waited: false,
+                        };
+                    }
+                    Some(Slot::Pending(flight)) => flight.clone(),
+                    None => {
+                        self.make_room(&mut map);
+                        let flight = std::sync::Arc::new(Flight::new());
+                        map.entries
+                            .insert(canon.key().to_string(), Slot::Pending(flight.clone()));
+                        drop(map);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        return CacheDecision::Miss(FlightGuard {
+                            cache: self,
+                            shard: shard_idx,
+                            key: canon.key().to_string(),
+                            flight,
+                            done: false,
+                        });
+                    }
+                }
+            };
+            // Wait outside the shard lock. An aborted flight retries the
+            // whole decision (this waiter may become the new leader).
+            match flight.wait() {
+                Some(entry) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.flight_waits.fetch_add(1, Ordering::Relaxed);
+                    return CacheDecision::Hit {
+                        outcome: Self::map_outcome(canon, &entry),
+                        waited: true,
+                    };
+                }
+                None => continue,
+            }
+        }
+    }
+
     /// Stores a solved partition (given in the coordinates of the matrix
     /// `canon` was computed from). A better or newly-proved result replaces
-    /// an existing entry; otherwise first-write wins. At capacity, new keys
-    /// are dropped (counted in [`CacheStats::evicted_inserts`]).
+    /// an existing entry; otherwise first-write wins. Inserting over a
+    /// pending flight resolves it early (its waiters get this result). At
+    /// capacity, the shard's least-recently-used entry is evicted.
     pub fn insert(
         &self,
         canon: &CanonicalForm,
@@ -124,32 +418,65 @@ impl CanonicalCache {
             proved_optimal,
             provenance,
         };
-        let mut map = self.map.lock().expect("cache mutex poisoned");
-        match map.get_mut(canon.key()) {
-            Some(existing) => {
-                let better = entry.partition.len() < existing.partition.len()
-                    || (proved_optimal && !existing.proved_optimal);
-                if better {
-                    *existing = entry;
+        let shard = &self.shards[self.shard_of(canon.key())];
+        let resolved = {
+            let mut map = shard.map.lock().expect("cache shard poisoned");
+            map.tick += 1;
+            let tick = map.tick;
+            match map.entries.get_mut(canon.key()) {
+                Some(Slot::Ready {
+                    entry: existing,
+                    last_used,
+                }) => {
+                    if better_than(&entry, existing) {
+                        *existing = entry;
+                    }
+                    *last_used = tick;
+                    None
+                }
+                Some(Slot::Pending(flight)) => {
+                    let flight = flight.clone();
+                    map.entries.insert(
+                        canon.key().to_string(),
+                        Slot::Ready {
+                            entry: entry.clone(),
+                            last_used: tick,
+                        },
+                    );
+                    Some((flight, entry))
+                }
+                None => {
+                    self.make_room(&mut map);
+                    map.entries.insert(
+                        canon.key().to_string(),
+                        Slot::Ready {
+                            entry,
+                            last_used: tick,
+                        },
+                    );
+                    None
                 }
             }
-            None => {
-                if map.len() < self.capacity {
-                    map.insert(canon.key().to_string(), entry);
-                } else {
-                    self.evicted.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+        };
+        if let Some((flight, entry)) = resolved {
+            flight.resolve(Some(entry));
         }
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.map.lock().expect("cache shard poisoned").entries.len() as u64)
+            .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache mutex poisoned").len() as u64,
-            evicted_inserts: self.evicted.load(Ordering::Relaxed),
+            entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            flight_waits: self.flight_waits.load(Ordering::Relaxed),
+            shards: self.shards.len() as u64,
         }
     }
 }
@@ -203,15 +530,103 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bounds_entries() {
-        let cache = CanonicalCache::new(1);
+    fn lru_eviction_drops_the_stalest_entry() {
+        let cache = CanonicalCache::with_shards(2, 1);
         let a: BitMatrix = "10\n01".parse().unwrap();
         let b: BitMatrix = "111\n111".parse().unwrap();
-        let (ca, cb) = (canonical_form(&a), canonical_form(&b));
+        let c: BitMatrix = "1010\n0101".parse().unwrap();
+        let (ca, cb, cc) = (canonical_form(&a), canonical_form(&b), canonical_form(&c));
         cache.insert(&ca, &ebmf::trivial_partition(&a), true, Provenance::Trivial);
         cache.insert(&cb, &ebmf::trivial_partition(&b), true, Provenance::Trivial);
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        assert!(cache.get(&ca).is_some());
+        cache.insert(&cc, &ebmf::trivial_partition(&c), true, Provenance::Trivial);
+
         let stats = cache.stats();
-        assert_eq!(stats.entries, 1);
-        assert_eq!(stats.evicted_inserts, 1);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.get(&ca).is_some(), "recently-used entry survives");
+        assert!(cache.get(&cb).is_none(), "stalest entry was evicted");
+        assert!(cache.get(&cc).is_some(), "new entry was stored");
+    }
+
+    #[test]
+    fn begin_leads_then_hits() {
+        let cache = CanonicalCache::new(16);
+        let m: BitMatrix = "110\n011\n111".parse().unwrap();
+        let canon = canonical_form(&m);
+        let p = ebmf::trivial_partition(&m);
+        match cache.begin(&canon) {
+            CacheDecision::Miss(guard) => guard.complete(&canon, &p, true, Provenance::Trivial),
+            CacheDecision::Hit { .. } => panic!("empty cache cannot hit"),
+        }
+        match cache.begin(&canon) {
+            CacheDecision::Hit { outcome, waited } => {
+                assert!(outcome.proved_optimal);
+                assert!(!waited, "stored entry needs no flight wait");
+                assert_eq!(outcome.partition.len(), p.len());
+            }
+            CacheDecision::Miss(_) => panic!("completed flight must hit"),
+        };
+    }
+
+    #[test]
+    fn aborted_flight_elects_a_new_leader() {
+        let cache = CanonicalCache::new(16);
+        let m: BitMatrix = "10\n01".parse().unwrap();
+        let canon = canonical_form(&m);
+        match cache.begin(&canon) {
+            CacheDecision::Miss(guard) => drop(guard), // leader gives up
+            CacheDecision::Hit { .. } => panic!("empty cache cannot hit"),
+        }
+        // The key is free again: the next caller leads a fresh flight.
+        match cache.begin(&canon) {
+            CacheDecision::Miss(guard) => {
+                guard.complete(
+                    &canon,
+                    &ebmf::trivial_partition(&m),
+                    true,
+                    Provenance::Trivial,
+                );
+            }
+            CacheDecision::Hit { .. } => panic!("aborted flight must not publish"),
+        }
+        assert!(cache.get(&canon).is_some());
+    }
+
+    #[test]
+    fn waiters_are_served_by_the_leader() {
+        let cache = std::sync::Arc::new(CanonicalCache::new(16));
+        let m: BitMatrix = "110\n011\n111".parse().unwrap();
+        let canon = canonical_form(&m);
+        let p = ebmf::trivial_partition(&m);
+
+        let guard = match cache.begin(&canon) {
+            CacheDecision::Miss(guard) => guard,
+            CacheDecision::Hit { .. } => panic!("empty cache cannot hit"),
+        };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = cache.clone();
+                let canon = canonical_form(&m);
+                std::thread::spawn(move || match cache.begin(&canon) {
+                    CacheDecision::Hit { outcome, waited } => {
+                        assert!(waited, "waiter must block on the flight");
+                        outcome.partition.len()
+                    }
+                    CacheDecision::Miss(_) => panic!("waiter must not lead"),
+                })
+            })
+            .collect();
+        // Give the waiters a moment to block on the flight, then publish.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        guard.complete(&canon, &p, true, Provenance::Trivial);
+        for w in waiters {
+            assert_eq!(w.join().expect("waiter panicked"), p.len());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one leader");
+        assert_eq!(stats.hits, 4);
+        assert!(stats.flight_waits >= 1, "at least one waiter blocked");
     }
 }

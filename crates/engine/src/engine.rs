@@ -1,17 +1,19 @@
-//! The serving engine: canonical-form cache wrapped around the portfolio
-//! runner, plus the concurrent streaming batch driver.
+//! The serving engine: sharded single-flight cache wrapped around the
+//! adaptive strategy race, plus the concurrent streaming batch driver.
 
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bitmatrix::BitMatrix;
 use ebmf::Partition;
 
-use crate::cache::{CacheStats, CanonicalCache};
-use crate::canon::canonical_form;
-use crate::portfolio::{portfolio_solve, PortfolioConfig, Provenance};
+use crate::cache::{CacheDecision, CacheStats, CanonicalCache};
+use crate::canon::{canonical_form, CanonicalForm};
+use crate::portfolio::{race_strategies, PortfolioConfig, PortfolioOutcome, Provenance};
 use crate::protocol::{JobRequest, JobResponse};
+use crate::strategy::{AdaptiveScheduler, SessionStore, SolveJob, Strategy};
 
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +26,14 @@ pub struct EngineConfig {
     pub portfolio: PortfolioConfig,
     /// Maximum entries of the canonical-form cache.
     pub cache_capacity: usize,
+    /// Shards the cache key space is split into (≥ 1).
+    pub cache_shards: usize,
+    /// Warm SAP sessions kept across jobs, keyed by canonical class
+    /// (`0` disables warm starts: every SAP run re-encodes from scratch).
+    pub warm_sessions: usize,
+    /// Let the scheduler prune strategies that never win in a job's
+    /// (shape, occupancy) bucket. Off = always race everything.
+    pub adaptive: bool,
 }
 
 impl Default for EngineConfig {
@@ -32,6 +42,9 @@ impl Default for EngineConfig {
             workers: 0,
             portfolio: PortfolioConfig::default(),
             cache_capacity: 65_536,
+            cache_shards: crate::cache::DEFAULT_SHARDS,
+            warm_sessions: 128,
+            adaptive: true,
         }
     }
 }
@@ -45,8 +58,11 @@ pub struct EngineOutcome {
     pub proved_optimal: bool,
     /// Strategy that produced the partition ([`Provenance::Cache`] on hits).
     pub provenance: Provenance,
-    /// Whether the canonical-form cache answered the query.
+    /// Whether the canonical-form cache answered the query (stored entry or
+    /// single-flight wait).
     pub cache_hit: bool,
+    /// SAT conflicts spent by this call (0 when served from the cache).
+    pub sat_conflicts: u64,
     /// Wall-clock time spent on this call.
     pub elapsed: Duration,
 }
@@ -62,8 +78,9 @@ pub struct BatchSummary {
 
 /// The concurrent portfolio-solving engine.
 ///
-/// Shares one permutation-invariant result cache across all jobs; safe to
-/// use from multiple threads through a shared reference.
+/// Shares one permutation-invariant result cache (sharded, single-flight),
+/// one warm SAP-session store and one adaptive scheduler across all jobs;
+/// safe to use from multiple threads through a shared reference.
 ///
 /// # Examples
 ///
@@ -88,13 +105,38 @@ pub struct BatchSummary {
 pub struct Engine {
     config: EngineConfig,
     cache: CanonicalCache,
+    scheduler: AdaptiveScheduler,
+    warm: Option<Arc<SessionStore>>,
+    /// Custom strategy set installed via [`Engine::with_strategies`]; when
+    /// present it replaces the built-in roster verbatim.
+    custom: Option<Vec<Arc<dyn Strategy>>>,
 }
 
 impl Engine {
     /// Creates an engine with an empty cache.
     pub fn new(config: EngineConfig) -> Self {
-        let cache = CanonicalCache::new(config.cache_capacity);
-        Engine { config, cache }
+        let cache = CanonicalCache::with_shards(config.cache_capacity, config.cache_shards);
+        let warm =
+            (config.warm_sessions > 0).then(|| Arc::new(SessionStore::new(config.warm_sessions)));
+        Engine {
+            config,
+            cache,
+            scheduler: AdaptiveScheduler::new(),
+            warm,
+            custom: None,
+        }
+    }
+
+    /// Creates an engine racing exactly `strategies` instead of the
+    /// built-in roster — the extension point of the [`Strategy`] trait (also
+    /// how the single-flight tests count `Strategy::run` invocations). The
+    /// portfolio `sap`/`exact_cover` toggles do not apply to a custom set;
+    /// budgets and the cache/scheduler wiring do.
+    pub fn with_strategies(config: EngineConfig, strategies: Vec<Arc<dyn Strategy>>) -> Self {
+        assert!(!strategies.is_empty(), "engine needs at least one strategy");
+        let mut engine = Engine::new(config);
+        engine.custom = Some(strategies);
+        engine
     }
 
     /// The configured defaults.
@@ -102,9 +144,50 @@ impl Engine {
         &self.config
     }
 
-    /// Cache counters (hits / misses / entries).
+    /// Cache counters (hits / misses / entries / evictions / flights).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Warm SAP sessions currently parked (0 when warm starts are off).
+    pub fn warm_sessions(&self) -> usize {
+        self.warm.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// The strategy roster for one job under `portfolio`.
+    fn strategies_for(&self, portfolio: &PortfolioConfig) -> Vec<Arc<dyn Strategy>> {
+        if let Some(custom) = &self.custom {
+            return custom.clone();
+        }
+        crate::portfolio::build_strategies_with(portfolio, self.warm.clone())
+    }
+
+    /// Runs the (scheduler-filtered) strategy race for one job.
+    fn race(
+        &self,
+        m: &BitMatrix,
+        canon: &CanonicalForm,
+        incumbent: Option<&Partition>,
+        portfolio: &PortfolioConfig,
+    ) -> PortfolioOutcome {
+        let job = SolveJob {
+            matrix: m,
+            canon: Some(canon),
+            incumbent,
+        };
+        let candidates = self.strategies_for(portfolio);
+        let selected: Vec<Arc<dyn Strategy>> = if self.config.adaptive {
+            self.scheduler
+                .plan(m, &candidates, &job)
+                .into_iter()
+                .map(|i| candidates[i].clone())
+                .collect()
+        } else {
+            candidates
+        };
+        let out = race_strategies(&job, &selected, &portfolio.budget());
+        self.scheduler.record(m, out.provenance);
+        out
     }
 
     /// Solves one matrix with the default portfolio budgets.
@@ -115,50 +198,74 @@ impl Engine {
     /// Solves one matrix under an explicit portfolio configuration.
     ///
     /// Consults the canonical-form cache first. *Proved-optimal* entries
-    /// short-circuit — no budget can improve them. An *unproved* entry is
-    /// only a known upper bound, so the race still runs under this job's
-    /// budget (which may be more generous than the one that produced the
-    /// entry) and the better of the two answers wins and is memoized; the
-    /// outcome still reports `cache_hit` when the stored bound prevailed.
-    /// On a miss, the portfolio result is memoized keyed by the canonical
-    /// form, so every future row/column permutation of `m` hits.
+    /// short-circuit — no budget can improve them — whether they were
+    /// stored or obtained by **waiting on a concurrent flight** for the
+    /// same canonical key (single-flight: W concurrent jobs on one key run
+    /// exactly one race). An *unproved* entry — stored or waited-on — is
+    /// only a known upper bound: per-job budgets are heterogeneous, so a
+    /// waiter whose budget is more generous than its flight leader's must
+    /// not be starved by the leader's answer. The race runs under this
+    /// job's budget — seeded with the entry as the SAP incumbent, so a warm
+    /// session *resumes* rather than repeats the leader's work — and the
+    /// better of the two answers wins and is memoized; the outcome still
+    /// reports `cache_hit` when the stored bound prevailed. On a genuine
+    /// miss the caller leads the flight: the race result is published to
+    /// the cache and every waiter.
     pub fn solve_with(&self, m: &BitMatrix, portfolio: &PortfolioConfig) -> EngineOutcome {
         let start = Instant::now();
         let canon = canonical_form(m);
-        let cached = self.cache.get(&canon);
-        if let Some(hit) = &cached {
-            if hit.proved_optimal {
-                return EngineOutcome {
-                    partition: hit.partition.clone(),
-                    proved_optimal: true,
-                    provenance: Provenance::Cache,
-                    cache_hit: true,
-                    elapsed: start.elapsed(),
-                };
+        match self.cache.begin(&canon) {
+            CacheDecision::Hit { outcome, waited: _ } => {
+                if outcome.proved_optimal {
+                    return EngineOutcome {
+                        partition: outcome.partition,
+                        proved_optimal: true,
+                        provenance: Provenance::Cache,
+                        cache_hit: true,
+                        sat_conflicts: 0,
+                        elapsed: start.elapsed(),
+                    };
+                }
+                // Unproved upper bound: re-race under this job's budget
+                // (which may be more generous than the one that produced the
+                // entry), descending from the stored incumbent.
+                let out = self.race(m, &canon, Some(&outcome.partition), portfolio);
+                self.cache
+                    .insert(&canon, &out.partition, out.proved_optimal, out.provenance);
+                if !out.proved_optimal && outcome.partition.len() <= out.partition.len() {
+                    // The stored bound is still at least as good: serve it
+                    // as the hit it is.
+                    EngineOutcome {
+                        partition: outcome.partition,
+                        proved_optimal: false,
+                        provenance: Provenance::Cache,
+                        cache_hit: true,
+                        sat_conflicts: out.sat_conflicts,
+                        elapsed: start.elapsed(),
+                    }
+                } else {
+                    EngineOutcome {
+                        partition: out.partition,
+                        proved_optimal: out.proved_optimal,
+                        provenance: out.provenance,
+                        cache_hit: false,
+                        sat_conflicts: out.sat_conflicts,
+                        elapsed: start.elapsed(),
+                    }
+                }
             }
-        }
-        let out = portfolio_solve(m, portfolio);
-        self.cache
-            .insert(&canon, &out.partition, out.proved_optimal, out.provenance);
-        match cached {
-            // The stored (unproved) bound is still at least as good as this
-            // race's answer: serve it as the hit it is.
-            Some(hit) if !out.proved_optimal && hit.partition.len() <= out.partition.len() => {
+            CacheDecision::Miss(guard) => {
+                let out = self.race(m, &canon, None, portfolio);
+                guard.complete(&canon, &out.partition, out.proved_optimal, out.provenance);
                 EngineOutcome {
-                    partition: hit.partition,
-                    proved_optimal: false,
-                    provenance: Provenance::Cache,
-                    cache_hit: true,
+                    partition: out.partition,
+                    proved_optimal: out.proved_optimal,
+                    provenance: out.provenance,
+                    cache_hit: false,
+                    sat_conflicts: out.sat_conflicts,
                     elapsed: start.elapsed(),
                 }
             }
-            _ => EngineOutcome {
-                partition: out.partition,
-                proved_optimal: out.proved_optimal,
-                provenance: out.provenance,
-                cache_hit: false,
-                elapsed: start.elapsed(),
-            },
         }
     }
 
@@ -187,6 +294,7 @@ impl Engine {
             provenance: out.provenance.as_str().to_string(),
             cache_hit: out.cache_hit,
             millis: out.elapsed.as_secs_f64() * 1e3,
+            conflicts: out.sat_conflicts,
             partition: out
                 .partition
                 .iter()
@@ -197,15 +305,19 @@ impl Engine {
     }
 
     /// Streams JSON-lines jobs from `input` through a worker pool, writing
-    /// one response line per job to `output` **in completion order**.
+    /// one response line per job to `output` **in completion order**, with a
+    /// flush after every response (a long-lived peer sees each answer as
+    /// soon as it exists).
     ///
     /// Jobs are dispatched as soon as their line is read — a slow job never
-    /// blocks later lines from being solved, and results are flushed as they
-    /// arrive, so a long-lived peer (`rect-addr serve`) sees every answer as
-    /// soon as it exists. Unparseable lines produce `ok: false` responses
-    /// (carrying the line's `id` when one was readable); blank lines are
-    /// skipped. The call returns when `input` reaches end-of-stream and
-    /// every dispatched job has been answered.
+    /// blocks later lines from being solved. Unparseable lines produce
+    /// `ok: false` responses (carrying the line's `id` when one was
+    /// readable); blank lines are skipped; a final line cut off mid-way by
+    /// end-of-stream is handled like any other malformed line. An unreadable
+    /// input stream (e.g. invalid UTF-8) is answered with one protocol-error
+    /// response and ends the stream cleanly instead of tearing it down. The
+    /// call returns when `input` reaches end-of-stream and every dispatched
+    /// job has been answered.
     pub fn run_batch<R: BufRead + Send, W: Write>(
         &self,
         input: R,
@@ -255,13 +367,24 @@ impl Engine {
             }
 
             // Reader: parse + dispatch each line as it arrives. Parse
-            // failures answer immediately without occupying a worker.
-            let reader = scope.spawn(move || -> std::io::Result<()> {
+            // failures answer immediately without occupying a worker; read
+            // errors answer once and end the stream (the protocol channel
+            // must stay a clean JSON-lines stream to the very end).
+            let reader = scope.spawn(move || {
                 for (idx, line) in input.lines().enumerate() {
-                    let line = line?;
                     if abort.load(std::sync::atomic::Ordering::Relaxed) {
                         break; // consumer gone: stop dispatching
                     }
+                    let line = match line {
+                        Ok(line) => line,
+                        Err(e) => {
+                            let _ = res_tx.send(JobResponse::failure(
+                                format!("job-{}", idx + 1),
+                                format!("input read error: {e}"),
+                            ));
+                            break;
+                        }
+                    };
                     if line.trim().is_empty() {
                         continue;
                     }
@@ -278,7 +401,6 @@ impl Engine {
                         }
                     }
                 }
-                Ok(())
                 // job_tx and res_tx drop here: workers drain and exit.
             });
 
@@ -309,7 +431,7 @@ impl Engine {
                     }
                 }
             }
-            reader.join().expect("reader thread panicked")?;
+            reader.join().expect("reader thread panicked");
             match write_error {
                 Some(e) => Err(e),
                 None => Ok(()),
@@ -335,6 +457,7 @@ mod tests {
                 ..PortfolioConfig::default()
             },
             cache_capacity: 1024,
+            ..EngineConfig::default()
         })
     }
 
@@ -395,6 +518,71 @@ mod tests {
     }
 
     #[test]
+    fn run_batch_survives_truncated_final_line() {
+        // EOF mid-line: the partial JSON is reported as a protocol error,
+        // earlier jobs still solve, and the stream ends cleanly.
+        let e = engine();
+        let input = "{\"id\": \"whole\", \"matrix\": \"1\"}\n{\"id\": \"cut\", \"mat";
+        let mut out = Vec::new();
+        let summary = e.run_batch(input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.solved, 1);
+        assert_eq!(summary.failed, 1);
+        let text = String::from_utf8(out).unwrap();
+        let failed = text
+            .lines()
+            .map(|l| JobResponse::parse_line(l).unwrap())
+            .find(|r| !r.ok)
+            .expect("truncated line must answer");
+        assert_eq!(failed.id, "job-2");
+    }
+
+    #[test]
+    fn run_batch_reports_unreadable_input_as_protocol_error() {
+        // Invalid UTF-8 on the job stream: one error response, clean end,
+        // no Err bubbling up to tear down the serve loop.
+        let e = engine();
+        let input: &[u8] = b"{\"id\": \"ok\", \"matrix\": \"1\"}\n\xff\xfe garbage\n";
+        let mut out = Vec::new();
+        let summary = e.run_batch(input, &mut out).unwrap();
+        assert_eq!(summary.solved, 1);
+        assert_eq!(summary.failed, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("input read error"), "{text}");
+    }
+
+    #[test]
+    fn run_batch_flushes_after_every_response() {
+        /// Write sink counting flushes.
+        struct CountingSink {
+            bytes: Vec<u8>,
+            flushes: usize,
+        }
+        impl Write for CountingSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.bytes.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.flushes += 1;
+                Ok(())
+            }
+        }
+        let e = engine();
+        let input = "{\"id\": \"a\", \"matrix\": \"1\"}\n{\"id\": \"b\", \"matrix\": \"10;01\"}\n";
+        let mut sink = CountingSink {
+            bytes: Vec::new(),
+            flushes: 0,
+        };
+        let summary = e.run_batch(input.as_bytes(), &mut sink).unwrap();
+        assert_eq!(summary.solved, 2);
+        assert!(
+            sink.flushes >= 2,
+            "every response must be flushed, saw {} flushes",
+            sink.flushes
+        );
+    }
+
+    #[test]
     fn unproved_cache_entry_is_improved_by_generous_budget() {
         let e = engine();
         // Rank-gap matrix: real rank 2 < r_B = 3, so heuristics can't prove
@@ -435,5 +623,15 @@ mod tests {
         let cfg = e.job_portfolio(&req);
         assert_eq!(cfg.time_budget, Some(Duration::from_millis(7)));
         assert_eq!(cfg.conflict_budget, Some(3));
+    }
+
+    #[test]
+    fn warm_sessions_park_after_sap_races() {
+        let e = engine();
+        // The gap matrix needs SAP; its session must be parked afterwards.
+        let m: BitMatrix = "1100\n0011\n1111\n1010".parse().unwrap();
+        let out = e.solve(&m);
+        assert!(out.proved_optimal);
+        assert!(e.warm_sessions() >= 1, "session must be parked for reuse");
     }
 }

@@ -12,13 +12,22 @@
 //!   refinement;
 //! * [`CanonicalCache`] — memoizes solved partitions keyed by canonical
 //!   form, mapping hits back through the query's own permutations, so a
-//!   pattern repeated across circuit layers is solved once;
-//! * [`portfolio_solve`] — races `trivial` / `row_packing` (± DLX exact
-//!   cover) / full `sap` on scoped threads under wall-clock and conflict
-//!   budgets, cancelling the SAT search mid-query via
-//!   [`CancelToken`](sat::CancelToken) when the budget expires, and returns
-//!   the best anytime incumbent with its [`Provenance`];
-//! * [`Engine`] — cache-wrapped portfolio plus [`Engine::run_batch`]: a
+//!   pattern repeated across circuit layers is solved once. The map is
+//!   **sharded** by key hash with per-shard LRU eviction, and
+//!   [`CanonicalCache::begin`] adds **single-flight** coalescing: W
+//!   concurrent jobs on one canonical key run exactly one solve while the
+//!   other W − 1 wait on the result;
+//! * [`Strategy`] — the unified trait behind every solver (`trivial`,
+//!   `row_packing` ± DLX, full `sap`), raced as trait objects by
+//!   [`race_strategies`] / [`portfolio_solve`] under wall-clock and
+//!   conflict budgets, with mid-query SAT cancellation via
+//!   [`CancelToken`](sat::CancelToken);
+//! * [`SessionStore`] — warm [`SapSession`](ebmf::SapSession)s keyed by
+//!   canonical class: cache-adjacent jobs *resume* the incremental SAT
+//!   descent (learnt clauses retained) instead of re-encoding;
+//! * [`AdaptiveScheduler`] — provenance win statistics per (shape,
+//!   occupancy) bucket, pruning strategies that never win there;
+//! * [`Engine`] — cache-wrapped adaptive race plus [`Engine::run_batch`]: a
 //!   worker pool that streams JSON-lines job requests ([`protocol`]) and
 //!   emits responses in completion order. The CLI exposes it as
 //!   `rect-addr batch <file|->` and `rect-addr serve`.
@@ -45,8 +54,16 @@ mod canon;
 mod engine;
 mod portfolio;
 pub mod protocol;
+mod strategy;
 
-pub use cache::{CacheStats, CachedOutcome, CanonicalCache};
+pub use cache::{CacheDecision, CacheStats, CachedOutcome, CanonicalCache, FlightGuard};
 pub use canon::{canonical_form, CanonicalForm};
 pub use engine::{BatchSummary, Engine, EngineConfig, EngineOutcome};
-pub use portfolio::{portfolio_solve, PortfolioConfig, PortfolioOutcome, Provenance};
+pub use portfolio::{
+    build_strategies, build_strategies_with, portfolio_solve, race_strategies, PortfolioConfig,
+    PortfolioOutcome, Provenance,
+};
+pub use strategy::{
+    AdaptiveScheduler, BucketStats, PackingStrategy, SapStrategy, SessionStore, SolveJob, Strategy,
+    StrategyBudget, StrategyOutcome, TrivialStrategy,
+};

@@ -1,13 +1,18 @@
-//! The strategy portfolio: race heuristics and the exact solver under a
-//! budget, keep the best anytime incumbent.
+//! The strategy portfolio: race [`Strategy`] trait objects under a budget,
+//! keep the best anytime incumbent.
 
 use std::fmt;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bitmatrix::BitMatrix;
-use ebmf::{row_packing, sap, trivial_partition, PackingConfig, Partition, SapConfig};
+use ebmf::Partition;
 use sat::CancelToken;
+
+use crate::strategy::{
+    PackingStrategy, SapStrategy, SolveJob, Strategy, StrategyBudget, TrivialStrategy,
+};
 
 /// Which strategy produced a result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -25,28 +30,57 @@ pub enum Provenance {
     Sap,
 }
 
+/// The single source of truth tying every [`Provenance`] variant to its
+/// stable protocol name. [`Provenance::as_str`] and
+/// [`Provenance::from_str_opt`] are both derived from this table, so the
+/// two directions cannot drift apart; `Provenance::index` is the
+/// compile-time guarantee that the table stays exhaustive.
+const PROVENANCE_TABLE: [(Provenance, &str); Provenance::COUNT] = [
+    (Provenance::Cache, "cache"),
+    (Provenance::Trivial, "trivial"),
+    (Provenance::Packing, "packing"),
+    (Provenance::PackingDlx, "packing-dlx"),
+    (Provenance::Sap, "sap"),
+];
+
 impl Provenance {
+    /// Number of variants (the length of [`Provenance::ALL`]).
+    pub const COUNT: usize = 5;
+
+    /// Every variant, in table order.
+    pub const ALL: [Provenance; Provenance::COUNT] = [
+        Provenance::Cache,
+        Provenance::Trivial,
+        Provenance::Packing,
+        Provenance::PackingDlx,
+        Provenance::Sap,
+    ];
+
+    /// Position of this variant in [`PROVENANCE_TABLE`] / [`Provenance::ALL`].
+    /// The exhaustive `match` here is what forces the table to grow when a
+    /// variant is added: a new variant fails to compile until it is indexed,
+    /// and the round-trip test then fails until the table carries its name.
+    pub const fn index(self) -> usize {
+        match self {
+            Provenance::Cache => 0,
+            Provenance::Trivial => 1,
+            Provenance::Packing => 2,
+            Provenance::PackingDlx => 3,
+            Provenance::Sap => 4,
+        }
+    }
+
     /// Stable lowercase name used by the JSON-lines protocol.
     pub fn as_str(&self) -> &'static str {
-        match self {
-            Provenance::Cache => "cache",
-            Provenance::Trivial => "trivial",
-            Provenance::Packing => "packing",
-            Provenance::PackingDlx => "packing-dlx",
-            Provenance::Sap => "sap",
-        }
+        PROVENANCE_TABLE[self.index()].1
     }
 
     /// Parses [`Provenance::as_str`] output.
     pub fn from_str_opt(s: &str) -> Option<Provenance> {
-        Some(match s {
-            "cache" => Provenance::Cache,
-            "trivial" => Provenance::Trivial,
-            "packing" => Provenance::Packing,
-            "packing-dlx" => Provenance::PackingDlx,
-            "sap" => Provenance::Sap,
-            _ => return None,
-        })
+        PROVENANCE_TABLE
+            .iter()
+            .find(|(_, name)| *name == s)
+            .map(|(p, _)| *p)
     }
 }
 
@@ -77,6 +111,27 @@ pub struct PortfolioConfig {
     pub sap: bool,
 }
 
+impl PortfolioConfig {
+    /// The per-strategy budget this configuration implies.
+    pub fn budget(&self) -> StrategyBudget {
+        StrategyBudget {
+            time: self.time_budget,
+            conflicts: self.conflict_budget,
+            packing_trials: self.packing_trials,
+        }
+    }
+
+    /// Whether `provenance`'s strategy participates under this config.
+    pub fn enables(&self, provenance: Provenance) -> bool {
+        match provenance {
+            Provenance::Cache => false,
+            Provenance::Trivial | Provenance::Packing => true,
+            Provenance::PackingDlx => self.exact_cover,
+            Provenance::Sap => self.sap,
+        }
+    }
+}
+
 impl Default for PortfolioConfig {
     fn default() -> Self {
         PortfolioConfig {
@@ -100,6 +155,10 @@ pub struct PortfolioOutcome {
     pub provenance: Provenance,
     /// Number of strategies that reported a result before the budget cutoff.
     pub strategies_finished: usize,
+    /// Number of strategies the scheduler put in the race.
+    pub strategies_launched: usize,
+    /// Total SAT conflicts spent by all strategies of this race.
+    pub sat_conflicts: u64,
     /// Wall-clock time of the whole race.
     pub elapsed: Duration,
 }
@@ -108,141 +167,59 @@ struct StrategyResult {
     provenance: Provenance,
     partition: Partition,
     proved_optimal: bool,
+    conflicts: u64,
 }
 
-/// Runs `trials` single-shuffle packing passes, polling the cancel token
-/// between passes so a budget expiry stops the heuristic at trial
-/// granularity (the residual overrun is one trial, not the whole batch).
-/// Always completes at least one trial so a valid partition exists.
-fn cancellable_packing(
-    m: &BitMatrix,
-    trials: usize,
-    exact_cover: bool,
-    token: &CancelToken,
-) -> Partition {
-    let mut best: Option<Partition> = None;
-    for t in 0..trials.max(1) as u64 {
-        if t > 0 && token.is_cancelled() {
-            break;
-        }
-        let cfg = PackingConfig {
-            trials: 1,
-            seed: PackingConfig::default().seed.wrapping_add(t),
-            exact_cover,
-            ..PackingConfig::default()
-        };
-        let p = row_packing(m, &cfg);
-        let better = best.as_ref().is_none_or(|b| p.len() < b.len());
-        if better {
-            best = Some(p);
-        }
-        if best.as_ref().is_some_and(|b| b.len() <= 1) {
-            break; // cannot improve further
-        }
-    }
-    best.expect("at least one packing trial runs")
-}
-
-/// Races the configured strategies on `m` and returns the best result.
+/// Races `strategies` on `job` and returns the best result.
 ///
 /// All strategies run concurrently on `std::thread`s scoped to this call.
 /// The trivial partition and greedy packing report within milliseconds, so a
 /// valid incumbent exists almost immediately; SAP keeps improving it and —
-/// given budget — proves optimality. When `time_budget` expires, the shared
+/// given budget — proves optimality. When `budget.time` expires, the shared
 /// [`CancelToken`] stops the SAT search at its next conflict or decision and
 /// the race settles on the best anytime answer, mirroring the paper's
 /// Figure 4 anytime behaviour.
 ///
 /// Winner selection: proved-optimal beats unproved, then smaller depth,
 /// then cheaper provenance.
-pub fn portfolio_solve(m: &BitMatrix, config: &PortfolioConfig) -> PortfolioOutcome {
+///
+/// # Panics
+///
+/// Panics if `strategies` is empty (the race would have no incumbent).
+pub fn race_strategies(
+    job: &SolveJob<'_>,
+    strategies: &[Arc<dyn Strategy>],
+    budget: &StrategyBudget,
+) -> PortfolioOutcome {
+    assert!(!strategies.is_empty(), "cannot race zero strategies");
     let start = Instant::now();
     let token = CancelToken::new();
     let (tx, rx) = mpsc::channel::<StrategyResult>();
 
+    let launched = strategies.len();
     let mut results: Vec<StrategyResult> = Vec::new();
     let mut finished_before_cutoff = 0usize;
     std::thread::scope(|scope| {
-        let mut launched = 0usize;
-
-        // Strategy 1: trivial baseline (microseconds — the floor incumbent).
-        {
+        for strategy in strategies {
             let tx = tx.clone();
-            scope.spawn(move || {
-                let p = trivial_partition(m);
-                let proved = p.len() <= 1;
-                let _ = tx.send(StrategyResult {
-                    provenance: Provenance::Trivial,
-                    partition: p,
-                    proved_optimal: proved,
-                });
-            });
-            launched += 1;
-        }
-
-        // Strategy 2: shuffled greedy packing (cancellable per trial).
-        {
-            let tx = tx.clone();
-            let trials = config.packing_trials;
             let token = token.clone();
+            let strategy = strategy.clone();
             scope.spawn(move || {
-                let p = cancellable_packing(m, trials, false, &token);
-                let proved = p.len() <= 1;
+                let out = strategy.run(job, budget, &token);
                 let _ = tx.send(StrategyResult {
-                    provenance: Provenance::Packing,
-                    partition: p,
-                    proved_optimal: proved,
-                });
-            });
-            launched += 1;
-        }
-
-        // Strategy 3: packing with the DLX exact-cover upgrade.
-        if config.exact_cover {
-            let tx = tx.clone();
-            let trials = config.packing_trials;
-            let token = token.clone();
-            scope.spawn(move || {
-                let p = cancellable_packing(m, trials, true, &token);
-                let proved = p.len() <= 1;
-                let _ = tx.send(StrategyResult {
-                    provenance: Provenance::PackingDlx,
-                    partition: p,
-                    proved_optimal: proved,
-                });
-            });
-            launched += 1;
-        }
-
-        // Strategy 4: the full SAP descent, cancellable mid-query. Its
-        // internal packing seed is kept tiny: the dedicated packing
-        // strategies already race, and seeding trials cannot be cancelled —
-        // a weaker starting bound only costs SAT queries, which can.
-        if config.sap {
-            let tx = tx.clone();
-            let sap_cfg = SapConfig {
-                packing: PackingConfig::with_trials(config.packing_trials.clamp(1, 4)),
-                conflict_budget: config.conflict_budget,
-                time_limit: config.time_budget,
-                cancel: Some(token.clone()),
-                ..SapConfig::default()
-            };
-            scope.spawn(move || {
-                let out = sap(m, &sap_cfg);
-                let _ = tx.send(StrategyResult {
-                    provenance: Provenance::Sap,
+                    provenance: strategy.provenance(),
                     partition: out.partition,
                     proved_optimal: out.proved_optimal,
+                    conflicts: out.conflicts,
                 });
             });
-            launched += 1;
         }
         drop(tx);
 
         // Collect until every strategy reported or the budget expired; after
         // expiry, trip the token and drain the survivors (they unwind fast).
         // Without a budget, block until every strategy completes.
-        let deadline = config.time_budget.map(|b| start + b);
+        let deadline = budget.time.map(|b| start + b);
         loop {
             let received = match deadline {
                 None => rx.recv().ok(),
@@ -280,17 +257,61 @@ pub fn portfolio_solve(m: &BitMatrix, config: &PortfolioConfig) -> PortfolioOutc
     });
 
     let strategies_finished = finished_before_cutoff;
+    let sat_conflicts = results.iter().map(|r| r.conflicts).sum();
     let best = results
         .into_iter()
         .min_by_key(|r| (!r.proved_optimal, r.partition.len(), r.provenance))
-        .expect("at least the trivial strategy always reports");
+        .expect("at least one strategy always reports");
     PortfolioOutcome {
         partition: best.partition,
         proved_optimal: best.proved_optimal,
         provenance: best.provenance,
         strategies_finished,
+        strategies_launched: launched,
+        sat_conflicts,
         elapsed: start.elapsed(),
     }
+}
+
+/// Builds the strategy set `config` enables — the single roster source for
+/// both the one-shot [`portfolio_solve`] and the serving engine. With a
+/// session store, the SAP strategy warm-starts per canonical class.
+pub fn build_strategies_with(
+    config: &PortfolioConfig,
+    warm: Option<Arc<crate::strategy::SessionStore>>,
+) -> Vec<Arc<dyn Strategy>> {
+    let mut strategies: Vec<Arc<dyn Strategy>> = vec![
+        Arc::new(TrivialStrategy),
+        Arc::new(PackingStrategy { exact_cover: false }),
+    ];
+    if config.exact_cover {
+        strategies.push(Arc::new(PackingStrategy { exact_cover: true }));
+    }
+    if config.sap {
+        strategies.push(match warm {
+            Some(store) => Arc::new(SapStrategy::warm(store)),
+            None => Arc::new(SapStrategy::cold()),
+        });
+    }
+    strategies
+}
+
+/// The cold roster: [`build_strategies_with`] without a session store.
+pub fn build_strategies(config: &PortfolioConfig) -> Vec<Arc<dyn Strategy>> {
+    build_strategies_with(config, None)
+}
+
+/// Races the strategies enabled by `config` on `m` and returns the best
+/// result — the one-shot, cold entry point. The serving engine goes through
+/// [`race_strategies`] directly with its warm session store and adaptive
+/// scheduler attached.
+pub fn portfolio_solve(m: &BitMatrix, config: &PortfolioConfig) -> PortfolioOutcome {
+    let job = SolveJob {
+        matrix: m,
+        canon: None,
+        incumbent: None,
+    };
+    race_strategies(&job, &build_strategies(config), &config.budget())
 }
 
 #[cfg(test)]
@@ -310,6 +331,8 @@ mod tests {
         assert_eq!(out.partition.len(), 5);
         assert!(out.partition.validate(&fig1b()).is_ok());
         assert_eq!(out.provenance, Provenance::Sap);
+        assert!(out.sat_conflicts > 0, "SAP must report its conflicts");
+        assert_eq!(out.strategies_launched, 4);
     }
 
     #[test]
@@ -341,6 +364,7 @@ mod tests {
             out.provenance,
             Provenance::Trivial | Provenance::Packing
         ));
+        assert_eq!(out.sat_conflicts, 0);
     }
 
     #[test]
@@ -352,16 +376,39 @@ mod tests {
     }
 
     #[test]
-    fn provenance_strings_roundtrip() {
-        for p in [
-            Provenance::Cache,
-            Provenance::Trivial,
-            Provenance::Packing,
-            Provenance::PackingDlx,
-            Provenance::Sap,
-        ] {
+    fn provenance_strings_roundtrip_exhaustively() {
+        // `ALL` + `index` are compiler-checked to cover every variant; this
+        // closes the loop by round-tripping each through the name table.
+        for (i, p) in Provenance::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i, "ALL must be in table order");
+            assert_eq!(PROVENANCE_TABLE[i].0, p, "table row {i} out of order");
             assert_eq!(Provenance::from_str_opt(p.as_str()), Some(p));
         }
         assert_eq!(Provenance::from_str_opt("nope"), None);
+        assert_eq!(Provenance::ALL.len(), Provenance::COUNT);
+    }
+
+    #[test]
+    fn config_enables_matches_built_strategies() {
+        for (exact_cover, sap) in [(false, false), (true, false), (false, true), (true, true)] {
+            let cfg = PortfolioConfig {
+                exact_cover,
+                sap,
+                ..PortfolioConfig::default()
+            };
+            let built = build_strategies(&cfg);
+            for s in &built {
+                assert!(
+                    cfg.enables(s.provenance()),
+                    "{} built but disabled",
+                    s.name()
+                );
+            }
+            let enabled = Provenance::ALL
+                .into_iter()
+                .filter(|&p| cfg.enables(p))
+                .count();
+            assert_eq!(built.len(), enabled);
+        }
     }
 }

@@ -401,6 +401,8 @@ pub struct JobResponse {
     pub cache_hit: bool,
     /// Wall-clock milliseconds spent on the job.
     pub millis: f64,
+    /// SAT conflicts spent on the job (0 for cache hits and heuristics).
+    pub conflicts: u64,
     /// The rectangles as `(rows, cols)` index lists.
     pub partition: Vec<(Vec<usize>, Vec<usize>)>,
     /// Error message when `ok` is false.
@@ -418,6 +420,7 @@ impl JobResponse {
             provenance: String::new(),
             cache_hit: false,
             millis: 0.0,
+            conflicts: 0,
             partition: Vec::new(),
             error: Some(error),
         }
@@ -459,8 +462,8 @@ impl JobResponse {
         write_json_string(&mut out, &self.provenance);
         let _ = write!(
             out,
-            ", \"cache_hit\": {}, \"millis\": {:.3}, \"partition\": [",
-            self.cache_hit, self.millis
+            ", \"cache_hit\": {}, \"millis\": {:.3}, \"conflicts\": {}, \"partition\": [",
+            self.cache_hit, self.millis, self.conflicts
         );
         for (i, (rows, cols)) in self.partition.iter().enumerate() {
             if i > 0 {
@@ -541,6 +544,11 @@ impl JobResponse {
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
             millis: json.get("millis").and_then(Json::as_f64).unwrap_or(0.0),
+            conflicts: json
+                .get("conflicts")
+                .and_then(Json::as_f64)
+                .filter(|n| *n >= 0.0)
+                .unwrap_or(0.0) as u64,
             partition,
             error: None,
         })
@@ -639,6 +647,7 @@ mod tests {
             provenance: "sap".to_string(),
             cache_hit: false,
             millis: 1.5,
+            conflicts: 42,
             partition: vec![(vec![0], vec![0, 2]), (vec![1], vec![1])],
             error: None,
         };

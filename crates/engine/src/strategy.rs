@@ -1,0 +1,623 @@
+//! The unified strategy abstraction behind the portfolio: every solver —
+//! trivial baseline, shuffled row packing (± DLX), the full SAP descent —
+//! implements one [`Strategy`] trait and is raced as a trait object.
+//!
+//! Two engine-level services live here too:
+//!
+//! * [`SessionStore`] — warm [`SapSession`]s keyed by canonical form, so a
+//!   later job on the same permutation class *resumes* the SAT descent
+//!   (learnt clauses, activities, incumbent) instead of re-encoding;
+//! * [`AdaptiveScheduler`] — provenance win statistics per (shape,
+//!   occupancy) bucket, used to stop racing strategies that never win in a
+//!   bucket once enough evidence has accumulated, with periodic
+//!   re-exploration so a policy can recover.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bitmatrix::BitMatrix;
+use ebmf::{sap, trivial_partition, PackingConfig, Partition, SapConfig, SapSession};
+use sat::CancelToken;
+
+use crate::canon::CanonicalForm;
+use crate::portfolio::Provenance;
+
+/// One solve request as a strategy sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveJob<'a> {
+    /// The matrix to factorize, in the caller's coordinates.
+    pub matrix: &'a BitMatrix,
+    /// Canonical form of `matrix` when the caller computed one. Strategies
+    /// that keep per-class state (warm SAP sessions) key it off this.
+    pub canon: Option<&'a CanonicalForm>,
+    /// A known-valid upper bound (e.g. an unproved cache entry), in
+    /// `matrix` coordinates, for strategies that can descend from it.
+    pub incumbent: Option<&'a Partition>,
+}
+
+/// Resource budget for one [`Strategy::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyBudget {
+    /// Wall-clock budget (enforced cooperatively via the cancel token by
+    /// the race driver; strategies also pass it down as a time limit).
+    pub time: Option<Duration>,
+    /// SAT conflict budget per query (`None` = unlimited).
+    pub conflicts: Option<u64>,
+    /// Row-packing trials.
+    pub packing_trials: usize,
+}
+
+/// Result of one [`Strategy::run`].
+#[derive(Debug, Clone)]
+pub struct StrategyOutcome {
+    /// The partition found, in the job's coordinates (always valid).
+    pub partition: Partition,
+    /// Whether the depth was proved equal to the binary rank.
+    pub proved_optimal: bool,
+    /// SAT conflicts spent by this run (0 for pure heuristics).
+    pub conflicts: u64,
+}
+
+/// A solving strategy raced by the portfolio.
+///
+/// Implementations must be cheap to share (`Send + Sync`): one instance
+/// serves every job of an [`Engine`](crate::Engine), concurrently.
+pub trait Strategy: Send + Sync + std::fmt::Debug {
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// The provenance tag reported when this strategy wins.
+    fn provenance(&self) -> Provenance;
+
+    /// Coarse relative cost estimate for `job` (lower = expected to report
+    /// sooner). Used by the scheduler to order launches; not a promise.
+    fn estimate(&self, job: &SolveJob<'_>) -> f64;
+
+    /// Solves `job` under `budget`, polling `cancel` cooperatively: once
+    /// the token trips the strategy must return its best incumbent quickly.
+    fn run(
+        &self,
+        job: &SolveJob<'_>,
+        budget: &StrategyBudget,
+        cancel: &CancelToken,
+    ) -> StrategyOutcome;
+}
+
+/// The `min(#rows, #cols)` baseline (paper §III-B): microseconds, never
+/// optimal beyond depth ≤ 1, guarantees the race always has an incumbent.
+#[derive(Debug, Default)]
+pub struct TrivialStrategy;
+
+impl Strategy for TrivialStrategy {
+    fn name(&self) -> &'static str {
+        "trivial"
+    }
+
+    fn provenance(&self) -> Provenance {
+        Provenance::Trivial
+    }
+
+    fn estimate(&self, job: &SolveJob<'_>) -> f64 {
+        let (r, c) = job.matrix.shape();
+        (r + c) as f64 * 1e-6
+    }
+
+    fn run(&self, job: &SolveJob<'_>, _: &StrategyBudget, _: &CancelToken) -> StrategyOutcome {
+        let partition = trivial_partition(job.matrix);
+        let proved_optimal = partition.len() <= 1;
+        StrategyOutcome {
+            partition,
+            proved_optimal,
+            conflicts: 0,
+        }
+    }
+}
+
+/// Shuffled greedy row packing (paper Algorithm 2), optionally upgraded with
+/// the DLX exact-cover step (paper §VI). Cancellable per trial.
+#[derive(Debug)]
+pub struct PackingStrategy {
+    /// Run the DLX exact-cover upgrade on every trial.
+    pub exact_cover: bool,
+}
+
+/// Runs `trials` single-shuffle packing passes, polling the cancel token
+/// between passes so a budget expiry stops the heuristic at trial
+/// granularity (the residual overrun is one trial, not the whole batch).
+/// Always completes at least one trial so a valid partition exists.
+pub(crate) fn cancellable_packing(
+    m: &BitMatrix,
+    trials: usize,
+    exact_cover: bool,
+    token: &CancelToken,
+) -> Partition {
+    let mut best: Option<Partition> = None;
+    for t in 0..trials.max(1) as u64 {
+        if t > 0 && token.is_cancelled() {
+            break;
+        }
+        let cfg = PackingConfig {
+            trials: 1,
+            seed: PackingConfig::default().seed.wrapping_add(t),
+            exact_cover,
+            ..PackingConfig::default()
+        };
+        let p = ebmf::row_packing(m, &cfg);
+        let better = best.as_ref().is_none_or(|b| p.len() < b.len());
+        if better {
+            best = Some(p);
+        }
+        if best.as_ref().is_some_and(|b| b.len() <= 1) {
+            break; // cannot improve further
+        }
+    }
+    best.expect("at least one packing trial runs")
+}
+
+impl Strategy for PackingStrategy {
+    fn name(&self) -> &'static str {
+        if self.exact_cover {
+            "packing-dlx"
+        } else {
+            "packing"
+        }
+    }
+
+    fn provenance(&self) -> Provenance {
+        if self.exact_cover {
+            Provenance::PackingDlx
+        } else {
+            Provenance::Packing
+        }
+    }
+
+    fn estimate(&self, job: &SolveJob<'_>) -> f64 {
+        let cells = job.matrix.count_ones() as f64;
+        cells * if self.exact_cover { 1e-4 } else { 1e-5 }
+    }
+
+    fn run(
+        &self,
+        job: &SolveJob<'_>,
+        budget: &StrategyBudget,
+        cancel: &CancelToken,
+    ) -> StrategyOutcome {
+        let partition =
+            cancellable_packing(job.matrix, budget.packing_trials, self.exact_cover, cancel);
+        let proved_optimal = partition.len() <= 1;
+        StrategyOutcome {
+            partition,
+            proved_optimal,
+            conflicts: 0,
+        }
+    }
+}
+
+/// Bounded store of warm [`SapSession`]s keyed by canonical form.
+///
+/// A session is *taken out* while a job runs it (so it is never shared
+/// between threads) and put back afterwards; the engine's single-flight
+/// cache ensures at most one job per canonical key is solving at a time, so
+/// a taken session is essentially never missed. When full, incoming
+/// sessions for new keys are dropped — a dropped session only costs a cold
+/// start, never correctness.
+#[derive(Debug)]
+pub struct SessionStore {
+    map: Mutex<HashMap<String, SapSession>>,
+    capacity: usize,
+}
+
+impl SessionStore {
+    /// An empty store keeping at most `capacity` sessions.
+    pub fn new(capacity: usize) -> Self {
+        SessionStore {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+        }
+    }
+
+    /// Removes and returns the session for `key`, if present.
+    pub fn take(&self, key: &str) -> Option<SapSession> {
+        self.map.lock().expect("session store poisoned").remove(key)
+    }
+
+    /// Stores `session` under `key` (dropped when the store is full and the
+    /// key is new).
+    pub fn put(&self, key: &str, session: SapSession) {
+        let mut map = self.map.lock().expect("session store poisoned");
+        if map.len() < self.capacity || map.contains_key(key) {
+            map.insert(key.to_string(), session);
+        }
+    }
+
+    /// Number of stored sessions.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("session store poisoned").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The full SAP descent (paper Algorithm 1) — the only strategy that can
+/// prove optimality beyond depth ≤ 1. With a [`SessionStore`] attached, jobs
+/// carrying a canonical form resume the per-class incremental SAT session
+/// (warm start); without one, every run is a cold `sap` call.
+pub struct SapStrategy {
+    warm: Option<Arc<SessionStore>>,
+}
+
+impl SapStrategy {
+    /// A cold strategy: every run re-encodes from scratch.
+    pub fn cold() -> Self {
+        SapStrategy { warm: None }
+    }
+
+    /// A warm strategy resuming sessions from `store`.
+    pub fn warm(store: Arc<SessionStore>) -> Self {
+        SapStrategy { warm: Some(store) }
+    }
+
+    fn sap_config(budget: &StrategyBudget, cancel: &CancelToken) -> SapConfig {
+        SapConfig {
+            // Keep the internal packing seed tiny: the dedicated packing
+            // strategies already race, and seeding trials cannot be
+            // cancelled — a weaker starting bound only costs SAT queries,
+            // which can.
+            packing: PackingConfig::with_trials(budget.packing_trials.clamp(1, 4)),
+            conflict_budget: budget.conflicts,
+            time_limit: budget.time,
+            cancel: Some(cancel.clone()),
+            ..SapConfig::default()
+        }
+    }
+}
+
+impl std::fmt::Debug for SapStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SapStrategy")
+            .field("warm", &self.warm.is_some())
+            .finish()
+    }
+}
+
+impl Strategy for SapStrategy {
+    fn name(&self) -> &'static str {
+        "sap"
+    }
+
+    fn provenance(&self) -> Provenance {
+        Provenance::Sap
+    }
+
+    fn estimate(&self, job: &SolveJob<'_>) -> f64 {
+        // SAT cost grows sharply with the number of 1-cells.
+        let cells = job.matrix.count_ones() as f64;
+        cells * cells * 1e-4
+    }
+
+    fn run(
+        &self,
+        job: &SolveJob<'_>,
+        budget: &StrategyBudget,
+        cancel: &CancelToken,
+    ) -> StrategyOutcome {
+        let cfg = Self::sap_config(budget, cancel);
+        if let (Some(canon), Some(store)) = (job.canon, &self.warm) {
+            // Warm path: resume (or open) the canonical class's session.
+            let mut session = store
+                .take(canon.key())
+                .unwrap_or_else(|| SapSession::new(&canon.matrix, &cfg));
+            if let Some(inc) = job.incumbent {
+                session.offer_incumbent(&canon.partition_to_canonical(inc));
+            }
+            let before = session.total_conflicts();
+            let out = session.run(&cfg);
+            let conflicts = session.total_conflicts() - before;
+            let partition = canon.partition_to_original(&out.partition);
+            debug_assert!(partition.validate(job.matrix).is_ok());
+            let proved_optimal = out.proved_optimal;
+            store.put(canon.key(), session);
+            StrategyOutcome {
+                partition,
+                proved_optimal,
+                conflicts,
+            }
+        } else {
+            let out = sap(job.matrix, &cfg);
+            let conflicts = out.stats.queries.iter().map(|q| q.conflicts).sum();
+            StrategyOutcome {
+                partition: out.partition,
+                proved_optimal: out.proved_optimal,
+                conflicts,
+            }
+        }
+    }
+}
+
+/// Shape/occupancy bucket key: `(⌈log2 rows⌉, ⌈log2 cols⌉, occupancy
+/// decile)`. Coarse on purpose — buckets must accumulate samples quickly.
+pub(crate) fn bucket_key(m: &BitMatrix) -> (u8, u8, u8) {
+    let log2 = |n: usize| (usize::BITS - n.max(1).leading_zeros()) as u8;
+    let (r, c) = m.shape();
+    let cells = (r * c).max(1);
+    let decile = (m.count_ones() * 10 / cells).min(9) as u8;
+    (log2(r), log2(c), decile)
+}
+
+/// Win counters of one (shape, occupancy) bucket.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BucketStats {
+    /// Races recorded in this bucket.
+    pub jobs: u64,
+    /// Wins per provenance ([`Provenance::index`]).
+    pub wins: [u64; Provenance::COUNT],
+}
+
+/// Provenance-learning scheduler: picks the strategy subset for a job from
+/// the win history of its (shape, occupancy) bucket.
+///
+/// Policy: race **everything** until a bucket holds
+/// [`AdaptiveScheduler::MIN_SAMPLES`] races, and again on every
+/// [`AdaptiveScheduler::EXPLORE_EVERY`]-th race (so a strategy that starts
+/// winning — e.g. after budgets change — is rediscovered). In between, a
+/// strategy that has never won in the bucket is left out of the race; the
+/// trivial baseline (the floor incumbent) and the SAP prover are always
+/// kept. Selected strategies are ordered cheapest-estimate first.
+#[derive(Debug, Default)]
+pub struct AdaptiveScheduler {
+    buckets: Mutex<HashMap<(u8, u8, u8), BucketStats>>,
+}
+
+impl AdaptiveScheduler {
+    /// Races to observe in a bucket before pruning starts.
+    pub const MIN_SAMPLES: u64 = 8;
+    /// Cadence of full-exploration races after pruning starts.
+    pub const EXPLORE_EVERY: u64 = 16;
+
+    /// Creates a scheduler with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects (by index into `candidates`) the strategies to race for `m`,
+    /// cheapest estimate first.
+    pub fn plan(
+        &self,
+        m: &BitMatrix,
+        candidates: &[Arc<dyn Strategy>],
+        job: &SolveJob<'_>,
+    ) -> Vec<usize> {
+        let stats = {
+            let buckets = self.buckets.lock().expect("scheduler poisoned");
+            buckets.get(&bucket_key(m)).copied().unwrap_or_default()
+        };
+        let explore = stats.jobs < Self::MIN_SAMPLES || stats.jobs % Self::EXPLORE_EVERY == 0;
+        let mut picked: Vec<usize> = (0..candidates.len())
+            .filter(|&i| {
+                if explore {
+                    return true;
+                }
+                let s = &candidates[i];
+                // The baseline and the only prover are never pruned.
+                matches!(s.provenance(), Provenance::Trivial | Provenance::Sap)
+                    || stats.wins[s.provenance().index()] > 0
+            })
+            .collect();
+        if picked.is_empty() {
+            picked = (0..candidates.len()).collect();
+        }
+        picked.sort_by(|&a, &b| {
+            candidates[a]
+                .estimate(job)
+                .total_cmp(&candidates[b].estimate(job))
+        });
+        picked
+    }
+
+    /// Records a race outcome for `m`'s bucket.
+    pub fn record(&self, m: &BitMatrix, winner: Provenance) {
+        let mut buckets = self.buckets.lock().expect("scheduler poisoned");
+        let stats = buckets.entry(bucket_key(m)).or_default();
+        stats.jobs += 1;
+        stats.wins[winner.index()] += 1;
+    }
+
+    /// The recorded statistics of `m`'s bucket, if any.
+    pub fn bucket(&self, m: &BitMatrix) -> Option<BucketStats> {
+        self.buckets
+            .lock()
+            .expect("scheduler poisoned")
+            .get(&bucket_key(m))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonical_form;
+
+    fn fig1b() -> BitMatrix {
+        "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap()
+    }
+
+    fn budget() -> StrategyBudget {
+        StrategyBudget {
+            time: Some(Duration::from_secs(5)),
+            conflicts: None,
+            packing_trials: 8,
+        }
+    }
+
+    fn all_strategies() -> Vec<Arc<dyn Strategy>> {
+        vec![
+            Arc::new(TrivialStrategy),
+            Arc::new(PackingStrategy { exact_cover: false }),
+            Arc::new(PackingStrategy { exact_cover: true }),
+            Arc::new(SapStrategy::cold()),
+        ]
+    }
+
+    #[test]
+    fn every_strategy_returns_a_valid_partition() {
+        let m = fig1b();
+        let job = SolveJob {
+            matrix: &m,
+            canon: None,
+            incumbent: None,
+        };
+        let token = CancelToken::new();
+        for s in all_strategies() {
+            let out = s.run(&job, &budget(), &token);
+            assert!(
+                out.partition.validate(&m).is_ok(),
+                "{} returned invalid partition",
+                s.name()
+            );
+            assert!(!s.provenance().as_str().is_empty());
+        }
+    }
+
+    #[test]
+    fn sap_strategy_proves_fig1b_and_reports_conflicts() {
+        let m = fig1b();
+        let job = SolveJob {
+            matrix: &m,
+            canon: None,
+            incumbent: None,
+        };
+        let out = SapStrategy::cold().run(&job, &budget(), &CancelToken::new());
+        assert!(out.proved_optimal);
+        assert_eq!(out.partition.len(), 5);
+    }
+
+    #[test]
+    fn warm_sap_reuses_the_session_across_permuted_jobs() {
+        let store = Arc::new(SessionStore::new(8));
+        let strat = SapStrategy::warm(store.clone());
+        // Irregular degrees: the signature canonizer is exact here (only
+        // biregular matrices like fig1b can confuse it).
+        let m: BitMatrix = "111100\n010011\n101010\n010100\n111001\n000111"
+            .parse()
+            .unwrap();
+        let canon = canonical_form(&m);
+        let job = SolveJob {
+            matrix: &m,
+            canon: Some(&canon),
+            incumbent: None,
+        };
+        let first = strat.run(&job, &budget(), &CancelToken::new());
+        assert!(first.partition.validate(&m).is_ok());
+        assert_eq!(store.len(), 1, "session parked after the run");
+
+        // A permuted duplicate maps onto the same canonical key: the proved
+        // session answers with zero fresh conflicts.
+        let dup = m.submatrix(&[5, 0, 3, 2, 4, 1], &[1, 0, 2, 5, 4, 3]);
+        let dup_canon = canonical_form(&dup);
+        assert_eq!(canon.key(), dup_canon.key(), "same canonical class");
+        let dup_job = SolveJob {
+            matrix: &dup,
+            canon: Some(&dup_canon),
+            incumbent: None,
+        };
+        let second = strat.run(&dup_job, &budget(), &CancelToken::new());
+        assert_eq!(second.proved_optimal, first.proved_optimal);
+        if first.proved_optimal {
+            assert_eq!(second.conflicts, 0, "proved session re-spends nothing");
+        }
+        assert!(second.partition.validate(&dup).is_ok());
+        assert_eq!(second.partition.len(), first.partition.len());
+    }
+
+    #[test]
+    fn session_store_drops_new_keys_when_full() {
+        let store = SessionStore::new(1);
+        let cfg = SapConfig::default();
+        let a = SapSession::new(&BitMatrix::identity(2), &cfg);
+        let b = SapSession::new(&BitMatrix::identity(3), &cfg);
+        store.put("a", a);
+        store.put("b", b);
+        assert_eq!(store.len(), 1);
+        assert!(store.take("a").is_some());
+        assert!(store.take("b").is_none());
+    }
+
+    #[test]
+    fn scheduler_prunes_never_winners_but_keeps_prover_and_baseline() {
+        let m = fig1b();
+        let strategies = all_strategies();
+        let sched = AdaptiveScheduler::new();
+        let job = SolveJob {
+            matrix: &m,
+            canon: None,
+            incumbent: None,
+        };
+
+        // Cold bucket: everything races.
+        assert_eq!(sched.plan(&m, &strategies, &job).len(), strategies.len());
+
+        // Record enough races where only plain packing ever wins.
+        for _ in 0..AdaptiveScheduler::MIN_SAMPLES {
+            sched.record(&m, Provenance::Packing);
+        }
+        let picked = sched.plan(&m, &strategies, &job);
+        let names: Vec<&str> = picked.iter().map(|&i| strategies[i].name()).collect();
+        assert!(
+            names.contains(&"trivial"),
+            "baseline always kept: {names:?}"
+        );
+        assert!(names.contains(&"sap"), "prover always kept: {names:?}");
+        assert!(names.contains(&"packing"), "winner kept: {names:?}");
+        assert!(
+            !names.contains(&"packing-dlx"),
+            "never-winner pruned: {names:?}"
+        );
+
+        // Exploration cadence brings the pruned strategy back periodically.
+        let mut explored = false;
+        for _ in 0..AdaptiveScheduler::EXPLORE_EVERY {
+            sched.record(&m, Provenance::Packing);
+            if sched.plan(&m, &strategies, &job).len() == strategies.len() {
+                explored = true;
+            }
+        }
+        assert!(explored, "periodic re-exploration must happen");
+    }
+
+    #[test]
+    fn scheduler_orders_by_estimate() {
+        let m = fig1b();
+        let strategies = all_strategies();
+        let job = SolveJob {
+            matrix: &m,
+            canon: None,
+            incumbent: None,
+        };
+        let picked = AdaptiveScheduler::new().plan(&m, &strategies, &job);
+        let costs: Vec<f64> = picked
+            .iter()
+            .map(|&i| strategies[i].estimate(&job))
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
+    }
+
+    #[test]
+    fn bucket_key_separates_shapes_and_occupancy() {
+        let dense = BitMatrix::ones(8, 8);
+        let sparse = BitMatrix::identity(8);
+        let wide = BitMatrix::ones(8, 32);
+        assert_ne!(bucket_key(&dense), bucket_key(&sparse));
+        assert_ne!(bucket_key(&dense), bucket_key(&wide));
+        // Same power-of-two size band and occupancy: same bucket.
+        assert_eq!(
+            bucket_key(&BitMatrix::ones(7, 7)),
+            bucket_key(&BitMatrix::ones(6, 6))
+        );
+    }
+}

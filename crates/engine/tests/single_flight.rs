@@ -1,0 +1,106 @@
+//! Concurrency test of the engine's single-flight solve coalescing: W
+//! concurrent jobs sharing one canonical key must execute **exactly one**
+//! `Strategy::run`; the other W − 1 are served by waiting on the flight.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use bitmatrix::BitMatrix;
+use ebmf::trivial_partition;
+use rect_addr_engine::{Engine, EngineConfig, SolveJob, Strategy, StrategyBudget, StrategyOutcome};
+use sat::CancelToken;
+
+const W: usize = 8;
+
+/// Counts its runs and holds the flight open until every job has entered
+/// the engine (plus a grace period so the followers reach the flight wait).
+#[derive(Debug)]
+struct CountingStrategy {
+    runs: Arc<AtomicUsize>,
+    arrived: Arc<AtomicUsize>,
+}
+
+impl Strategy for CountingStrategy {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+
+    fn provenance(&self) -> rect_addr_engine::Provenance {
+        rect_addr_engine::Provenance::Trivial
+    }
+
+    fn estimate(&self, _: &SolveJob<'_>) -> f64 {
+        0.0
+    }
+
+    fn run(&self, job: &SolveJob<'_>, _: &StrategyBudget, _: &CancelToken) -> StrategyOutcome {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        // Keep the flight open until all W jobs are inside the engine, then
+        // give the followers ample time to block on it.
+        while self.arrived.load(Ordering::SeqCst) < W {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        StrategyOutcome {
+            partition: trivial_partition(job.matrix),
+            proved_optimal: true,
+            conflicts: 0,
+        }
+    }
+}
+
+#[test]
+fn w_concurrent_jobs_on_one_key_run_exactly_one_strategy() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let arrived = Arc::new(AtomicUsize::new(0));
+    let engine = Arc::new(Engine::with_strategies(
+        EngineConfig::default(),
+        vec![Arc::new(CountingStrategy {
+            runs: runs.clone(),
+            arrived: arrived.clone(),
+        })],
+    ));
+    let m: BitMatrix = "110\n011\n111".parse().unwrap();
+
+    let barrier = Arc::new(Barrier::new(W));
+    let outcomes: Vec<_> = (0..W)
+        .map(|_| {
+            let engine = engine.clone();
+            let m = m.clone();
+            let barrier = barrier.clone();
+            let arrived = arrived.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                arrived.fetch_add(1, Ordering::SeqCst);
+                engine.solve(&m)
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("job thread panicked"))
+        .collect();
+
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        1,
+        "exactly one Strategy::run must execute for {W} identical jobs"
+    );
+    let leaders = outcomes.iter().filter(|o| !o.cache_hit).count();
+    let followers = outcomes.iter().filter(|o| o.cache_hit).count();
+    assert_eq!(leaders, 1, "exactly one job leads the flight");
+    assert_eq!(followers, W - 1, "the other jobs are served by the flight");
+    for o in &outcomes {
+        assert!(o.proved_optimal);
+        assert!(o.partition.validate(&m).is_ok());
+    }
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1, "one miss: the leader");
+    assert_eq!(stats.hits as usize, W - 1);
+    assert_eq!(
+        stats.flight_waits as usize,
+        W - 1,
+        "all followers must block on the in-flight solve"
+    );
+}
