@@ -11,10 +11,19 @@
 //! per-canonical-class session store on vs off. With warm starts each job
 //! *resumes* the previous descent, so total SAT conflicts approach the cost
 //! of a single full descent; without, every job re-spends its budget from
-//! scratch. Emits `BENCH_engine.json` in the working directory.
+//! scratch.
 //!
-//! Usage: `engine_bench [jobs] [distinct] [size] [workers]`
+//! Phase 3 measures the **complete canonizer** on a permuted-biregular
+//! workload: row/column-permuted copies of patterns whose degrees all tie
+//! (the paper's Fig. 1b plus constructed biregular families), where
+//! signature refinement alone cannot split anything and the heuristic
+//! settling misses. Individualization-refinement recognizes every permuted
+//! copy. Emits `BENCH_engine.json` in the working directory.
+//!
+//! Usage: `engine_bench [jobs] [distinct] [size] [workers] [--check]`
 //! (defaults: 400 jobs, 50 distinct 10×10 patterns, CPU workers).
+//! `--check` exits non-zero when the permuted-biregular hit-rate of the
+//! complete canonizer falls below 90% — the CI regression gate.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -165,7 +174,7 @@ fn emit_warm_start(
         "  \"warm_start\": {{\n    \"rounds\": {rounds},\n    \"conflict_budget\": {budget},\n    \
          \"warm_total_conflicts\": {},\n    \"warm_proved_after_jobs\": {},\n    \
          \"cold_total_conflicts\": {},\n    \"cold_proved_after_jobs\": {},\n    \
-         \"conflict_ratio\": {:.4}\n  }}\n",
+         \"conflict_ratio\": {:.4}\n  }},\n",
         warm.total_conflicts,
         warm.proved_after_jobs,
         cold.total_conflicts,
@@ -174,17 +183,134 @@ fn emit_warm_start(
     );
 }
 
+/// The biregular base patterns of the canonizer workload (phase 3): every
+/// row and column degree ties, so signature refinement alone cannot split
+/// anything, and the block/union structure makes the heuristic settling
+/// order ambiguous — permuted copies scatter across many heuristic keys.
+fn biregular_bases() -> Vec<BitMatrix> {
+    // The paper's Fig. 1b: 6×6, 3-regular on both sides.
+    let fig1b: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+        .parse()
+        .expect("fig1b parses");
+    // Disjoint unions of k copies (block-diagonal; still 3-regular).
+    let union = |m: &BitMatrix, copies: usize| {
+        let (r, c) = m.shape();
+        BitMatrix::from_fn(r * copies, c * copies, |i, j| {
+            i / r == j / c && m.get(i % r, j % c)
+        })
+    };
+    vec![
+        fig1b.clone(),
+        union(&fig1b, 2),
+        union(&fig1b, 4),
+        fig1b.kron(&BitMatrix::identity(3)),
+    ]
+}
+
+/// Results of one canonizer-workload arm (phase 3).
+struct CanonArm {
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    complete_keys: u64,
+    heuristic_keys: u64,
+    entries: u64,
+}
+
+/// Streams 32 row/column-permuted duplicates of every biregular base
+/// through a fresh engine whose canonizer search budget is `max_branches`,
+/// and reports the cache hit-rate. The complete canonizer (default budget)
+/// makes every copy after a base's first a hit; at budget 0 the heuristic
+/// labeling scatters each class across several entries. SAT and DLX are off
+/// — the phase measures canonization, not solving.
+fn canon_arm(stream: &str, jobs: usize, max_branches: usize) -> CanonArm {
+    let engine = Engine::new(EngineConfig {
+        portfolio: engine::PortfolioConfig {
+            sap: false,
+            exact_cover: false,
+            packing_trials: 16,
+            ..engine::PortfolioConfig::default()
+        },
+        canon: engine::CanonOptions { max_branches },
+        ..EngineConfig::default()
+    });
+    let mut raw = Vec::new();
+    let summary = engine
+        .run_batch(stream.as_bytes(), &mut raw)
+        .expect("in-memory batch cannot fail on I/O");
+    assert_eq!(summary.solved, jobs, "every canon job must solve");
+    let stats = engine.cache_stats();
+    CanonArm {
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_rate: stats.hit_rate(),
+        complete_keys: stats.canon_complete,
+        heuristic_keys: stats.canon_heuristic,
+        entries: stats.entries,
+    }
+}
+
+/// Builds the permuted-biregular stream and runs both canonizer arms.
+fn canon_workload(copies: usize) -> (usize, CanonArm, CanonArm) {
+    let bases = biregular_bases();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut stream = String::new();
+    let mut jobs = 0usize;
+    for (b, base) in bases.iter().enumerate() {
+        for c in 0..copies {
+            let matrix = if c == 0 {
+                base.clone()
+            } else {
+                let rp = bitmatrix::random_permutation(base.nrows(), &mut rng);
+                let cp = bitmatrix::random_permutation(base.ncols(), &mut rng);
+                base.submatrix(&rp, &cp)
+            };
+            let req = JobRequest {
+                id: format!("canon-{b}-{c:02}"),
+                matrix,
+                budget_ms: Some(2_000),
+                conflicts: None,
+            };
+            stream.push_str(&req.to_json_line());
+            stream.push('\n');
+            jobs += 1;
+        }
+    }
+    let complete = canon_arm(&stream, jobs, engine::DEFAULT_CANON_BUDGET);
+    let heuristic = canon_arm(&stream, jobs, 0);
+    (jobs, complete, heuristic)
+}
+
+fn emit_canon_arm(out: &mut String, label: &str, a: &CanonArm, last: bool) {
+    let _ = write!(
+        out,
+        "    \"{label}\": {{\n      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \
+         \"hit_rate\": {:.4},\n      \"cache_entries\": {},\n      \
+         \"canon_complete\": {},\n      \"canon_heuristic\": {}\n    }}{}\n",
+        a.hits,
+        a.misses,
+        a.hit_rate,
+        a.entries,
+        a.complete_keys,
+        a.heuristic_keys,
+        if last { "" } else { "," },
+    );
+}
+
 fn main() {
+    let (flags, positional): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    let check = flags.iter().any(|f| f == "--check");
     let arg = |i: usize, default: usize| {
-        std::env::args()
-            .nth(i)
+        positional
+            .get(i)
             .and_then(|a| a.parse().ok())
             .unwrap_or(default)
     };
-    let jobs = arg(1, 400);
-    let distinct = arg(2, 50).max(1);
-    let size = arg(3, 10);
-    let workers = arg(4, 0);
+    let jobs = arg(0, 400);
+    let distinct = arg(1, 50).max(1);
+    let size = arg(2, 10);
+    let workers = arg(3, 0);
 
     let stream = build_stream(jobs, distinct, size);
     let engine = Engine::new(EngineConfig {
@@ -231,6 +357,19 @@ fn main() {
         ws_cold.proved_after_jobs,
     );
 
+    // Phase 3: permuted-biregular workload, complete canonizer vs the
+    // budget-0 heuristic labeling on the identical job stream.
+    let (canon_jobs, canon_complete, canon_heuristic) = canon_workload(32);
+    eprintln!(
+        "canon: {} permuted-biregular jobs — complete {:.1}% hit rate ({} entries) \
+         vs heuristic {:.1}% ({} entries)",
+        canon_jobs,
+        canon_complete.hit_rate * 100.0,
+        canon_complete.entries,
+        canon_heuristic.hit_rate * 100.0,
+        canon_heuristic.entries,
+    );
+
     let mut json = String::from("{\n");
     let _ = write!(
         json,
@@ -241,7 +380,18 @@ fn main() {
     emit(&mut json, "cold", &cold, false);
     emit(&mut json, "warm", &warm, false);
     emit_warm_start(&mut json, rounds, conflict_budget, &ws_warm, &ws_cold);
-    json.push_str("}\n");
+    let _ = write!(json, "  \"canon\": {{\n    \"jobs\": {canon_jobs},\n");
+    emit_canon_arm(&mut json, "complete", &canon_complete, false);
+    emit_canon_arm(&mut json, "heuristic", &canon_heuristic, true);
+    json.push_str("  }\n}\n");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("{json}");
+
+    if check && canon_complete.hit_rate < 0.9 {
+        eprintln!(
+            "FAIL: permuted-biregular hit rate {:.1}% is below the 90% gate",
+            canon_complete.hit_rate * 100.0
+        );
+        std::process::exit(1);
+    }
 }

@@ -75,7 +75,9 @@ USAGE:
 
 Batch/serve options: --workers N, --budget-ms T, --conflicts C, --trials K,
 --no-sat, --shards N (cache shards), --warm-sessions N (0 = cold SAP),
---no-adaptive (always race every strategy). One job per line: {\"id\": \"l0\",
+--no-adaptive (always race every strategy), --canon-budget B (canonizer
+search branches before falling back to the heuristic labeling; 0 = no
+search). One job per line: {\"id\": \"l0\",
 \"matrix\": [\"101\", \"010\"], \"budget_ms\": 500}; responses stream back in
 completion order with provenance, cache-hit flag, SAT conflict count and
 the rectangle partition.
@@ -340,8 +342,8 @@ fn cmd_gen(args: &[String]) -> CliOutput {
 }
 
 /// Builds an [`EngineConfig`] from `--workers/--budget-ms/--conflicts/
-/// --trials/--no-sat/--shards/--warm-sessions/--no-adaptive` flags. Values
-/// are only overridden when their flag is present, so
+/// --trials/--no-sat/--shards/--warm-sessions/--no-adaptive/--canon-budget`
+/// flags. Values are only overridden when their flag is present, so
 /// [`EngineConfig::default`] stays the single source of truth.
 fn engine_config(rest: &[String]) -> Result<EngineConfig, String> {
     let mut cfg = EngineConfig::default();
@@ -349,6 +351,7 @@ fn engine_config(rest: &[String]) -> Result<EngineConfig, String> {
     cfg.portfolio.packing_trials = parse_flag(rest, "--trials", cfg.portfolio.packing_trials)?;
     cfg.cache_shards = parse_flag(rest, "--shards", cfg.cache_shards)?.max(1);
     cfg.warm_sessions = parse_flag(rest, "--warm-sessions", cfg.warm_sessions)?;
+    cfg.canon.max_branches = parse_flag(rest, "--canon-budget", cfg.canon.max_branches)?;
     if rest.iter().any(|a| a == "--budget-ms") {
         let budget_ms = parse_flag(rest, "--budget-ms", 0)?;
         cfg.portfolio.time_budget = Some(std::time::Duration::from_millis(budget_ms as u64));
@@ -398,7 +401,7 @@ fn run_engine_batch<W: std::io::Write>(
         output,
         "{{\"summary\": true, \"solved\": {}, \"failed\": {}, \"cache_hits\": {}, \
          \"cache_entries\": {}, \"cache_evictions\": {}, \"flight_waits\": {}, \
-         \"warm_sessions\": {}}}",
+         \"warm_sessions\": {}, \"canon_complete\": {}, \"canon_heuristic\": {}}}",
         summary.solved,
         summary.failed,
         stats.hits,
@@ -406,6 +409,8 @@ fn run_engine_batch<W: std::io::Write>(
         stats.evictions,
         stats.flight_waits,
         engine.warm_sessions(),
+        stats.canon_complete,
+        stats.canon_heuristic,
     )
     .and_then(|()| output.flush())
     .map_err(|e| format!("batch I/O: {e}"))
@@ -701,6 +706,8 @@ mod tests {
             "0",
             "--no-adaptive",
             "--no-sat",
+            "--canon-budget",
+            "17",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -711,10 +718,12 @@ mod tests {
         assert_eq!(cfg.warm_sessions, 0);
         assert!(!cfg.adaptive);
         assert!(!cfg.portfolio.sap);
+        assert_eq!(cfg.canon.max_branches, 17);
         // Defaults untouched when flags are absent.
         let dflt = engine_config(&[]).unwrap();
         assert_eq!(dflt.cache_shards, EngineConfig::default().cache_shards);
         assert!(dflt.adaptive);
+        assert_eq!(dflt.canon.max_branches, ::engine::DEFAULT_CANON_BUDGET);
     }
 
     #[test]
@@ -729,6 +738,8 @@ mod tests {
             "\"flight_waits\":",
             "\"warm_sessions\":",
             "\"cache_hits\": 1",
+            "\"canon_complete\": 2",
+            "\"canon_heuristic\": 0",
         ] {
             assert!(summary.contains(field), "missing {field} in {summary}");
         }

@@ -59,6 +59,12 @@ pub struct CacheStats {
     pub flight_waits: u64,
     /// Number of shards the key space is split into.
     pub shards: u64,
+    /// Lookups whose key came from the complete canonizer (guaranteed
+    /// class-unique keys; see [`Completeness`](crate::Completeness)).
+    pub canon_complete: u64,
+    /// Lookups whose key came from the heuristic fallback (the search
+    /// budget ran out; permuted duplicates may miss).
+    pub canon_heuristic: u64,
 }
 
 impl CacheStats {
@@ -251,6 +257,8 @@ pub struct CanonicalCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     flight_waits: AtomicU64,
+    canon_complete: AtomicU64,
+    canon_heuristic: AtomicU64,
 }
 
 /// Default shard count of [`CanonicalCache::new`].
@@ -275,7 +283,18 @@ impl CanonicalCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             flight_waits: AtomicU64::new(0),
+            canon_complete: AtomicU64::new(0),
+            canon_heuristic: AtomicU64::new(0),
         }
+    }
+
+    /// Tallies which canonization path produced a lookup's key.
+    fn note_canon(&self, canon: &CanonicalForm) {
+        let counter = match canon.completeness() {
+            crate::canon::Completeness::Complete => &self.canon_complete,
+            crate::canon::Completeness::Heuristic => &self.canon_heuristic,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     fn shard_of(&self, key: &str) -> usize {
@@ -319,6 +338,7 @@ impl CanonicalCache {
     /// flights (and absences) as misses. The shard mutex guards only the map
     /// access; permutation mapping happens after unlock.
     pub fn get(&self, canon: &CanonicalForm) -> Option<CachedOutcome> {
+        self.note_canon(canon);
         let shard = &self.shards[self.shard_of(canon.key())];
         let entry = {
             let mut map = shard.map.lock().expect("cache shard poisoned");
@@ -349,6 +369,7 @@ impl CanonicalCache {
     /// a hit); a genuine miss registers a pending entry and returns a
     /// [`FlightGuard`] making the caller the leader.
     pub fn begin(&self, canon: &CanonicalForm) -> CacheDecision<'_> {
+        self.note_canon(canon);
         let shard_idx = self.shard_of(canon.key());
         let shard = &self.shards[shard_idx];
         loop {
@@ -477,6 +498,8 @@ impl CanonicalCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             flight_waits: self.flight_waits.load(Ordering::Relaxed),
             shards: self.shards.len() as u64,
+            canon_complete: self.canon_complete.load(Ordering::Relaxed),
+            canon_heuristic: self.canon_heuristic.load(Ordering::Relaxed),
         }
     }
 }
@@ -491,8 +514,6 @@ mod tests {
     #[test]
     fn miss_then_hit_on_permuted_duplicate() {
         let cache = CanonicalCache::new(64);
-        // Irregular degrees: the signature canonizer is exact here (only
-        // biregular matrices can confuse it — see the canon module docs).
         let m: BitMatrix = "111100\n010011\n101010\n010100\n111001\n000111"
             .parse()
             .unwrap();
@@ -514,6 +535,23 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+        assert_eq!(stats.canon_complete, 2, "both lookups used complete keys");
+        assert_eq!(stats.canon_heuristic, 0);
+    }
+
+    #[test]
+    fn stats_count_heuristic_keys_separately() {
+        use crate::canon::{canonical_form_with, CanonOptions};
+        let cache = CanonicalCache::new(8);
+        // Fig. 1b is biregular: a zero search budget forces the heuristic.
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let canon = canonical_form_with(&m, &CanonOptions { max_branches: 0 });
+        assert!(!canon.is_complete());
+        assert!(cache.get(&canon).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.canon_complete, stats.canon_heuristic), (0, 1));
     }
 
     #[test]

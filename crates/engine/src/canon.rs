@@ -7,18 +7,93 @@
 //! permutation class, so a circuit whose layers repeat a pattern under
 //! different wire orders is solved once.
 //!
-//! The canonical labeling is computed by Weisfeiler–Leman-style signature
-//! refinement on the bipartite row/column graph (rows and columns iterate
-//! hashes of their neighbours' labels), followed by a lexicographic settling
-//! pass that orders label-tied rows and columns by their bit content. This
-//! is a heuristic canonizer, not a graph-isomorphism decision procedure:
-//! highly symmetric matrices may canonize to different representatives under
-//! different input orders, which only costs a cache miss. **Soundness never
-//! depends on it** — the cache key is the full canonical bit pattern, so
-//! equal keys always mean genuinely permutation-equivalent matrices.
+//! # Algorithm: individualization–refinement
+//!
+//! The canonical labeling is a graph-canonization-grade search on the
+//! bipartite row/column graph:
+//!
+//! 1. **Signature refinement** — rows and columns iterate hashes of their
+//!    neighbours' labels (Weisfeiler–Leman style) until the induced partition
+//!    into label classes stops splitting. The labels are isomorphism
+//!    invariants: corresponding vertices of two permuted copies always carry
+//!    equal labels.
+//! 2. **Individualization** — if refinement stalls with a non-singleton cell
+//!    (e.g. a *biregular* matrix, where every row/column degree ties), the
+//!    search picks an invariant target cell, individualizes each of its
+//!    vertices in turn (giving it a fresh unique label), re-refines, and
+//!    recurses — a branch per vertex.
+//! 3. **Leaf selection** — a branch whose partition is discrete determines a
+//!    full row/column ordering; the canonical form is the lexicographically
+//!    minimal matrix over all leaves, which is identical for every member of
+//!    the permutation class.
+//! 4. **Automorphism pruning** — a leaf whose matrix was already produced by
+//!    an earlier branch yields an automorphism (the two leaf orderings
+//!    composed); vertices mapped onto an already-explored sibling by
+//!    automorphisms that fix the current branching prefix are skipped, as are
+//!    cell-mates whose row/column content is bit-identical (swapping two
+//!    identical lines is always an automorphism).
+//!
+//! The search is exact but worst-case exponential, so it runs under a
+//! configurable budget ([`CanonOptions::max_branches`] individualization
+//! steps). Within budget the result is tagged [`Completeness::Complete`]:
+//! equal permutation classes are **guaranteed** equal keys. On exhaustion —
+//! pathologically symmetric inputs whose automorphism pruning cannot keep
+//! up — the canonizer falls back to the pre-search heuristic (label order
+//! settled lexicographically by bit content) and tags the form
+//! [`Completeness::Heuristic`]; such keys may split a class across several
+//! cache entries, which only costs cache misses. **Soundness never depends
+//! on the tag**: the cache key is the full canonical bit pattern, so equal
+//! keys always mean genuinely permutation-equivalent matrices.
+
+use std::collections::HashMap;
 
 use bitmatrix::{BitMatrix, BitVec};
 use ebmf::{Partition, Rectangle};
+
+/// Which path produced a [`CanonicalForm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completeness {
+    /// The individualization-refinement search finished within budget: every
+    /// member of the permutation class canonizes to this exact key.
+    Complete,
+    /// The search budget was exhausted and the heuristic settling order was
+    /// used instead: permuted duplicates may canonize to different keys
+    /// (a cache miss, never an incorrect hit).
+    Heuristic,
+}
+
+impl Completeness {
+    /// Lower-case tag used in stats and bench output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Completeness::Complete => "complete",
+            Completeness::Heuristic => "heuristic",
+        }
+    }
+}
+
+/// Default [`CanonOptions::max_branches`].
+pub const DEFAULT_CANON_BUDGET: usize = 4096;
+
+/// Tuning knobs of [`canonical_form_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanonOptions {
+    /// Maximum individualization *branches* (siblings beyond the first
+    /// member of each target cell; forced descents are free) before the
+    /// search gives up and falls back to the heuristic labeling. `0`
+    /// disables search entirely: only matrices settled by refinement plus
+    /// sound pruning (discrete partitions, identical-line cells) canonize
+    /// completely.
+    pub max_branches: usize,
+}
+
+impl Default for CanonOptions {
+    fn default() -> Self {
+        CanonOptions {
+            max_branches: DEFAULT_CANON_BUDGET,
+        }
+    }
+}
 
 /// A matrix together with the permutations that canonize it.
 ///
@@ -33,6 +108,8 @@ pub struct CanonicalForm {
     pub row_perm: Vec<usize>,
     /// Original column index of each canonical column.
     pub col_perm: Vec<usize>,
+    /// Which canonization path produced this form.
+    completeness: Completeness,
     /// Rendered once at construction: shape plus the canonical bit pattern.
     key: String,
 }
@@ -41,6 +118,17 @@ impl CanonicalForm {
     /// The cache key: shape plus the canonical bit pattern (precomputed).
     pub fn key(&self) -> &str {
         &self.key
+    }
+
+    /// Which canonization path produced this form.
+    pub fn completeness(&self) -> Completeness {
+        self.completeness
+    }
+
+    /// `true` when the complete search finished within budget (equal
+    /// permutation classes are then guaranteed equal keys).
+    pub fn is_complete(&self) -> bool {
+        self.completeness == Completeness::Complete
     }
 
     /// Maps a partition of the *canonical* matrix back onto the original.
@@ -92,29 +180,39 @@ fn combine(h: u64, x: u64) -> u64 {
     mix(h ^ x.wrapping_mul(0xA24B_AED4_963E_E407))
 }
 
+/// Row and column labels of one refinement state. Equal labels = one cell of
+/// the induced ordered partition; label values are isomorphism invariants.
+#[derive(Debug, Clone)]
+struct Labels {
+    rows: Vec<u64>,
+    cols: Vec<u64>,
+}
+
 /// One refinement round: every row hashes the sorted multiset of its
 /// neighbouring column labels (and vice versa, via the transpose `mt`), so
 /// the cost is proportional to the one-cells, not the full grid.
-fn refine_once(m: &BitMatrix, mt: &BitMatrix, row_lab: &mut [u64], col_lab: &mut [u64]) {
+fn refine_once(m: &BitMatrix, mt: &BitMatrix, lab: &mut Labels) {
     let mut scratch: Vec<u64> = Vec::new();
     let new_rows: Vec<u64> = (0..m.nrows())
         .map(|i| {
             scratch.clear();
-            scratch.extend(m.row(i).ones().map(|j| col_lab[j]));
+            scratch.extend(m.row(i).ones().map(|j| lab.cols[j]));
             scratch.sort_unstable();
-            scratch.iter().fold(mix(row_lab[i]), |h, &l| combine(h, l))
+            scratch.iter().fold(mix(lab.rows[i]), |h, &l| combine(h, l))
         })
         .collect();
     let new_cols: Vec<u64> = (0..m.ncols())
         .map(|j| {
             scratch.clear();
-            scratch.extend(mt.row(j).ones().map(|i| row_lab[i]));
+            scratch.extend(mt.row(j).ones().map(|i| lab.rows[i]));
             scratch.sort_unstable();
-            scratch.iter().fold(mix(!col_lab[j]), |h, &l| combine(h, l))
+            scratch
+                .iter()
+                .fold(mix(!lab.cols[j]), |h, &l| combine(h, l))
         })
         .collect();
-    row_lab.copy_from_slice(&new_rows);
-    col_lab.copy_from_slice(&new_cols);
+    lab.rows = new_rows;
+    lab.cols = new_cols;
 }
 
 /// Number of distinct values, as a cheap partition-stability probe.
@@ -123,6 +221,33 @@ fn class_count(labels: &[u64]) -> usize {
     sorted.sort_unstable();
     sorted.dedup();
     sorted.len()
+}
+
+/// Refines until the induced class partition stops splitting. Classes only
+/// ever split (a new label is a function of the old label), so stable class
+/// counts mean a stable partition; at most `nrows + ncols` useful rounds.
+fn refine_to_stable(m: &BitMatrix, mt: &BitMatrix, lab: &mut Labels) {
+    let mut classes = (class_count(&lab.rows), class_count(&lab.cols));
+    for _ in 0..=(m.nrows() + m.ncols()) {
+        refine_once(m, mt, lab);
+        let next = (class_count(&lab.rows), class_count(&lab.cols));
+        if next == classes {
+            break;
+        }
+        classes = next;
+    }
+}
+
+/// Degree-seeded initial labels (row and column streams salted apart).
+fn initial_labels(m: &BitMatrix, mt: &BitMatrix) -> Labels {
+    Labels {
+        rows: (0..m.nrows())
+            .map(|i| mix(m.row(i).count_ones() as u64))
+            .collect(),
+        cols: (0..m.ncols())
+            .map(|j| mix(!(mt.row(j).count_ones() as u64)))
+            .collect(),
+    }
 }
 
 /// Compares two rows of `m` by bit content under the column order `cols`.
@@ -136,11 +261,259 @@ fn cmp_rows(m: &BitMatrix, a: usize, b: usize, cols: &[usize]) -> std::cmp::Orde
     std::cmp::Ordering::Equal
 }
 
-/// Computes the canonical form of `m`.
-///
-/// Cost is `O(r · E log E)` for `r` refinement rounds over the `E` one-cells
-/// — microseconds at the paper's 100×100 technology-limit scale, against SAT
-/// queries that take seconds.
+/// Which side of the bipartite row/column graph a vertex lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Row,
+    Col,
+}
+
+/// An automorphism of the input matrix, as original→original index maps.
+#[derive(Debug, Clone)]
+struct Automorphism {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+}
+
+impl Automorphism {
+    fn fixes(&self, side: Side, v: usize) -> bool {
+        match side {
+            Side::Row => self.rows[v] == v,
+            Side::Col => self.cols[v] == v,
+        }
+    }
+
+    fn map(&self, side: Side) -> &[usize] {
+        match side {
+            Side::Row => &self.rows,
+            Side::Col => &self.cols,
+        }
+    }
+}
+
+/// Path-compressed union-find used for orbit partitions.
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind((0..n).collect())
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.0[root] != root {
+            root = self.0[root];
+        }
+        let mut cur = x;
+        while self.0[cur] != root {
+            cur = std::mem::replace(&mut self.0[cur], root);
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.0[ra] = rb;
+        }
+    }
+}
+
+/// The individualization-refinement search over one matrix.
+struct Search<'a> {
+    m: &'a BitMatrix,
+    mt: &'a BitMatrix,
+    /// Remaining individualization steps before giving up.
+    budget: usize,
+    exhausted: bool,
+    /// Vertices individualized on the current tree path, in order.
+    prefix: Vec<(Side, usize)>,
+    /// Leaf matrices already produced, with the perms that produced them —
+    /// a repeat yields an automorphism (new perm composed with the stored
+    /// inverse). Stores the most recent occurrence: temporally adjacent
+    /// equal leaves share long prefixes, so the derived generators fix deep
+    /// prefixes and prune nearby siblings.
+    seen: HashMap<String, (Vec<usize>, Vec<usize>)>,
+    /// Automorphism generators discovered from leaf repeats.
+    generators: Vec<Automorphism>,
+    /// Lexicographically minimal leaf so far: (rendered matrix, perms).
+    best: Option<(String, Vec<usize>, Vec<usize>)>,
+}
+
+impl Search<'_> {
+    /// The invariant branching target: the smallest non-singleton cell,
+    /// rows preferred on ties, then smallest label (cell sizes and label
+    /// values are isomorphism invariants, so permuted copies pick
+    /// corresponding cells). Returns its members in index order, or `None`
+    /// when the partition is discrete.
+    fn target_cell(&self, lab: &Labels) -> Option<(Side, Vec<usize>)> {
+        let mut pick: Option<(usize, u8, u64)> = None;
+        for (side_ord, labels) in [&lab.rows, &lab.cols].into_iter().enumerate() {
+            let mut counts: HashMap<u64, usize> = HashMap::new();
+            for &l in labels.iter() {
+                *counts.entry(l).or_insert(0) += 1;
+            }
+            for (&l, &n) in &counts {
+                if n >= 2 {
+                    let cand = (n, side_ord as u8, l);
+                    if pick.is_none_or(|p| cand < p) {
+                        pick = Some(cand);
+                    }
+                }
+            }
+        }
+        let (_, side_ord, label) = pick?;
+        let side = if side_ord == 0 { Side::Row } else { Side::Col };
+        let labels = if side_ord == 0 { &lab.rows } else { &lab.cols };
+        let members = labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == label).then_some(i))
+            .collect();
+        Some((side, members))
+    }
+
+    /// Whether `v` maps onto an already-explored sibling under automorphisms
+    /// that fix every vertex of the current prefix (such automorphisms map
+    /// this node's whole subtree onto the sibling's, leaf for leaf), or is
+    /// bit-identical to one (swapping identical lines always fixes the rest
+    /// of the matrix).
+    fn prunable(&mut self, side: Side, v: usize, explored: &[usize]) -> bool {
+        if explored.is_empty() {
+            return false;
+        }
+        let content = match side {
+            Side::Row => self.m,
+            Side::Col => self.mt,
+        };
+        if explored.iter().any(|&u| content.row(u) == content.row(v)) {
+            return true;
+        }
+        let n = content.nrows();
+        let mut orbits = UnionFind::new(n);
+        let mut joined = false;
+        for gen in &self.generators {
+            if self.prefix.iter().all(|&(s, x)| gen.fixes(s, x)) {
+                for (x, &gx) in gen.map(side).iter().enumerate() {
+                    orbits.union(x, gx);
+                }
+                joined = true;
+            }
+        }
+        joined && explored.iter().any(|&u| orbits.find(u) == orbits.find(v))
+    }
+
+    /// Handles a discrete partition: orders both sides by label, renders the
+    /// candidate matrix, and either records a new leaf (tracking the
+    /// lexicographic minimum) or derives an automorphism from a repeat.
+    fn leaf(&mut self, lab: &Labels) {
+        let mut rp: Vec<usize> = (0..self.m.nrows()).collect();
+        rp.sort_by_key(|&i| lab.rows[i]);
+        let mut cp: Vec<usize> = (0..self.m.ncols()).collect();
+        cp.sort_by_key(|&j| lab.cols[j]);
+        let rendered = self.m.submatrix(&rp, &cp).to_string();
+        if let Some((prev_rp, prev_cp)) = self.seen.get(&rendered) {
+            // Both orderings map the original onto the same matrix, so
+            // prev ∘ new⁻¹ maps the original onto itself.
+            let mut rows = vec![0usize; rp.len()];
+            for (i, &r) in rp.iter().enumerate() {
+                rows[r] = prev_rp[i];
+            }
+            let mut cols = vec![0usize; cp.len()];
+            for (j, &c) in cp.iter().enumerate() {
+                cols[c] = prev_cp[j];
+            }
+            self.generators.push(Automorphism { rows, cols });
+            self.seen.insert(rendered, (rp, cp));
+            return;
+        }
+        if self
+            .best
+            .as_ref()
+            .is_none_or(|(best, _, _)| rendered < *best)
+        {
+            self.best = Some((rendered.clone(), rp.clone(), cp.clone()));
+        }
+        self.seen.insert(rendered, (rp, cp));
+    }
+
+    /// Explores the subtree below one refined state.
+    fn explore(&mut self, lab: &Labels) {
+        let Some((side, members)) = self.target_cell(lab) else {
+            self.leaf(lab);
+            return;
+        };
+        let mut explored: Vec<usize> = Vec::new();
+        for &v in &members {
+            if self.exhausted {
+                return;
+            }
+            if self.prunable(side, v, &explored) {
+                continue;
+            }
+            // The first member of a cell is a forced descent, not a branch:
+            // only genuine siblings consume budget, so `max_branches: 0`
+            // still canonizes anything refinement plus pruning settles
+            // (identical-line cells, already-discrete partitions).
+            if !explored.is_empty() {
+                if self.budget == 0 {
+                    self.exhausted = true;
+                    return;
+                }
+                self.budget -= 1;
+            }
+            let mut child = lab.clone();
+            // A fresh label no cell-mate shares, identical across branches
+            // of this cell (it depends only on the shared cell label and
+            // depth), so permuted copies individualize consistently.
+            let salt = 0x1BD1_1BDA_A9FC_1A22 ^ self.prefix.len() as u64;
+            match side {
+                Side::Row => child.rows[v] = combine(child.rows[v], salt),
+                Side::Col => child.cols[v] = combine(child.cols[v], salt),
+            }
+            refine_to_stable(self.m, self.mt, &mut child);
+            self.prefix.push((side, v));
+            self.explore(&child);
+            self.prefix.pop();
+            explored.push(v);
+        }
+    }
+}
+
+/// Heuristic labeling used when the search budget runs out: order by label,
+/// settling label ties lexicographically by bit content under the other
+/// side's current order; alternate until stable. Fast and sound, but
+/// permuted copies of a symmetric matrix may settle differently.
+fn heuristic_perms(m: &BitMatrix, mt: &BitMatrix, lab: &Labels) -> (Vec<usize>, Vec<usize>) {
+    let mut row_perm: Vec<usize> = (0..m.nrows()).collect();
+    let mut col_perm: Vec<usize> = (0..m.ncols()).collect();
+    row_perm.sort_by_key(|&i| lab.rows[i]);
+    col_perm.sort_by_key(|&j| lab.cols[j]);
+    for _ in 0..32 {
+        let mut next_rows = row_perm.clone();
+        next_rows.sort_by(|&a, &b| {
+            lab.rows[a]
+                .cmp(&lab.rows[b])
+                .then_with(|| cmp_rows(m, a, b, &col_perm))
+        });
+        let mut next_cols = col_perm.clone();
+        next_cols.sort_by(|&a, &b| {
+            lab.cols[a]
+                .cmp(&lab.cols[b])
+                .then_with(|| cmp_rows(mt, a, b, &next_rows))
+        });
+        let stable = next_rows == row_perm && next_cols == col_perm;
+        row_perm = next_rows;
+        col_perm = next_cols;
+        if stable {
+            break;
+        }
+    }
+    (row_perm, col_perm)
+}
+
+/// Computes the canonical form of `m` with the default search budget
+/// ([`DEFAULT_CANON_BUDGET`] branches); see [`canonical_form_with`].
 ///
 /// # Examples
 ///
@@ -151,54 +524,45 @@ fn cmp_rows(m: &BitMatrix, a: usize, b: usize, cols: &[usize]) -> std::cmp::Orde
 /// let a: BitMatrix = "110\n001".parse()?;
 /// let b: BitMatrix = "100\n011".parse()?; // a with columns rotated
 /// assert_eq!(canonical_form(&a).key(), canonical_form(&b).key());
+/// assert!(canonical_form(&a).is_complete());
 /// # Ok::<(), bitmatrix::ParseMatrixError>(())
 /// ```
 pub fn canonical_form(m: &BitMatrix) -> CanonicalForm {
+    canonical_form_with(m, &CanonOptions::default())
+}
+
+/// Computes the canonical form of `m` under explicit [`CanonOptions`].
+///
+/// Refinement costs `O(r · E log E)` over the `E` one-cells; matrices whose
+/// refinement is already discrete (the common case for irregular patterns)
+/// never branch. Symmetric inputs additionally explore up to
+/// `max_branches` individualization branches before falling back to the
+/// heuristic labeling (see the module docs and [`Completeness`]).
+pub fn canonical_form_with(m: &BitMatrix, opts: &CanonOptions) -> CanonicalForm {
     let (nr, nc) = m.shape();
     let mt = m.transpose();
-    let mut row_lab: Vec<u64> = (0..nr).map(|i| mix(m.row(i).count_ones() as u64)).collect();
-    let mut col_lab: Vec<u64> = (0..nc)
-        .map(|j| mix(!(mt.row(j).count_ones() as u64)))
-        .collect();
+    let mut lab = initial_labels(m, &mt);
+    refine_to_stable(m, &mt, &mut lab);
 
-    // Refine until the class partition stops splitting (or a small cap; the
-    // diameter of the bipartite graph bounds the useful rounds).
-    let mut classes = (class_count(&row_lab), class_count(&col_lab));
-    for _ in 0..(nr + nc).max(2).ilog2() + 2 {
-        refine_once(m, &mt, &mut row_lab, &mut col_lab);
-        let next = (class_count(&row_lab), class_count(&col_lab));
-        if next == classes {
-            break;
-        }
-        classes = next;
-    }
+    let mut search = Search {
+        m,
+        mt: &mt,
+        budget: opts.max_branches,
+        exhausted: false,
+        prefix: Vec::new(),
+        seen: HashMap::new(),
+        generators: Vec::new(),
+        best: None,
+    };
+    search.explore(&lab);
 
-    // Order by label, settling label ties lexicographically by bit content
-    // under the other side's current order; alternate until stable.
-    let mut row_perm: Vec<usize> = (0..nr).collect();
-    let mut col_perm: Vec<usize> = (0..nc).collect();
-    row_perm.sort_by_key(|&i| row_lab[i]);
-    col_perm.sort_by_key(|&j| col_lab[j]);
-    for _ in 0..32 {
-        let mut next_rows = row_perm.clone();
-        next_rows.sort_by(|&a, &b| {
-            row_lab[a]
-                .cmp(&row_lab[b])
-                .then_with(|| cmp_rows(m, a, b, &col_perm))
-        });
-        let mut next_cols = col_perm.clone();
-        next_cols.sort_by(|&a, &b| {
-            col_lab[a]
-                .cmp(&col_lab[b])
-                .then_with(|| cmp_rows(&mt, a, b, &next_rows))
-        });
-        let stable = next_rows == row_perm && next_cols == col_perm;
-        row_perm = next_rows;
-        col_perm = next_cols;
-        if stable {
-            break;
-        }
-    }
+    let (row_perm, col_perm, completeness) = if search.exhausted {
+        let (rp, cp) = heuristic_perms(m, &mt, &lab);
+        (rp, cp, Completeness::Heuristic)
+    } else {
+        let (_, rp, cp) = search.best.expect("finished search visits >= 1 leaf");
+        (rp, cp, Completeness::Complete)
+    };
 
     let matrix = m.submatrix(&row_perm, &col_perm);
     let key = format!("{nr}x{nc}:{matrix}");
@@ -206,6 +570,7 @@ pub fn canonical_form(m: &BitMatrix) -> CanonicalForm {
         matrix,
         row_perm,
         col_perm,
+        completeness,
         key,
     }
 }
@@ -223,11 +588,15 @@ mod tests {
         m.submatrix(&rp, &cp)
     }
 
+    fn fig1b() -> BitMatrix {
+        "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap()
+    }
+
     #[test]
     fn canonical_matrix_is_a_permutation_of_input() {
-        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
-            .parse()
-            .unwrap();
+        let m = fig1b();
         let c = canonical_form(&m);
         assert_eq!(c.matrix, m.submatrix(&c.row_perm, &c.col_perm));
         assert_eq!(c.matrix.count_ones(), m.count_ones());
@@ -238,15 +607,55 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for trial in 0..20 {
             let m = bitmatrix::random_matrix(8, 10, 0.45, &mut rng);
-            let base = canonical_form(&m).key().to_string();
+            let base = canonical_form(&m);
+            assert!(base.is_complete());
             for seed in 0..5 {
                 let p = permuted(&m, seed * 31 + trial);
                 assert_eq!(
                     canonical_form(&p).key(),
-                    base,
+                    base.key(),
                     "trial {trial} seed {seed}\n{m}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn biregular_duplicates_share_a_key() {
+        // Fig. 1b is 3-regular on both sides: refinement alone never splits
+        // it, so only the complete search can canonize it consistently.
+        let m = fig1b();
+        let base = canonical_form(&m);
+        assert_eq!(base.completeness(), Completeness::Complete);
+        for seed in 0..16 {
+            let p = permuted(&m, 1000 + seed);
+            let c = canonical_form(&p);
+            assert!(c.is_complete());
+            assert_eq!(c.key(), base.key(), "seed {seed}\n{p}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_falls_back_to_heuristic_on_symmetric_input() {
+        let opts = CanonOptions { max_branches: 0 };
+        let c = canonical_form_with(&fig1b(), &opts);
+        assert_eq!(c.completeness(), Completeness::Heuristic);
+        assert_eq!(c.completeness().as_str(), "heuristic");
+        // Irregular matrices refine to a discrete partition without any
+        // branching, so they stay complete even at budget 0.
+        let irregular: BitMatrix = "110\n001".parse().unwrap();
+        assert!(canonical_form_with(&irregular, &opts).is_complete());
+    }
+
+    #[test]
+    fn degenerate_uniform_matrices_canonize_completely() {
+        // All-equal lines are pruned by the identical-content rule, so even
+        // the fully symmetric extremes stay within budget.
+        for m in [BitMatrix::ones(9, 7), BitMatrix::zeros(6, 8)] {
+            let base = canonical_form(&m);
+            assert!(base.is_complete(), "{m}");
+            let c = canonical_form(&permuted(&m, 5));
+            assert_eq!(c.key(), base.key());
         }
     }
 

@@ -10,7 +10,7 @@ use bitmatrix::BitMatrix;
 use ebmf::Partition;
 
 use crate::cache::{CacheDecision, CacheStats, CanonicalCache};
-use crate::canon::{canonical_form, CanonicalForm};
+use crate::canon::{canonical_form_with, CanonOptions, CanonicalForm};
 use crate::portfolio::{race_strategies, PortfolioConfig, PortfolioOutcome, Provenance};
 use crate::protocol::{JobRequest, JobResponse};
 use crate::strategy::{AdaptiveScheduler, SessionStore, SolveJob, Strategy};
@@ -34,6 +34,9 @@ pub struct EngineConfig {
     /// Let the scheduler prune strategies that never win in a job's
     /// (shape, occupancy) bucket. Off = always race everything.
     pub adaptive: bool,
+    /// Canonizer search budget: individualization branches before the
+    /// complete labeling falls back to the heuristic one (`--canon-budget`).
+    pub canon: CanonOptions,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +48,7 @@ impl Default for EngineConfig {
             cache_shards: crate::cache::DEFAULT_SHARDS,
             warm_sessions: 128,
             adaptive: true,
+            canon: CanonOptions::default(),
         }
     }
 }
@@ -213,7 +217,7 @@ impl Engine {
     /// the cache and every waiter.
     pub fn solve_with(&self, m: &BitMatrix, portfolio: &PortfolioConfig) -> EngineOutcome {
         let start = Instant::now();
-        let canon = canonical_form(m);
+        let canon = canonical_form_with(m, &self.config.canon);
         match self.cache.begin(&canon) {
             CacheDecision::Hit { outcome, waited: _ } => {
                 if outcome.proved_optimal {

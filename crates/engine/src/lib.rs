@@ -7,9 +7,12 @@
 //! relabeling. This crate is the layer between the solvers and the CLI that
 //! makes such workloads cheap:
 //!
-//! * [`canonical_form`] — a canonical labeling of the row/column permutation
-//!   class of a [`BitMatrix`](bitmatrix::BitMatrix), via bipartite signature
-//!   refinement;
+//! * [`canonical_form`] — a **complete** canonical labeling of the
+//!   row/column permutation class of a
+//!   [`BitMatrix`](bitmatrix::BitMatrix): bipartite signature refinement
+//!   plus individualization-refinement search with automorphism pruning,
+//!   exact even on the biregular patterns refinement alone cannot split
+//!   (budgeted via [`CanonOptions`], tagged by [`Completeness`]);
 //! * [`CanonicalCache`] — memoizes solved partitions keyed by canonical
 //!   form, mapping hits back through the query's own permutations, so a
 //!   pattern repeated across circuit layers is solved once. The map is
@@ -57,7 +60,10 @@ pub mod protocol;
 mod strategy;
 
 pub use cache::{CacheDecision, CacheStats, CachedOutcome, CanonicalCache, FlightGuard};
-pub use canon::{canonical_form, CanonicalForm};
+pub use canon::{
+    canonical_form, canonical_form_with, CanonOptions, CanonicalForm, Completeness,
+    DEFAULT_CANON_BUDGET,
+};
 pub use engine::{BatchSummary, Engine, EngineConfig, EngineOutcome};
 pub use portfolio::{
     build_strategies, build_strategies_with, portfolio_solve, race_strategies, PortfolioConfig,

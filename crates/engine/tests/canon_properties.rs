@@ -1,0 +1,174 @@
+//! Property tests for the complete canonizer on matrices up to 16×16:
+//! permutation invariance of the key, the documented meaning of
+//! `row_perm`/`col_perm`, and partition mapping round-trips — over random
+//! matrices plus the constructed biregular and block-symmetric families
+//! that defeat refinement-only canonization.
+
+use bitmatrix::BitMatrix;
+use ebmf::{Partition, Rectangle};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rect_addr_engine::{canonical_form, CanonicalForm};
+
+fn random_permuted(m: &BitMatrix, rng: &mut StdRng) -> BitMatrix {
+    let rp = bitmatrix::random_permutation(m.nrows(), rng);
+    let cp = bitmatrix::random_permutation(m.ncols(), rng);
+    m.submatrix(&rp, &cp)
+}
+
+/// A circulant: row `r` has ones at columns `(r + o) mod n` — every degree
+/// ties, so refinement alone cannot split anything.
+fn circulant(n: usize, offsets: &[usize]) -> BitMatrix {
+    BitMatrix::from_fn(n, n, |r, c| offsets.iter().any(|&o| (r + o) % n == c))
+}
+
+/// `[[A, B], [B, A]]` — block-symmetric: swapping the halves of both sides
+/// is an automorphism, so row/column pairs tie under refinement.
+fn block_symmetric(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+    let k = a.nrows();
+    let n = a.ncols();
+    BitMatrix::from_fn(2 * k, 2 * n, |i, j| {
+        let (bi, bj) = (i >= k, j >= n);
+        let (ii, jj) = (i % k, j % n);
+        if bi == bj {
+            a.get(ii, jj)
+        } else {
+            b.get(ii, jj)
+        }
+    })
+}
+
+/// The doc-comment contract of `CanonicalForm`:
+/// `matrix[i][j] == original[row_perm[i]][col_perm[j]]`.
+fn assert_perms_map_original_to_canonical(m: &BitMatrix, c: &CanonicalForm) -> TestCaseResult {
+    prop_assert_eq!(c.matrix.shape(), m.shape());
+    for i in 0..m.nrows() {
+        for j in 0..m.ncols() {
+            prop_assert_eq!(
+                c.matrix.get(i, j),
+                m.get(c.row_perm[i], c.col_perm[j]),
+                "canonical ({}, {}) must read original ({}, {})",
+                i,
+                j,
+                c.row_perm[i],
+                c.col_perm[j]
+            );
+        }
+    }
+    Ok(())
+}
+
+/// A partition-shaped bag of random rectangles (not required to be a valid
+/// EBMF — the mapping functions are pure coordinate relabelings).
+fn random_partition(nr: usize, nc: usize, rng: &mut StdRng) -> Partition {
+    let rects = (0..rng.gen_range(1..=4))
+        .map(|_| {
+            Rectangle::new(
+                bitmatrix::random_vec(nr, 0.4, rng),
+                bitmatrix::random_vec(nc, 0.4, rng),
+            )
+        })
+        .collect();
+    Partition::from_rectangles(nr, nc, rects)
+}
+
+proptest! {
+    #[test]
+    fn random_matrices_canonize_permutation_invariantly(
+        nr in 1usize..=16,
+        nc in 1usize..=16,
+        occ_pct in 5u32..=95,
+        seed in 0u64..1 << 48,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = bitmatrix::random_matrix(nr, nc, f64::from(occ_pct) / 100.0, &mut rng);
+        let base = canonical_form(&m);
+        assert_perms_map_original_to_canonical(&m, &base)?;
+        for _ in 0..4 {
+            let dup = random_permuted(&m, &mut rng);
+            let c = canonical_form(&dup);
+            assert_perms_map_original_to_canonical(&dup, &c)?;
+            // Complete forms of one class must agree exactly; random
+            // matrices essentially always canonize completely, but a
+            // pathological draw may exhaust the budget on one side only —
+            // then no equality is promised (only soundness).
+            if base.is_complete() && c.is_complete() {
+                prop_assert_eq!(c.key(), base.key(), "\n{}", m);
+            }
+        }
+    }
+
+    #[test]
+    fn biregular_circulants_canonize_completely_and_invariantly(
+        n in 6usize..=16,
+        offsets in proptest::collection::btree_set(0usize..16, 2..=4usize),
+        seed in 0u64..1 << 48,
+    ) {
+        let offsets: Vec<usize> = offsets.into_iter().map(|o| o % n).collect();
+        let m = circulant(n, &offsets);
+        let base = canonical_form(&m);
+        prop_assert!(base.is_complete(), "circulant must stay within budget\n{}", m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let dup = random_permuted(&m, &mut rng);
+            let c = canonical_form(&dup);
+            prop_assert!(c.is_complete());
+            prop_assert_eq!(c.key(), base.key(), "n {} offsets {:?}\n{}", n, &offsets, m);
+        }
+    }
+
+    #[test]
+    fn block_symmetric_matrices_canonize_completely_and_invariantly(
+        k in 2usize..=8,
+        seed in 0u64..1 << 48,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = bitmatrix::random_matrix(k, k, 0.5, &mut rng);
+        let b = bitmatrix::random_matrix(k, k, 0.5, &mut rng);
+        let m = block_symmetric(&a, &b);
+        let base = canonical_form(&m);
+        prop_assert!(base.is_complete(), "block-symmetric must stay within budget\n{}", m);
+        for _ in 0..4 {
+            let dup = random_permuted(&m, &mut rng);
+            let c = canonical_form(&dup);
+            prop_assert!(c.is_complete());
+            prop_assert_eq!(c.key(), base.key(), "\n{}", m);
+        }
+    }
+
+    #[test]
+    fn partition_mappings_invert_each_other(
+        nr in 1usize..=16,
+        nc in 1usize..=16,
+        seed in 0u64..1 << 48,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = bitmatrix::random_matrix(nr, nc, 0.5, &mut rng);
+        let c = canonical_form(&m);
+        for _ in 0..4 {
+            let p = random_partition(nr, nc, &mut rng);
+            let there_and_back = c.partition_to_original(&c.partition_to_canonical(&p));
+            prop_assert_eq!(&there_and_back, &p, "to_canonical then to_original");
+            let back_and_there = c.partition_to_canonical(&c.partition_to_original(&p));
+            prop_assert_eq!(&back_and_there, &p, "to_original then to_canonical");
+        }
+    }
+
+    #[test]
+    fn solved_partitions_stay_valid_through_canonical_coordinates(
+        nr in 2usize..=12,
+        nc in 2usize..=12,
+        seed in 0u64..1 << 48,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = bitmatrix::random_matrix(nr, nc, 0.45, &mut rng);
+        let c = canonical_form(&m);
+        let p = ebmf::row_packing(&m, &ebmf::PackingConfig::with_trials(4));
+        prop_assert!(p.validate(&m).is_ok());
+        let canon_p = c.partition_to_canonical(&p);
+        prop_assert!(canon_p.validate(&c.matrix).is_ok(), "canonical image invalid\n{}", m);
+        let back = c.partition_to_original(&canon_p);
+        prop_assert_eq!(&back, &p, "round-trip must reproduce the partition");
+    }
+}
