@@ -2,8 +2,8 @@
 //!
 //! Phase 1 streams a synthetic circuit-layer workload — distinct random
 //! patterns plus row/column-permuted duplicates, the redundancy profile the
-//! canonical-form cache targets — through `Engine::run_batch`, once against
-//! a cold cache and once replaying the same stream warm.
+//! canonical-form cache targets — through the `Service` connection loop,
+//! once against a cold cache and once replaying the same stream warm.
 //!
 //! Phase 2 measures the **warm-start SAP descent**: a sequence of
 //! cache-adjacent jobs (permuted duplicates of one SAT-hard rank-gap
@@ -18,7 +18,13 @@
 //! (the paper's Fig. 1b plus constructed biregular families), where
 //! signature refinement alone cannot split anything and the heuristic
 //! settling misses. Individualization-refinement recognizes every permuted
-//! copy. Emits `BENCH_engine.json` in the working directory.
+//! copy.
+//!
+//! Phase 4 measures the **socket front-end**: the phase-1 stream replayed
+//! over a real TCP connection against `serve_socket` (protocol v2
+//! handshake included), so the wire/transport overhead of the serving
+//! stack lands in the trajectory next to the in-process numbers. Emits
+//! `BENCH_engine.json` in the working directory.
 //!
 //! Usage: `engine_bench [jobs] [distinct] [size] [workers] [--check]`
 //! (defaults: 400 jobs, 50 distinct 10×10 patterns, CPU workers).
@@ -26,14 +32,16 @@
 //! complete canonizer falls below 90% — the CI regression gate.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bitmatrix::BitMatrix;
 use ebmf::gen::{gap_benchmark, random_benchmark};
-use engine::protocol::{JobRequest, JobResponse};
+use engine::protocol::{JobRequest, JobResponse, SummaryFrame};
 use engine::{Engine, EngineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serve::{pump, serve_connection, serve_socket, BindAddr, Service, ServiceConfig};
 
 struct RunMetrics {
     wall_seconds: f64,
@@ -61,24 +69,19 @@ fn build_stream(jobs: usize, distinct: usize, size: usize) -> String {
             let cp = bitmatrix::random_permutation(base.ncols(), &mut rng);
             base.submatrix(&rp, &cp)
         };
-        let req = JobRequest {
-            id: format!("job-{i:04}"),
-            matrix,
-            budget_ms: Some(10_000),
-            conflicts: None,
-        };
+        let req = JobRequest::new(format!("job-{i:04}"), matrix).with_budget_ms(10_000);
         out.push_str(&req.to_json_line());
         out.push('\n');
     }
     out
 }
 
-fn run_stream(engine: &Engine, stream: &str, jobs: usize) -> RunMetrics {
+fn run_stream(service: &Service, stream: &str, jobs: usize) -> RunMetrics {
+    let engine = service.engine();
     let before = engine.cache_stats();
     let start = Instant::now();
     let mut raw = Vec::new();
-    let summary = engine
-        .run_batch(stream.as_bytes(), &mut raw)
+    let summary = serve_connection(service, stream.as_bytes(), &mut raw)
         .expect("in-memory batch cannot fail on I/O");
     let wall = start.elapsed().as_secs_f64();
     assert_eq!(summary.solved, jobs, "every job must solve");
@@ -86,6 +89,7 @@ fn run_stream(engine: &Engine, stream: &str, jobs: usize) -> RunMetrics {
     let responses: Vec<JobResponse> = String::from_utf8(raw)
         .expect("responses are UTF-8")
         .lines()
+        .filter(|l| !SummaryFrame::is_summary_line(l))
         .map(|l| JobResponse::parse_line(l).expect("well-formed response"))
         .collect();
     let after = engine.cache_stats();
@@ -143,12 +147,9 @@ fn warm_start_arm(engine: &Engine, rounds: usize, conflict_budget: u64) -> WarmS
     let mut total_conflicts = 0u64;
     let mut proved_after_jobs = 0usize;
     for round in 0..rounds {
-        let req = JobRequest {
-            id: format!("warm-{round:02}"),
-            matrix: base.clone(),
-            budget_ms: Some(60_000),
-            conflicts: Some(conflict_budget),
-        };
+        let req = JobRequest::new(format!("warm-{round:02}"), base.clone())
+            .with_budget_ms(60_000)
+            .with_conflicts(conflict_budget);
         let resp = engine.solve_job(&req);
         assert!(resp.ok, "warm-start job must solve");
         total_conflicts += resp.conflicts;
@@ -224,22 +225,24 @@ struct CanonArm {
 /// labeling scatters each class across several entries. SAT and DLX are off
 /// — the phase measures canonization, not solving.
 fn canon_arm(stream: &str, jobs: usize, max_branches: usize) -> CanonArm {
-    let engine = Engine::new(EngineConfig {
-        portfolio: engine::PortfolioConfig {
-            sap: false,
-            exact_cover: false,
-            packing_trials: 16,
-            ..engine::PortfolioConfig::default()
+    let service = Service::with_engine_config(
+        EngineConfig {
+            portfolio: engine::PortfolioConfig {
+                sap: false,
+                exact_cover: false,
+                packing_trials: 16,
+                ..engine::PortfolioConfig::default()
+            },
+            canon: engine::CanonOptions { max_branches },
+            ..EngineConfig::default()
         },
-        canon: engine::CanonOptions { max_branches },
-        ..EngineConfig::default()
-    });
+        ServiceConfig::default(),
+    );
     let mut raw = Vec::new();
-    let summary = engine
-        .run_batch(stream.as_bytes(), &mut raw)
+    let summary = serve_connection(&service, stream.as_bytes(), &mut raw)
         .expect("in-memory batch cannot fail on I/O");
     assert_eq!(summary.solved, jobs, "every canon job must solve");
-    let stats = engine.cache_stats();
+    let stats = service.engine().cache_stats();
     CanonArm {
         hits: stats.hits,
         misses: stats.misses,
@@ -265,12 +268,7 @@ fn canon_workload(copies: usize) -> (usize, CanonArm, CanonArm) {
                 let cp = bitmatrix::random_permutation(base.ncols(), &mut rng);
                 base.submatrix(&rp, &cp)
             };
-            let req = JobRequest {
-                id: format!("canon-{b}-{c:02}"),
-                matrix,
-                budget_ms: Some(2_000),
-                conflicts: None,
-            };
+            let req = JobRequest::new(format!("canon-{b}-{c:02}"), matrix).with_budget_ms(2_000);
             stream.push_str(&req.to_json_line());
             stream.push('\n');
             jobs += 1;
@@ -297,6 +295,55 @@ fn emit_canon_arm(out: &mut String, label: &str, a: &CanonArm, last: bool) {
     );
 }
 
+/// Results of the socket phase: the phase-1 stream over a real TCP
+/// connection (v2 handshake included).
+struct SocketMetrics {
+    wall_seconds: f64,
+    jobs_per_second: f64,
+    hit_rate: f64,
+}
+
+fn socket_phase(stream: &str, jobs: usize, workers: usize) -> SocketMetrics {
+    let service = Arc::new(Service::with_engine_config(
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+        ServiceConfig {
+            // pump() floods the whole stream at once over a v2 connection
+            // (non-blocking submits): size the queue to the job count so
+            // the bench measures throughput, not busy-bounces.
+            queue_depth: jobs.max(serve::DEFAULT_QUEUE_DEPTH),
+            workers: 0,
+        },
+    ));
+    let engine = service.engine().clone();
+    let mut server = serve_socket(service, &BindAddr::parse("127.0.0.1:0")).expect("bind loopback");
+
+    // Handshake first, then the identical job stream over the wire.
+    let mut input = String::from("{\"hello\": 2}\n");
+    input.push_str(stream);
+    let start = Instant::now();
+    let mut raw = Vec::new();
+    pump(server.local_addr(), input.as_bytes(), &mut raw).expect("socket pump");
+    let wall = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let text = String::from_utf8(raw).expect("responses are UTF-8");
+    let summary = text
+        .lines()
+        .find(|l| SummaryFrame::is_summary_line(l))
+        .map(|l| SummaryFrame::parse_line(l).expect("well-formed summary"))
+        .expect("summary frame present");
+    assert_eq!(summary.solved as usize, jobs, "every socket job must solve");
+    let stats = engine.cache_stats();
+    SocketMetrics {
+        wall_seconds: wall,
+        jobs_per_second: jobs as f64 / wall,
+        hit_rate: stats.hit_rate(),
+    }
+}
+
 fn main() {
     let (flags, positional): (Vec<String>, Vec<String>) =
         std::env::args().skip(1).partition(|a| a.starts_with("--"));
@@ -313,20 +360,23 @@ fn main() {
     let workers = arg(3, 0);
 
     let stream = build_stream(jobs, distinct, size);
-    let engine = Engine::new(EngineConfig {
-        workers,
-        ..EngineConfig::default()
-    });
+    let service = Service::with_engine_config(
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+        ServiceConfig::default(),
+    );
 
     eprintln!("engine_bench: {jobs} jobs, {distinct} distinct {size}x{size} patterns");
-    let cold = run_stream(&engine, &stream, jobs);
+    let cold = run_stream(&service, &stream, jobs);
     eprintln!(
         "cold: {:.0} jobs/s, hit rate {:.1}%",
         cold.jobs_per_second,
         cold.hit_rate * 100.0
     );
     // Same stream again: every job is now a canonical-cache hit.
-    let warm = run_stream(&engine, &stream, jobs);
+    let warm = run_stream(&service, &stream, jobs);
     eprintln!(
         "warm: {:.0} jobs/s, hit rate {:.1}%",
         warm.jobs_per_second,
@@ -370,6 +420,14 @@ fn main() {
         canon_heuristic.entries,
     );
 
+    // Phase 4: the same cold stream through the TCP socket front-end.
+    let socket = socket_phase(&stream, jobs, workers);
+    eprintln!(
+        "socket: {:.0} jobs/s over TCP (hit rate {:.1}%)",
+        socket.jobs_per_second,
+        socket.hit_rate * 100.0
+    );
+
     let mut json = String::from("{\n");
     let _ = write!(
         json,
@@ -383,7 +441,13 @@ fn main() {
     let _ = write!(json, "  \"canon\": {{\n    \"jobs\": {canon_jobs},\n");
     emit_canon_arm(&mut json, "complete", &canon_complete, false);
     emit_canon_arm(&mut json, "heuristic", &canon_heuristic, true);
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    let _ = write!(
+        json,
+        "  \"socket\": {{\n    \"jobs\": {jobs},\n    \"wall_seconds\": {:.4},\n    \
+         \"jobs_per_second\": {:.1},\n    \"hit_rate\": {:.4}\n  }}\n}}\n",
+        socket.wall_seconds, socket.jobs_per_second, socket.hit_rate,
+    );
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("{json}");
 

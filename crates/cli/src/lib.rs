@@ -15,11 +15,17 @@
 //! * `gen <family>` — emit a benchmark instance (`rand`/`opt`/`gap`);
 //! * `sat <file.cnf>` — run the built-in CDCL solver on DIMACS input;
 //! * `batch <file>` — solve a JSON-lines job stream concurrently through the
-//!   engine (portfolio racing + canonical-form cache);
-//! * `serve` — the same loop reading jobs from stdin until EOF.
+//!   serving stack (portfolio racing + canonical-form cache);
+//! * `serve` — the same loop reading jobs from stdin until EOF, or, with
+//!   `--listen <addr|path>`, a Unix-domain/TCP socket server multiplexing
+//!   many concurrent clients onto one shared engine;
+//! * `client <addr|path>` — connect to a `serve --listen` server and pump
+//!   stdin job lines through it (send a `{"hello": 2}` first line to use
+//!   protocol v2).
 //!
 //! `--version` / `-V` prints the version. Matrices are read as lines of
 //! `0`/`1` characters (the `bitmatrix` parsing format); `-` means stdin.
+//! See `PROTOCOL.md` for the v1/v2 wire framing.
 
 use std::fmt::Write as _;
 
@@ -28,9 +34,10 @@ use ebmf::gen::{gap_benchmark, known_optimal_benchmark, random_benchmark};
 use ebmf::{
     complete_ebmf, lower_bound, row_packing, sap, validate_completion, PackingConfig, SapConfig,
 };
-use engine::{Engine, EngineConfig};
+use engine::EngineConfig;
 use linalg::max_fooling_set;
 use qaddress::{AddressingSchedule, Pulse, QubitArray};
+use serve::{serve_connection, Service, ServiceConfig};
 
 /// Exit status plus rendered stdout of one CLI invocation.
 #[derive(Debug, PartialEq, Eq)]
@@ -71,16 +78,21 @@ USAGE:
   rect-addr sat      <file.cnf|->               run the CDCL solver on DIMACS
   rect-addr batch    <jobs.jsonl|-> [opts]      solve a JSON-lines job stream
   rect-addr serve    [opts]                     batch mode reading stdin until EOF
+  rect-addr serve    --listen <addr|path> [opts]  socket server (unix path or host:port)
+  rect-addr client   <addr|path>                pump stdin jobs through a socket server
   rect-addr help | --version
 
 Batch/serve options: --workers N, --budget-ms T, --conflicts C, --trials K,
 --no-sat, --shards N (cache shards), --warm-sessions N (0 = cold SAP),
 --no-adaptive (always race every strategy), --canon-budget B (canonizer
 search branches before falling back to the heuristic labeling; 0 = no
-search). One job per line: {\"id\": \"l0\",
+search), --queue-depth N (submission queue bound; a full queue answers
+busy to protocol-v2 clients). One job per line: {\"id\": \"l0\",
 \"matrix\": [\"101\", \"010\"], \"budget_ms\": 500}; responses stream back in
 completion order with provenance, cache-hit flag, SAT conflict count and
-the rectangle partition.
+the rectangle partition. A {\"hello\": 2} first line negotiates protocol
+v2 (priority/deadline jobs, cancel, busy backpressure, stats) — see
+PROTOCOL.md.
 
 Matrix files contain one row of 0/1 digits per line; '-' reads stdin.";
 
@@ -116,6 +128,7 @@ pub fn run(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
         Some("sat") => cmd_sat(args, stdin),
         Some("batch") => cmd_batch(args, stdin),
         Some("serve") => cmd_serve(args, stdin),
+        Some("client") => cmd_client(args, stdin),
         Some("help") | Some("--help") | Some("-h") => CliOutput::ok(format!("{USAGE}\n")),
         Some("--version") | Some("-V") => {
             CliOutput::ok(format!("rect-addr {}\n", env!("CARGO_PKG_VERSION")))
@@ -378,49 +391,60 @@ enum BatchInput<'a> {
     File(&'a str),
 }
 
-/// Shared core of all batch/serve entry points: build the engine from
-/// flags, stream `input` through it into `output`, append the summary
-/// trailer line.
-fn run_engine_batch<W: std::io::Write>(
+/// Builds the [`Service`] (engine + bounded queue) from batch/serve flags.
+fn build_service(rest: &[String]) -> Result<Service, String> {
+    let engine = engine_config(rest)?;
+    let queue_depth = parse_flag(rest, "--queue-depth", serve::DEFAULT_QUEUE_DEPTH)?.max(1);
+    Ok(Service::with_engine_config(
+        engine,
+        ServiceConfig {
+            queue_depth,
+            workers: 0, // follow the engine's worker setting
+        },
+    ))
+}
+
+/// Shared core of all batch/serve entry points: build the service from
+/// flags and drive one protocol connection over `input`/`output` (the
+/// connection emits the summary trailer itself on drain).
+fn run_service_batch<W: std::io::Write>(
     input: BatchInput<'_>,
     rest: &[String],
     output: &mut W,
 ) -> Result<(), String> {
-    let engine = Engine::new(engine_config(rest)?);
-    let summary = match input {
-        BatchInput::Text(text) => engine.run_batch(text.as_bytes(), output),
-        BatchInput::Stdin => engine.run_batch(std::io::BufReader::new(std::io::stdin()), output),
+    let service = build_service(rest)?;
+    match input {
+        BatchInput::Text(text) => serve_connection(&service, text.as_bytes(), output),
+        BatchInput::Stdin => {
+            serve_connection(&service, std::io::BufReader::new(std::io::stdin()), output)
+        }
         BatchInput::File(path) => {
             let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
-            engine.run_batch(std::io::BufReader::new(file), output)
+            serve_connection(&service, std::io::BufReader::new(file), output)
         }
     }
     .map_err(|e| format!("batch I/O: {e}"))?;
-    let stats = engine.cache_stats();
-    writeln!(
-        output,
-        "{{\"summary\": true, \"solved\": {}, \"failed\": {}, \"cache_hits\": {}, \
-         \"cache_entries\": {}, \"cache_evictions\": {}, \"flight_waits\": {}, \
-         \"warm_sessions\": {}, \"canon_complete\": {}, \"canon_heuristic\": {}}}",
-        summary.solved,
-        summary.failed,
-        stats.hits,
-        stats.entries,
-        stats.evictions,
-        stats.flight_waits,
-        engine.warm_sessions(),
-        stats.canon_complete,
-        stats.canon_heuristic,
-    )
-    .and_then(|()| output.flush())
-    .map_err(|e| format!("batch I/O: {e}"))
+    Ok(())
 }
 
-/// Collect-mode wrapper around [`run_engine_batch`] for the [`run`] harness.
+/// The socket server behind `serve --listen`: binds, prints the bound
+/// address to stderr, and blocks serving connections until killed.
+fn run_serve_listen(addr: &str, rest: &[String]) -> Result<(), String> {
+    let service = std::sync::Arc::new(build_service(rest)?);
+    let addr = serve::BindAddr::parse(addr);
+    let mut server =
+        serve::serve_socket(service, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    eprintln!("rect-addr: listening on {}", server.local_addr());
+    server
+        .join()
+        .map_err(|e| format!("accept loop failed: {e}"))
+}
+
+/// Collect-mode wrapper around [`run_service_batch`] for the [`run`] harness.
 fn cmd_batch_collected(path: &str, rest: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
     let result = read_input(path, stdin).and_then(|text| {
         let mut out = Vec::new();
-        run_engine_batch(BatchInput::Text(text), rest, &mut out)?;
+        run_service_batch(BatchInput::Text(text), rest, &mut out)?;
         Ok(String::from_utf8(out).expect("responses are UTF-8"))
     });
     match result {
@@ -436,22 +460,87 @@ fn cmd_batch(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
     cmd_batch_collected(path, &args[2..], stdin)
 }
 
-fn cmd_serve(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
-    cmd_batch_collected("-", &args[1..], stdin)
+/// The value following `--listen`, when present.
+fn listen_addr(rest: &[String]) -> Result<Option<&String>, String> {
+    match rest.iter().position(|a| a == "--listen") {
+        None => Ok(None),
+        Some(i) => rest
+            .get(i + 1)
+            .map(Some)
+            .ok_or_else(|| "--listen needs an address (host:port or socket path)".to_string()),
+    }
 }
 
-/// Streaming front-end for `batch` / `serve`, used by the binary: response
-/// lines reach `output` as jobs complete (a long-lived `serve` peer sees
-/// every answer immediately), rather than being collected like [`run`] does.
-/// Returns `None` when `args` is not a streaming subcommand, so the caller
-/// can fall back to [`run`].
+fn cmd_serve(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
+    match listen_addr(&args[1..]) {
+        // The socket server runs forever; it only makes sense from the
+        // streaming binary entry point, not the collecting test harness.
+        Ok(Some(_)) => {
+            CliOutput::err("serve --listen runs only as the binary's streaming mode".to_string())
+        }
+        Ok(None) => cmd_batch_collected("-", &args[1..], stdin),
+        Err(e) => CliOutput::err(e),
+    }
+}
+
+fn cmd_client(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
+    let Some(addr) = args.get(1) else {
+        return CliOutput::err(
+            "client needs a server address (host:port or socket path)".to_string(),
+        );
+    };
+    let result = read_input("-", stdin).and_then(|text| {
+        let mut out = Vec::new();
+        serve::pump(&serve::BindAddr::parse(addr), text.as_bytes(), &mut out)
+            .map_err(|e| format!("client: {e}"))?;
+        Ok(String::from_utf8(out).expect("responses are UTF-8"))
+    });
+    match result {
+        Ok(s) => CliOutput::ok(s),
+        Err(e) => CliOutput::err(e),
+    }
+}
+
+/// Streaming front-end for `batch` / `serve` / `client`, used by the
+/// binary: response lines reach `output` as jobs complete (a long-lived
+/// `serve` peer sees every answer immediately), rather than being
+/// collected like [`run`] does. Returns `None` when `args` is not a
+/// streaming subcommand, so the caller can fall back to [`run`].
 pub fn try_run_streaming<W: std::io::Write>(args: &[String], output: &mut W) -> Option<i32> {
+    let fail = |e: String| {
+        // stderr, not `output`: the output stream is the machine-parsed
+        // JSON-lines response channel and must never carry usage text.
+        eprintln!("error: {e}\n\n{USAGE}");
+        Some(2)
+    };
     let (path, rest) = match args.first().map(String::as_str) {
         Some("batch") => match args.get(1) {
             Some(p) => (p.as_str(), &args[2..]),
             None => return None, // run() reports the usage error
         },
-        Some("serve") => ("-", &args[1..]),
+        Some("serve") => {
+            let rest = &args[1..];
+            match listen_addr(rest) {
+                Ok(Some(addr)) => {
+                    return match run_serve_listen(addr, rest) {
+                        Ok(()) => Some(0),
+                        Err(e) => fail(e),
+                    }
+                }
+                Ok(None) => ("-", rest),
+                Err(e) => return fail(e),
+            }
+        }
+        Some("client") => {
+            let Some(addr) = args.get(1) else {
+                return None; // run() reports the usage error
+            };
+            let input = std::io::BufReader::new(std::io::stdin());
+            return match serve::pump(&serve::BindAddr::parse(addr), input, output) {
+                Ok(_) => Some(0),
+                Err(e) => fail(format!("client: {e}")),
+            };
+        }
         _ => return None,
     };
     let input = if path == "-" {
@@ -459,14 +548,9 @@ pub fn try_run_streaming<W: std::io::Write>(args: &[String], output: &mut W) -> 
     } else {
         BatchInput::File(path)
     };
-    match run_engine_batch(input, rest, output) {
+    match run_service_batch(input, rest, output) {
         Ok(()) => Some(0),
-        Err(e) => {
-            // stderr, not `output`: the output stream is the machine-parsed
-            // JSON-lines response channel and must never carry usage text.
-            eprintln!("error: {e}\n\n{USAGE}");
-            Some(2)
-        }
+        Err(e) => fail(e),
     }
 }
 
@@ -753,11 +837,67 @@ mod tests {
     }
 
     #[test]
-    fn streaming_entry_point_only_handles_batch_and_serve() {
+    fn streaming_entry_point_only_handles_streaming_subcommands() {
         let mut sink = Vec::new();
         let args: Vec<String> = vec!["rank".to_string(), "-".to_string()];
         assert!(try_run_streaming(&args, &mut sink).is_none());
         assert!(sink.is_empty());
+        // `client` without an address falls back to run()'s usage error.
+        let args: Vec<String> = vec!["client".to_string()];
+        assert!(try_run_streaming(&args, &mut sink).is_none());
+    }
+
+    #[test]
+    fn serve_listen_is_streaming_only_in_collect_mode() {
+        let out = run_str(&["serve", "--listen", "127.0.0.1:0"], "");
+        assert_eq!(out.code, 2);
+        assert!(out.stdout.contains("streaming"), "{}", out.stdout);
+        // A dangling --listen reports its own usage error.
+        let out = run_str(&["serve", "--listen"], "");
+        assert_eq!(out.code, 2);
+        assert!(out.stdout.contains("--listen needs"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn client_requires_an_address() {
+        let out = run_str(&["client"], "");
+        assert_eq!(out.code, 2);
+        assert!(out.stdout.contains("client needs"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn client_pumps_jobs_through_a_socket_server() {
+        let service = std::sync::Arc::new(Service::with_engine_config(
+            EngineConfig::default(),
+            ServiceConfig::default(),
+        ));
+        let mut server =
+            serve::serve_socket(service, &serve::BindAddr::parse("127.0.0.1:0")).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let jobs =
+            "{\"id\": \"x\", \"matrix\": \"10;01\"}\n{\"id\": \"y\", \"matrix\": \"01;10\"}\n";
+        let out = run_str(&["client", &addr], jobs);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("\"id\": \"x\""), "{}", out.stdout);
+        assert!(out.stdout.contains("\"id\": \"y\""), "{}", out.stdout);
+        let last = out.stdout.lines().last().unwrap();
+        assert!(last.starts_with("{\"summary\": true"), "{}", out.stdout);
+        assert!(last.contains("\"solved\": 2"), "{}", out.stdout);
+        server.shutdown();
+    }
+
+    #[test]
+    fn queue_depth_flag_bounds_the_service() {
+        let args: Vec<String> = ["--queue-depth", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let service = build_service(&args).unwrap();
+        assert_eq!(service.queue_depth(), 7);
+        let dflt = build_service(&[]).unwrap();
+        assert_eq!(dflt.queue_depth(), serve::DEFAULT_QUEUE_DEPTH);
+        assert!(build_service(&["--queue-depth".to_string(), "x".to_string()]).is_err());
     }
 
     #[test]

@@ -65,6 +65,9 @@ pub struct CacheStats {
     /// Lookups whose key came from the heuristic fallback (the search
     /// budget ran out; permuted duplicates may miss).
     pub canon_heuristic: u64,
+    /// Distinct heuristic-labeled keys tracked per key (bounded; see
+    /// [`CanonicalCache::hot_heuristic_keys`]).
+    pub canon_heuristic_keys: u64,
 }
 
 impl CacheStats {
@@ -259,7 +262,18 @@ pub struct CanonicalCache {
     flight_waits: AtomicU64,
     canon_complete: AtomicU64,
     canon_heuristic: AtomicU64,
+    /// Per-key lookup counts of heuristic-labeled keys — the canonizer-aware
+    /// admission signal: a hot heuristic key is a class the canonizer keeps
+    /// failing to label completely, worth re-canonizing at a larger budget.
+    /// Sharded like the entry maps (same key → same index) so
+    /// heuristic-heavy concurrent streams do not serialize on one lock;
+    /// bounded to [`HEURISTIC_KEY_CAP`] total distinct keys to cap memory.
+    heuristic_keys: Box<[Mutex<HashMap<String, u64>>]>,
 }
+
+/// Bound on distinct heuristic keys tracked per cache (memory cap; lookups
+/// beyond it still count in `canon_heuristic`, just not per key).
+pub const HEURISTIC_KEY_CAP: usize = 4096;
 
 /// Default shard count of [`CanonicalCache::new`].
 pub const DEFAULT_SHARDS: usize = 16;
@@ -285,16 +299,55 @@ impl CanonicalCache {
             flight_waits: AtomicU64::new(0),
             canon_complete: AtomicU64::new(0),
             canon_heuristic: AtomicU64::new(0),
+            heuristic_keys: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
 
-    /// Tallies which canonization path produced a lookup's key.
+    /// Per-shard bound on tracked heuristic keys, splitting
+    /// [`HEURISTIC_KEY_CAP`] evenly.
+    fn heuristic_cap_per_shard(&self) -> usize {
+        HEURISTIC_KEY_CAP.div_ceil(self.heuristic_keys.len()).max(1)
+    }
+
+    /// Tallies which canonization path produced a lookup's key; heuristic
+    /// keys are additionally counted per key (up to [`HEURISTIC_KEY_CAP`]
+    /// distinct keys) so the hottest ones can be reported. The per-key
+    /// counters live in the lookup key's own shard, off every other
+    /// shard's path.
     fn note_canon(&self, canon: &CanonicalForm) {
-        let counter = match canon.completeness() {
-            crate::canon::Completeness::Complete => &self.canon_complete,
-            crate::canon::Completeness::Heuristic => &self.canon_heuristic,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
+        match canon.completeness() {
+            crate::canon::Completeness::Complete => {
+                self.canon_complete.fetch_add(1, Ordering::Relaxed);
+            }
+            crate::canon::Completeness::Heuristic => {
+                self.canon_heuristic.fetch_add(1, Ordering::Relaxed);
+                let shard = self.shard_of(canon.key());
+                let mut keys = self.heuristic_keys[shard]
+                    .lock()
+                    .expect("heuristic keys poisoned");
+                if let Some(count) = keys.get_mut(canon.key()) {
+                    *count += 1;
+                } else if keys.len() < self.heuristic_cap_per_shard() {
+                    keys.insert(canon.key().to_string(), 1);
+                }
+            }
+        }
+    }
+
+    /// The most-looked-up heuristic-labeled keys, hottest first (count
+    /// ties break lexicographically for determinism), truncated to
+    /// `limit`. These are the permutation classes the complete canonizer
+    /// kept falling back on — the candidates a canonizer-aware admission
+    /// pass would re-canonize at a larger budget and merge.
+    pub fn hot_heuristic_keys(&self, limit: usize) -> Vec<(String, u64)> {
+        let mut all: Vec<(String, u64)> = Vec::new();
+        for shard in self.heuristic_keys.iter() {
+            let keys = shard.lock().expect("heuristic keys poisoned");
+            all.extend(keys.iter().map(|(k, c)| (k.clone(), *c)));
+        }
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(limit);
+        all
     }
 
     fn shard_of(&self, key: &str) -> usize {
@@ -500,6 +553,11 @@ impl CanonicalCache {
             shards: self.shards.len() as u64,
             canon_complete: self.canon_complete.load(Ordering::Relaxed),
             canon_heuristic: self.canon_heuristic.load(Ordering::Relaxed),
+            canon_heuristic_keys: self
+                .heuristic_keys
+                .iter()
+                .map(|s| s.lock().expect("heuristic keys poisoned").len() as u64)
+                .sum(),
         }
     }
 }
@@ -552,6 +610,33 @@ mod tests {
         assert!(cache.get(&canon).is_none());
         let stats = cache.stats();
         assert_eq!((stats.canon_complete, stats.canon_heuristic), (0, 1));
+        assert_eq!(stats.canon_heuristic_keys, 1);
+    }
+
+    #[test]
+    fn hot_heuristic_keys_rank_by_lookup_count() {
+        use crate::canon::{canonical_form_with, CanonOptions};
+        let cache = CanonicalCache::new(8);
+        let opts = CanonOptions { max_branches: 0 };
+        // Two distinct biregular classes, both heuristic at budget 0.
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let id2: BitMatrix = "10\n01".parse().unwrap();
+        let cm = canonical_form_with(&m, &opts);
+        let cid = canonical_form_with(&id2, &opts);
+        assert!(!cm.is_complete() && !cid.is_complete());
+        for _ in 0..3 {
+            let _ = cache.get(&cm);
+        }
+        let _ = cache.get(&cid);
+
+        let hot = cache.hot_heuristic_keys(10);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0], (cm.key().to_string(), 3), "hottest key first");
+        assert_eq!(hot[1], (cid.key().to_string(), 1));
+        assert_eq!(cache.hot_heuristic_keys(1).len(), 1, "limit respected");
+        assert_eq!(cache.stats().canon_heuristic_keys, 2);
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! The serving engine: sharded single-flight cache wrapped around the
-//! adaptive strategy race, plus the concurrent streaming batch driver.
+//! adaptive strategy race. Streaming transports live one layer up, in the
+//! `rect-addr-serve` crate's `Service` facade.
 
-use std::io::{BufRead, Write};
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -18,8 +17,9 @@ use crate::strategy::{AdaptiveScheduler, SessionStore, SolveJob, Strategy};
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Concurrent jobs in flight during [`Engine::run_batch`]. `0` means
-    /// one per available CPU.
+    /// Concurrent solve workers a serving layer should run. `0` means
+    /// auto: available CPUs divided by the per-job strategy fan-out (see
+    /// [`EngineConfig::effective_workers`]).
     pub workers: usize,
     /// Defaults for every job's portfolio race (per-job `budget_ms` /
     /// `conflicts` request fields override the budgets).
@@ -53,6 +53,24 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// The concrete worker count `workers` implies: the explicit value, or
+    /// (at 0) one worker per `available CPUs / racing strategies` — each
+    /// in-flight job races up to that many CPU-bound threads, so dividing
+    /// avoids oversubscription.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        let strategies =
+            2 + usize::from(self.portfolio.exact_cover) + usize::from(self.portfolio.sap);
+        std::thread::available_parallelism()
+            .map_or(4, usize::from)
+            .div_ceil(strategies)
+            .max(1)
+    }
+}
+
 /// Outcome of one [`Engine::solve`] call.
 #[derive(Debug, Clone)]
 pub struct EngineOutcome {
@@ -69,15 +87,6 @@ pub struct EngineOutcome {
     pub sat_conflicts: u64,
     /// Wall-clock time spent on this call.
     pub elapsed: Duration,
-}
-
-/// Totals of one [`Engine::run_batch`] stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct BatchSummary {
-    /// Jobs answered successfully.
-    pub solved: usize,
-    /// Jobs answered with an error response.
-    pub failed: usize,
 }
 
 /// The concurrent portfolio-solving engine.
@@ -151,6 +160,13 @@ impl Engine {
     /// Cache counters (hits / misses / entries / evictions / flights).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The most-looked-up heuristic-labeled cache keys, hottest first —
+    /// the candidates a canonizer-aware admission pass would re-canonize
+    /// at a larger budget (see [`CanonicalCache::hot_heuristic_keys`]).
+    pub fn hot_heuristic_keys(&self, limit: usize) -> Vec<(String, u64)> {
+        self.cache.hot_heuristic_keys(limit)
     }
 
     /// Warm SAP sessions currently parked (0 when warm starts are off).
@@ -307,143 +323,6 @@ impl Engine {
             error: None,
         }
     }
-
-    /// Streams JSON-lines jobs from `input` through a worker pool, writing
-    /// one response line per job to `output` **in completion order**, with a
-    /// flush after every response (a long-lived peer sees each answer as
-    /// soon as it exists).
-    ///
-    /// Jobs are dispatched as soon as their line is read — a slow job never
-    /// blocks later lines from being solved. Unparseable lines produce
-    /// `ok: false` responses (carrying the line's `id` when one was
-    /// readable); blank lines are skipped; a final line cut off mid-way by
-    /// end-of-stream is handled like any other malformed line. An unreadable
-    /// input stream (e.g. invalid UTF-8) is answered with one protocol-error
-    /// response and ends the stream cleanly instead of tearing it down. The
-    /// call returns when `input` reaches end-of-stream and every dispatched
-    /// job has been answered.
-    pub fn run_batch<R: BufRead + Send, W: Write>(
-        &self,
-        input: R,
-        output: &mut W,
-    ) -> std::io::Result<BatchSummary> {
-        let workers = if self.config.workers == 0 {
-            // Each in-flight job races up to `strategies` CPU-bound threads,
-            // so divide the cores among them instead of oversubscribing.
-            let strategies = 2
-                + usize::from(self.config.portfolio.exact_cover)
-                + usize::from(self.config.portfolio.sap);
-            std::thread::available_parallelism()
-                .map_or(4, usize::from)
-                .div_ceil(strategies)
-                .max(1)
-        } else {
-            self.config.workers
-        };
-        let mut summary = BatchSummary::default();
-
-        let (job_tx, job_rx) = mpsc::channel::<JobRequest>();
-        let (res_tx, res_rx) = mpsc::channel::<JobResponse>();
-        // Workers share one receiver behind a mutex; `abort` stops solving
-        // once the consumer is gone. Both are declared outside the scope so
-        // scoped threads may borrow them.
-        let job_rx = std::sync::Mutex::new(job_rx);
-        let job_rx = &job_rx;
-        let abort = std::sync::atomic::AtomicBool::new(false);
-        let abort = &abort;
-
-        std::thread::scope(|scope| -> std::io::Result<()> {
-            for _ in 0..workers.max(1) {
-                let res_tx = res_tx.clone();
-                scope.spawn(move || loop {
-                    // Hold the lock only while dequeuing, not while solving.
-                    let job = match job_rx.lock().expect("job queue poisoned").recv() {
-                        Ok(job) => job,
-                        Err(_) => break, // queue closed and drained
-                    };
-                    if abort.load(std::sync::atomic::Ordering::Relaxed) {
-                        continue; // consumer gone: drain without solving
-                    }
-                    if res_tx.send(self.solve_job(&job)).is_err() {
-                        break;
-                    }
-                });
-            }
-
-            // Reader: parse + dispatch each line as it arrives. Parse
-            // failures answer immediately without occupying a worker; read
-            // errors answer once and end the stream (the protocol channel
-            // must stay a clean JSON-lines stream to the very end).
-            let reader = scope.spawn(move || {
-                for (idx, line) in input.lines().enumerate() {
-                    if abort.load(std::sync::atomic::Ordering::Relaxed) {
-                        break; // consumer gone: stop dispatching
-                    }
-                    let line = match line {
-                        Ok(line) => line,
-                        Err(e) => {
-                            let _ = res_tx.send(JobResponse::failure(
-                                format!("job-{}", idx + 1),
-                                format!("input read error: {e}"),
-                            ));
-                            break;
-                        }
-                    };
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    match JobRequest::parse_line(&line, idx + 1) {
-                        Ok(job) => {
-                            if job_tx.send(job).is_err() {
-                                break;
-                            }
-                        }
-                        Err((id, msg)) => {
-                            if res_tx.send(JobResponse::failure(id, msg)).is_err() {
-                                break;
-                            }
-                        }
-                    }
-                }
-                // job_tx and res_tx drop here: workers drain and exit.
-            });
-
-            // Writer: emit responses in completion order as they arrive. The
-            // loop ends once the reader and every worker have dropped their
-            // sender, i.e. when all dispatched jobs are answered. On a write
-            // error (e.g. the consumer hung up) keep draining instead of
-            // returning: an early return would leave the scope join blocked
-            // on the reader, which sits in a blocking read until the next
-            // input line. Responses after the first failure are discarded.
-            let mut write_error: Option<std::io::Error> = None;
-            for response in res_rx {
-                if response.ok {
-                    summary.solved += 1;
-                } else {
-                    summary.failed += 1;
-                }
-                if write_error.is_none() {
-                    let attempt = writeln!(output, "{}", response.to_json_line())
-                        .and_then(|()| output.flush());
-                    if let Err(e) = attempt {
-                        write_error = Some(e);
-                        // Tell the reader to stop dispatching and the
-                        // workers to stop solving: the remaining drain is
-                        // then near-instant instead of minutes of SAT work
-                        // whose output nobody reads.
-                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
-                    }
-                }
-            }
-            reader.join().expect("reader thread panicked");
-            match write_error {
-                Some(e) => Err(e),
-                None => Ok(()),
-            }
-        })?;
-
-        Ok(summary)
-    }
 }
 
 #[cfg(test)]
@@ -484,106 +363,6 @@ mod tests {
         assert_eq!(second.partition.len(), first.partition.len());
         assert_eq!(second.proved_optimal, first.proved_optimal);
         assert_eq!(e.cache_stats().hits, 1);
-    }
-
-    #[test]
-    fn run_batch_answers_every_job_and_reports_errors() {
-        let e = engine();
-        let input = "\
-{\"id\": \"a\", \"matrix\": [\"10\", \"01\"]}\n\
-\n\
-{\"id\": \"bad\", \"matrix\": [\"10\", \"0\"]}\n\
-{\"id\": \"b\", \"matrix\": \"11;11\"}\n";
-        let mut out = Vec::new();
-        let summary = e.run_batch(input.as_bytes(), &mut out).unwrap();
-        assert_eq!(
-            summary,
-            BatchSummary {
-                solved: 2,
-                failed: 1
-            }
-        );
-
-        let text = String::from_utf8(out).unwrap();
-        let responses: Vec<JobResponse> = text
-            .lines()
-            .map(|l| JobResponse::parse_line(l).unwrap())
-            .collect();
-        assert_eq!(responses.len(), 3);
-        let by_id = |id: &str| responses.iter().find(|r| r.id == id).unwrap();
-        assert!(by_id("a").ok && by_id("a").depth == 2);
-        assert!(by_id("b").ok && by_id("b").depth == 1);
-        assert!(!by_id("bad").ok);
-        assert!(by_id("bad")
-            .error
-            .as_deref()
-            .unwrap()
-            .contains("invalid matrix"));
-    }
-
-    #[test]
-    fn run_batch_survives_truncated_final_line() {
-        // EOF mid-line: the partial JSON is reported as a protocol error,
-        // earlier jobs still solve, and the stream ends cleanly.
-        let e = engine();
-        let input = "{\"id\": \"whole\", \"matrix\": \"1\"}\n{\"id\": \"cut\", \"mat";
-        let mut out = Vec::new();
-        let summary = e.run_batch(input.as_bytes(), &mut out).unwrap();
-        assert_eq!(summary.solved, 1);
-        assert_eq!(summary.failed, 1);
-        let text = String::from_utf8(out).unwrap();
-        let failed = text
-            .lines()
-            .map(|l| JobResponse::parse_line(l).unwrap())
-            .find(|r| !r.ok)
-            .expect("truncated line must answer");
-        assert_eq!(failed.id, "job-2");
-    }
-
-    #[test]
-    fn run_batch_reports_unreadable_input_as_protocol_error() {
-        // Invalid UTF-8 on the job stream: one error response, clean end,
-        // no Err bubbling up to tear down the serve loop.
-        let e = engine();
-        let input: &[u8] = b"{\"id\": \"ok\", \"matrix\": \"1\"}\n\xff\xfe garbage\n";
-        let mut out = Vec::new();
-        let summary = e.run_batch(input, &mut out).unwrap();
-        assert_eq!(summary.solved, 1);
-        assert_eq!(summary.failed, 1);
-        let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("input read error"), "{text}");
-    }
-
-    #[test]
-    fn run_batch_flushes_after_every_response() {
-        /// Write sink counting flushes.
-        struct CountingSink {
-            bytes: Vec<u8>,
-            flushes: usize,
-        }
-        impl Write for CountingSink {
-            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.bytes.extend_from_slice(buf);
-                Ok(buf.len())
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                self.flushes += 1;
-                Ok(())
-            }
-        }
-        let e = engine();
-        let input = "{\"id\": \"a\", \"matrix\": \"1\"}\n{\"id\": \"b\", \"matrix\": \"10;01\"}\n";
-        let mut sink = CountingSink {
-            bytes: Vec::new(),
-            flushes: 0,
-        };
-        let summary = e.run_batch(input.as_bytes(), &mut sink).unwrap();
-        assert_eq!(summary.solved, 2);
-        assert!(
-            sink.flushes >= 2,
-            "every response must be flushed, saw {} flushes",
-            sink.flushes
-        );
     }
 
     #[test]

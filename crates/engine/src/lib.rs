@@ -30,25 +30,27 @@
 //!   descent (learnt clauses retained) instead of re-encoding;
 //! * [`AdaptiveScheduler`] — provenance win statistics per (shape,
 //!   occupancy) bucket, pruning strategies that never win there;
-//! * [`Engine`] — cache-wrapped adaptive race plus [`Engine::run_batch`]: a
-//!   worker pool that streams JSON-lines job requests ([`protocol`]) and
-//!   emits responses in completion order. The CLI exposes it as
-//!   `rect-addr batch <file|->` and `rect-addr serve`.
+//! * [`Engine`] — the cache-wrapped adaptive race, solving one
+//!   [`protocol`] job at a time ([`Engine::solve_job`]). Streaming
+//!   transports live one layer up: the `rect-addr-serve` crate's
+//!   `Service` facade multiplexes stdin/stdout and socket connections
+//!   onto one shared `Engine`, and the CLI exposes them as
+//!   `rect-addr batch <file|->` and `rect-addr serve [--listen ...]`.
 //!
 //! # Examples
 //!
 //! ```
+//! use bitmatrix::BitMatrix;
 //! use rect_addr_engine::{Engine, EngineConfig};
 //!
 //! let engine = Engine::new(EngineConfig::default());
-//! let mut out = Vec::new();
-//! let jobs = "{\"id\": \"l0\", \"matrix\": [\"10\", \"01\"]}\n\
-//!             {\"id\": \"l1\", \"matrix\": [\"01\", \"10\"]}\n";
-//! let summary = engine.run_batch(jobs.as_bytes(), &mut out)?;
-//! assert_eq!(summary.solved, 2);
-//! // l1 is l0 with rows swapped: answered from the canonical-form cache.
+//! let l0: BitMatrix = "10\n01".parse()?;
+//! let l1: BitMatrix = "01\n10".parse()?; // l0 with rows swapped
+//! assert_eq!(engine.solve(&l0).partition.len(), 2);
+//! // The permuted duplicate is answered from the canonical-form cache.
+//! assert!(engine.solve(&l1).cache_hit);
 //! assert_eq!(engine.cache_stats().hits, 1);
-//! # Ok::<(), std::io::Error>(())
+//! # Ok::<(), bitmatrix::ParseMatrixError>(())
 //! ```
 
 mod cache;
@@ -56,19 +58,26 @@ mod canon;
 #[allow(clippy::module_inception)]
 mod engine;
 mod portfolio;
-pub mod protocol;
 mod strategy;
+
+/// The wire protocol (re-exported from `rect-addr-proto`, where the
+/// versioned v1/v2 framing now lives).
+pub use proto as protocol;
 
 pub use cache::{CacheDecision, CacheStats, CachedOutcome, CanonicalCache, FlightGuard};
 pub use canon::{
     canonical_form, canonical_form_with, CanonOptions, CanonicalForm, Completeness,
     DEFAULT_CANON_BUDGET,
 };
-pub use engine::{BatchSummary, Engine, EngineConfig, EngineOutcome};
+pub use engine::{Engine, EngineConfig, EngineOutcome};
 pub use portfolio::{
     build_strategies, build_strategies_with, portfolio_solve, race_strategies, PortfolioConfig,
     PortfolioOutcome, Provenance,
 };
+/// Re-export of the SAT cancel token appearing in [`Strategy::run`]'s
+/// signature, so downstream crates can implement strategies without
+/// depending on the `sat` crate directly.
+pub use sat::CancelToken;
 pub use strategy::{
     AdaptiveScheduler, BucketStats, PackingStrategy, SapStrategy, SessionStore, SolveJob, Strategy,
     StrategyBudget, StrategyOutcome, TrivialStrategy,

@@ -1,0 +1,761 @@
+//! Job requests and responses — the payload frames shared by protocol v1
+//! and v2 (see the crate docs for the framing differences).
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use bitmatrix::{BitMatrix, BitVec};
+use ebmf::{Partition, Rectangle};
+
+use crate::json::{parse_json, write_json_string, Json};
+use crate::WireVersion;
+
+/// Structured error category of a failed job, stable on the v2 wire.
+///
+/// Protocol v1 carries only the free-form message; v2 serializes the error
+/// as `{"kind": <name>, "message": <text>}` so clients can branch on the
+/// category (retry on `busy`, drop on `canceled`, …) without string
+/// matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ErrorKind {
+    /// The request line was not a well-formed job (bad JSON, bad fields).
+    Parse,
+    /// The `matrix` field did not parse as a 0/1 matrix.
+    Matrix,
+    /// The submission queue was full; resubmit later (v2 backpressure).
+    Busy,
+    /// The job was canceled by a `cancel` frame while still queued.
+    Canceled,
+    /// The job's `deadline_ms` expired before a worker could start it.
+    Deadline,
+    /// The input stream failed mid-read (e.g. invalid UTF-8).
+    Io,
+    /// A protocol-level violation (e.g. a handshake after the first line).
+    Protocol,
+    /// An unexpected server-side failure.
+    Internal,
+    /// An error parsed from a v1 line, which carries no kind.
+    Unknown,
+}
+
+/// Single source of truth tying every [`ErrorKind`] variant to its stable
+/// wire name; both conversion directions derive from it.
+const ERROR_KIND_TABLE: [(ErrorKind, &str); ErrorKind::COUNT] = [
+    (ErrorKind::Parse, "parse"),
+    (ErrorKind::Matrix, "matrix"),
+    (ErrorKind::Busy, "busy"),
+    (ErrorKind::Canceled, "canceled"),
+    (ErrorKind::Deadline, "deadline"),
+    (ErrorKind::Io, "io"),
+    (ErrorKind::Protocol, "protocol"),
+    (ErrorKind::Internal, "internal"),
+    (ErrorKind::Unknown, "unknown"),
+];
+
+impl ErrorKind {
+    /// Number of variants (the length of [`ErrorKind::ALL`]).
+    pub const COUNT: usize = 9;
+
+    /// Every variant, in table order.
+    pub const ALL: [ErrorKind; ErrorKind::COUNT] = [
+        ErrorKind::Parse,
+        ErrorKind::Matrix,
+        ErrorKind::Busy,
+        ErrorKind::Canceled,
+        ErrorKind::Deadline,
+        ErrorKind::Io,
+        ErrorKind::Protocol,
+        ErrorKind::Internal,
+        ErrorKind::Unknown,
+    ];
+
+    /// Position of this variant in [`ERROR_KIND_TABLE`] / [`ErrorKind::ALL`].
+    /// The exhaustive `match` forces the table to grow with the enum.
+    pub const fn index(self) -> usize {
+        match self {
+            ErrorKind::Parse => 0,
+            ErrorKind::Matrix => 1,
+            ErrorKind::Busy => 2,
+            ErrorKind::Canceled => 3,
+            ErrorKind::Deadline => 4,
+            ErrorKind::Io => 5,
+            ErrorKind::Protocol => 6,
+            ErrorKind::Internal => 7,
+            ErrorKind::Unknown => 8,
+        }
+    }
+
+    /// Stable lowercase wire name.
+    pub fn as_str(&self) -> &'static str {
+        ERROR_KIND_TABLE[self.index()].1
+    }
+
+    /// Parses [`ErrorKind::as_str`] output; unrecognized names (e.g. from a
+    /// newer server) degrade to [`ErrorKind::Unknown`] instead of failing.
+    pub fn from_str_lenient(s: &str) -> ErrorKind {
+        ERROR_KIND_TABLE
+            .iter()
+            .find(|(_, name)| *name == s)
+            .map_or(ErrorKind::Unknown, |(k, _)| *k)
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A categorized job failure: [`ErrorKind`] plus human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The stable category (v2 wire; v1 drops it).
+    pub kind: ErrorKind,
+    /// Free-form detail — the whole v1 error payload.
+    pub message: String,
+}
+
+impl JobError {
+    /// Builds an error of the given category.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> JobError {
+        JobError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+/// One job of a batch: a matrix to factorize plus optional budgets and
+/// (protocol v2) scheduling hints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Correlation id echoed in the response.
+    pub id: String,
+    /// The pattern matrix.
+    pub matrix: BitMatrix,
+    /// Per-job wall-clock budget in milliseconds (overrides engine default).
+    pub budget_ms: Option<u64>,
+    /// Per-SAT-query conflict budget (overrides engine default).
+    pub conflicts: Option<u64>,
+    /// Scheduling priority (v2): higher runs first; ties are FIFO. v1 lines
+    /// default to 0.
+    pub priority: i64,
+    /// Queue deadline in milliseconds from submission (v2): a job still
+    /// queued when it expires answers [`ErrorKind::Deadline`] instead of
+    /// running, and a started job's wall-clock budget is clamped to the
+    /// time remaining.
+    pub deadline_ms: Option<u64>,
+}
+
+impl JobRequest {
+    /// A request with defaults for every optional field.
+    pub fn new(id: impl Into<String>, matrix: BitMatrix) -> JobRequest {
+        JobRequest {
+            id: id.into(),
+            matrix,
+            budget_ms: None,
+            conflicts: None,
+            priority: 0,
+            deadline_ms: None,
+        }
+    }
+
+    /// Sets the per-job wall-clock budget.
+    pub fn with_budget_ms(mut self, ms: u64) -> JobRequest {
+        self.budget_ms = Some(ms);
+        self
+    }
+
+    /// Sets the per-SAT-query conflict budget.
+    pub fn with_conflicts(mut self, conflicts: u64) -> JobRequest {
+        self.conflicts = Some(conflicts);
+        self
+    }
+
+    /// Sets the scheduling priority (v2).
+    pub fn with_priority(mut self, priority: i64) -> JobRequest {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the queue deadline (v2).
+    pub fn with_deadline_ms(mut self, ms: u64) -> JobRequest {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Parses one request line with every field (protocol v2 rules).
+    /// `line_no` (1-based) names anonymous jobs `job-<line_no>` and
+    /// contextualizes errors. On failure returns the id (when one was
+    /// readable) plus the categorized error.
+    pub fn parse_line(line: &str, line_no: usize) -> Result<JobRequest, (String, JobError)> {
+        Self::parse_line_in(line, line_no, WireVersion::V2)
+    }
+
+    /// Parses one request line under the given wire version. In
+    /// [`WireVersion::V1`] the v2-only `priority` / `deadline_ms` fields
+    /// are **ignored** like any other unknown field — exactly the legacy
+    /// parser's behaviour, so a v1 producer with stray extra fields is
+    /// neither rejected nor silently given v2 scheduling semantics.
+    pub fn parse_line_in(
+        line: &str,
+        line_no: usize,
+        version: WireVersion,
+    ) -> Result<JobRequest, (String, JobError)> {
+        let fallback_id = format!("job-{line_no}");
+        let json = parse_json(line)
+            .map_err(|e| (fallback_id.clone(), JobError::new(ErrorKind::Parse, e)))?;
+        Self::from_json_in(&json, &fallback_id, version)
+    }
+
+    /// Parses an already-decoded request object with every field
+    /// (protocol v2 rules; used by the v2 frame dispatcher).
+    pub fn from_json(json: &Json, fallback_id: &str) -> Result<JobRequest, (String, JobError)> {
+        Self::from_json_in(json, fallback_id, WireVersion::V2)
+    }
+
+    /// Version-aware variant of [`JobRequest::from_json`]; see
+    /// [`JobRequest::parse_line_in`].
+    pub fn from_json_in(
+        json: &Json,
+        fallback_id: &str,
+        version: WireVersion,
+    ) -> Result<JobRequest, (String, JobError)> {
+        let id = match json.get("id") {
+            // A present but non-string id would break response correlation
+            // if silently renamed — reject it instead.
+            Some(v) => v.as_str().map(str::to_string).ok_or_else(|| {
+                (
+                    fallback_id.to_string(),
+                    JobError::new(ErrorKind::Parse, "id must be a string"),
+                )
+            })?,
+            None => fallback_id.to_string(),
+        };
+        let err = |kind: ErrorKind, msg: String| (id.clone(), JobError::new(kind, msg));
+
+        let matrix_text = match json.get("matrix") {
+            Some(Json::Str(s)) => s.replace(';', "\n"),
+            Some(Json::Arr(rows)) => {
+                let mut lines = Vec::with_capacity(rows.len());
+                for r in rows {
+                    lines.push(
+                        r.as_str()
+                            .ok_or_else(|| {
+                                err(ErrorKind::Parse, "matrix rows must be strings".to_string())
+                            })?
+                            .to_string(),
+                    );
+                }
+                lines.join("\n")
+            }
+            Some(_) => {
+                return Err(err(
+                    ErrorKind::Parse,
+                    "matrix must be a string or array of strings".to_string(),
+                ))
+            }
+            None => {
+                return Err(err(
+                    ErrorKind::Parse,
+                    "missing \"matrix\" field".to_string(),
+                ))
+            }
+        };
+        let matrix: BitMatrix = matrix_text
+            .parse()
+            .map_err(|e| err(ErrorKind::Matrix, format!("invalid matrix: {e}")))?;
+
+        let uint = |field: &str| -> Result<Option<u64>, (String, JobError)> {
+            match json.get(field) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .filter(|n| *n >= 0.0)
+                    .map(|n| Some(n as u64))
+                    .ok_or_else(|| {
+                        err(
+                            ErrorKind::Parse,
+                            format!("{field} must be a non-negative number"),
+                        )
+                    }),
+            }
+        };
+        let budget_ms = uint("budget_ms")?;
+        let conflicts = uint("conflicts")?;
+        // v2-only scheduling fields: on a v1 line they are unknown extras,
+        // neither validated nor honored.
+        let (deadline_ms, priority) = match version {
+            WireVersion::V1 => (None, 0),
+            WireVersion::V2 => {
+                let deadline_ms = uint("deadline_ms")?;
+                let priority = match json.get("priority") {
+                    None | Some(Json::Null) => 0,
+                    Some(v) => v
+                        .as_f64()
+                        .filter(|n| n.fract() == 0.0 && n.abs() <= i64::MAX as f64)
+                        .map(|n| n as i64)
+                        .ok_or_else(|| {
+                            err(ErrorKind::Parse, "priority must be an integer".to_string())
+                        })?,
+                };
+                (deadline_ms, priority)
+            }
+        };
+        Ok(JobRequest {
+            id,
+            matrix,
+            budget_ms,
+            conflicts,
+            priority,
+            deadline_ms,
+        })
+    }
+
+    /// Serializes the request as one JSON line (no trailing newline).
+    /// Optional fields at their defaults are omitted, so v1-shaped requests
+    /// stay byte-identical to protocol v1.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"id\": ");
+        write_json_string(&mut out, &self.id);
+        out.push_str(", \"matrix\": [");
+        for (i, row) in self.matrix.iter_rows().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(&mut out, &row.to_string());
+        }
+        out.push(']');
+        if let Some(b) = self.budget_ms {
+            let _ = write!(out, ", \"budget_ms\": {b}");
+        }
+        if let Some(c) = self.conflicts {
+            let _ = write!(out, ", \"conflicts\": {c}");
+        }
+        if self.priority != 0 {
+            let _ = write!(out, ", \"priority\": {}", self.priority);
+        }
+        if let Some(d) = self.deadline_ms {
+            let _ = write!(out, ", \"deadline_ms\": {d}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One result line of a batch.
+///
+/// A response is in exactly one of two canonical states: *success*
+/// (`ok == true`, `error == None`, result fields populated) or *failure*
+/// (`ok == false`, `error == Some`, result fields zeroed except
+/// `millis`/`conflicts`, which report work spent before the failure).
+/// [`JobResponse::to_json_line_v`] serializes whichever state the `error`
+/// field implies, so an incoherent struct round-trips to its canonical
+/// form rather than to silent field loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResponse {
+    /// Correlation id of the request.
+    pub id: String,
+    /// Whether the job solved (`false` → see [`JobResponse::error`]).
+    pub ok: bool,
+    /// Depth (number of rectangles / AOD shots) of the partition.
+    pub depth: usize,
+    /// Whether the depth was proved equal to the binary rank.
+    pub proved_optimal: bool,
+    /// Strategy that produced the result (`cache` for cache hits).
+    pub provenance: String,
+    /// Whether the canonical-form cache answered the job.
+    pub cache_hit: bool,
+    /// Wall-clock milliseconds spent on the job (wire precision: 3
+    /// decimals; non-finite values serialize as 0).
+    pub millis: f64,
+    /// SAT conflicts spent on the job (0 for cache hits and heuristics).
+    pub conflicts: u64,
+    /// The rectangles as `(rows, cols)` index lists.
+    pub partition: Vec<(Vec<usize>, Vec<usize>)>,
+    /// Error payload when the job failed.
+    pub error: Option<JobError>,
+}
+
+impl JobResponse {
+    /// An error response for a job that could not be parsed or solved.
+    pub fn failure(id: String, error: JobError) -> JobResponse {
+        JobResponse {
+            id,
+            ok: false,
+            depth: 0,
+            proved_optimal: false,
+            provenance: String::new(),
+            cache_hit: false,
+            millis: 0.0,
+            conflicts: 0,
+            partition: Vec::new(),
+            error: Some(error),
+        }
+    }
+
+    /// The error message, when the response is a failure.
+    pub fn error_message(&self) -> Option<&str> {
+        self.error.as_ref().map(|e| e.message.as_str())
+    }
+
+    /// The error kind, when the response is a failure.
+    pub fn error_kind(&self) -> Option<ErrorKind> {
+        self.error.as_ref().map(|e| e.kind)
+    }
+
+    /// Rebuilds the partition for a matrix of the given shape (used by
+    /// round-trip validation in tests and clients).
+    pub fn to_partition(&self, nrows: usize, ncols: usize) -> Partition {
+        let rects = self
+            .partition
+            .iter()
+            .map(|(rows, cols)| {
+                Rectangle::new(
+                    BitVec::from_indices(nrows, rows.iter().copied()),
+                    BitVec::from_indices(ncols, cols.iter().copied()),
+                )
+            })
+            .collect();
+        Partition::from_rectangles(nrows, ncols, rects)
+    }
+
+    /// Serializes the response as one protocol-v1 JSON line (no trailing
+    /// newline). Shorthand for [`JobResponse::to_json_line_v`] with
+    /// [`WireVersion::V1`].
+    pub fn to_json_line(&self) -> String {
+        self.to_json_line_v(WireVersion::V1)
+    }
+
+    /// Serializes the response as one JSON line in the given wire version.
+    /// The versions differ only in the error payload: v1 writes the bare
+    /// message string, v2 an object `{"kind": ..., "message": ...}`.
+    pub fn to_json_line_v(&self, version: WireVersion) -> String {
+        let mut out = String::new();
+        out.push_str("{\"id\": ");
+        write_json_string(&mut out, &self.id);
+        // `{:.3}` of a non-finite float is not valid JSON; clamp to 0.
+        let millis = if self.millis.is_finite() {
+            self.millis
+        } else {
+            0.0
+        };
+        // Canonicalize: the error payload decides the state, so a struct
+        // with `ok` out of sync round-trips to its coherent form.
+        if self.error.is_some() || !self.ok {
+            let fallback = JobError::new(ErrorKind::Unknown, "unknown error");
+            let err = self.error.as_ref().unwrap_or(&fallback);
+            out.push_str(", \"ok\": false, \"error\": ");
+            match version {
+                WireVersion::V1 => write_json_string(&mut out, &err.message),
+                WireVersion::V2 => {
+                    let _ = write!(out, "{{\"kind\": \"{}\", \"message\": ", err.kind);
+                    write_json_string(&mut out, &err.message);
+                    out.push('}');
+                }
+            }
+            let _ = write!(
+                out,
+                ", \"millis\": {millis:.3}, \"conflicts\": {}}}",
+                self.conflicts
+            );
+            return out;
+        }
+        let _ = write!(
+            out,
+            ", \"ok\": true, \"depth\": {}, \"proved_optimal\": {}, \"provenance\": ",
+            self.depth, self.proved_optimal
+        );
+        write_json_string(&mut out, &self.provenance);
+        let _ = write!(
+            out,
+            ", \"cache_hit\": {}, \"millis\": {millis:.3}, \"conflicts\": {}, \"partition\": [",
+            self.cache_hit, self.conflicts
+        );
+        for (i, (rows, cols)) in self.partition.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let list = |v: &[usize]| {
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let _ = write!(
+                out,
+                "{{\"rows\": [{}], \"cols\": [{}]}}",
+                list(rows),
+                list(cols)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses one response line — the inverse of
+    /// [`JobResponse::to_json_line_v`] for either wire version (the error
+    /// payload's shape identifies the version; a v1 string error parses
+    /// with [`ErrorKind::Unknown`]).
+    pub fn parse_line(line: &str) -> Result<JobResponse, String> {
+        let json = parse_json(line)?;
+        let id = json
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("missing id")?
+            .to_string();
+        let ok = json.get("ok").and_then(Json::as_bool).ok_or("missing ok")?;
+        let millis = json.get("millis").and_then(Json::as_f64).unwrap_or(0.0);
+        let conflicts = json
+            .get("conflicts")
+            .and_then(Json::as_f64)
+            .filter(|n| *n >= 0.0)
+            .unwrap_or(0.0) as u64;
+        if !ok {
+            let error = match json.get("error") {
+                Some(Json::Str(msg)) => JobError::new(ErrorKind::Unknown, msg.clone()),
+                Some(obj @ Json::Obj(_)) => JobError::new(
+                    obj.get("kind")
+                        .and_then(Json::as_str)
+                        .map_or(ErrorKind::Unknown, ErrorKind::from_str_lenient),
+                    obj.get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown error"),
+                ),
+                _ => JobError::new(ErrorKind::Unknown, "unknown error"),
+            };
+            let mut resp = JobResponse::failure(id, error);
+            resp.millis = millis;
+            resp.conflicts = conflicts;
+            return Ok(resp);
+        }
+        let index_list = |v: &Json, field: &str| -> Result<Vec<usize>, String> {
+            v.get(field)
+                .and_then(Json::as_arr)
+                .ok_or(format!("missing {field}"))?
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                        .map(|n| n as usize)
+                        .ok_or_else(|| format!("non-index in {field}"))
+                })
+                .collect()
+        };
+        let partition = json
+            .get("partition")
+            .and_then(Json::as_arr)
+            .ok_or("missing partition")?
+            .iter()
+            .map(|rect| Ok((index_list(rect, "rows")?, index_list(rect, "cols")?)))
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(JobResponse {
+            id,
+            ok,
+            depth: json
+                .get("depth")
+                .and_then(Json::as_f64)
+                .ok_or("missing depth")? as usize,
+            proved_optimal: json
+                .get("proved_optimal")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            provenance: json
+                .get("provenance")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            cache_hit: json
+                .get("cache_hit")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            millis,
+            conflicts,
+            partition,
+            error: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_array_and_string_matrix() {
+        let req = JobRequest::new("layer-17", "101\n010".parse().unwrap()).with_budget_ms(500);
+        let parsed = JobRequest::parse_line(&req.to_json_line(), 1).unwrap();
+        assert_eq!(parsed, req);
+
+        let semi = JobRequest::parse_line(r#"{"id": "s", "matrix": "101;010"}"#, 1).unwrap();
+        assert_eq!(semi.matrix, req.matrix);
+    }
+
+    #[test]
+    fn request_roundtrip_v2_fields() {
+        let req = JobRequest::new("p", "1".parse().unwrap())
+            .with_priority(-3)
+            .with_deadline_ms(750)
+            .with_conflicts(9);
+        let line = req.to_json_line();
+        assert!(line.contains("\"priority\": -3"), "{line}");
+        assert!(line.contains("\"deadline_ms\": 750"), "{line}");
+        assert_eq!(JobRequest::parse_line(&line, 1).unwrap(), req);
+        // Default priority / deadline stay off the wire (v1 byte-compat).
+        let plain = JobRequest::new("p", "1".parse().unwrap()).to_json_line();
+        assert!(!plain.contains("priority"), "{plain}");
+        assert!(!plain.contains("deadline"), "{plain}");
+    }
+
+    #[test]
+    fn v1_parsing_ignores_v2_only_fields() {
+        // A v1 line with stray (even malformed) v2 fields parses like the
+        // legacy parser: unknown extras are ignored, never validated.
+        let line = r#"{"id": "x", "matrix": "1", "priority": true, "deadline_ms": 5}"#;
+        let req = JobRequest::parse_line_in(line, 1, WireVersion::V1).unwrap();
+        assert_eq!(req.priority, 0);
+        assert_eq!(req.deadline_ms, None);
+        // The same line under v2 rules validates priority and rejects.
+        let (_, err) = JobRequest::parse_line_in(line, 1, WireVersion::V2).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn request_rejects_bad_priority() {
+        let (_, e) = JobRequest::parse_line(r#"{"id": "p", "matrix": "1", "priority": 1.5}"#, 1)
+            .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Parse);
+        assert!(e.message.contains("priority"), "{}", e.message);
+    }
+
+    #[test]
+    fn request_defaults_id_from_line_number() {
+        let req = JobRequest::parse_line(r#"{"matrix": ["1"]}"#, 42).unwrap();
+        assert_eq!(req.id, "job-42");
+    }
+
+    #[test]
+    fn request_rejects_non_string_id() {
+        // Silently renaming a numeric id would break response correlation.
+        let (id, err) = JobRequest::parse_line(r#"{"id": 17, "matrix": ["1"]}"#, 3).unwrap_err();
+        assert_eq!(id, "job-3");
+        assert_eq!(err.kind, ErrorKind::Parse);
+        assert!(err.message.contains("id must be a string"), "{err}");
+    }
+
+    #[test]
+    fn request_errors_carry_the_id_and_kind() {
+        let (id, err) =
+            JobRequest::parse_line(r#"{"id": "bad", "matrix": ["102"]}"#, 7).unwrap_err();
+        assert_eq!(id, "bad");
+        assert_eq!(err.kind, ErrorKind::Matrix);
+        assert!(err.message.contains("invalid matrix"), "{err}");
+        let (id2, err2) = JobRequest::parse_line("not json", 9).unwrap_err();
+        assert_eq!(id2, "job-9");
+        assert_eq!(err2.kind, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn response_roundtrip_both_versions() {
+        let resp = JobResponse {
+            id: "a".to_string(),
+            ok: true,
+            depth: 2,
+            proved_optimal: true,
+            provenance: "sap".to_string(),
+            cache_hit: false,
+            millis: 1.5,
+            conflicts: 42,
+            partition: vec![(vec![0], vec![0, 2]), (vec![1], vec![1])],
+            error: None,
+        };
+        for v in [WireVersion::V1, WireVersion::V2] {
+            let parsed = JobResponse::parse_line(&resp.to_json_line_v(v)).unwrap();
+            assert_eq!(parsed, resp);
+        }
+
+        let p = resp.to_partition(2, 3);
+        assert_eq!(p.len(), 2);
+        assert!(p.validate(&"101\n010".parse().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn error_response_roundtrip_v1_drops_kind() {
+        let resp = JobResponse::failure(
+            "x".to_string(),
+            JobError::new(ErrorKind::Matrix, "invalid matrix: bad"),
+        );
+        let parsed = JobResponse::parse_line(&resp.to_json_line()).unwrap();
+        assert!(!parsed.ok);
+        assert_eq!(parsed.error_message(), Some("invalid matrix: bad"));
+        // v1 has no kind on the wire.
+        assert_eq!(parsed.error_kind(), Some(ErrorKind::Unknown));
+    }
+
+    #[test]
+    fn error_response_roundtrip_v2_keeps_kind() {
+        let mut resp = JobResponse::failure(
+            "x\"with\nescapes".to_string(),
+            JobError::new(ErrorKind::Busy, "queue full (depth 4)"),
+        );
+        resp.millis = 0.25;
+        resp.conflicts = 3;
+        let line = resp.to_json_line_v(WireVersion::V2);
+        assert!(line.contains("\"kind\": \"busy\""), "{line}");
+        let parsed = JobResponse::parse_line(&line).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn incoherent_response_serializes_to_canonical_failure() {
+        // `ok: false` without an error payload must still serialize as an
+        // error line (previously it emitted a full success body).
+        let mut resp = JobResponse::failure("x".to_string(), JobError::new(ErrorKind::Io, "boom"));
+        resp.error = None;
+        let parsed = JobResponse::parse_line(&resp.to_json_line()).unwrap();
+        assert!(!parsed.ok);
+        assert_eq!(parsed.error_message(), Some("unknown error"));
+
+        // `ok: true` with an error payload canonicalizes to a failure too
+        // (previously it wrote the error but kept no ok/error coherence).
+        let mut odd = JobResponse::failure("y".to_string(), JobError::new(ErrorKind::Io, "boom"));
+        odd.ok = true;
+        let parsed = JobResponse::parse_line(&odd.to_json_line()).unwrap();
+        assert!(!parsed.ok);
+        assert_eq!(parsed.error_message(), Some("boom"));
+    }
+
+    #[test]
+    fn non_finite_millis_serialize_as_zero() {
+        let mut resp = JobResponse::failure("n".to_string(), JobError::new(ErrorKind::Io, "x"));
+        resp.millis = f64::NAN;
+        let line = resp.to_json_line();
+        let parsed = JobResponse::parse_line(&line).unwrap();
+        assert_eq!(parsed.millis, 0.0, "{line}");
+        resp.millis = f64::INFINITY;
+        assert_eq!(
+            JobResponse::parse_line(&resp.to_json_line())
+                .unwrap()
+                .millis,
+            0.0
+        );
+    }
+
+    #[test]
+    fn error_kind_names_roundtrip() {
+        for kind in ErrorKind::ALL {
+            assert_eq!(ErrorKind::from_str_lenient(kind.as_str()), kind);
+        }
+        assert_eq!(
+            ErrorKind::from_str_lenient("from-the-future"),
+            ErrorKind::Unknown
+        );
+    }
+}

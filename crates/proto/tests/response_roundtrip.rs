@@ -1,0 +1,145 @@
+//! Property test: `JobResponse` serialization and parsing are inverse on
+//! every coherent response — success and failure, both wire versions,
+//! adversarial ids and error messages (quotes, backslashes, control
+//! characters, astral-plane unicode).
+//!
+//! This harness is what shook out the v1 serializer's asymmetries (an
+//! `ok: false` response without an error payload used to emit a success
+//! body; error lines used to drop `millis`/`conflicts`; non-finite
+//! `millis` emitted invalid JSON) — the cases below pin the fixes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rect_addr_proto::{ErrorKind, JobError, JobRequest, JobResponse, WireVersion};
+
+/// Characters the id/message strategies draw from — every JSON string
+/// escape class is represented: plain ASCII, both quote-likes, newline /
+/// tab / carriage return, a C0 control, multi-byte UTF-8 and an astral
+/// emoji (exercising surrogate-pair handling in standard decoders).
+const CHARS: &[char] = &[
+    'a', 'Z', '0', ' ', '-', '_', '"', '\\', '/', '\n', '\t', '\r', '\u{0007}', 'é', '→', '💠',
+];
+
+fn string_strategy(max_len: usize) -> impl Strategy<Value = String> {
+    vec(0..CHARS.len(), 0..=max_len).prop_map(|ix| ix.into_iter().map(|i| CHARS[i]).collect())
+}
+
+/// Wire-representable millis: non-negative, exactly 3 decimals.
+fn millis_strategy() -> impl Strategy<Value = f64> {
+    (0u64..100_000_000).prop_map(|thousandths| thousandths as f64 / 1000.0)
+}
+
+fn rect_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (vec(0usize..64, 0..=6), vec(0usize..64, 0..=6))
+}
+
+fn success_strategy() -> impl Strategy<Value = JobResponse> {
+    (
+        (string_strategy(12), 0usize..1000, any::<bool>(), 0usize..5),
+        (
+            any::<bool>(),
+            millis_strategy(),
+            0u64..1 << 40,
+            vec(rect_strategy(), 0..=5),
+        ),
+    )
+        .prop_map(
+            |((id, depth, proved, prov), (cache_hit, millis, conflicts, partition))| JobResponse {
+                id,
+                ok: true,
+                depth,
+                proved_optimal: proved,
+                provenance: ["", "cache", "trivial", "packing", "sap"][prov].to_string(),
+                cache_hit,
+                millis,
+                conflicts,
+                partition,
+                error: None,
+            },
+        )
+}
+
+fn failure_strategy() -> impl Strategy<Value = JobResponse> {
+    (
+        string_strategy(12),
+        0usize..ErrorKind::COUNT,
+        string_strategy(24),
+        millis_strategy(),
+        0u64..1 << 40,
+    )
+        .prop_map(|(id, kind, message, millis, conflicts)| {
+            let mut resp = JobResponse::failure(id, JobError::new(ErrorKind::ALL[kind], message));
+            resp.millis = millis;
+            resp.conflicts = conflicts;
+            resp
+        })
+}
+
+proptest! {
+    #[test]
+    fn success_roundtrips_on_both_wire_versions(resp in success_strategy()) {
+        for version in [WireVersion::V1, WireVersion::V2] {
+            let line = resp.to_json_line_v(version);
+            let parsed = JobResponse::parse_line(&line)
+                .map_err(|e| TestCaseError::fail(format!("{e}: {line}")))?;
+            prop_assert_eq!(&parsed, &resp, "version {:?}: {}", version, line);
+        }
+    }
+
+    #[test]
+    fn failure_roundtrips_exactly_on_v2(resp in failure_strategy()) {
+        let line = resp.to_json_line_v(WireVersion::V2);
+        let parsed = JobResponse::parse_line(&line)
+            .map_err(|e| TestCaseError::fail(format!("{e}: {line}")))?;
+        prop_assert_eq!(&parsed, &resp, "{}", line);
+    }
+
+    #[test]
+    fn failure_roundtrips_on_v1_up_to_the_kind(resp in failure_strategy()) {
+        // v1 has no kind on the wire: everything else must survive.
+        let line = resp.to_json_line_v(WireVersion::V1);
+        let parsed = JobResponse::parse_line(&line)
+            .map_err(|e| TestCaseError::fail(format!("{e}: {line}")))?;
+        let mut expect = resp.clone();
+        expect.error = resp
+            .error
+            .as_ref()
+            .map(|e| JobError::new(ErrorKind::Unknown, e.message.clone()));
+        prop_assert_eq!(&parsed, &expect, "{}", line);
+    }
+
+    #[test]
+    fn serialization_is_a_fixed_point(resp in success_strategy()) {
+        // One trip must normalize: serialize∘parse∘serialize == serialize.
+        for version in [WireVersion::V1, WireVersion::V2] {
+            let line = resp.to_json_line_v(version);
+            let parsed = JobResponse::parse_line(&line)
+                .map_err(|e| TestCaseError::fail(format!("{e}: {line}")))?;
+            prop_assert_eq!(parsed.to_json_line_v(version), line);
+        }
+    }
+
+    #[test]
+    fn request_roundtrips_with_v2_fields(
+        id in string_strategy(12),
+        budget in 0u64..1 << 32,
+        conflicts in 0u64..1 << 32,
+        priority in -1000i64..1000,
+        deadline in 0u64..1 << 32,
+        with_opts in any::<bool>(),
+    ) {
+        let mut req = JobRequest::new(id, "10\n01".parse().unwrap());
+        if with_opts {
+            req = req
+                .with_budget_ms(budget)
+                .with_conflicts(conflicts)
+                .with_priority(priority)
+                .with_deadline_ms(deadline);
+        }
+        let line = req.to_json_line();
+        let parsed = JobRequest::parse_line(&line, 1)
+            .map_err(|(_, e)| TestCaseError::fail(format!("{e}: {line}")))?;
+        prop_assert_eq!(parsed, req, "{}", line);
+    }
+}

@@ -1,0 +1,111 @@
+//! A line-oriented protocol client over the socket front-end — used by
+//! the CLI's `client` subcommand, the benchmark's socket phase, the CI
+//! smoke test and the integration tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+
+use proto::{ClientFrame, HelloAck, JobRequest, PROTOCOL_VERSION};
+
+use crate::socket::{connect, BindAddr, SocketStream};
+
+/// One client connection speaking JSON lines to a [`SocketServer`]
+/// (v1 by default; [`LineClient::handshake`] upgrades to v2).
+///
+/// [`SocketServer`]: crate::SocketServer
+#[derive(Debug)]
+pub struct LineClient {
+    reader: BufReader<SocketStream>,
+    writer: SocketStream,
+}
+
+impl LineClient {
+    /// Connects to a listening server.
+    pub fn connect(addr: &BindAddr) -> io::Result<LineClient> {
+        let stream = connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(LineClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Performs the v2 handshake and returns the server's ack.
+    pub fn handshake(&mut self) -> io::Result<HelloAck> {
+        self.send_line(
+            &ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+            }
+            .to_json_line(),
+        )?;
+        let line = self
+            .recv_line()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no hello ack"))?;
+        HelloAck::parse_line(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends one frame line.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Sends one job request.
+    pub fn send_job(&mut self, req: &JobRequest) -> io::Result<()> {
+        self.send_line(&req.to_json_line())
+    }
+
+    /// Receives one server line; `None` at end-of-stream.
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Half-closes the write side — "no more jobs" — after which the
+    /// server drains in-flight work, emits its summary frame and closes.
+    pub fn finish_jobs(&mut self) -> io::Result<()> {
+        self.writer.shutdown_write()
+    }
+}
+
+/// Pumps a whole job stream through a server: forwards every line of
+/// `input`, half-closes, and streams every response line (summary frame
+/// included) to `output` with a flush per line — responses arrive while
+/// jobs are still being sent, so a stream larger than the socket buffers
+/// cannot deadlock. Returns the number of server lines received.
+pub fn pump<R: BufRead + Send, W: Write>(
+    addr: &BindAddr,
+    input: R,
+    output: &mut W,
+) -> io::Result<usize> {
+    let stream = connect(addr)?;
+    let mut sender = stream.try_clone()?;
+    let mut responses = BufReader::new(stream);
+    std::thread::scope(|scope| -> io::Result<usize> {
+        let send = scope.spawn(move || -> io::Result<()> {
+            for line in input.lines() {
+                writeln!(sender, "{}", line?)?;
+                sender.flush()?;
+            }
+            sender.shutdown_write()
+        });
+        let mut count = 0usize;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if responses.read_line(&mut line)? == 0 {
+                break;
+            }
+            writeln!(output, "{}", line.trim_end_matches(['\n', '\r']))?;
+            output.flush()?;
+            count += 1;
+        }
+        send.join().expect("sender thread panicked")?;
+        Ok(count)
+    })
+}

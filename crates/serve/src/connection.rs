@@ -1,0 +1,362 @@
+//! One protocol connection: JSON-lines in, responses + trailer out.
+//!
+//! [`serve_connection`] drives any `BufRead`/`Write` pair — the CLI's
+//! stdin/stdout, a Unix-domain stream, a TCP stream — through the
+//! versioned protocol against a shared [`Service`]:
+//!
+//! * **v1** (no handshake): every line is a job; parse failures answer
+//!   `ok: false`; a full queue stalls the reader (blocking submit) instead
+//!   of rejecting, so legacy streams never observe `busy`.
+//! * **v2** (`{"hello": 2}` first line): capabilities ack, per-job
+//!   `priority`/`deadline_ms`, `cancel` frames (acked, canceled jobs
+//!   answer `ErrorKind::Canceled`), `stats` frames, and `busy` responses
+//!   once the submission queue is full.
+//!
+//! Responses stream back in **completion order** with a flush after every
+//! line. On end-of-input the connection *drains*: every dispatched job is
+//! answered before the final summary frame is emitted — client EOF (or a
+//! closing listener) never drops in-flight work or the trailer.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::mpsc::{self, Sender};
+
+use proto::{
+    CancelAck, ClientFrame, EngineSnapshot, ErrorKind, HelloAck, JobError, JobRequest, JobResponse,
+    StatsFrame, SummaryFrame, WireVersion, PROTOCOL_VERSION,
+};
+
+use crate::service::{OutEvent, Service, Ticket};
+
+/// Totals of one drained connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnectionSummary {
+    /// Jobs answered successfully.
+    pub solved: usize,
+    /// Jobs answered with a non-cancel, non-busy error.
+    pub failed: usize,
+    /// Jobs canceled while queued (v2).
+    pub canceled: usize,
+    /// Submissions rejected with `busy` (v2).
+    pub busy: usize,
+    /// The protocol version the connection ended in.
+    pub version: WireVersion,
+}
+
+/// Bound on the id→ticket correlation map kept for `cancel` frames; when
+/// exceeded the oldest mappings are forgotten (their jobs have almost
+/// certainly completed — cancel only ever lands on queued jobs anyway).
+const CANCEL_MAP_CAP: usize = 16_384;
+
+fn load_version(version: &AtomicU8) -> WireVersion {
+    if version.load(Ordering::Relaxed) >= 2 {
+        WireVersion::V2
+    } else {
+        WireVersion::V1
+    }
+}
+
+/// The service-wide engine counters embedded in summary and stats
+/// frames. Reads plain counters only — cheap enough for every
+/// connection's summary trailer (unlike [`Service::stats`], which also
+/// collects and sorts the hot heuristic keys).
+fn engine_snapshot(service: &Service) -> EngineSnapshot {
+    let cache = service.engine().cache_stats();
+    EngineSnapshot {
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_entries: cache.entries,
+        cache_evictions: cache.evictions,
+        flight_waits: cache.flight_waits,
+        warm_sessions: service.engine().warm_sessions() as u64,
+        canon_complete: cache.canon_complete,
+        canon_heuristic: cache.canon_heuristic,
+    }
+}
+
+/// The v2 `stats` frame for the service's current state (one
+/// [`Service::stats`] collection; the cache counters inside it are reused
+/// rather than fetched twice).
+pub fn stats_frame(service: &Service) -> StatsFrame {
+    let stats = service.stats();
+    StatsFrame {
+        snapshot: EngineSnapshot {
+            cache_hits: stats.cache.hits,
+            cache_misses: stats.cache.misses,
+            cache_entries: stats.cache.entries,
+            cache_evictions: stats.cache.evictions,
+            flight_waits: stats.cache.flight_waits,
+            warm_sessions: stats.warm_sessions as u64,
+            canon_complete: stats.cache.canon_complete,
+            canon_heuristic: stats.cache.canon_heuristic,
+        },
+        queue_depth: stats.queue_depth as u64,
+        queue_len: stats.queue_len as u64,
+        canon_heuristic_hot: stats
+            .hot_heuristic_keys
+            .iter()
+            .map(|(key, count)| proto::HotKey {
+                key: key.clone(),
+                count: *count,
+            })
+            .collect(),
+    }
+}
+
+/// Reader half: parses lines, dispatches frames, submits jobs. Runs on
+/// its own thread; everything it emits goes through `tx` so the writer
+/// stays the single owner of the output stream.
+fn reader_loop<R: BufRead>(
+    service: &Service,
+    input: R,
+    tx: Sender<OutEvent>,
+    version: &AtomicU8,
+    abort: &AtomicBool,
+    // Every submission is tagged with the connection's cancellation
+    // group, so a peer that hangs up mid-stream (write error → abort)
+    // does not leave minutes of abandoned work occupying the shared
+    // worker pool: the writer cancels the group on its first write
+    // error, and the sweep below catches jobs submitted after that.
+    group: crate::service::GroupId,
+) {
+    let mut tickets: HashMap<String, Ticket> = HashMap::new();
+    let mut ticket_order: std::collections::VecDeque<String> = std::collections::VecDeque::new();
+    let mut awaiting_handshake = true;
+    for (idx, line) in input.lines().enumerate() {
+        if abort.load(Ordering::Relaxed) {
+            break; // consumer gone: stop dispatching
+        }
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                // Read errors (e.g. invalid UTF-8) answer once and end the
+                // stream cleanly — the output must stay a valid JSON-lines
+                // stream to the very end.
+                let _ = tx.send(OutEvent::Response(JobResponse::failure(
+                    format!("job-{}", idx + 1),
+                    JobError::new(ErrorKind::Io, format!("input read error: {e}")),
+                )));
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = idx + 1;
+
+        // The handshake is only valid as the first non-blank line; its
+        // absence locks the connection into v1, where control frames do
+        // not exist and every line parses under v1 job rules. A *failed*
+        // handshake attempt (a line carrying a "hello" key that does not
+        // parse) is answered with its protocol error — not reinterpreted
+        // as a v1 job — and the connection stays v1.
+        if awaiting_handshake {
+            awaiting_handshake = false;
+            // A handshake attempt carries a "hello" key and is *not* a job
+            // (no "matrix") — a legacy v1 job line with a stray "hello"
+            // field keeps solving as a job, as unknown fields always did.
+            let is_hello_attempt = proto::parse_json(&line)
+                .is_ok_and(|json| json.get("hello").is_some() && json.get("matrix").is_none());
+            if is_hello_attempt {
+                let event = match ClientFrame::parse_line(&line, line_no) {
+                    Ok(ClientFrame::Hello { version: requested }) => {
+                        let granted = requested.clamp(1, PROTOCOL_VERSION);
+                        version.store(granted as u8, Ordering::Relaxed);
+                        let ack = HelloAck {
+                            protocol: granted,
+                            server: format!("rect-addr/{}", env!("CARGO_PKG_VERSION")),
+                            capabilities: service.capabilities(),
+                        };
+                        OutEvent::Control(ack.to_json_line())
+                    }
+                    Err((id, err)) => OutEvent::Response(JobResponse::failure(id, err)),
+                    // Unreachable: a line with a "hello" key parses as
+                    // Hello or errors, but stay total.
+                    Ok(_) => OutEvent::Response(JobResponse::failure(
+                        "hello".to_string(),
+                        JobError::new(ErrorKind::Protocol, "malformed handshake"),
+                    )),
+                };
+                if tx.send(event).is_err() {
+                    break;
+                }
+                continue;
+            }
+        }
+
+        match load_version(version) {
+            WireVersion::V1 => {
+                // Exactly the legacy rules: every line is a job line, and
+                // v2-only fields are ignored like any unknown extra.
+                match JobRequest::parse_line_in(&line, line_no, WireVersion::V1) {
+                    Ok(req) => {
+                        // Blocking submit: a full queue stalls this reader
+                        // (and so the peer) instead of rejecting — v1 has
+                        // no busy frame. No ticket bookkeeping either:
+                        // v1 has no cancel frame to spend tickets on.
+                        let id = req.id.clone();
+                        match service.submit_grouped(req, tx.clone(), group, true) {
+                            Ok(_ticket) => {}
+                            Err(e) => {
+                                let err = e.to_job_error(service.queue_depth());
+                                if tx
+                                    .send(OutEvent::Response(JobResponse::failure(id, err)))
+                                    .is_err()
+                                {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    Err((id, err)) => {
+                        if tx
+                            .send(OutEvent::Response(JobResponse::failure(id, err)))
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+            WireVersion::V2 => {
+                let event = match ClientFrame::parse_line(&line, line_no) {
+                    Ok(ClientFrame::Hello { .. }) => OutEvent::Response(JobResponse::failure(
+                        "hello".to_string(),
+                        JobError::new(
+                            ErrorKind::Protocol,
+                            "handshake is only valid as the first line",
+                        ),
+                    )),
+                    Ok(ClientFrame::Job(req)) => {
+                        let id = req.id.clone();
+                        match service.submit_grouped(req, tx.clone(), group, false) {
+                            Ok(ticket) => {
+                                remember(&mut tickets, &mut ticket_order, id, ticket);
+                                continue;
+                            }
+                            // Full queue → busy response: v2 backpressure.
+                            Err(e) => OutEvent::Response(JobResponse::failure(
+                                id,
+                                e.to_job_error(service.queue_depth()),
+                            )),
+                        }
+                    }
+                    Ok(ClientFrame::Cancel { id }) => {
+                        let done = tickets
+                            .get(&id)
+                            .is_some_and(|ticket| service.cancel(*ticket));
+                        OutEvent::Control(CancelAck { id, done }.to_json_line())
+                    }
+                    Ok(ClientFrame::Stats) => {
+                        OutEvent::Control(stats_frame(service).to_json_line())
+                    }
+                    Err((id, err)) => OutEvent::Response(JobResponse::failure(id, err)),
+                };
+                if tx.send(event).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    if abort.load(Ordering::Relaxed) {
+        // The peer is gone (write error): abandon this connection's
+        // still-queued jobs so the shared workers move on to live work.
+        // Their canceled responses go into the (discarding) writer drain.
+        service.cancel_group(group);
+    }
+    // `tx` drops here; the writer's drain ends once every submitted job's
+    // sink clone has delivered its response.
+}
+
+fn remember(
+    tickets: &mut HashMap<String, Ticket>,
+    order: &mut std::collections::VecDeque<String>,
+    id: String,
+    ticket: Ticket,
+) {
+    if tickets.insert(id.clone(), ticket).is_none() {
+        order.push_back(id);
+        if order.len() > CANCEL_MAP_CAP {
+            if let Some(old) = order.pop_front() {
+                tickets.remove(&old);
+            }
+        }
+    }
+}
+
+/// Drives one connection end-to-end; see the module docs. Returns once
+/// the input reached end-of-stream, every dispatched job was answered,
+/// and the final summary frame was written — the graceful-drain
+/// guarantee. On a write error (peer hung up) the remaining responses are
+/// drained and discarded and the error is returned; no summary is
+/// emitted into a dead stream.
+pub fn serve_connection<R: BufRead + Send, W: Write>(
+    service: &Service,
+    input: R,
+    output: &mut W,
+) -> std::io::Result<ConnectionSummary> {
+    let (tx, rx) = mpsc::channel::<OutEvent>();
+    let version = AtomicU8::new(1);
+    let version = &version;
+    let abort = AtomicBool::new(false);
+    let abort = &abort;
+    // This connection's cancellation group: a dead peer must not leave
+    // its queued jobs occupying the shared worker pool.
+    let group = service.new_group();
+    let mut summary = ConnectionSummary::default();
+
+    let write_error = std::thread::scope(|scope| {
+        let reader_tx = tx;
+        scope.spawn(move || reader_loop(service, input, reader_tx, version, abort, group));
+
+        // Writer: single owner of the output stream, draining responses in
+        // completion order with a flush per line. On a write error keep
+        // draining (the reader may sit in a blocking read; an early return
+        // would deadlock the scope join) but stop writing, tell the reader
+        // to stop dispatching, and abandon this connection's queued jobs —
+        // the common disconnect path is reader-EOF *then* writer-EPIPE, so
+        // the writer (not only the reader) must trigger the cleanup.
+        let mut write_error: Option<std::io::Error> = None;
+        for event in rx {
+            let line = match &event {
+                OutEvent::Response(resp) => {
+                    match resp.error_kind() {
+                        None => summary.solved += 1,
+                        Some(ErrorKind::Canceled) => summary.canceled += 1,
+                        Some(ErrorKind::Busy) => summary.busy += 1,
+                        Some(_) => summary.failed += 1,
+                    }
+                    resp.to_json_line_v(load_version(version))
+                }
+                OutEvent::Control(line) => line.clone(),
+            };
+            if write_error.is_none() {
+                let attempt = writeln!(output, "{line}").and_then(|()| output.flush());
+                if let Err(e) = attempt {
+                    write_error = Some(e);
+                    abort.store(true, Ordering::Relaxed);
+                    service.cancel_group(group);
+                }
+            }
+        }
+        write_error
+    });
+    summary.version = load_version(version);
+
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+
+    // Drain complete: every response precedes the trailer by construction.
+    let frame = SummaryFrame {
+        solved: summary.solved as u64,
+        failed: summary.failed as u64,
+        canceled: summary.canceled as u64,
+        busy: summary.busy as u64,
+        snapshot: engine_snapshot(service),
+    };
+    writeln!(output, "{}", frame.to_json_line(summary.version))?;
+    output.flush()?;
+    Ok(summary)
+}

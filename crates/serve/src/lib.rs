@@ -1,0 +1,56 @@
+//! The `rect-addr` serving layer: a [`Service`] facade over the
+//! portfolio engine plus the transports that speak the versioned wire
+//! protocol (`rect-addr-proto`) over it.
+//!
+//! The engine solves one job at a time; production serving needs a
+//! programmable surface between the protocol and the solver. This crate
+//! provides the three layers the old monolithic batch loop fused
+//! together:
+//!
+//! * [`Service`] — submission façade: a **bounded, priority-ordered
+//!   queue** with a worker pool over one shared
+//!   [`Engine`](engine::Engine). [`Service::submit`] hands back a
+//!   [`JobHandle`]; [`Service::cancel`] removes still-queued jobs; a full
+//!   queue signals backpressure ([`SubmitError::Busy`] → `busy`
+//!   responses); [`Service::stats`] exposes cache/queue observability
+//!   including the hot heuristic-canonization keys.
+//! * [`serve_connection`] — one protocol connection over any
+//!   `BufRead`/`Write` pair: v1 JSON lines by default, protocol v2
+//!   (handshake, cancel, priority/deadline, stats, busy) after a `hello`
+//!   first line. Drains in-flight jobs and emits the summary trailer on
+//!   end-of-input.
+//! * [`serve_socket`] — a Unix-domain/TCP listener fanning many
+//!   concurrent client connections into one shared service, so the
+//!   canonical cache, warm SAP sessions and adaptive scheduler are shared
+//!   across clients; [`LineClient`]/[`pump`] are the matching client
+//!   side.
+//!
+//! # Examples
+//!
+//! ```
+//! use rect_addr_serve::{serve_connection, Service, ServiceConfig};
+//! use engine::EngineConfig;
+//!
+//! let service = Service::with_engine_config(EngineConfig::default(), ServiceConfig::default());
+//! let jobs = "{\"id\": \"l0\", \"matrix\": [\"10\", \"01\"]}\n\
+//!             {\"id\": \"l1\", \"matrix\": [\"01\", \"10\"]}\n";
+//! let mut out = Vec::new();
+//! let summary = serve_connection(&service, jobs.as_bytes(), &mut out)?;
+//! assert_eq!(summary.solved, 2);
+//! // l1 is l0 with rows swapped: answered from the canonical-form cache.
+//! assert_eq!(service.engine().cache_stats().hits, 1);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+mod client;
+mod connection;
+mod service;
+mod socket;
+
+pub use client::{pump, LineClient};
+pub use connection::{serve_connection, stats_frame, ConnectionSummary};
+pub use service::{
+    GroupId, JobHandle, OutEvent, Service, ServiceConfig, ServiceStats, SubmitError, Ticket,
+    DEFAULT_QUEUE_DEPTH,
+};
+pub use socket::{connect, serve_socket, BindAddr, SocketServer, SocketStream};

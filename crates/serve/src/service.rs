@@ -1,0 +1,520 @@
+//! The [`Service`] facade: a bounded, priority-ordered submission queue
+//! and a worker pool in front of one shared [`Engine`].
+//!
+//! Every transport (the stdin/stdout loop, each socket connection, a
+//! library consumer calling [`Service::submit`]) multiplexes onto the same
+//! service, so the canonical-form cache, the warm SAP sessions and the
+//! adaptive scheduler are shared across all of them — a duplicate
+//! submitted by client A is a cache hit for client B.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use engine::{CacheStats, Engine, EngineConfig};
+use proto::{Capabilities, ErrorKind, JobError, JobRequest, JobResponse};
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Bound of the submission queue. A non-blocking submit against a full
+    /// queue is rejected with [`SubmitError::Busy`] — the backpressure
+    /// signal v2 connections forward as `busy` responses.
+    pub queue_depth: usize,
+    /// Worker threads solving jobs. `0` means
+    /// [`EngineConfig::effective_workers`].
+    pub workers: usize,
+}
+
+/// Default bound of the submission queue.
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            workers: 0,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is full; retry after draining some responses.
+    Busy,
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl SubmitError {
+    /// The wire error this rejection maps to.
+    pub fn to_job_error(self, queue_depth: usize) -> JobError {
+        match self {
+            SubmitError::Busy => JobError::new(
+                ErrorKind::Busy,
+                format!("submission queue full (depth {queue_depth}); retry later"),
+            ),
+            SubmitError::ShuttingDown => {
+                JobError::new(ErrorKind::Internal, "service is shutting down")
+            }
+        }
+    }
+}
+
+/// Opaque identity of one accepted submission, scoped to the service.
+/// Wire-level `cancel` frames name the client-chosen job id; transports
+/// map those to tickets, so same-id jobs from different connections never
+/// cancel each other.
+pub type Ticket = u64;
+
+/// Identity of a cancellation group — typically one per connection, from
+/// [`Service::new_group`] — letting a transport abandon every job it still
+/// has queued in one call ([`Service::cancel_group`]) when its peer hangs
+/// up. `0` means ungrouped.
+pub type GroupId = u64;
+
+/// One event delivered to a submission's response sink. Control frames
+/// ([`OutEvent::Control`]) are pre-serialized lines a connection injects
+/// into its own writer channel so they interleave cleanly with responses;
+/// the service itself only ever sends [`OutEvent::Response`].
+#[derive(Debug, Clone)]
+pub enum OutEvent {
+    /// A job's single response.
+    Response(JobResponse),
+    /// A pre-serialized control frame line (hello ack, cancel ack, stats).
+    Control(String),
+}
+
+/// Point-in-time service observability, the payload of the v2 `stats`
+/// frame.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Canonical-form cache counters of the shared engine.
+    pub cache: CacheStats,
+    /// Warm SAP sessions currently parked.
+    pub warm_sessions: usize,
+    /// Configured queue bound.
+    pub queue_depth: usize,
+    /// Jobs currently queued (not yet taken by a worker).
+    pub queue_len: usize,
+    /// Hottest heuristic-labeled cache keys (canonizer-aware admission
+    /// candidates), hottest first.
+    pub hot_heuristic_keys: Vec<(String, u64)>,
+}
+
+/// Queue ordering: higher priority first, FIFO within a priority.
+type OrderKey = (i64, u64); // (-priority, seq): BTreeMap pops the minimum
+
+struct Queued {
+    ticket: Ticket,
+    group: GroupId,
+    req: JobRequest,
+    sink: Sender<OutEvent>,
+    submitted: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    by_order: BTreeMap<OrderKey, Queued>,
+    by_ticket: HashMap<Ticket, OrderKey>,
+    seq: u64,
+    stop: bool,
+}
+
+struct Inner {
+    engine: Arc<Engine>,
+    state: Mutex<QueueState>,
+    /// Signals workers that work (or stop) is available.
+    work: Condvar,
+    /// Signals blocking submitters that queue space freed up.
+    space: Condvar,
+    queue_depth: usize,
+    next_ticket: AtomicU64,
+    next_group: AtomicU64,
+}
+
+impl Inner {
+    /// Solves one dequeued job, honoring its queue deadline: an expired
+    /// deadline answers [`ErrorKind::Deadline`] without running, and a
+    /// live one clamps the job's wall-clock budget to the time remaining.
+    /// The deadline-free common path borrows the request as-is (no
+    /// per-job matrix clone on the worker hot path).
+    fn run_one(&self, job: &Queued) -> JobResponse {
+        let Some(deadline_ms) = job.req.deadline_ms else {
+            return self.engine.solve_job(&job.req);
+        };
+        let waited_ms = job.submitted.elapsed().as_millis() as u64;
+        let Some(remaining) = deadline_ms.checked_sub(waited_ms).filter(|r| *r > 0) else {
+            return JobResponse::failure(
+                job.req.id.clone(),
+                JobError::new(
+                    ErrorKind::Deadline,
+                    format!("deadline of {deadline_ms}ms expired after {waited_ms}ms in queue"),
+                ),
+            );
+        };
+        let mut req = job.req.clone();
+        req.budget_ms = Some(req.budget_ms.map_or(remaining, |b| b.min(remaining)));
+        self.engine.solve_job(&req)
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("service queue poisoned");
+            loop {
+                if let Some((_, job)) = state.by_order.pop_first() {
+                    state.by_ticket.remove(&job.ticket);
+                    break job;
+                }
+                // Stop only once the queue is drained: shutdown answers
+                // every accepted job before the workers exit.
+                if state.stop {
+                    return;
+                }
+                state = inner.work.wait(state).expect("service queue poisoned");
+            }
+        };
+        inner.space.notify_one();
+        let response = inner.run_one(&job);
+        // A closed sink (the submitter hung up) just discards the answer.
+        let _ = job.sink.send(OutEvent::Response(response));
+    }
+}
+
+/// Handle to one accepted submission from [`Service::submit`].
+#[derive(Debug)]
+pub struct JobHandle {
+    ticket: Ticket,
+    id: String,
+    rx: Receiver<OutEvent>,
+}
+
+impl JobHandle {
+    /// The service-scoped ticket (pass to [`Service::cancel`]).
+    pub fn ticket(&self) -> Ticket {
+        self.ticket
+    }
+
+    /// The job's correlation id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Blocks until the job's response exists (solved, canceled, or
+    /// deadline-expired). A service torn down before the job ran answers
+    /// [`ErrorKind::Internal`].
+    pub fn wait(self) -> JobResponse {
+        match self.rx.recv() {
+            Ok(OutEvent::Response(resp)) => resp,
+            Ok(OutEvent::Control(_)) | Err(_) => JobResponse::failure(
+                self.id,
+                JobError::new(ErrorKind::Internal, "service dropped the job"),
+            ),
+        }
+    }
+}
+
+/// The serving facade over one shared [`Engine`]; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use engine::{Engine, EngineConfig};
+/// use proto::JobRequest;
+/// use rect_addr_serve::{Service, ServiceConfig};
+///
+/// let engine = Arc::new(Engine::new(EngineConfig::default()));
+/// let service = Service::new(engine, ServiceConfig::default());
+/// let handle = service
+///     .submit(JobRequest::new("l0", "10\n01".parse().unwrap()))
+///     .expect("queue has room");
+/// let resp = handle.wait();
+/// assert!(resp.ok);
+/// assert_eq!(resp.depth, 2);
+/// ```
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl Service {
+    /// Spawns the worker pool over an existing (possibly shared) engine.
+    pub fn new(engine: Arc<Engine>, config: ServiceConfig) -> Service {
+        let worker_count = if config.workers == 0 {
+            engine.config().effective_workers()
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(Inner {
+            engine,
+            state: Mutex::new(QueueState::default()),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            queue_depth: config.queue_depth.max(1),
+            next_ticket: AtomicU64::new(1),
+            next_group: AtomicU64::new(1),
+        });
+        let workers = (0..worker_count)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(inner))
+            })
+            .collect();
+        Service {
+            inner,
+            workers: Mutex::new(workers),
+            worker_count,
+        }
+    }
+
+    /// Convenience constructor building the engine too.
+    pub fn with_engine_config(engine: EngineConfig, config: ServiceConfig) -> Service {
+        Service::new(Arc::new(Engine::new(engine)), config)
+    }
+
+    /// The shared engine (for direct solves or stats).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.inner.engine
+    }
+
+    /// Worker threads solving jobs.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Configured bound of the submission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue_depth
+    }
+
+    /// Submits a job, delivering its [`OutEvent::Response`] to `sink` on
+    /// completion. Non-blocking: a full queue answers
+    /// [`SubmitError::Busy`] immediately — the transport turns that into
+    /// a `busy` response (v2 backpressure).
+    pub fn submit_to(
+        &self,
+        req: JobRequest,
+        sink: Sender<OutEvent>,
+    ) -> Result<Ticket, SubmitError> {
+        self.enqueue(req, sink, 0, false)
+    }
+
+    /// Like [`Service::submit_to`] but **blocks** for queue space instead
+    /// of rejecting — natural backpressure for transports whose input can
+    /// simply stall (the v1 stdin loop).
+    pub fn submit_to_blocking(
+        &self,
+        req: JobRequest,
+        sink: Sender<OutEvent>,
+    ) -> Result<Ticket, SubmitError> {
+        self.enqueue(req, sink, 0, true)
+    }
+
+    /// A fresh cancellation group for [`Service::submit_grouped`] —
+    /// typically one per connection.
+    pub fn new_group(&self) -> GroupId {
+        self.inner.next_group.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// [`Service::submit_to`]/[`Service::submit_to_blocking`] with a
+    /// cancellation-group tag, so the whole group's still-queued jobs can
+    /// be abandoned at once when the submitter's peer disappears.
+    pub fn submit_grouped(
+        &self,
+        req: JobRequest,
+        sink: Sender<OutEvent>,
+        group: GroupId,
+        blocking: bool,
+    ) -> Result<Ticket, SubmitError> {
+        self.enqueue(req, sink, group, blocking)
+    }
+
+    /// Submits a job and returns a [`JobHandle`] to wait on — the
+    /// library-consumer entry point.
+    pub fn submit(&self, req: JobRequest) -> Result<JobHandle, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        let id = req.id.clone();
+        let ticket = self.submit_to(req, tx)?;
+        Ok(JobHandle { ticket, id, rx })
+    }
+
+    fn enqueue(
+        &self,
+        req: JobRequest,
+        sink: Sender<OutEvent>,
+        group: GroupId,
+        blocking: bool,
+    ) -> Result<Ticket, SubmitError> {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock().expect("service queue poisoned");
+        while state.by_order.len() >= inner.queue_depth {
+            if state.stop {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if !blocking {
+                return Err(SubmitError::Busy);
+            }
+            state = inner.space.wait(state).expect("service queue poisoned");
+        }
+        if state.stop {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let ticket = inner.next_ticket.fetch_add(1, Ordering::Relaxed);
+        state.seq += 1;
+        // Negated priority: BTreeMap iteration order pops the minimum, so
+        // higher priorities sort first and ties stay FIFO by sequence.
+        // Saturating: -i64::MIN would overflow; saturating to MAX keeps the
+        // lowest expressible priority sorting last instead of panicking.
+        let key = (req.priority.saturating_neg(), state.seq);
+        state.by_ticket.insert(ticket, key);
+        state.by_order.insert(
+            key,
+            Queued {
+                ticket,
+                group,
+                req,
+                sink,
+                submitted: Instant::now(),
+            },
+        );
+        drop(state);
+        inner.work.notify_one();
+        Ok(ticket)
+    }
+
+    /// Cancels a **still-queued** job: removes it and delivers its
+    /// [`ErrorKind::Canceled`] response through its sink. Returns `false`
+    /// when the ticket is unknown, already running, or already answered —
+    /// a started job is never interrupted, so every accepted job yields
+    /// exactly one response.
+    pub fn cancel(&self, ticket: Ticket) -> bool {
+        let job = {
+            let mut state = self.inner.state.lock().expect("service queue poisoned");
+            let Some(key) = state.by_ticket.remove(&ticket) else {
+                return false;
+            };
+            state.by_order.remove(&key).expect("ticket maps into queue")
+        };
+        self.inner.space.notify_one();
+        let response = JobResponse::failure(
+            job.req.id.clone(),
+            JobError::new(ErrorKind::Canceled, "canceled while queued"),
+        );
+        let _ = job.sink.send(OutEvent::Response(response));
+        true
+    }
+
+    /// Cancels every **still-queued** job of `group` (running jobs finish
+    /// normally), delivering each job's [`ErrorKind::Canceled`] response
+    /// through its sink. Returns the number of jobs removed. Transports
+    /// call this when their peer hangs up mid-stream, so abandoned work
+    /// stops occupying the shared worker pool. Group `0` (ungrouped)
+    /// never matches.
+    pub fn cancel_group(&self, group: GroupId) -> usize {
+        if group == 0 {
+            return 0;
+        }
+        let victims: Vec<Queued> = {
+            let mut state = self.inner.state.lock().expect("service queue poisoned");
+            let keys: Vec<OrderKey> = state
+                .by_order
+                .iter()
+                .filter(|(_, job)| job.group == group)
+                .map(|(key, _)| *key)
+                .collect();
+            keys.into_iter()
+                .map(|key| {
+                    let job = state.by_order.remove(&key).expect("key just collected");
+                    state.by_ticket.remove(&job.ticket);
+                    job
+                })
+                .collect()
+        };
+        self.inner.space.notify_all();
+        let count = victims.len();
+        for job in victims {
+            let response = JobResponse::failure(
+                job.req.id.clone(),
+                JobError::new(ErrorKind::Canceled, "canceled: submitter hung up"),
+            );
+            let _ = job.sink.send(OutEvent::Response(response));
+        }
+        count
+    }
+
+    /// Current observability counters (the v2 `stats` frame payload).
+    pub fn stats(&self) -> ServiceStats {
+        let queue_len = self
+            .inner
+            .state
+            .lock()
+            .expect("service queue poisoned")
+            .by_order
+            .len();
+        ServiceStats {
+            cache: self.inner.engine.cache_stats(),
+            warm_sessions: self.inner.engine.warm_sessions(),
+            queue_depth: self.inner.queue_depth,
+            queue_len,
+            hot_heuristic_keys: self.inner.engine.hot_heuristic_keys(8),
+        }
+    }
+
+    /// What this service advertises in the v2 handshake ack.
+    pub fn capabilities(&self) -> Capabilities {
+        let cfg = self.inner.engine.config();
+        let mut strategies = vec!["trivial".to_string(), "packing".to_string()];
+        if cfg.portfolio.exact_cover {
+            strategies.push("packing-dlx".to_string());
+        }
+        if cfg.portfolio.sap {
+            strategies.push("sap".to_string());
+        }
+        Capabilities {
+            shards: cfg.cache_shards as u64,
+            strategies,
+            canon_budget: cfg.canon.max_branches as u64,
+            queue_depth: self.inner.queue_depth as u64,
+            workers: self.worker_count as u64,
+        }
+    }
+
+    /// Stops accepting work, drains the queue (every accepted job is
+    /// answered) and joins the workers. Called automatically on drop;
+    /// idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.inner.state.lock().expect("service queue poisoned");
+            state.stop = true;
+        }
+        self.inner.work.notify_all();
+        self.inner.space.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.worker_count)
+            .field("queue_depth", &self.inner.queue_depth)
+            .finish()
+    }
+}

@@ -1,0 +1,344 @@
+//! The socket front-end: a Unix-domain or TCP listener feeding many
+//! concurrent client connections into one shared [`Service`].
+//!
+//! Each accepted connection runs [`serve_connection`] on its own thread,
+//! so N clients multiplex onto the same engine — one canonical-form
+//! cache, one warm-session store, one adaptive scheduler. Shutting the
+//! listener down stops accepting and then joins the live connections,
+//! each of which drains its in-flight jobs and emits its summary frame
+//! before closing (the graceful-shutdown guarantee).
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::connection::serve_connection;
+use crate::service::Service;
+
+/// Where a socket server binds (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindAddr {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` address.
+    Tcp(String),
+}
+
+impl BindAddr {
+    /// Classifies an address string: an explicit `unix:`/`tcp:` prefix
+    /// wins; otherwise anything containing `/` (or ending in `.sock`) is
+    /// a filesystem path and the rest is TCP `host:port`.
+    pub fn parse(s: &str) -> BindAddr {
+        if let Some(path) = s.strip_prefix("unix:") {
+            BindAddr::Unix(PathBuf::from(path))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            BindAddr::Tcp(addr.to_string())
+        } else if s.contains('/') || s.ends_with(".sock") {
+            BindAddr::Unix(PathBuf::from(s))
+        } else {
+            BindAddr::Tcp(s.to_string())
+        }
+    }
+}
+
+impl std::fmt::Display for BindAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            BindAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A connected byte stream of either family.
+#[derive(Debug)]
+pub enum SocketStream {
+    /// A Unix-domain stream.
+    Unix(UnixStream),
+    /// A TCP stream.
+    Tcp(TcpStream),
+}
+
+impl SocketStream {
+    /// An independently-owned second handle to the same stream.
+    pub fn try_clone(&self) -> io::Result<SocketStream> {
+        Ok(match self {
+            SocketStream::Unix(s) => SocketStream::Unix(s.try_clone()?),
+            SocketStream::Tcp(s) => SocketStream::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Half-closes the write side, signalling end-of-jobs to the server
+    /// while keeping the read side open for the remaining responses.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            SocketStream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+            SocketStream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+
+    /// Half-closes the read side: a peer blocked reading this stream sees
+    /// end-of-input. The server's shutdown path uses this to turn idle
+    /// connections into the ordinary EOF drain (responses + summary still
+    /// go out on the intact write side).
+    pub fn shutdown_read(&self) -> io::Result<()> {
+        match self {
+            SocketStream::Unix(s) => s.shutdown(std::net::Shutdown::Read),
+            SocketStream::Tcp(s) => s.shutdown(std::net::Shutdown::Read),
+        }
+    }
+
+    /// Bounds how long a single `write` may block on a peer that stopped
+    /// reading (kernel send buffer full). `None` = block forever.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            SocketStream::Unix(s) => s.set_write_timeout(timeout),
+            SocketStream::Tcp(s) => s.set_write_timeout(timeout),
+        }
+    }
+}
+
+impl Read for SocketStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            SocketStream::Unix(s) => s.read(buf),
+            SocketStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SocketStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            SocketStream::Unix(s) => s.write(buf),
+            SocketStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            SocketStream::Unix(s) => s.flush(),
+            SocketStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Connects to a listening [`SocketServer`] (client side).
+pub fn connect(addr: &BindAddr) -> io::Result<SocketStream> {
+    Ok(match addr {
+        BindAddr::Unix(path) => SocketStream::Unix(UnixStream::connect(path)?),
+        BindAddr::Tcp(addr) => SocketStream::Tcp(TcpStream::connect(addr.as_str())?),
+    })
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<SocketStream> {
+        Ok(match self {
+            Listener::Unix(l) => SocketStream::Unix(l.accept()?.0),
+            Listener::Tcp(l) => SocketStream::Tcp(l.accept()?.0),
+        })
+    }
+}
+
+/// Per-write stall bound on accepted connections: a peer that stops
+/// reading trips this, turning its connection into the write-error drain
+/// (queued jobs canceled, output discarded) instead of blocking the
+/// server's shutdown join forever.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running socket front-end; see [`serve_socket`].
+pub struct SocketServer {
+    local: BindAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<Option<io::Error>>>,
+    unix_path: Option<PathBuf>,
+}
+
+impl SocketServer {
+    /// The actually-bound address — for `tcp:host:0` this carries the
+    /// kernel-assigned port, so tests and logs can connect to it.
+    pub fn local_addr(&self) -> &BindAddr {
+        &self.local
+    }
+
+    /// Joins the acceptor (if still running) and returns its fatal accept
+    /// error, if it died of one.
+    fn reap(&mut self) -> Option<io::Error> {
+        self.acceptor.take().and_then(|h| h.join().ok().flatten())
+    }
+
+    /// Stops accepting new connections, then joins the acceptor and every
+    /// live connection thread. Live connections have their read side
+    /// half-closed — an idle peer cannot stall the shutdown — after which
+    /// each drains its in-flight jobs and writes its summary frame before
+    /// closing. A peer that stops *reading* is bounded by
+    /// [`WRITE_TIMEOUT`] per write instead of blocking the join forever.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection; if the
+        // listener is already broken the acceptor is exiting anyway.
+        let _ = connect(&self.local);
+        let _ = self.reap();
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Blocks until the acceptor exits — after
+    /// [`SocketServer::shutdown`] from another thread, or on a fatal
+    /// accept error, which is returned so the long-running
+    /// `rect-addr serve --listen` path can exit non-zero instead of
+    /// silently reporting a clean stop.
+    pub fn join(&mut self) -> io::Result<()> {
+        match self.reap() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for SocketServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketServer")
+            .field("local", &self.local)
+            .finish()
+    }
+}
+
+/// Binds `addr` and serves connections against `service` until
+/// [`SocketServer::shutdown`]. A stale Unix socket file from a previous
+/// run is replaced. Returns immediately; accepting runs on a background
+/// thread, one more thread per live connection.
+pub fn serve_socket(service: Arc<Service>, addr: &BindAddr) -> io::Result<SocketServer> {
+    let (listener, local, unix_path) = match addr {
+        BindAddr::Unix(path) => {
+            if let Ok(meta) = std::fs::symlink_metadata(path) {
+                use std::os::unix::fs::FileTypeExt;
+                if !meta.file_type().is_socket() {
+                    // Refuse to clobber a regular file/dir at a typo'd path.
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("{} exists and is not a socket", path.display()),
+                    ));
+                }
+                if UnixStream::connect(path).is_err() {
+                    // Nothing is listening: a stale socket from a crashed run.
+                    std::fs::remove_file(path)?;
+                }
+            }
+            let listener = UnixListener::bind(path)?;
+            (
+                Listener::Unix(listener),
+                BindAddr::Unix(path.clone()),
+                Some(path.clone()),
+            )
+        }
+        BindAddr::Tcp(spec) => {
+            let listener = TcpListener::bind(spec.as_str())?;
+            let local = BindAddr::Tcp(listener.local_addr()?.to_string());
+            (Listener::Tcp(listener), local, None)
+        }
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = {
+        let stop = stop.clone();
+        std::thread::spawn(move || -> Option<io::Error> {
+            // Blocking accept — no polling. Shutdown wakes it with a
+            // throwaway self-connection. Connection threads are joined
+            // before the acceptor exits, so shutdown implies every
+            // connection drained and closed. Each entry keeps a control
+            // clone of the stream: on shutdown the read side is
+            // half-closed, turning a connection blocked on an idle peer
+            // into the ordinary EOF drain instead of a hang.
+            let mut connections: Vec<(JoinHandle<()>, SocketStream)> = Vec::new();
+            let mut consecutive_errors = 0u32;
+            let fatal = loop {
+                if stop.load(Ordering::Relaxed) {
+                    break None;
+                }
+                match listener.accept() {
+                    Ok(stream) => {
+                        consecutive_errors = 0;
+                        if stop.load(Ordering::Relaxed) {
+                            break None; // the shutdown wake-up connection
+                        }
+                        // A peer that stops *reading* would otherwise block
+                        // the connection's writer forever (and with it the
+                        // acceptor's final join): bound each write so such
+                        // a connection fails over to the write-error drain.
+                        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                        let Ok(control) = stream.try_clone() else {
+                            continue;
+                        };
+                        let service = service.clone();
+                        let handle = std::thread::spawn(move || {
+                            let Ok(mut writer) = stream.try_clone() else {
+                                return;
+                            };
+                            let reader = BufReader::new(stream);
+                            // A peer that hangs up mid-stream surfaces as a
+                            // write error; the connection already drained.
+                            let _ = serve_connection(&service, reader, &mut writer);
+                            // The acceptor still holds a control clone of
+                            // this socket, so dropping our handles alone
+                            // would not EOF the peer: half-close explicitly
+                            // to end the client's read loop.
+                            let _ = writer.shutdown_write();
+                        });
+                        connections.push((handle, control));
+                        // Reap finished connections so a long-lived server
+                        // does not accumulate dead handles.
+                        connections.retain(|(h, _)| !h.is_finished());
+                    }
+                    Err(e) => {
+                        // Transient failures (EMFILE under load, EINTR…)
+                        // back off and keep serving; a listener that only
+                        // errors for ~5s straight is dead — report it.
+                        consecutive_errors += 1;
+                        if consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                            eprintln!("rect-addr: accept failing persistently: {e}");
+                            break Some(e);
+                        }
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+            };
+            for (handle, control) in connections {
+                // EOF the reader (write side stays open): the connection
+                // drains in-flight jobs and emits its summary, then exits.
+                let _ = control.shutdown_read();
+                let _ = handle.join();
+            }
+            fatal
+        })
+    };
+
+    Ok(SocketServer {
+        local,
+        stop,
+        acceptor: Some(acceptor),
+        unix_path,
+    })
+}
+
+/// Consecutive `accept` failures (at 100 ms back-off each) before the
+/// acceptor gives up and reports the error through
+/// [`SocketServer::join`].
+const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 50;

@@ -9,13 +9,16 @@
 //! * [`exactcover`] — Algorithm X / dancing links;
 //! * [`ebmf`] — the paper's core contribution: row packing and SAP;
 //! * [`qaddress`] — AOD addressing schedules and the FTQC two-level layer;
-//! * [`engine`] — concurrent portfolio solving with canonical-form caching
-//!   and the JSON-lines streaming batch protocol.
+//! * [`proto`] — the versioned JSON-lines wire protocol (v1 + v2);
+//! * [`engine`] — concurrent portfolio solving with canonical-form caching;
+//! * [`serve`] — the `Service` facade and its stdin/socket transports.
 
 pub use bitmatrix;
 pub use ebmf;
 pub use engine;
 pub use exactcover;
 pub use linalg;
+pub use proto;
 pub use qaddress;
 pub use sat;
+pub use serve;

@@ -35,12 +35,7 @@ fn hundred_jobs() -> (String, BTreeMap<String, BitMatrix>) {
             let cp = bitmatrix::random_permutation(base.ncols(), &mut rng);
             base.submatrix(&rp, &cp)
         };
-        let req = JobRequest {
-            id: format!("job-{i:03}"),
-            matrix: matrix.clone(),
-            budget_ms: Some(5_000),
-            conflicts: None,
-        };
+        let req = JobRequest::new(format!("job-{i:03}"), matrix.clone()).with_budget_ms(5_000);
         lines.push_str(&req.to_json_line());
         lines.push('\n');
         by_id.insert(req.id, matrix);
