@@ -265,15 +265,30 @@ pub struct CanonicalCache {
     /// Per-key lookup counts of heuristic-labeled keys — the canonizer-aware
     /// admission signal: a hot heuristic key is a class the canonizer keeps
     /// failing to label completely, worth re-canonizing at a larger budget.
-    /// Sharded like the entry maps (same key → same index) so
-    /// heuristic-heavy concurrent streams do not serialize on one lock;
-    /// bounded to [`HEURISTIC_KEY_CAP`] total distinct keys to cap memory.
-    heuristic_keys: Box<[Mutex<HashMap<String, u64>>]>,
+    /// Keyed by the full key's hash with a bounded preview, so memory is
+    /// capped at [`HEURISTIC_KEY_CAP`] × [`HEURISTIC_KEY_PREVIEW`]-sized
+    /// entries no matter how large the matrices' keys are. Sharded like
+    /// the entry maps (same key → same index) so heuristic-heavy
+    /// concurrent streams do not serialize on one lock.
+    heuristic_keys: Box<[Mutex<HashMap<u64, HeuristicKeyCount>>]>,
+}
+
+/// One tracked heuristic key: a bounded preview plus its lookup count.
+/// Identity is the full key's hash (the map key), so arbitrarily large
+/// canonical keys never pin their bytes in the tracker.
+#[derive(Debug)]
+struct HeuristicKeyCount {
+    preview: String,
+    count: u64,
 }
 
 /// Bound on distinct heuristic keys tracked per cache (memory cap; lookups
 /// beyond it still count in `canon_heuristic`, just not per key).
 pub const HEURISTIC_KEY_CAP: usize = 4096;
+
+/// Chars of a tracked heuristic key kept for reporting; longer keys are
+/// truncated (identity is by full-key hash, so counting is unaffected).
+pub const HEURISTIC_KEY_PREVIEW: usize = 64;
 
 /// Default shard count of [`CanonicalCache::new`].
 pub const DEFAULT_SHARDS: usize = 16;
@@ -321,14 +336,21 @@ impl CanonicalCache {
             }
             crate::canon::Completeness::Heuristic => {
                 self.canon_heuristic.fetch_add(1, Ordering::Relaxed);
-                let shard = self.shard_of(canon.key());
+                let hash = Self::key_hash(canon.key());
+                let shard = (hash % self.heuristic_keys.len() as u64) as usize;
                 let mut keys = self.heuristic_keys[shard]
                     .lock()
                     .expect("heuristic keys poisoned");
-                if let Some(count) = keys.get_mut(canon.key()) {
-                    *count += 1;
+                if let Some(entry) = keys.get_mut(&hash) {
+                    entry.count += 1;
                 } else if keys.len() < self.heuristic_cap_per_shard() {
-                    keys.insert(canon.key().to_string(), 1);
+                    keys.insert(
+                        hash,
+                        HeuristicKeyCount {
+                            preview: canon.key().chars().take(HEURISTIC_KEY_PREVIEW).collect(),
+                            count: 1,
+                        },
+                    );
                 }
             }
         }
@@ -336,24 +358,30 @@ impl CanonicalCache {
 
     /// The most-looked-up heuristic-labeled keys, hottest first (count
     /// ties break lexicographically for determinism), truncated to
-    /// `limit`. These are the permutation classes the complete canonizer
-    /// kept falling back on — the candidates a canonizer-aware admission
-    /// pass would re-canonize at a larger budget and merge.
+    /// `limit`. Keys longer than [`HEURISTIC_KEY_PREVIEW`] chars are
+    /// reported as previews. These are the permutation classes the
+    /// complete canonizer kept falling back on — the candidates a
+    /// canonizer-aware admission pass would re-canonize at a larger
+    /// budget and merge.
     pub fn hot_heuristic_keys(&self, limit: usize) -> Vec<(String, u64)> {
         let mut all: Vec<(String, u64)> = Vec::new();
         for shard in self.heuristic_keys.iter() {
             let keys = shard.lock().expect("heuristic keys poisoned");
-            all.extend(keys.iter().map(|(k, c)| (k.clone(), *c)));
+            all.extend(keys.values().map(|e| (e.preview.clone(), e.count)));
         }
         all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         all.truncate(limit);
         all
     }
 
-    fn shard_of(&self, key: &str) -> usize {
+    fn key_hash(key: &str) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        (h.finish() % self.shards.len() as u64) as usize
+        h.finish()
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        (Self::key_hash(key) % self.shards.len() as u64) as usize
     }
 
     /// Evicts the least-recently-used ready entry when the shard is full.
@@ -637,6 +665,28 @@ mod tests {
         assert_eq!(hot[1], (cid.key().to_string(), 1));
         assert_eq!(cache.hot_heuristic_keys(1).len(), 1, "limit respected");
         assert_eq!(cache.stats().canon_heuristic_keys, 2);
+    }
+
+    #[test]
+    fn heuristic_key_tracking_stores_bounded_previews() {
+        use crate::canon::{canonical_form_with, CanonOptions};
+        let cache = CanonicalCache::new(8);
+        // An 8×8 identity: vertex-transitive, so heuristic at budget 0,
+        // with a key (71 chars) longer than the preview bound.
+        let rows: Vec<String> = (0..8)
+            .map(|i| (0..8).map(|j| if i == j { '1' } else { '0' }).collect())
+            .collect();
+        let m: BitMatrix = rows.join("\n").parse().unwrap();
+        let canon = canonical_form_with(&m, &CanonOptions { max_branches: 0 });
+        assert!(!canon.is_complete());
+        assert!(canon.key().len() > HEURISTIC_KEY_PREVIEW);
+        let _ = cache.get(&canon);
+        let _ = cache.get(&canon);
+        let hot = cache.hot_heuristic_keys(4);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].0.len(), HEURISTIC_KEY_PREVIEW, "preview bounded");
+        assert_eq!(hot[0].0, canon.key()[..HEURISTIC_KEY_PREVIEW]);
+        assert_eq!(hot[0].1, 2, "counted by full-key hash, not preview");
     }
 
     #[test]

@@ -56,15 +56,21 @@ pub enum ClientFrame {
 }
 
 impl ClientFrame {
-    /// Classifies and parses one client line. Control frames are
-    /// recognized by their marker key (`hello` / `cancel` / `stats`);
-    /// anything else parses as a job request — exactly protocol v1's rule,
-    /// so v1 job lines are never misread. On failure returns the job id
-    /// (when one was readable) plus the categorized error.
+    /// Classifies and parses one client line. A line carrying a `matrix`
+    /// key is always a **job** — legacy v1 job lines may carry stray
+    /// fields named like control markers, and unknown fields were always
+    /// ignored. Only matrix-less lines are classified by their marker key
+    /// (`hello` / `cancel` / `stats`); anything else parses as a job
+    /// request — exactly protocol v1's rule, so v1 job lines are never
+    /// misread. On failure returns the job id (when one was readable)
+    /// plus the categorized error.
     pub fn parse_line(line: &str, line_no: usize) -> Result<ClientFrame, (String, JobError)> {
         let fallback_id = format!("job-{line_no}");
         let json = parse_json(line)
             .map_err(|e| (fallback_id.clone(), JobError::new(ErrorKind::Parse, e)))?;
+        if json.get("matrix").is_some() {
+            return JobRequest::from_json(&json, &fallback_id).map(ClientFrame::Job);
+        }
         if let Some(v) = json.get("hello") {
             let version = v
                 .as_f64()
@@ -505,6 +511,19 @@ mod tests {
         match ClientFrame::parse_line("{\"id\": \"a\", \"matrix\": \"10;01\"}", 1).unwrap() {
             ClientFrame::Job(req) => assert_eq!(req.id, "a"),
             other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_lines_with_stray_marker_keys_stay_jobs() {
+        // Unknown extra fields were always ignored on job lines, so a
+        // stray control-marker-named field must not consume the job.
+        for stray in ["\"stats\": true", "\"cancel\": \"x\"", "\"hello\": 2"] {
+            let line = format!("{{\"id\": \"j\", \"matrix\": \"10;01\", {stray}}}");
+            match ClientFrame::parse_line(&line, 1).unwrap() {
+                ClientFrame::Job(req) => assert_eq!(req.id, "j"),
+                other => panic!("expected job for {line}, got {other:?}"),
+            }
         }
     }
 

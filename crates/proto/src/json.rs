@@ -65,11 +65,18 @@ impl Json {
     }
 }
 
-/// Parses one JSON document (rejecting trailing garbage).
+/// Deepest container nesting `parse_json` accepts. The parser recurses
+/// per nesting level, so without a bound one wire line of repeated `[`
+/// overflows the stack and aborts the whole process; real protocol
+/// frames nest three or four levels.
+pub const MAX_DEPTH: usize = 128;
+
+/// Parses one JSON document (rejecting trailing garbage and containers
+/// nested deeper than [`MAX_DEPTH`]).
 pub fn parse_json(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing characters at byte {pos}"));
@@ -92,12 +99,15 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
@@ -197,7 +207,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -206,7 +216,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -219,7 +229,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'{')?;
     let mut map = BTreeMap::new();
     skip_ws(b, pos);
@@ -232,7 +242,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        let value = parse_value(b, pos)?;
+        let value = parse_value(b, pos, depth + 1)?;
         map.insert(key, value);
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -297,6 +307,26 @@ mod tests {
         // Lone surrogates degrade to U+FFFD rather than erroring.
         let lone = parse_json(r#""\ud83d!""#).unwrap();
         assert_eq!(lone.as_str(), Some("\u{FFFD}!"));
+    }
+
+    #[test]
+    fn json_parser_bounds_nesting_depth() {
+        // At the bound: parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse_json(&ok).is_ok());
+        // One past the bound: a parse error, not a stack overflow.
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse_json(&over).unwrap_err().contains("nesting"));
+        // Objects and mixed nesting hit the same bound.
+        let objs = "{\"k\": ".repeat(MAX_DEPTH + 1) + "1" + &"}".repeat(MAX_DEPTH + 1);
+        assert!(parse_json(&objs).unwrap_err().contains("nesting"));
+        // The adversarial shape from the wire: a line of repeated '['
+        // (unclosed) must error out instead of aborting the process.
+        assert!(parse_json(&"[".repeat(2_000_000)).is_err());
     }
 
     #[test]

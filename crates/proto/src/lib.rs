@@ -33,6 +33,7 @@
 pub mod frame;
 pub mod job;
 pub mod json;
+pub mod line;
 
 pub use frame::{
     CancelAck, Capabilities, ClientFrame, EngineSnapshot, HelloAck, HotKey, StatsFrame,
@@ -40,3 +41,4 @@ pub use frame::{
 };
 pub use job::{ErrorKind, JobError, JobRequest, JobResponse};
 pub use json::{parse_json, write_json_string, Json};
+pub use line::{read_line_bounded, LineRead, MAX_LINE_BYTES, MAX_RESPONSE_LINE_BYTES};

@@ -4,7 +4,10 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 
-use proto::{ClientFrame, HelloAck, JobRequest, PROTOCOL_VERSION};
+use proto::{
+    read_line_bounded, ClientFrame, HelloAck, JobRequest, LineRead, MAX_LINE_BYTES,
+    MAX_RESPONSE_LINE_BYTES, PROTOCOL_VERSION,
+};
 
 use crate::socket::{connect, BindAddr, SocketStream};
 
@@ -54,16 +57,19 @@ impl LineClient {
         self.send_line(&req.to_json_line())
     }
 
-    /// Receives one server line; `None` at end-of-stream.
+    /// Receives one server line; `None` at end-of-stream. Bounded: a
+    /// server line longer than [`MAX_RESPONSE_LINE_BYTES`] (a loose cap —
+    /// response partitions legitimately outgrow their job lines) errors
+    /// instead of growing client memory without limit.
     pub fn recv_line(&mut self) -> io::Result<Option<String>> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Ok(None);
+        match read_line_bounded(&mut self.reader, MAX_RESPONSE_LINE_BYTES)? {
+            LineRead::Eof => Ok(None),
+            LineRead::Line(line) => Ok(Some(line)),
+            LineRead::TooLong => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server line exceeds {MAX_RESPONSE_LINE_BYTES} bytes"),
+            )),
         }
-        while line.ends_with('\n') || line.ends_with('\r') {
-            line.pop();
-        }
-        Ok(Some(line))
     }
 
     /// Half-closes the write side — "no more jobs" — after which the
@@ -88,20 +94,42 @@ pub fn pump<R: BufRead + Send, W: Write>(
     let mut responses = BufReader::new(stream);
     std::thread::scope(|scope| -> io::Result<usize> {
         let send = scope.spawn(move || -> io::Result<()> {
-            for line in input.lines() {
-                writeln!(sender, "{}", line?)?;
-                sender.flush()?;
+            // Bounded like the server side: the server would reject an
+            // oversized line anyway, so fail it here without first
+            // buffering it whole.
+            let mut input = input;
+            loop {
+                match read_line_bounded(&mut input, MAX_LINE_BYTES)? {
+                    LineRead::Eof => break,
+                    LineRead::Line(line) => {
+                        writeln!(sender, "{line}")?;
+                        sender.flush()?;
+                    }
+                    LineRead::TooLong => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("input line exceeds {MAX_LINE_BYTES} bytes"),
+                        ))
+                    }
+                }
             }
             sender.shutdown_write()
         });
         let mut count = 0usize;
-        let mut line = String::new();
         loop {
-            line.clear();
-            if responses.read_line(&mut line)? == 0 {
-                break;
-            }
-            writeln!(output, "{}", line.trim_end_matches(['\n', '\r']))?;
+            // Looser cap than the send side: response partitions
+            // legitimately outgrow their job lines.
+            let line = match read_line_bounded(&mut responses, MAX_RESPONSE_LINE_BYTES)? {
+                LineRead::Eof => break,
+                LineRead::Line(line) => line,
+                LineRead::TooLong => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("server line exceeds {MAX_RESPONSE_LINE_BYTES} bytes"),
+                    ))
+                }
+            };
+            writeln!(output, "{line}")?;
             output.flush()?;
             count += 1;
         }

@@ -23,8 +23,9 @@ use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Sender};
 
 use proto::{
-    CancelAck, ClientFrame, EngineSnapshot, ErrorKind, HelloAck, JobError, JobRequest, JobResponse,
-    StatsFrame, SummaryFrame, WireVersion, PROTOCOL_VERSION,
+    read_line_bounded, CancelAck, ClientFrame, EngineSnapshot, ErrorKind, HelloAck, JobError,
+    JobRequest, JobResponse, LineRead, StatsFrame, SummaryFrame, WireVersion, MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
 };
 
 use crate::service::{OutEvent, Service, Ticket};
@@ -57,22 +58,31 @@ fn load_version(version: &AtomicU8) -> WireVersion {
     }
 }
 
-/// The service-wide engine counters embedded in summary and stats
-/// frames. Reads plain counters only — cheap enough for every
-/// connection's summary trailer (unlike [`Service::stats`], which also
-/// collects and sorts the hot heuristic keys).
-fn engine_snapshot(service: &Service) -> EngineSnapshot {
-    let cache = service.engine().cache_stats();
+/// The single mapping from engine cache counters to a wire
+/// [`EngineSnapshot`] — shared by the summary trailer and the stats
+/// frame so the two can never drift apart field-by-field.
+fn snapshot_of(cache: &engine::CacheStats, warm_sessions: u64) -> EngineSnapshot {
     EngineSnapshot {
         cache_hits: cache.hits,
         cache_misses: cache.misses,
         cache_entries: cache.entries,
         cache_evictions: cache.evictions,
         flight_waits: cache.flight_waits,
-        warm_sessions: service.engine().warm_sessions() as u64,
+        warm_sessions,
         canon_complete: cache.canon_complete,
         canon_heuristic: cache.canon_heuristic,
     }
+}
+
+/// The service-wide engine counters embedded in summary and stats
+/// frames. Reads plain counters only — cheap enough for every
+/// connection's summary trailer (unlike [`Service::stats`], which also
+/// collects and sorts the hot heuristic keys).
+fn engine_snapshot(service: &Service) -> EngineSnapshot {
+    snapshot_of(
+        &service.engine().cache_stats(),
+        service.engine().warm_sessions() as u64,
+    )
 }
 
 /// The v2 `stats` frame for the service's current state (one
@@ -81,16 +91,7 @@ fn engine_snapshot(service: &Service) -> EngineSnapshot {
 pub fn stats_frame(service: &Service) -> StatsFrame {
     let stats = service.stats();
     StatsFrame {
-        snapshot: EngineSnapshot {
-            cache_hits: stats.cache.hits,
-            cache_misses: stats.cache.misses,
-            cache_entries: stats.cache.entries,
-            cache_evictions: stats.cache.evictions,
-            flight_waits: stats.cache.flight_waits,
-            warm_sessions: stats.warm_sessions as u64,
-            canon_complete: stats.cache.canon_complete,
-            canon_heuristic: stats.cache.canon_heuristic,
-        },
+        snapshot: snapshot_of(&stats.cache, stats.warm_sessions as u64),
         queue_depth: stats.queue_depth as u64,
         queue_len: stats.queue_len as u64,
         canon_heuristic_hot: stats
@@ -109,7 +110,7 @@ pub fn stats_frame(service: &Service) -> StatsFrame {
 /// stays the single owner of the output stream.
 fn reader_loop<R: BufRead>(
     service: &Service,
-    input: R,
+    mut input: R,
     tx: Sender<OutEvent>,
     version: &AtomicU8,
     abort: &AtomicBool,
@@ -121,20 +122,38 @@ fn reader_loop<R: BufRead>(
     group: crate::service::GroupId,
 ) {
     let mut tickets: HashMap<String, Ticket> = HashMap::new();
-    let mut ticket_order: std::collections::VecDeque<String> = std::collections::VecDeque::new();
+    let mut ticket_order: std::collections::VecDeque<(String, Ticket)> =
+        std::collections::VecDeque::new();
     let mut awaiting_handshake = true;
-    for (idx, line) in input.lines().enumerate() {
+    let mut line_no = 0usize;
+    loop {
         if abort.load(Ordering::Relaxed) {
             break; // consumer gone: stop dispatching
         }
-        let line = match line {
-            Ok(line) => line,
+        line_no += 1;
+        // Bounded read: a peer that streams bytes without a newline must
+        // not grow this connection's memory without limit.
+        let line = match read_line_bounded(&mut input, MAX_LINE_BYTES) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::TooLong) => {
+                // The stream is mid-line and no longer framed: answer once
+                // and close the connection.
+                let _ = tx.send(OutEvent::Response(JobResponse::failure(
+                    format!("job-{line_no}"),
+                    JobError::new(
+                        ErrorKind::Protocol,
+                        format!("line exceeds {MAX_LINE_BYTES} bytes; closing connection"),
+                    ),
+                )));
+                break;
+            }
             Err(e) => {
                 // Read errors (e.g. invalid UTF-8) answer once and end the
                 // stream cleanly — the output must stay a valid JSON-lines
                 // stream to the very end.
                 let _ = tx.send(OutEvent::Response(JobResponse::failure(
-                    format!("job-{}", idx + 1),
+                    format!("job-{line_no}"),
                     JobError::new(ErrorKind::Io, format!("input read error: {e}")),
                 )));
                 break;
@@ -143,7 +162,6 @@ fn reader_loop<R: BufRead>(
         if line.trim().is_empty() {
             continue;
         }
-        let line_no = idx + 1;
 
         // The handshake is only valid as the first non-blank line; its
         // absence locks the connection into v1, where control frames do
@@ -232,7 +250,13 @@ fn reader_loop<R: BufRead>(
                         let id = req.id.clone();
                         match service.submit_grouped(req, tx.clone(), group, false) {
                             Ok(ticket) => {
-                                remember(&mut tickets, &mut ticket_order, id, ticket);
+                                remember(
+                                    &mut tickets,
+                                    &mut ticket_order,
+                                    id,
+                                    ticket,
+                                    CANCEL_MAP_CAP,
+                                );
                                 continue;
                             }
                             // Full queue → busy response: v2 backpressure.
@@ -271,15 +295,20 @@ fn reader_loop<R: BufRead>(
 
 fn remember(
     tickets: &mut HashMap<String, Ticket>,
-    order: &mut std::collections::VecDeque<String>,
+    order: &mut std::collections::VecDeque<(String, Ticket)>,
     id: String,
     ticket: Ticket,
+    cap: usize,
 ) {
-    if tickets.insert(id.clone(), ticket).is_none() {
-        order.push_back(id);
-        if order.len() > CANCEL_MAP_CAP {
-            if let Some(old) = order.pop_front() {
-                tickets.remove(&old);
+    tickets.insert(id.clone(), ticket);
+    // Eviction is by insertion, so a reused id gets a fresh queue entry;
+    // the stale entry's eviction below becomes a no-op instead of
+    // forgetting the id's newest (possibly still-queued) ticket.
+    order.push_back((id, ticket));
+    while order.len() > cap {
+        if let Some((old_id, old_ticket)) = order.pop_front() {
+            if tickets.get(&old_id) == Some(&old_ticket) {
+                tickets.remove(&old_id);
             }
         }
     }
@@ -359,4 +388,33 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
     writeln!(output, "{}", frame.to_json_line(summary.version))?;
     output.flush()?;
     Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_map_eviction_survives_id_reuse() {
+        let mut tickets = HashMap::new();
+        let mut order = std::collections::VecDeque::new();
+        let cap = 3;
+        remember(&mut tickets, &mut order, "a".to_string(), 1, cap);
+        remember(&mut tickets, &mut order, "b".to_string(), 2, cap);
+        // "a" reused: its mapping must track the newest ticket and must
+        // not be evicted on its *old* insertion's turn.
+        remember(&mut tickets, &mut order, "a".to_string(), 3, cap);
+        assert_eq!(tickets.get("a"), Some(&3));
+        // Pushes past the cap: the first eviction pops ("a", 1), a stale
+        // entry — "a" still maps to 3.
+        remember(&mut tickets, &mut order, "c".to_string(), 4, cap);
+        assert_eq!(tickets.get("a"), Some(&3), "stale eviction must be a no-op");
+        assert_eq!(tickets.get("b"), Some(&2));
+        // Next eviction pops ("b", 2), a live entry — "b" is forgotten.
+        remember(&mut tickets, &mut order, "d".to_string(), 5, cap);
+        assert_eq!(tickets.get("b"), None);
+        assert_eq!(tickets.get("a"), Some(&3));
+        assert!(order.len() <= cap);
+        assert!(tickets.len() <= cap, "map is bounded by the queue");
+    }
 }

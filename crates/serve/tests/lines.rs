@@ -233,6 +233,84 @@ fn first_job_line_with_stray_hello_field_stays_a_v1_job() {
     assert_eq!(summary.version, WireVersion::V1);
 }
 
+/// On a handshaked v2 connection, a job line carrying a stray
+/// control-marker-named field (`stats`, `cancel`) is still a job — it
+/// must be solved, not silently consumed as a control frame.
+#[test]
+fn v2_job_lines_with_stray_marker_fields_stay_jobs() {
+    let service = service();
+    let input = "{\"hello\": 2}\n\
+                 {\"id\": \"s\", \"matrix\": \"10;01\", \"stats\": true}\n\
+                 {\"id\": \"c\", \"matrix\": \"1\", \"cancel\": \"s\"}\n";
+    let mut out = Vec::new();
+    let summary = serve_connection(&service, input.as_bytes(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(summary.version, WireVersion::V2);
+    assert_eq!(summary.solved, 2, "both jobs must run:\n{text}");
+    assert_eq!(summary.canceled, 0);
+    let ids: Vec<String> = text
+        .lines()
+        .filter_map(|l| JobResponse::parse_line(l).ok())
+        .filter(|r| r.ok)
+        .map(|r| r.id)
+        .collect();
+    assert!(ids.contains(&"s".to_string()) && ids.contains(&"c".to_string()));
+    // No stats frame or cancel ack was emitted for those lines.
+    assert!(!text.contains("\"stats\": true"), "{text}");
+    assert!(!text.contains("\"done\":"), "{text}");
+}
+
+/// An oversized line (no newline in sight) answers one protocol error
+/// and closes the connection — with the summary trailer still emitted —
+/// instead of buffering the line without bound.
+#[test]
+fn oversized_lines_answer_protocol_error_and_close() {
+    let service = service();
+    let mut input = Vec::from(&b"{\"id\": \"ok\", \"matrix\": \"1\"}\n"[..]);
+    input.extend(std::iter::repeat_n(b'x', proto::MAX_LINE_BYTES + 1));
+    let mut out = Vec::new();
+    let summary = serve_connection(&service, &input[..], &mut out).unwrap();
+    assert_eq!(summary.solved, 1);
+    assert_eq!(summary.failed, 1);
+    let text = String::from_utf8(out).unwrap();
+    let failed = text
+        .lines()
+        .filter_map(|l| JobResponse::parse_line(l).ok())
+        .find(|r| !r.ok)
+        .expect("oversized line must answer");
+    assert_eq!(failed.id, "job-2");
+    assert!(
+        failed.error_message().unwrap().contains("exceeds"),
+        "{:?}",
+        failed.error
+    );
+    assert!(
+        SummaryFrame::is_summary_line(text.lines().last().unwrap()),
+        "trailer still closes the stream:\n{text}"
+    );
+}
+
+/// A deeply nested JSON bomb (one line of repeated `[`/`{`) is a parse
+/// error response, not a parser stack overflow that aborts the process;
+/// the connection keeps serving afterwards.
+#[test]
+fn nesting_bomb_is_a_parse_error_not_a_crash() {
+    let service = service();
+    let bomb = "[".repeat(100_000);
+    let input = format!("{bomb}\n{{\"id\": \"after\", \"matrix\": \"1\"}}\n");
+    let mut out = Vec::new();
+    let summary = serve_connection(&service, input.as_bytes(), &mut out).unwrap();
+    assert_eq!(summary.solved, 1);
+    assert_eq!(summary.failed, 1);
+    let text = String::from_utf8(out).unwrap();
+    let after = text
+        .lines()
+        .filter_map(|l| JobResponse::parse_line(l).ok())
+        .find(|r| r.id == "after")
+        .expect("connection must keep serving after the bomb");
+    assert!(after.ok);
+}
+
 /// The lowest expressible priority must sort last, not panic or jump the
 /// queue (i64::MIN negation saturates).
 #[test]
