@@ -108,10 +108,16 @@ fn run_stream(service: &Service, stream: &str, jobs: usize) -> RunMetrics {
     }
 }
 
-fn emit(out: &mut String, label: &str, m: &RunMetrics, last: bool) {
+/// Emits one run block. `replays` marks a phase aggregated over several
+/// stream replays (counts are totals across all of them).
+fn emit(out: &mut String, label: &str, m: &RunMetrics, replays: Option<usize>, last: bool) {
+    let _ = writeln!(out, "  \"{label}\": {{");
+    if let Some(r) = replays {
+        let _ = writeln!(out, "    \"replays\": {r},");
+    }
     let _ = write!(
         out,
-        "  \"{label}\": {{\n    \"wall_seconds\": {:.4},\n    \"jobs_per_second\": {:.1},\n    \
+        "    \"wall_seconds\": {:.4},\n    \"jobs_per_second\": {:.1},\n    \
          \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"hit_rate\": {:.4},\n    \
          \"mean_job_millis\": {:.3},\n    \"max_job_millis\": {:.3},\n    \
          \"proved_optimal\": {}\n  }}{}\n",
@@ -295,6 +301,55 @@ fn emit_canon_arm(out: &mut String, label: &str, a: &CanonArm, last: bool) {
     );
 }
 
+/// Results of the persistence phase: the warm-start workload against a
+/// first-boot engine (snapshotted on completion) vs a fresh engine
+/// reloaded from that snapshot — the restart cycle without the process
+/// kill.
+struct PersistMetrics {
+    cold_total_conflicts: u64,
+    reloaded_total_conflicts: u64,
+    reload_ratio: f64,
+    restored_sessions: u64,
+    snapshot_bytes: usize,
+}
+
+/// Phase 5: solve → snapshot → simulated-restart reload → re-solve. The
+/// reloaded engine rehydrates the proved session's learnt core per
+/// canonical class, so the second pass spends a fraction of the first's
+/// conflicts (the `persist` block's `reload_ratio`, gated < 0.6 by
+/// `--check`).
+fn persist_phase(rounds: usize, conflict_budget: u64) -> PersistMetrics {
+    let state_dir =
+        std::env::temp_dir().join(format!("rect-addr-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let engine_config = || EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    };
+    // First boot: day-zero cold state dir.
+    let first_boot = Engine::new(engine_config());
+    let cold = warm_start_arm(&first_boot, rounds, conflict_budget);
+    let saved =
+        engine::persist::save_snapshot(&state_dir, &first_boot).expect("bench snapshot save");
+    drop(first_boot);
+
+    // Simulated restart: a fresh engine loads the same state dir.
+    let reloaded_engine = Engine::new(engine_config());
+    engine::persist::load_snapshot(&state_dir, &reloaded_engine).expect("bench snapshot load");
+    let restored_sessions = reloaded_engine.restored_sessions();
+    let reloaded = warm_start_arm(&reloaded_engine, rounds, conflict_budget);
+
+    let _ = std::fs::remove_dir_all(&state_dir);
+    PersistMetrics {
+        cold_total_conflicts: cold.total_conflicts,
+        reloaded_total_conflicts: reloaded.total_conflicts,
+        reload_ratio: reloaded.total_conflicts as f64 / cold.total_conflicts.max(1) as f64,
+        restored_sessions,
+        snapshot_bytes: saved.bytes,
+    }
+}
+
 /// Results of the socket phase: the phase-1 stream over a real TCP
 /// connection (v2 handshake included).
 struct SocketMetrics {
@@ -314,7 +369,7 @@ fn socket_phase(stream: &str, jobs: usize, workers: usize) -> SocketMetrics {
             // (non-blocking submits): size the queue to the job count so
             // the bench measures throughput, not busy-bounces.
             queue_depth: jobs.max(serve::DEFAULT_QUEUE_DEPTH),
-            workers: 0,
+            ..ServiceConfig::default()
         },
     ));
     let engine = service.engine().clone();
@@ -345,8 +400,23 @@ fn socket_phase(stream: &str, jobs: usize, workers: usize) -> SocketMetrics {
 }
 
 fn main() {
+    // `--check-baseline <file>` carries a value; extract the pair before
+    // the flag/positional split.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = match raw.iter().position(|a| a == "--check-baseline") {
+        Some(i) => {
+            raw.remove(i);
+            if i < raw.len() {
+                Some(raw.remove(i))
+            } else {
+                eprintln!("--check-baseline needs a file path");
+                std::process::exit(2);
+            }
+        }
+        None => None,
+    };
     let (flags, positional): (Vec<String>, Vec<String>) =
-        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+        raw.into_iter().partition(|a| a.starts_with("--"));
     let check = flags.iter().any(|f| f == "--check");
     let arg = |i: usize, default: usize| {
         positional
@@ -375,10 +445,46 @@ fn main() {
         cold.jobs_per_second,
         cold.hit_rate * 100.0
     );
-    // Same stream again: every job is now a canonical-cache hit.
-    let warm = run_stream(&service, &stream, jobs);
+    // Same stream again: every job is now a canonical-cache hit. Replayed
+    // until the measurement spans enough wall time — a single all-hit
+    // replay of a small stream finishes in ~1 ms, far too little for the
+    // jobs/s figure the baseline regression gate compares across runs.
+    // Every emitted field aggregates over ALL replays (counts sum, means
+    // average, max is the overall max), and the block carries the replay
+    // count, so the numbers stay internally consistent.
+    let mut warm_replays = 0usize;
+    let warm = {
+        let mut agg: Option<RunMetrics> = None;
+        for _ in 0..512 {
+            let run = run_stream(&service, &stream, jobs);
+            warm_replays += 1;
+            agg = Some(match agg {
+                None => run,
+                Some(prev) => RunMetrics {
+                    wall_seconds: prev.wall_seconds + run.wall_seconds,
+                    jobs_per_second: 0.0, // recomputed below
+                    cache_hits: prev.cache_hits + run.cache_hits,
+                    cache_misses: prev.cache_misses + run.cache_misses,
+                    hit_rate: 0.0, // recomputed below
+                    // Replays run the identical job count: plain average.
+                    mean_job_millis: prev.mean_job_millis + run.mean_job_millis,
+                    max_job_millis: prev.max_job_millis.max(run.max_job_millis),
+                    proved_optimal: prev.proved_optimal + run.proved_optimal,
+                },
+            });
+            if agg.as_ref().expect("just set").wall_seconds >= 0.25 {
+                break;
+            }
+        }
+        let mut warm = agg.expect("at least one warm replay");
+        warm.jobs_per_second = (jobs * warm_replays) as f64 / warm.wall_seconds;
+        warm.hit_rate =
+            warm.cache_hits as f64 / (warm.cache_hits + warm.cache_misses).max(1) as f64;
+        warm.mean_job_millis /= warm_replays as f64;
+        warm
+    };
     eprintln!(
-        "warm: {:.0} jobs/s, hit rate {:.1}%",
+        "warm: {:.0} jobs/s over {warm_replays} replays, hit rate {:.1}%",
         warm.jobs_per_second,
         warm.hit_rate * 100.0
     );
@@ -428,6 +534,19 @@ fn main() {
         socket.hit_rate * 100.0
     );
 
+    // Phase 5: persistence — solve, snapshot, reload into a fresh engine
+    // (the restart cycle), re-solve.
+    let persist = persist_phase(rounds, conflict_budget);
+    eprintln!(
+        "persist: reloaded run spends {} conflicts vs {} first-boot \
+         (ratio {:.3}, {} sessions restored, snapshot {} bytes)",
+        persist.reloaded_total_conflicts,
+        persist.cold_total_conflicts,
+        persist.reload_ratio,
+        persist.restored_sessions,
+        persist.snapshot_bytes,
+    );
+
     let mut json = String::from("{\n");
     let _ = write!(
         json,
@@ -435,13 +554,25 @@ fn main() {
          \"size\": {size},\n  \"duplicate_fraction\": {:.4},\n",
         (jobs.saturating_sub(distinct)) as f64 / jobs.max(1) as f64,
     );
-    emit(&mut json, "cold", &cold, false);
-    emit(&mut json, "warm", &warm, false);
+    emit(&mut json, "cold", &cold, None, false);
+    emit(&mut json, "warm", &warm, Some(warm_replays), false);
     emit_warm_start(&mut json, rounds, conflict_budget, &ws_warm, &ws_cold);
     let _ = write!(json, "  \"canon\": {{\n    \"jobs\": {canon_jobs},\n");
     emit_canon_arm(&mut json, "complete", &canon_complete, false);
     emit_canon_arm(&mut json, "heuristic", &canon_heuristic, true);
     json.push_str("  },\n");
+    let _ = write!(
+        json,
+        "  \"persist\": {{\n    \"rounds\": {rounds},\n    \"conflict_budget\": \
+         {conflict_budget},\n    \"cold_total_conflicts\": {},\n    \
+         \"reloaded_total_conflicts\": {},\n    \"reload_ratio\": {:.4},\n    \
+         \"restored_sessions\": {},\n    \"snapshot_bytes\": {}\n  }},\n",
+        persist.cold_total_conflicts,
+        persist.reloaded_total_conflicts,
+        persist.reload_ratio,
+        persist.restored_sessions,
+        persist.snapshot_bytes,
+    );
     let _ = write!(
         json,
         "  \"socket\": {{\n    \"jobs\": {jobs},\n    \"wall_seconds\": {:.4},\n    \
@@ -451,11 +582,102 @@ fn main() {
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("{json}");
 
-    if check && canon_complete.hit_rate < 0.9 {
-        eprintln!(
-            "FAIL: permuted-biregular hit rate {:.1}% is below the 90% gate",
-            canon_complete.hit_rate * 100.0
-        );
+    let mut failed = false;
+    if check {
+        if canon_complete.hit_rate < 0.9 {
+            eprintln!(
+                "FAIL: permuted-biregular hit rate {:.1}% is below the 90% gate",
+                canon_complete.hit_rate * 100.0
+            );
+            failed = true;
+        }
+        if persist.reload_ratio >= 0.6 {
+            eprintln!(
+                "FAIL: reloaded server spends {:.1}% of first-boot conflicts \
+                 (gate: < 60%)",
+                persist.reload_ratio * 100.0
+            );
+            failed = true;
+        }
+        if persist.restored_sessions == 0 {
+            eprintln!("FAIL: snapshot reload restored no sessions");
+            failed = true;
+        }
+    }
+    if let Some(path) = baseline_path {
+        if !check_baseline(&path, warm.jobs_per_second, &ws_warm, &ws_cold) {
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
+}
+
+/// Tolerated relative regression against the committed baseline.
+const BASELINE_TOLERANCE: f64 = 0.25;
+
+/// The perf-trajectory gate: compares this run's warm throughput and
+/// warm-start conflict ratio against `BENCH_baseline.json`, failing on a
+/// regression beyond [`BASELINE_TOLERANCE`]. Improvements never fail —
+/// refresh the baseline to ratchet them in.
+fn check_baseline(
+    path: &str,
+    warm_jobs_per_second: f64,
+    ws_warm: &WarmStartArm,
+    ws_cold: &WarmStartArm,
+) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("FAIL: baseline {path} unreadable: {e}");
+            return false;
+        }
+    };
+    let json = match engine::protocol::parse_json(&text) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("FAIL: baseline {path} is not valid JSON: {e}");
+            return false;
+        }
+    };
+    let number =
+        |outer: &str, field: &str| -> Option<f64> { json.get(outer)?.get(field)?.as_f64() };
+    let Some(base_jps) = number("warm", "jobs_per_second") else {
+        eprintln!("FAIL: baseline {path} lacks warm.jobs_per_second");
+        return false;
+    };
+    let Some(base_ratio) = number("warm_start", "conflict_ratio") else {
+        eprintln!("FAIL: baseline {path} lacks warm_start.conflict_ratio");
+        return false;
+    };
+
+    let ratio = ws_warm.total_conflicts as f64 / ws_cold.total_conflicts.max(1) as f64;
+    let mut ok = true;
+    let jps_floor = base_jps * (1.0 - BASELINE_TOLERANCE);
+    if warm_jobs_per_second < jps_floor {
+        eprintln!(
+            "FAIL: warm throughput regressed beyond {:.0}%: {warm_jobs_per_second:.1} jobs/s \
+             vs baseline {base_jps:.1} (floor {jps_floor:.1})",
+            BASELINE_TOLERANCE * 100.0
+        );
+        ok = false;
+    }
+    // The conflict ratio is better when *lower*; tolerance goes upward.
+    let ratio_ceiling = base_ratio * (1.0 + BASELINE_TOLERANCE);
+    if ratio > ratio_ceiling {
+        eprintln!(
+            "FAIL: warm-start conflict ratio regressed beyond {:.0}%: {ratio:.4} vs baseline \
+             {base_ratio:.4} (ceiling {ratio_ceiling:.4})",
+            BASELINE_TOLERANCE * 100.0
+        );
+        ok = false;
+    }
+    if ok {
+        eprintln!(
+            "baseline OK: warm {warm_jobs_per_second:.1} jobs/s (>= {jps_floor:.1}), \
+             warm-start ratio {ratio:.4} (<= {ratio_ceiling:.4})"
+        );
+    }
+    ok
 }

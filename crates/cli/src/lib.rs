@@ -87,7 +87,10 @@ Batch/serve options: --workers N, --budget-ms T, --conflicts C, --trials K,
 --no-adaptive (always race every strategy), --canon-budget B (canonizer
 search branches before falling back to the heuristic labeling; 0 = no
 search), --queue-depth N (submission queue bound; a full queue answers
-busy to protocol-v2 clients). One job per line: {\"id\": \"l0\",
+busy to protocol-v2 clients), --state-dir DIR (persist warm SAP sessions
+and scheduler statistics across restarts; loaded at startup, snapshotted
+on drain), --snapshot-every N (also snapshot every N completed jobs;
+default 32, 0 = only on drain). One job per line: {\"id\": \"l0\",
 \"matrix\": [\"101\", \"010\"], \"budget_ms\": 500}; responses stream back in
 completion order with provenance, cache-hit flag, SAT conflict count and
 the rectangle partition. A {\"hello\": 2} first line negotiates protocol
@@ -391,15 +394,40 @@ enum BatchInput<'a> {
     File(&'a str),
 }
 
-/// Builds the [`Service`] (engine + bounded queue) from batch/serve flags.
+/// Builds the [`Service`] (engine + bounded queue + optional warm-state
+/// persistence) from batch/serve flags.
 fn build_service(rest: &[String]) -> Result<Service, String> {
     let engine = engine_config(rest)?;
     let queue_depth = parse_flag(rest, "--queue-depth", serve::DEFAULT_QUEUE_DEPTH)?.max(1);
+    let persist = match rest.iter().position(|a| a == "--state-dir") {
+        None => {
+            if rest.iter().any(|a| a == "--snapshot-every") {
+                return Err("--snapshot-every needs --state-dir".to_string());
+            }
+            None
+        }
+        Some(i) => {
+            let dir = rest
+                .get(i + 1)
+                .filter(|d| !d.starts_with("--"))
+                .ok_or_else(|| "--state-dir needs a directory".to_string())?;
+            let every = parse_flag(
+                rest,
+                "--snapshot-every",
+                serve::DEFAULT_SNAPSHOT_EVERY as usize,
+            )?;
+            Some(serve::PersistConfig {
+                state_dir: dir.into(),
+                snapshot_every: (every > 0).then_some(every as u64),
+            })
+        }
+    };
     Ok(Service::with_engine_config(
         engine,
         ServiceConfig {
             queue_depth,
             workers: 0, // follow the engine's worker setting
+            persist,
         },
     ))
 }
@@ -898,6 +926,52 @@ mod tests {
         let dflt = build_service(&[]).unwrap();
         assert_eq!(dflt.queue_depth(), serve::DEFAULT_QUEUE_DEPTH);
         assert!(build_service(&["--queue-depth".to_string(), "x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn state_dir_flag_enables_persistence() {
+        let dir = std::env::temp_dir().join(format!("rect-addr-cli-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args: Vec<String> = [
+            "--state-dir",
+            dir.to_str().unwrap(),
+            "--snapshot-every",
+            "5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let service = build_service(&args).unwrap();
+        // Run one SAT-needing job and drain: the shutdown snapshot must
+        // land in the state dir.
+        let resp = service
+            .submit(::engine::protocol::JobRequest::new(
+                "p",
+                "1100\n0011\n1111\n1010".parse().unwrap(),
+            ))
+            .unwrap()
+            .wait();
+        assert!(resp.ok);
+        service.shutdown();
+        assert!(
+            dir.join("engine.snapshot").exists(),
+            "drain must write the snapshot"
+        );
+        // A rebuilt service warm-starts from it.
+        let service = build_service(&args).unwrap();
+        assert!(service.stats().persisted_sessions >= 1);
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Flag validation.
+        assert!(build_service(&["--state-dir".to_string()]).is_err());
+        assert!(
+            build_service(&["--snapshot-every".to_string(), "5".to_string()]).is_err(),
+            "--snapshot-every without --state-dir is an error"
+        );
+        // No persistence flags: no persistence (and no directory created).
+        let plain = build_service(&[]).unwrap();
+        assert_eq!(plain.stats().persisted_sessions, 0);
     }
 
     #[test]

@@ -131,6 +131,9 @@ pub struct EbmfEncoder {
     bound: usize,
     /// Flat `cells.len() × capacity` variable table.
     vars: Vec<Var>,
+    /// The options this encoder was built with (capacity in
+    /// `options.bound`) — what a byte-identical rebuild needs.
+    options: EncoderOptions,
     /// Per-label "ban" selectors (assumption-bound mode only): assuming
     /// `bound_selectors[k]` positive forbids label `k`.
     bound_selectors: Vec<Var>,
@@ -336,9 +339,54 @@ impl EbmfEncoder {
             capacity: bound,
             bound,
             vars,
+            options,
             bound_selectors,
             last_sat: false,
         }
+    }
+
+    /// The options this encoder was built with — enough to reconstruct a
+    /// byte-identical encoding (same variable numbering), which is what
+    /// makes an exported learnt-clause core re-importable.
+    pub fn options(&self) -> EncoderOptions {
+        self.options
+    }
+
+    /// Exports the solver's learnt-clause core as DIMACS-coded literals
+    /// (see [`sat::Solver::export_core`]): unconditional units plus up to
+    /// `max_clauses` of the strongest learnt clauses. Reinject into an
+    /// encoder rebuilt with the **same matrix and options** via
+    /// [`EbmfEncoder::import_core`].
+    pub fn export_core(&self, max_clauses: usize) -> Vec<Vec<i64>> {
+        self.solver
+            .export_core(max_clauses)
+            .into_iter()
+            .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+            .collect()
+    }
+
+    /// Reinjects a core exported by [`EbmfEncoder::export_core`] on an
+    /// identically-built encoder. Structurally invalid cores (zero or
+    /// out-of-range literals) are rejected wholesale.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the structural problem; the encoding is
+    /// unchanged in that case.
+    pub fn import_core(&mut self, core: &[Vec<i64>]) -> Result<usize, String> {
+        let nvars = self.solver.num_vars() as i64;
+        let mut lits: Vec<Vec<sat::Lit>> = Vec::with_capacity(core.len());
+        for clause in core {
+            let mut out = Vec::with_capacity(clause.len());
+            for &v in clause {
+                if v == 0 || v.unsigned_abs() > nvars as u64 {
+                    return Err(format!("core literal {v} out of range (±1..={nvars})"));
+                }
+                out.push(sat::Lit::from_dimacs(v));
+            }
+            lits.push(out);
+        }
+        self.solver.import_core(&lits)
     }
 
     /// The current label bound `b` of the encoded query `r_B(M) ≤ b`.

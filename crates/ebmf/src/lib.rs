@@ -63,7 +63,9 @@ pub use exact::{exact_search, ExactSearchOutcome};
 pub use heuristic::{row_packing, row_packing_once, trivial_partition, PackingConfig, RowOrder};
 pub use partition::{Partition, PartitionError};
 pub use rect::Rectangle;
-pub use sap::{binary_rank, sap, SapConfig, SapOutcome, SapSession, SapStats, SatQuery};
+pub use sap::{
+    binary_rank, sap, SapConfig, SapOutcome, SapSession, SapStats, SatQuery, SessionExport,
+};
 pub use tensor::{tensor_bounds, tensor_partition, TensorBounds};
 
 #[cfg(test)]

@@ -10,11 +10,13 @@
 
 use std::time::{Duration, Instant};
 
-use bitmatrix::BitMatrix;
+use bitmatrix::{BitMatrix, BitVec};
 use linalg::RealRank;
 use sat::{CancelToken, SolveResult};
 
-use crate::{lower_bound, row_packing, EbmfEncoder, LowerBound, PackingConfig, Partition};
+use crate::{
+    lower_bound, row_packing, EbmfEncoder, LowerBound, PackingConfig, Partition, Rectangle,
+};
 
 /// Configuration of the [`sap`] solver.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,11 +157,47 @@ pub struct SapSession {
     best: Partition,
     proved: bool,
     encoder: Option<EbmfEncoder>,
+    /// A learnt-clause core waiting to be reinjected when the encoder is
+    /// (re)built — the lazy half of session rehydration from disk.
+    pending_core: Option<PendingCore>,
     /// SAT conflicts spent across all runs of this session.
     conflicts: u64,
     /// Construction-phase timings, reported by the first run only.
     packing_seconds: f64,
     bound_seconds: f64,
+}
+
+/// Encoder rebuild recipe carried by a rehydrated session until its first
+/// SAT query actually needs the encoder.
+#[derive(Debug, Clone)]
+struct PendingCore {
+    capacity: usize,
+    symmetry_breaking: bool,
+    core: Vec<Vec<i64>>,
+}
+
+/// The durable knowledge of a [`SapSession`], extracted by
+/// [`SapSession::export`] and restored by [`SapSession::import`]. Plain
+/// typed data — serialization format is the storage layer's business.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionExport {
+    /// The matrix the session solves (canonical coordinates for the
+    /// engine's per-class sessions).
+    pub matrix: BitMatrix,
+    /// The incumbent partition, one `(rows, cols)` index pair per
+    /// rectangle.
+    pub best: Vec<(Vec<usize>, Vec<usize>)>,
+    /// Whether the incumbent depth was proved equal to the binary rank.
+    pub proved: bool,
+    /// SAT conflicts spent across all runs so far (bookkeeping only).
+    pub conflicts: u64,
+    /// Label capacity of the encoder, when a descent had started.
+    pub encoder_capacity: Option<usize>,
+    /// Whether the encoder was built with symmetry breaking.
+    pub symmetry_breaking: bool,
+    /// The learnt-clause core in DIMACS literal coding (empty when no
+    /// descent had started).
+    pub core: Vec<Vec<i64>>,
 }
 
 impl SapSession {
@@ -181,10 +219,102 @@ impl SapSession {
             best,
             proved,
             encoder: None,
+            pending_core: None,
             conflicts: 0,
             packing_seconds,
             bound_seconds,
         }
+    }
+
+    /// Extracts the session's durable knowledge — incumbent, proved flag
+    /// and (when a descent has started under assumption-encoded bounds)
+    /// the strongest `max_core_clauses` learnt clauses — for spilling to
+    /// disk. See [`SapSession::import`] for the inverse.
+    pub fn export(&self, max_core_clauses: usize) -> SessionExport {
+        let best = self
+            .best
+            .iter()
+            .map(|r| (r.rows().to_indices(), r.cols().to_indices()))
+            .collect();
+        // Only assumption-bound encoders are exportable: the permanent
+        // narrowing path (certify mode) bakes the reached bound into the
+        // clause set, which a rebuild at full capacity would not reproduce.
+        let encoder = self.encoder.as_ref().filter(|e| e.assumption_bounds());
+        let (encoder_capacity, symmetry_breaking, core) = match (encoder, &self.pending_core) {
+            (Some(e), _) => (
+                Some(e.capacity()),
+                e.options().symmetry_breaking,
+                e.export_core(max_core_clauses),
+            ),
+            // Rehydrated but never queried since: pass the parked core
+            // through unchanged, so back-to-back restarts don't shed it.
+            (None, Some(p)) => (Some(p.capacity), p.symmetry_breaking, p.core.clone()),
+            (None, None) => (None, true, Vec::new()),
+        };
+        SessionExport {
+            matrix: self.m.clone(),
+            best,
+            proved: self.proved,
+            conflicts: self.conflicts,
+            encoder_capacity,
+            symmetry_breaking,
+            core,
+        }
+    }
+
+    /// Rebuilds a session from [`SapSession::export`] output. The packing
+    /// phase is skipped (the exported incumbent replaces it) and the
+    /// learnt-clause core is held back until the first run that actually
+    /// needs the encoder — rehydration is lazy beyond this validation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an export whose incumbent is not a valid partition of its
+    /// matrix (the telltale of a snapshot mismatch); the caller should
+    /// fall back to a cold session.
+    pub fn import(export: &SessionExport) -> Result<SapSession, String> {
+        let (nrows, ncols) = export.matrix.shape();
+        let mut best = Partition::empty(nrows, ncols);
+        for (rows, cols) in &export.best {
+            if rows.iter().any(|&i| i >= nrows) || cols.iter().any(|&j| j >= ncols) {
+                return Err("rectangle index out of range".to_string());
+            }
+            best.push(Rectangle::new(
+                BitVec::from_indices(nrows, rows.iter().copied()),
+                BitVec::from_indices(ncols, cols.iter().copied()),
+            ));
+        }
+        best.validate(&export.matrix)
+            .map_err(|e| format!("exported incumbent invalid: {e}"))?;
+        let lb = lower_bound(&export.matrix, false);
+        if export.proved && best.len() > export.matrix.nrows().min(export.matrix.ncols()) {
+            return Err("proved incumbent deeper than the trivial bound".to_string());
+        }
+        if let Some(cap) = export.encoder_capacity {
+            // Exported capacities are always 1..min(r,c) (the initial
+            // packing incumbent never exceeds the trivial partition); an
+            // out-of-range value is a mismatched snapshot — and an
+            // unvalidated large one would be a memory bomb at rebuild.
+            if cap == 0 || cap > nrows.min(ncols) {
+                return Err(format!("encoder capacity {cap} out of range"));
+            }
+        }
+        let pending_core = export.encoder_capacity.map(|capacity| PendingCore {
+            capacity,
+            symmetry_breaking: export.symmetry_breaking,
+            core: export.core.clone(),
+        });
+        Ok(SapSession {
+            m: export.matrix.clone(),
+            lb,
+            best,
+            proved: export.proved,
+            encoder: None,
+            pending_core,
+            conflicts: export.conflicts,
+            packing_seconds: 0.0,
+            bound_seconds: 0.0,
+        })
     }
 
     /// The matrix this session solves.
@@ -236,14 +366,30 @@ impl SapSession {
         if !self.proved && !skip_sat && self.best.len() > 1 {
             let sat_start = Instant::now();
             if self.encoder.is_none() {
+                // A certify run cannot use a rehydrated core: reinjected
+                // clauses would enter the proof trace as axioms, weakening
+                // the independent check. Drop the core and encode cold.
+                let pending = self.pending_core.take().filter(|_| !config.certify);
+                let (capacity, symmetry_breaking) = match &pending {
+                    // Rebuild byte-identically to the exporting encoder so
+                    // the core's variable numbering lines up.
+                    Some(p) => (p.capacity, p.symmetry_breaking),
+                    None => (self.best.len() - 1, config.symmetry_breaking),
+                };
                 let enc_opts = crate::EncoderOptions {
-                    symmetry_breaking: config.symmetry_breaking,
+                    symmetry_breaking,
                     proof_logging: config.certify,
                     // See the type docs: proofs need globally-derived UNSAT.
                     assumption_bounds: !config.certify,
-                    ..crate::EncoderOptions::new(self.best.len() - 1)
+                    ..crate::EncoderOptions::new(capacity)
                 };
-                self.encoder = Some(EbmfEncoder::with_encoder_options(&self.m, None, enc_opts));
+                let mut encoder = EbmfEncoder::with_encoder_options(&self.m, None, enc_opts);
+                if let Some(p) = pending {
+                    // A structurally-broken core just costs the warm start;
+                    // the fresh encoding stays sound either way.
+                    let _ = encoder.import_core(&p.core);
+                }
+                self.encoder = Some(encoder);
             }
             let encoder = self.encoder.as_mut().expect("encoder just ensured");
             encoder.set_conflict_budget(config.conflict_budget);
@@ -592,6 +738,125 @@ mod tests {
         assert!(out.proved_optimal);
         assert!(out.stats.queries.is_empty());
         assert_eq!(session.total_conflicts(), 0);
+    }
+
+    #[test]
+    fn exported_session_roundtrips_and_resumes_cheaper() {
+        let m = hard_matrix();
+        let cfg = SapConfig {
+            symmetry_breaking: false,
+            conflict_budget: Some(500),
+            packing: PackingConfig::with_trials(4),
+            ..SapConfig::default()
+        };
+        // Burn a few budget slices so the session sits mid-descent with a
+        // real learnt-clause core.
+        let mut donor = SapSession::new(&m, &cfg);
+        for _ in 0..4 {
+            if donor.proved_optimal() {
+                break;
+            }
+            donor.run(&cfg);
+        }
+        let export = donor.export(100_000);
+        assert_eq!(export.matrix, m);
+        assert!(!export.core.is_empty(), "mid-descent core must be nonempty");
+
+        // The rehydrated session must converge with (far) fewer fresh
+        // conflicts than a cold session run under the same slicing.
+        let mut warm = SapSession::import(&export).expect("genuine export imports");
+        assert_eq!(warm.best().len(), donor.best().len());
+        let warm_start = warm.total_conflicts();
+        let mut rounds = 0u32;
+        while !warm.proved_optimal() {
+            warm.run(&cfg);
+            rounds += 1;
+            assert!(rounds < 10_000, "rehydrated session must converge");
+        }
+        let warm_spent = warm.total_conflicts() - warm_start;
+
+        let mut cold = SapSession::new(&m, &cfg);
+        let mut cold_rounds = 0u32;
+        while !cold.proved_optimal() {
+            cold.run(&cfg);
+            cold_rounds += 1;
+            assert!(cold_rounds < 10_000);
+        }
+        assert!(
+            warm_spent < cold.total_conflicts(),
+            "rehydrated descent must resume, not restart: {warm_spent} vs {}",
+            cold.total_conflicts()
+        );
+    }
+
+    #[test]
+    fn proved_session_export_answers_instantly_after_import() {
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let cfg = SapConfig::default();
+        let mut donor = SapSession::new(&m, &cfg);
+        assert!(donor.run(&cfg).proved_optimal);
+        let export = donor.export(10_000);
+        assert!(export.proved);
+
+        let mut warm = SapSession::import(&export).expect("imports");
+        assert!(warm.proved_optimal());
+        let before = warm.total_conflicts();
+        let out = warm.run(&cfg);
+        assert!(out.proved_optimal);
+        assert_eq!(out.partition.len(), 5);
+        assert!(out.partition.validate(&m).is_ok());
+        assert_eq!(warm.total_conflicts(), before, "no fresh SAT work");
+    }
+
+    #[test]
+    fn import_rejects_mismatched_exports() {
+        let m: BitMatrix = "110\n011\n111".parse().unwrap();
+        let cfg = SapConfig::default();
+        let mut donor = SapSession::new(&m, &cfg);
+        donor.run(&cfg);
+        let good = donor.export(1_000);
+        assert!(SapSession::import(&good).is_ok());
+
+        // Out-of-range rectangle indices.
+        let mut bad = good.clone();
+        bad.best = vec![(vec![7], vec![0])];
+        assert!(SapSession::import(&bad).is_err());
+
+        // An incumbent that is not a partition of the matrix.
+        let mut bad = good.clone();
+        bad.best = vec![(vec![0], vec![0])];
+        assert!(SapSession::import(&bad).is_err());
+
+        // An absurd encoder capacity (memory-bomb guard).
+        let mut bad = good.clone();
+        bad.encoder_capacity = Some(10_000);
+        assert!(SapSession::import(&bad).is_err());
+        let mut bad = good;
+        bad.encoder_capacity = Some(0);
+        assert!(SapSession::import(&bad).is_err());
+    }
+
+    #[test]
+    fn reexport_without_rehydration_keeps_the_core() {
+        let m = hard_matrix();
+        let cfg = SapConfig {
+            symmetry_breaking: false,
+            conflict_budget: Some(500),
+            packing: PackingConfig::with_trials(4),
+            ..SapConfig::default()
+        };
+        let mut donor = SapSession::new(&m, &cfg);
+        donor.run(&cfg);
+        let export = donor.export(100_000);
+        assert!(!export.core.is_empty());
+        // import → export without any run in between: the parked core must
+        // survive the round trip (double-restart scenario).
+        let warm = SapSession::import(&export).expect("imports");
+        let again = warm.export(100_000);
+        assert_eq!(again.core, export.core);
+        assert_eq!(again.encoder_capacity, export.encoder_capacity);
     }
 
     #[test]

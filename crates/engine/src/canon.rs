@@ -512,6 +512,15 @@ fn heuristic_perms(m: &BitMatrix, mt: &BitMatrix, lab: &Labels) -> (Vec<usize>, 
     (row_perm, col_perm)
 }
 
+/// Renders the cache key of an (already canonical) matrix: shape plus the
+/// bit pattern. The single source of the key format — the snapshot
+/// restore path re-derives session keys from their stored canonical
+/// matrices through this same function.
+pub(crate) fn matrix_key(m: &BitMatrix) -> String {
+    let (nr, nc) = m.shape();
+    format!("{nr}x{nc}:{m}")
+}
+
 /// Computes the canonical form of `m` with the default search budget
 /// ([`DEFAULT_CANON_BUDGET`] branches); see [`canonical_form_with`].
 ///
@@ -539,7 +548,6 @@ pub fn canonical_form(m: &BitMatrix) -> CanonicalForm {
 /// `max_branches` individualization branches before falling back to the
 /// heuristic labeling (see the module docs and [`Completeness`]).
 pub fn canonical_form_with(m: &BitMatrix, opts: &CanonOptions) -> CanonicalForm {
-    let (nr, nc) = m.shape();
     let mt = m.transpose();
     let mut lab = initial_labels(m, &mt);
     refine_to_stable(m, &mt, &mut lab);
@@ -565,7 +573,7 @@ pub fn canonical_form_with(m: &BitMatrix, opts: &CanonOptions) -> CanonicalForm 
     };
 
     let matrix = m.submatrix(&row_perm, &col_perm);
-    let key = format!("{nr}x{nc}:{matrix}");
+    let key = matrix_key(&matrix);
     CanonicalForm {
         matrix,
         row_perm,

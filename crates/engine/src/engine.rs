@@ -120,6 +120,8 @@ pub struct Engine {
     cache: CanonicalCache,
     scheduler: AdaptiveScheduler,
     warm: Option<Arc<SessionStore>>,
+    /// Sessions installed from a disk snapshot (see [`crate::persist`]).
+    restored_sessions: std::sync::atomic::AtomicU64,
     /// Custom strategy set installed via [`Engine::with_strategies`]; when
     /// present it replaces the built-in roster verbatim.
     custom: Option<Vec<Arc<dyn Strategy>>>,
@@ -136,6 +138,7 @@ impl Engine {
             cache,
             scheduler: AdaptiveScheduler::new(),
             warm,
+            restored_sessions: std::sync::atomic::AtomicU64::new(0),
             custom: None,
         }
     }
@@ -174,6 +177,34 @@ impl Engine {
         self.warm.as_ref().map_or(0, |s| s.len())
     }
 
+    /// Races whose SAT phase the budget-aware scheduler skipped on bucket
+    /// evidence (buckets where packing always proves).
+    pub fn budget_skips(&self) -> u64 {
+        self.scheduler.budget_skips()
+    }
+
+    /// Sessions restored from a disk snapshot at load time (see
+    /// [`crate::persist::load_snapshot`]); 0 on a cold start.
+    pub fn restored_sessions(&self) -> u64 {
+        self.restored_sessions
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The restored-session counter, bumped by the snapshot loader.
+    pub(crate) fn restored_sessions_counter(&self) -> &std::sync::atomic::AtomicU64 {
+        &self.restored_sessions
+    }
+
+    /// The warm session store, when warm starts are enabled.
+    pub(crate) fn warm_store(&self) -> Option<&Arc<SessionStore>> {
+        self.warm.as_ref()
+    }
+
+    /// The adaptive scheduler (bucket statistics live here).
+    pub(crate) fn scheduler(&self) -> &AdaptiveScheduler {
+        &self.scheduler
+    }
+
     /// The strategy roster for one job under `portfolio`.
     fn strategies_for(&self, portfolio: &PortfolioConfig) -> Vec<Arc<dyn Strategy>> {
         if let Some(custom) = &self.custom {
@@ -182,7 +213,10 @@ impl Engine {
         crate::portfolio::build_strategies_with(portfolio, self.warm.clone())
     }
 
-    /// Runs the (scheduler-filtered) strategy race for one job.
+    /// Runs the (scheduler-filtered, budget-aware) strategy race for one
+    /// job. An explicit conflict budget (request field or engine default)
+    /// always wins; otherwise the scheduler's learnt per-bucket budget
+    /// caps the SAT phase.
     fn race(
         &self,
         m: &BitMatrix,
@@ -196,17 +230,22 @@ impl Engine {
             incumbent,
         };
         let candidates = self.strategies_for(portfolio);
+        let mut budget = portfolio.budget();
         let selected: Vec<Arc<dyn Strategy>> = if self.config.adaptive {
-            self.scheduler
-                .plan(m, &candidates, &job)
+            let plan = self.scheduler.plan(m, &candidates, &job);
+            if budget.conflicts.is_none() {
+                budget.conflicts = plan.conflict_budget;
+            }
+            plan.picked
                 .into_iter()
                 .map(|i| candidates[i].clone())
                 .collect()
         } else {
             candidates
         };
-        let out = race_strategies(&job, &selected, &portfolio.budget());
-        self.scheduler.record(m, out.provenance);
+        let out = race_strategies(&job, &selected, &budget);
+        self.scheduler
+            .record(m, out.provenance, out.proved_optimal, out.sat_conflicts);
         out
     }
 
@@ -406,6 +445,36 @@ mod tests {
         let cfg = e.job_portfolio(&req);
         assert_eq!(cfg.time_budget, Some(Duration::from_millis(7)));
         assert_eq!(cfg.conflict_budget, Some(3));
+    }
+
+    #[test]
+    fn budget_skips_accumulate_in_always_proving_buckets() {
+        let e = engine();
+        // All-ones matrices of nearby shapes share one (shape, occupancy)
+        // bucket and are always proved by packing (depth 1) — after the
+        // learning threshold the engine stops launching the SAT phase.
+        let shapes: [(usize, usize); 10] = [
+            (5, 5),
+            (5, 6),
+            (5, 7),
+            (6, 5),
+            (6, 6),
+            (6, 7),
+            (7, 5),
+            (7, 6),
+            (7, 7),
+            (5, 8),
+        ];
+        for (r, c) in shapes {
+            let out = e.solve(&BitMatrix::ones(r, c));
+            assert!(out.proved_optimal);
+            assert_eq!(out.partition.len(), 1);
+        }
+        assert!(
+            e.budget_skips() >= 1,
+            "SAT phase must be skipped once the bucket always proves: {:?}",
+            e.budget_skips()
+        );
     }
 
     #[test]

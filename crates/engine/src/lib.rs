@@ -24,7 +24,7 @@
 //!   `row_packing` ± DLX, full `sap`), raced as trait objects by
 //!   [`race_strategies`] / [`portfolio_solve`] under wall-clock and
 //!   conflict budgets, with mid-query SAT cancellation via
-//!   [`CancelToken`](sat::CancelToken);
+//!   [`CancelToken`];
 //! * [`SessionStore`] — warm [`SapSession`](ebmf::SapSession)s keyed by
 //!   canonical class: cache-adjacent jobs *resume* the incremental SAT
 //!   descent (learnt clauses retained) instead of re-encoding;
@@ -57,6 +57,7 @@ mod cache;
 mod canon;
 #[allow(clippy::module_inception)]
 mod engine;
+pub mod persist;
 mod portfolio;
 mod strategy;
 
@@ -64,7 +65,10 @@ mod strategy;
 /// versioned v1/v2 framing now lives).
 pub use proto as protocol;
 
-pub use cache::{CacheDecision, CacheStats, CachedOutcome, CanonicalCache, FlightGuard};
+pub use cache::{
+    CacheDecision, CacheStats, CachedOutcome, CanonicalCache, FlightGuard, DEFAULT_SHARDS,
+    HEURISTIC_KEY_PREVIEW,
+};
 pub use canon::{
     canonical_form, canonical_form_with, CanonOptions, CanonicalForm, Completeness,
     DEFAULT_CANON_BUDGET,
@@ -79,6 +83,6 @@ pub use portfolio::{
 /// depending on the `sat` crate directly.
 pub use sat::CancelToken;
 pub use strategy::{
-    AdaptiveScheduler, BucketStats, PackingStrategy, SapStrategy, SessionStore, SolveJob, Strategy,
-    StrategyBudget, StrategyOutcome, TrivialStrategy,
+    AdaptiveScheduler, BucketStats, PackingStrategy, RacePlan, SapStrategy, SessionStore, SolveJob,
+    Strategy, StrategyBudget, StrategyOutcome, TrivialStrategy,
 };

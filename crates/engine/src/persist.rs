@@ -1,0 +1,695 @@
+//! Disk persistence of the engine's warm state: the session store's
+//! learnt-clause cores and the adaptive scheduler's bucket statistics.
+//!
+//! A restarted server is day-zero cold without this module — every learnt
+//! clause and every bucket's win/cost history dies with the process. The
+//! snapshot spills both to a single versioned, checksummed file in a
+//! `--state-dir`, so the next process warm-starts from day one (and a
+//! future multi-process serve mode can share the directory).
+//!
+//! Design constraints, in order:
+//!
+//! * **Never poison a running engine.** Loads validate structure
+//!   (checksum, schema version, per-record shape) before any state is
+//!   installed; a truncated, bit-flipped or future-schema snapshot is
+//!   rejected wholesale and the engine cold-starts. Semantic validation
+//!   of each session happens again lazily at rehydration
+//!   ([`SapSession::import`](ebmf::SapSession::import)).
+//! * **Never tear a snapshot.** Saves write to a sibling temp file and
+//!   atomically rename over the live one, so a crash mid-save leaves the
+//!   previous snapshot intact and a reader never observes a partial file.
+//! * **No format dependencies.** The body is a line-oriented text format
+//!   (the build environment has no serde); the header carries a schema
+//!   version — any bump is a clean cold start by design — and an FNV-1a
+//!   checksum of the body.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+
+use bitmatrix::BitMatrix;
+use ebmf::SessionExport;
+
+use crate::canon::matrix_key;
+use crate::strategy::BucketStats;
+use crate::{Engine, Provenance};
+
+/// Schema version of the snapshot format. Bumping it invalidates every
+/// existing snapshot (clean cold start) — the upgrade story is
+/// deliberately "re-learn", never "migrate".
+pub const SNAPSHOT_SCHEMA: u32 = 1;
+
+/// File name of the snapshot inside a state directory.
+pub const SNAPSHOT_FILE: &str = "engine.snapshot";
+
+/// Learnt clauses exported per session by default — bounds the snapshot
+/// to roughly megabytes at the default 128-session store.
+pub const DEFAULT_MAX_CORE_CLAUSES: usize = 4096;
+
+const MAGIC: &str = "rect-addr-snapshot";
+
+/// Why a snapshot failed to load. Every variant means the same thing to
+/// the engine: cold start.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// No snapshot file exists (first boot of this state dir).
+    Missing,
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The file is not a structurally valid snapshot (truncated,
+    /// bit-flipped, wrong magic, checksum mismatch, malformed record).
+    Corrupt(String),
+    /// The snapshot was written by a different schema version.
+    SchemaMismatch {
+        /// The version found in the file header.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Missing => write!(f, "no snapshot file"),
+            SnapshotError::Io(e) => write!(f, "snapshot I/O: {e}"),
+            SnapshotError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
+            SnapshotError::SchemaMismatch { found } => {
+                write!(f, "snapshot schema v{found} != v{SNAPSHOT_SCHEMA}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// What one [`save_snapshot`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Sessions serialized.
+    pub sessions: usize,
+    /// Scheduler buckets serialized.
+    pub buckets: usize,
+    /// Snapshot size on disk.
+    pub bytes: usize,
+}
+
+/// What one [`load_snapshot`] installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RestoreStats {
+    /// Sessions installed into the store (spilled; rehydrated lazily).
+    pub sessions: usize,
+    /// Scheduler buckets installed.
+    pub buckets: usize,
+}
+
+/// The snapshot path inside `state_dir`.
+pub fn snapshot_path(state_dir: &Path) -> PathBuf {
+    state_dir.join(SNAPSHOT_FILE)
+}
+
+/// FNV-1a 64 over the body bytes — cheap, dependency-free corruption
+/// detection (not authentication: the state dir is trusted like any cache
+/// directory).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn push_indices(out: &mut String, indices: &[usize]) {
+    if indices.is_empty() {
+        out.push('-');
+        return;
+    }
+    for (i, idx) in indices.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{idx}");
+    }
+}
+
+fn parse_indices(token: &str) -> Result<Vec<usize>, String> {
+    if token == "-" {
+        return Ok(Vec::new());
+    }
+    token
+        .split(',')
+        .map(|t| t.parse::<usize>().map_err(|e| format!("index {t:?}: {e}")))
+        .collect()
+}
+
+/// Serializes the engine's durable state (scheduler buckets + every
+/// parked session) into the snapshot body.
+fn serialize_body(engine: &Engine, max_core_clauses: usize) -> (String, SnapshotStats) {
+    let mut body = String::new();
+
+    let buckets = engine.scheduler().export_buckets();
+    let _ = writeln!(body, "buckets {}", buckets.len());
+    for ((r, c, d), s) in &buckets {
+        let _ = write!(body, "b {r} {c} {d} {}", s.jobs);
+        for w in s.wins {
+            let _ = write!(body, " {w}");
+        }
+        let _ = writeln!(
+            body,
+            " {} {} {}",
+            s.proved_without_sat, s.sat_races, s.sat_conflicts
+        );
+    }
+
+    let sessions: Vec<(String, SessionExport)> = engine
+        .warm_store()
+        .map(|store| store.export_all(max_core_clauses))
+        .unwrap_or_default();
+    // Sessions whose matrix cannot round-trip through the text format
+    // (degenerate empty shapes) are skipped — they carry no SAT state.
+    let sessions: Vec<_> = sessions
+        .into_iter()
+        .filter(|(_, e)| e.matrix.nrows() > 0 && e.matrix.ncols() > 0)
+        .collect();
+    let _ = writeln!(body, "sessions {}", sessions.len());
+    for (_key, e) in &sessions {
+        let (nrows, ncols) = e.matrix.shape();
+        let _ = writeln!(
+            body,
+            "s {nrows} {ncols} {} {} {} {} {} {}",
+            u8::from(e.proved),
+            e.conflicts,
+            e.encoder_capacity
+                .map_or_else(|| "-".to_string(), |c| c.to_string()),
+            u8::from(e.symmetry_breaking),
+            e.best.len(),
+            e.core.len(),
+        );
+        let _ = writeln!(body, "m {}", e.matrix.to_string().replace('\n', " "));
+        for (rows, cols) in &e.best {
+            body.push_str("r ");
+            push_indices(&mut body, rows);
+            body.push(' ');
+            push_indices(&mut body, cols);
+            body.push('\n');
+        }
+        for clause in &e.core {
+            body.push('c');
+            for lit in clause {
+                let _ = write!(body, " {lit}");
+            }
+            body.push('\n');
+        }
+    }
+
+    let stats = SnapshotStats {
+        sessions: sessions.len(),
+        buckets: buckets.len(),
+        bytes: 0, // filled in by the caller once the header is known
+    };
+    (body, stats)
+}
+
+/// Writes a snapshot of `engine`'s warm state into `state_dir`
+/// atomically (temp file + rename). Creates the directory if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the previous snapshot (if any) survives
+/// every failure mode.
+pub fn save_snapshot(state_dir: &Path, engine: &Engine) -> std::io::Result<SnapshotStats> {
+    save_snapshot_with(state_dir, engine, DEFAULT_MAX_CORE_CLAUSES)
+}
+
+/// [`save_snapshot`] with an explicit per-session learnt-core cap.
+///
+/// # Errors
+///
+/// See [`save_snapshot`].
+pub fn save_snapshot_with(
+    state_dir: &Path,
+    engine: &Engine,
+    max_core_clauses: usize,
+) -> std::io::Result<SnapshotStats> {
+    std::fs::create_dir_all(state_dir)?;
+    let (body, mut stats) = serialize_body(engine, max_core_clauses);
+    let mut file = format!(
+        "{MAGIC} {SNAPSHOT_SCHEMA}\nchecksum {:016x}\n",
+        fnv1a(body.as_bytes())
+    );
+    file.push_str(&body);
+    stats.bytes = file.len();
+
+    let path = snapshot_path(state_dir);
+    let tmp = state_dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    std::fs::write(&tmp, &file)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(stats)
+}
+
+/// A line cursor over the snapshot body with uniform error reporting.
+struct Lines<'a> {
+    iter: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn next(&mut self, what: &str) -> Result<&'a str, SnapshotError> {
+        self.line_no += 1;
+        self.iter
+            .next()
+            .ok_or_else(|| SnapshotError::Corrupt(format!("truncated: expected {what}")))
+    }
+
+    fn corrupt(&self, why: impl std::fmt::Display) -> SnapshotError {
+        SnapshotError::Corrupt(format!("line {}: {why}", self.line_no))
+    }
+}
+
+fn parse_u64(token: Option<&str>, what: &str) -> Result<u64, String> {
+    token
+        .ok_or_else(|| format!("missing {what}"))?
+        .parse::<u64>()
+        .map_err(|e| format!("{what}: {e}"))
+}
+
+fn parse_usize(token: Option<&str>, what: &str) -> Result<usize, String> {
+    Ok(parse_u64(token, what)? as usize)
+}
+
+/// Upper bound on declared record counts: a snapshot declaring more than
+/// this is rejected before any allocation is attempted.
+const MAX_RECORDS: usize = 1 << 20;
+
+fn checked_count(n: usize, what: &str) -> Result<usize, SnapshotError> {
+    if n > MAX_RECORDS {
+        return Err(SnapshotError::Corrupt(format!("{what} count {n} absurd")));
+    }
+    Ok(n)
+}
+
+/// The deserialized snapshot payload, not yet installed anywhere.
+struct Parsed {
+    buckets: Vec<((u8, u8, u8), BucketStats)>,
+    sessions: Vec<SessionExport>,
+}
+
+fn parse_body(body: &str) -> Result<Parsed, SnapshotError> {
+    let mut lines = Lines {
+        iter: body.lines(),
+        line_no: 2, // header lines already consumed
+    };
+
+    let header = lines.next("buckets header")?;
+    let mut t = header.split_whitespace();
+    if t.next() != Some("buckets") {
+        return Err(lines.corrupt("expected `buckets <n>`"));
+    }
+    let nbuckets = checked_count(
+        parse_usize(t.next(), "bucket count").map_err(|e| lines.corrupt(e))?,
+        "bucket",
+    )?;
+    let mut buckets = Vec::new();
+    for _ in 0..nbuckets {
+        let line = lines.next("bucket record")?;
+        let mut t = line.split_whitespace();
+        if t.next() != Some("b") {
+            return Err(lines.corrupt("expected `b ...` bucket record"));
+        }
+        let parse = |t: &mut std::str::SplitWhitespace<'_>, what: &str| parse_u64(t.next(), what);
+        let key = (
+            parse(&mut t, "rows-log").map_err(|e| lines.corrupt(e))? as u8,
+            parse(&mut t, "cols-log").map_err(|e| lines.corrupt(e))? as u8,
+            parse(&mut t, "decile").map_err(|e| lines.corrupt(e))? as u8,
+        );
+        let jobs = parse(&mut t, "jobs").map_err(|e| lines.corrupt(e))?;
+        let mut wins = [0u64; Provenance::COUNT];
+        for (i, w) in wins.iter_mut().enumerate() {
+            *w = parse(&mut t, &format!("win[{i}]")).map_err(|e| lines.corrupt(e))?;
+        }
+        let proved_without_sat =
+            parse(&mut t, "proved_without_sat").map_err(|e| lines.corrupt(e))?;
+        let sat_races = parse(&mut t, "sat_races").map_err(|e| lines.corrupt(e))?;
+        let sat_conflicts = parse(&mut t, "sat_conflicts").map_err(|e| lines.corrupt(e))?;
+        if t.next().is_some() {
+            return Err(lines.corrupt("trailing tokens on bucket record"));
+        }
+        buckets.push((
+            key,
+            BucketStats {
+                jobs,
+                wins,
+                proved_without_sat,
+                sat_races,
+                sat_conflicts,
+            },
+        ));
+    }
+
+    let header = lines.next("sessions header")?;
+    let mut t = header.split_whitespace();
+    if t.next() != Some("sessions") {
+        return Err(lines.corrupt("expected `sessions <n>`"));
+    }
+    let nsessions = checked_count(
+        parse_usize(t.next(), "session count").map_err(|e| lines.corrupt(e))?,
+        "session",
+    )?;
+    let mut sessions = Vec::new();
+    for _ in 0..nsessions {
+        let line = lines.next("session record")?;
+        let mut t = line.split_whitespace();
+        if t.next() != Some("s") {
+            return Err(lines.corrupt("expected `s ...` session record"));
+        }
+        let nrows = parse_usize(t.next(), "nrows").map_err(|e| lines.corrupt(e))?;
+        let ncols = parse_usize(t.next(), "ncols").map_err(|e| lines.corrupt(e))?;
+        let proved = match t.next() {
+            Some("0") => false,
+            Some("1") => true,
+            other => return Err(lines.corrupt(format!("proved flag {other:?}"))),
+        };
+        let conflicts = parse_u64(t.next(), "conflicts").map_err(|e| lines.corrupt(e))?;
+        let encoder_capacity = match t.next() {
+            Some("-") => None,
+            Some(tok) => Some(
+                tok.parse::<usize>()
+                    .map_err(|e| lines.corrupt(format!("capacity: {e}")))?,
+            ),
+            None => return Err(lines.corrupt("missing capacity")),
+        };
+        let symmetry_breaking = match t.next() {
+            Some("0") => false,
+            Some("1") => true,
+            other => return Err(lines.corrupt(format!("symmetry flag {other:?}"))),
+        };
+        let nrects = checked_count(
+            parse_usize(t.next(), "rect count").map_err(|e| lines.corrupt(e))?,
+            "rectangle",
+        )?;
+        let nclauses = checked_count(
+            parse_usize(t.next(), "clause count").map_err(|e| lines.corrupt(e))?,
+            "clause",
+        )?;
+        if t.next().is_some() {
+            return Err(lines.corrupt("trailing tokens on session record"));
+        }
+
+        let mline = lines.next("matrix line")?;
+        let Some(rows_text) = mline.strip_prefix("m ") else {
+            return Err(lines.corrupt("expected `m <rows>`"));
+        };
+        let matrix: BitMatrix = rows_text
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join("\n")
+            .parse()
+            .map_err(|e| lines.corrupt(format!("matrix: {e}")))?;
+        if matrix.shape() != (nrows, ncols) {
+            return Err(lines.corrupt(format!(
+                "matrix shape {:?} != declared ({nrows}, {ncols})",
+                matrix.shape()
+            )));
+        }
+
+        let mut best = Vec::new();
+        for _ in 0..nrects {
+            let line = lines.next("rectangle record")?;
+            let mut t = line.split_whitespace();
+            if t.next() != Some("r") {
+                return Err(lines.corrupt("expected `r <rows> <cols>`"));
+            }
+            let rows = t
+                .next()
+                .ok_or_else(|| lines.corrupt("missing rectangle rows"))
+                .and_then(|tok| parse_indices(tok).map_err(|e| lines.corrupt(e)))?;
+            let cols = t
+                .next()
+                .ok_or_else(|| lines.corrupt("missing rectangle cols"))
+                .and_then(|tok| parse_indices(tok).map_err(|e| lines.corrupt(e)))?;
+            if t.next().is_some() {
+                return Err(lines.corrupt("trailing tokens on rectangle record"));
+            }
+            best.push((rows, cols));
+        }
+
+        let mut core = Vec::new();
+        for _ in 0..nclauses {
+            let line = lines.next("clause record")?;
+            let Some(rest) = line.strip_prefix('c') else {
+                return Err(lines.corrupt("expected `c <lits>`"));
+            };
+            let clause: Vec<i64> = rest
+                .split_whitespace()
+                .map(|tok| {
+                    tok.parse::<i64>()
+                        .map_err(|e| format!("literal {tok:?}: {e}"))
+                })
+                .collect::<Result<_, _>>()
+                .map_err(|e| lines.corrupt(e))?;
+            if clause.is_empty() {
+                return Err(lines.corrupt("empty clause record"));
+            }
+            core.push(clause);
+        }
+
+        sessions.push(SessionExport {
+            matrix,
+            best,
+            proved,
+            conflicts,
+            encoder_capacity,
+            symmetry_breaking,
+            core,
+        });
+    }
+    if lines.iter.next().is_some() {
+        return Err(SnapshotError::Corrupt("trailing data after records".into()));
+    }
+    Ok(Parsed { buckets, sessions })
+}
+
+/// Reads and validates the snapshot in `state_dir` and installs it into
+/// `engine`: scheduler buckets merge (live counters win), sessions land
+/// **spilled** in the store — rehydrated lazily by the first job of each
+/// canonical class ([`crate::SessionStore::take`]). Also records the
+/// restored-session count behind [`Engine::restored_sessions`].
+///
+/// # Errors
+///
+/// [`SnapshotError::Missing`] when no file exists; every other variant
+/// means the file was rejected wholesale (nothing was installed — never
+/// a half-load). The caller logs and cold-starts.
+pub fn load_snapshot(state_dir: &Path, engine: &Engine) -> Result<RestoreStats, SnapshotError> {
+    let path = snapshot_path(state_dir);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(SnapshotError::Missing),
+        Err(e) => return Err(SnapshotError::Io(e)),
+    };
+    // Invalid UTF-8 is file corruption, not an I/O failure.
+    let text =
+        String::from_utf8(bytes).map_err(|e| SnapshotError::Corrupt(format!("not UTF-8: {e}")))?;
+
+    // Header line 1: magic + schema.
+    let mut lines = text.splitn(3, '\n');
+    let head = lines.next().unwrap_or("");
+    let mut t = head.split_whitespace();
+    if t.next() != Some(MAGIC) {
+        return Err(SnapshotError::Corrupt("bad magic".into()));
+    }
+    let found: u32 = t
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| SnapshotError::Corrupt("unreadable schema version".into()))?;
+    if found != SNAPSHOT_SCHEMA {
+        return Err(SnapshotError::SchemaMismatch { found });
+    }
+
+    // Header line 2: checksum of everything after it.
+    let sum_line = lines
+        .next()
+        .ok_or_else(|| SnapshotError::Corrupt("missing checksum line".into()))?;
+    let declared = sum_line
+        .strip_prefix("checksum ")
+        .and_then(|v| u64::from_str_radix(v.trim(), 16).ok())
+        .ok_or_else(|| SnapshotError::Corrupt("unreadable checksum line".into()))?;
+    let body = lines.next().unwrap_or("");
+    let actual = fnv1a(body.as_bytes());
+    if actual != declared {
+        return Err(SnapshotError::Corrupt(format!(
+            "checksum mismatch: file says {declared:016x}, body is {actual:016x}"
+        )));
+    }
+
+    let parsed = parse_body(body)?;
+
+    // Validation done — install. Bucket stats run their own consistency
+    // filter; sessions install spilled under their re-derived keys.
+    let buckets = engine.scheduler().install_buckets(parsed.buckets);
+    let mut sessions = 0usize;
+    if let Some(store) = engine.warm_store() {
+        for export in parsed.sessions {
+            let key = matrix_key(&export.matrix);
+            if store.install_spilled(&key, export) {
+                sessions += 1;
+            }
+        }
+    }
+    engine
+        .restored_sessions_counter()
+        .fetch_add(sessions as u64, Ordering::Relaxed);
+    Ok(RestoreStats { buckets, sessions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+
+    fn state_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rect-addr-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn hard_engine() -> Engine {
+        Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn solve_hard(engine: &Engine) -> u64 {
+        // A rank-gap instance: SAP must spend real conflicts.
+        let m = ebmf::gen::gap_benchmark(10, 10, 3, 2).matrix;
+        let out = engine.solve(&m);
+        assert!(out.partition.validate(&m).is_ok());
+        out.sat_conflicts
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_sessions_and_buckets() {
+        let dir = state_dir("roundtrip");
+        let donor = hard_engine();
+        let cold_conflicts = solve_hard(&donor);
+        assert!(cold_conflicts > 0, "hard instance must cost conflicts");
+        assert!(donor.warm_sessions() >= 1);
+        let saved = save_snapshot(&dir, &donor).expect("save");
+        assert!(saved.sessions >= 1);
+        assert!(saved.buckets >= 1);
+
+        let fresh = hard_engine();
+        let restored = load_snapshot(&dir, &fresh).expect("load");
+        assert_eq!(restored.sessions, saved.sessions);
+        assert_eq!(restored.buckets, saved.buckets);
+        assert_eq!(fresh.restored_sessions(), restored.sessions as u64);
+        assert_eq!(fresh.warm_sessions(), saved.sessions, "spilled slots count");
+
+        // The restored engine re-solves the class with far fewer conflicts
+        // (the proved session answers without re-searching).
+        let warm_conflicts = solve_hard(&fresh);
+        assert!(
+            warm_conflicts < cold_conflicts,
+            "restored session must resume: {warm_conflicts} vs {cold_conflicts}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_clean_cold_start() {
+        let dir = state_dir("missing");
+        let engine = hard_engine();
+        assert!(matches!(
+            load_snapshot(&dir, &engine),
+            Err(SnapshotError::Missing)
+        ));
+        assert_eq!(engine.warm_sessions(), 0);
+        assert_eq!(engine.restored_sessions(), 0);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected_wholesale() {
+        let dir = state_dir("truncated");
+        let donor = hard_engine();
+        solve_hard(&donor);
+        save_snapshot(&dir, &donor).expect("save");
+        let path = snapshot_path(&dir);
+        let full = std::fs::read_to_string(&path).unwrap();
+        for keep in [full.len() / 2, full.len() - 1, 25] {
+            std::fs::write(&path, &full[..keep]).unwrap();
+            let fresh = hard_engine();
+            let err = load_snapshot(&dir, &fresh).expect_err("truncated must fail");
+            assert!(
+                matches!(err, SnapshotError::Corrupt(_)),
+                "keep={keep}: {err}"
+            );
+            assert_eq!(fresh.warm_sessions(), 0, "nothing may be half-loaded");
+            assert_eq!(fresh.restored_sessions(), 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bitflipped_snapshot_is_rejected_by_the_checksum() {
+        let dir = state_dir("bitflip");
+        let donor = hard_engine();
+        solve_hard(&donor);
+        save_snapshot(&dir, &donor).expect("save");
+        let path = snapshot_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit somewhere inside the body (past the two header
+        // lines), at several positions.
+        let body_start = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i)
+            .nth(1)
+            .unwrap()
+            + 1;
+        for offset in [0, bytes.len() / 3, bytes.len() - body_start - 1] {
+            let mut flipped = bytes.clone();
+            flipped[body_start + offset] ^= 0x01;
+            std::fs::write(&path, &flipped).unwrap();
+            let fresh = hard_engine();
+            let err = load_snapshot(&dir, &fresh).expect_err("bit flip must fail");
+            assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+            assert_eq!(fresh.warm_sessions(), 0);
+        }
+        bytes.clear();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_schema_is_a_clean_cold_start() {
+        let dir = state_dir("schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        let body = "buckets 0\nsessions 0\n";
+        let file = format!(
+            "{MAGIC} {}\nchecksum {:016x}\n{body}",
+            SNAPSHOT_SCHEMA + 1,
+            fnv1a(body.as_bytes())
+        );
+        std::fs::write(snapshot_path(&dir), file).unwrap();
+        let fresh = hard_engine();
+        assert!(matches!(
+            load_snapshot(&dir, &fresh),
+            Err(SnapshotError::SchemaMismatch { .. })
+        ));
+        assert_eq!(fresh.warm_sessions(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let dir = state_dir("atomic");
+        let donor = hard_engine();
+        solve_hard(&donor);
+        save_snapshot(&dir, &donor).expect("save");
+        save_snapshot(&dir, &donor).expect("overwrite in place");
+        assert!(snapshot_path(&dir).exists());
+        assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -56,7 +56,7 @@ impl Provenance {
         Provenance::Sap,
     ];
 
-    /// Position of this variant in [`PROVENANCE_TABLE`] / [`Provenance::ALL`].
+    /// Position of this variant in the name table / [`Provenance::ALL`].
     /// The exhaustive `match` here is what forces the table to grow when a
     /// variant is added: a new variant fails to compile until it is indexed,
     /// and the round-trip test then fails until the table carries its name.

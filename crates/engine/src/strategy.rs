@@ -13,11 +13,14 @@
 //!   re-exploration so a policy can recover.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use bitmatrix::BitMatrix;
-use ebmf::{sap, trivial_partition, PackingConfig, Partition, SapConfig, SapSession};
+use ebmf::{
+    sap, trivial_partition, PackingConfig, Partition, SapConfig, SapSession, SessionExport,
+};
 use sat::CancelToken;
 
 use crate::canon::CanonicalForm;
@@ -194,6 +197,16 @@ impl Strategy for PackingStrategy {
     }
 }
 
+/// One parked entry of the [`SessionStore`]: a live in-memory session, or
+/// a disk-shaped export waiting to be rehydrated on first use. Both
+/// variants are boxed: sessions and exports are hundreds of bytes, and
+/// the map only touches the discriminant on most operations.
+#[derive(Debug)]
+enum SessionSlot {
+    Live(Box<SapSession>),
+    Spilled(Box<SessionExport>),
+}
+
 /// Bounded store of warm [`SapSession`]s keyed by canonical form.
 ///
 /// A session is *taken out* while a job runs it (so it is never shared
@@ -202,10 +215,19 @@ impl Strategy for PackingStrategy {
 /// a taken session is essentially never missed. When full, incoming
 /// sessions for new keys are dropped — a dropped session only costs a cold
 /// start, never correctness.
+///
+/// Entries restored from a snapshot ([`SessionStore::install_spilled`])
+/// stay in their serialized [`SessionExport`] form until their canonical
+/// class is actually queried again: [`SessionStore::take`] rehydrates them
+/// **lazily**, so a restart pays re-encoding cost only for classes that
+/// recur. An export that fails validation is discarded (the class simply
+/// cold-starts).
 #[derive(Debug)]
 pub struct SessionStore {
-    map: Mutex<HashMap<String, SapSession>>,
+    map: Mutex<HashMap<String, SessionSlot>>,
     capacity: usize,
+    /// Spilled entries rehydrated into live sessions so far.
+    rehydrated: AtomicU64,
 }
 
 impl SessionStore {
@@ -214,12 +236,29 @@ impl SessionStore {
         SessionStore {
             map: Mutex::new(HashMap::new()),
             capacity,
+            rehydrated: AtomicU64::new(0),
         }
     }
 
-    /// Removes and returns the session for `key`, if present.
+    /// Removes and returns the session for `key`, if present, rehydrating
+    /// a spilled entry on the way out (`None` if rehydration fails — the
+    /// caller cold-starts, which is always sound).
     pub fn take(&self, key: &str) -> Option<SapSession> {
-        self.map.lock().expect("session store poisoned").remove(key)
+        let slot = self
+            .map
+            .lock()
+            .expect("session store poisoned")
+            .remove(key)?;
+        match slot {
+            SessionSlot::Live(session) => Some(*session),
+            SessionSlot::Spilled(export) => match SapSession::import(&export) {
+                Ok(session) => {
+                    self.rehydrated.fetch_add(1, Ordering::Relaxed);
+                    Some(session)
+                }
+                Err(_) => None,
+            },
+        }
     }
 
     /// Stores `session` under `key` (dropped when the store is full and the
@@ -227,11 +266,43 @@ impl SessionStore {
     pub fn put(&self, key: &str, session: SapSession) {
         let mut map = self.map.lock().expect("session store poisoned");
         if map.len() < self.capacity || map.contains_key(key) {
-            map.insert(key.to_string(), session);
+            map.insert(key.to_string(), SessionSlot::Live(Box::new(session)));
         }
     }
 
-    /// Number of stored sessions.
+    /// Installs a serialized session (snapshot restore path) without
+    /// rehydrating it; returns whether it was kept. Existing live entries
+    /// are never overwritten — a running server's in-memory state beats
+    /// the disk's — and a full store drops the newcomer.
+    pub fn install_spilled(&self, key: &str, export: SessionExport) -> bool {
+        let mut map = self.map.lock().expect("session store poisoned");
+        if map.contains_key(key) || map.len() >= self.capacity {
+            return false;
+        }
+        map.insert(key.to_string(), SessionSlot::Spilled(Box::new(export)));
+        true
+    }
+
+    /// Exports every parked session (live ones serialize their strongest
+    /// `max_core_clauses` learnt clauses; spilled ones pass through) —
+    /// the snapshot save path. Non-destructive. Holds the store lock for
+    /// the whole pass (a live session can only be read under it), so
+    /// concurrent `take`/`put` calls stall for the serialization — which
+    /// is why the serving layer runs snapshots off the job path.
+    pub fn export_all(&self, max_core_clauses: usize) -> Vec<(String, SessionExport)> {
+        let map = self.map.lock().expect("session store poisoned");
+        map.iter()
+            .map(|(key, slot)| {
+                let export = match slot {
+                    SessionSlot::Live(session) => session.export(max_core_clauses),
+                    SessionSlot::Spilled(export) => (**export).clone(),
+                };
+                (key.clone(), export)
+            })
+            .collect()
+    }
+
+    /// Number of stored sessions (live and spilled).
     pub fn len(&self) -> usize {
         self.map.lock().expect("session store poisoned").len()
     }
@@ -239,6 +310,11 @@ impl SessionStore {
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Spilled entries rehydrated into live sessions so far.
+    pub fn rehydrated(&self) -> u64 {
+        self.rehydrated.load(Ordering::Relaxed)
     }
 }
 
@@ -348,28 +424,73 @@ pub(crate) fn bucket_key(m: &BitMatrix) -> (u8, u8, u8) {
     (log2(r), log2(c), decile)
 }
 
-/// Win counters of one (shape, occupancy) bucket.
-#[derive(Debug, Clone, Copy, Default)]
+/// Win and cost counters of one (shape, occupancy) bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BucketStats {
     /// Races recorded in this bucket.
     pub jobs: u64,
     /// Wins per provenance ([`Provenance::index`]).
     pub wins: [u64; Provenance::COUNT],
+    /// Races proved optimal by a non-SAT strategy — the evidence behind
+    /// skipping the SAT phase entirely in always-trivial buckets.
+    pub proved_without_sat: u64,
+    /// Races that spent at least one SAT conflict.
+    pub sat_races: u64,
+    /// Total SAT conflicts across those races (mean = per-job budget seed).
+    pub sat_conflicts: u64,
 }
 
-/// Provenance-learning scheduler: picks the strategy subset for a job from
-/// the win history of its (shape, occupancy) bucket.
+impl BucketStats {
+    /// Mean SAT conflict cost of the bucket's conflict-spending races.
+    pub fn mean_sat_conflicts(&self) -> Option<u64> {
+        (self.sat_races > 0).then(|| self.sat_conflicts / self.sat_races)
+    }
+}
+
+/// One planned race: the strategy subset plus the budget decisions learnt
+/// from the job's bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RacePlan {
+    /// Indices into the candidate roster, cheapest estimate first.
+    pub picked: Vec<usize>,
+    /// Learnt per-job conflict budget (bucket mean × multiple); `None`
+    /// when the bucket has no evidence yet or this is an explore round.
+    pub conflict_budget: Option<u64>,
+    /// The SAT strategy was left out because the bucket always proves
+    /// without it.
+    pub sat_skipped: bool,
+    /// This is a full-exploration round (no pruning, no learnt budget).
+    pub explore: bool,
+}
+
+/// Provenance-learning, **budget-aware** scheduler: picks the strategy
+/// subset *and* the conflict budget for a job from the win/cost history of
+/// its (shape, occupancy) bucket.
 ///
 /// Policy: race **everything** until a bucket holds
 /// [`AdaptiveScheduler::MIN_SAMPLES`] races, and again on every
 /// [`AdaptiveScheduler::EXPLORE_EVERY`]-th race (so a strategy that starts
-/// winning — e.g. after budgets change — is rediscovered). In between, a
-/// strategy that has never won in the bucket is left out of the race; the
-/// trivial baseline (the floor incumbent) and the SAP prover are always
-/// kept. Selected strategies are ordered cheapest-estimate first.
+/// winning — e.g. after budgets change — is rediscovered, and a learnt
+/// budget that turned out too tight is re-measured). In between:
+///
+/// * a strategy that has never won in the bucket is left out of the race;
+///   the trivial baseline (the floor incumbent) is always kept;
+/// * the SAP prover is normally always kept — **except** in buckets where
+///   every recorded race was proved optimal *without* SAT
+///   ([`BucketStats::proved_without_sat`]): there the SAT phase is skipped
+///   entirely (counted in [`AdaptiveScheduler::budget_skips`]). One
+///   unproved race resets the evidence and brings SAP straight back;
+/// * when the bucket has accumulated SAT cost samples, the per-job
+///   conflict budget is set to the recorded mean times
+///   [`AdaptiveScheduler::BUDGET_MULTIPLE`] (floored at
+///   [`AdaptiveScheduler::MIN_BUDGET`]) instead of one global budget — an
+///   outlier job stops burning a worker long after its siblings proved.
+///
+/// Selected strategies are ordered cheapest-estimate first.
 #[derive(Debug, Default)]
 pub struct AdaptiveScheduler {
     buckets: Mutex<HashMap<(u8, u8, u8), BucketStats>>,
+    budget_skips: AtomicU64,
 }
 
 impl AdaptiveScheduler {
@@ -377,34 +498,48 @@ impl AdaptiveScheduler {
     pub const MIN_SAMPLES: u64 = 8;
     /// Cadence of full-exploration races after pruning starts.
     pub const EXPLORE_EVERY: u64 = 16;
+    /// Learnt per-job conflict budget = bucket mean × this multiple.
+    pub const BUDGET_MULTIPLE: u64 = 4;
+    /// Floor of the learnt conflict budget, so a bucket of cheap proofs
+    /// never starves a slightly harder newcomer outright.
+    pub const MIN_BUDGET: u64 = 256;
 
     /// Creates a scheduler with no history.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Selects (by index into `candidates`) the strategies to race for `m`,
-    /// cheapest estimate first.
+    /// Plans the race for `m`: the strategy subset (indices into
+    /// `candidates`, cheapest estimate first) plus the learnt budget
+    /// decisions of `m`'s bucket.
     pub fn plan(
         &self,
         m: &BitMatrix,
         candidates: &[Arc<dyn Strategy>],
         job: &SolveJob<'_>,
-    ) -> Vec<usize> {
+    ) -> RacePlan {
         let stats = {
             let buckets = self.buckets.lock().expect("scheduler poisoned");
             buckets.get(&bucket_key(m)).copied().unwrap_or_default()
         };
         let explore = stats.jobs < Self::MIN_SAMPLES || stats.jobs % Self::EXPLORE_EVERY == 0;
+        // Skip the SAT phase only on unanimous evidence: every recorded
+        // race proved without it. The every-16th explore round re-tests.
+        let skip_sat = !explore && stats.proved_without_sat == stats.jobs;
         let mut picked: Vec<usize> = (0..candidates.len())
             .filter(|&i| {
                 if explore {
                     return true;
                 }
                 let s = &candidates[i];
-                // The baseline and the only prover are never pruned.
-                matches!(s.provenance(), Provenance::Trivial | Provenance::Sap)
-                    || stats.wins[s.provenance().index()] > 0
+                match s.provenance() {
+                    // The baseline incumbent is never pruned.
+                    Provenance::Trivial => true,
+                    // The only prover is kept unless the bucket proves
+                    // without it every single time.
+                    Provenance::Sap => !skip_sat,
+                    _ => stats.wins[s.provenance().index()] > 0,
+                }
             })
             .collect();
         if picked.is_empty() {
@@ -415,15 +550,42 @@ impl AdaptiveScheduler {
                 .estimate(job)
                 .total_cmp(&candidates[b].estimate(job))
         });
-        picked
+        let sat_skipped = skip_sat
+            && candidates.iter().any(|s| s.provenance() == Provenance::Sap)
+            && picked
+                .iter()
+                .all(|&i| candidates[i].provenance() != Provenance::Sap);
+        if sat_skipped {
+            self.budget_skips.fetch_add(1, Ordering::Relaxed);
+        }
+        let conflict_budget = if explore || sat_skipped || stats.sat_races < Self::MIN_SAMPLES {
+            None
+        } else {
+            stats
+                .mean_sat_conflicts()
+                .map(|mean| (mean.saturating_mul(Self::BUDGET_MULTIPLE)).max(Self::MIN_BUDGET))
+        };
+        RacePlan {
+            picked,
+            conflict_budget,
+            sat_skipped,
+            explore,
+        }
     }
 
     /// Records a race outcome for `m`'s bucket.
-    pub fn record(&self, m: &BitMatrix, winner: Provenance) {
+    pub fn record(&self, m: &BitMatrix, winner: Provenance, proved: bool, sat_conflicts: u64) {
         let mut buckets = self.buckets.lock().expect("scheduler poisoned");
         let stats = buckets.entry(bucket_key(m)).or_default();
         stats.jobs += 1;
         stats.wins[winner.index()] += 1;
+        if proved && winner != Provenance::Sap {
+            stats.proved_without_sat += 1;
+        }
+        if sat_conflicts > 0 {
+            stats.sat_races += 1;
+            stats.sat_conflicts += sat_conflicts;
+        }
     }
 
     /// The recorded statistics of `m`'s bucket, if any.
@@ -433,6 +595,45 @@ impl AdaptiveScheduler {
             .expect("scheduler poisoned")
             .get(&bucket_key(m))
             .copied()
+    }
+
+    /// Races whose SAT phase was skipped on bucket evidence.
+    pub fn budget_skips(&self) -> u64 {
+        self.budget_skips.load(Ordering::Relaxed)
+    }
+
+    /// Every bucket's statistics — the snapshot save path.
+    pub fn export_buckets(&self) -> Vec<((u8, u8, u8), BucketStats)> {
+        self.buckets
+            .lock()
+            .expect("scheduler poisoned")
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+
+    /// Installs bucket statistics (snapshot restore path). Buckets already
+    /// holding live counters are left alone — memory beats disk.
+    pub fn install_buckets<I: IntoIterator<Item = ((u8, u8, u8), BucketStats)>>(
+        &self,
+        buckets: I,
+    ) -> usize {
+        let mut map = self.buckets.lock().expect("scheduler poisoned");
+        let mut installed = 0usize;
+        for (key, stats) in buckets {
+            if stats.jobs == 0
+                || stats.wins.iter().sum::<u64>() != stats.jobs
+                || stats.proved_without_sat > stats.jobs
+                || stats.sat_races > stats.jobs
+            {
+                continue; // internally inconsistent: refuse quietly
+            }
+            map.entry(key).or_insert_with(|| {
+                installed += 1;
+                stats
+            });
+        }
+        installed
     }
 }
 
@@ -560,14 +761,18 @@ mod tests {
         };
 
         // Cold bucket: everything races.
-        assert_eq!(sched.plan(&m, &strategies, &job).len(), strategies.len());
+        assert_eq!(
+            sched.plan(&m, &strategies, &job).picked.len(),
+            strategies.len()
+        );
 
-        // Record enough races where only plain packing ever wins.
+        // Record enough races where only plain packing ever wins (without
+        // proving — the SAT phase stays warranted).
         for _ in 0..AdaptiveScheduler::MIN_SAMPLES {
-            sched.record(&m, Provenance::Packing);
+            sched.record(&m, Provenance::Packing, false, 0);
         }
-        let picked = sched.plan(&m, &strategies, &job);
-        let names: Vec<&str> = picked.iter().map(|&i| strategies[i].name()).collect();
+        let plan = sched.plan(&m, &strategies, &job);
+        let names: Vec<&str> = plan.picked.iter().map(|&i| strategies[i].name()).collect();
         assert!(
             names.contains(&"trivial"),
             "baseline always kept: {names:?}"
@@ -578,12 +783,13 @@ mod tests {
             !names.contains(&"packing-dlx"),
             "never-winner pruned: {names:?}"
         );
+        assert!(!plan.sat_skipped);
 
         // Exploration cadence brings the pruned strategy back periodically.
         let mut explored = false;
         for _ in 0..AdaptiveScheduler::EXPLORE_EVERY {
-            sched.record(&m, Provenance::Packing);
-            if sched.plan(&m, &strategies, &job).len() == strategies.len() {
+            sched.record(&m, Provenance::Packing, false, 0);
+            if sched.plan(&m, &strategies, &job).picked.len() == strategies.len() {
                 explored = true;
             }
         }
@@ -599,12 +805,131 @@ mod tests {
             canon: None,
             incumbent: None,
         };
-        let picked = AdaptiveScheduler::new().plan(&m, &strategies, &job);
+        let picked = AdaptiveScheduler::new().plan(&m, &strategies, &job).picked;
         let costs: Vec<f64> = picked
             .iter()
             .map(|&i| strategies[i].estimate(&job))
             .collect();
         assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
+    }
+
+    #[test]
+    fn scheduler_skips_sat_in_always_proving_buckets() {
+        let m = fig1b();
+        let strategies = all_strategies();
+        let sched = AdaptiveScheduler::new();
+        let job = SolveJob {
+            matrix: &m,
+            canon: None,
+            incumbent: None,
+        };
+        // Every race proves via packing: past the learning threshold the
+        // SAT phase is dropped from the plan.
+        for _ in 0..AdaptiveScheduler::MIN_SAMPLES {
+            sched.record(&m, Provenance::Packing, true, 0);
+        }
+        let plan = sched.plan(&m, &strategies, &job);
+        let names: Vec<&str> = plan.picked.iter().map(|&i| strategies[i].name()).collect();
+        assert!(plan.sat_skipped, "SAT must be skipped: {names:?}");
+        assert!(!names.contains(&"sap"), "{names:?}");
+        assert!(names.contains(&"trivial"), "{names:?}");
+        assert_eq!(sched.budget_skips(), 1);
+
+        // The every-16th explore round re-tests the full roster …
+        let mut explored_with_sap = false;
+        for _ in 0..AdaptiveScheduler::EXPLORE_EVERY {
+            sched.record(&m, Provenance::Packing, true, 0);
+            let p = sched.plan(&m, &strategies, &job);
+            if p.explore {
+                let names: Vec<&str> = p.picked.iter().map(|&i| strategies[i].name()).collect();
+                assert!(names.contains(&"sap"), "explore races everything");
+                explored_with_sap = true;
+            }
+        }
+        assert!(explored_with_sap, "escape hatch must fire every 16th race");
+
+        // … and one unproved race resets the evidence: SAP returns at once.
+        sched.record(&m, Provenance::Packing, false, 0);
+        let plan = sched.plan(&m, &strategies, &job);
+        let names: Vec<&str> = plan.picked.iter().map(|&i| strategies[i].name()).collect();
+        assert!(!plan.sat_skipped);
+        assert!(names.contains(&"sap"), "one unproved race revives SAP");
+    }
+
+    #[test]
+    fn scheduler_learns_per_job_conflict_budget_from_bucket_mean() {
+        let m = fig1b();
+        let strategies = all_strategies();
+        let sched = AdaptiveScheduler::new();
+        let job = SolveJob {
+            matrix: &m,
+            canon: None,
+            incumbent: None,
+        };
+        // SAP proves each time at ~1000 conflicts: the learnt budget tracks
+        // the mean times the multiple.
+        for _ in 0..AdaptiveScheduler::MIN_SAMPLES {
+            sched.record(&m, Provenance::Sap, true, 1_000);
+        }
+        let plan = sched.plan(&m, &strategies, &job);
+        assert!(!plan.explore && !plan.sat_skipped);
+        assert_eq!(
+            plan.conflict_budget,
+            Some(1_000 * AdaptiveScheduler::BUDGET_MULTIPLE)
+        );
+        let stats = sched.bucket(&m).unwrap();
+        assert_eq!(stats.mean_sat_conflicts(), Some(1_000));
+
+        // Tiny means are floored so newcomers are not starved outright.
+        let cheap = AdaptiveScheduler::new();
+        for _ in 0..AdaptiveScheduler::MIN_SAMPLES {
+            cheap.record(&m, Provenance::Sap, true, 1);
+        }
+        assert_eq!(
+            cheap.plan(&m, &strategies, &job).conflict_budget,
+            Some(AdaptiveScheduler::MIN_BUDGET)
+        );
+
+        // Explore rounds run unbudgeted (the re-measure escape hatch).
+        for _ in 0..AdaptiveScheduler::EXPLORE_EVERY {
+            sched.record(&m, Provenance::Sap, true, 1_000);
+            let p = sched.plan(&m, &strategies, &job);
+            if p.explore {
+                assert_eq!(p.conflict_budget, None, "explore must be unbudgeted");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_bucket_export_roundtrips_and_rejects_garbage() {
+        let m = fig1b();
+        let sched = AdaptiveScheduler::new();
+        for _ in 0..5 {
+            sched.record(&m, Provenance::Sap, true, 700);
+        }
+        let exported = sched.export_buckets();
+        assert_eq!(exported.len(), 1);
+
+        let fresh = AdaptiveScheduler::new();
+        assert_eq!(fresh.install_buckets(exported.clone()), 1);
+        assert_eq!(fresh.bucket(&m), sched.bucket(&m));
+
+        // Live counters are never overwritten by a snapshot.
+        fresh.record(&m, Provenance::Packing, false, 0);
+        let live = fresh.bucket(&m).unwrap();
+        assert_eq!(fresh.install_buckets(exported), 0);
+        assert_eq!(fresh.bucket(&m), Some(live));
+
+        // Internally inconsistent stats are refused.
+        let garbage = vec![(
+            (1u8, 1u8, 1u8),
+            BucketStats {
+                jobs: 2,
+                wins: [9, 0, 0, 0, 0],
+                ..BucketStats::default()
+            },
+        )];
+        assert_eq!(AdaptiveScheduler::new().install_buckets(garbage), 0);
     }
 
     #[test]

@@ -218,7 +218,7 @@ impl HelloAck {
 
 /// `{"cancel": "<id>", "done": bool}` — whether a cancel frame landed
 /// while its job was still queued (v2). When `done` is true the canceled
-/// job's own [`ErrorKind::Canceled`](crate::ErrorKind::Canceled) response
+/// job's own [`ErrorKind::Canceled`] response
 /// is delivered immediately *before* this ack, so once the ack arrives
 /// the job's response has already passed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -391,6 +391,12 @@ pub struct StatsFrame {
     pub queue_depth: u64,
     /// Jobs currently queued (not yet running).
     pub queue_len: u64,
+    /// Warm SAP sessions restored from the disk snapshot at startup
+    /// (0 on a cold start or when persistence is off).
+    pub persisted_sessions: u64,
+    /// Races whose SAT phase the budget-aware scheduler skipped because
+    /// the job's bucket always proves without it.
+    pub budget_skips: u64,
     /// Hottest heuristic-labeled cache keys (canonizer-aware admission:
     /// these are the keys worth re-canonizing at a larger budget).
     pub canon_heuristic_hot: Vec<HotKey>,
@@ -409,7 +415,8 @@ impl StatsFrame {
             "{{\"stats\": true, \"protocol\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \
              \"entries\": {}, \"evictions\": {}, \"flight_waits\": {}, \"canon_complete\": {}, \
              \"canon_heuristic\": {}}}, \"queue\": {{\"depth\": {}, \"len\": {}}}, \
-             \"warm_sessions\": {}, \"canon_heuristic_hot\": [",
+             \"warm_sessions\": {}, \"persisted_sessions\": {}, \"budget_skips\": {}, \
+             \"canon_heuristic_hot\": [",
             WireVersion::V2.number(),
             s.cache_hits,
             s.cache_misses,
@@ -421,6 +428,8 @@ impl StatsFrame {
             self.queue_depth,
             self.queue_len,
             s.warm_sessions,
+            self.persisted_sessions,
+            self.budget_skips,
         );
         for (i, hot) in self.canon_heuristic_hot.iter().enumerate() {
             if i > 0 {
@@ -462,6 +471,8 @@ impl StatsFrame {
             },
             queue_depth: num(queue, "depth"),
             queue_len: num(queue, "len"),
+            persisted_sessions: num(&json, "persisted_sessions"),
+            budget_skips: num(&json, "budget_skips"),
             canon_heuristic_hot: json
                 .get("canon_heuristic_hot")
                 .and_then(Json::as_arr)
@@ -610,6 +621,8 @@ mod tests {
             },
             queue_depth: 64,
             queue_len: 3,
+            persisted_sessions: 17,
+            budget_skips: 5,
             canon_heuristic_hot: vec![HotKey {
                 key: "x".repeat(200),
                 count: 9,
@@ -618,6 +631,19 @@ mod tests {
         let parsed = StatsFrame::parse_line(&frame.to_json_line()).unwrap();
         assert_eq!(parsed.snapshot.cache_hits, 10);
         assert_eq!(parsed.queue_len, 3);
+        assert_eq!(parsed.persisted_sessions, 17);
+        assert_eq!(parsed.budget_skips, 5);
+        // A pre-persistence stats line — the keys genuinely absent, as an
+        // older server would emit — still parses, defaulting both to 0.
+        let legacy_line = "{\"stats\": true, \"protocol\": 2, \
+             \"cache\": {\"hits\": 1, \"misses\": 2, \"entries\": 1, \"evictions\": 0, \
+             \"flight_waits\": 0, \"canon_complete\": 3, \"canon_heuristic\": 0}, \
+             \"queue\": {\"depth\": 8, \"len\": 0}, \"warm_sessions\": 1, \
+             \"canon_heuristic_hot\": []}";
+        let legacy = StatsFrame::parse_line(legacy_line).unwrap();
+        assert_eq!(legacy.persisted_sessions, 0);
+        assert_eq!(legacy.budget_skips, 0);
+        assert_eq!(legacy.snapshot.cache_hits, 1);
         assert_eq!(parsed.canon_heuristic_hot.len(), 1);
         assert_eq!(
             parsed.canon_heuristic_hot[0].key.len(),

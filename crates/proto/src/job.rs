@@ -69,7 +69,7 @@ impl ErrorKind {
         ErrorKind::Unknown,
     ];
 
-    /// Position of this variant in [`ERROR_KIND_TABLE`] / [`ErrorKind::ALL`].
+    /// Position of this variant in the name table / [`ErrorKind::ALL`].
     /// The exhaustive `match` forces the table to grow with the enum.
     pub const fn index(self) -> usize {
         match self {

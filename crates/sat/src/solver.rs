@@ -620,6 +620,68 @@ impl Solver {
         1u64 << seq
     }
 
+    /// Exports a **learnt-clause core**: the strongest derived knowledge of
+    /// this solver, suitable for reinjection into a fresh solver built from
+    /// the *identical* formula (see [`Solver::import_core`]). The core holds
+    /// every level-0 implied literal as a unit clause plus up to
+    /// `max_clauses` live learnt clauses, lowest LBD (then shortest) first —
+    /// the same quality order the database reduction keeps.
+    ///
+    /// Learnt clauses are logical consequences of the formula alone (never
+    /// of any assumptions), so the core is sound to re-add to an equivalent
+    /// clause set.
+    pub fn export_core(&self, max_clauses: usize) -> Vec<Vec<Lit>> {
+        let mut core: Vec<Vec<Lit>> = Vec::new();
+        // Level-0 trail: unconditional consequences. Between solve calls the
+        // solver sits at level 0, so the whole trail qualifies.
+        let level0 = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for &l in &self.trail[..level0] {
+            core.push(vec![l]);
+        }
+        let mut learnt: Vec<ClauseRef> = self.db.learnt_refs().collect();
+        learnt.sort_by_key(|&cr| {
+            let c = self.db.get(cr);
+            (c.lbd, c.lits.len())
+        });
+        for cr in learnt.into_iter().take(max_clauses) {
+            core.push(self.db.get(cr).lits.clone());
+        }
+        core
+    }
+
+    /// Reinjects a core previously produced by [`Solver::export_core`] on a
+    /// solver with the **same formula**. Returns `Ok(n)` with the number of
+    /// clauses accepted.
+    ///
+    /// Structurally defensive — this is fed from disk: a literal referencing
+    /// an unallocated variable, or an empty clause, rejects the whole core
+    /// (`Err`) before any mutation. A level-0 conflict while re-adding is
+    /// **not** an error: a genuine core from a solver that had derived
+    /// global UNSAT re-derives that contradiction instantly, which is
+    /// exactly the saved work. Semantic integrity (the core matching this
+    /// formula) is the responsibility of the storage layer's checksum.
+    pub fn import_core(&mut self, core: &[Vec<Lit>]) -> Result<usize, String> {
+        for clause in core {
+            if clause.is_empty() {
+                return Err("core contains an empty clause".to_string());
+            }
+            for &l in clause {
+                if l.var().index() >= self.num_vars() {
+                    return Err(format!("core literal {l} references unallocated variable"));
+                }
+            }
+        }
+        let mut added = 0usize;
+        for clause in core {
+            added += 1;
+            if !self.add_clause(clause.iter().copied()) {
+                // Level-0 UNSAT derived: every further clause is moot.
+                break;
+            }
+        }
+        Ok(added)
+    }
+
     /// Solves the current formula. See [`Solver::solve_with_assumptions`].
     pub fn solve(&mut self) -> SolveResult {
         self.solve_with_assumptions(&[])
@@ -1097,5 +1159,67 @@ mod tests {
         let mut s = Solver::new();
         add(&mut s, &[1, 2]);
         s.enable_proof_logging();
+    }
+
+    #[test]
+    fn exported_core_accelerates_a_fresh_solver() {
+        // Learn on a hard UNSAT instance, then rebuild the same formula and
+        // reinject the core: the warm solver must finish with strictly fewer
+        // conflicts than the cold one did.
+        let mut donor = Solver::new();
+        pigeonhole(&mut donor, 7, 6);
+        assert_eq!(donor.solve(), SolveResult::Unsat);
+        let cold_conflicts = donor.stats().conflicts;
+        assert!(cold_conflicts > 0);
+        let core = donor.export_core(10_000);
+        assert!(!core.is_empty(), "an UNSAT run must have learnt something");
+
+        let mut warm = Solver::new();
+        pigeonhole(&mut warm, 7, 6);
+        let added = warm.import_core(&core).expect("genuine core imports");
+        assert!(added > 0);
+        assert_eq!(warm.solve(), SolveResult::Unsat);
+        assert!(
+            warm.stats().conflicts < cold_conflicts,
+            "core reinjection must save conflicts: {} vs {}",
+            warm.stats().conflicts,
+            cold_conflicts
+        );
+    }
+
+    #[test]
+    fn export_core_caps_learnt_clauses_and_keeps_units() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let full = s.export_core(usize::MAX);
+        let capped = s.export_core(3);
+        assert!(capped.len() <= full.len());
+        let units = full.iter().filter(|c| c.len() == 1).count();
+        assert_eq!(
+            capped.len(),
+            units + 3.min(full.len() - units),
+            "cap applies to learnt clauses only"
+        );
+    }
+
+    #[test]
+    fn import_core_rejects_unallocated_variables_and_contradictions() {
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2]);
+        // Unknown variable: rejected wholesale, solver untouched.
+        let bad = vec![vec![Lit::from_dimacs(99)]];
+        assert!(s.import_core(&bad).is_err());
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Empty clause in the core: rejected before any mutation.
+        assert!(s.import_core(&[Vec::new()]).is_err());
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // A core that re-derives a contradiction makes the solver conclude
+        // UNSAT at level 0 — the instant-answer path, not an error.
+        let mut t = Solver::new();
+        add(&mut t, &[1]);
+        let contradiction = vec![vec![Lit::from_dimacs(-1)]];
+        assert!(t.import_core(&contradiction).is_ok());
+        assert_eq!(t.solve(), SolveResult::Unsat);
     }
 }

@@ -94,6 +94,8 @@ pub fn stats_frame(service: &Service) -> StatsFrame {
         snapshot: snapshot_of(&stats.cache, stats.warm_sessions as u64),
         queue_depth: stats.queue_depth as u64,
         queue_len: stats.queue_len as u64,
+        persisted_sessions: stats.persisted_sessions,
+        budget_skips: stats.budget_skips,
         canon_heuristic_hot: stats
             .hot_heuristic_keys
             .iter()

@@ -50,7 +50,7 @@ mod socket;
 pub use client::{pump, LineClient};
 pub use connection::{serve_connection, stats_frame, ConnectionSummary};
 pub use service::{
-    GroupId, JobHandle, OutEvent, Service, ServiceConfig, ServiceStats, SubmitError, Ticket,
-    DEFAULT_QUEUE_DEPTH,
+    GroupId, JobHandle, OutEvent, PersistConfig, Service, ServiceConfig, ServiceStats, SubmitError,
+    Ticket, DEFAULT_QUEUE_DEPTH, DEFAULT_SNAPSHOT_EVERY,
 };
 pub use socket::{connect, serve_socket, BindAddr, SocketServer, SocketStream};

@@ -8,14 +8,43 @@
 //! submitted by client A is a cache hit for client B.
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use engine::persist::{load_snapshot, save_snapshot, SnapshotError, SnapshotStats};
 use engine::{CacheStats, Engine, EngineConfig};
 use proto::{Capabilities, ErrorKind, JobError, JobRequest, JobResponse};
+
+/// Where and how often a [`Service`] spills the engine's warm state (the
+/// session store's learnt-clause cores and the scheduler's bucket
+/// statistics) to disk. See `engine::persist` for the snapshot format and
+/// its corruption/versioning guarantees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistConfig {
+    /// Directory holding the snapshot (created on first save). Loaded at
+    /// service construction: a valid snapshot warm-starts the engine, a
+    /// missing/corrupt/foreign-schema one cold-starts it.
+    pub state_dir: PathBuf,
+    /// Also snapshot after every `N` completed jobs (`None` = only on
+    /// [`Service::shutdown`]). A periodic flush is what survives an
+    /// unclean kill — `SIGKILL` runs no destructor.
+    pub snapshot_every: Option<u64>,
+}
+
+impl PersistConfig {
+    /// Persistence at `state_dir` with the default
+    /// [`DEFAULT_SNAPSHOT_EVERY`] flush cadence.
+    pub fn at(state_dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            state_dir: state_dir.into(),
+            snapshot_every: Some(DEFAULT_SNAPSHOT_EVERY),
+        }
+    }
+}
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,16 +56,23 @@ pub struct ServiceConfig {
     /// Worker threads solving jobs. `0` means
     /// [`EngineConfig::effective_workers`].
     pub workers: usize,
+    /// Warm-state persistence (`None` = in-memory only, the default).
+    pub persist: Option<PersistConfig>,
 }
 
 /// Default bound of the submission queue.
 pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+/// Default periodic-flush cadence of [`PersistConfig::at`], in completed
+/// jobs.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 32;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             workers: 0,
+            persist: None,
         }
     }
 }
@@ -101,6 +137,10 @@ pub struct ServiceStats {
     pub queue_depth: usize,
     /// Jobs currently queued (not yet taken by a worker).
     pub queue_len: usize,
+    /// Warm sessions restored from the disk snapshot at startup.
+    pub persisted_sessions: u64,
+    /// Races whose SAT phase the budget-aware scheduler skipped.
+    pub budget_skips: u64,
     /// Hottest heuristic-labeled cache keys (canonizer-aware admission
     /// candidates), hottest first.
     pub hot_heuristic_keys: Vec<(String, u64)>,
@@ -135,6 +175,57 @@ struct Inner {
     queue_depth: usize,
     next_ticket: AtomicU64,
     next_group: AtomicU64,
+    /// Warm-state persistence, when configured.
+    persist: Option<PersistConfig>,
+    /// Jobs completed since startup (drives the periodic flush).
+    jobs_done: AtomicU64,
+    /// Serializes snapshot writes; `try_lock` skips a flush another
+    /// worker is already performing rather than queueing behind it.
+    snapshot_gate: Mutex<()>,
+}
+
+impl Inner {
+    /// Writes a snapshot now (when persistence is configured). Errors are
+    /// reported on stderr and swallowed: a failed flush must never take
+    /// down serving. With `skip_if_busy`, a flush already in progress on
+    /// another worker makes this one a no-op instead of queueing.
+    fn flush_snapshot(&self, skip_if_busy: bool) -> Option<SnapshotStats> {
+        let persist = self.persist.as_ref()?;
+        let _gate = if skip_if_busy {
+            self.snapshot_gate.try_lock().ok()?
+        } else {
+            self.snapshot_gate.lock().expect("snapshot gate poisoned")
+        };
+        match save_snapshot(&persist.state_dir, &self.engine) {
+            Ok(stats) => Some(stats),
+            Err(e) => {
+                eprintln!(
+                    "rect-addr: snapshot to {} failed: {e}",
+                    persist.state_dir.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// The periodic flush hook, called once per completed job. The flush
+    /// itself runs on a detached thread so the worker goes straight back
+    /// to serving — session-core serialization and the file write happen
+    /// off the job path. The gate's `try_lock` dedups overlapping fires;
+    /// a flush still mid-write at process exit can at worst leave a stale
+    /// `.tmp` sibling (the atomic rename protects the live snapshot).
+    fn note_job_done(self: &Arc<Self>) {
+        let done = self.jobs_done.fetch_add(1, Ordering::Relaxed) + 1;
+        let Some(every) = self.persist.as_ref().and_then(|p| p.snapshot_every) else {
+            return;
+        };
+        if every > 0 && done.is_multiple_of(every) {
+            let inner = Arc::clone(self);
+            std::thread::spawn(move || {
+                inner.flush_snapshot(true);
+            });
+        }
+    }
 }
 
 impl Inner {
@@ -184,6 +275,7 @@ fn worker_loop(inner: Arc<Inner>) {
         let response = inner.run_one(&job);
         // A closed sink (the submitter hung up) just discards the answer.
         let _ = job.sink.send(OutEvent::Response(response));
+        inner.note_job_done();
     }
 }
 
@@ -247,7 +339,31 @@ pub struct Service {
 
 impl Service {
     /// Spawns the worker pool over an existing (possibly shared) engine.
+    /// With [`ServiceConfig::persist`] set, the state directory's snapshot
+    /// is loaded first — a valid one warm-starts the engine (restored
+    /// sessions rehydrate lazily per canonical class); a missing, corrupt
+    /// or foreign-schema one is rejected wholesale and the engine
+    /// cold-starts, with the rejection reason on stderr.
     pub fn new(engine: Arc<Engine>, config: ServiceConfig) -> Service {
+        if let Some(persist) = &config.persist {
+            match load_snapshot(&persist.state_dir, &engine) {
+                Ok(restored) => {
+                    if restored.sessions > 0 || restored.buckets > 0 {
+                        eprintln!(
+                            "rect-addr: restored {} warm sessions and {} scheduler buckets from {}",
+                            restored.sessions,
+                            restored.buckets,
+                            persist.state_dir.display()
+                        );
+                    }
+                }
+                Err(SnapshotError::Missing) => {} // first boot: silent cold start
+                Err(e) => eprintln!(
+                    "rect-addr: ignoring snapshot in {} ({e}); cold start",
+                    persist.state_dir.display()
+                ),
+            }
+        }
         let worker_count = if config.workers == 0 {
             engine.config().effective_workers()
         } else {
@@ -261,6 +377,9 @@ impl Service {
             queue_depth: config.queue_depth.max(1),
             next_ticket: AtomicU64::new(1),
             next_group: AtomicU64::new(1),
+            persist: config.persist,
+            jobs_done: AtomicU64::new(0),
+            snapshot_gate: Mutex::new(()),
         });
         let workers = (0..worker_count)
             .map(|_| {
@@ -464,8 +583,17 @@ impl Service {
             warm_sessions: self.inner.engine.warm_sessions(),
             queue_depth: self.inner.queue_depth,
             queue_len,
+            persisted_sessions: self.inner.engine.restored_sessions(),
+            budget_skips: self.inner.engine.budget_skips(),
             hot_heuristic_keys: self.inner.engine.hot_heuristic_keys(8),
         }
+    }
+
+    /// Writes a warm-state snapshot immediately (no-op without a
+    /// [`PersistConfig`]). Returns what was written, or `None` when
+    /// persistence is off or the write failed (reported on stderr).
+    pub fn snapshot_now(&self) -> Option<SnapshotStats> {
+        self.inner.flush_snapshot(false)
     }
 
     /// What this service advertises in the v2 handshake ack.
@@ -488,8 +616,9 @@ impl Service {
     }
 
     /// Stops accepting work, drains the queue (every accepted job is
-    /// answered) and joins the workers. Called automatically on drop;
-    /// idempotent.
+    /// answered), joins the workers and — when persistence is configured —
+    /// writes a final snapshot of the drained state. Called automatically
+    /// on drop; idempotent.
     pub fn shutdown(&self) {
         {
             let mut state = self.inner.state.lock().expect("service queue poisoned");
@@ -498,8 +627,14 @@ impl Service {
         self.inner.work.notify_all();
         self.inner.space.notify_all();
         let workers = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        let drained_any = !workers.is_empty();
         for handle in workers {
             let _ = handle.join();
+        }
+        // Snapshot exactly once (the first shutdown call joins the
+        // workers; repeats see an empty list).
+        if drained_any {
+            self.inner.flush_snapshot(false);
         }
     }
 }

@@ -181,8 +181,8 @@ impl SocketServer {
     /// live connection thread. Live connections have their read side
     /// half-closed — an idle peer cannot stall the shutdown — after which
     /// each drains its in-flight jobs and writes its summary frame before
-    /// closing. A peer that stops *reading* is bounded by
-    /// [`WRITE_TIMEOUT`] per write instead of blocking the join forever.
+    /// closing. A peer that stops *reading* is bounded by the internal
+    /// write timeout per write instead of blocking the join forever.
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);

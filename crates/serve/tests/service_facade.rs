@@ -18,6 +18,7 @@ fn gated_service(gate: &Arc<Gate>, workers: usize, queue_depth: usize) -> Servic
         ServiceConfig {
             workers,
             queue_depth,
+            persist: None,
         },
     )
 }
@@ -240,6 +241,7 @@ fn capabilities_reflect_configuration() {
         ServiceConfig {
             queue_depth: 17,
             workers: 3,
+            persist: None,
         },
     );
     let caps = service.capabilities();

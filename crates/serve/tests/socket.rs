@@ -57,6 +57,7 @@ fn v2_session_over_tcp() {
         ServiceConfig {
             workers: 1,
             queue_depth: 2,
+            persist: None,
         },
     ));
     let mut server = serve_socket(service, &BindAddr::parse("127.0.0.1:0")).unwrap();
