@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Metrics smoke: start the socket server with --metrics-dump, run a
+# timing-opted v2 session, and assert the three telemetry surfaces:
+#   1. every response carries a "timing" object whose stages are
+#      internally consistent (queue+canon+cache+race <= total);
+#   2. a v2 "stats" frame reports the latency section with percentiles;
+#   3. the --metrics-dump file appears with a nonzero jobs_completed
+#      counter and histogram percentiles.
+# Hardened like the other smokes: the server is always killed *and
+# reaped* (trap), temp files never leak, and a hung server fails the
+# step via `timeout` instead of hanging the runner.
+set -euo pipefail
+
+BIN=${BIN:-./target/release/rect-addr}
+SOCK=/tmp/rect-addr-metrics-ci.sock
+DUMP=/tmp/rect-addr-metrics-ci.json
+JOBS=/tmp/rect-addr-metrics-ci-jobs.jsonl
+OUT=/tmp/rect-addr-metrics-ci-out.jsonl
+STATS=/tmp/rect-addr-metrics-ci-stats.jsonl
+SERVER_PID=""
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$SOCK" "$DUMP" "$JOBS" "$OUT" "$STATS"
+}
+trap cleanup EXIT
+
+rm -f "$SOCK" "$DUMP"
+"$BIN" serve --listen "$SOCK" --metrics-dump "$DUMP" &
+SERVER_PID=$!
+for _ in $(seq 40); do
+  [ -S "$SOCK" ] && break
+  sleep 0.25
+done
+[ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
+
+# Session 1: a timing-opted v2 connection pumping 20 jobs (10 distinct
+# permuted pairs, so the stream exercises both cache misses and hits).
+{ echo '{"hello": 2, "timing": true}'
+  for i in $(seq 20); do
+    if [ $((i % 2)) -eq 0 ]; then
+      echo "{\"id\": \"t$i\", \"matrix\": \"10;01\"}"
+    else
+      echo "{\"id\": \"t$i\", \"matrix\": \"01;10\"}"
+    fi
+  done } > "$JOBS"
+timeout 120 "$BIN" client "$SOCK" < "$JOBS" > "$OUT"
+
+grep -q '"timing": true' "$OUT" || { echo "FAIL: hello ack lacks the timing capability"; exit 1; }
+test "$(grep -c '"ok": true' "$OUT")" -eq 20
+
+# Every solved response carries a stage trace whose stages sum to at
+# most the end-to-end total (the total also covers dispatch overhead).
+grep '"ok": true' "$OUT" | while IFS= read -r line; do
+  nums=$(printf '%s\n' "$line" | sed -n 's/.*"timing": {"queue_us": \([0-9]*\), "canon_us": \([0-9]*\), "cache_us": \([0-9]*\), "race_us": \([0-9]*\), "total_us": \([0-9]*\)}.*/\1 \2 \3 \4 \5/p')
+  [ -n "$nums" ] || { echo "FAIL: solved response without timing: $line"; exit 1; }
+  set -- $nums
+  sum=$(( $1 + $2 + $3 + $4 ))
+  [ "$sum" -le "$5" ] || { echo "FAIL: stages sum to $sum > total $5: $line"; exit 1; }
+done
+
+# Session 2 (after session 1 fully drained): the stats frame must now
+# report the latency section with populated percentiles.
+printf '{"hello": 2}\n{"stats": true}\n' | timeout 120 "$BIN" client "$SOCK" > "$STATS"
+grep -q '"latency": {' "$STATS" || { echo "FAIL: stats frame lacks the latency section"; exit 1; }
+grep -q '"job_us"' "$STATS" || { echo "FAIL: stats latency lacks the job_us histogram"; exit 1; }
+grep -q '"p99"' "$STATS" || { echo "FAIL: stats latency lacks percentiles"; exit 1; }
+grep -q '"snapshot_load_failures": 0' "$STATS" || { echo "FAIL: stats frame lacks snapshot_load_failures"; exit 1; }
+
+# The periodic metrics dump (1s cadence) must materialize with the
+# completed jobs counted and percentiles present.
+FOUND=0
+for _ in $(seq 40); do
+  if [ -f "$DUMP" ] && grep -q '"jobs_completed"' "$DUMP"; then
+    DONE=$(sed -n 's/.*"jobs_completed": \([0-9]*\).*/\1/p' "$DUMP" | head -n 1)
+    if [ -n "$DONE" ] && [ "$DONE" -ge 20 ]; then
+      FOUND=1
+      break
+    fi
+  fi
+  sleep 0.25
+done
+[ "$FOUND" -eq 1 ] || { echo "FAIL: metrics dump never reported the completed jobs"; exit 1; }
+grep -q '"p99"' "$DUMP" || { echo "FAIL: metrics dump lacks percentiles"; exit 1; }
+grep -q '"histograms"' "$DUMP" || { echo "FAIL: metrics dump lacks the histograms section"; exit 1; }
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "metrics smoke OK"

@@ -76,7 +76,15 @@ fn build_stream(jobs: usize, distinct: usize, size: usize) -> String {
     out
 }
 
-fn run_stream(service: &Service, stream: &str, jobs: usize) -> RunMetrics {
+/// Runs the stream and folds every response's reported solve time into
+/// `latency` (as microseconds) — one histogram per arm, shared across
+/// warm replays so the percentiles aggregate naturally.
+fn run_stream(
+    service: &Service,
+    stream: &str,
+    jobs: usize,
+    latency: &obs::Histogram,
+) -> RunMetrics {
     let engine = service.engine();
     let before = engine.cache_stats();
     let start = Instant::now();
@@ -92,6 +100,9 @@ fn run_stream(service: &Service, stream: &str, jobs: usize) -> RunMetrics {
         .filter(|l| !SummaryFrame::is_summary_line(l))
         .map(|l| JobResponse::parse_line(l).expect("well-formed response"))
         .collect();
+    for r in &responses {
+        latency.record((r.millis * 1_000.0).max(0.0) as u64);
+    }
     let after = engine.cache_stats();
     let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
     let mean = responses.iter().map(|r| r.millis).sum::<f64>() / responses.len().max(1) as f64;
@@ -129,6 +140,22 @@ fn emit(out: &mut String, label: &str, m: &RunMetrics, replays: Option<usize>, l
         m.mean_job_millis,
         m.max_job_millis,
         m.proved_optimal,
+        if last { "" } else { "," },
+    );
+}
+
+/// Emits one per-arm latency-percentile block (microsecond buckets from
+/// the log-linear histogram, so p50/p90/p99 are bucket floors).
+fn emit_latency(out: &mut String, label: &str, s: &obs::HistogramSummary, last: bool) {
+    let _ = write!(
+        out,
+        "    \"{label}\": {{\n      \"count\": {},\n      \"p50\": {},\n      \
+         \"p90\": {},\n      \"p99\": {},\n      \"max\": {}\n    }}{}\n",
+        s.count,
+        s.p50,
+        s.p90,
+        s.p99,
+        s.max,
         if last { "" } else { "," },
     );
 }
@@ -439,7 +466,9 @@ fn main() {
     );
 
     eprintln!("engine_bench: {jobs} jobs, {distinct} distinct {size}x{size} patterns");
-    let cold = run_stream(&service, &stream, jobs);
+    let cold_latency = obs::Histogram::new();
+    let warm_latency = obs::Histogram::new();
+    let cold = run_stream(&service, &stream, jobs, &cold_latency);
     eprintln!(
         "cold: {:.0} jobs/s, hit rate {:.1}%",
         cold.jobs_per_second,
@@ -456,7 +485,7 @@ fn main() {
     let warm = {
         let mut agg: Option<RunMetrics> = None;
         for _ in 0..512 {
-            let run = run_stream(&service, &stream, jobs);
+            let run = run_stream(&service, &stream, jobs, &warm_latency);
             warm_replays += 1;
             agg = Some(match agg {
                 None => run,
@@ -573,6 +602,10 @@ fn main() {
         persist.restored_sessions,
         persist.snapshot_bytes,
     );
+    json.push_str("  \"latency\": {\n    \"unit\": \"us\",\n");
+    emit_latency(&mut json, "cold", &cold_latency.summary(), false);
+    emit_latency(&mut json, "warm", &warm_latency.summary(), true);
+    json.push_str("  },\n");
     let _ = write!(
         json,
         "  \"socket\": {{\n    \"jobs\": {jobs},\n    \"wall_seconds\": {:.4},\n    \

@@ -90,7 +90,9 @@ search), --queue-depth N (submission queue bound; a full queue answers
 busy to protocol-v2 clients), --state-dir DIR (persist warm SAP sessions
 and scheduler statistics across restarts; loaded at startup, snapshotted
 on drain), --snapshot-every N (also snapshot every N completed jobs;
-default 32, 0 = only on drain). One job per line: {\"id\": \"l0\",
+default 32, 0 = only on drain), --metrics-dump PATH (write the process's
+counters and latency histograms as JSON: periodically while a --listen
+server runs, once on drain for batch/serve). One job per line: {\"id\": \"l0\",
 \"matrix\": [\"101\", \"010\"], \"budget_ms\": 500}; responses stream back in
 completion order with provenance, cache-hit flag, SAT conflict count and
 the rectangle partition. A {\"hello\": 2} first line negotiates protocol
@@ -432,14 +434,35 @@ fn build_service(rest: &[String]) -> Result<Service, String> {
     ))
 }
 
+/// The value following `--metrics-dump`, when present: where to export
+/// the process's counters and latency histograms as a JSON snapshot.
+fn metrics_dump_path(rest: &[String]) -> Result<Option<std::path::PathBuf>, String> {
+    match rest.iter().position(|a| a == "--metrics-dump") {
+        None => Ok(None),
+        Some(i) => rest
+            .get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .map(|p| Some(p.into()))
+            .ok_or_else(|| "--metrics-dump needs an output path".to_string()),
+    }
+}
+
+/// How often a `serve --listen` process refreshes its `--metrics-dump`
+/// file.
+const METRICS_DUMP_PERIOD: std::time::Duration = std::time::Duration::from_secs(1);
+
 /// Shared core of all batch/serve entry points: build the service from
 /// flags and drive one protocol connection over `input`/`output` (the
-/// connection emits the summary trailer itself on drain).
+/// connection emits the summary trailer itself on drain). With
+/// `--metrics-dump`, the drained process's metrics are written once at
+/// the end — the batch-mode analogue of the listen server's periodic
+/// export.
 fn run_service_batch<W: std::io::Write>(
     input: BatchInput<'_>,
     rest: &[String],
     output: &mut W,
 ) -> Result<(), String> {
+    let dump = metrics_dump_path(rest)?;
     let service = build_service(rest)?;
     match input {
         BatchInput::Text(text) => serve_connection(&service, text.as_bytes(), output),
@@ -452,17 +475,35 @@ fn run_service_batch<W: std::io::Write>(
         }
     }
     .map_err(|e| format!("batch I/O: {e}"))?;
+    if let Some(path) = dump {
+        obs::registry()
+            .dump_to_path(&path)
+            .map_err(|e| format!("writing metrics to {}: {e}", path.display()))?;
+    }
     Ok(())
 }
 
 /// The socket server behind `serve --listen`: binds, prints the bound
-/// address to stderr, and blocks serving connections until killed.
+/// address to stderr, and blocks serving connections until killed. With
+/// `--metrics-dump`, a detached thread rewrites the metrics snapshot
+/// (atomically, tmp + rename) once per [`METRICS_DUMP_PERIOD`] so an
+/// operator — or the CI smoke test — can watch latency percentiles move
+/// while the server runs.
 fn run_serve_listen(addr: &str, rest: &[String]) -> Result<(), String> {
+    let dump = metrics_dump_path(rest)?;
     let service = std::sync::Arc::new(build_service(rest)?);
     let addr = serve::BindAddr::parse(addr);
     let mut server =
         serve::serve_socket(service, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
     eprintln!("rect-addr: listening on {}", server.local_addr());
+    if let Some(path) = dump {
+        std::thread::spawn(move || loop {
+            if let Err(e) = obs::registry().dump_to_path(&path) {
+                eprintln!("rect-addr: metrics dump to {} failed: {e}", path.display());
+            }
+            std::thread::sleep(METRICS_DUMP_PERIOD);
+        });
+    }
     server
         .join()
         .map_err(|e| format!("accept loop failed: {e}"))
@@ -972,6 +1013,35 @@ mod tests {
         // No persistence flags: no persistence (and no directory created).
         let plain = build_service(&[]).unwrap();
         assert_eq!(plain.stats().persisted_sessions, 0);
+    }
+
+    #[test]
+    fn metrics_dump_flag_writes_a_snapshot_on_drain() {
+        let path =
+            std::env::temp_dir().join(format!("rect-addr-cli-metrics-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let jobs = "{\"id\": \"m\", \"matrix\": \"10;01\"}\n";
+        let out = run_str(
+            &["batch", "-", "--metrics-dump", path.to_str().unwrap()],
+            jobs,
+        );
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let dump = std::fs::read_to_string(&path).expect("metrics file written on drain");
+        // The export carries both sections; the completed job is visible
+        // in the end-to-end histogram (counters are process-global, so
+        // only presence — not exact values — is asserted here).
+        assert!(dump.contains("\"counters\""), "{dump}");
+        assert!(dump.contains("\"jobs_completed\""), "{dump}");
+        assert!(dump.contains("\"job_us\""), "{dump}");
+        assert!(dump.contains("\"p99\""), "{dump}");
+        let _ = std::fs::remove_file(&path);
+
+        // Flag validation mirrors --state-dir.
+        assert!(metrics_dump_path(&["--metrics-dump".to_string()]).is_err());
+        assert!(
+            metrics_dump_path(&["--metrics-dump".to_string(), "--workers".to_string()]).is_err()
+        );
+        assert_eq!(metrics_dump_path(&[]).unwrap(), None);
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct SatQuery {
     pub seconds: f64,
     /// Conflicts spent in this query.
     pub conflicts: u64,
+    /// Decisions spent in this query.
+    pub decisions: u64,
+    /// Literals propagated in this query.
+    pub propagations: u64,
 }
 
 /// Phase timings and query log — the data behind the paper's Figure 4.
@@ -410,7 +414,7 @@ impl SapSession {
                 {
                     break; // anytime exit: keep the incumbent, optimality unproved
                 }
-                let conflicts_before = encoder.solver_stats().conflicts;
+                let stats_before = encoder.solver_stats();
                 let tq = Instant::now();
                 let result = if encoder.assumption_bounds() {
                     // Per-query budget through the resumable pool, so an
@@ -422,13 +426,15 @@ impl SapSession {
                     encoder.solve()
                 };
                 let seconds = tq.elapsed().as_secs_f64();
-                let spent = encoder.solver_stats().conflicts - conflicts_before;
-                self.conflicts += spent;
+                let spent = encoder.solver_stats().since(&stats_before);
+                self.conflicts += spent.conflicts;
                 stats.queries.push(SatQuery {
                     bound: b,
                     result,
                     seconds,
-                    conflicts: spent,
+                    conflicts: spent.conflicts,
+                    decisions: spent.decisions,
+                    propagations: spent.propagations,
                 });
                 match result {
                     SolveResult::Sat => {

@@ -450,6 +450,8 @@ impl CanonicalCache {
     /// a hit); a genuine miss registers a pending entry and returns a
     /// [`FlightGuard`] making the caller the leader.
     pub fn begin(&self, canon: &CanonicalForm) -> CacheDecision<'_> {
+        let lookup_start = std::time::Instant::now();
+        let lookup_hist = obs::registry().histogram(obs::names::CACHE_LOOKUP_US);
         self.note_canon(canon);
         let shard_idx = self.shard_of(canon.key());
         let shard = &self.shards[shard_idx];
@@ -464,6 +466,7 @@ impl CanonicalCache {
                         let entry = entry.clone();
                         drop(map);
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        lookup_hist.record_duration(lookup_start.elapsed());
                         return CacheDecision::Hit {
                             outcome: Self::map_outcome(canon, &entry),
                             waited: false,
@@ -477,6 +480,7 @@ impl CanonicalCache {
                             .insert(canon.key().to_string(), Slot::Pending(flight.clone()));
                         drop(map);
                         self.misses.fetch_add(1, Ordering::Relaxed);
+                        lookup_hist.record_duration(lookup_start.elapsed());
                         return CacheDecision::Miss(FlightGuard {
                             cache: self,
                             shard: shard_idx,
@@ -489,10 +493,16 @@ impl CanonicalCache {
             };
             // Wait outside the shard lock. An aborted flight retries the
             // whole decision (this waiter may become the new leader).
-            match flight.wait() {
+            let wait_start = std::time::Instant::now();
+            let waited = flight.wait();
+            obs::registry()
+                .histogram(obs::names::FLIGHT_WAIT_US)
+                .record_duration(wait_start.elapsed());
+            match waited {
                 Some(entry) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     self.flight_waits.fetch_add(1, Ordering::Relaxed);
+                    lookup_hist.record_duration(lookup_start.elapsed());
                     return CacheDecision::Hit {
                         outcome: Self::map_outcome(canon, &entry),
                         waited: true,

@@ -246,6 +246,9 @@ impl Engine {
         let out = race_strategies(&job, &selected, &budget);
         self.scheduler
             .record(m, out.provenance, out.proved_optimal, out.sat_conflicts);
+        obs::registry()
+            .histogram(obs::names::RACE_US)
+            .record_duration(out.elapsed);
         out
     }
 
@@ -271,9 +274,29 @@ impl Engine {
     /// miss the caller leads the flight: the race result is published to
     /// the cache and every waiter.
     pub fn solve_with(&self, m: &BitMatrix, portfolio: &PortfolioConfig) -> EngineOutcome {
+        self.solve_with_traced(m, portfolio, &obs::JobTrace::new())
+    }
+
+    /// [`Engine::solve_with`], filling in the canon / cache / race stages
+    /// of `trace` as the job flows through (the queue and total stages
+    /// belong to the layer that owns the job's lifetime).
+    pub fn solve_with_traced(
+        &self,
+        m: &BitMatrix,
+        portfolio: &PortfolioConfig,
+        trace: &obs::JobTrace,
+    ) -> EngineOutcome {
         let start = Instant::now();
         let canon = canonical_form_with(m, &self.config.canon);
-        match self.cache.begin(&canon) {
+        let canon_elapsed = start.elapsed();
+        trace.set_canon_us(canon_elapsed.as_micros().min(u64::MAX as u128) as u64);
+        obs::registry()
+            .histogram(obs::names::CANON_US)
+            .record_duration(canon_elapsed);
+        let cache_start = Instant::now();
+        let decision = self.cache.begin(&canon);
+        trace.set_cache_us(cache_start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        match decision {
             CacheDecision::Hit { outcome, waited: _ } => {
                 if outcome.proved_optimal {
                     return EngineOutcome {
@@ -289,6 +312,7 @@ impl Engine {
                 // (which may be more generous than the one that produced the
                 // entry), descending from the stored incumbent.
                 let out = self.race(m, &canon, Some(&outcome.partition), portfolio);
+                trace.add_race_us(out.elapsed.as_micros().min(u64::MAX as u128) as u64);
                 self.cache
                     .insert(&canon, &out.partition, out.proved_optimal, out.provenance);
                 if !out.proved_optimal && outcome.partition.len() <= out.partition.len() {
@@ -315,6 +339,7 @@ impl Engine {
             }
             CacheDecision::Miss(guard) => {
                 let out = self.race(m, &canon, None, portfolio);
+                trace.add_race_us(out.elapsed.as_micros().min(u64::MAX as u128) as u64);
                 guard.complete(&canon, &out.partition, out.proved_optimal, out.provenance);
                 EngineOutcome {
                     partition: out.partition,
@@ -343,8 +368,15 @@ impl Engine {
 
     /// Solves one parsed request into a response line.
     pub fn solve_job(&self, req: &JobRequest) -> JobResponse {
+        self.solve_job_traced(req, &obs::JobTrace::new())
+    }
+
+    /// [`Engine::solve_job`], filling in the engine stages of `trace`.
+    /// The response's `timing` field stays `None` — attaching the trace
+    /// (queue wait, total) is the serving layer's call.
+    pub fn solve_job_traced(&self, req: &JobRequest, trace: &obs::JobTrace) -> JobResponse {
         let cfg = self.job_portfolio(req);
-        let out = self.solve_with(&req.matrix, &cfg);
+        let out = self.solve_with_traced(&req.matrix, &cfg, trace);
         JobResponse {
             id: req.id.clone(),
             ok: true,
@@ -360,6 +392,7 @@ impl Engine {
                 .map(|r| (r.rows().to_indices(), r.cols().to_indices()))
                 .collect(),
             error: None,
+            timing: None,
         }
     }
 }
@@ -475,6 +508,27 @@ mod tests {
             "SAT phase must be skipped once the bucket always proves: {:?}",
             e.budget_skips()
         );
+    }
+
+    #[test]
+    fn traced_solve_fills_engine_stages() {
+        let e = engine();
+        let trace = obs::JobTrace::new();
+        let req = JobRequest::new("t", "1100\n0011\n1111\n1010".parse().unwrap());
+        let resp = e.solve_job_traced(&req, &trace);
+        assert!(resp.ok);
+        assert_eq!(resp.timing, None, "attaching timing is the server's call");
+        // A cache miss races strategy threads: the race stage is real time.
+        assert!(trace.race_us() > 0, "race stage must be recorded");
+        // The engine never stamps the lifetime stages.
+        assert_eq!(trace.queue_us(), 0);
+        assert_eq!(trace.total_us(), 0);
+
+        // A proved cache hit short-circuits: no race time on a fresh trace.
+        let hit_trace = obs::JobTrace::new();
+        let hit = e.solve_job_traced(&req, &hit_trace);
+        assert!(hit.cache_hit);
+        assert_eq!(hit_trace.race_us(), 0);
     }
 
     #[test]

@@ -205,7 +205,16 @@ pub fn race_strategies(
             let token = token.clone();
             let strategy = strategy.clone();
             scope.spawn(move || {
+                let run_start = Instant::now();
                 let out = strategy.run(job, budget, &token);
+                // Per-strategy race duration, e.g. `strategy_us_sap`.
+                obs::registry()
+                    .histogram(&format!(
+                        "{}{}",
+                        obs::names::STRATEGY_US_PREFIX,
+                        strategy.name()
+                    ))
+                    .record_duration(run_start.elapsed());
                 let _ = tx.send(StrategyResult {
                     provenance: strategy.provenance(),
                     partition: out.partition,

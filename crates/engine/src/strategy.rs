@@ -397,6 +397,9 @@ impl Strategy for SapStrategy {
             debug_assert!(partition.validate(job.matrix).is_ok());
             let proved_optimal = out.proved_optimal;
             store.put(canon.key(), session);
+            obs::registry()
+                .histogram(obs::names::SAT_CONFLICTS)
+                .record(conflicts);
             StrategyOutcome {
                 partition,
                 proved_optimal,
@@ -405,6 +408,9 @@ impl Strategy for SapStrategy {
         } else {
             let out = sap(job.matrix, &cfg);
             let conflicts = out.stats.queries.iter().map(|q| q.conflicts).sum();
+            obs::registry()
+                .histogram(obs::names::SAT_CONFLICTS)
+                .record(conflicts);
             StrategyOutcome {
                 partition: out.partition,
                 proved_optimal: out.proved_optimal,

@@ -1,0 +1,253 @@
+//! Log-linear atomic histogram with bounded relative error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` buckets, bounding relative quantization error by
+/// `2^-SUB_BITS`.
+const SUB_BITS: u32 = 4;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range: one exact bucket
+/// per value below `SUB_COUNT`, then 16 sub-buckets for each of the
+/// remaining 60 octaves.
+pub const BUCKETS: usize = SUB_COUNT + (64 - SUB_BITS as usize) * SUB_COUNT;
+
+/// Index of the bucket containing `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros();
+        let sub = ((value >> (exp - SUB_BITS)) & (SUB_COUNT as u64 - 1)) as usize;
+        SUB_COUNT + ((exp - SUB_BITS) as usize) * SUB_COUNT + sub
+    }
+}
+
+/// Smallest value that lands in bucket `index`.
+fn bucket_floor(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        index as u64
+    } else {
+        let octave = (index - SUB_COUNT) / SUB_COUNT;
+        let sub = (index - SUB_COUNT) % SUB_COUNT;
+        ((SUB_COUNT + sub) as u64) << octave
+    }
+}
+
+/// Width of bucket `index` (how many distinct values it absorbs).
+fn bucket_width(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        1
+    } else {
+        1u64 << ((index - SUB_COUNT) / SUB_COUNT)
+    }
+}
+
+/// A fixed-size log-linear histogram of `u64` values.
+///
+/// Recording is wait-free (three relaxed atomic RMWs plus a
+/// `fetch_max`); queries walk the bucket array. Suitable as a
+/// process-global shared between many recording threads.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Point-in-time percentile digest of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Median (lower bound of the bucket holding rank ⌈0.50·count⌉).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the array through a Vec.
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = buckets.into_boxed_slice().try_into().unwrap();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Lower bound of the bucket holding the value at quantile `q`
+    /// (`0.0 < q <= 1.0`), or 0 on an empty histogram.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        Self::quantile_of(&snapshot, q)
+    }
+
+    fn quantile_of(snapshot: &[u64], q: f64) -> u64 {
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in snapshot.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
+
+    /// Computes count/sum/p50/p90/p99/max from one coherent snapshot
+    /// of the bucket array.
+    pub fn summary(&self) -> HistogramSummary {
+        let snapshot: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = snapshot.iter().sum();
+        HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: Self::quantile_of(&snapshot, 0.50),
+            p90: Self::quantile_of(&snapshot, 0.90),
+            p99: Self::quantile_of(&snapshot, 0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Exposed for the property tests: `(floor, width)` of the bucket a
+/// value falls in.
+#[doc(hidden)]
+pub fn bucket_of(value: u64) -> (u64, u64) {
+    let i = bucket_index(value);
+    (bucket_floor(i), bucket_width(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_COUNT as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+            assert_eq!(bucket_width(v as usize), 1);
+        }
+    }
+
+    #[test]
+    fn every_bucket_floor_maps_back_to_its_bucket() {
+        for i in 0..BUCKETS {
+            let floor = bucket_floor(i);
+            assert_eq!(bucket_index(floor), i, "floor {floor} of bucket {i}");
+            // The last value of the bucket stays inside it…
+            let last = floor + (bucket_width(i) - 1);
+            assert_eq!(bucket_index(last), i, "last {last} of bucket {i}");
+            // …and the next value does not (except at the very top).
+            if let Some(next) = last.checked_add(1) {
+                assert_eq!(bucket_index(next), i + 1, "next {next} of bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_are_representable() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+        assert_eq!(h.value_at_quantile(0.99), 0);
+    }
+
+    #[test]
+    fn single_value_dominates_every_percentile() {
+        let h = Histogram::new();
+        h.record(777);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 777);
+        assert_eq!(s.max, 777);
+        let (floor, width) = bucket_of(777);
+        for p in [s.p50, s.p90, s.p99] {
+            assert_eq!(p, floor);
+            assert!(777 - p < width);
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_counts() {
+        use std::sync::Arc;
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 20_000;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Spread across magnitudes so many buckets contend.
+                        h.record((i + 1) << (t % 8));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let s = h.summary();
+        assert_eq!(s.count, THREADS * PER_THREAD);
+        let expect_sum: u64 = (0..THREADS)
+            .map(|t| (1..=PER_THREAD).map(|i| i << (t % 8)).sum::<u64>())
+            .sum();
+        assert_eq!(s.sum, expect_sum);
+    }
+}

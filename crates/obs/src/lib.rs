@@ -1,0 +1,33 @@
+//! Zero-dependency telemetry for the `rect-addr` stack.
+//!
+//! Three pieces, all lock-free on the record path:
+//!
+//! * [`Histogram`] — a log-linear (HDR-style) value histogram over
+//!   `u64`. Values below 16 are exact; above that each power-of-two
+//!   octave is split into 16 sub-buckets, so the relative quantization
+//!   error is bounded by 1/16 at every magnitude. Percentile queries
+//!   ([`Histogram::summary`]) report the lower bound of the bucket
+//!   holding the requested rank, which is within one bucket width of
+//!   the exact order statistic.
+//! * [`Registry`] — a named collection of histograms and [`Counter`]s
+//!   with a process-global instance ([`registry`]). Layers record into
+//!   well-known names ([`names`]) without threading handles through
+//!   call signatures; exporters ([`Registry::snapshot_json`],
+//!   [`Registry::dump_to_path`]) read it back out.
+//! * [`JobTrace`] — a per-job stage breakdown (queue wait, canonical
+//!   form, cache lookup, strategy race) filled in as a job flows
+//!   through the service and surfaced on v2 wire responses.
+//!
+//! The crate deliberately depends on nothing but `std` so every layer
+//! of the workspace — including the SAT core — can record into it
+//! without dependency cycles.
+
+mod histogram;
+mod registry;
+mod trace;
+
+#[doc(hidden)]
+pub use histogram::bucket_of;
+pub use histogram::{Histogram, HistogramSummary, BUCKETS};
+pub use registry::{names, registry, Counter, Registry};
+pub use trace::JobTrace;

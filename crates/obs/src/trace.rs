@@ -1,0 +1,122 @@
+//! Per-job stage traces: where one job's wall time went.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A per-job breakdown of where time went, filled in as the job flows
+/// from the service queue through the engine.
+///
+/// Stage cells are atomic so a trace can be created at submission on
+/// one thread and filled in by a worker on another without `&mut`
+/// plumbing through the engine call chain. Each stage is recorded in
+/// microseconds; stages are disjoint except that `cache_us` includes
+/// any single-flight wait.
+#[derive(Debug)]
+pub struct JobTrace {
+    created: Instant,
+    queue_us: AtomicU64,
+    canon_us: AtomicU64,
+    cache_us: AtomicU64,
+    race_us: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Default for JobTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobTrace {
+    /// Starts a trace; the creation instant anchors the end-to-end
+    /// total.
+    pub fn new() -> Self {
+        JobTrace {
+            created: Instant::now(),
+            queue_us: AtomicU64::new(0),
+            canon_us: AtomicU64::new(0),
+            cache_us: AtomicU64::new(0),
+            race_us: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records time spent queued before a worker picked the job up.
+    pub fn set_queue_us(&self, us: u64) {
+        self.queue_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Records canonical-form computation time.
+    pub fn set_canon_us(&self, us: u64) {
+        self.canon_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Records cache admission time (lookup plus any in-flight wait).
+    pub fn set_cache_us(&self, us: u64) {
+        self.cache_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Adds strategy-race wall time (a job may race more than once
+    /// when an unproved cache hit is re-raced).
+    pub fn add_race_us(&self, us: u64) {
+        self.race_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Stamps the end-to-end total as the elapsed time since the trace
+    /// was created.
+    pub fn finish(&self) {
+        let us = self.created.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.total_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Queue wait in microseconds.
+    pub fn queue_us(&self) -> u64 {
+        self.queue_us.load(Ordering::Relaxed)
+    }
+
+    /// Canonical-form time in microseconds.
+    pub fn canon_us(&self) -> u64 {
+        self.canon_us.load(Ordering::Relaxed)
+    }
+
+    /// Cache admission time in microseconds.
+    pub fn cache_us(&self) -> u64 {
+        self.cache_us.load(Ordering::Relaxed)
+    }
+
+    /// Strategy-race time in microseconds.
+    pub fn race_us(&self) -> u64 {
+        self.race_us.load(Ordering::Relaxed)
+    }
+
+    /// End-to-end total in microseconds (0 until [`JobTrace::finish`]).
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_are_independent_cells() {
+        let t = JobTrace::new();
+        t.set_queue_us(10);
+        t.set_canon_us(20);
+        t.set_cache_us(30);
+        t.add_race_us(40);
+        t.add_race_us(5);
+        assert_eq!(t.queue_us(), 10);
+        assert_eq!(t.canon_us(), 20);
+        assert_eq!(t.cache_us(), 30);
+        assert_eq!(t.race_us(), 45);
+        assert_eq!(t.total_us(), 0);
+        t.finish();
+        // The total covers the whole lifetime, so it can only move
+        // forward from here.
+        let total = t.total_us();
+        t.finish();
+        assert!(t.total_us() >= total);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the log-linear histogram core: bucket placement,
+//! percentile accuracy against an exact oracle, and monotonicity.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rect_addr_obs::{bucket_of, Histogram};
+
+proptest! {
+    /// Every value lands in a bucket whose [floor, floor+width) range
+    /// contains it, and the relative quantization error is bounded by
+    /// one sub-bucket (width <= floor/16 for values >= 16).
+    #[test]
+    fn values_land_in_the_right_bucket(shift in 0u32..64, raw in 0u64..u64::MAX) {
+        let value = raw >> shift;
+        let (floor, width) = bucket_of(value);
+        prop_assert!(floor <= value, "floor {floor} > value {value}");
+        prop_assert!(value - floor < width, "value {value} outside bucket [{floor}, {floor}+{width})");
+        if value >= 16 {
+            prop_assert!(width <= floor / 16 + 1, "width {width} too wide at floor {floor}");
+        } else {
+            prop_assert_eq!(width, 1);
+        }
+    }
+
+    /// Reported percentiles are monotone in the percentile, bounded by
+    /// the max, and each one is within one bucket width of the exact
+    /// order statistic of the recorded values.
+    #[test]
+    fn percentiles_match_exact_oracle_within_a_bucket(
+        values in vec(0u64..2_000_000, 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let s = h.summary();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.max, *sorted.last().unwrap());
+        prop_assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max,
+            "not monotone: p50={} p90={} p99={} max={}", s.p50, s.p90, s.p99, s.max);
+        for (q, reported) in [(0.50, s.p50), (0.90, s.p90), (0.99, s.p99)] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let (floor, width) = bucket_of(exact);
+            prop_assert_eq!(reported, floor,
+                "q={}: reported {} is not the bucket floor {} of exact {}", q, reported, floor, exact);
+            prop_assert!(exact - reported < width,
+                "q={}: exact {} more than one bucket width {} above reported {}", q, exact, width, reported);
+        }
+    }
+
+    /// The sum statistic is exact (no quantization).
+    #[test]
+    fn sum_is_exact(values in vec(0u64..1 << 40, 0..100)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.summary().sum, values.iter().sum::<u64>());
+    }
+}

@@ -6,6 +6,7 @@
 //! stats frame, and versions the summary. See `PROTOCOL.md` at the
 //! repository root for the full framing specification.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::job::{ErrorKind, JobError, JobRequest};
@@ -43,6 +44,9 @@ pub enum ClientFrame {
     Hello {
         /// The highest protocol version the client speaks.
         version: u32,
+        /// Whether the client wants per-response `timing` breakdowns
+        /// (v2; `{"hello": 2, "timing": true}`).
+        timing: bool,
     },
     /// A job submission.
     Job(JobRequest),
@@ -81,8 +85,12 @@ impl ClientFrame {
                         JobError::new(ErrorKind::Protocol, "hello must carry a version number"),
                     )
                 })?;
+            // The timing flag is lenient: anything but `true` means off,
+            // so older clients and producers are never rejected over it.
+            let timing = json.get("timing").and_then(Json::as_bool) == Some(true);
             return Ok(ClientFrame::Hello {
                 version: version as u32,
+                timing,
             });
         }
         if let Some(v) = json.get("cancel") {
@@ -103,7 +111,13 @@ impl ClientFrame {
     /// Serializes the frame as one JSON line (client side).
     pub fn to_json_line(&self) -> String {
         match self {
-            ClientFrame::Hello { version } => format!("{{\"hello\": {version}}}"),
+            ClientFrame::Hello { version, timing } => {
+                if *timing {
+                    format!("{{\"hello\": {version}, \"timing\": true}}")
+                } else {
+                    format!("{{\"hello\": {version}}}")
+                }
+            }
             ClientFrame::Job(req) => req.to_json_line(),
             ClientFrame::Cancel { id } => {
                 let mut out = String::from("{\"cancel\": ");
@@ -129,6 +143,9 @@ pub struct Capabilities {
     pub queue_depth: u64,
     /// Worker threads solving jobs.
     pub workers: u64,
+    /// Whether the server honors the hello `timing` opt-in (per-response
+    /// stage breakdowns). Absent in acks from older servers → `false`.
+    pub timing: bool,
 }
 
 /// `{"hello": true, "protocol": N, "server": ..., "capabilities": {...}}` —
@@ -167,8 +184,8 @@ impl HelloAck {
         }
         let _ = write!(
             out,
-            "], \"canon_budget\": {}, \"queue_depth\": {}, \"workers\": {}}}}}",
-            c.canon_budget, c.queue_depth, c.workers
+            "], \"canon_budget\": {}, \"queue_depth\": {}, \"workers\": {}, \"timing\": {}}}}}",
+            c.canon_budget, c.queue_depth, c.workers, c.timing
         );
         out
     }
@@ -211,6 +228,9 @@ impl HelloAck {
                 canon_budget: num("canon_budget")?,
                 queue_depth: num("queue_depth")?,
                 workers: num("workers")?,
+                // Lenient: acks from servers predating the flag parse
+                // with timing unavailable rather than failing.
+                timing: caps.get("timing").and_then(Json::as_bool) == Some(true),
             },
         })
     }
@@ -382,6 +402,25 @@ pub struct HotKey {
     pub count: u64,
 }
 
+/// Percentile digest of one named latency histogram in a stats frame.
+///
+/// Percentile values are lower bounds of the log-linear bucket holding
+/// the rank (within 1/16 relative error); `max` is exact. Time-based
+/// histograms are microseconds; `sat_conflicts` counts conflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
 /// `{"stats": true, ...}` — the v2 on-demand observability frame.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsFrame {
@@ -400,6 +439,13 @@ pub struct StatsFrame {
     /// Hottest heuristic-labeled cache keys (canonizer-aware admission:
     /// these are the keys worth re-canonizing at a larger budget).
     pub canon_heuristic_hot: Vec<HotKey>,
+    /// Startup snapshot loads that failed for any reason other than the
+    /// file not existing (0 when persistence is off or the load worked).
+    pub snapshot_load_failures: u64,
+    /// Named latency histograms, keyed by metric name (`job_us`,
+    /// `queue_wait_us`, …). Empty in frames from servers predating the
+    /// telemetry section.
+    pub latency: BTreeMap<String, LatencySummary>,
 }
 
 impl StatsFrame {
@@ -416,7 +462,7 @@ impl StatsFrame {
              \"entries\": {}, \"evictions\": {}, \"flight_waits\": {}, \"canon_complete\": {}, \
              \"canon_heuristic\": {}}}, \"queue\": {{\"depth\": {}, \"len\": {}}}, \
              \"warm_sessions\": {}, \"persisted_sessions\": {}, \"budget_skips\": {}, \
-             \"canon_heuristic_hot\": [",
+             \"snapshot_load_failures\": {}, \"canon_heuristic_hot\": [",
             WireVersion::V2.number(),
             s.cache_hits,
             s.cache_misses,
@@ -430,6 +476,7 @@ impl StatsFrame {
             s.warm_sessions,
             self.persisted_sessions,
             self.budget_skips,
+            self.snapshot_load_failures,
         );
         for (i, hot) in self.canon_heuristic_hot.iter().enumerate() {
             if i > 0 {
@@ -440,7 +487,19 @@ impl StatsFrame {
             write_json_string(&mut out, &preview);
             let _ = write!(out, ", \"count\": {}}}", hot.count);
         }
-        out.push_str("]}");
+        out.push_str("], \"latency\": {");
+        for (i, (name, l)) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(&mut out, name);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                l.count, l.p50, l.p90, l.p99, l.max
+            );
+        }
+        out.push_str("}}");
         out
     }
 
@@ -473,6 +532,26 @@ impl StatsFrame {
             queue_len: num(queue, "len"),
             persisted_sessions: num(&json, "persisted_sessions"),
             budget_skips: num(&json, "budget_skips"),
+            snapshot_load_failures: num(&json, "snapshot_load_failures"),
+            // Absent on lines from older servers → empty histograms.
+            latency: match json.get("latency") {
+                Some(Json::Obj(map)) => map
+                    .iter()
+                    .map(|(name, l)| {
+                        (
+                            name.clone(),
+                            LatencySummary {
+                                count: num(l, "count"),
+                                p50: num(l, "p50"),
+                                p90: num(l, "p90"),
+                                p99: num(l, "p99"),
+                                max: num(l, "max"),
+                            },
+                        )
+                    })
+                    .collect(),
+                _ => BTreeMap::new(),
+            },
             canon_heuristic_hot: json
                 .get("canon_heuristic_hot")
                 .and_then(Json::as_arr)
@@ -498,8 +577,32 @@ mod tests {
     #[test]
     fn client_frames_classify_and_roundtrip() {
         let hello = ClientFrame::parse_line("{\"hello\": 2}", 1).unwrap();
-        assert_eq!(hello, ClientFrame::Hello { version: 2 });
+        assert_eq!(
+            hello,
+            ClientFrame::Hello {
+                version: 2,
+                timing: false
+            }
+        );
         assert_eq!(hello.to_json_line(), "{\"hello\": 2}");
+
+        let timed = ClientFrame::parse_line("{\"hello\": 2, \"timing\": true}", 1).unwrap();
+        assert_eq!(
+            timed,
+            ClientFrame::Hello {
+                version: 2,
+                timing: true
+            }
+        );
+        assert_eq!(timed.to_json_line(), "{\"hello\": 2, \"timing\": true}");
+        // Anything but `true` (including malformed values) means off.
+        for off in ["false", "1", "\"yes\"", "null"] {
+            let line = format!("{{\"hello\": 2, \"timing\": {off}}}");
+            match ClientFrame::parse_line(&line, 1).unwrap() {
+                ClientFrame::Hello { timing, .. } => assert!(!timing, "{line}"),
+                other => panic!("expected hello for {line}, got {other:?}"),
+            }
+        }
 
         let cancel = ClientFrame::parse_line("{\"cancel\": \"job-7\"}", 1).unwrap();
         assert_eq!(
@@ -557,9 +660,16 @@ mod tests {
                 canon_budget: 4096,
                 queue_depth: 1024,
                 workers: 4,
+                timing: true,
             },
         };
-        assert_eq!(HelloAck::parse_line(&ack.to_json_line()).unwrap(), ack);
+        let line = ack.to_json_line();
+        assert!(line.contains("\"timing\": true"), "{line}");
+        assert_eq!(HelloAck::parse_line(&line).unwrap(), ack);
+        // An ack from a server predating the flag parses with timing off.
+        let legacy = line.replace(", \"timing\": true", "");
+        let parsed = HelloAck::parse_line(&legacy).unwrap();
+        assert!(!parsed.capabilities.timing, "{legacy}");
     }
 
     #[test]
@@ -627,12 +737,15 @@ mod tests {
                 key: "x".repeat(200),
                 count: 9,
             }],
+            snapshot_load_failures: 2,
+            latency: BTreeMap::new(),
         };
         let parsed = StatsFrame::parse_line(&frame.to_json_line()).unwrap();
         assert_eq!(parsed.snapshot.cache_hits, 10);
         assert_eq!(parsed.queue_len, 3);
         assert_eq!(parsed.persisted_sessions, 17);
         assert_eq!(parsed.budget_skips, 5);
+        assert_eq!(parsed.snapshot_load_failures, 2);
         // A pre-persistence stats line — the keys genuinely absent, as an
         // older server would emit — still parses, defaulting both to 0.
         let legacy_line = "{\"stats\": true, \"protocol\": 2, \
@@ -650,5 +763,62 @@ mod tests {
             StatsFrame::KEY_PREVIEW
         );
         assert_eq!(parsed.canon_heuristic_hot[0].count, 9);
+    }
+
+    #[test]
+    fn stats_latency_section_roundtrips() {
+        let mut frame = StatsFrame {
+            queue_depth: 8,
+            ..StatsFrame::default()
+        };
+        frame.latency.insert(
+            "job_us".to_string(),
+            LatencySummary {
+                count: 12,
+                p50: 120,
+                p90: 400,
+                p99: 900,
+                max: 912,
+            },
+        );
+        frame.latency.insert(
+            "queue_wait_us".to_string(),
+            LatencySummary {
+                count: 12,
+                p50: 3,
+                p90: 9,
+                p99: 15,
+                max: 15,
+            },
+        );
+        let line = frame.to_json_line();
+        assert!(
+            line.contains("\"latency\": {\"job_us\": {\"count\": 12, \"p50\": 120"),
+            "{line}"
+        );
+        assert_eq!(StatsFrame::parse_line(&line).unwrap(), frame);
+    }
+
+    #[test]
+    fn stats_line_without_latency_parses_with_empty_histograms() {
+        // Same back-compat contract as `persisted_sessions`: a v2 stats
+        // line from a server predating the telemetry section parses with
+        // the new fields at their defaults.
+        let legacy_line = "{\"stats\": true, \"protocol\": 2, \
+             \"cache\": {\"hits\": 1, \"misses\": 2, \"entries\": 1, \"evictions\": 0, \
+             \"flight_waits\": 0, \"canon_complete\": 3, \"canon_heuristic\": 0}, \
+             \"queue\": {\"depth\": 8, \"len\": 0}, \"warm_sessions\": 1, \
+             \"persisted_sessions\": 4, \"budget_skips\": 1, \
+             \"canon_heuristic_hot\": []}";
+        let legacy = StatsFrame::parse_line(legacy_line).unwrap();
+        assert!(legacy.latency.is_empty());
+        assert_eq!(legacy.snapshot_load_failures, 0);
+        assert_eq!(legacy.persisted_sessions, 4);
+        // A malformed latency value degrades to empty, not an error.
+        let odd = legacy_line.replace(
+            ", \"canon_heuristic_hot\"",
+            ", \"latency\": 7, \"canon_heuristic_hot\"",
+        );
+        assert!(StatsFrame::parse_line(&odd).unwrap().latency.is_empty());
     }
 }

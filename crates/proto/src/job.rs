@@ -350,6 +350,57 @@ impl JobRequest {
     }
 }
 
+/// Per-job stage timing breakdown: where the job's wall time went.
+///
+/// Protocol v2 only, and opt-in — a client requests it with the
+/// `timing` flag on its `hello` frame. Stage fields are microseconds;
+/// `cache_us` includes any single-flight wait behind a duplicate
+/// in-flight job, and the stages sum to at most `total_us` (the
+/// remainder is scheduling overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Timing {
+    /// Time queued before a worker picked the job up (µs).
+    pub queue_us: u64,
+    /// Canonical-form computation time (µs).
+    pub canon_us: u64,
+    /// Cache admission time including single-flight wait (µs).
+    pub cache_us: u64,
+    /// Strategy-race wall time (µs).
+    pub race_us: u64,
+    /// End-to-end latency from submission to completion (µs).
+    pub total_us: u64,
+}
+
+impl Timing {
+    fn write_field(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            ", \"timing\": {{\"queue_us\": {}, \"canon_us\": {}, \"cache_us\": {}, \"race_us\": {}, \"total_us\": {}}}",
+            self.queue_us, self.canon_us, self.cache_us, self.race_us, self.total_us
+        );
+    }
+
+    fn from_json(json: &Json) -> Option<Timing> {
+        let t = json.get("timing")?;
+        if !matches!(t, Json::Obj(_)) {
+            return None;
+        }
+        let field = |name: &str| {
+            t.get(name)
+                .and_then(Json::as_f64)
+                .filter(|n| *n >= 0.0)
+                .unwrap_or(0.0) as u64
+        };
+        Some(Timing {
+            queue_us: field("queue_us"),
+            canon_us: field("canon_us"),
+            cache_us: field("cache_us"),
+            race_us: field("race_us"),
+            total_us: field("total_us"),
+        })
+    }
+}
+
 /// One result line of a batch.
 ///
 /// A response is in exactly one of two canonical states: *success*
@@ -382,6 +433,9 @@ pub struct JobResponse {
     pub partition: Vec<(Vec<usize>, Vec<usize>)>,
     /// Error payload when the job failed.
     pub error: Option<JobError>,
+    /// Per-job stage breakdown (v2 wire only, and only when the client
+    /// opted in; `None` otherwise).
+    pub timing: Option<Timing>,
 }
 
 impl JobResponse {
@@ -398,6 +452,7 @@ impl JobResponse {
             conflicts: 0,
             partition: Vec::new(),
             error: Some(error),
+            timing: None,
         }
     }
 
@@ -463,9 +518,16 @@ impl JobResponse {
             }
             let _ = write!(
                 out,
-                ", \"millis\": {millis:.3}, \"conflicts\": {}}}",
+                ", \"millis\": {millis:.3}, \"conflicts\": {}",
                 self.conflicts
             );
+            // `timing` is v2-only: v1 output must stay byte-identical.
+            if version == WireVersion::V2 {
+                if let Some(t) = &self.timing {
+                    t.write_field(&mut out);
+                }
+            }
+            out.push('}');
             return out;
         }
         let _ = write!(
@@ -496,7 +558,13 @@ impl JobResponse {
                 list(cols)
             );
         }
-        out.push_str("]}");
+        out.push(']');
+        if version == WireVersion::V2 {
+            if let Some(t) = &self.timing {
+                t.write_field(&mut out);
+            }
+        }
+        out.push('}');
         out
     }
 
@@ -534,6 +602,7 @@ impl JobResponse {
             let mut resp = JobResponse::failure(id, error);
             resp.millis = millis;
             resp.conflicts = conflicts;
+            resp.timing = Timing::from_json(&json);
             return Ok(resp);
         }
         let index_list = |v: &Json, field: &str| -> Result<Vec<usize>, String> {
@@ -580,6 +649,7 @@ impl JobResponse {
             conflicts,
             partition,
             error: None,
+            timing: Timing::from_json(&json),
         })
     }
 }
@@ -675,6 +745,7 @@ mod tests {
             conflicts: 42,
             partition: vec![(vec![0], vec![0, 2]), (vec![1], vec![1])],
             error: None,
+            timing: None,
         };
         for v in [WireVersion::V1, WireVersion::V2] {
             let parsed = JobResponse::parse_line(&resp.to_json_line_v(v)).unwrap();
@@ -746,6 +817,57 @@ mod tests {
                 .millis,
             0.0
         );
+    }
+
+    #[test]
+    fn timing_is_v2_only_and_roundtrips() {
+        let mut resp = JobResponse {
+            id: "t".to_string(),
+            ok: true,
+            depth: 1,
+            proved_optimal: true,
+            provenance: "trivial".to_string(),
+            cache_hit: false,
+            millis: 0.5,
+            conflicts: 0,
+            partition: vec![(vec![0], vec![0])],
+            error: None,
+            timing: Some(Timing {
+                queue_us: 10,
+                canon_us: 20,
+                cache_us: 30,
+                race_us: 400,
+                total_us: 470,
+            }),
+        };
+        // v1 output never carries timing: byte-compat with the legacy wire.
+        let v1 = resp.to_json_line_v(WireVersion::V1);
+        assert!(!v1.contains("timing"), "{v1}");
+        let mut stripped = resp.clone();
+        stripped.timing = None;
+        assert_eq!(v1, stripped.to_json_line_v(WireVersion::V1));
+        // v2 round-trips the full breakdown.
+        let v2 = resp.to_json_line_v(WireVersion::V2);
+        assert!(v2.contains("\"timing\": {\"queue_us\": 10"), "{v2}");
+        assert_eq!(JobResponse::parse_line(&v2).unwrap(), resp);
+        // Failure responses carry timing on v2 too (a deadline expiry
+        // still has a queue-wait story to tell).
+        resp.error = Some(JobError::new(ErrorKind::Deadline, "expired"));
+        resp.ok = false;
+        resp.depth = 0;
+        resp.proved_optimal = false;
+        resp.provenance = String::new();
+        resp.partition = Vec::new();
+        let line = resp.to_json_line_v(WireVersion::V2);
+        assert!(line.contains("\"timing\""), "{line}");
+        assert_eq!(JobResponse::parse_line(&line).unwrap(), resp);
+        assert!(!resp.to_json_line_v(WireVersion::V1).contains("timing"));
+    }
+
+    #[test]
+    fn absent_timing_parses_as_none() {
+        let line = r#"{"id": "a", "ok": true, "depth": 0, "provenance": "", "cache_hit": false, "millis": 0.0, "conflicts": 0, "partition": []}"#;
+        assert_eq!(JobResponse::parse_line(line).unwrap().timing, None);
     }
 
     #[test]

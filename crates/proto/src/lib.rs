@@ -36,9 +36,9 @@ pub mod json;
 pub mod line;
 
 pub use frame::{
-    CancelAck, Capabilities, ClientFrame, EngineSnapshot, HelloAck, HotKey, StatsFrame,
-    SummaryFrame, WireVersion, PROTOCOL_VERSION,
+    CancelAck, Capabilities, ClientFrame, EngineSnapshot, HelloAck, HotKey, LatencySummary,
+    StatsFrame, SummaryFrame, WireVersion, PROTOCOL_VERSION,
 };
-pub use job::{ErrorKind, JobError, JobRequest, JobResponse};
+pub use job::{ErrorKind, JobError, JobRequest, JobResponse, Timing};
 pub use json::{parse_json, write_json_string, Json};
 pub use line::{read_line_bounded, LineRead, MAX_LINE_BYTES, MAX_RESPONSE_LINE_BYTES};

@@ -11,7 +11,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use rect_addr_proto::{ErrorKind, JobError, JobRequest, JobResponse, WireVersion};
+use rect_addr_proto::{ErrorKind, JobError, JobRequest, JobResponse, Timing, WireVersion};
 
 /// Characters the id/message strategies draw from — every JSON string
 /// escape class is represented: plain ASCII, both quote-likes, newline /
@@ -34,6 +34,19 @@ fn rect_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
     (vec(0usize..64, 0..=6), vec(0usize..64, 0..=6))
 }
 
+/// `None` or a full stage breakdown with every magnitude represented.
+fn timing_strategy() -> impl Strategy<Value = Option<Timing>> {
+    (any::<bool>(), vec(0u64..1 << 40, 5)).prop_map(|(present, us)| {
+        present.then(|| Timing {
+            queue_us: us[0],
+            canon_us: us[1],
+            cache_us: us[2],
+            race_us: us[3],
+            total_us: us[4],
+        })
+    })
+}
+
 fn success_strategy() -> impl Strategy<Value = JobResponse> {
     (
         (string_strategy(12), 0usize..1000, any::<bool>(), 0usize..5),
@@ -43,37 +56,47 @@ fn success_strategy() -> impl Strategy<Value = JobResponse> {
             0u64..1 << 40,
             vec(rect_strategy(), 0..=5),
         ),
+        timing_strategy(),
     )
         .prop_map(
-            |((id, depth, proved, prov), (cache_hit, millis, conflicts, partition))| JobResponse {
-                id,
-                ok: true,
-                depth,
-                proved_optimal: proved,
-                provenance: ["", "cache", "trivial", "packing", "sap"][prov].to_string(),
-                cache_hit,
-                millis,
-                conflicts,
-                partition,
-                error: None,
+            |((id, depth, proved, prov), (cache_hit, millis, conflicts, partition), timing)| {
+                JobResponse {
+                    id,
+                    ok: true,
+                    depth,
+                    proved_optimal: proved,
+                    provenance: ["", "cache", "trivial", "packing", "sap"][prov].to_string(),
+                    cache_hit,
+                    millis,
+                    conflicts,
+                    partition,
+                    error: None,
+                    timing,
+                }
             },
         )
 }
 
 fn failure_strategy() -> impl Strategy<Value = JobResponse> {
     (
-        string_strategy(12),
-        0usize..ErrorKind::COUNT,
-        string_strategy(24),
-        millis_strategy(),
-        0u64..1 << 40,
+        (string_strategy(12), 0usize..ErrorKind::COUNT),
+        (string_strategy(24), millis_strategy()),
+        (0u64..1 << 40, timing_strategy()),
     )
-        .prop_map(|(id, kind, message, millis, conflicts)| {
+        .prop_map(|((id, kind), (message, millis), (conflicts, timing))| {
             let mut resp = JobResponse::failure(id, JobError::new(ErrorKind::ALL[kind], message));
             resp.millis = millis;
             resp.conflicts = conflicts;
+            resp.timing = timing;
             resp
         })
+}
+
+/// What a v1 wire trip preserves: everything except the v2-only fields.
+fn v1_view(resp: &JobResponse) -> JobResponse {
+    let mut v1 = resp.clone();
+    v1.timing = None;
+    v1
 }
 
 proptest! {
@@ -83,7 +106,15 @@ proptest! {
             let line = resp.to_json_line_v(version);
             let parsed = JobResponse::parse_line(&line)
                 .map_err(|e| TestCaseError::fail(format!("{e}: {line}")))?;
-            prop_assert_eq!(&parsed, &resp, "version {:?}: {}", version, line);
+            // v1 never carries the v2-only timing field.
+            let expect = match version {
+                WireVersion::V1 => v1_view(&resp),
+                WireVersion::V2 => resp.clone(),
+            };
+            prop_assert_eq!(&parsed, &expect, "version {:?}: {}", version, line);
+            if version == WireVersion::V1 {
+                prop_assert!(!line.contains("\"timing\""), "v1 leaked timing: {}", line);
+            }
         }
     }
 
@@ -101,7 +132,7 @@ proptest! {
         let line = resp.to_json_line_v(WireVersion::V1);
         let parsed = JobResponse::parse_line(&line)
             .map_err(|e| TestCaseError::fail(format!("{e}: {line}")))?;
-        let mut expect = resp.clone();
+        let mut expect = v1_view(&resp);
         expect.error = resp
             .error
             .as_ref()
@@ -118,6 +149,39 @@ proptest! {
                 .map_err(|e| TestCaseError::fail(format!("{e}: {line}")))?;
             prop_assert_eq!(parsed.to_json_line_v(version), line);
         }
+    }
+
+    #[test]
+    fn stats_latency_section_roundtrips(
+        entries in vec(
+            ((0usize..8, 0u64..1 << 40), (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30)),
+            0..=6,
+        ),
+    ) {
+        use rect_addr_proto::{LatencySummary, StatsFrame};
+        const NAMES: [&str; 8] = [
+            "queue_wait_us", "canon_us", "cache_lookup_us", "flight_wait_us",
+            "race_us", "job_us", "sat_conflicts", "snapshot_flush_us",
+        ];
+        let mut frame = StatsFrame::default();
+        for ((name_ix, count), (p50, spread, tail)) in entries {
+            frame.latency.insert(
+                NAMES[name_ix].to_string(),
+                LatencySummary {
+                    count,
+                    p50,
+                    p90: p50.saturating_add(spread),
+                    p99: p50.saturating_add(spread).saturating_add(tail),
+                    max: p50.saturating_add(spread).saturating_add(tail),
+                },
+            );
+        }
+        let line = frame.to_json_line();
+        let parsed = StatsFrame::parse_line(&line)
+            .map_err(|e| TestCaseError::fail(format!("{e}: {line}")))?;
+        prop_assert_eq!(&parsed, &frame, "{}", line);
+        // And a second trip is a fixed point.
+        prop_assert_eq!(parsed.to_json_line(), line);
     }
 
     #[test]

@@ -163,9 +163,51 @@ pub struct SolverStats {
     pub learnt_deleted: u64,
 }
 
+impl SolverStats {
+    /// Field-wise delta against an earlier snapshot of the same solver —
+    /// the per-query accounting primitive used by incremental callers
+    /// (counters are monotone, but the subtraction saturates so a stale
+    /// baseline can never panic in release telemetry paths).
+    pub fn since(&self, baseline: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(baseline.conflicts),
+            decisions: self.decisions.saturating_sub(baseline.decisions),
+            propagations: self.propagations.saturating_sub(baseline.propagations),
+            restarts: self.restarts.saturating_sub(baseline.restarts),
+            learnt_deleted: self.learnt_deleted.saturating_sub(baseline.learnt_deleted),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_since_is_a_saturating_delta() {
+        let earlier = SolverStats {
+            conflicts: 10,
+            decisions: 100,
+            propagations: 1000,
+            restarts: 1,
+            learnt_deleted: 0,
+        };
+        let later = SolverStats {
+            conflicts: 15,
+            decisions: 160,
+            propagations: 1800,
+            restarts: 2,
+            learnt_deleted: 3,
+        };
+        let delta = later.since(&earlier);
+        assert_eq!(delta.conflicts, 5);
+        assert_eq!(delta.decisions, 60);
+        assert_eq!(delta.propagations, 800);
+        assert_eq!(delta.restarts, 1);
+        assert_eq!(delta.learnt_deleted, 3);
+        // A stale (newer) baseline saturates instead of wrapping.
+        assert_eq!(earlier.since(&later), SolverStats::default());
+    }
 
     #[test]
     fn literal_encoding() {

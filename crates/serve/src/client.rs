@@ -34,9 +34,16 @@ impl LineClient {
 
     /// Performs the v2 handshake and returns the server's ack.
     pub fn handshake(&mut self) -> io::Result<HelloAck> {
+        self.handshake_opts(false)
+    }
+
+    /// [`LineClient::handshake`] with an explicit per-job `timing` opt-in:
+    /// with `timing: true` every v2 response carries its stage trace.
+    pub fn handshake_opts(&mut self, timing: bool) -> io::Result<HelloAck> {
         self.send_line(
             &ClientFrame::Hello {
                 version: PROTOCOL_VERSION,
+                timing,
             }
             .to_json_line(),
         )?;

@@ -104,7 +104,32 @@ pub fn stats_frame(service: &Service) -> StatsFrame {
                 count: *count,
             })
             .collect(),
+        snapshot_load_failures: stats.snapshot_load_failures,
+        latency: obs::registry()
+            .histogram_summaries()
+            .into_iter()
+            .map(|(name, s)| {
+                (
+                    name,
+                    proto::LatencySummary {
+                        count: s.count,
+                        p50: s.p50,
+                        p90: s.p90,
+                        p99: s.p99,
+                        max: s.max,
+                    },
+                )
+            })
+            .collect(),
     }
+}
+
+/// A parse/protocol failure response, counted into the error-class
+/// registry on its way out — every arm that answers a malformed line
+/// funnels through here so the counter can never drift from the wire.
+fn parse_failure(id: String, err: JobError) -> OutEvent {
+    obs::registry().counter(obs::names::ERR_PARSE).inc();
+    OutEvent::Response(JobResponse::failure(id, err))
 }
 
 /// Reader half: parses lines, dispatches frames, submits jobs. Runs on
@@ -115,6 +140,7 @@ fn reader_loop<R: BufRead>(
     mut input: R,
     tx: Sender<OutEvent>,
     version: &AtomicU8,
+    timing: &AtomicBool,
     abort: &AtomicBool,
     // Every submission is tagged with the connection's cancellation
     // group, so a peer that hangs up mid-stream (write error → abort)
@@ -180,9 +206,17 @@ fn reader_loop<R: BufRead>(
                 .is_ok_and(|json| json.get("hello").is_some() && json.get("matrix").is_none());
             if is_hello_attempt {
                 let event = match ClientFrame::parse_line(&line, line_no) {
-                    Ok(ClientFrame::Hello { version: requested }) => {
+                    Ok(ClientFrame::Hello {
+                        version: requested,
+                        timing: wants_timing,
+                    }) => {
                         let granted = requested.clamp(1, PROTOCOL_VERSION);
                         version.store(granted as u8, Ordering::Relaxed);
+                        // Timing is opt-in *and* v2-only: a v1-granted
+                        // handshake ignores the flag entirely.
+                        if granted >= 2 && wants_timing {
+                            timing.store(true, Ordering::Relaxed);
+                        }
                         let ack = HelloAck {
                             protocol: granted,
                             server: format!("rect-addr/{}", env!("CARGO_PKG_VERSION")),
@@ -190,7 +224,7 @@ fn reader_loop<R: BufRead>(
                         };
                         OutEvent::Control(ack.to_json_line())
                     }
-                    Err((id, err)) => OutEvent::Response(JobResponse::failure(id, err)),
+                    Err((id, err)) => parse_failure(id, err),
                     // Unreachable: a line with a "hello" key parses as
                     // Hello or errors, but stay total.
                     Ok(_) => OutEvent::Response(JobResponse::failure(
@@ -230,10 +264,7 @@ fn reader_loop<R: BufRead>(
                         }
                     }
                     Err((id, err)) => {
-                        if tx
-                            .send(OutEvent::Response(JobResponse::failure(id, err)))
-                            .is_err()
-                        {
+                        if tx.send(parse_failure(id, err)).is_err() {
                             break;
                         }
                     }
@@ -277,7 +308,7 @@ fn reader_loop<R: BufRead>(
                     Ok(ClientFrame::Stats) => {
                         OutEvent::Control(stats_frame(service).to_json_line())
                     }
-                    Err((id, err)) => OutEvent::Response(JobResponse::failure(id, err)),
+                    Err((id, err)) => parse_failure(id, err),
                 };
                 if tx.send(event).is_err() {
                     break;
@@ -330,6 +361,9 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
     let (tx, rx) = mpsc::channel::<OutEvent>();
     let version = AtomicU8::new(1);
     let version = &version;
+    // Whether the peer opted into per-job `timing` objects at handshake.
+    let timing = AtomicBool::new(false);
+    let timing = &timing;
     let abort = AtomicBool::new(false);
     let abort = &abort;
     // This connection's cancellation group: a dead peer must not leave
@@ -339,7 +373,7 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
 
     let write_error = std::thread::scope(|scope| {
         let reader_tx = tx;
-        scope.spawn(move || reader_loop(service, input, reader_tx, version, abort, group));
+        scope.spawn(move || reader_loop(service, input, reader_tx, version, timing, abort, group));
 
         // Writer: single owner of the output stream, draining responses in
         // completion order with a flush per line. On a write error keep
@@ -350,17 +384,23 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
         // the writer (not only the reader) must trigger the cleanup.
         let mut write_error: Option<std::io::Error> = None;
         for event in rx {
-            let line = match &event {
-                OutEvent::Response(resp) => {
+            let line = match event {
+                OutEvent::Response(mut resp) => {
                     match resp.error_kind() {
                         None => summary.solved += 1,
                         Some(ErrorKind::Canceled) => summary.canceled += 1,
                         Some(ErrorKind::Busy) => summary.busy += 1,
                         Some(_) => summary.failed += 1,
                     }
+                    // The timing object reaches the wire only for a v2
+                    // peer that opted in at handshake (the serializer
+                    // independently refuses to emit it on v1 lines).
+                    if !timing.load(Ordering::Relaxed) {
+                        resp.timing = None;
+                    }
                     resp.to_json_line_v(load_version(version))
                 }
-                OutEvent::Control(line) => line.clone(),
+                OutEvent::Control(line) => line,
             };
             if write_error.is_none() {
                 let attempt = writeln!(output, "{line}").and_then(|()| output.flush());

@@ -17,7 +17,8 @@ use std::time::Instant;
 
 use engine::persist::{load_snapshot, save_snapshot, SnapshotError, SnapshotStats};
 use engine::{CacheStats, Engine, EngineConfig};
-use proto::{Capabilities, ErrorKind, JobError, JobRequest, JobResponse};
+use obs::JobTrace;
+use proto::{Capabilities, ErrorKind, JobError, JobRequest, JobResponse, Timing};
 
 /// Where and how often a [`Service`] spills the engine's warm state (the
 /// session store's learnt-clause cores and the scheduler's bucket
@@ -144,6 +145,10 @@ pub struct ServiceStats {
     /// Hottest heuristic-labeled cache keys (canonizer-aware admission
     /// candidates), hottest first.
     pub hot_heuristic_keys: Vec<(String, u64)>,
+    /// Snapshot loads rejected at startup for a reason *other than* the
+    /// snapshot simply not existing yet (corruption, foreign schema, IO).
+    /// A first boot is not a failure; a silently ignored warm state is.
+    pub snapshot_load_failures: u64,
 }
 
 /// Queue ordering: higher priority first, FIFO within a priority.
@@ -155,6 +160,10 @@ struct Queued {
     req: JobRequest,
     sink: Sender<OutEvent>,
     submitted: Instant,
+    /// Per-job stage trace, born at submission so its total spans queue
+    /// wait plus solve. The engine fills the canon/cache/race stages; the
+    /// worker stamps queue wait and the total.
+    trace: Arc<JobTrace>,
 }
 
 #[derive(Default)]
@@ -182,6 +191,9 @@ struct Inner {
     /// Serializes snapshot writes; `try_lock` skips a flush another
     /// worker is already performing rather than queueing behind it.
     snapshot_gate: Mutex<()>,
+    /// Startup snapshot loads rejected for a reason other than
+    /// [`SnapshotError::Missing`] (see [`ServiceStats`]).
+    snapshot_load_failures: AtomicU64,
 }
 
 impl Inner {
@@ -196,8 +208,14 @@ impl Inner {
         } else {
             self.snapshot_gate.lock().expect("snapshot gate poisoned")
         };
+        let flush_start = Instant::now();
         match save_snapshot(&persist.state_dir, &self.engine) {
-            Ok(stats) => Some(stats),
+            Ok(stats) => {
+                obs::registry()
+                    .histogram(obs::names::SNAPSHOT_FLUSH_US)
+                    .record_duration(flush_start.elapsed());
+                Some(stats)
+            }
             Err(e) => {
                 eprintln!(
                     "rect-addr: snapshot to {} failed: {e}",
@@ -216,6 +234,7 @@ impl Inner {
     /// `.tmp` sibling (the atomic rename protects the live snapshot).
     fn note_job_done(self: &Arc<Self>) {
         let done = self.jobs_done.fetch_add(1, Ordering::Relaxed) + 1;
+        obs::registry().counter(obs::names::JOBS_COMPLETED).inc();
         let Some(every) = self.persist.as_ref().and_then(|p| p.snapshot_every) else {
             return;
         };
@@ -235,11 +254,20 @@ impl Inner {
     /// The deadline-free common path borrows the request as-is (no
     /// per-job matrix clone on the worker hot path).
     fn run_one(&self, job: &Queued) -> JobResponse {
+        // Queue wait is recorded for *every* job, not only deadline ones —
+        // the histogram is what reveals a saturated worker pool.
+        let waited = job.submitted.elapsed();
+        let waited_us = waited.as_micros().min(u64::MAX as u128) as u64;
+        job.trace.set_queue_us(waited_us);
+        obs::registry()
+            .histogram(obs::names::QUEUE_WAIT_US)
+            .record(waited_us);
         let Some(deadline_ms) = job.req.deadline_ms else {
-            return self.engine.solve_job(&job.req);
+            return self.engine.solve_job_traced(&job.req, &job.trace);
         };
-        let waited_ms = job.submitted.elapsed().as_millis() as u64;
+        let waited_ms = waited.as_millis() as u64;
         let Some(remaining) = deadline_ms.checked_sub(waited_ms).filter(|r| *r > 0) else {
+            obs::registry().counter(obs::names::ERR_DEADLINE).inc();
             return JobResponse::failure(
                 job.req.id.clone(),
                 JobError::new(
@@ -250,7 +278,7 @@ impl Inner {
         };
         let mut req = job.req.clone();
         req.budget_ms = Some(req.budget_ms.map_or(remaining, |b| b.min(remaining)));
-        self.engine.solve_job(&req)
+        self.engine.solve_job_traced(&req, &job.trace)
     }
 }
 
@@ -272,7 +300,21 @@ fn worker_loop(inner: Arc<Inner>) {
             }
         };
         inner.space.notify_one();
-        let response = inner.run_one(&job);
+        let mut response = inner.run_one(&job);
+        job.trace.finish();
+        obs::registry()
+            .histogram(obs::names::JOB_US)
+            .record(job.trace.total_us());
+        // Every worker-answered response carries its stage trace; the
+        // wire layer decides whether the peer actually sees it (v2 with
+        // the `timing` opt-in only — v1 stays byte-identical).
+        response.timing = Some(Timing {
+            queue_us: job.trace.queue_us(),
+            canon_us: job.trace.canon_us(),
+            cache_us: job.trace.cache_us(),
+            race_us: job.trace.race_us(),
+            total_us: job.trace.total_us(),
+        });
         // A closed sink (the submitter hung up) just discards the answer.
         let _ = job.sink.send(OutEvent::Response(response));
         inner.note_job_done();
@@ -345,6 +387,7 @@ impl Service {
     /// or foreign-schema one is rejected wholesale and the engine
     /// cold-starts, with the rejection reason on stderr.
     pub fn new(engine: Arc<Engine>, config: ServiceConfig) -> Service {
+        let mut load_failures = 0u64;
         if let Some(persist) = &config.persist {
             match load_snapshot(&persist.state_dir, &engine) {
                 Ok(restored) => {
@@ -358,10 +401,18 @@ impl Service {
                     }
                 }
                 Err(SnapshotError::Missing) => {} // first boot: silent cold start
-                Err(e) => eprintln!(
-                    "rect-addr: ignoring snapshot in {} ({e}); cold start",
-                    persist.state_dir.display()
-                ),
+                Err(e) => {
+                    // A cold start the operator did not ask for: the stderr
+                    // line scrolls away, the counter does not.
+                    load_failures += 1;
+                    obs::registry()
+                        .counter(obs::names::SNAPSHOT_LOAD_FAILURES)
+                        .inc();
+                    eprintln!(
+                        "rect-addr: ignoring snapshot in {} ({e}); cold start",
+                        persist.state_dir.display()
+                    );
+                }
             }
         }
         let worker_count = if config.workers == 0 {
@@ -380,6 +431,7 @@ impl Service {
             persist: config.persist,
             jobs_done: AtomicU64::new(0),
             snapshot_gate: Mutex::new(()),
+            snapshot_load_failures: AtomicU64::new(load_failures),
         });
         let workers = (0..worker_count)
             .map(|_| {
@@ -479,6 +531,7 @@ impl Service {
                 return Err(SubmitError::ShuttingDown);
             }
             if !blocking {
+                obs::registry().counter(obs::names::ERR_BUSY).inc();
                 return Err(SubmitError::Busy);
             }
             state = inner.space.wait(state).expect("service queue poisoned");
@@ -502,6 +555,7 @@ impl Service {
                 req,
                 sink,
                 submitted: Instant::now(),
+                trace: Arc::new(JobTrace::new()),
             },
         );
         drop(state);
@@ -523,6 +577,7 @@ impl Service {
             state.by_order.remove(&key).expect("ticket maps into queue")
         };
         self.inner.space.notify_one();
+        obs::registry().counter(obs::names::ERR_CANCELED).inc();
         let response = JobResponse::failure(
             job.req.id.clone(),
             JobError::new(ErrorKind::Canceled, "canceled while queued"),
@@ -559,6 +614,9 @@ impl Service {
         };
         self.inner.space.notify_all();
         let count = victims.len();
+        obs::registry()
+            .counter(obs::names::ERR_CANCELED)
+            .add(count as u64);
         for job in victims {
             let response = JobResponse::failure(
                 job.req.id.clone(),
@@ -586,6 +644,7 @@ impl Service {
             persisted_sessions: self.inner.engine.restored_sessions(),
             budget_skips: self.inner.engine.budget_skips(),
             hot_heuristic_keys: self.inner.engine.hot_heuristic_keys(8),
+            snapshot_load_failures: self.inner.snapshot_load_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -612,6 +671,7 @@ impl Service {
             canon_budget: cfg.canon.max_branches as u64,
             queue_depth: self.inner.queue_depth as u64,
             workers: self.worker_count as u64,
+            timing: true,
         }
     }
 

@@ -260,6 +260,71 @@ fn v2_job_lines_with_stray_marker_fields_stay_jobs() {
     assert!(!text.contains("\"done\":"), "{text}");
 }
 
+/// A v2 connection that opts into `timing` at handshake gets a stage
+/// trace on every response; the trace is internally consistent (each
+/// stage bounded by the total) and round-trips through the parser.
+#[test]
+fn timing_opt_in_puts_stage_traces_on_v2_responses() {
+    let service = service();
+    let input = "{\"hello\": 2, \"timing\": true}\n\
+                 {\"id\": \"t0\", \"matrix\": \"10;01\"}\n\
+                 {\"id\": \"t1\", \"matrix\": \"01;10\"}\n";
+    let mut out = Vec::new();
+    let summary = serve_connection(&service, input.as_bytes(), &mut out).unwrap();
+    assert_eq!(summary.version, WireVersion::V2);
+    assert_eq!(summary.solved, 2);
+
+    let text = String::from_utf8(out).unwrap();
+    assert!(
+        text.contains("\"timing\": true"),
+        "hello ack must advertise the capability:\n{text}"
+    );
+    let responses: Vec<JobResponse> = text
+        .lines()
+        .filter_map(|l| JobResponse::parse_line(l).ok())
+        .filter(|r| r.ok)
+        .collect();
+    assert_eq!(responses.len(), 2, "{text}");
+    for resp in &responses {
+        let timing = resp
+            .timing
+            .unwrap_or_else(|| panic!("opted-in response must carry timing: {}", resp.id));
+        for stage in [
+            timing.queue_us,
+            timing.canon_us,
+            timing.cache_us,
+            timing.race_us,
+        ] {
+            assert!(
+                stage <= timing.total_us,
+                "stage {stage} exceeds total {} for {}",
+                timing.total_us,
+                resp.id
+            );
+        }
+    }
+}
+
+/// Without the handshake flag, v2 responses stay timing-free — the trace
+/// exists server-side but never reaches the wire uninvited. Same for v1,
+/// whose byte shape is frozen.
+#[test]
+fn timing_stays_off_the_wire_unless_opted_in() {
+    for input in [
+        "{\"hello\": 2}\n{\"id\": \"q\", \"matrix\": \"1\"}\n", // v2, no flag
+        "{\"id\": \"q\", \"matrix\": \"1\"}\n",                 // v1
+    ] {
+        let service = service();
+        let mut out = Vec::new();
+        let summary = serve_connection(&service, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.solved, 1);
+        let text = String::from_utf8(out).unwrap();
+        for line in text.lines().filter(|l| l.contains("\"id\": \"q\"")) {
+            assert!(!line.contains("\"timing\""), "uninvited timing in {line}");
+        }
+    }
+}
+
 /// An oversized line (no newline in sight) answers one protocol error
 /// and closes the connection — with the summary trailer still emitted —
 /// instead of buffering the line without bound.

@@ -114,6 +114,17 @@ fn stats_frame_reports_persisted_sessions_over_the_wire() {
         frame.persisted_sessions >= 1,
         "wire stats must carry the restored count: {stats_line}"
     );
+    // A clean load (valid snapshot) is not a load failure.
+    assert_eq!(frame.snapshot_load_failures, 0, "{stats_line}");
+    // The latency section reports the process-wide histograms; at least
+    // the end-to-end job histogram has recorded by now (job "w" above),
+    // and its percentiles are ordered.
+    let job = frame
+        .latency
+        .get("job_us")
+        .unwrap_or_else(|| panic!("job_us latency in stats: {stats_line}"));
+    assert!(job.count >= 1);
+    assert!(job.p50 <= job.p99 && job.p99 <= job.max, "{job:?}");
     drop(second);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -129,6 +140,9 @@ fn corrupt_snapshot_cold_starts_without_failing_construction() {
     .unwrap();
     let service = service_at(&dir, None);
     assert_eq!(service.stats().persisted_sessions, 0);
+    // The rejected load is counted — a corrupt snapshot is data, not
+    // just a stderr line (a *missing* one would not count).
+    assert_eq!(service.stats().snapshot_load_failures, 1);
     // Still fully functional.
     let resp = service
         .submit(JobRequest::new("c", "10\n01".parse().unwrap()))

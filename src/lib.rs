@@ -9,6 +9,8 @@
 //! * [`exactcover`] — Algorithm X / dancing links;
 //! * [`ebmf`] — the paper's core contribution: row packing and SAP;
 //! * [`qaddress`] — AOD addressing schedules and the FTQC two-level layer;
+//! * [`obs`] — zero-dependency telemetry: latency histograms, counters,
+//!   per-job stage traces and the metrics dump;
 //! * [`proto`] — the versioned JSON-lines wire protocol (v1 + v2);
 //! * [`engine`] — concurrent portfolio solving with canonical-form caching;
 //! * [`serve`] — the `Service` facade and its stdin/socket transports.
@@ -18,6 +20,7 @@ pub use ebmf;
 pub use engine;
 pub use exactcover;
 pub use linalg;
+pub use obs;
 pub use proto;
 pub use qaddress;
 pub use sat;
