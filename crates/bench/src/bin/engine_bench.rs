@@ -606,6 +606,7 @@ fn main() {
     emit_latency(&mut json, "cold", &cold_latency.summary(), false);
     emit_latency(&mut json, "warm", &warm_latency.summary(), true);
     json.push_str("  },\n");
+    emit_kernels(&mut json);
     let _ = write!(
         json,
         "  \"socket\": {{\n    \"jobs\": {jobs},\n    \"wall_seconds\": {:.4},\n    \
@@ -638,7 +639,13 @@ fn main() {
         }
     }
     if let Some(path) = baseline_path {
-        if !check_baseline(&path, warm.jobs_per_second, &ws_warm, &ws_cold) {
+        if !check_baseline(
+            &path,
+            cold.jobs_per_second,
+            warm.jobs_per_second,
+            &ws_warm,
+            &ws_cold,
+        ) {
             failed = true;
         }
     }
@@ -647,15 +654,39 @@ fn main() {
     }
 }
 
+/// Emits the data-plane kernel timing histograms (`kernel_us_*`) the run
+/// accumulated in the global registry — the per-hot-loop counterpart of the
+/// end-to-end throughput figures, so a perf diff can tell *which* loop moved.
+fn emit_kernels(json: &mut String) {
+    let kernels: Vec<_> = obs::registry()
+        .histogram_summaries()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with(obs::names::KERNEL_US_PREFIX))
+        .collect();
+    json.push_str("  \"kernels\": {\n    \"unit\": \"us\",\n");
+    for (i, (name, s)) in kernels.iter().enumerate() {
+        let comma = if i + 1 == kernels.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{ \"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \
+             \"p99\": {}, \"max\": {} }}{comma}",
+            s.count, s.sum, s.p50, s.p90, s.p99, s.max,
+        );
+    }
+    json.push_str("  },\n");
+}
+
 /// Tolerated relative regression against the committed baseline.
 const BASELINE_TOLERANCE: f64 = 0.25;
 
-/// The perf-trajectory gate: compares this run's warm throughput and
-/// warm-start conflict ratio against `BENCH_baseline.json`, failing on a
+/// The perf-trajectory gate: compares this run's cold and warm throughput
+/// and warm-start conflict ratio against `BENCH_baseline.json`, failing on a
 /// regression beyond [`BASELINE_TOLERANCE`]. Improvements never fail —
-/// refresh the baseline to ratchet them in.
+/// refresh the baseline to ratchet them in. A baseline without a cold figure
+/// (predating the cold gate) skips that check.
 fn check_baseline(
     path: &str,
+    cold_jobs_per_second: f64,
     warm_jobs_per_second: f64,
     ws_warm: &WarmStartArm,
     ws_cold: &WarmStartArm,
@@ -687,6 +718,22 @@ fn check_baseline(
 
     let ratio = ws_warm.total_conflicts as f64 / ws_cold.total_conflicts.max(1) as f64;
     let mut ok = true;
+    // Cold throughput exercises the full data plane (canonization, the
+    // packing kernels, DLX, SAP) rather than the cache, so it is the gate
+    // that actually guards the word-packed hot loops.
+    if let Some(base_cold) = number("cold", "jobs_per_second") {
+        let cold_floor = base_cold * (1.0 - BASELINE_TOLERANCE);
+        if cold_jobs_per_second < cold_floor {
+            eprintln!(
+                "FAIL: cold throughput regressed beyond {:.0}%: {cold_jobs_per_second:.1} \
+                 jobs/s vs baseline {base_cold:.1} (floor {cold_floor:.1})",
+                BASELINE_TOLERANCE * 100.0
+            );
+            ok = false;
+        } else {
+            eprintln!("baseline OK: cold {cold_jobs_per_second:.1} jobs/s (>= {cold_floor:.1})");
+        }
+    }
     let jps_floor = base_jps * (1.0 - BASELINE_TOLERANCE);
     if warm_jobs_per_second < jps_floor {
         eprintln!(

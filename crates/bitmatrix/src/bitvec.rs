@@ -1,16 +1,44 @@
 //! Fixed-length bit vectors backed by `u64` words.
 //!
-//! [`BitVec`] is the workhorse of the whole repository: matrix rows, basis
-//! vectors in the row-packing heuristic, row/column selectors of rectangles,
-//! and don't-care masks are all `BitVec`s. The representation is a dense
-//! little-endian word array; bit `i` lives in word `i / 64` at position
-//! `i % 64`. All operations keep the invariant that bits at positions
-//! `>= len` are zero, so word-wise comparisons are exact.
+//! [`BitVec`] is the workhorse of the whole repository: basis vectors in the
+//! row-packing heuristic, row/column selectors of rectangles, and don't-care
+//! masks are all `BitVec`s. The representation is a dense little-endian word
+//! array; bit `i` lives in word `i / 64` at position `i % 64`. All operations
+//! keep the invariant that bits at positions `>= len` are zero, so word-wise
+//! comparisons are exact.
+//!
+//! The [`Bits`] trait abstracts over anything exposing that representation —
+//! an owned [`BitVec`] or a borrowed matrix row ([`crate::RowRef`]) — so set
+//! algebra composes across owned and borrowed operands without copies.
 
 use std::fmt;
 
+use crate::kernel;
+
 /// Number of bits per storage word.
-const WORD_BITS: usize = 64;
+pub(crate) const WORD_BITS: usize = 64;
+
+/// Read access to a fixed-length bit string stored as little-endian `u64`
+/// words with a zeroed tail.
+///
+/// Implemented by [`BitVec`], [`crate::RowRef`] and [`crate::RowMut`];
+/// references to implementors forward automatically, so `a.and(&b)` and
+/// `a.and(m.row(i))` both compile.
+pub trait Bits {
+    /// Number of bits.
+    fn bit_len(&self) -> usize;
+    /// Backing words, `bit_len().div_ceil(64)` of them, tail bits zero.
+    fn word_slice(&self) -> &[u64];
+}
+
+impl<B: Bits + ?Sized> Bits for &B {
+    fn bit_len(&self) -> usize {
+        (**self).bit_len()
+    }
+    fn word_slice(&self) -> &[u64] {
+        (**self).word_slice()
+    }
+}
 
 /// A fixed-length sequence of bits supporting set algebra.
 ///
@@ -34,6 +62,15 @@ const WORD_BITS: usize = 64;
 pub struct BitVec {
     len: usize,
     words: Vec<u64>,
+}
+
+impl Bits for BitVec {
+    fn bit_len(&self) -> usize {
+        self.len
+    }
+    fn word_slice(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 impl BitVec {
@@ -79,6 +116,33 @@ impl BitVec {
         v
     }
 
+    /// Creates a vector of `len` bits directly from backing words.
+    ///
+    /// Bits past `len` in the last word are cleared, so callers may pass a
+    /// buffer with a dirty tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count mismatch for {len} bits"
+        );
+        let mut v = BitVec { len, words };
+        v.clear_tail();
+        v
+    }
+
+    /// Copies the bits of any [`Bits`] value into an owned vector.
+    pub fn from_bits<B: Bits>(bits: B) -> Self {
+        BitVec {
+            len: bits.bit_len(),
+            words: bits.word_slice().to_vec(),
+        }
+    }
+
     /// Number of bits in the vector.
     pub fn len(&self) -> usize {
         self.len
@@ -87,6 +151,17 @@ impl BitVec {
     /// Whether the vector has zero length (distinct from being all-zero).
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Backing words (little-endian, tail bits zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable backing words. The caller must keep tail bits zero; this is
+    /// crate-internal precisely so the invariant cannot leak.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// Returns bit `i`.
@@ -126,12 +201,12 @@ impl BitVec {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernel::count(&self.words)
     }
 
     /// Whether every bit is zero.
     pub fn is_zero(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        kernel::is_zero(&self.words)
     }
 
     /// Whether every set bit of `self` is also set in `other`.
@@ -139,12 +214,9 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the lengths differ.
-    pub fn is_subset_of(&self, other: &BitVec) -> bool {
-        self.assert_same_len(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(&a, &b)| a & !b == 0)
+    pub fn is_subset_of<B: Bits>(&self, other: B) -> bool {
+        self.assert_same_len(&other);
+        kernel::is_subset(&self.words, other.word_slice())
     }
 
     /// Whether `self` and `other` share no set bit.
@@ -152,37 +224,34 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the lengths differ.
-    pub fn is_disjoint(&self, other: &BitVec) -> bool {
-        self.assert_same_len(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(&a, &b)| a & b == 0)
+    pub fn is_disjoint<B: Bits>(&self, other: B) -> bool {
+        self.assert_same_len(&other);
+        !kernel::intersects(&self.words, other.word_slice())
     }
 
     /// Bitwise AND, producing a new vector.
-    pub fn and(&self, other: &BitVec) -> BitVec {
+    pub fn and<B: Bits>(&self, other: B) -> BitVec {
         let mut out = self.clone();
         out.and_assign(other);
         out
     }
 
     /// Bitwise OR, producing a new vector.
-    pub fn or(&self, other: &BitVec) -> BitVec {
+    pub fn or<B: Bits>(&self, other: B) -> BitVec {
         let mut out = self.clone();
         out.or_assign(other);
         out
     }
 
     /// Bitwise XOR, producing a new vector.
-    pub fn xor(&self, other: &BitVec) -> BitVec {
+    pub fn xor<B: Bits>(&self, other: B) -> BitVec {
         let mut out = self.clone();
         out.xor_assign(other);
         out
     }
 
     /// Set difference `self \ other`, producing a new vector.
-    pub fn difference(&self, other: &BitVec) -> BitVec {
+    pub fn difference<B: Bits>(&self, other: B) -> BitVec {
         let mut out = self.clone();
         out.difference_assign(other);
         out
@@ -193,11 +262,9 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the lengths differ.
-    pub fn and_assign(&mut self, other: &BitVec) {
-        self.assert_same_len(other);
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+    pub fn and_assign<B: Bits>(&mut self, other: B) {
+        self.assert_same_len(&other);
+        kernel::and_assign(&mut self.words, other.word_slice());
     }
 
     /// In-place bitwise OR.
@@ -205,11 +272,9 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the lengths differ.
-    pub fn or_assign(&mut self, other: &BitVec) {
-        self.assert_same_len(other);
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+    pub fn or_assign<B: Bits>(&mut self, other: B) {
+        self.assert_same_len(&other);
+        kernel::or_assign(&mut self.words, other.word_slice());
     }
 
     /// In-place bitwise XOR.
@@ -217,11 +282,9 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the lengths differ.
-    pub fn xor_assign(&mut self, other: &BitVec) {
-        self.assert_same_len(other);
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
-        }
+    pub fn xor_assign<B: Bits>(&mut self, other: B) {
+        self.assert_same_len(&other);
+        kernel::xor_assign(&mut self.words, other.word_slice());
     }
 
     /// In-place set difference: clears every bit that is set in `other`.
@@ -229,30 +292,19 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the lengths differ.
-    pub fn difference_assign(&mut self, other: &BitVec) {
-        self.assert_same_len(other);
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+    pub fn difference_assign<B: Bits>(&mut self, other: B) {
+        self.assert_same_len(&other);
+        kernel::andnot_assign(&mut self.words, other.word_slice());
     }
 
     /// Index of the lowest set bit, if any.
     pub fn first_one(&self) -> Option<usize> {
-        for (wi, &w) in self.words.iter().enumerate() {
-            if w != 0 {
-                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
-            }
-        }
-        None
+        kernel::first_one(&self.words)
     }
 
     /// Iterator over the indices of set bits, in increasing order.
     pub fn ones(&self) -> Ones<'_> {
-        Ones {
-            vec: self,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+        Ones::new(&self.words)
     }
 
     /// Collects the indices of set bits into a `Vec`.
@@ -260,11 +312,13 @@ impl BitVec {
         self.ones().collect()
     }
 
-    fn assert_same_len(&self, other: &BitVec) {
+    fn assert_same_len<B: Bits>(&self, other: &B) {
         assert_eq!(
-            self.len, other.len,
+            self.len,
+            other.bit_len(),
             "bit vector length mismatch: {} vs {}",
-            self.len, other.len
+            self.len,
+            other.bit_len()
         );
     }
 
@@ -279,11 +333,22 @@ impl BitVec {
     }
 }
 
-/// Iterator over set-bit indices of a [`BitVec`]. Produced by [`BitVec::ones`].
+/// Iterator over set-bit indices of a word slice. Produced by
+/// [`BitVec::ones`] and [`crate::RowRef::ones`].
 pub struct Ones<'a> {
-    vec: &'a BitVec,
+    words: &'a [u64],
     word_idx: usize,
     current: u64,
+}
+
+impl<'a> Ones<'a> {
+    pub(crate) fn new(words: &'a [u64]) -> Self {
+        Ones {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
 }
 
 impl Iterator for Ones<'_> {
@@ -297,10 +362,10 @@ impl Iterator for Ones<'_> {
                 return Some(self.word_idx * WORD_BITS + bit);
             }
             self.word_idx += 1;
-            if self.word_idx >= self.vec.words.len() {
+            if self.word_idx >= self.words.len() {
                 return None;
             }
-            self.current = self.vec.words[self.word_idx];
+            self.current = self.words[self.word_idx];
         }
     }
 }
@@ -428,5 +493,18 @@ mod tests {
         assert_eq!(v.to_string(), "");
         let o = BitVec::ones_vec(0);
         assert_eq!(v, o);
+    }
+
+    #[test]
+    fn from_words_clears_dirty_tail() {
+        let v = BitVec::from_words(65, vec![!0u64, !0u64]);
+        assert_eq!(v.count_ones(), 65);
+        assert_eq!(v, BitVec::ones_vec(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn from_words_rejects_wrong_word_count() {
+        BitVec::from_words(65, vec![0u64]);
     }
 }

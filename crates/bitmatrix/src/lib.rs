@@ -4,13 +4,17 @@
 //! workspace, which reproduces *Depth-Optimal Addressing of 2D Qubit Array
 //! with 1D Controls Based on Exact Binary Matrix Factorization* (DATE 2024).
 //! Everything the paper manipulates — addressing patterns, rank-1 rectangles,
-//! benchmark instances — is a binary matrix, represented here as a vector of
-//! bit-packed rows.
+//! benchmark instances — is a binary matrix, stored bit-packed in a single
+//! contiguous `u64` buffer with a word-padded row stride.
 //!
-//! * [`BitVec`] — fixed-length bit vector with set algebra (subset,
-//!   disjointness, and/or/xor/difference), the row type.
-//! * [`BitMatrix`] — dense binary matrix: transpose, Kronecker product,
-//!   row/column dedup, outer products, parsing/printing.
+//! * [`BitVec`] — fixed-length owned bit vector with set algebra (subset,
+//!   disjointness, and/or/xor/difference).
+//! * [`BitMatrix`] — dense binary matrix: transpose (with a lazy cached
+//!   variant), Kronecker product, row/column dedup, outer products,
+//!   parsing/printing. Rows are borrowed as [`RowRef`] / [`RowMut`] views.
+//! * [`kernel`] — word-level kernels (fused popcounts, in-place boolean ops,
+//!   lexicographic row compares, rank) over raw `u64` slices; the [`Bits`]
+//!   trait lets owned vectors and row views share them.
 //! * [`random_matrix`] and friends — seeded random instances.
 //!
 //! # Examples
@@ -27,14 +31,17 @@
 //! ```
 
 mod bitvec;
+pub mod kernel;
 mod matrix;
 mod random;
+mod rows;
 
-pub use bitvec::{BitVec, Ones};
-pub use matrix::{BitMatrix, ParseMatrixError};
+pub use bitvec::{BitVec, Bits, Ones};
+pub use matrix::{BitMatrix, ParseMatrixError, Rows};
 pub use random::{
     invert_permutation, random_matrix, random_matrix_with_ones, random_permutation, random_vec,
 };
+pub use rows::{RowMut, RowRef};
 
 #[cfg(all(test, feature = "serde"))]
 mod serde_tests {
@@ -125,5 +132,152 @@ mod proptests {
             let b = BitVec::from_bools(&bits_b);
             prop_assert_eq!(a.xor(&b).xor(&b), a);
         }
+    }
+}
+
+/// Differential tests: every word kernel must agree with a per-bit reference
+/// implementation, including at tail-boundary widths (63/64/65/127/128/129)
+/// and on zero-width/zero-height inputs.
+#[cfg(test)]
+mod kernel_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Ordering;
+
+    /// Widths straddling word boundaries plus small interior ones.
+    const WIDTHS: &[usize] = &[1, 7, 63, 64, 65, 127, 128, 129];
+
+    fn arb_pair() -> impl Strategy<Value = (Vec<bool>, Vec<bool>)> {
+        (0usize..WIDTHS.len()).prop_flat_map(|wi| {
+            let w = WIDTHS[wi];
+            (
+                proptest::collection::vec(any::<bool>(), w),
+                proptest::collection::vec(any::<bool>(), w),
+            )
+        })
+    }
+
+    /// Per-bit reference for the row-string order: `'0' < '1'`, lowest index
+    /// most significant.
+    fn ref_cmp_lex(a: &[bool], b: &[bool]) -> Ordering {
+        for (&x, &y) in a.iter().zip(b) {
+            if x != y {
+                return if !x {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                };
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn ref_rank(a: &[bool], i: usize) -> usize {
+        a[..i].iter().filter(|&&b| b).count()
+    }
+
+    proptest! {
+        #[test]
+        fn boolean_kernels_match_reference((ba, bb) in arb_pair()) {
+            let a = BitVec::from_bools(&ba);
+            let b = BitVec::from_bools(&bb);
+            let aw = a.words();
+            let bw = b.words();
+
+            prop_assert_eq!(kernel::count(aw), ba.iter().filter(|&&x| x).count());
+            prop_assert_eq!(
+                kernel::and_count(aw, bw),
+                ba.iter().zip(&bb).filter(|(&x, &y)| x && y).count()
+            );
+            prop_assert_eq!(
+                kernel::andnot_count(aw, bw),
+                ba.iter().zip(&bb).filter(|(&x, &y)| x && !y).count()
+            );
+            prop_assert_eq!(
+                kernel::intersects(aw, bw),
+                ba.iter().zip(&bb).any(|(&x, &y)| x && y)
+            );
+            prop_assert_eq!(
+                kernel::is_subset(aw, bw),
+                ba.iter().zip(&bb).all(|(&x, &y)| !x || y)
+            );
+            prop_assert_eq!(kernel::is_zero(aw), ba.iter().all(|&x| !x));
+            prop_assert_eq!(kernel::first_one(aw), ba.iter().position(|&x| x));
+        }
+
+        #[test]
+        fn in_place_kernels_match_reference((ba, bb) in arb_pair()) {
+            let a = BitVec::from_bools(&ba);
+            let b = BitVec::from_bools(&bb);
+            let per_bit = |f: fn(bool, bool) -> bool| {
+                BitVec::from_bools(
+                    &ba.iter().zip(&bb).map(|(&x, &y)| f(x, y)).collect::<Vec<_>>(),
+                )
+            };
+            prop_assert_eq!(a.and(&b), per_bit(|x, y| x && y));
+            prop_assert_eq!(a.or(&b), per_bit(|x, y| x || y));
+            prop_assert_eq!(a.xor(&b), per_bit(|x, y| x != y));
+            prop_assert_eq!(a.difference(&b), per_bit(|x, y| x && !y));
+        }
+
+        #[test]
+        fn compare_and_rank_match_reference((ba, bb) in arb_pair(), fr in 0usize..1000) {
+            let a = BitVec::from_bools(&ba);
+            let b = BitVec::from_bools(&bb);
+            prop_assert_eq!(kernel::cmp_lex(a.words(), b.words()), ref_cmp_lex(&ba, &bb));
+            prop_assert_eq!(
+                kernel::cmp_lex_ones_first(a.words(), b.words()),
+                ref_cmp_lex(&ba, &bb).reverse()
+            );
+            let i = ba.len() * fr / 1000;
+            prop_assert_eq!(kernel::rank(a.words(), i), ref_rank(&ba, i));
+        }
+
+        #[test]
+        fn matrix_row_views_match_per_bit_access(
+            (nrows, wi) in (0usize..5, 0usize..WIDTHS.len()),
+            seed in any::<u64>(),
+        ) {
+            let ncols = WIDTHS[wi];
+            let m = BitMatrix::from_fn(nrows, ncols, |i, j| {
+                // cheap deterministic pseudo-random fill
+                (seed.wrapping_mul(6364136223846793005).wrapping_add((i * ncols + j) as u64)
+                    >> 33) & 1 == 1
+            });
+            let t = m.transpose();
+            for i in 0..nrows {
+                let row = m.row(i);
+                let per_bit: Vec<usize> = (0..ncols).filter(|&j| m.get(i, j)).collect();
+                prop_assert_eq!(row.to_indices(), per_bit.clone());
+                prop_assert_eq!(row.count_ones(), per_bit.len());
+                for j in 0..ncols {
+                    prop_assert_eq!(row.get(j), m.get(i, j));
+                    prop_assert_eq!(t.get(j, i), m.get(i, j));
+                }
+            }
+            prop_assert_eq!(m.transposed(), &t);
+        }
+    }
+
+    #[test]
+    fn zero_width_and_zero_height_kernels() {
+        let a = BitVec::zeros(0);
+        assert_eq!(kernel::count(a.words()), 0);
+        assert!(kernel::is_zero(a.words()));
+        assert!(kernel::is_subset(a.words(), a.words()));
+        assert!(!kernel::intersects(a.words(), a.words()));
+        assert_eq!(
+            kernel::cmp_lex(a.words(), a.words()),
+            std::cmp::Ordering::Equal
+        );
+        assert_eq!(kernel::first_one(a.words()), None);
+        assert_eq!(kernel::rank(a.words(), 0), 0);
+
+        let m = BitMatrix::zeros(0, 7);
+        assert_eq!(m.transposed().shape(), (7, 0));
+        let n = BitMatrix::zeros(3, 0);
+        assert!(n.row(0).is_subset_of(n.row(1)));
+        assert!(n.row(0).is_disjoint(n.row(2)));
+        assert_eq!(n.row(0), n.row(1));
     }
 }

@@ -1,16 +1,21 @@
-//! Dense binary matrices stored as bit-packed rows.
+//! Dense binary matrices on a single contiguous bit-packed buffer.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
+use std::sync::OnceLock;
 
-use crate::BitVec;
+use crate::bitvec::{Bits, WORD_BITS};
+use crate::{kernel, BitVec, RowMut, RowRef};
 
 /// A dense `m × n` binary matrix.
 ///
-/// Rows are bit-packed [`BitVec`]s of length `n`. Rectangular-addressing
-/// patterns, rank-1 factors and benchmark instances are all `BitMatrix`
-/// values. The matrix owns its rows; cheap row views are available via
-/// [`BitMatrix::row`].
+/// All rows live in one contiguous `u64` buffer with a word-padded row
+/// stride (`ncols.div_ceil(64)` words per row), so whole-matrix scans touch
+/// one allocation and row pairs combine word-at-a-time through the
+/// [`crate::kernel`] functions. Cheap row views are available via
+/// [`BitMatrix::row`] / [`BitMatrix::row_mut`]; column-major scans can use
+/// the lazily built, cached transpose from [`BitMatrix::transposed`].
 ///
 /// # Examples
 ///
@@ -23,38 +28,73 @@ use crate::BitVec;
 /// assert_eq!(m.transpose().to_string(), "10\n01\n10");
 /// # Ok::<(), rect_addr_bitmatrix::ParseMatrixError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitMatrix {
     nrows: usize,
     ncols: usize,
-    rows: Vec<BitVec>,
+    /// Words per row: `ncols.div_ceil(64)`.
+    stride: usize,
+    /// `nrows * stride` words; bits past `ncols` in each row's last word are
+    /// zero, so word-wise row comparisons are exact.
+    words: Vec<u64>,
+    /// Lazily built transpose, reset by any mutation. Excluded from
+    /// equality, hashing and cloning — it is a cache, not state.
+    tcache: OnceLock<Box<BitMatrix>>,
+}
+
+impl Clone for BitMatrix {
+    fn clone(&self) -> Self {
+        BitMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            stride: self.stride,
+            words: self.words.clone(),
+            tcache: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for BitMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows && self.ncols == other.ncols && self.words == other.words
+    }
+}
+
+impl Eq for BitMatrix {}
+
+impl Hash for BitMatrix {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.nrows.hash(state);
+        self.ncols.hash(state);
+        self.words.hash(state);
+    }
 }
 
 impl BitMatrix {
     /// Creates an all-zero `m × n` matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        let stride = ncols.div_ceil(WORD_BITS);
         BitMatrix {
             nrows,
             ncols,
-            rows: (0..nrows).map(|_| BitVec::zeros(ncols)).collect(),
+            stride,
+            words: vec![0; nrows * stride],
+            tcache: OnceLock::new(),
         }
     }
 
     /// Creates an all-one `m × n` matrix.
     pub fn ones(nrows: usize, ncols: usize) -> Self {
-        BitMatrix {
-            nrows,
-            ncols,
-            rows: (0..nrows).map(|_| BitVec::ones_vec(ncols)).collect(),
-        }
+        let mut m = BitMatrix::zeros(nrows, ncols);
+        m.words.fill(!0u64);
+        m.clear_tails();
+        m
     }
 
     /// Creates the `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = BitMatrix::zeros(n, n);
         for i in 0..n {
-            m.set(i, i, true);
+            m.words[i * m.stride + i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
         }
         m
     }
@@ -63,10 +103,19 @@ impl BitMatrix {
     pub fn from_fn<F: FnMut(usize, usize) -> bool>(nrows: usize, ncols: usize, mut f: F) -> Self {
         let mut m = BitMatrix::zeros(nrows, ncols);
         for i in 0..nrows {
+            let base = i * m.stride;
+            let mut acc = 0u64;
             for j in 0..ncols {
                 if f(i, j) {
-                    m.set(i, j, true);
+                    acc |= 1u64 << (j % WORD_BITS);
                 }
+                if j % WORD_BITS == WORD_BITS - 1 {
+                    m.words[base + j / WORD_BITS] = acc;
+                    acc = 0;
+                }
+            }
+            if !ncols.is_multiple_of(WORD_BITS) {
+                m.words[base + (ncols - 1) / WORD_BITS] = acc;
             }
         }
         m
@@ -78,6 +127,7 @@ impl BitMatrix {
     ///
     /// Panics if the rows do not all have length `ncols`.
     pub fn from_rows(rows: Vec<BitVec>, ncols: usize) -> Self {
+        let mut m = BitMatrix::zeros(rows.len(), ncols);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(
                 r.len(),
@@ -85,12 +135,9 @@ impl BitMatrix {
                 "row {i} has length {} but ncols is {ncols}",
                 r.len()
             );
+            m.words[i * m.stride..(i + 1) * m.stride].copy_from_slice(r.words());
         }
-        BitMatrix {
-            nrows: rows.len(),
-            ncols,
-            rows,
-        }
+        m
     }
 
     /// Builds a matrix from nested `0`/`1` integer literals (test helper).
@@ -130,6 +177,32 @@ impl BitMatrix {
         (self.nrows, self.ncols)
     }
 
+    /// Words per row in the backing buffer (`ncols.div_ceil(64)`).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The whole backing buffer: `nrows * stride` words, row-major, each
+    /// row's tail bits zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The words of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        assert!(
+            i < self.nrows,
+            "row index {i} out of range ({})",
+            self.nrows
+        );
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
     /// Returns entry `(i, j)`.
     ///
     /// # Panics
@@ -142,7 +215,12 @@ impl BitMatrix {
             "row index {i} out of range ({})",
             self.nrows
         );
-        self.rows[i].get(j)
+        assert!(
+            j < self.ncols,
+            "bit index {j} out of range for len {}",
+            self.ncols
+        );
+        (self.words[i * self.stride + j / WORD_BITS] >> (j % WORD_BITS)) & 1 == 1
     }
 
     /// Sets entry `(i, j)`.
@@ -157,16 +235,29 @@ impl BitMatrix {
             "row index {i} out of range ({})",
             self.nrows
         );
-        self.rows[i].set(j, value);
+        assert!(
+            j < self.ncols,
+            "bit index {j} out of range for len {}",
+            self.ncols
+        );
+        self.tcache.take();
+        let mask = 1u64 << (j % WORD_BITS);
+        let w = &mut self.words[i * self.stride + j / WORD_BITS];
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
     }
 
-    /// Borrow row `i` as a bit vector.
+    /// Borrow row `i` as an immutable bit-string view.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn row(&self, i: usize) -> &BitVec {
-        &self.rows[i]
+    #[inline]
+    pub fn row(&self, i: usize) -> RowRef<'_> {
+        RowRef::new(self.row_words(i), self.ncols)
     }
 
     /// Mutably borrow row `i`.
@@ -174,13 +265,29 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn row_mut(&mut self, i: usize) -> &mut BitVec {
-        &mut self.rows[i]
+    pub fn row_mut(&mut self, i: usize) -> RowMut<'_> {
+        assert!(
+            i < self.nrows,
+            "row index {i} out of range ({})",
+            self.nrows
+        );
+        self.tcache.take();
+        let range = i * self.stride..(i + 1) * self.stride;
+        RowMut::new(&mut self.words[range], self.ncols)
+    }
+
+    /// Overwrites row `i` with the bits of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `src` is not `ncols` bits long.
+    pub fn set_row<B: Bits>(&mut self, i: usize, src: B) {
+        self.row_mut(i).copy_from(src);
     }
 
     /// Iterator over rows.
-    pub fn iter_rows(&self) -> std::slice::Iter<'_, BitVec> {
-        self.rows.iter()
+    pub fn iter_rows(&self) -> Rows<'_> {
+        Rows { m: self, next: 0 }
     }
 
     /// Extracts column `j` as a bit vector of length `nrows`.
@@ -194,12 +301,19 @@ impl BitMatrix {
             "column index {j} out of range ({})",
             self.ncols
         );
-        BitVec::from_indices(self.nrows, (0..self.nrows).filter(|&i| self.rows[i].get(j)))
+        let word = j / WORD_BITS;
+        let shift = j % WORD_BITS;
+        let mut out = BitVec::zeros(self.nrows);
+        for i in 0..self.nrows {
+            let bit = (self.words[i * self.stride + word] >> shift) & 1;
+            out.words_mut()[i / WORD_BITS] |= bit << (i % WORD_BITS);
+        }
+        out
     }
 
     /// Total number of 1 entries.
     pub fn count_ones(&self) -> usize {
-        self.rows.iter().map(BitVec::count_ones).sum()
+        kernel::count(&self.words)
     }
 
     /// Fraction of entries that are 1 (0.0 for an empty matrix).
@@ -214,13 +328,13 @@ impl BitMatrix {
 
     /// Whether every entry is zero.
     pub fn is_zero(&self) -> bool {
-        self.rows.iter().all(BitVec::is_zero)
+        kernel::is_zero(&self.words)
     }
 
     /// Positions of all 1 entries in row-major order.
     pub fn ones_positions(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::with_capacity(self.count_ones());
-        for (i, r) in self.rows.iter().enumerate() {
+        for (i, r) in self.iter_rows().enumerate() {
             for j in r.ones() {
                 out.push((i, j));
             }
@@ -228,15 +342,27 @@ impl BitMatrix {
         out
     }
 
-    /// The transposed matrix.
+    /// The transposed matrix, computed fresh.
+    ///
+    /// For repeated column-major scans prefer [`BitMatrix::transposed`],
+    /// which computes once and caches.
     pub fn transpose(&self) -> BitMatrix {
         let mut t = BitMatrix::zeros(self.ncols, self.nrows);
-        for (i, r) in self.rows.iter().enumerate() {
-            for j in r.ones() {
-                t.set(j, i, true);
+        let tstride = t.stride;
+        for i in 0..self.nrows {
+            let word = i / WORD_BITS;
+            let bit = 1u64 << (i % WORD_BITS);
+            for j in self.row(i).ones() {
+                t.words[j * tstride + word] |= bit;
             }
         }
         t
+    }
+
+    /// A borrowed view of the transpose, built lazily on first use and
+    /// cached until the matrix is mutated.
+    pub fn transposed(&self) -> &BitMatrix {
+        self.tcache.get_or_init(|| Box::new(self.transpose()))
     }
 
     /// Entry-wise OR of two equal-shape matrices.
@@ -246,13 +372,9 @@ impl BitMatrix {
     /// Panics if the shapes differ.
     pub fn or(&self, other: &BitMatrix) -> BitMatrix {
         self.assert_same_shape(other);
-        let rows = self
-            .rows
-            .iter()
-            .zip(&other.rows)
-            .map(|(a, b)| a.or(b))
-            .collect();
-        BitMatrix::from_rows(rows, self.ncols)
+        let mut out = self.clone();
+        kernel::or_assign(&mut out.words, &other.words);
+        out
     }
 
     /// Entry-wise AND of two equal-shape matrices.
@@ -262,13 +384,9 @@ impl BitMatrix {
     /// Panics if the shapes differ.
     pub fn and(&self, other: &BitMatrix) -> BitMatrix {
         self.assert_same_shape(other);
-        let rows = self
-            .rows
-            .iter()
-            .zip(&other.rows)
-            .map(|(a, b)| a.and(b))
-            .collect();
-        BitMatrix::from_rows(rows, self.ncols)
+        let mut out = self.clone();
+        kernel::and_assign(&mut out.words, &other.words);
+        out
     }
 
     /// Whether the two matrices share no 1 entry.
@@ -278,10 +396,7 @@ impl BitMatrix {
     /// Panics if the shapes differ.
     pub fn is_disjoint(&self, other: &BitMatrix) -> bool {
         self.assert_same_shape(other);
-        self.rows
-            .iter()
-            .zip(&other.rows)
-            .all(|(a, b)| a.is_disjoint(b))
+        !kernel::intersects(&self.words, &other.words)
     }
 
     /// Kronecker (tensor) product `self ⊗ other`.
@@ -303,7 +418,24 @@ impl BitMatrix {
     ///
     /// Panics if any index is out of range.
     pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> BitMatrix {
-        BitMatrix::from_fn(rows.len(), cols.len(), |i, j| self.get(rows[i], cols[j]))
+        let mut out = BitMatrix::zeros(rows.len(), cols.len());
+        for (i, &ri) in rows.iter().enumerate() {
+            let src = self.row_words(ri);
+            let base = i * out.stride;
+            let mut acc = 0u64;
+            for (j, &cj) in cols.iter().enumerate() {
+                assert!(cj < self.ncols, "column index {cj} out of range");
+                acc |= ((src[cj / WORD_BITS] >> (cj % WORD_BITS)) & 1) << (j % WORD_BITS);
+                if j % WORD_BITS == WORD_BITS - 1 {
+                    out.words[base + j / WORD_BITS] = acc;
+                    acc = 0;
+                }
+            }
+            if !cols.len().is_multiple_of(WORD_BITS) {
+                out.words[base + (cols.len() - 1) / WORD_BITS] = acc;
+            }
+        }
+        out
     }
 
     /// Returns a copy with rows permuted: row `i` of the result is row
@@ -319,8 +451,11 @@ impl BitMatrix {
             assert!(p < self.nrows && !seen[p], "not a permutation");
             seen[p] = true;
         }
-        let rows = perm.iter().map(|&p| self.rows[p].clone()).collect();
-        BitMatrix::from_rows(rows, self.ncols)
+        let mut out = BitMatrix::zeros(self.nrows, self.ncols);
+        for (i, &p) in perm.iter().enumerate() {
+            out.words[i * out.stride..(i + 1) * out.stride].copy_from_slice(self.row_words(p));
+        }
+        out
     }
 
     /// Removes empty rows and duplicate rows, returning the reduced matrix
@@ -331,20 +466,25 @@ impl BitMatrix {
     /// (Section III-B): duplicated rows can share rectangles, and empty rows
     /// need none.
     pub fn dedup_rows(&self) -> (BitMatrix, Vec<Vec<usize>>) {
-        let mut kept: Vec<BitVec> = Vec::new();
+        let mut kept: Vec<usize> = Vec::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        for (i, r) in self.rows.iter().enumerate() {
-            if r.is_zero() {
+        for i in 0..self.nrows {
+            let r = self.row_words(i);
+            if kernel::is_zero(r) {
                 continue;
             }
-            if let Some(k) = kept.iter().position(|v| v == r) {
+            if let Some(k) = kept.iter().position(|&p| self.row_words(p) == r) {
                 groups[k].push(i);
             } else {
-                kept.push(r.clone());
+                kept.push(i);
                 groups.push(vec![i]);
             }
         }
-        (BitMatrix::from_rows(kept, self.ncols), groups)
+        let mut out = BitMatrix::zeros(kept.len(), self.ncols);
+        for (k, &i) in kept.iter().enumerate() {
+            out.words[k * out.stride..(k + 1) * out.stride].copy_from_slice(self.row_words(i));
+        }
+        (out, groups)
     }
 
     /// Convenience: matrix with both rows and columns deduplicated and empty
@@ -365,9 +505,20 @@ impl BitMatrix {
     pub fn outer(col: &BitVec, row: &BitVec) -> BitMatrix {
         let mut m = BitMatrix::zeros(col.len(), row.len());
         for i in col.ones() {
-            *m.row_mut(i) = row.clone();
+            m.words[i * m.stride..(i + 1) * m.stride].copy_from_slice(row.words());
         }
         m
+    }
+
+    /// Zeroes padding bits past `ncols` in every row's last word.
+    fn clear_tails(&mut self) {
+        let tail = self.ncols % WORD_BITS;
+        if tail != 0 && self.stride > 0 {
+            let mask = (1u64 << tail) - 1;
+            for i in 0..self.nrows {
+                self.words[i * self.stride + self.stride - 1] &= mask;
+            }
+        }
     }
 
     fn assert_same_shape(&self, other: &BitMatrix) {
@@ -381,10 +532,36 @@ impl BitMatrix {
     }
 }
 
+/// Iterator over the rows of a [`BitMatrix`] as [`RowRef`] views.
+pub struct Rows<'a> {
+    m: &'a BitMatrix,
+    next: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = RowRef<'a>;
+
+    fn next(&mut self) -> Option<RowRef<'a>> {
+        if self.next >= self.m.nrows {
+            return None;
+        }
+        let r = self.m.row(self.next);
+        self.next += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.m.nrows - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
 impl fmt::Debug for BitMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "BitMatrix({}x{})", self.nrows, self.ncols)?;
-        for r in &self.rows {
+        for r in self.iter_rows() {
             writeln!(f, "{r}")?;
         }
         Ok(())
@@ -395,7 +572,7 @@ impl fmt::Display for BitMatrix {
     /// Renders rows as `0`/`1` strings separated by newlines (no trailing
     /// newline). `parse()` accepts this format back.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, r) in self.rows.iter().enumerate() {
+        for (i, r) in self.iter_rows().enumerate() {
             if i > 0 {
                 f.write_str("\n")?;
             }
@@ -524,6 +701,25 @@ mod tests {
     }
 
     #[test]
+    fn transposed_is_cached_and_invalidated() {
+        let mut m = fig1b();
+        assert_eq!(*m.transposed(), m.transpose());
+        // cached pointer is stable across calls
+        let p1 = m.transposed() as *const BitMatrix;
+        let p2 = m.transposed() as *const BitMatrix;
+        assert_eq!(p1, p2);
+        // mutation resets the cache
+        m.set(0, 0, false);
+        assert_eq!(*m.transposed(), m.transpose());
+        assert!(!m.transposed().get(0, 0));
+        let mut m2 = fig1b();
+        m2.transposed();
+        m2.row_mut(2).clear();
+        assert_eq!(*m2.transposed(), m2.transpose());
+        assert!(m2.transposed().col(2).is_zero());
+    }
+
+    #[test]
     fn count_and_occupancy() {
         let m = BitMatrix::ones(4, 5);
         assert_eq!(m.count_ones(), 20);
@@ -626,5 +822,56 @@ mod tests {
         let m = BitMatrix::from_dense(&[&[1, 0, 1], &[0, 1, 0]]);
         let p: BitMatrix = "101\n010".parse().unwrap();
         assert_eq!(m, p);
+    }
+
+    #[test]
+    fn wide_matrices_cross_word_boundaries() {
+        for ncols in [63, 64, 65, 127, 128, 129] {
+            let m = BitMatrix::from_fn(3, ncols, |i, j| (i + j) % 3 == 0);
+            assert_eq!(m.stride(), ncols.div_ceil(64));
+            let t = m.transpose();
+            for i in 0..3 {
+                for j in 0..ncols {
+                    assert_eq!(m.get(i, j), t.get(j, i), "({i},{j}) ncols={ncols}");
+                }
+            }
+            let rt: BitMatrix = m.to_string().parse().unwrap();
+            assert_eq!(rt, m);
+            assert_eq!(m.submatrix(&[0, 1, 2], &(0..ncols).collect::<Vec<_>>()), m);
+        }
+    }
+
+    #[test]
+    fn zero_dimension_matrices_are_well_behaved() {
+        let m = BitMatrix::zeros(0, 5);
+        assert_eq!(m.transpose().shape(), (5, 0));
+        assert_eq!(m.count_ones(), 0);
+        assert_eq!(m.iter_rows().count(), 0);
+        let n = BitMatrix::zeros(4, 0);
+        assert_eq!(n.stride(), 0);
+        assert_eq!(n.row(2).len(), 0);
+        assert!(n.row(2).is_zero());
+        assert_eq!(n.iter_rows().count(), 4);
+        assert_eq!(n.transpose().shape(), (0, 4));
+        let (d, groups) = n.dedup_rows();
+        assert_eq!(d.nrows(), 0);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_transpose_cache() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = fig1b();
+        let b = fig1b();
+        a.transposed();
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        let c = a.clone();
+        assert_eq!(c, a);
     }
 }

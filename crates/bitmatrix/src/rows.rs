@@ -1,0 +1,397 @@
+//! Borrowed row views into a flattened [`crate::BitMatrix`].
+//!
+//! [`RowRef`] is a `Copy` window over one row's words; it mirrors the read
+//! API of [`BitVec`] so call sites that previously borrowed `&BitVec` rows
+//! keep compiling against the contiguous storage. [`RowMut`] is the writable
+//! counterpart with the in-place set-algebra operations.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::bitvec::{Bits, Ones};
+use crate::{kernel, BitVec};
+
+/// An immutable view of one matrix row (or any borrowed bit string).
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// Wraps a word slice holding `len` bits with a zeroed tail.
+    pub(crate) fn new(words: &'a [u64], len: usize) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        RowRef { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the row has zero length (distinct from being all-zero).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Backing words (little-endian, tail bits zero).
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        kernel::count(self.words)
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        kernel::is_zero(self.words)
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        kernel::first_one(self.words)
+    }
+
+    /// Iterator over the indices of set bits, in increasing order.
+    pub fn ones(&self) -> Ones<'a> {
+        Ones::new(self.words)
+    }
+
+    /// Collects the indices of set bits into a `Vec`.
+    pub fn to_indices(&self) -> Vec<usize> {
+        self.ones().collect()
+    }
+
+    /// Copies the row into an owned [`BitVec`].
+    pub fn to_bitvec(&self) -> BitVec {
+        BitVec::from_bits(*self)
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_subset_of<B: Bits>(&self, other: B) -> bool {
+        self.assert_same_len(&other);
+        kernel::is_subset(self.words, other.word_slice())
+    }
+
+    /// Whether `self` and `other` share no set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_disjoint<B: Bits>(&self, other: B) -> bool {
+        self.assert_same_len(&other);
+        !kernel::intersects(self.words, other.word_slice())
+    }
+
+    /// Bitwise AND, producing an owned vector.
+    pub fn and<B: Bits>(&self, other: B) -> BitVec {
+        let mut out = self.to_bitvec();
+        out.and_assign(other);
+        out
+    }
+
+    /// Bitwise OR, producing an owned vector.
+    pub fn or<B: Bits>(&self, other: B) -> BitVec {
+        let mut out = self.to_bitvec();
+        out.or_assign(other);
+        out
+    }
+
+    /// Bitwise XOR, producing an owned vector.
+    pub fn xor<B: Bits>(&self, other: B) -> BitVec {
+        let mut out = self.to_bitvec();
+        out.xor_assign(other);
+        out
+    }
+
+    /// Set difference `self \ other`, producing an owned vector.
+    pub fn difference<B: Bits>(&self, other: B) -> BitVec {
+        let mut out = self.to_bitvec();
+        out.difference_assign(other);
+        out
+    }
+
+    fn assert_same_len<B: Bits>(&self, other: &B) {
+        assert_eq!(
+            self.len,
+            other.bit_len(),
+            "bit vector length mismatch: {} vs {}",
+            self.len,
+            other.bit_len()
+        );
+    }
+}
+
+impl Bits for RowRef<'_> {
+    fn bit_len(&self) -> usize {
+        self.len
+    }
+    fn word_slice(&self) -> &[u64] {
+        self.words
+    }
+}
+
+impl PartialEq for RowRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words == other.words
+    }
+}
+
+impl Eq for RowRef<'_> {}
+
+impl PartialEq<BitVec> for RowRef<'_> {
+    fn eq(&self, other: &BitVec) -> bool {
+        self.len == other.len() && self.words == other.words()
+    }
+}
+
+impl PartialEq<RowRef<'_>> for BitVec {
+    fn eq(&self, other: &RowRef<'_>) -> bool {
+        other == self
+    }
+}
+
+impl Hash for RowRef<'_> {
+    /// Hashes identically to the derived [`BitVec`] hash (length, then
+    /// words), so a row view and its owned copy collide as map keys.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.words.hash(state);
+    }
+}
+
+impl fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RowRef[{}]", self)
+    }
+}
+
+impl fmt::Display for RowRef<'_> {
+    /// Renders as a string of `0`/`1` characters, lowest index first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            f.write_str(if self.get(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+/// A mutable view of one matrix row.
+pub struct RowMut<'a> {
+    words: &'a mut [u64],
+    len: usize,
+}
+
+impl<'a> RowMut<'a> {
+    /// Wraps a mutable word slice holding `len` bits with a zeroed tail.
+    /// The view's operations preserve the tail invariant.
+    pub(crate) fn new(words: &'a mut [u64], len: usize) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        RowMut { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the row has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reborrows as an immutable view.
+    pub fn as_ref(&self) -> RowRef<'_> {
+        RowRef::new(self.words, self.len)
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.as_ref().get(i)
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        kernel::count(self.words)
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        kernel::is_zero(self.words)
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Overwrites the row with the bits of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from<B: Bits>(&mut self, src: B) {
+        self.assert_same_len(&src);
+        self.words.copy_from_slice(src.word_slice());
+    }
+
+    /// In-place bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_assign<B: Bits>(&mut self, other: B) {
+        self.assert_same_len(&other);
+        kernel::or_assign(self.words, other.word_slice());
+    }
+
+    /// In-place bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_assign<B: Bits>(&mut self, other: B) {
+        self.assert_same_len(&other);
+        kernel::and_assign(self.words, other.word_slice());
+    }
+
+    /// In-place bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign<B: Bits>(&mut self, other: B) {
+        self.assert_same_len(&other);
+        kernel::xor_assign(self.words, other.word_slice());
+    }
+
+    /// In-place set difference: clears every bit set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn difference_assign<B: Bits>(&mut self, other: B) {
+        self.assert_same_len(&other);
+        kernel::andnot_assign(self.words, other.word_slice());
+    }
+
+    fn assert_same_len<B: Bits>(&self, other: &B) {
+        assert_eq!(
+            self.len,
+            other.bit_len(),
+            "bit vector length mismatch: {} vs {}",
+            self.len,
+            other.bit_len()
+        );
+    }
+}
+
+impl Bits for RowMut<'_> {
+    fn bit_len(&self) -> usize {
+        self.len
+    }
+    fn word_slice(&self) -> &[u64] {
+        self.words
+    }
+}
+
+impl fmt::Debug for RowMut<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RowMut[{}]", self.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<H: Hash>(h: &H) -> u64 {
+        let mut s = DefaultHasher::new();
+        h.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn rowref_matches_bitvec_semantics() {
+        let v = BitVec::from_indices(70, [0, 33, 64, 69]);
+        let r = RowRef::new(v.words(), v.len());
+        assert_eq!(r.count_ones(), 4);
+        assert_eq!(r.to_indices(), vec![0, 33, 64, 69]);
+        assert_eq!(r.first_one(), Some(0));
+        assert!(r.get(33) && !r.get(34));
+        assert_eq!(r.to_bitvec(), v);
+        assert_eq!(r, v);
+        assert_eq!(v, r);
+        assert_eq!(r.to_string(), v.to_string());
+        assert_eq!(hash_of(&r), hash_of(&v));
+    }
+
+    #[test]
+    fn rowmut_edits_preserve_tail() {
+        let mut v = BitVec::zeros(70);
+        let len = v.len();
+        {
+            let mut m = RowMut::new(v.words_mut(), len);
+            m.set(69, true);
+            m.or_assign(BitVec::from_indices(70, [1, 2]));
+            m.difference_assign(BitVec::from_indices(70, [2]));
+        }
+        assert_eq!(v.to_indices(), vec![1, 69]);
+        // XOR with an all-ones vector then AND back stays within the tail
+        let ones = BitVec::ones_vec(70);
+        {
+            let mut m = RowMut::new(v.words_mut(), len);
+            m.xor_assign(&ones);
+        }
+        assert_eq!(v.count_ones(), 68);
+        assert!(v.is_subset_of(&ones));
+    }
+}

@@ -116,7 +116,7 @@ fn pack_once_dc(m: &BitMatrix, dont_care: &BitMatrix, order: &[usize]) -> Partit
     let ncols = m.ncols();
     let mut rects: Vec<Rectangle> = Vec::new(); // rows in original indices
     for &i in order {
-        let ones = m.row(i).clone();
+        let ones = m.row(i).to_bitvec();
         if ones.is_zero() {
             continue;
         }

@@ -54,7 +54,7 @@ pub fn greedy_cover(m: &BitMatrix) -> Cover {
     let mut out = Partition::empty(nrows, ncols);
     while let Some((i, j)) = first_one(&uncovered) {
         // Start from the full row support of row i.
-        let mut cols = m.row(i).clone();
+        let mut cols = m.row(i).to_bitvec();
         let mut rows = BitVec::zeros(nrows);
         rows.set(i, true);
         // Shrink columns to those of the seed cell's "best" rectangle:

@@ -25,7 +25,9 @@
 //! (Algorithm 1 line 8): banning the top label by unit clauses and
 //! re-solving incrementally.
 
-use bitmatrix::BitMatrix;
+use std::time::Instant;
+
+use bitmatrix::{kernel, BitMatrix};
 use sat::{SolveResult, Solver, SolverStats, Var};
 
 use crate::{Partition, Rectangle};
@@ -265,37 +267,101 @@ impl EbmfEncoder {
             }
         }
 
-        // Pair constraints (Eq. 4 both orderings, deduplicated).
-        for e1 in 0..t {
-            let (i1, j1) = cells[e1];
-            for e2 in (e1 + 1)..t {
-                let (i2, j2) = cells[e2];
-                if i1 == i2 || j1 == j2 {
-                    continue; // same row/col: no corner constraint needed
-                }
-                let corner_a = status[i1][j2];
-                let corner_b = status[i2][j1];
-                if corner_a == CellStatus::Zero || corner_b == CellStatus::Zero {
-                    // The cells can never share a rectangle.
-                    for k in 0..bound {
-                        solver.add_clause([var(e1, k).negative(), var(e2, k).negative()]);
+        // Pair constraints (Eq. 4 both orderings, deduplicated). The pairs
+        // run over 1-cells in row-major order, so corners are classified a
+        // row pair at a time with word masks: for cells (i1,j1), (i2,j2)
+        // with i1 < i2, corner (i1,j2) is a hard 0 iff j2 falls in
+        // `J_{i2} & ~care_{i1}` (precomputed once per row pair), and corner
+        // (i2,j1) classifies with two bit tests that are constant across
+        // row i2's inner loop. Cell indices come from popcount ranks, so no
+        // per-pair status-table lookups remain. Clause emission order is
+        // identical to the naive double loop over cell pairs.
+        let pair_start = Instant::now();
+        let stride = m.stride();
+        // care[i] = columns whose (i, ·) cell is a 1 or a don't-care; a
+        // corner outside the set is a hard 0.
+        let mut care: Vec<u64> = vec![0; nrows * stride];
+        for i in 0..nrows {
+            let dst = &mut care[i * stride..(i + 1) * stride];
+            dst.copy_from_slice(m.row_words(i));
+            if let Some(dc) = dont_care {
+                kernel::or_assign(dst, dc.row_words(i));
+            }
+        }
+        // row_cell_start[i] = index of row i's first 1-cell in `cells`.
+        let mut row_cell_start = vec![0usize; nrows + 1];
+        for i in 0..nrows {
+            row_cell_start[i + 1] = row_cell_start[i] + kernel::count(m.row_words(i));
+        }
+        // a_zero[i2] = columns of J_{i2} whose (i1, ·) corner is a hard 0;
+        // rebuilt for each outer row i1.
+        let mut a_zero: Vec<u64> = vec![0; nrows * stride];
+        for i1 in 0..nrows {
+            let ones1 = m.row_words(i1);
+            if kernel::is_zero(ones1) {
+                continue;
+            }
+            let care1 = &care[i1 * stride..(i1 + 1) * stride];
+            for i2 in (i1 + 1)..nrows {
+                let dst = &mut a_zero[i2 * stride..(i2 + 1) * stride];
+                dst.copy_from_slice(m.row_words(i2));
+                kernel::andnot_assign(dst, care1);
+            }
+            for (r1, j1) in kernel::ones(ones1).enumerate() {
+                let e1 = row_cell_start[i1] + r1;
+                let (w1, b1) = (j1 / 64, 1u64 << (j1 % 64));
+                for i2 in (i1 + 1)..nrows {
+                    let ones2 = m.row_words(i2);
+                    if kernel::is_zero(ones2) {
+                        continue;
                     }
-                    continue;
-                }
-                // Closure towards each 1-corner; don't-care corners are free.
-                for corner in [corner_a, corner_b] {
-                    if let CellStatus::One(ec) = corner {
-                        for k in 0..bound {
-                            solver.add_clause([
-                                var(e1, k).negative(),
-                                var(e2, k).negative(),
-                                var(ec, k).positive(),
-                            ]);
+                    // Corner (i2, j1) is shared by every pair of this row.
+                    let b_zero = care[i2 * stride + w1] & b1 == 0;
+                    let eb =
+                        (ones2[w1] & b1 != 0).then(|| row_cell_start[i2] + kernel::rank(ones2, j1));
+                    let az = &a_zero[i2 * stride..(i2 + 1) * stride];
+                    for (r2, j2) in kernel::ones(ones2).enumerate() {
+                        if j1 == j2 {
+                            continue; // same column: no corner constraint
+                        }
+                        let e2 = row_cell_start[i2] + r2;
+                        let (w2, b2) = (j2 / 64, 1u64 << (j2 % 64));
+                        if b_zero || az[w2] & b2 != 0 {
+                            // A 0-corner: the cells can never share a
+                            // rectangle.
+                            for k in 0..bound {
+                                solver.add_clause([var(e1, k).negative(), var(e2, k).negative()]);
+                            }
+                            continue;
+                        }
+                        // Closure towards each 1-corner ((i1,j2) first, then
+                        // (i2,j1)); don't-care corners are free.
+                        if ones1[w2] & b2 != 0 {
+                            let ea = row_cell_start[i1] + kernel::rank(ones1, j2);
+                            for k in 0..bound {
+                                solver.add_clause([
+                                    var(e1, k).negative(),
+                                    var(e2, k).negative(),
+                                    var(ea, k).positive(),
+                                ]);
+                            }
+                        }
+                        if let Some(eb) = eb {
+                            for k in 0..bound {
+                                solver.add_clause([
+                                    var(e1, k).negative(),
+                                    var(e2, k).negative(),
+                                    var(eb, k).positive(),
+                                ]);
+                            }
                         }
                     }
                 }
             }
         }
+        obs::registry()
+            .histogram(obs::names::KERNEL_US_ENCODE_PAIRS)
+            .record(pair_start.elapsed().as_micros() as u64);
 
         // Value-precedence symmetry breaking: cell 0 uses label 0; cell t
         // may open label k only if some earlier cell opened label k−1.

@@ -160,11 +160,11 @@ pub fn gap_benchmark(nrows: usize, ncols: usize, k: usize, seed: u64) -> Benchma
                 break (a, b);
             }
         };
-        *matrix.row_mut(2 * pair) = a;
-        *matrix.row_mut(2 * pair + 1) = b;
+        matrix.set_row(2 * pair, &a);
+        matrix.set_row(2 * pair + 1, &b);
     }
     for i in 2 * k..nrows {
-        *matrix.row_mut(i) = random_vec(ncols, 0.5, &mut rng);
+        matrix.set_row(i, random_vec(ncols, 0.5, &mut rng));
     }
     Benchmark {
         matrix,

@@ -1,10 +1,21 @@
 //! Heuristic EBMF: the trivial bound and the paper's *row packing*
 //! (Algorithm 2), plus the §VI exact-cover upgrade.
+//!
+//! The packing inner loop runs entirely on packed `u64` words: the basis
+//! vectors and row memberships of every rectangle live in two flat scratch
+//! buffers ([`PackWorkspace`]) that are reused across trials, and a trial
+//! only materializes a [`Partition`] when it actually improves on the
+//! incumbent. [`row_packing_cancellable`] is the engine-facing multi-trial
+//! entry point with the per-call setup (trivial baseline, transpose)
+//! hoisted out of the trial loop.
 
-use bitmatrix::{random_permutation, BitMatrix, BitVec};
-use exactcover::DlxBuilder;
+use std::time::Instant;
+
+use bitmatrix::{kernel, random_permutation, BitMatrix, BitVec};
+use exactcover::{Dlx, DlxBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sat::CancelToken;
 
 use crate::{Partition, Rectangle};
 
@@ -73,7 +84,7 @@ impl PackingConfig {
 /// `r_B(M) ≤ min(#distinct nonzero rows, #distinct nonzero cols)`.
 pub fn trivial_partition(m: &BitMatrix) -> Partition {
     let by_rows = trivial_rows(m);
-    let by_cols = transpose_partition(&trivial_rows(&m.transpose()));
+    let by_cols = transpose_partition(&trivial_rows(m.transposed()));
     if by_rows.len() <= by_cols.len() {
         by_rows
     } else {
@@ -87,7 +98,7 @@ fn trivial_rows(m: &BitMatrix) -> Partition {
     let mut p = Partition::empty(m.nrows(), m.ncols());
     for (k, g) in groups.iter().enumerate() {
         let rows = BitVec::from_indices(m.nrows(), g.iter().copied());
-        p.push(Rectangle::new(rows, dedup.row(k).clone()));
+        p.push(Rectangle::new(rows, dedup.row(k).to_bitvec()));
     }
     p
 }
@@ -102,6 +113,153 @@ fn transpose_partition(p: &Partition) -> Partition {
     out
 }
 
+/// Reusable word-level state of one packing pass. Rectangle `k`'s basis
+/// vector occupies words `k*cstride..(k+1)*cstride` of `rect_cols` and its
+/// row membership words `k*rstride..(k+1)*rstride` of `rect_rows`; rows are
+/// tracked in *shuffled* coordinates until [`PackWorkspace::to_partition`]
+/// maps them back through the trial's order.
+#[derive(Default)]
+struct PackWorkspace {
+    cstride: usize,
+    rstride: usize,
+    rect_cols: Vec<u64>,
+    rect_rows: Vec<u64>,
+    nrect: usize,
+    residue: Vec<u64>,
+    cover_items: Vec<usize>,
+    candidates: Vec<usize>,
+    builder: DlxBuilder,
+    dlx: Dlx,
+}
+
+impl PackWorkspace {
+    fn new() -> Self {
+        PackWorkspace::default()
+    }
+
+    /// One pass of Algorithm 2 over `m`'s rows in `order`; leaves the
+    /// resulting rectangles in the workspace and returns their count.
+    fn run_trial(&mut self, m: &BitMatrix, order: &[usize], config: &PackingConfig) -> usize {
+        let start = Instant::now();
+        let nrows = m.nrows();
+        assert_eq!(order.len(), nrows, "order must be a permutation of rows");
+        let cs = m.stride();
+        let rs = nrows.div_ceil(64);
+        self.cstride = cs;
+        self.rstride = rs;
+        self.nrect = 0;
+        self.rect_cols.clear();
+        self.rect_rows.clear();
+        self.residue.clear();
+        self.residue.resize(cs, 0);
+
+        for (t, &orig) in order.iter().enumerate() {
+            self.residue.copy_from_slice(m.row_words(orig));
+            if kernel::is_zero(&self.residue) {
+                continue;
+            }
+            // Decompose the row over the current basis.
+            if config.exact_cover && self.nrect > 0 && self.exact_cover_step(t, config) {
+                continue; // fully decomposed, no residue
+            }
+            // Greedy first-fit (Algorithm 2 lines 4–7).
+            for k in 0..self.nrect {
+                let cols = &self.rect_cols[k * cs..(k + 1) * cs];
+                if !kernel::is_zero(cols) && kernel::is_subset(cols, &self.residue) {
+                    self.rect_rows[k * rs + t / 64] |= 1 << (t % 64); // vertical grow
+                    kernel::andnot_assign(&mut self.residue, cols);
+                }
+            }
+            if kernel::is_zero(&self.residue) {
+                continue;
+            }
+            // Residue: new basis vector (lines 8–16).
+            let row_base = self.nrect * rs;
+            self.rect_rows.resize(row_base + rs, 0);
+            self.rect_rows[row_base + t / 64] |= 1 << (t % 64);
+            if config.basis_update {
+                // Any existing basis vector containing the residue is split:
+                // its rectangle sheds the residue columns ("horizontal
+                // shrink"), and those rows are re-covered by the new
+                // rectangle. (The paper's pseudo-code tracks this with the
+                // column vector `c`.)
+                let (old_rows, new_rows) = self.rect_rows.split_at_mut(row_base);
+                for k in 0..self.nrect {
+                    let cols = &mut self.rect_cols[k * cs..(k + 1) * cs];
+                    if kernel::is_subset(&self.residue, cols) {
+                        kernel::or_assign(new_rows, &old_rows[k * rs..(k + 1) * rs]);
+                        kernel::andnot_assign(cols, &self.residue);
+                    }
+                }
+            }
+            self.rect_cols.extend_from_slice(&self.residue);
+            self.nrect += 1;
+        }
+        obs::registry()
+            .histogram(obs::names::KERNEL_US_PACK_TRIAL)
+            .record(start.elapsed().as_micros() as u64);
+        self.nrect
+    }
+
+    /// Tries to decompose the current residue (still the full row) as an
+    /// exact disjoint cover by basis vectors contained in it; on success
+    /// marks the covering rectangles' membership bit for shuffled row `t`
+    /// and returns `true`.
+    fn exact_cover_step(&mut self, t: usize, config: &PackingConfig) -> bool {
+        let cs = self.cstride;
+        let rs = self.rstride;
+        let setup = Instant::now();
+        self.candidates.clear();
+        self.builder.reset(kernel::count(&self.residue), 0);
+        for k in 0..self.nrect {
+            let cols = &self.rect_cols[k * cs..(k + 1) * cs];
+            if !kernel::is_zero(cols) && kernel::is_subset(cols, &self.residue) {
+                // Item index of column `c` = its rank among the row's 1s.
+                self.cover_items.clear();
+                self.cover_items
+                    .extend(kernel::ones(cols).map(|c| kernel::rank(&self.residue, c)));
+                self.builder.add_row(&self.cover_items);
+                self.candidates.push(k);
+            }
+        }
+        if self.candidates.is_empty() {
+            return false;
+        }
+        self.builder.build_into(&mut self.dlx);
+        obs::registry()
+            .histogram(obs::names::KERNEL_US_DLX_SETUP)
+            .record(setup.elapsed().as_micros() as u64);
+        let rect_rows = &mut self.rect_rows;
+        let candidates = &self.candidates;
+        let mut found = false;
+        self.dlx.run(config.exact_cover_budget, |sol| {
+            for &r in sol {
+                let k = candidates[r];
+                rect_rows[k * rs + t / 64] |= 1 << (t % 64);
+            }
+            found = true;
+            false
+        });
+        found
+    }
+
+    /// Materializes the workspace as a [`Partition`] in original row
+    /// coordinates, undoing the trial's shuffle (Algorithm 2 line 17).
+    fn to_partition(&self, m: &BitMatrix, order: &[usize]) -> Partition {
+        let mut out = Partition::empty(m.nrows(), m.ncols());
+        for k in 0..self.nrect {
+            let row_words = &self.rect_rows[k * self.rstride..(k + 1) * self.rstride];
+            let rows = BitVec::from_indices(m.nrows(), kernel::ones(row_words).map(|t| order[t]));
+            let col_words = self.rect_cols[k * self.cstride..(k + 1) * self.cstride].to_vec();
+            out.push(Rectangle::new(
+                rows,
+                BitVec::from_words(m.ncols(), col_words),
+            ));
+        }
+        out
+    }
+}
+
 /// One pass of row packing (Algorithm 2) with an explicit row order:
 /// `order[t]` is the original index of the row processed `t`-th. This is the
 /// entry point used to reproduce the two trials of paper Fig. 3.
@@ -110,101 +268,9 @@ fn transpose_partition(p: &Partition) -> Partition {
 ///
 /// Panics if `order` is not a permutation of `0..m.nrows()`.
 pub fn row_packing_once(m: &BitMatrix, order: &[usize], config: &PackingConfig) -> Partition {
-    let shuffled = m.permute_rows(order); // row t of shuffled = row order[t] of m
-    let nrows = m.nrows();
-    let ncols = m.ncols();
-
-    // Rectangles in shuffled row coordinates. Invariant: rect.cols() is the
-    // basis vector of that rectangle.
-    let mut rects: Vec<Rectangle> = Vec::new();
-
-    for t in 0..nrows {
-        let mut residue = shuffled.row(t).clone();
-        if residue.is_zero() {
-            continue;
-        }
-        // Decompose the row over the current basis.
-        if config.exact_cover && !rects.is_empty() {
-            if let Some(cover) = exact_cover_decomposition(&residue, &rects, config) {
-                for k in cover {
-                    rects[k].rows_mut().set(t, true);
-                }
-                continue; // fully decomposed, no residue
-            }
-        }
-        // Greedy first-fit (Algorithm 2 lines 4–7).
-        for rect in rects.iter_mut() {
-            let v = rect.cols().clone();
-            if !v.is_zero() && v.is_subset_of(&residue) {
-                rect.rows_mut().set(t, true); // vertical grow
-                residue.difference_assign(&v);
-            }
-        }
-        if residue.is_zero() {
-            continue;
-        }
-        // Residue: new basis vector (lines 8–16).
-        let mut new_rows = BitVec::zeros(nrows);
-        new_rows.set(t, true);
-        if config.basis_update {
-            // Any existing basis vector containing the residue is split:
-            // its rectangle sheds the residue columns ("horizontal shrink"),
-            // and those rows are re-covered by the new rectangle. (The
-            // paper's pseudo-code tracks this with the column vector `c`.)
-            for rect in rects.iter_mut() {
-                if residue.is_subset_of(rect.cols()) {
-                    new_rows.or_assign(rect.rows());
-                    rect.cols_mut().difference_assign(&residue);
-                }
-            }
-        }
-        rects.push(Rectangle::new(new_rows, residue));
-    }
-
-    // Undo the shuffle (line 17): row t of the shuffled matrix is row
-    // `order[t]` of the original.
-    let mut out = Partition::empty(nrows, ncols);
-    for rect in rects {
-        let orig_rows = BitVec::from_indices(nrows, rect.rows().ones().map(|t| order[t]));
-        out.push(Rectangle::new(orig_rows, rect.cols().clone()));
-    }
-    out
-}
-
-/// Tries to decompose `row` as an exact disjoint cover by basis vectors
-/// (each fully contained in `row`). Returns indices of the covering
-/// rectangles, or `None` when no exact cover exists or the budget ran out.
-fn exact_cover_decomposition(
-    row: &BitVec,
-    rects: &[Rectangle],
-    config: &PackingConfig,
-) -> Option<Vec<usize>> {
-    let items: Vec<usize> = row.to_indices();
-    let item_of_col: std::collections::HashMap<usize, usize> = items
-        .iter()
-        .enumerate()
-        .map(|(idx, &col)| (col, idx))
-        .collect();
-    let mut builder = DlxBuilder::new(items.len(), 0);
-    let mut candidates: Vec<usize> = Vec::new();
-    for (k, r) in rects.iter().enumerate() {
-        let v = r.cols();
-        if !v.is_zero() && v.is_subset_of(row) {
-            let cover_items: Vec<usize> = v.ones().map(|c| item_of_col[&c]).collect();
-            builder.add_row(&cover_items);
-            candidates.push(k);
-        }
-    }
-    if candidates.is_empty() {
-        return None;
-    }
-    let mut dlx = builder.build();
-    let mut found: Option<Vec<usize>> = None;
-    dlx.run(config.exact_cover_budget, |sol| {
-        found = Some(sol.iter().map(|&r| candidates[r]).collect());
-        false
-    });
-    found
+    let mut ws = PackWorkspace::new();
+    ws.run_trial(m, order, config);
+    ws.to_partition(m, order)
 }
 
 /// Full row-packing heuristic: `trials` passes over shuffled row orders (and
@@ -212,6 +278,58 @@ fn exact_cover_decomposition(
 /// never worse than [`trivial_partition`].
 pub fn row_packing(m: &BitMatrix, config: &PackingConfig) -> Partition {
     let mut best = trivial_partition(m);
+    if best.len() > 1 {
+        let mut ws = PackWorkspace::new();
+        run_orientations(m, config, &mut ws, &mut best);
+    }
+    best
+}
+
+/// Multi-trial row packing for a race driver: equivalent to running
+/// [`row_packing`] with single-trial configs seeded `seed`, `seed+1`, … and
+/// keeping the best result, but with the trivial baseline, the transpose and
+/// the trial workspace hoisted out of the loop. Polls `cancel` between
+/// trials, so a budget expiry overruns by at most one trial; at least one
+/// trial always completes, so the result is always a valid partition.
+pub fn row_packing_cancellable(
+    m: &BitMatrix,
+    config: &PackingConfig,
+    cancel: &CancelToken,
+) -> Partition {
+    let mut best = trivial_partition(m);
+    let mut ws = PackWorkspace::new();
+    let outer = match config.order {
+        RowOrder::Shuffle => config.trials.max(1),
+        // Deterministic orders: extra trials are identical.
+        RowOrder::SparsestFirst | RowOrder::Natural => 1,
+    };
+    for t in 0..outer as u64 {
+        if best.len() <= 1 {
+            break; // cannot improve further
+        }
+        if t > 0 && cancel.is_cancelled() {
+            break;
+        }
+        let per_trial = PackingConfig {
+            trials: 1,
+            seed: config.seed.wrapping_add(t),
+            ..*config
+        };
+        run_orientations(m, &per_trial, &mut ws, &mut best);
+    }
+    best
+}
+
+/// Runs `config.trials` packing passes on `m` (and its transpose, when
+/// configured), improving `best` in place. One `StdRng` seeded from
+/// `config.seed` drives every shuffle, both orientations included, matching
+/// the historical trial stream exactly.
+fn run_orientations(
+    m: &BitMatrix,
+    config: &PackingConfig,
+    ws: &mut PackWorkspace,
+    best: &mut Partition,
+) {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let orientations: &[bool] = if config.transpose {
         &[false, true]
@@ -219,7 +337,7 @@ pub fn row_packing(m: &BitMatrix, config: &PackingConfig) -> Partition {
         &[false]
     };
     for &transposed in orientations {
-        let target = if transposed { m.transpose() } else { m.clone() };
+        let target: &BitMatrix = if transposed { m.transposed() } else { m };
         let trials = match config.order {
             RowOrder::Shuffle => config.trials,
             // Deterministic orders: extra trials are identical.
@@ -235,18 +353,16 @@ pub fn row_packing(m: &BitMatrix, config: &PackingConfig) -> Partition {
                     idx
                 }
             };
-            let p = row_packing_once(&target, &order, config);
-            let p = if transposed {
-                transpose_partition(&p)
-            } else {
-                p
-            };
-            if p.len() < best.len() {
-                best = p;
+            if ws.run_trial(target, &order, config) < best.len() {
+                let p = ws.to_partition(target, &order);
+                *best = if transposed {
+                    transpose_partition(&p)
+                } else {
+                    p
+                };
             }
         }
     }
-    best
 }
 
 #[cfg(test)]
@@ -428,5 +544,51 @@ mod tests {
         let a = row_packing(&m, &cfg);
         let b = row_packing(&m, &cfg);
         assert_eq!(a, b);
+    }
+
+    /// The cancellable multi-trial driver must agree with the equivalent
+    /// sequence of single-trial `row_packing` calls (same seeds, same best).
+    #[test]
+    fn cancellable_matches_single_trial_sequence() {
+        let matrices = [fig1b(), fig3(), BitMatrix::identity(6)];
+        for m in &matrices {
+            for exact_cover in [false, true] {
+                let trials = 6;
+                let multi = row_packing_cancellable(
+                    m,
+                    &PackingConfig {
+                        trials,
+                        exact_cover,
+                        ..PackingConfig::default()
+                    },
+                    &CancelToken::new(),
+                );
+                let mut best = trivial_partition(m);
+                for t in 0..trials as u64 {
+                    let cfg = PackingConfig {
+                        trials: 1,
+                        seed: PackingConfig::default().seed.wrapping_add(t),
+                        exact_cover,
+                        ..PackingConfig::default()
+                    };
+                    let p = row_packing(m, &cfg);
+                    if p.len() < best.len() {
+                        best = p;
+                    }
+                }
+                assert!(multi.validate(m).is_ok());
+                assert_eq!(multi.len(), best.len(), "exact_cover={exact_cover}\n{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_token_still_yields_a_valid_partition() {
+        let m = fig1b();
+        let token = CancelToken::new();
+        token.cancel();
+        let p = row_packing_cancellable(&m, &PackingConfig::with_trials(64), &token);
+        assert!(p.validate(&m).is_ok());
+        assert!(p.len() <= trivial_partition(&m).len());
     }
 }

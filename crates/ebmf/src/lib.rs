@@ -60,7 +60,10 @@ pub use completion::{
 };
 pub use encode::{AmoEncoding, EbmfEncoder, EncoderOptions};
 pub use exact::{exact_search, ExactSearchOutcome};
-pub use heuristic::{row_packing, row_packing_once, trivial_partition, PackingConfig, RowOrder};
+pub use heuristic::{
+    row_packing, row_packing_cancellable, row_packing_once, trivial_partition, PackingConfig,
+    RowOrder,
+};
 pub use partition::{Partition, PartitionError};
 pub use rect::Rectangle;
 pub use sap::{

@@ -227,7 +227,7 @@ impl Partition {
             for i in rect.rows().ones() {
                 h.set(i, k, true);
             }
-            *w.row_mut(k) = rect.cols().clone();
+            w.set_row(k, rect.cols());
         }
         (h, w)
     }
@@ -247,7 +247,7 @@ impl Partition {
             w.nrows()
         );
         let rects = (0..h.ncols())
-            .map(|k| Rectangle::new(h.col(k), w.row(k).clone()))
+            .map(|k| Rectangle::new(h.col(k), w.row(k).to_bitvec()))
             .collect();
         Partition {
             nrows: h.nrows(),
@@ -342,7 +342,7 @@ mod tests {
         let mut p = Partition::empty(6, 6);
         for (k, g) in groups.iter().enumerate() {
             let rows = BitVec::from_indices(6, g.iter().copied());
-            p.push(Rectangle::new(rows, dedup.row(k).clone()));
+            p.push(Rectangle::new(rows, dedup.row(k).to_bitvec()));
         }
         p
     }

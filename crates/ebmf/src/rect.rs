@@ -74,14 +74,9 @@ impl Rectangle {
         &self.cols
     }
 
-    /// Mutable row indicator (used by the packing heuristic's vertical grow).
+    /// Mutable row indicator (used by the completion search's vertical grow).
     pub(crate) fn rows_mut(&mut self) -> &mut BitVec {
         &mut self.rows
-    }
-
-    /// Mutable column indicator (used by horizontal shrink).
-    pub(crate) fn cols_mut(&mut self) -> &mut BitVec {
-        &mut self.cols
     }
 
     /// Whether the rectangle contains cell `(i, j)`.

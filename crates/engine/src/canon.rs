@@ -46,8 +46,9 @@
 //! keys always mean genuinely permutation-equivalent matrices.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use bitmatrix::{BitMatrix, BitVec};
+use bitmatrix::{kernel, BitMatrix, BitVec};
 use ebmf::{Partition, Rectangle};
 
 /// Which path produced a [`CanonicalForm`].
@@ -188,49 +189,80 @@ struct Labels {
     cols: Vec<u64>,
 }
 
+/// Reusable scratch buffers for the refinement loop. One instance lives for
+/// a whole canonization, so the per-round and per-branch label vectors are
+/// allocated once instead of collected fresh every pass.
+#[derive(Default)]
+struct RefineCtx {
+    /// Neighbour-label multiset of the line being hashed.
+    scratch: Vec<u64>,
+    /// Next-round labels, swapped into `Labels` at the end of a pass.
+    next_rows: Vec<u64>,
+    next_cols: Vec<u64>,
+    /// Sort buffer for the class-count probe.
+    sort_buf: Vec<u64>,
+}
+
 /// One refinement round: every row hashes the sorted multiset of its
 /// neighbouring column labels (and vice versa, via the transpose `mt`), so
 /// the cost is proportional to the one-cells, not the full grid.
-fn refine_once(m: &BitMatrix, mt: &BitMatrix, lab: &mut Labels) {
-    let mut scratch: Vec<u64> = Vec::new();
-    let new_rows: Vec<u64> = (0..m.nrows())
-        .map(|i| {
-            scratch.clear();
-            scratch.extend(m.row(i).ones().map(|j| lab.cols[j]));
-            scratch.sort_unstable();
-            scratch.iter().fold(mix(lab.rows[i]), |h, &l| combine(h, l))
-        })
-        .collect();
-    let new_cols: Vec<u64> = (0..m.ncols())
-        .map(|j| {
-            scratch.clear();
-            scratch.extend(mt.row(j).ones().map(|i| lab.rows[i]));
-            scratch.sort_unstable();
-            scratch
-                .iter()
-                .fold(mix(!lab.cols[j]), |h, &l| combine(h, l))
-        })
-        .collect();
-    lab.rows = new_rows;
-    lab.cols = new_cols;
+fn refine_once(m: &BitMatrix, mt: &BitMatrix, lab: &mut Labels, ctx: &mut RefineCtx) {
+    ctx.next_rows.clear();
+    for i in 0..m.nrows() {
+        ctx.scratch.clear();
+        ctx.scratch.extend(m.row(i).ones().map(|j| lab.cols[j]));
+        ctx.scratch.sort_unstable();
+        let h = ctx
+            .scratch
+            .iter()
+            .fold(mix(lab.rows[i]), |h, &l| combine(h, l));
+        ctx.next_rows.push(h);
+    }
+    ctx.next_cols.clear();
+    for j in 0..m.ncols() {
+        ctx.scratch.clear();
+        ctx.scratch.extend(mt.row(j).ones().map(|i| lab.rows[i]));
+        ctx.scratch.sort_unstable();
+        let h = ctx
+            .scratch
+            .iter()
+            .fold(mix(!lab.cols[j]), |h, &l| combine(h, l));
+        ctx.next_cols.push(h);
+    }
+    std::mem::swap(&mut lab.rows, &mut ctx.next_rows);
+    std::mem::swap(&mut lab.cols, &mut ctx.next_cols);
 }
 
 /// Number of distinct values, as a cheap partition-stability probe.
-fn class_count(labels: &[u64]) -> usize {
-    let mut sorted: Vec<u64> = labels.to_vec();
-    sorted.sort_unstable();
-    sorted.dedup();
-    sorted.len()
+fn class_count(labels: &[u64], sort_buf: &mut Vec<u64>) -> usize {
+    sort_buf.clear();
+    sort_buf.extend_from_slice(labels);
+    sort_buf.sort_unstable();
+    let mut distinct = 0;
+    let mut prev = None;
+    for &l in sort_buf.iter() {
+        if prev != Some(l) {
+            distinct += 1;
+            prev = Some(l);
+        }
+    }
+    distinct
 }
 
 /// Refines until the induced class partition stops splitting. Classes only
 /// ever split (a new label is a function of the old label), so stable class
 /// counts mean a stable partition; at most `nrows + ncols` useful rounds.
-fn refine_to_stable(m: &BitMatrix, mt: &BitMatrix, lab: &mut Labels) {
-    let mut classes = (class_count(&lab.rows), class_count(&lab.cols));
+fn refine_to_stable(m: &BitMatrix, mt: &BitMatrix, lab: &mut Labels, ctx: &mut RefineCtx) {
+    let mut classes = (
+        class_count(&lab.rows, &mut ctx.sort_buf),
+        class_count(&lab.cols, &mut ctx.sort_buf),
+    );
     for _ in 0..=(m.nrows() + m.ncols()) {
-        refine_once(m, mt, lab);
-        let next = (class_count(&lab.rows), class_count(&lab.cols));
+        refine_once(m, mt, lab, ctx);
+        let next = (
+            class_count(&lab.rows, &mut ctx.sort_buf),
+            class_count(&lab.cols, &mut ctx.sort_buf),
+        );
         if next == classes {
             break;
         }
@@ -250,15 +282,41 @@ fn initial_labels(m: &BitMatrix, mt: &BitMatrix) -> Labels {
     }
 }
 
-/// Compares two rows of `m` by bit content under the column order `cols`.
-fn cmp_rows(m: &BitMatrix, a: usize, b: usize, cols: &[usize]) -> std::cmp::Ordering {
-    for &j in cols {
-        match m.get(a, j).cmp(&m.get(b, j)) {
-            std::cmp::Ordering::Equal => {}
-            other => return other.reverse(), // 1s first: denser rows sort earlier
+/// Gathers every row of `m` bit-packed under the column order `cols`:
+/// bit `j` of packed row `i` is `m[i][cols[j]]`. Returns the flat buffer
+/// (indexed by *original* row) and its per-row word stride, so two rows
+/// compare with one word-level pass instead of per-bit `get()` calls.
+fn pack_rows_under(m: &BitMatrix, cols: &[usize], out: &mut Vec<u64>) -> usize {
+    let stride = cols.len().div_ceil(64);
+    out.clear();
+    out.resize(m.nrows() * stride, 0);
+    for i in 0..m.nrows() {
+        let src = m.row_words(i);
+        let base = i * stride;
+        let mut acc = 0u64;
+        for (j, &cj) in cols.iter().enumerate() {
+            acc |= ((src[cj / 64] >> (cj % 64)) & 1) << (j % 64);
+            if j % 64 == 63 {
+                out[base + j / 64] = acc;
+                acc = 0;
+            }
+        }
+        if !cols.len().is_multiple_of(64) {
+            out[base + (cols.len() - 1) / 64] = acc;
         }
     }
-    std::cmp::Ordering::Equal
+    stride
+}
+
+/// Compares two packed rows of a [`pack_rows_under`] buffer, 1s first
+/// (denser rows sort earlier) — the same order the old per-bit `cmp_rows`
+/// produced.
+#[inline]
+fn cmp_packed_rows(packed: &[u64], stride: usize, a: usize, b: usize) -> std::cmp::Ordering {
+    kernel::cmp_lex_ones_first(
+        &packed[a * stride..(a + 1) * stride],
+        &packed[b * stride..(b + 1) * stride],
+    )
 }
 
 /// Which side of the bipartite row/column graph a vertex lives on.
@@ -332,12 +390,16 @@ struct Search<'a> {
     /// a repeat yields an automorphism (new perm composed with the stored
     /// inverse). Stores the most recent occurrence: temporally adjacent
     /// equal leaves share long prefixes, so the derived generators fix deep
-    /// prefixes and prune nearby siblings.
-    seen: HashMap<String, (Vec<usize>, Vec<usize>)>,
+    /// prefixes and prune nearby siblings. Leaves are keyed by their packed
+    /// word rendering (row-major, word-padded rows), whose lexicographic
+    /// word order equals the old rendered-string order.
+    seen: HashMap<Vec<u64>, (Vec<usize>, Vec<usize>)>,
     /// Automorphism generators discovered from leaf repeats.
     generators: Vec<Automorphism>,
-    /// Lexicographically minimal leaf so far: (rendered matrix, perms).
-    best: Option<(String, Vec<usize>, Vec<usize>)>,
+    /// Lexicographically minimal leaf so far: (packed rendering, perms).
+    best: Option<(Vec<u64>, Vec<usize>, Vec<usize>)>,
+    /// Refinement scratch shared across the whole search.
+    ctx: RefineCtx,
 }
 
 impl Search<'_> {
@@ -346,20 +408,30 @@ impl Search<'_> {
     /// values are isomorphism invariants, so permuted copies pick
     /// corresponding cells). Returns its members in index order, or `None`
     /// when the partition is discrete.
-    fn target_cell(&self, lab: &Labels) -> Option<(Side, Vec<usize>)> {
+    fn target_cell(&mut self, lab: &Labels) -> Option<(Side, Vec<usize>)> {
         let mut pick: Option<(usize, u8, u64)> = None;
         for (side_ord, labels) in [&lab.rows, &lab.cols].into_iter().enumerate() {
-            let mut counts: HashMap<u64, usize> = HashMap::new();
-            for &l in labels.iter() {
-                *counts.entry(l).or_insert(0) += 1;
-            }
-            for (&l, &n) in &counts {
+            // Cell sizes via a sorted run scan on the shared sort buffer —
+            // no per-node hash map.
+            let sorted = &mut self.ctx.sort_buf;
+            sorted.clear();
+            sorted.extend_from_slice(labels);
+            sorted.sort_unstable();
+            let mut run_start = 0;
+            while run_start < sorted.len() {
+                let l = sorted[run_start];
+                let mut run_end = run_start + 1;
+                while run_end < sorted.len() && sorted[run_end] == l {
+                    run_end += 1;
+                }
+                let n = run_end - run_start;
                 if n >= 2 {
                     let cand = (n, side_ord as u8, l);
                     if pick.is_none_or(|p| cand < p) {
                         pick = Some(cand);
                     }
                 }
+                run_start = run_end;
             }
         }
         let (_, side_ord, label) = pick?;
@@ -403,6 +475,32 @@ impl Search<'_> {
         joined && explored.iter().any(|&u| orbits.find(u) == orbits.find(v))
     }
 
+    /// Renders the candidate matrix under the leaf orderings as packed
+    /// words: row-major, each permuted row gathered into word-padded words.
+    /// Because rows start on word boundaries and compare most-significant
+    /// word first, lexicographic order on these buffers coincides with the
+    /// order of the old rendered `0`/`1` strings.
+    fn render_leaf(&self, rp: &[usize], cp: &[usize]) -> Vec<u64> {
+        let stride = cp.len().div_ceil(64);
+        let mut out = vec![0u64; rp.len() * stride];
+        for (i, &ri) in rp.iter().enumerate() {
+            let src = self.m.row_words(ri);
+            let base = i * stride;
+            let mut acc = 0u64;
+            for (j, &cj) in cp.iter().enumerate() {
+                acc |= ((src[cj / 64] >> (cj % 64)) & 1) << (j % 64);
+                if j % 64 == 63 {
+                    out[base + j / 64] = acc;
+                    acc = 0;
+                }
+            }
+            if !cp.len().is_multiple_of(64) {
+                out[base + (cp.len() - 1) / 64] = acc;
+            }
+        }
+        out
+    }
+
     /// Handles a discrete partition: orders both sides by label, renders the
     /// candidate matrix, and either records a new leaf (tracking the
     /// lexicographic minimum) or derives an automorphism from a repeat.
@@ -411,7 +509,7 @@ impl Search<'_> {
         rp.sort_by_key(|&i| lab.rows[i]);
         let mut cp: Vec<usize> = (0..self.m.ncols()).collect();
         cp.sort_by_key(|&j| lab.cols[j]);
-        let rendered = self.m.submatrix(&rp, &cp).to_string();
+        let rendered = self.render_leaf(&rp, &cp);
         if let Some((prev_rp, prev_cp)) = self.seen.get(&rendered) {
             // Both orderings map the original onto the same matrix, so
             // prev ∘ new⁻¹ maps the original onto itself.
@@ -430,7 +528,7 @@ impl Search<'_> {
         if self
             .best
             .as_ref()
-            .is_none_or(|(best, _, _)| rendered < *best)
+            .is_none_or(|(best, _, _)| kernel::cmp_lex(&rendered, best).is_lt())
         {
             self.best = Some((rendered.clone(), rp.clone(), cp.clone()));
         }
@@ -471,7 +569,7 @@ impl Search<'_> {
                 Side::Row => child.rows[v] = combine(child.rows[v], salt),
                 Side::Col => child.cols[v] = combine(child.cols[v], salt),
             }
-            refine_to_stable(self.m, self.mt, &mut child);
+            refine_to_stable(self.m, self.mt, &mut child, &mut self.ctx);
             self.prefix.push((side, v));
             self.explore(&child);
             self.prefix.pop();
@@ -489,18 +587,21 @@ fn heuristic_perms(m: &BitMatrix, mt: &BitMatrix, lab: &Labels) -> (Vec<usize>, 
     let mut col_perm: Vec<usize> = (0..m.ncols()).collect();
     row_perm.sort_by_key(|&i| lab.rows[i]);
     col_perm.sort_by_key(|&j| lab.cols[j]);
+    let mut packed: Vec<u64> = Vec::new();
     for _ in 0..32 {
         let mut next_rows = row_perm.clone();
+        let stride = pack_rows_under(m, &col_perm, &mut packed);
         next_rows.sort_by(|&a, &b| {
             lab.rows[a]
                 .cmp(&lab.rows[b])
-                .then_with(|| cmp_rows(m, a, b, &col_perm))
+                .then_with(|| cmp_packed_rows(&packed, stride, a, b))
         });
         let mut next_cols = col_perm.clone();
+        let stride = pack_rows_under(mt, &next_rows, &mut packed);
         next_cols.sort_by(|&a, &b| {
             lab.cols[a]
                 .cmp(&lab.cols[b])
-                .then_with(|| cmp_rows(mt, a, b, &next_rows))
+                .then_with(|| cmp_packed_rows(&packed, stride, a, b))
         });
         let stable = next_rows == row_perm && next_cols == col_perm;
         row_perm = next_rows;
@@ -548,29 +649,39 @@ pub fn canonical_form(m: &BitMatrix) -> CanonicalForm {
 /// `max_branches` individualization branches before falling back to the
 /// heuristic labeling (see the module docs and [`Completeness`]).
 pub fn canonical_form_with(m: &BitMatrix, opts: &CanonOptions) -> CanonicalForm {
-    let mt = m.transpose();
-    let mut lab = initial_labels(m, &mt);
-    refine_to_stable(m, &mt, &mut lab);
+    let mt = m.transposed();
+    let mut ctx = RefineCtx::default();
+    let refine_start = Instant::now();
+    let mut lab = initial_labels(m, mt);
+    refine_to_stable(m, mt, &mut lab, &mut ctx);
+    obs::registry()
+        .histogram(obs::names::KERNEL_US_CANON_REFINE)
+        .record(refine_start.elapsed().as_micros() as u64);
 
+    let search_start = Instant::now();
     let mut search = Search {
         m,
-        mt: &mt,
+        mt,
         budget: opts.max_branches,
         exhausted: false,
         prefix: Vec::new(),
         seen: HashMap::new(),
         generators: Vec::new(),
         best: None,
+        ctx,
     };
     search.explore(&lab);
 
     let (row_perm, col_perm, completeness) = if search.exhausted {
-        let (rp, cp) = heuristic_perms(m, &mt, &lab);
+        let (rp, cp) = heuristic_perms(m, mt, &lab);
         (rp, cp, Completeness::Heuristic)
     } else {
         let (_, rp, cp) = search.best.expect("finished search visits >= 1 leaf");
         (rp, cp, Completeness::Complete)
     };
+    obs::registry()
+        .histogram(obs::names::KERNEL_US_CANON_SEARCH)
+        .record(search_start.elapsed().as_micros() as u64);
 
     let matrix = m.submatrix(&row_perm, &col_perm);
     let key = matrix_key(&matrix);

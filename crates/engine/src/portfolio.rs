@@ -2,7 +2,6 @@
 //! keep the best anytime incumbent.
 
 use std::fmt;
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -172,13 +171,18 @@ struct StrategyResult {
 
 /// Races `strategies` on `job` and returns the best result.
 ///
-/// All strategies run concurrently on `std::thread`s scoped to this call.
-/// The trivial partition and greedy packing report within milliseconds, so a
-/// valid incumbent exists almost immediately; SAP keeps improving it and —
-/// given budget — proves optimality. When `budget.time` expires, the shared
-/// [`CancelToken`] stops the SAT search at its next conflict or decision and
-/// the race settles on the best anytime answer, mirroring the paper's
-/// Figure 4 anytime behaviour.
+/// Strategies run **inline, sequentially, in roster order** (the scheduler
+/// orders them cheapest estimate first): the trivial partition and greedy
+/// packing report within microseconds, so a valid incumbent exists almost
+/// immediately; SAP improves it and — given budget — proves optimality.
+/// The shared [`CancelToken`] carries the race deadline, so when
+/// `budget.time` expires *mid-strategy* the SAT search stops at its next
+/// conflict or decision and the packing strategies at their next trial
+/// boundary — the same cooperative check points the old thread-per-strategy
+/// race used, without paying a thread spawn per strategy per job. A
+/// proved-optimal answer ends the race early: nothing can produce a
+/// smaller depth than a proved optimum, so the remaining strategies are
+/// skipped outright, mirroring the paper's Figure 4 anytime behaviour.
 ///
 /// Winner selection: proved-optimal beats unproved, then smaller depth,
 /// then cheaper provenance.
@@ -193,79 +197,43 @@ pub fn race_strategies(
 ) -> PortfolioOutcome {
     assert!(!strategies.is_empty(), "cannot race zero strategies");
     let start = Instant::now();
-    let token = CancelToken::new();
-    let (tx, rx) = mpsc::channel::<StrategyResult>();
+    let deadline = budget.time.map(|b| start + b);
+    let token = match deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
 
     let launched = strategies.len();
-    let mut results: Vec<StrategyResult> = Vec::new();
-    let mut finished_before_cutoff = 0usize;
-    std::thread::scope(|scope| {
-        for strategy in strategies {
-            let tx = tx.clone();
-            let token = token.clone();
-            let strategy = strategy.clone();
-            scope.spawn(move || {
-                let run_start = Instant::now();
-                let out = strategy.run(job, budget, &token);
-                // Per-strategy race duration, e.g. `strategy_us_sap`.
-                obs::registry()
-                    .histogram(&format!(
-                        "{}{}",
-                        obs::names::STRATEGY_US_PREFIX,
-                        strategy.name()
-                    ))
-                    .record_duration(run_start.elapsed());
-                let _ = tx.send(StrategyResult {
-                    provenance: strategy.provenance(),
-                    partition: out.partition,
-                    proved_optimal: out.proved_optimal,
-                    conflicts: out.conflicts,
-                });
-            });
+    let mut results: Vec<StrategyResult> = Vec::with_capacity(launched);
+    let mut strategies_finished = 0usize;
+    for strategy in strategies {
+        let run_start = Instant::now();
+        let out = strategy.run(job, budget, &token);
+        // Per-strategy race duration, e.g. `strategy_us_sap`.
+        obs::registry()
+            .histogram(&format!(
+                "{}{}",
+                obs::names::STRATEGY_US_PREFIX,
+                strategy.name()
+            ))
+            .record_duration(run_start.elapsed());
+        let proved = out.proved_optimal;
+        results.push(StrategyResult {
+            provenance: strategy.provenance(),
+            partition: out.partition,
+            proved_optimal: out.proved_optimal,
+            conflicts: out.conflicts,
+        });
+        // Results landing after the deadline don't count as finished (they
+        // are the cancelled survivors' anytime incumbents).
+        if deadline.is_none_or(|d| Instant::now() < d) {
+            strategies_finished = results.len();
         }
-        drop(tx);
-
-        // Collect until every strategy reported or the budget expired; after
-        // expiry, trip the token and drain the survivors (they unwind fast).
-        // Without a budget, block until every strategy completes.
-        let deadline = budget.time.map(|b| start + b);
-        loop {
-            let received = match deadline {
-                None => rx.recv().ok(),
-                Some(d) => rx
-                    .recv_timeout(d.saturating_duration_since(Instant::now()))
-                    .ok(),
-            };
-            match received {
-                Some(res) => {
-                    // A proved-optimal answer ends the race early.
-                    let done = res.proved_optimal;
-                    results.push(res);
-                    if results.len() == launched || done {
-                        token.cancel();
-                        break;
-                    }
-                }
-                // Budget expired (or, without a budget, all senders are
-                // gone, which the drain below also observes).
-                None => {
-                    token.cancel();
-                    break;
-                }
-            }
+        if proved {
+            token.cancel();
+            break; // a proved optimum cannot be beaten
         }
-        finished_before_cutoff = results.len();
-        // Drain whatever still lands while scope joins the threads (these
-        // arrived after the cutoff and don't count as finished).
-        while results.len() < launched {
-            match rx.recv() {
-                Ok(res) => results.push(res),
-                Err(_) => break,
-            }
-        }
-    });
-
-    let strategies_finished = finished_before_cutoff;
+    }
     let sat_conflicts = results.iter().map(|r| r.conflicts).sum();
     let best = results
         .into_iter()

@@ -129,33 +129,22 @@ pub struct PackingStrategy {
 /// between passes so a budget expiry stops the heuristic at trial
 /// granularity (the residual overrun is one trial, not the whole batch).
 /// Always completes at least one trial so a valid partition exists.
+///
+/// Delegates to [`ebmf::row_packing_cancellable`], which hoists the trivial
+/// baseline, the transpose, and the packed trial workspace out of the trial
+/// loop instead of recomputing them per pass.
 pub(crate) fn cancellable_packing(
     m: &BitMatrix,
     trials: usize,
     exact_cover: bool,
     token: &CancelToken,
 ) -> Partition {
-    let mut best: Option<Partition> = None;
-    for t in 0..trials.max(1) as u64 {
-        if t > 0 && token.is_cancelled() {
-            break;
-        }
-        let cfg = PackingConfig {
-            trials: 1,
-            seed: PackingConfig::default().seed.wrapping_add(t),
-            exact_cover,
-            ..PackingConfig::default()
-        };
-        let p = ebmf::row_packing(m, &cfg);
-        let better = best.as_ref().is_none_or(|b| p.len() < b.len());
-        if better {
-            best = Some(p);
-        }
-        if best.as_ref().is_some_and(|b| b.len() <= 1) {
-            break; // cannot improve further
-        }
-    }
-    best.expect("at least one packing trial runs")
+    let cfg = PackingConfig {
+        trials,
+        exact_cover,
+        ..PackingConfig::default()
+    };
+    ebmf::row_packing_cancellable(m, &cfg, token)
 }
 
 impl Strategy for PackingStrategy {

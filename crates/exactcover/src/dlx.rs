@@ -29,11 +29,16 @@
 /// sol.sort();
 /// assert_eq!(sol, vec![0, 1]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DlxBuilder {
     num_primary: usize,
     num_secondary: usize,
-    rows: Vec<Vec<usize>>,
+    // Rows in CSR form: row `r` covers `items[row_end[r-1]..row_end[r]]`.
+    // One flat buffer instead of a Vec per row keeps add_row allocation-free
+    // once capacity exists, which matters on the packing hot path (thousands
+    // of tiny problems per solve).
+    items: Vec<usize>,
+    row_end: Vec<usize>,
 }
 
 impl DlxBuilder {
@@ -44,8 +49,17 @@ impl DlxBuilder {
         DlxBuilder {
             num_primary,
             num_secondary,
-            rows: Vec::new(),
+            items: Vec::new(),
+            row_end: Vec::new(),
         }
+    }
+
+    /// Clears the builder for a fresh problem, retaining its buffers.
+    pub fn reset(&mut self, num_primary: usize, num_secondary: usize) {
+        self.num_primary = num_primary;
+        self.num_secondary = num_secondary;
+        self.items.clear();
+        self.row_end.clear();
     }
 
     /// Adds an option covering the given items; returns its row index.
@@ -55,26 +69,44 @@ impl DlxBuilder {
     /// Panics if an item index is out of range or repeated within the row.
     pub fn add_row(&mut self, items: &[usize]) -> usize {
         let total = self.num_primary + self.num_secondary;
-        let mut sorted: Vec<usize> = items.to_vec();
-        sorted.sort_unstable();
-        for w in sorted.windows(2) {
-            assert_ne!(w[0], w[1], "repeated item {} in row", w[0]);
-        }
-        for &i in items {
+        // Pairwise duplicate check: quadratic, but rows are a handful of
+        // items and this avoids a sort scratch allocation per row.
+        for (a, &i) in items.iter().enumerate() {
             assert!(i < total, "item {i} out of range ({total} items)");
+            for &j in &items[a + 1..] {
+                assert_ne!(i, j, "repeated item {i} in row");
+            }
         }
-        self.rows.push(items.to_vec());
-        self.rows.len() - 1
+        self.items.extend_from_slice(items);
+        self.row_end.push(self.items.len());
+        self.row_end.len() - 1
     }
 
     /// Number of rows added so far.
     pub fn num_rows(&self) -> usize {
-        self.rows.len()
+        self.row_end.len()
+    }
+
+    /// The items of row `r`, in insertion order.
+    fn row(&self, r: usize) -> &[usize] {
+        let start = if r == 0 { 0 } else { self.row_end[r - 1] };
+        &self.items[start..self.row_end[r]]
     }
 
     /// Finalizes the dancing-links structure.
     pub fn build(&self) -> Dlx {
-        Dlx::from_builder(self)
+        let mut d = Dlx::default();
+        self.build_into(&mut d);
+        d
+    }
+
+    /// Rebuilds `dlx` in place from this problem, reusing its node arrays.
+    ///
+    /// Equivalent to `*dlx = self.build()` but without reallocating when the
+    /// solver's previous problem was at least as large. Resets the node
+    /// counter: [`Dlx::nodes_visited`] reports the new problem only.
+    pub fn build_into(&self, dlx: &mut Dlx) {
+        dlx.rebuild_from(self);
     }
 }
 
@@ -98,9 +130,10 @@ pub struct Dlx {
 
 const NO_ROW: usize = usize::MAX;
 
-impl Dlx {
-    fn from_builder(b: &DlxBuilder) -> Dlx {
-        let total_items = b.num_primary + b.num_secondary;
+/// The empty problem (no items, no rows), whose one solution is the empty
+/// cover. A useful starting point for [`DlxBuilder::build_into`] reuse.
+impl Default for Dlx {
+    fn default() -> Self {
         let mut d = Dlx {
             left: Vec::new(),
             right: Vec::new(),
@@ -108,9 +141,34 @@ impl Dlx {
             down: Vec::new(),
             col: Vec::new(),
             row_id: Vec::new(),
-            size: vec![0; total_items + 1],
+            size: Vec::new(),
             nodes_visited: 0,
         };
+        d.rebuild_from(&DlxBuilder::new(0, 0));
+        d
+    }
+}
+
+impl Dlx {
+    fn rebuild_from(&mut self, b: &DlxBuilder) {
+        let total_items = b.num_primary + b.num_secondary;
+        let total_nodes = total_items + 1 + b.items.len();
+        let d = self;
+        d.left.clear();
+        d.right.clear();
+        d.up.clear();
+        d.down.clear();
+        d.col.clear();
+        d.row_id.clear();
+        d.left.reserve(total_nodes);
+        d.right.reserve(total_nodes);
+        d.up.reserve(total_nodes);
+        d.down.reserve(total_nodes);
+        d.col.reserve(total_nodes);
+        d.row_id.reserve(total_nodes);
+        d.size.clear();
+        d.size.resize(total_items + 1, 0);
+        d.nodes_visited = 0;
         // Root + headers, initially self-linked vertically.
         for i in 0..=total_items {
             d.left.push(i);
@@ -132,9 +190,9 @@ impl Dlx {
         d.right[prev] = 0;
         d.left[0] = prev;
 
-        for (r, items) in b.rows.iter().enumerate() {
+        for r in 0..b.num_rows() {
             let mut first_in_row: Option<usize> = None;
-            for &item in items {
+            for &item in b.row(r) {
                 let h = item + 1;
                 let node = d.left.len();
                 // Vertical insertion above the header (i.e., at column end).
@@ -160,7 +218,6 @@ impl Dlx {
                 }
             }
         }
-        d
     }
 
     fn cover(&mut self, h: usize) {

@@ -9,7 +9,7 @@ use bitmatrix::{BitMatrix, BitVec};
 
 /// Computes the rank of `m` over GF(2).
 pub fn rank_gf2(m: &BitMatrix) -> usize {
-    let mut rows: Vec<BitVec> = m.iter_rows().cloned().collect();
+    let mut rows: Vec<BitVec> = m.iter_rows().map(|r| r.to_bitvec()).collect();
     let ncols = m.ncols();
     let mut rank = 0usize;
     let mut pivot_row = 0usize;

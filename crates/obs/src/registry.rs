@@ -38,6 +38,21 @@ pub mod names {
     /// prefix followed by the strategy name (for example
     /// `strategy_us_sap`).
     pub const STRATEGY_US_PREFIX: &str = "strategy_us_";
+    /// Data-plane kernel/hot-loop timing histograms share this prefix
+    /// (for example `kernel_us_canon_refine`); the profiling bench also
+    /// records per-kernel micro timings under it.
+    pub const KERNEL_US_PREFIX: &str = "kernel_us_";
+    /// Signature-refinement time per canonization (µs).
+    pub const KERNEL_US_CANON_REFINE: &str = "kernel_us_canon_refine";
+    /// Individualization-search time per canonization, including leaf
+    /// rendering and the heuristic fallback (µs).
+    pub const KERNEL_US_CANON_SEARCH: &str = "kernel_us_canon_search";
+    /// One row-packing trial: residue decomposition over all rows (µs).
+    pub const KERNEL_US_PACK_TRIAL: &str = "kernel_us_pack_trial";
+    /// Pair-constraint generation inside the SAT encoder (µs).
+    pub const KERNEL_US_ENCODE_PAIRS: &str = "kernel_us_encode_pairs";
+    /// DLX problem construction per exact-cover row decomposition (µs).
+    pub const KERNEL_US_DLX_SETUP: &str = "kernel_us_dlx_setup";
 
     /// Jobs fully completed by the service (counter).
     pub const JOBS_COMPLETED: &str = "jobs_completed";

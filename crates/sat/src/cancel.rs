@@ -3,15 +3,27 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Default)]
+struct Inner {
+    flag: AtomicBool,
+    /// Past this instant the token reads as cancelled without anyone
+    /// calling [`CancelToken::cancel`] — a deadline baked into the token,
+    /// so a budget can expire inside a solver with no watchdog thread.
+    deadline: Option<Instant>,
+}
 
 /// A shared flag that asks a running solver to stop at its next check point.
 ///
-/// Clones share the flag, so a controller thread can hand a token to a
-/// solver thread and trip it later; the solver answers
+/// Clones share the flag, so a controller can hand a token to a solver and
+/// trip it later; the solver answers
 /// [`SolveResult::Unknown`](crate::SolveResult::Unknown), preserving its
-/// anytime incumbent. Used by the `rect-addr-engine` portfolio runner to
-/// stop the SAT strategy once its time budget expires or a rival strategy
-/// has already proved optimality.
+/// anytime incumbent. A token may also carry a deadline
+/// ([`CancelToken::with_deadline`]): once the deadline passes, every check
+/// point observes the cancellation with no controller involved. Used by the
+/// `rect-addr-engine` portfolio runner to stop the SAT strategy once its
+/// time budget expires or a rival strategy has already proved optimality.
 ///
 /// # Examples
 ///
@@ -25,23 +37,31 @@ use std::sync::Arc;
 /// assert!(observer.is_cancelled());
 /// ```
 #[derive(Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<Inner>);
 
 impl CancelToken {
-    /// A fresh, untripped token.
+    /// A fresh, untripped token with no deadline.
     pub fn new() -> Self {
-        CancelToken(Arc::new(AtomicBool::new(false)))
+        CancelToken::default()
+    }
+
+    /// A fresh token that reads as cancelled from `deadline` onward.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline: Some(deadline),
+        }))
     }
 
     /// Trips the token: every holder observes the cancellation.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
+        self.0.flag.store(true, Ordering::Release);
     }
 
-    /// Whether the token has been tripped.
+    /// Whether the token has been tripped or its deadline has passed.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.0.flag.load(Ordering::Acquire) || self.0.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -66,6 +86,7 @@ impl Eq for CancelToken {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn clones_share_state() {
@@ -91,5 +112,15 @@ mod tests {
         let remote = token.clone();
         std::thread::spawn(move || remote.cancel()).join().unwrap();
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_without_a_controller() {
+        let past = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(past.is_cancelled());
+        let future = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+        future.cancel();
+        assert!(future.is_cancelled(), "explicit cancel still works");
     }
 }
