@@ -377,6 +377,115 @@ fn persist_phase(rounds: usize, conflict_budget: u64) -> PersistMetrics {
     }
 }
 
+/// Results of the certification phase: every UNSAT-backed optimality
+/// answer in the workload — cold one-shot solves and budget-starved warm
+/// resumed descents alike — exports a certificate the embedded checker
+/// verifies; deterministic corruptions of each accepted proof must be
+/// rejected. Any violation panics, so the bench exits non-zero.
+struct CertifyMetrics {
+    cold_jobs: usize,
+    cold_certificates: usize,
+    warm_rounds: usize,
+    mutants_rejected: usize,
+    check_seconds: f64,
+}
+
+/// Phase 6: certification. Runs after (and separate from) the gated
+/// baseline phases, so certification cost never perturbs the throughput
+/// and conflict-ratio numbers the `--check-baseline` gate compares.
+fn certify_phase() -> CertifyMetrics {
+    let fig1b: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+        .parse()
+        .expect("fig1b parses");
+    let mut bases = vec![fig1b];
+    bases.extend((0..6).map(|i| gap_benchmark(8, 8, 3, i).matrix));
+    bases.extend((0..6).map(|i| random_benchmark(7, 7, 0.45, 77 + i as u64).matrix));
+
+    // Cold arm: one-shot certified solves.
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let mut certificates = Vec::new();
+    for (i, m) in bases.iter().enumerate() {
+        let req = JobRequest::new(format!("cert-cold-{i:02}"), m.clone())
+            .with_budget_ms(60_000)
+            .with_certify(true);
+        let resp = engine.solve_job(&req);
+        assert!(resp.ok && resp.proved_optimal, "certify job must prove");
+        if let Some(cert) = resp.certificate {
+            assert_eq!(cert.bound + 1, resp.depth, "refutes the bound below");
+            certificates.push(cert);
+        }
+    }
+    let cold_jobs = bases.len();
+    let cold_certificates = certificates.len();
+    assert!(
+        cold_certificates > 0,
+        "workload must exercise UNSAT-backed proofs"
+    );
+
+    // Warm arm: a budget-starved descent resumed across jobs until the
+    // proving round — its certificate must check exactly like a cold one.
+    let warm_engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    // The same SAT-hard rank-gap pattern the warm-start phase descends:
+    // its final UNSAT query far exceeds the per-job budget, so only a
+    // resumed descent proves — and must certify the resumed refutation.
+    let base = gap_benchmark(14, 14, 6, 0).matrix;
+    let mut warm_rounds = 0usize;
+    loop {
+        warm_rounds += 1;
+        assert!(warm_rounds < 10_000, "warm certify arm must converge");
+        let req = JobRequest::new(format!("cert-warm-{warm_rounds:03}"), base.clone())
+            .with_budget_ms(60_000)
+            .with_conflicts(2_500)
+            .with_certify(true);
+        let resp = warm_engine.solve_job(&req);
+        assert!(resp.ok, "warm certify job must solve");
+        if resp.proved_optimal {
+            let cert = resp
+                .certificate
+                .expect("the proving round of a certified warm descent exports the refutation");
+            certificates.push(cert);
+            break;
+        }
+    }
+
+    // Every accepted certificate verifies under the embedded checker, and
+    // deterministic corruptions of each are rejected (truncating the trace
+    // removes the refutation; injected garbage is a parse error).
+    let start = Instant::now();
+    let mut mutants_rejected = 0usize;
+    for cert in &certificates {
+        certcheck::check_certificate(&cert.cnf, &cert.drat)
+            .expect("bench-workload certificate must verify");
+        let truncated: String = {
+            let lines: Vec<&str> = cert.drat.lines().collect();
+            lines[..lines.len() - 1].join("\n")
+        };
+        assert!(
+            certcheck::check_certificate(&cert.cnf, &truncated).is_err(),
+            "truncated proof must be rejected"
+        );
+        let garbled = format!("not a drat line\n{}", cert.drat);
+        assert!(
+            certcheck::check_certificate(&cert.cnf, &garbled).is_err(),
+            "garbled proof must be rejected"
+        );
+        mutants_rejected += 2;
+    }
+    CertifyMetrics {
+        cold_jobs,
+        cold_certificates,
+        warm_rounds,
+        mutants_rejected,
+        check_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
 /// Results of the socket phase: the phase-1 stream over a real TCP
 /// connection (v2 handshake included).
 struct SocketMetrics {
@@ -576,6 +685,20 @@ fn main() {
         persist.snapshot_bytes,
     );
 
+    // Phase 6: certification. Runs last so proof logging never perturbs
+    // the gated throughput/conflict numbers above; any invalid or
+    // unrejected-mutant proof panics the bench (non-zero exit).
+    let certify = certify_phase();
+    eprintln!(
+        "certify: {} certificates verified ({} cold jobs, warm descent proved in {} rounds), \
+         {} corrupted mutants rejected in {:.3}s",
+        certify.cold_certificates + 1,
+        certify.cold_jobs,
+        certify.warm_rounds,
+        certify.mutants_rejected,
+        certify.check_seconds,
+    );
+
     let mut json = String::from("{\n");
     let _ = write!(
         json,
@@ -601,6 +724,18 @@ fn main() {
         persist.reload_ratio,
         persist.restored_sessions,
         persist.snapshot_bytes,
+    );
+    let _ = write!(
+        json,
+        "  \"certify\": {{\n    \"cold_jobs\": {},\n    \"cold_certificates\": {},\n    \
+         \"warm_rounds\": {},\n    \"certificates_verified\": {},\n    \
+         \"mutants_rejected\": {},\n    \"check_seconds\": {:.4}\n  }},\n",
+        certify.cold_jobs,
+        certify.cold_certificates,
+        certify.warm_rounds,
+        certify.cold_certificates + 1,
+        certify.mutants_rejected,
+        certify.check_seconds,
     );
     json.push_str("  \"latency\": {\n    \"unit\": \"us\",\n");
     emit_latency(&mut json, "cold", &cold_latency.summary(), false);

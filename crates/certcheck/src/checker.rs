@@ -1,0 +1,761 @@
+//! The validation engine: forward RUP/RAT checking over a watched-literal
+//! propagation core, followed by a backward core-marking pass that emits
+//! LRAT-style hints.
+//!
+//! Everything here is built from the certificate's own text — the clause
+//! database, the assignment trail, the watch lists. Nothing is imported
+//! from the solver crate, by design.
+
+use std::collections::HashMap;
+
+use crate::{Cnf, DratStep, ProofError};
+
+const TRUE: i8 = 1;
+const FALSE: i8 = -1;
+const UNSET: i8 = 0;
+
+/// Result of a successful [`check`]: what was verified, and the trimmed
+/// hinted proof the backward pass produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Outcome {
+    /// Addition steps verified by the forward pass (the trace may be
+    /// longer: steps after the first verified empty clause are not needed
+    /// and not checked).
+    pub steps_checked: usize,
+    /// How many of those needed the RAT fallback (zero for traces from the
+    /// in-repo solver, which emits RUP-only lemmas).
+    pub rat_steps: usize,
+    /// Axioms the refutation actually uses (backward-marked core).
+    pub core_axioms: usize,
+    /// Lemmas the refutation actually uses.
+    pub core_lemmas: usize,
+    /// LRAT-style hinted proof of the marked core: one `id lits 0 hints 0`
+    /// line per core lemma (negative hint ids prefix RAT resolution
+    /// partners), ending with the empty clause. A hint-consuming checker
+    /// can re-verify this without propagation search.
+    pub lrat: String,
+}
+
+/// How one addition step was justified by the forward pass.
+#[derive(Debug, Clone)]
+enum Justification {
+    /// Antecedents in propagation order; the final id is the clause that
+    /// became falsified. Empty when the lemma's negation is inconsistent
+    /// by itself (a tautology) — nothing to replay.
+    Rup(Vec<usize>),
+    /// RAT on the clause's first literal: for every active clause
+    /// containing the negated pivot, the antecedents refuting the
+    /// resolvent.
+    Rat(Vec<(usize, Vec<usize>)>),
+}
+
+impl Justification {
+    fn referenced(&self) -> Vec<usize> {
+        match self {
+            Justification::Rup(h) => h.clone(),
+            Justification::Rat(groups) => groups
+                .iter()
+                .flat_map(|(cid, h)| std::iter::once(*cid).chain(h.iter().copied()))
+                .collect(),
+        }
+    }
+}
+
+struct Clause {
+    lits: Vec<i64>,
+    active: bool,
+}
+
+/// The propagation engine: clause arena + two-watched-literal scheme with
+/// a persistent root trail (root assignments only ever grow — DRAT
+/// checking never backtracks below the root).
+struct Checker {
+    clauses: Vec<Clause>,
+    /// Literal code → ids of clauses watching that literal (stale ids are
+    /// dropped lazily).
+    watches: Vec<Vec<usize>>,
+    /// Variable index → assignment.
+    value: Vec<i8>,
+    /// Variable index → antecedent clause id (None for assumed literals).
+    reason: Vec<Option<usize>>,
+    trail: Vec<i64>,
+    qhead: usize,
+    /// Generation-stamped marks for conflict analysis (avoids reallocating
+    /// a visited set per query).
+    mark: Vec<u32>,
+    generation: u32,
+    /// Once the *root* formula is conflicting, this holds the antecedents
+    /// deriving that conflict; every later lemma is trivially justified.
+    root_conflict: Option<Vec<usize>>,
+}
+
+fn vidx(l: i64) -> usize {
+    l.unsigned_abs() as usize - 1
+}
+
+fn lcode(l: i64) -> usize {
+    vidx(l) * 2 + usize::from(l < 0)
+}
+
+impl Checker {
+    fn new(num_vars: usize) -> Checker {
+        Checker {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            value: vec![UNSET; num_vars],
+            reason: vec![None; num_vars],
+            trail: Vec::new(),
+            qhead: 0,
+            mark: vec![0; num_vars],
+            generation: 0,
+            root_conflict: None,
+        }
+    }
+
+    /// Grows the variable-indexed arrays to cover `l` (a DRAT lemma may
+    /// legally introduce variables the CNF header never declared).
+    fn ensure_var(&mut self, l: i64) {
+        let need = vidx(l) + 1;
+        if need > self.value.len() {
+            self.value.resize(need, UNSET);
+            self.reason.resize(need, None);
+            self.mark.resize(need, 0);
+            self.watches.resize(need * 2, Vec::new());
+        }
+    }
+
+    fn val(&self, l: i64) -> i8 {
+        let v = self.value[vidx(l)];
+        if l < 0 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn assign(&mut self, l: i64, reason: Option<usize>) {
+        debug_assert_eq!(self.val(l), UNSET);
+        self.value[vidx(l)] = if l < 0 { FALSE } else { TRUE };
+        self.reason[vidx(l)] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation to fixpoint; returns the id of a falsified clause
+    /// on conflict.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let fl = -p; // this literal just became false
+            let wl = lcode(fl);
+            let mut i = 0;
+            while i < self.watches[wl].len() {
+                let cid = self.watches[wl][i];
+                if !self.clauses[cid].active {
+                    self.watches[wl].swap_remove(i);
+                    continue;
+                }
+                if self.clauses[cid].lits[0] == fl {
+                    self.clauses[cid].lits.swap(0, 1);
+                }
+                let first = self.clauses[cid].lits[0];
+                if self.val(first) == TRUE {
+                    i += 1;
+                    continue;
+                }
+                let replacement = (2..self.clauses[cid].lits.len())
+                    .find(|&k| self.val(self.clauses[cid].lits[k]) != FALSE);
+                match replacement {
+                    Some(k) => {
+                        self.clauses[cid].lits.swap(1, k);
+                        let new_watch = self.clauses[cid].lits[1];
+                        self.watches[lcode(new_watch)].push(cid);
+                        self.watches[wl].swap_remove(i);
+                    }
+                    None if self.val(first) == FALSE => return Some(cid),
+                    None => {
+                        self.assign(first, Some(cid));
+                        i += 1;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Collects the antecedents of a conflict in propagation order: walk
+    /// the trail top-down, following reasons of marked variables, then
+    /// append the falsified clause itself. Replaying the result clause by
+    /// clause re-derives the conflict by unit steps alone — exactly the
+    /// hint contract of LRAT.
+    fn analyze(&mut self, conflict: usize) -> Vec<usize> {
+        self.generation += 1;
+        let generation = self.generation;
+        for &l in &self.clauses[conflict].lits {
+            self.mark[vidx(l)] = generation;
+        }
+        let mut rev = Vec::new();
+        for pos in (0..self.trail.len()).rev() {
+            let v = vidx(self.trail[pos]);
+            if self.mark[v] != generation {
+                continue;
+            }
+            if let Some(r) = self.reason[v] {
+                rev.push(r);
+                for &l in &self.clauses[r].lits {
+                    self.mark[vidx(l)] = generation;
+                }
+            }
+        }
+        rev.reverse();
+        rev.push(conflict);
+        rev
+    }
+
+    /// Antecedents proving the current root/queried assignment of `v` —
+    /// used when a lemma's negation contradicts an already-true literal,
+    /// so there is no falsified clause to start from. The returned chain
+    /// ends with the unit antecedent of `v`, which the hint consumer sees
+    /// falsified under the lemma's negated literals.
+    fn analyze_var(&mut self, v: usize) -> Vec<usize> {
+        self.generation += 1;
+        let generation = self.generation;
+        self.mark[v] = generation;
+        let mut rev = Vec::new();
+        for pos in (0..self.trail.len()).rev() {
+            let u = vidx(self.trail[pos]);
+            if self.mark[u] != generation {
+                continue;
+            }
+            if let Some(r) = self.reason[u] {
+                rev.push(r);
+                for &l in &self.clauses[r].lits {
+                    self.mark[vidx(l)] = generation;
+                }
+            }
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Pops the trail back to `len`, erasing assignments made above it.
+    fn unwind(&mut self, len: usize) {
+        while self.trail.len() > len {
+            let l = self.trail.pop().expect("trail longer than target");
+            self.value[vidx(l)] = UNSET;
+            self.reason[vidx(l)] = None;
+        }
+        self.qhead = len;
+    }
+
+    /// RUP test: assume every literal of `lits` false on top of the root
+    /// trail and propagate. `Ok(hints)` iff a conflict arises; the trail is
+    /// restored either way.
+    fn is_rup(&mut self, lits: &[i64]) -> Result<Vec<usize>, ()> {
+        let saved = self.trail.len();
+        let mut result = Err(());
+        'assume: {
+            for &l in lits {
+                self.ensure_var(l);
+                match self.val(l) {
+                    // Already true (a root unit, or the lemma is a
+                    // tautology and an earlier negation set it): the
+                    // negated lemma is inconsistent outright.
+                    TRUE => {
+                        result = Ok(self.analyze_var(vidx(l)));
+                        break 'assume;
+                    }
+                    FALSE => {} // duplicate literal; nothing to assume
+                    _ => self.assign(-l, None),
+                }
+            }
+            if let Some(conflict) = self.propagate() {
+                result = Ok(self.analyze(conflict));
+            }
+        }
+        self.unwind(saved);
+        result
+    }
+
+    /// RAT fallback on the first literal: every active clause containing
+    /// the negated pivot must yield a RUP (or tautological) resolvent.
+    fn check_rat(&mut self, lits: &[i64]) -> Result<Vec<(usize, Vec<usize>)>, ()> {
+        let Some(&pivot) = lits.first() else {
+            return Err(()); // the empty clause has no pivot; RUP only
+        };
+        let mut groups = Vec::new();
+        for cid in 0..self.clauses.len() {
+            if !self.clauses[cid].active || !self.clauses[cid].lits.contains(&-pivot) {
+                continue;
+            }
+            let mut resolvent = lits.to_vec();
+            resolvent.extend(
+                self.clauses[cid]
+                    .lits
+                    .iter()
+                    .copied()
+                    .filter(|&l| l != -pivot),
+            );
+            match self.is_rup(&resolvent) {
+                Ok(hints) => groups.push((cid, hints)),
+                Err(()) => return Err(()),
+            }
+        }
+        Ok(groups)
+    }
+
+    /// Installs a clause: picks watches, propagates root units, and records
+    /// a root conflict when the clause (or its propagation) closes the
+    /// formula. Returns the new clause id.
+    fn add_clause(&mut self, lits: Vec<i64>) -> usize {
+        // DIMACS and DRAT clauses may legally repeat a literal (`x ∨ x`);
+        // store each literal once so watch selection and unit detection
+        // treat the clause as the set it denotes.
+        let mut lits = dedup_lits(&lits);
+        for &l in &lits {
+            self.ensure_var(l);
+        }
+        let cid = self.clauses.len();
+        // Bring up to two non-false literals to the watch positions. (A
+        // clause satisfied at root may end up watching false literals —
+        // harmless: propagation visits re-select watches lazily.)
+        let mut front = 0;
+        for i in 0..lits.len() {
+            if front >= 2 {
+                break;
+            }
+            if self.val(lits[i]) != FALSE {
+                lits.swap(front, i);
+                front += 1;
+            }
+        }
+        let unit = (front == 1).then(|| lits[0]);
+        let falsified = front == 0;
+        if lits.len() >= 2 {
+            self.watches[lcode(lits[0])].push(cid);
+            self.watches[lcode(lits[1])].push(cid);
+        }
+        self.clauses.push(Clause { lits, active: true });
+        if self.root_conflict.is_some() {
+            return cid; // the formula is already closed; nothing to track
+        }
+        if falsified {
+            self.root_conflict = Some(self.analyze(cid));
+        } else if let Some(l) = unit {
+            if self.val(l) == UNSET {
+                self.assign(l, Some(cid));
+                if let Some(conflict) = self.propagate() {
+                    self.root_conflict = Some(self.analyze(conflict));
+                }
+            }
+        }
+        cid
+    }
+}
+
+/// Removes duplicate literals, preserving first-occurrence order (the
+/// first literal is the RAT pivot, so order is significant).
+fn dedup_lits(lits: &[i64]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(lits.len());
+    for &l in lits {
+        if !out.contains(&l) {
+            out.push(l);
+        }
+    }
+    out
+}
+
+/// Deletion-index key: the clause as a sorted literal *set* — matching is
+/// order-insensitive and, like storage, ignores repeated literals.
+fn sorted_key(lits: &[i64]) -> Vec<i64> {
+    let mut key = lits.to_vec();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+/// Runs the full forward + backward check of `steps` against `cnf`.
+///
+/// Forward: each deletion must match a present clause (literal multiset,
+/// order-insensitive); each addition must be RUP or RAT at its position.
+/// Checking stops at the first verified empty clause — the refutation is
+/// complete there, later steps are irrelevant. Backward: the antecedent
+/// graph is walked from that empty clause to produce the core counts and
+/// the trimmed LRAT output in [`Outcome`].
+///
+/// # Errors
+///
+/// The first [`ProofError`] in trace order; a trace with no empty-clause
+/// addition fails with [`ProofError::NoEmptyClause`] even when the formula
+/// it builds is conflicting (a certificate must *show* the refutation).
+pub fn check(cnf: &Cnf, steps: &[DratStep]) -> Result<Outcome, ProofError> {
+    let mut ck = Checker::new(cnf.num_vars);
+    // Literal-multiset index for strict deletion matching.
+    let mut index: HashMap<Vec<i64>, Vec<usize>> = HashMap::new();
+    for clause in &cnf.clauses {
+        let cid = ck.add_clause(clause.clone());
+        index.entry(sorted_key(clause)).or_default().push(cid);
+    }
+    let num_axioms = cnf.clauses.len();
+    let mut justifications: Vec<Option<Justification>> = vec![None; num_axioms];
+    let mut steps_checked = 0usize;
+    let mut rat_steps = 0usize;
+    let mut empty_id = None;
+    for (idx, step) in steps.iter().enumerate() {
+        if step.delete {
+            match index.get_mut(&sorted_key(&step.lits)).and_then(Vec::pop) {
+                // Deactivation only: a deleted *unit*'s root assignment is
+                // kept, as in drat-trim — refutation checking stays sound
+                // (stronger formula ⇒ conflicts remain conflicts) and the
+                // in-repo solver never deletes units anyway.
+                Some(cid) => ck.clauses[cid].active = false,
+                None => return Err(ProofError::DeleteMissing { step: idx }),
+            }
+            continue;
+        }
+        let justification = if let Some(hints) = ck.root_conflict.clone() {
+            // The root formula is already conflicting: anything follows,
+            // and the stored antecedents prove it.
+            Justification::Rup(hints)
+        } else if let Ok(hints) = ck.is_rup(&step.lits) {
+            Justification::Rup(hints)
+        } else if let Ok(groups) = ck.check_rat(&step.lits) {
+            rat_steps += 1;
+            Justification::Rat(groups)
+        } else {
+            return Err(ProofError::NotRedundant { step: idx });
+        };
+        steps_checked += 1;
+        let cid = ck.add_clause(step.lits.clone());
+        index.entry(sorted_key(&step.lits)).or_default().push(cid);
+        justifications.push(Some(justification));
+        debug_assert_eq!(justifications.len(), cid + 1);
+        if step.lits.is_empty() {
+            empty_id = Some(cid);
+            break; // refutation complete; later steps are unreachable
+        }
+    }
+    let Some(empty_id) = empty_id else {
+        return Err(ProofError::NoEmptyClause);
+    };
+
+    // Backward pass: transitive antecedent closure from the empty clause.
+    let mut marked = vec![false; ck.clauses.len()];
+    let mut stack = vec![empty_id];
+    marked[empty_id] = true;
+    while let Some(cid) = stack.pop() {
+        if let Some(j) = &justifications[cid] {
+            for r in j.referenced() {
+                if !marked[r] {
+                    marked[r] = true;
+                    stack.push(r);
+                }
+            }
+        }
+    }
+    let core_axioms = marked[..num_axioms].iter().filter(|&&m| m).count();
+    let core_lemmas = marked[num_axioms..].iter().filter(|&&m| m).count();
+
+    // Trimmed LRAT: core lemmas only, in derivation order. Note lemma
+    // literal order may have been permuted by watch selection; LRAT
+    // consumers treat clauses as literal sets, so that is immaterial.
+    use std::fmt::Write as _;
+    let mut lrat = String::new();
+    for (cid, j) in justifications.iter().enumerate().skip(num_axioms) {
+        if !marked[cid] {
+            continue;
+        }
+        let j = j.as_ref().expect("every lemma has a justification");
+        let _ = write!(lrat, "{}", cid + 1);
+        for &l in &ck.clauses[cid].lits {
+            let _ = write!(lrat, " {l}");
+        }
+        let _ = write!(lrat, " 0");
+        match j {
+            Justification::Rup(hints) => {
+                for &h in hints {
+                    let _ = write!(lrat, " {}", h + 1);
+                }
+            }
+            Justification::Rat(groups) => {
+                for (cid, hints) in groups {
+                    let _ = write!(lrat, " -{}", cid + 1);
+                    for &h in hints {
+                        let _ = write!(lrat, " {}", h + 1);
+                    }
+                }
+            }
+        }
+        let _ = writeln!(lrat, " 0");
+    }
+
+    Ok(Outcome {
+        steps_checked,
+        rat_steps,
+        core_axioms,
+        core_lemmas,
+        lrat,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_certificate, parse_dimacs, parse_drat};
+
+    fn cnf(clauses: &[&[i64]]) -> Cnf {
+        let num_vars = clauses
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|l| l.unsigned_abs() as usize)
+            .max()
+            .unwrap_or(0);
+        Cnf {
+            num_vars,
+            clauses: clauses.iter().map(|c| c.to_vec()).collect(),
+        }
+    }
+
+    fn adds(steps: &[&[i64]]) -> Vec<DratStep> {
+        steps
+            .iter()
+            .map(|c| DratStep {
+                delete: false,
+                lits: c.to_vec(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_contradiction() {
+        let out = check(&cnf(&[&[1], &[-1]]), &adds(&[&[]])).unwrap();
+        assert_eq!(out.steps_checked, 1);
+        assert_eq!(out.core_axioms, 2);
+        assert_eq!(out.core_lemmas, 1);
+    }
+
+    #[test]
+    fn chained_lemmas_and_lrat_hints() {
+        let f = cnf(&[&[1, 2], &[1, -2], &[-1, 2], &[-1, -2]]);
+        let out = check(&f, &adds(&[&[1], &[]])).unwrap();
+        assert_eq!(out.steps_checked, 2);
+        assert_eq!(out.rat_steps, 0);
+        assert_eq!(out.core_lemmas, 2);
+        // Hints use 1-based ids; lemma 5 is `1`, lemma 6 the empty clause.
+        for line in out.lrat.lines() {
+            let ids: Vec<i64> = line
+                .split_whitespace()
+                .map(|t| t.parse().unwrap())
+                .collect();
+            assert!(ids[0] >= 5, "only lemmas appear: {line}");
+            assert_eq!(ids.iter().filter(|&&x| x == 0).count(), 2);
+        }
+    }
+
+    #[test]
+    fn bogus_lemma_is_not_redundant() {
+        let f = cnf(&[&[1, 2]]);
+        assert_eq!(
+            check(&f, &adds(&[&[-1], &[]])),
+            Err(ProofError::NotRedundant { step: 0 })
+        );
+    }
+
+    #[test]
+    fn missing_empty_clause_rejected_even_when_formula_conflicts() {
+        // x and ¬x as *axioms*: the formula is closed, but a certificate
+        // that never exhibits the empty clause is still not a refutation.
+        let f = cnf(&[&[1], &[-1]]);
+        assert_eq!(check(&f, &[]), Err(ProofError::NoEmptyClause));
+        // With the step present it passes, and trivially so.
+        assert!(check(&f, &adds(&[&[]])).is_ok());
+    }
+
+    #[test]
+    fn deletion_is_strict_and_order_insensitive() {
+        let f = cnf(&[&[1], &[-1], &[1, 2]]);
+        let steps = vec![
+            DratStep {
+                delete: true,
+                lits: vec![2, 1], // permuted literal order still matches
+            },
+            DratStep {
+                delete: false,
+                lits: vec![],
+            },
+        ];
+        assert!(check(&f, &steps).is_ok());
+
+        let missing = vec![DratStep {
+            delete: true,
+            lits: vec![3],
+        }];
+        assert_eq!(
+            check(&f, &missing),
+            Err(ProofError::DeleteMissing { step: 0 })
+        );
+        // Deleting the same clause twice: second must fail.
+        let twice = vec![
+            DratStep {
+                delete: true,
+                lits: vec![1, 2],
+            },
+            DratStep {
+                delete: true,
+                lits: vec![1, 2],
+            },
+        ];
+        assert_eq!(
+            check(&f, &twice),
+            Err(ProofError::DeleteMissing { step: 1 })
+        );
+    }
+
+    #[test]
+    fn deleted_clause_no_longer_supports_lemmas() {
+        // Lemma (1,2) is RUP only through (1,-4): assuming ¬1,¬2 makes
+        // (1,4) propagate 4 and (1,-4) falsified. Once (1,-4) is deleted
+        // the propagation stalls, and the RAT fallback on pivot 1 fails
+        // too (resolvent (1,2,3) with (-1,3) is not RUP either).
+        let f = cnf(&[&[1, 4], &[-1, 3], &[1, -4]]);
+        let lemma = DratStep {
+            delete: false,
+            lits: vec![1, 2],
+        };
+        assert_eq!(
+            check(&f, std::slice::from_ref(&lemma)),
+            Err(ProofError::NoEmptyClause), // lemma accepted, trace incomplete
+        );
+        let broken = vec![
+            DratStep {
+                delete: true,
+                lits: vec![-4, 1], // permuted: still matches (1,-4)
+            },
+            lemma,
+        ];
+        assert_eq!(
+            check(&f, &broken),
+            Err(ProofError::NotRedundant { step: 1 })
+        );
+    }
+
+    #[test]
+    fn rat_only_lemma_accepted_and_counted() {
+        // F forces 2 (from (1,2),(-1,2)) and then contradicts on 3,4 —
+        // UNSAT, but UP-inert from ¬1: lemma (1) is *not* RUP (assuming ¬1
+        // only derives 2, then every (-2,±3,±4) clause still has two free
+        // literals), while RAT on pivot 1 holds: the only clause with -1
+        // is (-1,2), and the resolvent (1,2,2) is falsified outright under
+        // ¬1,¬2. A checker without the RAT fallback would reject this.
+        let f = cnf(&[
+            &[1, 2],
+            &[-1, 2],
+            &[-2, 3, 4],
+            &[-2, -3, 4],
+            &[-2, 3, -4],
+            &[-2, -3, -4],
+        ]);
+        let out = check(&f, &adds(&[&[1], &[3], &[]])).unwrap();
+        assert_eq!(out.rat_steps, 1, "lemma (1) needs the RAT fallback");
+        assert_eq!(out.steps_checked, 3);
+    }
+
+    #[test]
+    fn repeated_literals_count_as_one() {
+        // (x∨x) is the unit x; (¬x∨y∨y) then forces y; ¬y closes the
+        // formula. Per-occurrence counting would miss both propagations.
+        let f = cnf(&[&[1, 1], &[-1, 2, 2], &[-2]]);
+        let out = check(&f, &adds(&[&[]])).unwrap();
+        assert_eq!(out.steps_checked, 1);
+        // Deletion matching is also set-based: `d 1` matches (x∨x).
+        let f = cnf(&[&[1, 1], &[2]]);
+        let steps = vec![DratStep {
+            delete: true,
+            lits: vec![1],
+        }];
+        assert_eq!(check(&f, &steps), Err(ProofError::NoEmptyClause));
+    }
+
+    #[test]
+    fn tautology_lemma_is_harmless() {
+        let f = cnf(&[&[1], &[-1]]);
+        let steps = adds(&[&[2, -2], &[]]);
+        assert!(check(&f, &steps).is_ok());
+    }
+
+    #[test]
+    fn lemma_may_introduce_new_variables() {
+        // Variable 9 appears nowhere in the CNF; a RAT extension may
+        // introduce it (definition-style lemma), and arrays must grow.
+        let f = cnf(&[&[1], &[-1]]);
+        let steps = adds(&[&[9, 1], &[]]);
+        assert!(check(&f, &steps).is_ok());
+    }
+
+    #[test]
+    fn steps_after_empty_clause_are_ignored() {
+        let f = cnf(&[&[1], &[-1]]);
+        // Garbage after the empty clause must not matter.
+        let steps = adds(&[&[], &[-5]]);
+        let out = check(&f, &steps).unwrap();
+        assert_eq!(out.steps_checked, 1);
+    }
+
+    #[test]
+    fn php_3_2_hand_built_refutation_checks() {
+        // PHP(3,2), vars: pigeon p in hole h = 2p+h+1 (odd = hole 0).
+        // Pigeons: (1,2) (3,4) (5,6); hole exclusivity pairs below.
+        let cnf_text = "p cnf 6 9\n\
+            1 2 0\n3 4 0\n5 6 0\n\
+            -1 -3 0\n-1 -5 0\n-3 -5 0\n\
+            -2 -4 0\n-2 -6 0\n-4 -6 0\n";
+        // Hand-derived RUP chain: (-1,-4), (-1,-6), then (-1) — whose root
+        // propagation already closes the formula — then the empty clause.
+        let drat = "-1 -4 0\n-1 -6 0\n-1 0\n0\n";
+        let out = check_certificate(cnf_text, drat).unwrap();
+        assert_eq!(out.steps_checked, 4);
+        assert_eq!(out.rat_steps, 0);
+        assert!(out.core_axioms > 0);
+        assert!(!out.lrat.is_empty());
+    }
+
+    #[test]
+    fn text_entry_point_parses_and_checks() {
+        let cnf_text = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n";
+        let out = check_certificate(cnf_text, "1 0\n0\n").unwrap();
+        assert_eq!(out.core_lemmas, 2);
+        assert!(check_certificate(cnf_text, "0\n").is_err());
+        // LRAT output is parseable as whitespace-separated integers.
+        let parsed = parse_drat("1 0\n").unwrap();
+        assert_eq!(parsed.len(), 1);
+        let reparsed = parse_dimacs(cnf_text).unwrap();
+        assert_eq!(reparsed.clauses.len(), 4);
+    }
+
+    #[test]
+    fn watched_literal_stress_long_chains() {
+        // A long implication chain 1→2→…→n with ¬n: lemma ¬1 is RUP and
+        // exercises watch relocation across many clauses.
+        let n = 200i64;
+        let mut clauses: Vec<Vec<i64>> = (1..n).map(|i| vec![-i, i + 1]).collect();
+        clauses.push(vec![-n]);
+        let f = Cnf {
+            num_vars: n as usize,
+            clauses,
+        };
+        let steps = adds(&[&[-1]]);
+        let err = check(&f, &steps).unwrap_err();
+        // The lemma itself is accepted; only the missing empty clause fails.
+        assert_eq!(err, ProofError::NoEmptyClause);
+        // Now close it: with unit 1 as well, the chain refutes.
+        let mut clauses: Vec<Vec<i64>> = (1..n).map(|i| vec![-i, i + 1]).collect();
+        clauses.push(vec![-n]);
+        clauses.push(vec![1]);
+        let f = Cnf {
+            num_vars: n as usize,
+            clauses,
+        };
+        let out = check(&f, &adds(&[&[]])).unwrap();
+        assert_eq!(out.core_axioms, f.clauses.len());
+    }
+}

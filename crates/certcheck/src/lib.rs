@@ -1,0 +1,111 @@
+//! Standalone DRAT certificate validator.
+//!
+//! This crate answers one question: *does this refutation actually refute
+//! this formula?* It consumes the textual certificate pair emitted by the
+//! solver pipeline — a DIMACS CNF and a DRAT trace — and replays the trace
+//! with its own parser, its own clause database and its own watched-literal
+//! propagation engine. **No code or data structure is shared with
+//! `rect-addr-sat`**: a bug would have to appear independently in both the
+//! solver and this checker to let a bogus optimality claim through.
+//!
+//! The checker is a forward + backward design in the drat-trim lineage
+//! (Wetzler et al., *DRAT-trim: Efficient Checking and Trimming Using
+//! Expressive Clausal Proofs*):
+//!
+//! * the **forward pass** verifies every addition step — RUP first (assume
+//!   the negation, unit-propagate, demand a conflict), RAT on the first
+//!   literal as a fallback — recording the antecedent clauses of each
+//!   derivation, and applies deletions strictly (deleting a clause that is
+//!   not present is an error, not a no-op);
+//! * the **backward pass** walks the antecedent graph from the empty clause
+//!   to mark the *core* — the axioms and lemmas the refutation actually
+//!   needs — and emits LRAT-style hinted lines for exactly that core, so a
+//!   hint-consuming checker (e.g. `lrat-check`) can re-verify the trimmed
+//!   proof without redoing propagation search.
+//!
+//! Literal convention is DIMACS throughout: nonzero `i64`, negative =
+//! negated. See [`check_certificate`] for the one-call entry point.
+
+mod checker;
+mod parse;
+
+pub use checker::{check, Outcome};
+pub use parse::{parse_dimacs, parse_drat, Cnf, DratStep};
+
+use std::fmt;
+
+/// Why certificate validation failed. Every rejection pinpoints the
+/// offending input: mutation-testing the pipeline relies on these being
+/// precise, so a corrupted proof is never waved through with a generic
+/// error (and never silently accepted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// The CNF or DRAT text failed to parse.
+    Parse {
+        /// 1-based line number of the offending text.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// An addition step is neither RUP nor RAT on its first literal —
+    /// the lemma does not follow from the formula at that point.
+    NotRedundant {
+        /// 0-based index of the offending step in the DRAT trace.
+        step: usize,
+    },
+    /// A deletion step references a clause that is not in the formula.
+    DeleteMissing {
+        /// 0-based index of the offending step in the DRAT trace.
+        step: usize,
+    },
+    /// The trace never derives the empty clause: whatever it proves, it is
+    /// not a refutation.
+    NoEmptyClause,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            ProofError::NotRedundant { step } => {
+                write!(f, "step {step} is neither RUP nor RAT")
+            }
+            ProofError::DeleteMissing { step } => {
+                write!(f, "step {step} deletes a clause that is not present")
+            }
+            ProofError::NoEmptyClause => {
+                write!(f, "trace does not derive the empty clause")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// Validates a textual certificate: parses `cnf_text` as DIMACS and
+/// `drat_text` as a DRAT trace, then runs the full forward + backward
+/// check. This is the entry point used by the serving pipeline, the CLI
+/// `certcheck` subcommand and the CI smoke test.
+///
+/// # Errors
+///
+/// Returns the first [`ProofError`] encountered — a parse failure, a
+/// non-redundant or ill-formed step, or a trace that never reaches the
+/// empty clause.
+///
+/// # Examples
+///
+/// ```
+/// use rect_addr_certcheck::check_certificate;
+///
+/// let cnf = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n";
+/// let drat = "1 0\n0\n";
+/// let outcome = check_certificate(cnf, drat)?;
+/// assert_eq!(outcome.steps_checked, 2);
+/// # Ok::<(), rect_addr_certcheck::ProofError>(())
+/// ```
+pub fn check_certificate(cnf_text: &str, drat_text: &str) -> Result<Outcome, ProofError> {
+    let cnf = parse_dimacs(cnf_text)?;
+    let steps = parse_drat(drat_text)?;
+    check(&cnf, &steps)
+}

@@ -1,0 +1,231 @@
+//! Parsers for the two halves of a certificate: DIMACS CNF and DRAT text.
+//!
+//! Deliberately hand-rolled (no parser framework, no regex): the formats
+//! are whitespace-separated integers with `0` terminators, and the checker
+//! must not inherit any dependency the solver could share a bug with.
+
+use crate::ProofError;
+
+/// A parsed CNF formula: the axioms of the refutation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Highest variable index referenced (DIMACS `p cnf` header value,
+    /// raised if a clause mentions a larger variable).
+    pub num_vars: usize,
+    /// The clauses, literals in DIMACS coding (nonzero, negative = negated).
+    pub clauses: Vec<Vec<i64>>,
+}
+
+/// One step of a parsed DRAT trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DratStep {
+    /// `true` for a `d`-prefixed deletion line.
+    pub delete: bool,
+    /// The clause literals (empty for the final empty-clause addition).
+    pub lits: Vec<i64>,
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> ProofError {
+    ProofError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parses a DIMACS CNF document.
+///
+/// Accepts `c` comment lines, requires a `p cnf <vars> <clauses>` header,
+/// and reads `0`-terminated clauses that may span lines. The header's
+/// clause count is advisory (mismatches are tolerated, as most tools do),
+/// but literals must be nonzero integers and a clause left unterminated at
+/// end of input is an error.
+///
+/// # Errors
+///
+/// [`ProofError::Parse`] with the offending 1-based line number.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, ProofError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<i64> = Vec::new();
+    let mut last_line = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        last_line = lineno;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if num_vars.is_some() {
+                return Err(parse_err(lineno, "duplicate problem header"));
+            }
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(parse_err(lineno, "expected `p cnf <vars> <clauses>`"));
+            }
+            let vars: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad variable count in header"))?;
+            let _clause_count: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad clause count in header"))?;
+            if it.next().is_some() {
+                return Err(parse_err(lineno, "trailing tokens after header"));
+            }
+            num_vars = Some(vars);
+            continue;
+        }
+        if num_vars.is_none() {
+            return Err(parse_err(lineno, "clause before `p cnf` header"));
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| parse_err(lineno, format!("bad literal `{tok}`")))?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                current.push(v);
+            }
+        }
+    }
+    let mut num_vars =
+        num_vars.ok_or_else(|| parse_err(last_line.max(1), "missing `p cnf` header"))?;
+    if !current.is_empty() {
+        return Err(parse_err(last_line, "unterminated clause at end of input"));
+    }
+    // A clause may legally mention a variable above the header count
+    // (some emitters under-declare); track the true maximum.
+    for c in &clauses {
+        for &l in c {
+            num_vars = num_vars.max(l.unsigned_abs() as usize);
+        }
+    }
+    Ok(Cnf { num_vars, clauses })
+}
+
+/// Parses a DRAT trace in text format: one step per `0`-terminated clause,
+/// `d`-prefixed for deletions, `c` comments tolerated.
+///
+/// # Errors
+///
+/// [`ProofError::Parse`] on malformed literals, an empty deletion (`d 0`
+/// deletes nothing and signals a corrupt trace), or an unterminated step.
+pub fn parse_drat(text: &str) -> Result<Vec<DratStep>, ProofError> {
+    let mut steps = Vec::new();
+    let mut current: Option<DratStep> = None;
+    let mut last_line = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        last_line = lineno;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut rest = line;
+        if current.is_none() {
+            let delete = if let Some(r) = line
+                .strip_prefix("d ")
+                .or_else(|| (line == "d").then_some(""))
+            {
+                rest = r;
+                true
+            } else {
+                false
+            };
+            current = Some(DratStep {
+                delete,
+                lits: Vec::new(),
+            });
+        }
+        for tok in rest.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| parse_err(lineno, format!("bad literal `{tok}`")))?;
+            let step = current.as_mut().expect("step in progress");
+            if v == 0 {
+                let step = current.take().expect("step in progress");
+                if step.delete && step.lits.is_empty() {
+                    return Err(parse_err(lineno, "deletion of the empty clause"));
+                }
+                steps.push(step);
+            } else {
+                step.lits.push(v);
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(parse_err(
+            last_line.max(1),
+            "unterminated step at end of input",
+        ));
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let cnf = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n3\n0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses, vec![vec![1, -2], vec![3]]);
+    }
+
+    #[test]
+    fn dimacs_raises_undeclared_vars() {
+        let cnf = parse_dimacs("p cnf 1 1\n5 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 5);
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        assert!(matches!(
+            parse_dimacs("1 0\n"),
+            Err(ProofError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\nx 0\n"),
+            Err(ProofError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\n1\n"),
+            Err(ProofError::Parse { .. })
+        ));
+        assert!(matches!(parse_dimacs(""), Err(ProofError::Parse { .. })));
+    }
+
+    #[test]
+    fn drat_steps_and_deletions() {
+        let steps = parse_drat("1 -2 0\nd 1 -2 0\n0\n").unwrap();
+        assert_eq!(steps.len(), 3);
+        assert!(!steps[0].delete);
+        assert!(steps[1].delete);
+        assert_eq!(steps[1].lits, vec![1, -2]);
+        assert!(steps[2].lits.is_empty());
+    }
+
+    #[test]
+    fn drat_multiline_clause() {
+        let steps = parse_drat("1\n-2\n0\n").unwrap();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].lits, vec![1, -2]);
+    }
+
+    #[test]
+    fn drat_rejects_corruption() {
+        assert!(matches!(
+            parse_drat("1 0\n2"),
+            Err(ProofError::Parse { .. })
+        ));
+        assert!(matches!(parse_drat("d 0\n"), Err(ProofError::Parse { .. })));
+        assert!(matches!(
+            parse_drat("1 x 0\n"),
+            Err(ProofError::Parse { .. })
+        ));
+    }
+}

@@ -14,6 +14,8 @@
 //! * `complete <file> <dcfile>` — EBMF with don't-cares (vacancies);
 //! * `gen <family>` — emit a benchmark instance (`rand`/`opt`/`gap`);
 //! * `sat <file.cnf>` — run the built-in CDCL solver on DIMACS input;
+//! * `certcheck <file.cnf> <file.drat>` — verify a DRAT refutation with the
+//!   embedded forward/backward RUP+RAT checker (no solver code shared);
 //! * `batch <file>` — solve a JSON-lines job stream concurrently through the
 //!   serving stack (portfolio racing + canonical-form cache);
 //! * `serve` — the same loop reading jobs from stdin until EOF, or, with
@@ -66,7 +68,10 @@ pub const USAGE: &str = "\
 rect-addr — depth-optimal rectangular addressing via EBMF (DATE 2024)
 
 USAGE:
-  rect-addr solve    <matrix-file|-> [--svg out.svg]   exact minimum-depth partition (SAP)
+  rect-addr solve    <matrix-file|-> [--svg out.svg] [--certify prefix]
+                                                exact minimum-depth partition (SAP);
+                                                --certify writes prefix.cnf + prefix.drat
+                                                when optimality rests on an UNSAT answer
   rect-addr pack     <matrix-file|-> [--trials N]   row-packing heuristic
   rect-addr rank     <matrix-file|->            lower bounds (rank, GF(2), fooling)
   rect-addr cover    <matrix-file|->            minimum rectangle COVER (Boolean rank)
@@ -76,6 +81,7 @@ USAGE:
   rect-addr gen      opt  <m> <n> <k> <seed>        emit a known-optimal instance
   rect-addr gen      gap  <m> <n> <pairs> <seed>    emit a rank-gap instance
   rect-addr sat      <file.cnf|->               run the CDCL solver on DIMACS
+  rect-addr certcheck <file.cnf> <file.drat>    verify a DRAT refutation (one may be '-')
   rect-addr batch    <jobs.jsonl|-> [opts]      solve a JSON-lines job stream
   rect-addr serve    [opts]                     batch mode reading stdin until EOF
   rect-addr serve    --listen <addr|path> [opts]  socket server (unix path or host:port)
@@ -131,6 +137,7 @@ pub fn run(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
         Some("complete") => cmd_complete(args, stdin),
         Some("gen") => cmd_gen(args),
         Some("sat") => cmd_sat(args, stdin),
+        Some("certcheck") => cmd_certcheck(args, stdin),
         Some("batch") => cmd_batch(args, stdin),
         Some("serve") => cmd_serve(args, stdin),
         Some("client") => cmd_client(args, stdin),
@@ -169,7 +176,21 @@ fn parse_flag(args: &[String], flag: &str, default: usize) -> Result<usize, Stri
 }
 
 fn cmd_solve(m: &BitMatrix, rest: &[String]) -> Result<String, String> {
-    let out = sap(m, &SapConfig::default());
+    let certify_prefix = match rest.iter().position(|a| a == "--certify") {
+        None => None,
+        Some(i) => Some(
+            rest.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .ok_or_else(|| "--certify needs an output prefix".to_string())?,
+        ),
+    };
+    let out = sap(
+        m,
+        &SapConfig {
+            certify: certify_prefix.is_some(),
+            ..SapConfig::default()
+        },
+    );
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -194,7 +215,72 @@ fn cmd_solve(m: &BitMatrix, rest: &[String]) -> Result<String, String> {
         std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
         let _ = writeln!(s, "wrote {path}");
     }
+    if let Some(prefix) = certify_prefix {
+        match &out.certificate {
+            Some(cert) => {
+                let cnf_path = format!("{prefix}.cnf");
+                let drat_path = format!("{prefix}.drat");
+                std::fs::write(&cnf_path, &cert.cnf)
+                    .map_err(|e| format!("writing {cnf_path}: {e}"))?;
+                std::fs::write(&drat_path, &cert.drat)
+                    .map_err(|e| format!("writing {drat_path}: {e}"))?;
+                let _ = writeln!(
+                    s,
+                    "certificate: depth {} is optimal because depth {} is UNSAT \
+                     — wrote {cnf_path} + {drat_path} (check with `rect-addr certcheck`)",
+                    out.depth(),
+                    cert.bound,
+                );
+            }
+            // Heuristic met the rank floor: optimality never consulted the
+            // SAT solver, so there is honestly no refutation to export.
+            None => {
+                let _ = writeln!(
+                    s,
+                    "certificate: none — optimality follows from the rank lower \
+                     bound, no UNSAT answer was needed"
+                );
+            }
+        }
+    }
     Ok(s)
+}
+
+fn cmd_certcheck(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
+    let (Some(cnf_path), Some(drat_path)) = (args.get(1), args.get(2)) else {
+        return CliOutput::err(
+            "certcheck needs <file.cnf> <file.drat> (one may be '-')".to_string(),
+        );
+    };
+    if cnf_path == "-" && drat_path == "-" {
+        return CliOutput::err("certcheck: only one input may be '-'".to_string());
+    }
+    let result = (|| -> Result<CliOutput, String> {
+        let cnf = read_input(cnf_path, stdin)?;
+        let drat = read_input(drat_path, stdin)?;
+        Ok(match certcheck::check_certificate(&cnf, &drat) {
+            Ok(outcome) => CliOutput {
+                code: 0,
+                stdout: format!(
+                    "s VERIFIED\n{} steps checked ({} RAT); trimmed core: {} axioms, {} lemmas\n",
+                    outcome.steps_checked,
+                    outcome.rat_steps,
+                    outcome.core_axioms,
+                    outcome.core_lemmas,
+                ),
+            },
+            // A rejected proof is a *verification verdict*, not a usage
+            // error: report it on stdout with exit 1, no usage text.
+            Err(e) => CliOutput {
+                code: 1,
+                stdout: format!("s NOT VERIFIED: {e}\n"),
+            },
+        })
+    })();
+    match result {
+        Ok(out) => out,
+        Err(e) => CliOutput::err(e),
+    }
 }
 
 fn cmd_pack(m: &BitMatrix, rest: &[String]) -> Result<String, String> {
@@ -766,6 +852,64 @@ mod tests {
         assert_eq!(run_str(&["gen", "gap", "10", "10", "9", "1"], "").code, 2);
         assert_eq!(run_str(&["gen", "opt", "10", "10", "3", "1"], "").code, 0);
         assert_eq!(run_str(&["gen", "gap", "10", "10", "3", "1"], "").code, 0);
+    }
+
+    #[test]
+    fn solve_certify_writes_a_checkable_certificate() {
+        let prefix =
+            std::env::temp_dir().join(format!("rect_addr_cli_cert_{}", std::process::id()));
+        let prefix_str = prefix.to_str().unwrap();
+        let out = run_str(&["solve", "-", "--certify", prefix_str], FIG1B);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(
+            out.stdout.contains("because depth 4 is UNSAT"),
+            "{}",
+            out.stdout
+        );
+        let cnf_path = format!("{prefix_str}.cnf");
+        let drat_path = format!("{prefix_str}.drat");
+
+        // The embedded checker verifies the exported pair from disk.
+        let check = run_str(&["certcheck", &cnf_path, &drat_path], "");
+        assert_eq!(check.code, 0, "{}", check.stdout);
+        assert!(check.stdout.contains("s VERIFIED"), "{}", check.stdout);
+        assert!(check.stdout.contains("trimmed core"), "{}", check.stdout);
+
+        // Corrupting the trace flips the verdict: exit 1, precise error,
+        // no usage noise.
+        let drat = std::fs::read_to_string(&drat_path).unwrap();
+        let truncated: String = drat
+            .lines()
+            .take(drat.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let bad = run_str(&["certcheck", &cnf_path, "-"], &truncated);
+        assert_eq!(bad.code, 1, "{}", bad.stdout);
+        assert!(bad.stdout.contains("s NOT VERIFIED"), "{}", bad.stdout);
+        assert!(!bad.stdout.contains("USAGE"), "{}", bad.stdout);
+
+        let _ = std::fs::remove_file(&cnf_path);
+        let _ = std::fs::remove_file(&drat_path);
+    }
+
+    #[test]
+    fn solve_certify_is_honest_when_no_unsat_was_needed() {
+        let prefix =
+            std::env::temp_dir().join(format!("rect_addr_cli_nocert_{}", std::process::id()));
+        let out = run_str(
+            &["solve", "-", "--certify", prefix.to_str().unwrap()],
+            "10\n01\n",
+        );
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("certificate: none"), "{}", out.stdout);
+        assert!(!prefix.with_extension("cnf").exists());
+    }
+
+    #[test]
+    fn certcheck_validates_arguments() {
+        assert_eq!(run_str(&["certcheck"], "").code, 2);
+        assert_eq!(run_str(&["certcheck", "-", "-"], "").code, 2);
+        assert_eq!(run_str(&["solve", "-", "--certify"], FIG1B).code, 2);
     }
 
     #[test]

@@ -455,6 +455,42 @@ impl EbmfEncoder {
         self.solver.import_core(&lits)
     }
 
+    /// Like [`EbmfEncoder::import_core`], but each clause is **re-derived**
+    /// before it is accepted (see [`sat::Solver::import_core_derived`]): a
+    /// bounded refutation of its negation justifies it, so under proof
+    /// logging it enters the trace as a checked lemma — never as an
+    /// unjustified axiom. Clauses the effort budget cannot re-derive are
+    /// dropped, costing warm-start quality but never soundness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the structural problem (zero or out-of-range
+    /// literals); the encoding is unchanged in that case.
+    pub fn import_core_derived(&mut self, core: &[Vec<i64>], effort: u64) -> Result<usize, String> {
+        let nvars = self.solver.num_vars() as i64;
+        let mut lits: Vec<Vec<sat::Lit>> = Vec::with_capacity(core.len());
+        for clause in core {
+            let mut out = Vec::with_capacity(clause.len());
+            for &v in clause {
+                if v == 0 || v.unsigned_abs() > nvars as u64 {
+                    return Err(format!("core literal {v} out of range (±1..={nvars})"));
+                }
+                out.push(sat::Lit::from_dimacs(v));
+            }
+            lits.push(out);
+        }
+        self.solver.import_core_derived(&lits, effort)
+    }
+
+    /// A self-contained refutation of the last UNSAT answer (see
+    /// [`sat::Solver::refutation_proof`]), or `None` when proof logging is
+    /// off or the last answer was not UNSAT. Under assumption-encoded bounds
+    /// the active bound selectors become unit axioms of the returned proof,
+    /// so it certifies exactly the query `r_B(M) ≤ b` that was refuted.
+    pub fn unsat_refutation(&self) -> Option<sat::Proof> {
+        self.solver.refutation_proof()
+    }
+
     /// The current label bound `b` of the encoded query `r_B(M) ≤ b`.
     pub fn bound(&self) -> usize {
         self.bound

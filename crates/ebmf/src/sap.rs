@@ -37,7 +37,10 @@ pub struct SapConfig {
     pub max_sat_cells: Option<usize>,
     /// Record a clausal proof and replay it through the independent RUP
     /// checker whenever optimality is concluded from an UNSAT answer. The
-    /// verdict lands in [`SapOutcome::certified`].
+    /// verdict lands in [`SapOutcome::certified`] and the self-contained
+    /// DRAT refutation in [`SapOutcome::certificate`]. Works on warm
+    /// (resumed / rehydrated) sessions too: rehydrated cores are re-derived
+    /// clause by clause so the trace stays self-justifying.
     pub certify: bool,
     /// Cooperative cancellation: when the token trips, the SAT phase stops
     /// at its next conflict or decision (even mid-query) and the best
@@ -71,6 +74,13 @@ impl SapConfig {
         }
     }
 }
+
+/// Per-clause conflict budget when a rehydrated core is re-derived under
+/// [`SapConfig::certify`]. Most exported clauses re-derive by propagation
+/// alone or within a handful of conflicts (they were consequences of the
+/// same formula); the cap bounds the worst case so rehydration never costs
+/// more than a fraction of a fresh descent.
+const CORE_DERIVE_EFFORT: u64 = 100;
 
 /// One SAT query made by the descending loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,6 +119,25 @@ impl SapStats {
     }
 }
 
+/// A self-contained DRAT certificate of one refuted depth query
+/// `r_B(M) ≤ bound`, emitted when [`SapConfig::certify`] is set and
+/// optimality was concluded from an UNSAT answer.
+///
+/// The pair (`cnf`, `drat`) is independently checkable: `cnf` holds the
+/// full encoding **plus the active bound selectors as unit axioms**, and
+/// `drat` is the lemma/deletion trace ending in the empty clause. Any DRAT
+/// validator — the in-repo `rect-addr-certcheck` crate, or an external tool
+/// such as `drat-trim` — can replay it with no knowledge of this solver.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnsatCertificate {
+    /// The refuted bound `b`: the certificate proves `r_B(M) > b`.
+    pub bound: usize,
+    /// DIMACS CNF of the axioms (encoding ∧ assumption units).
+    pub cnf: String,
+    /// DRAT refutation trace (text format, `d`-prefixed deletions).
+    pub drat: String,
+}
+
 /// Result of [`sap`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SapOutcome {
@@ -125,6 +154,10 @@ pub struct SapOutcome {
     /// the independent RUP checker. `None` when optimality needed no SAT
     /// proof (heuristic met the rank floor) or certification was off.
     pub certified: Option<bool>,
+    /// The exportable refutation behind a `certified` verdict: present
+    /// exactly when certification was on and an UNSAT answer concluded the
+    /// descent (cold **or** warm). `None` whenever `certified` is `None`.
+    pub certificate: Option<UnsatCertificate>,
     /// Phase timings and the SAT query log.
     pub stats: SapStats,
 }
@@ -149,11 +182,12 @@ impl SapOutcome {
 /// (same class, fresh budgets) continue each other's SAT search instead of
 /// re-encoding from scratch.
 ///
-/// The depth bound is encoded through assumption selector literals
-/// ([`crate::EncoderOptions::assumption_bounds`]) except under
-/// [`SapConfig::certify`], where the permanent-clause path is kept because
-/// an UNSAT answer relative to assumptions has no standalone clausal
-/// refutation to verify.
+/// The depth bound is always encoded through assumption selector literals
+/// ([`crate::EncoderOptions::assumption_bounds`]) — including under
+/// [`SapConfig::certify`]: an UNSAT answer relative to assumptions is made
+/// self-contained by appending the assumption core as unit axioms (see
+/// [`sat::Solver::refutation_proof`]), so certification and warm starts
+/// compose instead of excluding each other.
 #[derive(Debug)]
 pub struct SapSession {
     m: BitMatrix,
@@ -240,9 +274,11 @@ impl SapSession {
             .iter()
             .map(|r| (r.rows().to_indices(), r.cols().to_indices()))
             .collect();
-        // Only assumption-bound encoders are exportable: the permanent
-        // narrowing path (certify mode) bakes the reached bound into the
-        // clause set, which a rebuild at full capacity would not reproduce.
+        // Only assumption-bound encoders are exportable: a permanent
+        // narrowing would bake the reached bound into the clause set, which
+        // a rebuild at full capacity could not reproduce. (Every encoder
+        // this session builds — certify or not — uses assumption bounds;
+        // the filter guards against foreign construction paths only.)
         let encoder = self.encoder.as_ref().filter(|e| e.assumption_bounds());
         let (encoder_capacity, symmetry_breaking, core) = match (encoder, &self.pending_core) {
             (Some(e), _) => (
@@ -367,13 +403,11 @@ impl SapSession {
             .is_some_and(|max| self.m.count_ones() > max);
 
         let mut certified = None;
+        let mut certificate = None;
         if !self.proved && !skip_sat && self.best.len() > 1 {
             let sat_start = Instant::now();
             if self.encoder.is_none() {
-                // A certify run cannot use a rehydrated core: reinjected
-                // clauses would enter the proof trace as axioms, weakening
-                // the independent check. Drop the core and encode cold.
-                let pending = self.pending_core.take().filter(|_| !config.certify);
+                let pending = self.pending_core.take();
                 let (capacity, symmetry_breaking) = match &pending {
                     // Rebuild byte-identically to the exporting encoder so
                     // the core's variable numbering lines up.
@@ -383,15 +417,23 @@ impl SapSession {
                 let enc_opts = crate::EncoderOptions {
                     symmetry_breaking,
                     proof_logging: config.certify,
-                    // See the type docs: proofs need globally-derived UNSAT.
-                    assumption_bounds: !config.certify,
+                    assumption_bounds: true,
                     ..crate::EncoderOptions::new(capacity)
                 };
                 let mut encoder = EbmfEncoder::with_encoder_options(&self.m, None, enc_opts);
                 if let Some(p) = pending {
                     // A structurally-broken core just costs the warm start;
                     // the fresh encoding stays sound either way.
-                    let _ = encoder.import_core(&p.core);
+                    if config.certify {
+                        // Under certify a reinjected clause must never enter
+                        // the trace as an unjustified axiom: re-derive each
+                        // one with a bounded refutation of its negation, so
+                        // it lands as a checked lemma. Clauses the effort
+                        // cannot justify are dropped (warm-start cost only).
+                        let _ = encoder.import_core_derived(&p.core, CORE_DERIVE_EFFORT);
+                    } else {
+                        let _ = encoder.import_core(&p.core);
+                    }
                 }
                 self.encoder = Some(encoder);
             }
@@ -452,6 +494,11 @@ impl SapSession {
                         self.proved = true;
                         if config.certify {
                             certified = Some(encoder.verify_unsat_proof().is_ok());
+                            certificate = encoder.unsat_refutation().map(|p| UnsatCertificate {
+                                bound: b,
+                                cnf: p.to_dimacs_cnf(),
+                                drat: p.to_drat(),
+                            });
                         }
                         break;
                     }
@@ -472,6 +519,7 @@ impl SapSession {
             lower_bound: self.lb,
             real_rank: self.lb.real_rank,
             certified,
+            certificate,
             stats,
         }
     }
@@ -628,6 +676,109 @@ mod tests {
             out.certified,
             Some(true),
             "RUP checker must accept the proof"
+        );
+    }
+
+    #[test]
+    fn certified_outcome_carries_a_self_contained_certificate() {
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let cfg = SapConfig {
+            certify: true,
+            ..SapConfig::default()
+        };
+        let out = sap(&m, &cfg);
+        assert_eq!(out.certified, Some(true));
+        let cert = out.certificate.expect("certificate present");
+        assert_eq!(cert.bound, 4, "Fig. 1b optimality rests on UNSAT at 4");
+        assert!(cert.cnf.starts_with("p cnf "));
+        assert!(cert.drat.trim_end().ends_with("0"));
+        // The DRAT trace must end by deriving the empty clause.
+        assert_eq!(cert.drat.lines().last(), Some("0"));
+    }
+
+    #[test]
+    fn certify_composes_with_warm_session_resume() {
+        // The previously-skipped combination: a session that exhausts its
+        // budget mid-descent and *resumes* — with certify on the whole way.
+        let m = hard_matrix();
+        let cfg = SapConfig {
+            symmetry_breaking: false,
+            conflict_budget: Some(500),
+            packing: PackingConfig::with_trials(4),
+            certify: true,
+            ..SapConfig::default()
+        };
+        let mut session = SapSession::new(&m, &cfg);
+        let mut runs = 0u32;
+        let mut last = session.run(&cfg);
+        while !session.proved_optimal() {
+            last = session.run(&cfg);
+            runs += 1;
+            assert!(runs < 10_000, "session must converge");
+        }
+        assert!(runs > 1, "first slice must exhaust its budget");
+        assert_eq!(
+            last.certified,
+            Some(true),
+            "warm-path proof must check like a cold one"
+        );
+        let cert = last.certificate.expect("warm UNSAT emits a certificate");
+        assert_eq!(cert.bound + 1, last.partition.len());
+    }
+
+    #[test]
+    fn pending_core_rehydration_under_certify_is_honest_and_warm() {
+        // Regression for the old `certify ⇒ drop the rehydrated core` rule:
+        // importing a mid-descent export and continuing under certify must
+        // (a) still produce a proof the independent checker accepts and
+        // (b) actually resume — not silently restart from scratch.
+        let m = hard_matrix();
+        let cfg = SapConfig {
+            symmetry_breaking: false,
+            conflict_budget: Some(500),
+            packing: PackingConfig::with_trials(4),
+            ..SapConfig::default()
+        };
+        let mut donor = SapSession::new(&m, &cfg);
+        for _ in 0..4 {
+            if donor.proved_optimal() {
+                break;
+            }
+            donor.run(&cfg);
+        }
+        let export = donor.export(100_000);
+        assert!(!export.core.is_empty(), "mid-descent core must be nonempty");
+
+        let certify_cfg = SapConfig {
+            certify: true,
+            ..cfg.clone()
+        };
+        let mut warm = SapSession::import(&export).expect("genuine export imports");
+        let warm_start = warm.total_conflicts();
+        let mut last = warm.run(&certify_cfg);
+        let mut rounds = 0u32;
+        while !warm.proved_optimal() {
+            last = warm.run(&certify_cfg);
+            rounds += 1;
+            assert!(rounds < 10_000, "rehydrated certify session must converge");
+        }
+        assert_eq!(last.certified, Some(true), "rehydrated proof must verify");
+        assert!(last.certificate.is_some());
+        let warm_spent = warm.total_conflicts() - warm_start;
+
+        let mut cold = SapSession::new(&m, &cfg);
+        let mut cold_rounds = 0u32;
+        while !cold.proved_optimal() {
+            cold.run(&cfg);
+            cold_rounds += 1;
+            assert!(cold_rounds < 10_000);
+        }
+        assert!(
+            warm_spent < cold.total_conflicts(),
+            "certify must not silently discard the warm start: {warm_spent} vs {}",
+            cold.total_conflicts()
         );
     }
 

@@ -87,6 +87,13 @@ pub struct EngineOutcome {
     pub sat_conflicts: u64,
     /// Wall-clock time spent on this call.
     pub elapsed: Duration,
+    /// Self-contained DRAT refutation of the bound below the answered
+    /// depth, when the portfolio ran with
+    /// [`PortfolioConfig::certify`](crate::PortfolioConfig::certify) and
+    /// this call's race proved optimality from an UNSAT answer. Cache hits
+    /// never carry one: the proof was spent (or never requested) by the
+    /// call that populated the entry.
+    pub certificate: Option<ebmf::UnsatCertificate>,
 }
 
 /// The concurrent portfolio-solving engine.
@@ -306,6 +313,7 @@ impl Engine {
                         cache_hit: true,
                         sat_conflicts: 0,
                         elapsed: start.elapsed(),
+                        certificate: None,
                     };
                 }
                 // Unproved upper bound: re-race under this job's budget
@@ -325,6 +333,9 @@ impl Engine {
                         cache_hit: true,
                         sat_conflicts: out.sat_conflicts,
                         elapsed: start.elapsed(),
+                        // This branch needs `!out.proved_optimal`, and an
+                        // unproved race never emits a refutation.
+                        certificate: None,
                     }
                 } else {
                     EngineOutcome {
@@ -334,6 +345,7 @@ impl Engine {
                         cache_hit: false,
                         sat_conflicts: out.sat_conflicts,
                         elapsed: start.elapsed(),
+                        certificate: out.certificate,
                     }
                 }
             }
@@ -348,6 +360,7 @@ impl Engine {
                     cache_hit: false,
                     sat_conflicts: out.sat_conflicts,
                     elapsed: start.elapsed(),
+                    certificate: out.certificate,
                 }
             }
         }
@@ -363,6 +376,7 @@ impl Engine {
         if let Some(c) = req.conflicts {
             cfg.conflict_budget = Some(c);
         }
+        cfg.certify = req.certify;
         cfg
     }
 
@@ -393,6 +407,11 @@ impl Engine {
                 .collect(),
             error: None,
             timing: None,
+            certificate: out.certificate.map(|c| crate::protocol::Certificate {
+                bound: c.bound,
+                cnf: c.cnf,
+                drat: c.drat,
+            }),
         }
     }
 }
@@ -449,6 +468,7 @@ mod tests {
             packing_trials: 1,
             exact_cover: false,
             sap: true,
+            ..PortfolioConfig::default()
         };
         let first = e.solve_with(&m, &starved);
         assert!(first.partition.validate(&m).is_ok());
@@ -529,6 +549,45 @@ mod tests {
         let hit = e.solve_job_traced(&req, &hit_trace);
         assert!(hit.cache_hit);
         assert_eq!(hit_trace.race_us(), 0);
+    }
+
+    #[test]
+    fn certify_jobs_carry_a_validating_certificate() {
+        let e = engine();
+        // The paper's Fig. 1b matrix: depth 5 with a rank floor of 4, so
+        // optimality can only be concluded from an UNSAT answer at b=4 and
+        // a certified solve must export that refutation.
+        let m: BitMatrix = "101100\n010011\n101010\n010101\n111000\n000111"
+            .parse()
+            .unwrap();
+        let req = JobRequest::new("c", m.clone()).with_certify(true);
+        let resp = e.solve_job(&req);
+        assert!(resp.ok && resp.proved_optimal);
+        let cert = resp
+            .certificate
+            .expect("certify job whose proof is an UNSAT answer carries it");
+        assert_eq!(cert.bound + 1, resp.depth, "refutes the bound below");
+        certcheck::check_certificate(&cert.cnf, &cert.drat)
+            .expect("engine-emitted certificate must pass the standalone checker");
+
+        // The proved entry is cached now; hits never carry a certificate,
+        // certify flag or not.
+        let hit = e.solve_job(&JobRequest::new("c2", m).with_certify(true));
+        assert!(hit.cache_hit);
+        assert!(hit.certificate.is_none());
+    }
+
+    #[test]
+    fn uncertified_jobs_never_carry_a_certificate() {
+        let e = engine();
+        let resp = e.solve_job(&JobRequest::new(
+            "plain",
+            "101100\n010011\n101010\n010101\n111000\n000111"
+                .parse()
+                .unwrap(),
+        ));
+        assert!(resp.ok && resp.proved_optimal);
+        assert!(resp.certificate.is_none(), "certification is opt-in");
     }
 
     #[test]

@@ -108,6 +108,10 @@ pub struct PortfolioConfig {
     pub exact_cover: bool,
     /// Race the full SAP exact solver (disable for heuristic-only serving).
     pub sap: bool,
+    /// Record clausal proofs so a SAP win concluded from an UNSAT answer
+    /// carries a self-contained DRAT certificate
+    /// ([`PortfolioOutcome::certificate`]).
+    pub certify: bool,
 }
 
 impl PortfolioConfig {
@@ -117,6 +121,7 @@ impl PortfolioConfig {
             time: self.time_budget,
             conflicts: self.conflict_budget,
             packing_trials: self.packing_trials,
+            certify: self.certify,
         }
     }
 
@@ -139,6 +144,7 @@ impl Default for PortfolioConfig {
             packing_trials: 64,
             exact_cover: true,
             sap: true,
+            certify: false,
         }
     }
 }
@@ -160,6 +166,10 @@ pub struct PortfolioOutcome {
     pub sat_conflicts: u64,
     /// Wall-clock time of the whole race.
     pub elapsed: Duration,
+    /// The winner's self-contained DRAT refutation of the bound below the
+    /// answered depth — present only when [`PortfolioConfig::certify`] was
+    /// set and the winning strategy proved optimality from an UNSAT answer.
+    pub certificate: Option<ebmf::UnsatCertificate>,
 }
 
 struct StrategyResult {
@@ -167,6 +177,7 @@ struct StrategyResult {
     partition: Partition,
     proved_optimal: bool,
     conflicts: u64,
+    certificate: Option<ebmf::UnsatCertificate>,
 }
 
 /// Races `strategies` on `job` and returns the best result.
@@ -223,6 +234,7 @@ pub fn race_strategies(
             partition: out.partition,
             proved_optimal: out.proved_optimal,
             conflicts: out.conflicts,
+            certificate: out.certificate,
         });
         // Results landing after the deadline don't count as finished (they
         // are the cancelled survivors' anytime incumbents).
@@ -247,6 +259,7 @@ pub fn race_strategies(
         strategies_launched: launched,
         sat_conflicts,
         elapsed: start.elapsed(),
+        certificate: best.certificate,
     }
 }
 

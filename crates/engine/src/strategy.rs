@@ -49,6 +49,9 @@ pub struct StrategyBudget {
     pub conflicts: Option<u64>,
     /// Row-packing trials.
     pub packing_trials: usize,
+    /// Record clausal proofs so a proving strategy can attach a
+    /// self-contained DRAT certificate to its outcome.
+    pub certify: bool,
 }
 
 /// Result of one [`Strategy::run`].
@@ -60,6 +63,12 @@ pub struct StrategyOutcome {
     pub proved_optimal: bool,
     /// SAT conflicts spent by this run (0 for pure heuristics).
     pub conflicts: u64,
+    /// Self-contained DRAT refutation of the depth bound below
+    /// [`StrategyOutcome::partition`], when [`StrategyBudget::certify`] was
+    /// set and optimality was concluded from an UNSAT answer. The bound it
+    /// certifies is permutation-invariant, so a certificate produced in
+    /// canonical coordinates is valid for the job's original matrix too.
+    pub certificate: Option<ebmf::UnsatCertificate>,
 }
 
 /// A solving strategy raced by the portfolio.
@@ -113,6 +122,7 @@ impl Strategy for TrivialStrategy {
             partition,
             proved_optimal,
             conflicts: 0,
+            certificate: None,
         }
     }
 }
@@ -182,6 +192,7 @@ impl Strategy for PackingStrategy {
             partition,
             proved_optimal,
             conflicts: 0,
+            certificate: None,
         }
     }
 }
@@ -336,6 +347,7 @@ impl SapStrategy {
             conflict_budget: budget.conflicts,
             time_limit: budget.time,
             cancel: Some(cancel.clone()),
+            certify: budget.certify,
             ..SapConfig::default()
         }
     }
@@ -393,6 +405,10 @@ impl Strategy for SapStrategy {
                 partition,
                 proved_optimal,
                 conflicts,
+                // The certificate refutes a *depth bound* of the canonical
+                // matrix; depth is permutation-invariant, so it stands for
+                // the original coordinates unchanged.
+                certificate: out.certificate,
             }
         } else {
             let out = sap(job.matrix, &cfg);
@@ -404,6 +420,7 @@ impl Strategy for SapStrategy {
                 partition: out.partition,
                 proved_optimal: out.proved_optimal,
                 conflicts,
+                certificate: out.certificate,
             }
         }
     }
@@ -648,6 +665,7 @@ mod tests {
             time: Some(Duration::from_secs(5)),
             conflicts: None,
             packing_trials: 8,
+            certify: false,
         }
     }
 

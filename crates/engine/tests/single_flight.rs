@@ -46,6 +46,7 @@ impl Strategy for CountingStrategy {
             partition: trivial_partition(job.matrix),
             proved_optimal: true,
             conflicts: 0,
+            certificate: None,
         }
     }
 }

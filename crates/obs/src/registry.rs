@@ -56,6 +56,9 @@ pub mod names {
 
     /// Jobs fully completed by the service (counter).
     pub const JOBS_COMPLETED: &str = "jobs_completed";
+    /// Jobs whose response carried a self-contained DRAT certificate
+    /// (counter) — the throughput of the verified-answer pipeline.
+    pub const CERTIFIED_JOBS: &str = "certified_jobs";
     /// Request lines that failed to parse (counter).
     pub const ERR_PARSE: &str = "errors_parse";
     /// Submissions rejected with backpressure (counter).

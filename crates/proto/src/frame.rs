@@ -47,6 +47,11 @@ pub enum ClientFrame {
         /// Whether the client wants per-response `timing` breakdowns
         /// (v2; `{"hello": 2, "timing": true}`).
         timing: bool,
+        /// Whether the client wants `certificate` objects on responses to
+        /// jobs that set `certify` (v2; `{"hello": 2, "certificate":
+        /// true}`). Certificates are large — without this opt-in the
+        /// server strips them even from certified jobs.
+        certificate: bool,
     },
     /// A job submission.
     Job(JobRequest),
@@ -85,12 +90,14 @@ impl ClientFrame {
                         JobError::new(ErrorKind::Protocol, "hello must carry a version number"),
                     )
                 })?;
-            // The timing flag is lenient: anything but `true` means off,
-            // so older clients and producers are never rejected over it.
+            // The opt-in flags are lenient: anything but `true` means off,
+            // so older clients and producers are never rejected over them.
             let timing = json.get("timing").and_then(Json::as_bool) == Some(true);
+            let certificate = json.get("certificate").and_then(Json::as_bool) == Some(true);
             return Ok(ClientFrame::Hello {
                 version: version as u32,
                 timing,
+                certificate,
             });
         }
         if let Some(v) = json.get("cancel") {
@@ -111,12 +118,20 @@ impl ClientFrame {
     /// Serializes the frame as one JSON line (client side).
     pub fn to_json_line(&self) -> String {
         match self {
-            ClientFrame::Hello { version, timing } => {
+            ClientFrame::Hello {
+                version,
+                timing,
+                certificate,
+            } => {
+                let mut out = format!("{{\"hello\": {version}");
                 if *timing {
-                    format!("{{\"hello\": {version}, \"timing\": true}}")
-                } else {
-                    format!("{{\"hello\": {version}}}")
+                    out.push_str(", \"timing\": true");
                 }
+                if *certificate {
+                    out.push_str(", \"certificate\": true");
+                }
+                out.push('}');
+                out
             }
             ClientFrame::Job(req) => req.to_json_line(),
             ClientFrame::Cancel { id } => {
@@ -146,6 +161,10 @@ pub struct Capabilities {
     /// Whether the server honors the hello `timing` opt-in (per-response
     /// stage breakdowns). Absent in acks from older servers → `false`.
     pub timing: bool,
+    /// Whether the server honors the `certify` job flag and the hello
+    /// `certificate` opt-in (machine-checkable optimality proofs).
+    /// Absent in acks from older servers → `false`.
+    pub certificate: bool,
 }
 
 /// `{"hello": true, "protocol": N, "server": ..., "capabilities": {...}}` —
@@ -184,8 +203,9 @@ impl HelloAck {
         }
         let _ = write!(
             out,
-            "], \"canon_budget\": {}, \"queue_depth\": {}, \"workers\": {}, \"timing\": {}}}}}",
-            c.canon_budget, c.queue_depth, c.workers, c.timing
+            "], \"canon_budget\": {}, \"queue_depth\": {}, \"workers\": {}, \"timing\": {}, \
+             \"certificate\": {}}}}}",
+            c.canon_budget, c.queue_depth, c.workers, c.timing, c.certificate
         );
         out
     }
@@ -228,9 +248,10 @@ impl HelloAck {
                 canon_budget: num("canon_budget")?,
                 queue_depth: num("queue_depth")?,
                 workers: num("workers")?,
-                // Lenient: acks from servers predating the flag parse
-                // with timing unavailable rather than failing.
+                // Lenient: acks from servers predating the flags parse
+                // with the feature unavailable rather than failing.
                 timing: caps.get("timing").and_then(Json::as_bool) == Some(true),
+                certificate: caps.get("certificate").and_then(Json::as_bool) == Some(true),
             },
         })
     }
@@ -436,6 +457,9 @@ pub struct StatsFrame {
     /// Races whose SAT phase the budget-aware scheduler skipped because
     /// the job's bucket always proves without it.
     pub budget_skips: u64,
+    /// Jobs whose response carried an optimality certificate (absent in
+    /// frames from servers predating certification → 0).
+    pub certified_jobs: u64,
     /// Hottest heuristic-labeled cache keys (canonizer-aware admission:
     /// these are the keys worth re-canonizing at a larger budget).
     pub canon_heuristic_hot: Vec<HotKey>,
@@ -462,7 +486,7 @@ impl StatsFrame {
              \"entries\": {}, \"evictions\": {}, \"flight_waits\": {}, \"canon_complete\": {}, \
              \"canon_heuristic\": {}}}, \"queue\": {{\"depth\": {}, \"len\": {}}}, \
              \"warm_sessions\": {}, \"persisted_sessions\": {}, \"budget_skips\": {}, \
-             \"snapshot_load_failures\": {}, \"canon_heuristic_hot\": [",
+             \"certified_jobs\": {}, \"snapshot_load_failures\": {}, \"canon_heuristic_hot\": [",
             WireVersion::V2.number(),
             s.cache_hits,
             s.cache_misses,
@@ -476,6 +500,7 @@ impl StatsFrame {
             s.warm_sessions,
             self.persisted_sessions,
             self.budget_skips,
+            self.certified_jobs,
             self.snapshot_load_failures,
         );
         for (i, hot) in self.canon_heuristic_hot.iter().enumerate() {
@@ -532,6 +557,7 @@ impl StatsFrame {
             queue_len: num(queue, "len"),
             persisted_sessions: num(&json, "persisted_sessions"),
             budget_skips: num(&json, "budget_skips"),
+            certified_jobs: num(&json, "certified_jobs"),
             snapshot_load_failures: num(&json, "snapshot_load_failures"),
             // Absent on lines from older servers → empty histograms.
             latency: match json.get("latency") {
@@ -581,7 +607,8 @@ mod tests {
             hello,
             ClientFrame::Hello {
                 version: 2,
-                timing: false
+                timing: false,
+                certificate: false
             }
         );
         assert_eq!(hello.to_json_line(), "{\"hello\": 2}");
@@ -591,16 +618,38 @@ mod tests {
             timed,
             ClientFrame::Hello {
                 version: 2,
-                timing: true
+                timing: true,
+                certificate: false
             }
         );
         assert_eq!(timed.to_json_line(), "{\"hello\": 2, \"timing\": true}");
+
+        let certified =
+            ClientFrame::parse_line("{\"hello\": 2, \"certificate\": true}", 1).unwrap();
+        assert_eq!(
+            certified,
+            ClientFrame::Hello {
+                version: 2,
+                timing: false,
+                certificate: true
+            }
+        );
+        assert_eq!(
+            certified.to_json_line(),
+            "{\"hello\": 2, \"certificate\": true}"
+        );
         // Anything but `true` (including malformed values) means off.
         for off in ["false", "1", "\"yes\"", "null"] {
-            let line = format!("{{\"hello\": 2, \"timing\": {off}}}");
-            match ClientFrame::parse_line(&line, 1).unwrap() {
-                ClientFrame::Hello { timing, .. } => assert!(!timing, "{line}"),
-                other => panic!("expected hello for {line}, got {other:?}"),
+            for flag in ["timing", "certificate"] {
+                let line = format!("{{\"hello\": 2, \"{flag}\": {off}}}");
+                match ClientFrame::parse_line(&line, 1).unwrap() {
+                    ClientFrame::Hello {
+                        timing,
+                        certificate,
+                        ..
+                    } => assert!(!timing && !certificate, "{line}"),
+                    other => panic!("expected hello for {line}, got {other:?}"),
+                }
             }
         }
 
@@ -661,15 +710,20 @@ mod tests {
                 queue_depth: 1024,
                 workers: 4,
                 timing: true,
+                certificate: true,
             },
         };
         let line = ack.to_json_line();
         assert!(line.contains("\"timing\": true"), "{line}");
+        assert!(line.contains("\"certificate\": true"), "{line}");
         assert_eq!(HelloAck::parse_line(&line).unwrap(), ack);
-        // An ack from a server predating the flag parses with timing off.
-        let legacy = line.replace(", \"timing\": true", "");
+        // An ack from a server predating the flags parses with both off.
+        let legacy = line
+            .replace(", \"timing\": true", "")
+            .replace(", \"certificate\": true", "");
         let parsed = HelloAck::parse_line(&legacy).unwrap();
         assert!(!parsed.capabilities.timing, "{legacy}");
+        assert!(!parsed.capabilities.certificate, "{legacy}");
     }
 
     #[test]
@@ -733,6 +787,7 @@ mod tests {
             queue_len: 3,
             persisted_sessions: 17,
             budget_skips: 5,
+            certified_jobs: 7,
             canon_heuristic_hot: vec![HotKey {
                 key: "x".repeat(200),
                 count: 9,
@@ -745,6 +800,7 @@ mod tests {
         assert_eq!(parsed.queue_len, 3);
         assert_eq!(parsed.persisted_sessions, 17);
         assert_eq!(parsed.budget_skips, 5);
+        assert_eq!(parsed.certified_jobs, 7);
         assert_eq!(parsed.snapshot_load_failures, 2);
         // A pre-persistence stats line — the keys genuinely absent, as an
         // older server would emit — still parses, defaulting both to 0.
@@ -814,6 +870,7 @@ mod tests {
         assert!(legacy.latency.is_empty());
         assert_eq!(legacy.snapshot_load_failures, 0);
         assert_eq!(legacy.persisted_sessions, 4);
+        assert_eq!(legacy.certified_jobs, 0);
         // A malformed latency value degrades to empty, not an error.
         let odd = legacy_line.replace(
             ", \"canon_heuristic_hot\"",

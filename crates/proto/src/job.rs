@@ -151,6 +151,11 @@ pub struct JobRequest {
     /// running, and a started job's wall-clock budget is clamped to the
     /// time remaining.
     pub deadline_ms: Option<u64>,
+    /// Request a machine-checkable certificate for the optimality proof
+    /// (v2): when the depth is proved optimal, the response carries a
+    /// [`Certificate`] with the UNSAT refutation of `depth - 1`. Costs
+    /// proof logging overhead; v1 lines ignore the field.
+    pub certify: bool,
 }
 
 impl JobRequest {
@@ -163,6 +168,7 @@ impl JobRequest {
             conflicts: None,
             priority: 0,
             deadline_ms: None,
+            certify: false,
         }
     }
 
@@ -187,6 +193,12 @@ impl JobRequest {
     /// Sets the queue deadline (v2).
     pub fn with_deadline_ms(mut self, ms: u64) -> JobRequest {
         self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Requests an optimality certificate (v2).
+    pub fn with_certify(mut self, certify: bool) -> JobRequest {
+        self.certify = certify;
         self
     }
 
@@ -291,8 +303,8 @@ impl JobRequest {
         let conflicts = uint("conflicts")?;
         // v2-only scheduling fields: on a v1 line they are unknown extras,
         // neither validated nor honored.
-        let (deadline_ms, priority) = match version {
-            WireVersion::V1 => (None, 0),
+        let (deadline_ms, priority, certify) = match version {
+            WireVersion::V1 => (None, 0, false),
             WireVersion::V2 => {
                 let deadline_ms = uint("deadline_ms")?;
                 let priority = match json.get("priority") {
@@ -305,7 +317,17 @@ impl JobRequest {
                             err(ErrorKind::Parse, "priority must be an integer".to_string())
                         })?,
                 };
-                (deadline_ms, priority)
+                let certify = match json.get("certify") {
+                    None | Some(Json::Null) => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => {
+                        return Err(err(
+                            ErrorKind::Parse,
+                            "certify must be a boolean".to_string(),
+                        ))
+                    }
+                };
+                (deadline_ms, priority, certify)
             }
         };
         Ok(JobRequest {
@@ -315,6 +337,7 @@ impl JobRequest {
             conflicts,
             priority,
             deadline_ms,
+            certify,
         })
     }
 
@@ -345,8 +368,58 @@ impl JobRequest {
         if let Some(d) = self.deadline_ms {
             let _ = write!(out, ", \"deadline_ms\": {d}");
         }
+        if self.certify {
+            out.push_str(", \"certify\": true");
+        }
         out.push('}');
         out
+    }
+}
+
+/// A machine-checkable optimality certificate: the CNF encoding of
+/// "a partition of depth `bound` exists" together with a DRAT refutation.
+/// Any external DRAT checker — or the in-repo `certcheck` crate — can
+/// replay the refutation with no knowledge of the solver, proving that the
+/// reported depth `bound + 1` cannot be improved.
+///
+/// Protocol v2 only, and opt-in twice over: the *request* must set
+/// `certify` and the client's `hello` must have requested certificate
+/// passthrough (mirroring the `timing` flag), so certificates — often tens
+/// of kilobytes — never surprise a legacy consumer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Certificate {
+    /// The refuted depth: no partition with `bound` rectangles exists.
+    pub bound: usize,
+    /// DIMACS CNF text of the refuted encoding (the proof's axioms).
+    pub cnf: String,
+    /// DRAT refutation of `cnf`.
+    pub drat: String,
+}
+
+impl Certificate {
+    fn write_field(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            ", \"certificate\": {{\"bound\": {}, \"cnf\": ",
+            self.bound
+        );
+        write_json_string(out, &self.cnf);
+        out.push_str(", \"drat\": ");
+        write_json_string(out, &self.drat);
+        out.push('}');
+    }
+
+    fn from_json(json: &Json) -> Option<Certificate> {
+        let c = json.get("certificate")?;
+        Some(Certificate {
+            bound: c
+                .get("bound")
+                .and_then(Json::as_f64)
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .unwrap_or(0.0) as usize,
+            cnf: c.get("cnf").and_then(Json::as_str)?.to_string(),
+            drat: c.get("drat").and_then(Json::as_str)?.to_string(),
+        })
     }
 }
 
@@ -436,6 +509,11 @@ pub struct JobResponse {
     /// Per-job stage breakdown (v2 wire only, and only when the client
     /// opted in; `None` otherwise).
     pub timing: Option<Timing>,
+    /// Optimality certificate (v2 wire only, only when the request set
+    /// `certify`, the hello opted in, and the depth was proved optimal;
+    /// `None` otherwise — in particular on cache hits, which reuse a
+    /// result whose proof was already delivered or never requested).
+    pub certificate: Option<Certificate>,
 }
 
 impl JobResponse {
@@ -453,6 +531,7 @@ impl JobResponse {
             partition: Vec::new(),
             error: Some(error),
             timing: None,
+            certificate: None,
         }
     }
 
@@ -563,6 +642,9 @@ impl JobResponse {
             if let Some(t) = &self.timing {
                 t.write_field(&mut out);
             }
+            if let Some(c) = &self.certificate {
+                c.write_field(&mut out);
+            }
         }
         out.push('}');
         out
@@ -650,6 +732,7 @@ impl JobResponse {
             partition,
             error: None,
             timing: Timing::from_json(&json),
+            certificate: Certificate::from_json(&json),
         })
     }
 }
@@ -746,6 +829,7 @@ mod tests {
             partition: vec![(vec![0], vec![0, 2]), (vec![1], vec![1])],
             error: None,
             timing: None,
+            certificate: None,
         };
         for v in [WireVersion::V1, WireVersion::V2] {
             let parsed = JobResponse::parse_line(&resp.to_json_line_v(v)).unwrap();
@@ -839,6 +923,7 @@ mod tests {
                 race_us: 400,
                 total_us: 470,
             }),
+            certificate: None,
         };
         // v1 output never carries timing: byte-compat with the legacy wire.
         let v1 = resp.to_json_line_v(WireVersion::V1);
@@ -862,6 +947,75 @@ mod tests {
         assert!(line.contains("\"timing\""), "{line}");
         assert_eq!(JobResponse::parse_line(&line).unwrap(), resp);
         assert!(!resp.to_json_line_v(WireVersion::V1).contains("timing"));
+    }
+
+    #[test]
+    fn certify_flag_is_v2_only_and_roundtrips() {
+        let req = JobRequest::new("c", "1".parse().unwrap()).with_certify(true);
+        let line = req.to_json_line();
+        assert!(line.contains("\"certify\": true"), "{line}");
+        assert_eq!(JobRequest::parse_line(&line, 1).unwrap(), req);
+        // Default stays off the wire (v1 byte-compat).
+        let plain = JobRequest::new("c", "1".parse().unwrap()).to_json_line();
+        assert!(!plain.contains("certify"), "{plain}");
+        // A v1 line ignores the flag like any unknown field; v2 validates.
+        let req = JobRequest::parse_line_in(&line, 1, WireVersion::V1).unwrap();
+        assert!(!req.certify);
+        let bad = r#"{"id": "c", "matrix": "1", "certify": "yes"}"#;
+        assert!(JobRequest::parse_line_in(bad, 1, WireVersion::V1).is_ok());
+        let (_, err) = JobRequest::parse_line_in(bad, 1, WireVersion::V2).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parse);
+        assert!(err.message.contains("certify"), "{}", err.message);
+    }
+
+    #[test]
+    fn certificate_is_v2_only_and_roundtrips() {
+        let mut resp = JobResponse {
+            id: "c".to_string(),
+            ok: true,
+            depth: 3,
+            proved_optimal: true,
+            provenance: "sap".to_string(),
+            cache_hit: false,
+            millis: 2.0,
+            conflicts: 17,
+            partition: vec![(vec![0], vec![0])],
+            error: None,
+            timing: None,
+            certificate: Some(Certificate {
+                bound: 2,
+                cnf: "p cnf 1 2\n1 0\n-1 0\n".to_string(),
+                drat: "0\n".to_string(),
+            }),
+        };
+        // v1 output never carries the certificate: byte-compat with the
+        // legacy wire.
+        let v1 = resp.to_json_line_v(WireVersion::V1);
+        assert!(!v1.contains("certificate"), "{v1}");
+        let mut stripped = resp.clone();
+        stripped.certificate = None;
+        assert_eq!(v1, stripped.to_json_line_v(WireVersion::V1));
+        // v2 round-trips the full payload, newlines and all.
+        let v2 = resp.to_json_line_v(WireVersion::V2);
+        assert!(v2.contains("\"certificate\": {\"bound\": 2"), "{v2}");
+        assert_eq!(JobResponse::parse_line(&v2).unwrap(), resp);
+        // Certificate and timing compose on the same line.
+        resp.timing = Some(Timing {
+            total_us: 9,
+            ..Timing::default()
+        });
+        let both = resp.to_json_line_v(WireVersion::V2);
+        assert!(both.contains("\"timing\""), "{both}");
+        assert_eq!(JobResponse::parse_line(&both).unwrap(), resp);
+    }
+
+    #[test]
+    fn absent_certificate_parses_as_none() {
+        let line = r#"{"id": "a", "ok": true, "depth": 0, "provenance": "", "cache_hit": false, "millis": 0.0, "conflicts": 0, "partition": []}"#;
+        assert_eq!(JobResponse::parse_line(line).unwrap().certificate, None);
+        // A malformed certificate object degrades to None, not an error.
+        let odd = r#"{"id": "a", "ok": true, "depth": 0, "provenance": "", "cache_hit": false, "millis": 0.0, "conflicts": 0, "partition": [], "certificate": 7}"#;
+        assert_eq!(JobResponse::parse_line(odd).unwrap().certificate, None);
     }
 
     #[test]

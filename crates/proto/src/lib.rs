@@ -39,6 +39,6 @@ pub use frame::{
     CancelAck, Capabilities, ClientFrame, EngineSnapshot, HelloAck, HotKey, LatencySummary,
     StatsFrame, SummaryFrame, WireVersion, PROTOCOL_VERSION,
 };
-pub use job::{ErrorKind, JobError, JobRequest, JobResponse, Timing};
+pub use job::{Certificate, ErrorKind, JobError, JobRequest, JobResponse, Timing};
 pub use json::{parse_json, write_json_string, Json};
 pub use line::{read_line_bounded, LineRead, MAX_LINE_BYTES, MAX_RESPONSE_LINE_BYTES};

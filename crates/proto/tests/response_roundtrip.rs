@@ -11,7 +11,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use rect_addr_proto::{ErrorKind, JobError, JobRequest, JobResponse, Timing, WireVersion};
+use rect_addr_proto::{
+    Certificate, ErrorKind, JobError, JobRequest, JobResponse, Timing, WireVersion,
+};
 
 /// Characters the id/message strategies draw from — every JSON string
 /// escape class is represented: plain ASCII, both quote-likes, newline /
@@ -47,6 +49,18 @@ fn timing_strategy() -> impl Strategy<Value = Option<Timing>> {
     })
 }
 
+/// `None` or a certificate whose CNF/DRAT texts draw from the adversarial
+/// character pool (newlines are the common case: DIMACS is line-oriented).
+fn certificate_strategy() -> impl Strategy<Value = Option<Certificate>> {
+    (
+        any::<bool>(),
+        0usize..1000,
+        string_strategy(24),
+        string_strategy(24),
+    )
+        .prop_map(|(present, bound, cnf, drat)| present.then_some(Certificate { bound, cnf, drat }))
+}
+
 fn success_strategy() -> impl Strategy<Value = JobResponse> {
     (
         (string_strategy(12), 0usize..1000, any::<bool>(), 0usize..5),
@@ -57,9 +71,15 @@ fn success_strategy() -> impl Strategy<Value = JobResponse> {
             vec(rect_strategy(), 0..=5),
         ),
         timing_strategy(),
+        certificate_strategy(),
     )
         .prop_map(
-            |((id, depth, proved, prov), (cache_hit, millis, conflicts, partition), timing)| {
+            |(
+                (id, depth, proved, prov),
+                (cache_hit, millis, conflicts, partition),
+                timing,
+                certificate,
+            )| {
                 JobResponse {
                     id,
                     ok: true,
@@ -72,6 +92,7 @@ fn success_strategy() -> impl Strategy<Value = JobResponse> {
                     partition,
                     error: None,
                     timing,
+                    certificate,
                 }
             },
         )
@@ -96,6 +117,7 @@ fn failure_strategy() -> impl Strategy<Value = JobResponse> {
 fn v1_view(resp: &JobResponse) -> JobResponse {
     let mut v1 = resp.clone();
     v1.timing = None;
+    v1.certificate = None;
     v1
 }
 
@@ -114,6 +136,11 @@ proptest! {
             prop_assert_eq!(&parsed, &expect, "version {:?}: {}", version, line);
             if version == WireVersion::V1 {
                 prop_assert!(!line.contains("\"timing\""), "v1 leaked timing: {}", line);
+                prop_assert!(
+                    !line.contains("\"certificate\""),
+                    "v1 leaked certificate: {}",
+                    line
+                );
             }
         }
     }
@@ -192,6 +219,7 @@ proptest! {
         priority in -1000i64..1000,
         deadline in 0u64..1 << 32,
         with_opts in any::<bool>(),
+        certify in any::<bool>(),
     ) {
         let mut req = JobRequest::new(id, "10\n01".parse().unwrap());
         if with_opts {
@@ -200,6 +228,9 @@ proptest! {
                 .with_conflicts(conflicts)
                 .with_priority(priority)
                 .with_deadline_ms(deadline);
+        }
+        if certify {
+            req = req.with_certify(true);
         }
         let line = req.to_json_line();
         let parsed = JobRequest::parse_line(&line, 1)

@@ -39,6 +39,50 @@ impl Proof {
             .any(|s| matches!(s, ProofStep::Add(c) if c.is_empty()))
     }
 
+    /// Serializes the axioms as a DIMACS CNF document (`p cnf V C` header,
+    /// `0`-terminated clauses). Together with [`Proof::to_drat`] this makes
+    /// a recorded refutation a **self-contained certificate**: any DRAT
+    /// checker — including the independent `rect-addr-certcheck` crate —
+    /// can validate the pair without access to the solver.
+    pub fn to_dimacs_cnf(&self) -> String {
+        use std::fmt::Write as _;
+        let max_var = self
+            .axioms
+            .iter()
+            .flatten()
+            .map(|l| l.var().index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", max_var, self.axioms.len());
+        for clause in &self.axioms {
+            for l in clause {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Returns a copy of this proof strengthened by `assumptions`: each
+    /// assumption literal becomes a unit **axiom** and the trace gains a
+    /// final empty-clause step. This is how an UNSAT-under-assumptions
+    /// answer — which has no standalone refutation of the base formula —
+    /// is turned into a self-contained refutation of *formula ∧
+    /// assumptions*: every recorded lemma is a consequence of the formula
+    /// alone (assumptions are decisions, never resolved on), so lemmas stay
+    /// RUP under the strengthened axiom set, and the solver's final
+    /// assumption-prefix conflict is re-derivable by unit propagation from
+    /// the assumption units — making the appended empty clause RUP.
+    pub fn assuming(&self, assumptions: &[Lit]) -> Proof {
+        let mut p = self.clone();
+        for &l in assumptions {
+            p.axioms.push(vec![l]);
+        }
+        p.steps.push(ProofStep::Add(Vec::new()));
+        p
+    }
+
     /// Serializes in DRAT text format (`d` lines for deletions, `0`
     /// terminators), compatible with external checkers such as `drat-trim`.
     pub fn to_drat(&self) -> String {
@@ -120,13 +164,16 @@ pub fn check_rup_refutation(proof: &Proof) -> Result<(), ProofError> {
                 formula.push(clause.clone());
             }
             ProofStep::Delete(clause) => {
-                let mut key = clause.clone();
-                key.sort_unstable();
-                let pos = formula.iter().position(|c| {
-                    let mut k = c.clone();
+                // Match as a literal *set*: order-insensitive, repeated
+                // literals ignored (clauses denote sets in DRAT semantics).
+                let key = |c: &[Lit]| {
+                    let mut k = c.to_vec();
                     k.sort_unstable();
-                    k == key
-                });
+                    k.dedup();
+                    k
+                };
+                let target = key(clause);
+                let pos = formula.iter().position(|c| key(c) == target);
                 match pos {
                     Some(p) => {
                         formula.swap_remove(p);
@@ -181,10 +228,16 @@ fn is_rup(formula: &[Vec<Lit>], clause: &[Lit]) -> bool {
                         break;
                     }
                     Some(_) => {}
-                    None => {
+                    // Count *distinct* unassigned literals: input clauses may
+                    // repeat a literal (`x ∨ x ∨ y`), and per-occurrence
+                    // counting would miss that such a clause is unit.
+                    None if unassigned != Some(l) => {
                         n_unassigned += 1;
-                        unassigned = Some(l);
+                        if unassigned.is_none() {
+                            unassigned = Some(l);
+                        }
                     }
+                    None => {}
                 }
             }
             if satisfied {
@@ -281,6 +334,33 @@ mod tests {
             check_rup_refutation(&missing),
             Err(ProofError::DeleteMissing { step: 0 })
         );
+    }
+
+    #[test]
+    fn assuming_builds_a_checkable_refutation() {
+        // Axiom (¬a ∨ ¬b) is only refuted *under* the assumptions a, b.
+        let base = Proof {
+            axioms: vec![lits(&[-1, -2])],
+            steps: vec![],
+        };
+        assert!(check_rup_refutation(&base).is_err());
+        let strengthened = base.assuming(&lits(&[1, 2]));
+        assert_eq!(check_rup_refutation(&strengthened), Ok(()));
+        assert_eq!(strengthened.axioms.len(), 3);
+        assert!(strengthened.derives_empty_clause());
+        // The base proof is untouched.
+        assert!(base.steps.is_empty());
+    }
+
+    #[test]
+    fn dimacs_cnf_serialization() {
+        let proof = Proof {
+            axioms: vec![lits(&[1, -2]), lits(&[2])],
+            steps: vec![],
+        };
+        assert_eq!(proof.to_dimacs_cnf(), "p cnf 2 2\n1 -2 0\n2 0\n");
+        let empty = Proof::default();
+        assert_eq!(empty.to_dimacs_cnf(), "p cnf 0 0\n");
     }
 
     #[test]

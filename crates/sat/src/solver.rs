@@ -73,6 +73,11 @@ pub struct Solver {
     model: Vec<bool>,
     /// Clausal proof trace (axioms + lemmas), when logging is enabled.
     proof: Option<Proof>,
+    /// The assumption set in effect when the last `solve` answered Unsat
+    /// **under assumptions** (no standalone refutation of the base formula
+    /// exists in that case); `None` after SAT/Unknown answers and after
+    /// global UNSAT. See [`Solver::refutation_proof`].
+    last_assumption_core: Option<Vec<Lit>>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -110,6 +115,7 @@ impl Solver {
             max_learnt: 2000.0,
             model: Vec::new(),
             proof: None,
+            last_assumption_core: None,
         }
     }
 
@@ -213,8 +219,34 @@ impl Solver {
         self.proof.as_ref()
     }
 
-    /// Replays the recorded proof through the independent RUP checker,
-    /// confirming that the UNSAT answer is certified.
+    /// The assumptions in effect when the last solve answered Unsat under
+    /// assumptions (empty slice ⇒ the last UNSAT was global, or the last
+    /// answer was not UNSAT).
+    pub fn last_assumption_core(&self) -> &[Lit] {
+        self.last_assumption_core.as_deref().unwrap_or(&[])
+    }
+
+    /// A **self-contained refutation** of the last UNSAT answer, or `None`
+    /// when proof logging is off or the last answer was not UNSAT.
+    ///
+    /// For a global UNSAT the recorded trace already ends in the empty
+    /// clause and is returned as-is. For an UNSAT **under assumptions** —
+    /// which has no standalone refutation — the assumption core is appended
+    /// as unit axioms and the trace gains a final empty-clause step (see
+    /// [`Proof::assuming`]): the result refutes *formula ∧ assumptions* and
+    /// checks under any DRAT validator with no knowledge of this solver.
+    pub fn refutation_proof(&self) -> Option<Proof> {
+        let proof = self.proof.as_ref()?;
+        match &self.last_assumption_core {
+            Some(core) => Some(proof.assuming(core)),
+            None => proof.derives_empty_clause().then(|| proof.clone()),
+        }
+    }
+
+    /// Replays the recorded refutation through the independent RUP checker,
+    /// confirming that the UNSAT answer is certified. UNSAT-under-assumptions
+    /// answers are checked through [`Solver::refutation_proof`], i.e. against
+    /// the assumption-strengthened axiom set.
     ///
     /// # Errors
     ///
@@ -225,8 +257,11 @@ impl Solver {
     ///
     /// Panics if proof logging was never enabled.
     pub fn verify_unsat_proof(&self) -> Result<(), ProofError> {
-        let proof = self.proof.as_ref().expect("proof logging not enabled");
-        check_rup_refutation(proof)
+        assert!(self.proof.is_some(), "proof logging not enabled");
+        match self.refutation_proof() {
+            Some(refutation) => check_rup_refutation(&refutation),
+            None => Err(ProofError::NoEmptyClause),
+        }
     }
 
     fn log_lemma(&mut self, lits: &[Lit]) {
@@ -682,6 +717,106 @@ impl Solver {
         Ok(added)
     }
 
+    /// Core reinjection that **re-derives** every clause instead of
+    /// asserting it — the certify-mode counterpart of
+    /// [`Solver::import_core`]. A plain import records each core clause as
+    /// an *axiom*, which is a lie in a proof trace: the clause was learnt by
+    /// a previous session, not given. Here each clause `C` is first refuted
+    /// against the current formula by solving under the assumptions `¬C`
+    /// (spending at most `effort` conflicts); an UNSAT answer means the
+    /// solver's own trace now contains lemmas from which `C` follows by
+    /// unit propagation, so `C` is appended as a **lemma** (RUP at that
+    /// point, checkable by any DRAT validator). Clauses that cannot be
+    /// re-derived within the effort budget are dropped — that only costs
+    /// warm-start quality, never soundness. Returns the number of clauses
+    /// accepted.
+    ///
+    /// Works with or without proof logging; structural validation matches
+    /// [`Solver::import_core`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects the whole core before any mutation when a clause is empty or
+    /// references an unallocated variable.
+    pub fn import_core_derived(&mut self, core: &[Vec<Lit>], effort: u64) -> Result<usize, String> {
+        for clause in core {
+            if clause.is_empty() {
+                return Err("core contains an empty clause".to_string());
+            }
+            for &l in clause {
+                if l.var().index() >= self.num_vars() {
+                    return Err(format!("core literal {l} references unallocated variable"));
+                }
+            }
+        }
+        let saved_budget = self.conflict_budget;
+        let mut accepted = 0usize;
+        for clause in core {
+            if !self.ok {
+                break;
+            }
+            let negation: Vec<Lit> = clause.iter().map(|&l| !l).collect();
+            self.conflict_budget = Some(effort);
+            let refuted = self.solve_with_assumptions(&negation) == SolveResult::Unsat;
+            if refuted && self.add_derived_clause(clause.clone()) {
+                accepted += 1;
+            }
+        }
+        self.conflict_budget = saved_budget;
+        // The derivation queries are internal bookkeeping, not answers.
+        self.last_assumption_core = None;
+        Ok(accepted)
+    }
+
+    /// Adds a clause known to be RUP w.r.t. the current formula, logging it
+    /// as a **lemma** (never an axiom). The logged literals are the
+    /// simplified, stored form, so later `Delete` steps match; dropping a
+    /// level-0-false literal preserves RUP because the justifying unit is
+    /// itself in the trace. Returns whether the clause was actually stored
+    /// (tautologies and satisfied clauses are skipped).
+    fn add_derived_clause(&mut self, lits: Vec<Lit>) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        let mut lits = lits;
+        lits.sort_unstable();
+        lits.dedup();
+        let mut simplified: Vec<Lit> = Vec::with_capacity(lits.len());
+        for (k, &l) in lits.iter().enumerate() {
+            if k + 1 < lits.len() && lits[k + 1] == !l {
+                return false; // tautology: nothing to learn
+            }
+            match self.value_lit(l) {
+                Some(true) => return false, // already satisfied at level 0
+                Some(false) => {}
+                None => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                self.log_lemma(&[]);
+                true
+            }
+            1 => {
+                self.log_lemma(&simplified);
+                self.enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    self.log_lemma(&[]);
+                }
+                true
+            }
+            _ => {
+                self.log_lemma(&simplified);
+                let cr = self.db.add(simplified, false, 0);
+                self.attach(cr);
+                true
+            }
+        }
+    }
+
     /// Solves the current formula. See [`Solver::solve_with_assumptions`].
     pub fn solve(&mut self) -> SolveResult {
         self.solve_with_assumptions(&[])
@@ -718,6 +853,7 @@ impl Solver {
     /// unlimited); exhaustion answers [`SolveResult::Unknown`].
     fn search(&mut self, assumptions: &[Lit], conflict_limit: Option<u64>) -> SolveResult {
         self.model.clear();
+        self.last_assumption_core = None;
         self.cancel_until(0);
         if !self.ok {
             return SolveResult::Unsat;
@@ -749,7 +885,10 @@ impl Solver {
                 }
                 if (self.decision_level() as usize) <= assumptions.len() {
                     // Conflict inside the assumption prefix: unsatisfiable
-                    // under these assumptions (no core extraction).
+                    // under these assumptions. Record the core so a
+                    // self-contained refutation of formula ∧ assumptions
+                    // can be emitted (see `refutation_proof`).
+                    self.last_assumption_core = Some(assumptions.to_vec());
                     self.cancel_until(0);
                     return SolveResult::Unsat;
                 }
@@ -802,6 +941,10 @@ impl Solver {
                             self.new_decision_level();
                         }
                         Some(false) => {
+                            // An assumption is already refuted by earlier
+                            // assumptions + propagation: same core story as
+                            // the prefix-conflict path above.
+                            self.last_assumption_core = Some(assumptions.to_vec());
                             self.cancel_until(0);
                             return SolveResult::Unsat;
                         }
@@ -1151,6 +1294,120 @@ mod tests {
         // Remove one axiom: the derivation should no longer check.
         proof.axioms.remove(0);
         assert!(crate::proof::check_rup_refutation(&proof).is_err());
+    }
+
+    #[test]
+    fn assumption_unsat_yields_self_contained_refutation() {
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        // Satisfiable formula; UNSAT only under the assumptions.
+        add(&mut s, &[-1, -2]);
+        add(&mut s, &[1, 2]);
+        let a = Lit::from_dimacs(1);
+        let b = Lit::from_dimacs(2);
+        assert_eq!(s.solve_with_assumptions(&[a, b]), SolveResult::Unsat);
+        assert_eq!(s.last_assumption_core(), &[a, b]);
+        // The raw trace has no standalone refutation…
+        assert!(!s.proof().unwrap().derives_empty_clause());
+        // …but the assumption-strengthened one checks end to end.
+        let refutation = s.refutation_proof().expect("refutation present");
+        assert_eq!(crate::proof::check_rup_refutation(&refutation), Ok(()));
+        // A later SAT answer clears the core: no refutation to hand out.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.last_assumption_core().is_empty());
+        assert!(s.refutation_proof().is_none());
+    }
+
+    #[test]
+    fn falsified_assumption_refutation_checks() {
+        // ¬a propagates at level 0 (unit axiom); assuming a hits the
+        // `Some(false)` path rather than a prefix conflict.
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        add(&mut s, &[-1]);
+        add(&mut s, &[1, 2]);
+        let a = Lit::from_dimacs(1);
+        assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Unsat);
+        let refutation = s.refutation_proof().expect("refutation present");
+        assert_eq!(crate::proof::check_rup_refutation(&refutation), Ok(()));
+    }
+
+    #[test]
+    fn global_unsat_refutation_is_the_plain_trace() {
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        pigeonhole(&mut s, 4, 3);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.last_assumption_core().is_empty());
+        let refutation = s.refutation_proof().expect("refutation present");
+        assert_eq!(refutation, s.proof().unwrap().clone());
+        assert_eq!(crate::proof::check_rup_refutation(&refutation), Ok(()));
+    }
+
+    #[test]
+    fn hard_assumption_unsat_refutation_checks_with_learning() {
+        // Pigeonhole with the hole ban expressed as assumptions: the run
+        // learns clauses (and may reduce the DB) before concluding, and the
+        // strengthened trace must still replay.
+        let mut t = Solver::new();
+        t.enable_proof_logging();
+        pigeonhole(&mut t, 6, 6);
+        // Ban hole 5 for every pigeon via assumptions: PHP(6,5) in disguise.
+        let bans: Vec<Lit> = (0..6)
+            .map(|p| Lit::from_dimacs(-((p * 6 + 5 + 1) as i64)))
+            .collect();
+        assert_eq!(t.solve_with_assumptions(&bans), SolveResult::Unsat);
+        assert!(t.stats().conflicts > 0, "must exercise clause learning");
+        let refutation = t.refutation_proof().expect("refutation present");
+        assert_eq!(crate::proof::check_rup_refutation(&refutation), Ok(()));
+    }
+
+    #[test]
+    fn derived_core_import_logs_lemmas_not_axioms() {
+        let mut donor = Solver::new();
+        pigeonhole(&mut donor, 6, 5);
+        assert_eq!(donor.solve(), SolveResult::Unsat);
+        let core = donor.export_core(64);
+        assert!(!core.is_empty());
+
+        let mut warm = Solver::new();
+        warm.enable_proof_logging();
+        pigeonhole(&mut warm, 6, 5);
+        let axioms_before = warm.proof().unwrap().axioms.len();
+        let accepted = warm
+            .import_core_derived(&core, 200)
+            .expect("genuine core imports");
+        assert!(accepted > 0, "some clauses must re-derive");
+        let proof = warm.proof().unwrap();
+        assert_eq!(
+            proof.axioms.len(),
+            axioms_before,
+            "imported clauses must never masquerade as axioms"
+        );
+        assert_eq!(warm.solve(), SolveResult::Unsat);
+        assert_eq!(warm.verify_unsat_proof(), Ok(()));
+    }
+
+    #[test]
+    fn derived_import_drops_clauses_it_cannot_justify() {
+        // ¬x is not implied by (x ∨ y): the derivation query answers SAT
+        // and the clause must be dropped, keeping the trace honest.
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        add(&mut s, &[1, 2]);
+        let foreign = vec![vec![Lit::from_dimacs(-1)]];
+        let accepted = s.import_core_derived(&foreign, 100).unwrap();
+        assert_eq!(accepted, 0);
+        assert!(s.proof().unwrap().steps.is_empty());
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::from_dimacs(1)]),
+            SolveResult::Sat
+        );
+        // Structural garbage is still rejected wholesale.
+        assert!(s.import_core_derived(&[Vec::new()], 10).is_err());
+        assert!(s
+            .import_core_derived(&[vec![Lit::from_dimacs(99)]], 10)
+            .is_err());
     }
 
     #[test]

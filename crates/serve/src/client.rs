@@ -34,16 +34,19 @@ impl LineClient {
 
     /// Performs the v2 handshake and returns the server's ack.
     pub fn handshake(&mut self) -> io::Result<HelloAck> {
-        self.handshake_opts(false)
+        self.handshake_opts(false, false)
     }
 
-    /// [`LineClient::handshake`] with an explicit per-job `timing` opt-in:
-    /// with `timing: true` every v2 response carries its stage trace.
-    pub fn handshake_opts(&mut self, timing: bool) -> io::Result<HelloAck> {
+    /// [`LineClient::handshake`] with the explicit handshake opt-ins:
+    /// `timing: true` makes every v2 response carry its stage trace, and
+    /// `certificate: true` lets responses to `certify` jobs carry their
+    /// DRAT certificate object.
+    pub fn handshake_opts(&mut self, timing: bool, certificate: bool) -> io::Result<HelloAck> {
         self.send_line(
             &ClientFrame::Hello {
                 version: PROTOCOL_VERSION,
                 timing,
+                certificate,
             }
             .to_json_line(),
         )?;

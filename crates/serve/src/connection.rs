@@ -58,6 +58,27 @@ fn load_version(version: &AtomicU8) -> WireVersion {
     }
 }
 
+/// Per-connection negotiated wire state: the granted protocol version and
+/// the handshake opt-ins. The reader sets it while handling the hello
+/// frame; the writer gates serialization on it.
+struct WireState {
+    version: AtomicU8,
+    /// Peer opted into per-job `timing` objects.
+    timing: AtomicBool,
+    /// Peer opted into `certificate` objects on certified responses.
+    certificate: AtomicBool,
+}
+
+impl WireState {
+    fn new() -> WireState {
+        WireState {
+            version: AtomicU8::new(1),
+            timing: AtomicBool::new(false),
+            certificate: AtomicBool::new(false),
+        }
+    }
+}
+
 /// The single mapping from engine cache counters to a wire
 /// [`EngineSnapshot`] — shared by the summary trailer and the stats
 /// frame so the two can never drift apart field-by-field.
@@ -96,6 +117,7 @@ pub fn stats_frame(service: &Service) -> StatsFrame {
         queue_len: stats.queue_len as u64,
         persisted_sessions: stats.persisted_sessions,
         budget_skips: stats.budget_skips,
+        certified_jobs: stats.certified_jobs,
         canon_heuristic_hot: stats
             .hot_heuristic_keys
             .iter()
@@ -139,8 +161,7 @@ fn reader_loop<R: BufRead>(
     service: &Service,
     mut input: R,
     tx: Sender<OutEvent>,
-    version: &AtomicU8,
-    timing: &AtomicBool,
+    wire: &WireState,
     abort: &AtomicBool,
     // Every submission is tagged with the connection's cancellation
     // group, so a peer that hangs up mid-stream (write error → abort)
@@ -209,13 +230,17 @@ fn reader_loop<R: BufRead>(
                     Ok(ClientFrame::Hello {
                         version: requested,
                         timing: wants_timing,
+                        certificate: wants_certificate,
                     }) => {
                         let granted = requested.clamp(1, PROTOCOL_VERSION);
-                        version.store(granted as u8, Ordering::Relaxed);
-                        // Timing is opt-in *and* v2-only: a v1-granted
-                        // handshake ignores the flag entirely.
+                        wire.version.store(granted as u8, Ordering::Relaxed);
+                        // Timing and certificates are opt-in *and* v2-only:
+                        // a v1-granted handshake ignores both flags.
                         if granted >= 2 && wants_timing {
-                            timing.store(true, Ordering::Relaxed);
+                            wire.timing.store(true, Ordering::Relaxed);
+                        }
+                        if granted >= 2 && wants_certificate {
+                            wire.certificate.store(true, Ordering::Relaxed);
                         }
                         let ack = HelloAck {
                             protocol: granted,
@@ -239,7 +264,7 @@ fn reader_loop<R: BufRead>(
             }
         }
 
-        match load_version(version) {
+        match load_version(&wire.version) {
             WireVersion::V1 => {
                 // Exactly the legacy rules: every line is a job line, and
                 // v2-only fields are ignored like any unknown extra.
@@ -279,7 +304,11 @@ fn reader_loop<R: BufRead>(
                             "handshake is only valid as the first line",
                         ),
                     )),
-                    Ok(ClientFrame::Job(req)) => {
+                    Ok(ClientFrame::Job(mut req)) => {
+                        // Proof logging is pure cost unless the peer opted
+                        // into receiving certificates at handshake: strip
+                        // the flag before the job reaches a worker.
+                        req.certify = req.certify && wire.certificate.load(Ordering::Relaxed);
                         let id = req.id.clone();
                         match service.submit_grouped(req, tx.clone(), group, false) {
                             Ok(ticket) => {
@@ -359,11 +388,8 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
     output: &mut W,
 ) -> std::io::Result<ConnectionSummary> {
     let (tx, rx) = mpsc::channel::<OutEvent>();
-    let version = AtomicU8::new(1);
-    let version = &version;
-    // Whether the peer opted into per-job `timing` objects at handshake.
-    let timing = AtomicBool::new(false);
-    let timing = &timing;
+    let wire = WireState::new();
+    let wire = &wire;
     let abort = AtomicBool::new(false);
     let abort = &abort;
     // This connection's cancellation group: a dead peer must not leave
@@ -373,7 +399,7 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
 
     let write_error = std::thread::scope(|scope| {
         let reader_tx = tx;
-        scope.spawn(move || reader_loop(service, input, reader_tx, version, timing, abort, group));
+        scope.spawn(move || reader_loop(service, input, reader_tx, wire, abort, group));
 
         // Writer: single owner of the output stream, draining responses in
         // completion order with a flush per line. On a write error keep
@@ -395,10 +421,16 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
                     // The timing object reaches the wire only for a v2
                     // peer that opted in at handshake (the serializer
                     // independently refuses to emit it on v1 lines).
-                    if !timing.load(Ordering::Relaxed) {
+                    if !wire.timing.load(Ordering::Relaxed) {
                         resp.timing = None;
                     }
-                    resp.to_json_line_v(load_version(version))
+                    // Same gate for certificates: they are large, so only
+                    // a peer that asked for them at handshake pays the
+                    // bytes (the serializer independently refuses v1).
+                    if !wire.certificate.load(Ordering::Relaxed) {
+                        resp.certificate = None;
+                    }
+                    resp.to_json_line_v(load_version(&wire.version))
                 }
                 OutEvent::Control(line) => line,
             };
@@ -413,7 +445,7 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
         }
         write_error
     });
-    summary.version = load_version(version);
+    summary.version = load_version(&wire.version);
 
     if let Some(e) = write_error {
         return Err(e);

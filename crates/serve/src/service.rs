@@ -118,6 +118,11 @@ pub type GroupId = u64;
 /// ([`OutEvent::Control`]) are pre-serialized lines a connection injects
 /// into its own writer channel so they interleave cleanly with responses;
 /// the service itself only ever sends [`OutEvent::Response`].
+// The size gap is real (a response with a certificate dwarfs a control
+// line) but each event lives only for one trip through a bounded channel
+// before the writer consumes it; boxing would buy transient channel bytes
+// at the cost of an allocation per response on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum OutEvent {
     /// A job's single response.
@@ -145,6 +150,8 @@ pub struct ServiceStats {
     /// Hottest heuristic-labeled cache keys (canonizer-aware admission
     /// candidates), hottest first.
     pub hot_heuristic_keys: Vec<(String, u64)>,
+    /// Jobs answered with a self-contained DRAT certificate attached.
+    pub certified_jobs: u64,
     /// Snapshot loads rejected at startup for a reason *other than* the
     /// snapshot simply not existing yet (corruption, foreign schema, IO).
     /// A first boot is not a failure; a silently ignored warm state is.
@@ -301,6 +308,9 @@ fn worker_loop(inner: Arc<Inner>) {
         };
         inner.space.notify_one();
         let mut response = inner.run_one(&job);
+        if response.certificate.is_some() {
+            obs::registry().counter(obs::names::CERTIFIED_JOBS).inc();
+        }
         job.trace.finish();
         obs::registry()
             .histogram(obs::names::JOB_US)
@@ -644,6 +654,7 @@ impl Service {
             persisted_sessions: self.inner.engine.restored_sessions(),
             budget_skips: self.inner.engine.budget_skips(),
             hot_heuristic_keys: self.inner.engine.hot_heuristic_keys(8),
+            certified_jobs: obs::registry().counter(obs::names::CERTIFIED_JOBS).get(),
             snapshot_load_failures: self.inner.snapshot_load_failures.load(Ordering::Relaxed),
         }
     }
@@ -672,6 +683,7 @@ impl Service {
             queue_depth: self.inner.queue_depth as u64,
             workers: self.worker_count as u64,
             timing: true,
+            certificate: true,
         }
     }
 

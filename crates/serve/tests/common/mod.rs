@@ -83,6 +83,7 @@ impl Strategy for GateStrategy {
             partition: ebmf::trivial_partition(job.matrix),
             proved_optimal: false,
             conflicts: 0,
+            certificate: None,
         }
     }
 }

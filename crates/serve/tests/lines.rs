@@ -325,6 +325,69 @@ fn timing_stays_off_the_wire_unless_opted_in() {
     }
 }
 
+/// A v2 connection that opts into `certificate` at handshake gets the
+/// self-contained (DIMACS, DRAT) refutation on certified UNSAT-proved
+/// answers, and the standalone checker accepts it straight off the wire.
+#[test]
+fn certificate_opt_in_puts_proofs_on_v2_responses() {
+    let service = service();
+    // Fig. 1b: depth 5 over a rank floor of 4, so optimality rests on an
+    // UNSAT answer — the one case a certificate exists for.
+    let input = "{\"hello\": 2, \"certificate\": true}\n\
+                 {\"id\": \"c0\", \"matrix\": \"101100;010011;101010;010101;111000;000111\", \
+                  \"certify\": true}\n";
+    let mut out = Vec::new();
+    let summary = serve_connection(&service, input.as_bytes(), &mut out).unwrap();
+    assert_eq!(summary.version, WireVersion::V2);
+    assert_eq!(summary.solved, 1);
+
+    let text = String::from_utf8(out).unwrap();
+    assert!(
+        text.contains("\"certificate\": true"),
+        "hello ack must advertise the capability:\n{text}"
+    );
+    let resp = text
+        .lines()
+        .filter_map(|l| JobResponse::parse_line(l).ok())
+        .find(|r| r.ok)
+        .unwrap_or_else(|| panic!("solved response expected:\n{text}"));
+    assert!(resp.proved_optimal && resp.depth == 5);
+    let cert = resp
+        .certificate
+        .unwrap_or_else(|| panic!("opted-in certify response must carry a certificate:\n{text}"));
+    assert_eq!(cert.bound + 1, resp.depth, "refutes the bound below");
+    certcheck::check_certificate(&cert.cnf, &cert.drat)
+        .expect("wire-delivered certificate must pass the standalone checker");
+}
+
+/// Without the handshake flag the proof never reaches the wire — and the
+/// `certify` request flag is dropped at the reader so the solver does not
+/// pay for proof logging nobody can receive. v1 is frozen and never
+/// carries it either.
+#[test]
+fn certificates_stay_off_the_wire_unless_opted_in() {
+    for input in [
+        // v2 without the flag.
+        "{\"hello\": 2}\n{\"id\": \"q\", \"matrix\": \
+         \"101100;010011;101010;010101;111000;000111\", \"certify\": true}\n",
+        // v1: certify is not even a v1 request field.
+        "{\"id\": \"q\", \"matrix\": \"101100;010011;101010;010101;111000;000111\", \
+         \"certify\": true}\n",
+    ] {
+        let service = service();
+        let mut out = Vec::new();
+        let summary = serve_connection(&service, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.solved, 1);
+        let text = String::from_utf8(out).unwrap();
+        for line in text.lines().filter(|l| l.contains("\"id\": \"q\"")) {
+            assert!(
+                !line.contains("\"certificate\""),
+                "uninvited certificate in {line}"
+            );
+        }
+    }
+}
+
 /// An oversized line (no newline in sight) answers one protocol error
 /// and closes the connection — with the summary trailer still emitted —
 /// instead of buffering the line without bound.

@@ -6,6 +6,9 @@
 //! * [`bitmatrix`] — bit-packed binary matrices;
 //! * [`linalg`] — exact rank computations and fooling-set bounds;
 //! * [`sat`] — the CDCL SAT solver used by the exact EBMF solver;
+//! * [`certcheck`] — standalone DRAT/LRAT certificate validator (shares
+//!   no code with the solver, so optimality claims are checked
+//!   independently);
 //! * [`exactcover`] — Algorithm X / dancing links;
 //! * [`ebmf`] — the paper's core contribution: row packing and SAP;
 //! * [`qaddress`] — AOD addressing schedules and the FTQC two-level layer;
@@ -16,6 +19,7 @@
 //! * [`serve`] — the `Service` facade and its stdin/socket transports.
 
 pub use bitmatrix;
+pub use certcheck;
 pub use ebmf;
 pub use engine;
 pub use exactcover;
