@@ -23,7 +23,14 @@
 //! Phase 4 measures the **socket front-end**: the phase-1 stream replayed
 //! over a real TCP connection against `serve_socket` (protocol v2
 //! handshake included), so the wire/transport overhead of the serving
-//! stack lands in the trajectory next to the in-process numbers. Emits
+//! stack lands in the trajectory next to the in-process numbers.
+//!
+//! Phase 7 streams the **seeded traffic-generator mixes** (Zipf hot
+//! classes, bursty arrivals, circuit layers, adversarial strongly-regular
+//! matrices) through fresh services, and submits one circuit layer
+//! sequence both as a protocol-v2 `schedule` frame and as independent
+//! jobs — the schedule summary's cross-layer cache hits are the headline
+//! reuse figure (`--check` gates them above zero). Emits
 //! `BENCH_engine.json` in the working directory.
 //!
 //! Usage: `engine_bench [jobs] [distinct] [size] [workers] [--check]`
@@ -535,6 +542,144 @@ fn socket_phase(stream: &str, jobs: usize, workers: usize) -> SocketMetrics {
     }
 }
 
+/// One generator mix streamed through a fresh service (phase 7): the
+/// seeded traffic shapes — Zipf hot classes, bursty arrivals, circuit
+/// layers, adversarial strongly-regular matrices — measured the same way
+/// as the synthetic phase-1 stream.
+struct TrafficMixMetrics {
+    name: &'static str,
+    jobs: usize,
+    jobs_per_second: f64,
+    hit_rate: f64,
+    proved_optimal: usize,
+}
+
+fn traffic_mix_arm(workload: traffic::Workload, jobs: usize, workers: usize) -> TrafficMixMetrics {
+    let name = workload.name();
+    let mut stream = String::new();
+    for (k, spec) in workload.take(jobs).enumerate() {
+        let req = JobRequest::new(format!("{name}-{k:03}"), spec.matrix).with_budget_ms(2_000);
+        stream.push_str(&req.to_json_line());
+        stream.push('\n');
+    }
+    // A fresh service per mix: each mix's hit rate reflects only its own
+    // duplicate structure, not another mix's leftovers.
+    let service = Service::with_engine_config(
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+        ServiceConfig::default(),
+    );
+    let start = Instant::now();
+    let mut raw = Vec::new();
+    let summary = serve_connection(&service, stream.as_bytes(), &mut raw)
+        .expect("in-memory batch cannot fail on I/O");
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(summary.solved, jobs, "every {name} traffic job must solve");
+    let stats = service.engine().cache_stats();
+    TrafficMixMetrics {
+        name,
+        jobs,
+        jobs_per_second: jobs as f64 / wall,
+        hit_rate: stats.hit_rate(),
+        proved_optimal: String::from_utf8(raw)
+            .expect("responses are UTF-8")
+            .lines()
+            .filter(|l| !SummaryFrame::is_summary_line(l))
+            .map(|l| JobResponse::parse_line(l).expect("well-formed response"))
+            .filter(|r| r.proved_optimal)
+            .count(),
+    }
+}
+
+/// The schedule-vs-independent comparison (phase 7): the same circuit
+/// layer sequence submitted once as a protocol-v2 `schedule` frame and
+/// once as independent job lines, each against a fresh service over a
+/// real TCP socket. The schedule's summary reports the cross-layer cache
+/// hits the sequential execution harvested — the headline reuse number
+/// (`--check` gates it above zero).
+struct TrafficScheduleMetrics {
+    layers: usize,
+    schedule_wall_seconds: f64,
+    cross_layer_cache_hits: u64,
+    schedule_total_depth: u64,
+    independent_wall_seconds: f64,
+    independent_cache_hits: u64,
+}
+
+fn traffic_schedule_phase(workers: usize) -> TrafficScheduleMetrics {
+    use engine::protocol::{ScheduleRequest, ScheduleSummary};
+
+    let layers = traffic::circuit_layers(8, 8, 12);
+    let fresh_service = || {
+        Arc::new(Service::with_engine_config(
+            EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            },
+            ServiceConfig {
+                queue_depth: layers.len().max(serve::DEFAULT_QUEUE_DEPTH),
+                ..ServiceConfig::default()
+            },
+        ))
+    };
+
+    // Arm 1: one schedule frame; the server solves the layers in order
+    // against its shared cache and reports the hits in the summary.
+    let mut server =
+        serve_socket(fresh_service(), &BindAddr::parse("127.0.0.1:0")).expect("bind loopback");
+    let mut client = serve::LineClient::connect(server.local_addr()).expect("connect loopback");
+    client.handshake().expect("v2 handshake");
+    let req = ScheduleRequest::new("bench-circuit", layers.clone());
+    let start = Instant::now();
+    client
+        .send_line(&req.to_json_line())
+        .expect("send schedule");
+    let summary = loop {
+        let line = client
+            .recv_line()
+            .expect("read schedule stream")
+            .expect("summary before EOF");
+        if ScheduleSummary::is_summary_line(&line) {
+            break ScheduleSummary::parse_line(&line).expect("well-formed schedule summary");
+        }
+    };
+    let schedule_wall = start.elapsed().as_secs_f64();
+    assert_eq!(
+        summary.solved as usize,
+        layers.len(),
+        "every layer must solve"
+    );
+    server.shutdown();
+
+    // Arm 2: the same layers as independent v2 job lines on a fresh
+    // service — racing layers instead of sequencing them.
+    let service = fresh_service();
+    let engine = service.engine().clone();
+    let mut server = serve_socket(service, &BindAddr::parse("127.0.0.1:0")).expect("bind loopback");
+    let mut input = String::from("{\"hello\": 2}\n");
+    for (k, layer) in layers.iter().enumerate() {
+        input.push_str(&JobRequest::new(format!("ind-{k:02}"), layer.clone()).to_json_line());
+        input.push('\n');
+    }
+    let start = Instant::now();
+    let mut raw = Vec::new();
+    pump(server.local_addr(), input.as_bytes(), &mut raw).expect("socket pump");
+    let independent_wall = start.elapsed().as_secs_f64();
+    server.shutdown();
+    let independent_hits = engine.cache_stats().hits;
+
+    TrafficScheduleMetrics {
+        layers: layers.len(),
+        schedule_wall_seconds: schedule_wall,
+        cross_layer_cache_hits: summary.cache_hits,
+        schedule_total_depth: summary.total_depth,
+        independent_wall_seconds: independent_wall,
+        independent_cache_hits: independent_hits,
+    }
+}
+
 fn main() {
     // `--check-baseline <file>` carries a value; extract the pair before
     // the flag/positional split.
@@ -699,6 +844,48 @@ fn main() {
         certify.check_seconds,
     );
 
+    // Phase 7: seeded traffic-generator workloads. Runs after the gated
+    // phases (like certification) so the generator streams never perturb
+    // the `--check-baseline` throughput and conflict-ratio numbers.
+    let traffic_jobs = 48;
+    let mixes = [
+        traffic_mix_arm(
+            traffic::Workload::zipf(21, (8, 8), 8, 1.1),
+            traffic_jobs,
+            workers,
+        ),
+        traffic_mix_arm(
+            traffic::Workload::bursty(21, (8, 8), 8, 1.1, 8, 50, 5_000),
+            traffic_jobs,
+            workers,
+        ),
+        traffic_mix_arm(
+            traffic::Workload::layered(21, (8, 8)),
+            traffic_jobs,
+            workers,
+        ),
+        traffic_mix_arm(traffic::Workload::adversarial(21), 12, workers),
+    ];
+    for m in &mixes {
+        eprintln!(
+            "traffic/{}: {} jobs at {:.0} jobs/s, hit rate {:.1}%",
+            m.name,
+            m.jobs,
+            m.jobs_per_second,
+            m.hit_rate * 100.0
+        );
+    }
+    let sched = traffic_schedule_phase(workers);
+    eprintln!(
+        "traffic/schedule: {} layers as one v2 schedule in {:.4}s ({} cross-layer cache hits) \
+         vs independent jobs in {:.4}s ({} hits)",
+        sched.layers,
+        sched.schedule_wall_seconds,
+        sched.cross_layer_cache_hits,
+        sched.independent_wall_seconds,
+        sched.independent_cache_hits,
+    );
+
     let mut json = String::from("{\n");
     let _ = write!(
         json,
@@ -742,6 +929,33 @@ fn main() {
     emit_latency(&mut json, "warm", &warm_latency.summary(), true);
     json.push_str("  },\n");
     emit_kernels(&mut json);
+    json.push_str("  \"traffic\": {\n    \"mixes\": {\n");
+    for (i, m) in mixes.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      \"{}\": {{ \"jobs\": {}, \"jobs_per_second\": {:.1}, \"hit_rate\": {:.4}, \
+             \"proved_optimal\": {} }}{}",
+            m.name,
+            m.jobs,
+            m.jobs_per_second,
+            m.hit_rate,
+            m.proved_optimal,
+            if i + 1 == mixes.len() { "" } else { "," },
+        );
+    }
+    let _ = write!(
+        json,
+        "    }},\n    \"schedule\": {{\n      \"layers\": {},\n      \
+         \"cross_layer_cache_hits\": {},\n      \"total_depth\": {},\n      \
+         \"schedule_wall_seconds\": {:.4},\n      \"independent_wall_seconds\": {:.4},\n      \
+         \"independent_cache_hits\": {}\n    }}\n  }},\n",
+        sched.layers,
+        sched.cross_layer_cache_hits,
+        sched.schedule_total_depth,
+        sched.schedule_wall_seconds,
+        sched.independent_wall_seconds,
+        sched.independent_cache_hits,
+    );
     let _ = write!(
         json,
         "  \"socket\": {{\n    \"jobs\": {jobs},\n    \"wall_seconds\": {:.4},\n    \
@@ -770,6 +984,13 @@ fn main() {
         }
         if persist.restored_sessions == 0 {
             eprintln!("FAIL: snapshot reload restored no sessions");
+            failed = true;
+        }
+        if sched.cross_layer_cache_hits == 0 {
+            eprintln!(
+                "FAIL: a {}-layer circuit schedule harvested no cross-layer cache hits",
+                sched.layers
+            );
             failed = true;
         }
     }

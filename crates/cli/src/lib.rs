@@ -10,7 +10,13 @@
 //! * `pack <file>` — row-packing heuristic only (`--trials N`);
 //! * `rank <file>` — all lower bounds: real rank, GF(2) rank, fooling set;
 //! * `cover <file>` — minimum rectangle *cover* (Boolean rank);
-//! * `schedule <file>` — compile and print an AOD shot schedule;
+//! * `schedule <file>` — compile and print an AOD shot schedule; with
+//!   `--connect <addr|path>` the compiled shot masks are submitted to a
+//!   `serve --listen` server as one protocol-v2 `schedule` frame (layers
+//!   solved sequentially against the shared warm cache) and the streamed
+//!   per-layer responses plus the schedule summary are printed;
+//! * `traffic <mix>` — emit a seeded, reproducible JSON-lines workload
+//!   (`zipf`/`bursty`/`layered`/`adversarial`) for `batch`/`client`;
 //! * `complete <file> <dcfile>` — EBMF with don't-cares (vacancies);
 //! * `gen <family>` — emit a benchmark instance (`rand`/`opt`/`gap`);
 //! * `sat <file.cnf>` — run the built-in CDCL solver on DIMACS input;
@@ -75,7 +81,13 @@ USAGE:
   rect-addr pack     <matrix-file|-> [--trials N]   row-packing heuristic
   rect-addr rank     <matrix-file|->            lower bounds (rank, GF(2), fooling)
   rect-addr cover    <matrix-file|->            minimum rectangle COVER (Boolean rank)
-  rect-addr schedule <matrix-file|->            compile an AOD shot schedule
+  rect-addr schedule <matrix-file|-> [--connect <addr|path>]
+                                                compile an AOD shot schedule;
+                                                --connect submits the shot masks to a
+                                                server as one v2 schedule frame
+  rect-addr traffic  zipf|bursty|layered|adversarial [--seed S] [--count N]
+                     [--rows R] [--cols C] [--classes K]
+                                                emit a seeded JSON-lines workload
   rect-addr complete <matrix-file> <dc-file>    EBMF with don't-care cells
   rect-addr gen      rand <m> <n> <occ%> <seed>     emit a random instance
   rect-addr gen      opt  <m> <n> <k> <seed>        emit a known-optimal instance
@@ -134,6 +146,7 @@ pub fn run(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
         Some("rank") => cmd_matrix_required(args, stdin, cmd_rank),
         Some("cover") => cmd_matrix_required(args, stdin, cmd_cover),
         Some("schedule") => cmd_matrix_required(args, stdin, cmd_schedule),
+        Some("traffic") => cmd_traffic(args),
         Some("complete") => cmd_complete(args, stdin),
         Some("gen") => cmd_gen(args),
         Some("sat") => cmd_sat(args, stdin),
@@ -342,13 +355,20 @@ fn cmd_cover(m: &BitMatrix, _rest: &[String]) -> Result<String, String> {
     Ok(s)
 }
 
-fn cmd_schedule(m: &BitMatrix, _rest: &[String]) -> Result<String, String> {
+fn cmd_schedule(m: &BitMatrix, rest: &[String]) -> Result<String, String> {
     let out = sap(m, &SapConfig::default());
     let schedule = AddressingSchedule::from_partition(&out.partition, Pulse::Rz(0.0));
     let array = QubitArray::new(m.nrows(), m.ncols());
     schedule
         .verify(&array, m)
         .map_err(|e| format!("internal: schedule failed verification: {e}"))?;
+    if let Some(i) = rest.iter().position(|a| a == "--connect") {
+        let addr = rest
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or_else(|| "--connect needs a server address".to_string())?;
+        return schedule_over_socket(&schedule, addr);
+    }
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -365,6 +385,111 @@ fn cmd_schedule(m: &BitMatrix, _rest: &[String]) -> Result<String, String> {
         );
     }
     Ok(s)
+}
+
+/// `schedule --connect`: ship the compiled shot masks to a server as one
+/// protocol-v2 `schedule` frame and print the streamed layer responses
+/// plus the trailing summary. The server solves the layers sequentially
+/// against its shared warm cache, so repeated masks report cache hits.
+fn schedule_over_socket(schedule: &AddressingSchedule, addr: &str) -> Result<String, String> {
+    use engine::protocol::{JobResponse, ScheduleRequest, ScheduleSummary};
+
+    let layers = qaddress::schedule_to_jobs(schedule);
+    let total = layers.len();
+    let req = ScheduleRequest::new("cli", layers);
+    let bind = serve::BindAddr::parse(addr);
+    let mut client =
+        serve::LineClient::connect(&bind).map_err(|e| format!("connecting {addr}: {e}"))?;
+    client
+        .handshake()
+        .map_err(|e| format!("handshake with {addr}: {e}"))?;
+    client
+        .send_line(&req.to_json_line())
+        .map_err(|e| format!("sending schedule: {e}"))?;
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{total} layers sent to {addr} as schedule \"cli\":");
+    loop {
+        let line = client
+            .recv_line()
+            .map_err(|e| format!("reading response: {e}"))?
+            .ok_or_else(|| "server closed before the schedule summary".to_string())?;
+        if ScheduleSummary::is_summary_line(&line) {
+            let summary = ScheduleSummary::parse_line(&line)?;
+            let _ = writeln!(
+                s,
+                "schedule solved {}/{} layers; total depth {} ({}), {} cache hits, {:.3}ms",
+                summary.solved,
+                summary.layers,
+                summary.total_depth,
+                if summary.total_depth as usize == schedule.depth() {
+                    "matches the local compile"
+                } else {
+                    "differs from the local compile"
+                },
+                summary.cache_hits,
+                summary.millis,
+            );
+            return Ok(s);
+        }
+        let resp = JobResponse::parse_line(&line)?;
+        match resp.error_kind() {
+            None => {
+                let _ = writeln!(
+                    s,
+                    "{}: depth {} via {}{}",
+                    resp.id,
+                    resp.depth,
+                    resp.provenance,
+                    if resp.cache_hit { " (cache hit)" } else { "" },
+                );
+            }
+            Some(kind) => {
+                let _ = writeln!(s, "{}: {kind} error", resp.id);
+            }
+        }
+    }
+}
+
+/// `traffic <mix>`: print `--count` JSON job lines from one of the seeded
+/// generator mixes — ready to pipe into `batch -`, `client`, or a raw
+/// socket. The same flags always reproduce the same byte stream.
+fn cmd_traffic(args: &[String]) -> CliOutput {
+    let result = (|| -> Result<String, String> {
+        let mix = args
+            .get(1)
+            .ok_or_else(|| "traffic needs a mix: zipf|bursty|layered|adversarial".to_string())?;
+        let rest = &args[2..];
+        let seed = parse_flag(rest, "--seed", 7)? as u64;
+        let count = parse_flag(rest, "--count", 32)?;
+        let rows = parse_flag(rest, "--rows", 6)?.max(1);
+        let cols = parse_flag(rest, "--cols", 6)?.max(1);
+        let classes = parse_flag(rest, "--classes", 8)?.max(1);
+        let workload = match mix.as_str() {
+            "zipf" => traffic::Workload::zipf(seed, (rows, cols), classes, 1.1),
+            "bursty" => traffic::Workload::bursty(seed, (rows, cols), classes, 1.1, 8, 50, 5_000),
+            "layered" => traffic::Workload::layered(seed, (rows, cols)),
+            "adversarial" => traffic::Workload::adversarial(seed),
+            other => {
+                return Err(format!(
+                    "unknown mix {other:?} (zipf|bursty|layered|adversarial)"
+                ))
+            }
+        };
+        let name = workload.name();
+        let mut s = String::new();
+        for (k, spec) in workload.take(count).enumerate() {
+            // The duplicate class rides in the id, so response streams can
+            // be correlated back to cache-reuse expectations.
+            let job = proto::JobRequest::new(format!("{name}-{k}-c{}", spec.class), spec.matrix);
+            let _ = writeln!(s, "{}", job.to_json_line());
+        }
+        Ok(s)
+    })();
+    match result {
+        Ok(s) => CliOutput::ok(s),
+        Err(e) => CliOutput::err(e),
+    }
 }
 
 fn cmd_complete(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
@@ -1098,6 +1223,64 @@ mod tests {
         assert!(last.starts_with("{\"summary\": true"), "{}", out.stdout);
         assert!(last.contains("\"solved\": 2"), "{}", out.stdout);
         server.shutdown();
+    }
+
+    #[test]
+    fn traffic_emits_a_reproducible_job_stream() {
+        let out = run_str(&["traffic", "zipf", "--seed", "3", "--count", "10"], "");
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert_eq!(out.stdout.lines().count(), 10);
+        for line in out.stdout.lines() {
+            let req = ::engine::protocol::JobRequest::parse_line(line, 0).unwrap();
+            assert!(req.id.starts_with("zipf-"), "{}", req.id);
+        }
+        // Same flags, same bytes.
+        let again = run_str(&["traffic", "zipf", "--seed", "3", "--count", "10"], "");
+        assert_eq!(out.stdout, again.stdout);
+        // A different seed diverges.
+        let other = run_str(&["traffic", "zipf", "--seed", "4", "--count", "10"], "");
+        assert_ne!(out.stdout, other.stdout);
+
+        assert_eq!(run_str(&["traffic"], "").code, 2);
+        assert_eq!(run_str(&["traffic", "nope"], "").code, 2);
+    }
+
+    #[test]
+    fn traffic_pipes_into_batch() {
+        let jobs = run_str(&["traffic", "layered", "--count", "8"], "");
+        assert_eq!(jobs.code, 0, "{}", jobs.stdout);
+        let out = run_str(&["batch", "-", "--workers", "2"], &jobs.stdout);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let summary = out.stdout.lines().last().unwrap();
+        assert!(summary.contains("\"solved\": 8"), "{summary}");
+    }
+
+    #[test]
+    fn schedule_connect_submits_one_v2_schedule_frame() {
+        let service = std::sync::Arc::new(Service::with_engine_config(
+            EngineConfig::default(),
+            ServiceConfig::default(),
+        ));
+        let mut server =
+            serve::serve_socket(service, &serve::BindAddr::parse("127.0.0.1:0")).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let out = run_str(&["schedule", "-", "--connect", &addr], FIG1B);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("5 layers sent"), "{}", out.stdout);
+        assert!(out.stdout.contains("cli/L4: depth 1"), "{}", out.stdout);
+        assert!(
+            out.stdout
+                .contains("schedule solved 5/5 layers; total depth 5 (matches the local compile)"),
+            "{}",
+            out.stdout
+        );
+        server.shutdown();
+
+        // Flag validation.
+        let bad = run_str(&["schedule", "-", "--connect"], FIG1B);
+        assert_eq!(bad.code, 2);
+        assert!(bad.stdout.contains("--connect needs"), "{}", bad.stdout);
     }
 
     #[test]

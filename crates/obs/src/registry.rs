@@ -70,6 +70,11 @@ pub mod names {
     /// Startup snapshot loads that failed for any reason other than
     /// the file not existing (counter).
     pub const SNAPSHOT_LOAD_FAILURES: &str = "snapshot_load_failures";
+    /// Protocol-v2 `schedule` frames accepted by the service (counter).
+    pub const SCHEDULE_JOBS: &str = "schedule_jobs";
+    /// Layers answered on behalf of `schedule` frames — solved, failed,
+    /// deadline-expired or canceled alike (counter).
+    pub const SCHEDULE_LAYERS: &str = "schedule_layers";
 }
 
 /// A monotonically increasing atomic counter.

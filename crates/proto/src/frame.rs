@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 
 use crate::job::{ErrorKind, JobError, JobRequest};
 use crate::json::{parse_json, write_json_string, Json};
+use crate::schedule::ScheduleRequest;
 
 /// The two wire protocol generations. A connection starts in
 /// [`WireVersion::V1`]; a `hello` handshake as the first line upgrades it.
@@ -55,13 +56,18 @@ pub enum ClientFrame {
     },
     /// A job submission.
     Job(JobRequest),
-    /// `{"cancel": "<id>"}` — cancel a still-queued job (v2).
+    /// `{"cancel": "<id>"}` — cancel a still-queued job or an active
+    /// schedule (v2).
     Cancel {
-        /// The id the job was submitted under on this connection.
+        /// The id the job or schedule was submitted under on this
+        /// connection.
         id: String,
     },
     /// `{"stats": true}` — request a stats frame (v2).
     Stats,
+    /// `{"schedule": "<id>", "layers": [...]}` — an ordered multi-layer
+    /// submission solved as one unit (v2).
+    Schedule(ScheduleRequest),
 }
 
 impl ClientFrame {
@@ -112,6 +118,9 @@ impl ClientFrame {
         if json.get("stats").is_some() {
             return Ok(ClientFrame::Stats);
         }
+        if json.get("schedule").is_some() {
+            return ScheduleRequest::from_json(&json, &fallback_id).map(ClientFrame::Schedule);
+        }
         JobRequest::from_json(&json, &fallback_id).map(ClientFrame::Job)
     }
 
@@ -141,6 +150,7 @@ impl ClientFrame {
                 out
             }
             ClientFrame::Stats => "{\"stats\": true}".to_string(),
+            ClientFrame::Schedule(req) => req.to_json_line(),
         }
     }
 }
@@ -165,6 +175,9 @@ pub struct Capabilities {
     /// `certificate` opt-in (machine-checkable optimality proofs).
     /// Absent in acks from older servers → `false`.
     pub certificate: bool,
+    /// Whether the server accepts multi-layer `schedule` frames. Absent
+    /// in acks from older servers → `false`.
+    pub schedule: bool,
 }
 
 /// `{"hello": true, "protocol": N, "server": ..., "capabilities": {...}}` —
@@ -204,8 +217,8 @@ impl HelloAck {
         let _ = write!(
             out,
             "], \"canon_budget\": {}, \"queue_depth\": {}, \"workers\": {}, \"timing\": {}, \
-             \"certificate\": {}}}}}",
-            c.canon_budget, c.queue_depth, c.workers, c.timing, c.certificate
+             \"certificate\": {}, \"schedule\": {}}}}}",
+            c.canon_budget, c.queue_depth, c.workers, c.timing, c.certificate, c.schedule
         );
         out
     }
@@ -252,6 +265,7 @@ impl HelloAck {
                 // with the feature unavailable rather than failing.
                 timing: caps.get("timing").and_then(Json::as_bool) == Some(true),
                 certificate: caps.get("certificate").and_then(Json::as_bool) == Some(true),
+                schedule: caps.get("schedule").and_then(Json::as_bool) == Some(true),
             },
         })
     }
@@ -330,6 +344,12 @@ pub struct SummaryFrame {
     pub canceled: u64,
     /// Submissions rejected with `busy` (v2; always 0 on v1).
     pub busy: u64,
+    /// Multi-layer `schedule` frames accepted on this connection (v2;
+    /// always 0 on v1).
+    pub schedule_jobs: u64,
+    /// Layers answered on behalf of those schedules, whatever the
+    /// outcome (v2; always 0 on v1).
+    pub schedule_layers: u64,
     /// Service-wide engine counters at drain time.
     pub snapshot: EngineSnapshot,
 }
@@ -351,8 +371,9 @@ impl SummaryFrame {
         if version == WireVersion::V2 {
             let _ = write!(
                 out,
-                ", \"canceled\": {}, \"busy\": {}",
-                self.canceled, self.busy
+                ", \"canceled\": {}, \"busy\": {}, \"schedule_jobs\": {}, \
+                 \"schedule_layers\": {}",
+                self.canceled, self.busy, self.schedule_jobs, self.schedule_layers
             );
         }
         let _ = write!(out, ", \"cache_hits\": {}", s.cache_hits);
@@ -393,6 +414,9 @@ impl SummaryFrame {
             failed: num("failed"),
             canceled: num("canceled"),
             busy: num("busy"),
+            // Absent on v1 trailers and pre-schedule servers → 0.
+            schedule_jobs: num("schedule_jobs"),
+            schedule_layers: num("schedule_layers"),
             snapshot: EngineSnapshot {
                 cache_hits: num("cache_hits"),
                 cache_misses: num("cache_misses"),
@@ -460,6 +484,12 @@ pub struct StatsFrame {
     /// Jobs whose response carried an optimality certificate (absent in
     /// frames from servers predating certification → 0).
     pub certified_jobs: u64,
+    /// Multi-layer `schedule` frames accepted service-wide (absent in
+    /// frames from servers predating schedules → 0).
+    pub schedule_jobs: u64,
+    /// Layers answered on behalf of `schedule` frames, whatever the
+    /// outcome (absent → 0).
+    pub schedule_layers: u64,
     /// Hottest heuristic-labeled cache keys (canonizer-aware admission:
     /// these are the keys worth re-canonizing at a larger budget).
     pub canon_heuristic_hot: Vec<HotKey>,
@@ -486,7 +516,8 @@ impl StatsFrame {
              \"entries\": {}, \"evictions\": {}, \"flight_waits\": {}, \"canon_complete\": {}, \
              \"canon_heuristic\": {}}}, \"queue\": {{\"depth\": {}, \"len\": {}}}, \
              \"warm_sessions\": {}, \"persisted_sessions\": {}, \"budget_skips\": {}, \
-             \"certified_jobs\": {}, \"snapshot_load_failures\": {}, \"canon_heuristic_hot\": [",
+             \"certified_jobs\": {}, \"schedule_jobs\": {}, \"schedule_layers\": {}, \
+             \"snapshot_load_failures\": {}, \"canon_heuristic_hot\": [",
             WireVersion::V2.number(),
             s.cache_hits,
             s.cache_misses,
@@ -501,6 +532,8 @@ impl StatsFrame {
             self.persisted_sessions,
             self.budget_skips,
             self.certified_jobs,
+            self.schedule_jobs,
+            self.schedule_layers,
             self.snapshot_load_failures,
         );
         for (i, hot) in self.canon_heuristic_hot.iter().enumerate() {
@@ -558,6 +591,8 @@ impl StatsFrame {
             persisted_sessions: num(&json, "persisted_sessions"),
             budget_skips: num(&json, "budget_skips"),
             certified_jobs: num(&json, "certified_jobs"),
+            schedule_jobs: num(&json, "schedule_jobs"),
+            schedule_layers: num(&json, "schedule_layers"),
             snapshot_load_failures: num(&json, "snapshot_load_failures"),
             // Absent on lines from older servers → empty histograms.
             latency: match json.get("latency") {
@@ -675,13 +710,32 @@ mod tests {
             ClientFrame::Job(req) => assert_eq!(req.id, "a"),
             other => panic!("expected job, got {other:?}"),
         }
+
+        let sched_line = "{\"schedule\": \"s1\", \"layers\": [\"10;01\", \"11;00\"]}";
+        match ClientFrame::parse_line(sched_line, 1).unwrap() {
+            ClientFrame::Schedule(req) => {
+                assert_eq!(req.id, "s1");
+                assert_eq!(req.layers.len(), 2);
+                assert_eq!(
+                    ClientFrame::parse_line(&ClientFrame::Schedule(req.clone()).to_json_line(), 1)
+                        .unwrap(),
+                    ClientFrame::Schedule(req)
+                );
+            }
+            other => panic!("expected schedule, got {other:?}"),
+        }
     }
 
     #[test]
     fn job_lines_with_stray_marker_keys_stay_jobs() {
         // Unknown extra fields were always ignored on job lines, so a
         // stray control-marker-named field must not consume the job.
-        for stray in ["\"stats\": true", "\"cancel\": \"x\"", "\"hello\": 2"] {
+        for stray in [
+            "\"stats\": true",
+            "\"cancel\": \"x\"",
+            "\"hello\": 2",
+            "\"schedule\": \"x\"",
+        ] {
             let line = format!("{{\"id\": \"j\", \"matrix\": \"10;01\", {stray}}}");
             match ClientFrame::parse_line(&line, 1).unwrap() {
                 ClientFrame::Job(req) => assert_eq!(req.id, "j"),
@@ -711,19 +765,23 @@ mod tests {
                 workers: 4,
                 timing: true,
                 certificate: true,
+                schedule: true,
             },
         };
         let line = ack.to_json_line();
         assert!(line.contains("\"timing\": true"), "{line}");
         assert!(line.contains("\"certificate\": true"), "{line}");
+        assert!(line.contains("\"schedule\": true"), "{line}");
         assert_eq!(HelloAck::parse_line(&line).unwrap(), ack);
-        // An ack from a server predating the flags parses with both off.
+        // An ack from a server predating the flags parses with all off.
         let legacy = line
             .replace(", \"timing\": true", "")
-            .replace(", \"certificate\": true", "");
+            .replace(", \"certificate\": true", "")
+            .replace(", \"schedule\": true", "");
         let parsed = HelloAck::parse_line(&legacy).unwrap();
         assert!(!parsed.capabilities.timing, "{legacy}");
         assert!(!parsed.capabilities.certificate, "{legacy}");
+        assert!(!parsed.capabilities.schedule, "{legacy}");
     }
 
     #[test]
@@ -744,6 +802,8 @@ mod tests {
             failed: 1,
             canceled: 0,
             busy: 0,
+            schedule_jobs: 1,
+            schedule_layers: 3,
             snapshot: EngineSnapshot {
                 cache_hits: 2,
                 cache_misses: 2,
@@ -765,11 +825,18 @@ mod tests {
         let v2 = frame.to_json_line(WireVersion::V2);
         assert!(v2.contains("\"protocol\": 2"), "{v2}");
         assert!(v2.contains("\"canceled\": 0"), "{v2}");
+        assert!(v2.contains("\"schedule_jobs\": 1"), "{v2}");
         let parsed = SummaryFrame::parse_line(&v2).unwrap();
         assert_eq!(parsed, frame, "v2 trailer round-trips losslessly");
         assert_eq!(parsed.snapshot.cache_misses, 2);
         assert_eq!(parsed.snapshot.canon_complete, 4);
         assert!(SummaryFrame::is_summary_line(&v2));
+        // A v2 trailer from a server predating schedules parses with the
+        // schedule counters at 0.
+        let legacy = v2.replace(", \"schedule_jobs\": 1, \"schedule_layers\": 3", "");
+        let parsed = SummaryFrame::parse_line(&legacy).unwrap();
+        assert_eq!(parsed.schedule_jobs, 0, "{legacy}");
+        assert_eq!(parsed.schedule_layers, 0, "{legacy}");
         assert!(!SummaryFrame::is_summary_line(
             "{\"id\": \"x\", \"ok\": true"
         ));
@@ -788,6 +855,8 @@ mod tests {
             persisted_sessions: 17,
             budget_skips: 5,
             certified_jobs: 7,
+            schedule_jobs: 2,
+            schedule_layers: 6,
             canon_heuristic_hot: vec![HotKey {
                 key: "x".repeat(200),
                 count: 9,
@@ -801,6 +870,8 @@ mod tests {
         assert_eq!(parsed.persisted_sessions, 17);
         assert_eq!(parsed.budget_skips, 5);
         assert_eq!(parsed.certified_jobs, 7);
+        assert_eq!(parsed.schedule_jobs, 2);
+        assert_eq!(parsed.schedule_layers, 6);
         assert_eq!(parsed.snapshot_load_failures, 2);
         // A pre-persistence stats line — the keys genuinely absent, as an
         // older server would emit — still parses, defaulting both to 0.
@@ -871,6 +942,8 @@ mod tests {
         assert_eq!(legacy.snapshot_load_failures, 0);
         assert_eq!(legacy.persisted_sessions, 4);
         assert_eq!(legacy.certified_jobs, 0);
+        assert_eq!(legacy.schedule_jobs, 0);
+        assert_eq!(legacy.schedule_layers, 0);
         // A malformed latency value degrades to empty, not an error.
         let odd = legacy_line.replace(
             ", \"canon_heuristic_hot\"",

@@ -34,6 +34,7 @@ pub mod frame;
 pub mod job;
 pub mod json;
 pub mod line;
+pub mod schedule;
 
 pub use frame::{
     CancelAck, Capabilities, ClientFrame, EngineSnapshot, HelloAck, HotKey, LatencySummary,
@@ -42,3 +43,4 @@ pub use frame::{
 pub use job::{Certificate, ErrorKind, JobError, JobRequest, JobResponse, Timing};
 pub use json::{parse_json, write_json_string, Json};
 pub use line::{read_line_bounded, LineRead, MAX_LINE_BYTES, MAX_RESPONSE_LINE_BYTES};
+pub use schedule::{ScheduleRequest, ScheduleSummary, MAX_SCHEDULE_LAYERS};

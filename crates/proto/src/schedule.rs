@@ -1,0 +1,590 @@
+//! The protocol-v2 `schedule` frame pair: a multi-layer circuit
+//! submission and its aggregated summary.
+//!
+//! The paper's real consumers rarely submit one matrix at a time — they
+//! submit ordered layer sequences over one atom array (circuit schedules,
+//! FTQC two-level layers, nearest-neighbor gate rounds), where consecutive
+//! layers share structure. A [`ScheduleRequest`] carries the whole
+//! sequence in one line; the server decomposes it into per-layer solves
+//! that share the warm-session chain and the canonical cache, streams each
+//! layer's ordinary response (ids `<schedule>/L<k>`) as it completes, and
+//! trails the batch with a [`ScheduleSummary`] frame. See `PROTOCOL.md`
+//! for the full framing rules (cancel with partial results, per-layer
+//! deadline semantics, opt-in certificate passthrough).
+
+use std::fmt::Write as _;
+
+use bitmatrix::BitMatrix;
+
+use crate::job::{ErrorKind, JobError, JobRequest};
+use crate::json::{parse_json, write_json_string, Json};
+
+/// Upper bound on layers in one `schedule` frame: generous for real
+/// circuits (thousands of gate rounds) while keeping one line from
+/// enqueueing unbounded work.
+pub const MAX_SCHEDULE_LAYERS: usize = 4096;
+
+/// `{"schedule": "<id>", "layers": [...], ...}` — an ordered layer
+/// sequence over one array shape, submitted as a single unit (v2 only; a
+/// v1 connection has no control frames and would answer a parse error).
+///
+/// Every layer is a pattern matrix in the same encoding job lines use
+/// (array of `0`/`1` row strings, or one `;`-separated string), and all
+/// layers must share one shape — they address the same physical array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleRequest {
+    /// Correlation id; per-layer responses are named `<id>/L<k>`.
+    pub id: String,
+    /// The ordered layer patterns, all of one shape.
+    pub layers: Vec<BitMatrix>,
+    /// Schedule-level priority applied to every layer (v2 queue rules:
+    /// higher first, FIFO ties).
+    pub priority: i64,
+    /// Per-layer deadlines in milliseconds, **measured from schedule
+    /// acceptance** (not per-layer submission — layers run sequentially,
+    /// so a layer's clock includes its predecessors). Always the same
+    /// length as `layers`; `None` entries have no deadline.
+    pub deadline_ms: Vec<Option<u64>>,
+    /// Per-layer wall-clock budget (same meaning as a job's `budget_ms`).
+    pub budget_ms: Option<u64>,
+    /// Per-layer SAT conflict budget.
+    pub conflicts: Option<u64>,
+    /// Request optimality certificates for every layer (honored only when
+    /// the hello opted into certificate passthrough, like jobs).
+    pub certify: bool,
+}
+
+impl ScheduleRequest {
+    /// A schedule with defaults for every optional field.
+    pub fn new(id: impl Into<String>, layers: Vec<BitMatrix>) -> ScheduleRequest {
+        let deadline_ms = vec![None; layers.len()];
+        ScheduleRequest {
+            id: id.into(),
+            layers,
+            priority: 0,
+            deadline_ms,
+            budget_ms: None,
+            conflicts: None,
+            certify: false,
+        }
+    }
+
+    /// The wire id of layer `k`'s response: `<id>/L<k>`. One definition,
+    /// shared by the server-side runner and clients correlating layers.
+    pub fn layer_id(id: &str, k: usize) -> String {
+        format!("{id}/L{k}")
+    }
+
+    /// Expands the schedule into its per-layer [`JobRequest`]s — the same
+    /// jobs an independent client would have submitted one by one.
+    /// Deadlines are copied as-is (callers accounting for elapsed schedule
+    /// time, like the serve runner, adjust them per layer).
+    pub fn to_jobs(&self) -> Vec<JobRequest> {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(k, layer)| JobRequest {
+                id: Self::layer_id(&self.id, k),
+                matrix: layer.clone(),
+                budget_ms: self.budget_ms,
+                conflicts: self.conflicts,
+                priority: self.priority,
+                deadline_ms: self.deadline_ms.get(k).copied().flatten(),
+                certify: self.certify,
+            })
+            .collect()
+    }
+
+    /// Serializes the request as one JSON line (client side). Optional
+    /// fields at their defaults are omitted, mirroring job lines.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{\"schedule\": ");
+        write_json_string(&mut out, &self.id);
+        out.push_str(", \"layers\": [");
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('[');
+            for (r, row) in layer.iter_rows().enumerate() {
+                if r > 0 {
+                    out.push_str(", ");
+                }
+                write_json_string(&mut out, &row.to_string());
+            }
+            out.push(']');
+        }
+        out.push(']');
+        if self.priority != 0 {
+            let _ = write!(out, ", \"priority\": {}", self.priority);
+        }
+        if self.deadline_ms.iter().any(Option::is_some) {
+            out.push_str(", \"deadline_ms\": [");
+            for (i, d) in self.deadline_ms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match d {
+                    Some(ms) => {
+                        let _ = write!(out, "{ms}");
+                    }
+                    None => out.push_str("null"),
+                }
+            }
+            out.push(']');
+        }
+        if let Some(b) = self.budget_ms {
+            let _ = write!(out, ", \"budget_ms\": {b}");
+        }
+        if let Some(c) = self.conflicts {
+            let _ = write!(out, ", \"conflicts\": {c}");
+        }
+        if self.certify {
+            out.push_str(", \"certify\": true");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a schedule frame from its JSON value. Errors carry the
+    /// schedule id when one was readable (so the failure response
+    /// correlates), else `fallback_id`.
+    pub fn from_json(
+        json: &Json,
+        fallback_id: &str,
+    ) -> Result<ScheduleRequest, (String, JobError)> {
+        let id = json
+            .get("schedule")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| {
+                (
+                    fallback_id.to_string(),
+                    JobError::new(ErrorKind::Protocol, "schedule must carry a string id"),
+                )
+            })?;
+        let err = |kind: ErrorKind, msg: String| (id.clone(), JobError::new(kind, msg));
+
+        let layer_values = match json.get("layers") {
+            Some(Json::Arr(layers)) => layers,
+            Some(_) => {
+                return Err(err(
+                    ErrorKind::Protocol,
+                    "layers must be an array of matrices".to_string(),
+                ))
+            }
+            None => {
+                return Err(err(
+                    ErrorKind::Protocol,
+                    "missing \"layers\" field".to_string(),
+                ))
+            }
+        };
+        if layer_values.is_empty() {
+            return Err(err(
+                ErrorKind::Protocol,
+                "a schedule needs at least one layer".to_string(),
+            ));
+        }
+        if layer_values.len() > MAX_SCHEDULE_LAYERS {
+            return Err(err(
+                ErrorKind::Protocol,
+                format!(
+                    "schedule has {} layers; the limit is {MAX_SCHEDULE_LAYERS}",
+                    layer_values.len()
+                ),
+            ));
+        }
+        let mut layers = Vec::with_capacity(layer_values.len());
+        for (k, value) in layer_values.iter().enumerate() {
+            let text = match value {
+                Json::Str(s) => s.replace(';', "\n"),
+                Json::Arr(rows) => {
+                    let mut lines = Vec::with_capacity(rows.len());
+                    for r in rows {
+                        lines.push(
+                            r.as_str()
+                                .ok_or_else(|| {
+                                    err(
+                                        ErrorKind::Parse,
+                                        format!("layer {k}: matrix rows must be strings"),
+                                    )
+                                })?
+                                .to_string(),
+                        );
+                    }
+                    lines.join("\n")
+                }
+                _ => {
+                    return Err(err(
+                        ErrorKind::Parse,
+                        format!("layer {k}: matrix must be a string or array of strings"),
+                    ))
+                }
+            };
+            let matrix: BitMatrix = text
+                .parse()
+                .map_err(|e| err(ErrorKind::Matrix, format!("layer {k}: invalid matrix: {e}")))?;
+            if let Some(first) = layers.first() {
+                let first: &BitMatrix = first;
+                if matrix.shape() != first.shape() {
+                    return Err(err(
+                        ErrorKind::Matrix,
+                        format!(
+                            "layer {k} is {:?} but the schedule's array is {:?} — all layers \
+                             address one array shape",
+                            matrix.shape(),
+                            first.shape()
+                        ),
+                    ));
+                }
+            }
+            layers.push(matrix);
+        }
+
+        let uint = |field: &str, v: &Json| -> Result<u64, (String, JobError)> {
+            v.as_f64()
+                .filter(|n| *n >= 0.0)
+                .map(|n| n as u64)
+                .ok_or_else(|| {
+                    err(
+                        ErrorKind::Parse,
+                        format!("{field} must be a non-negative number"),
+                    )
+                })
+        };
+        let deadline_ms = match json.get("deadline_ms") {
+            None | Some(Json::Null) => vec![None; layers.len()],
+            // A scalar deadline applies to every layer.
+            Some(v @ Json::Num(_)) => vec![Some(uint("deadline_ms", v)?); layers.len()],
+            Some(Json::Arr(ds)) => {
+                if ds.len() != layers.len() {
+                    return Err(err(
+                        ErrorKind::Parse,
+                        format!(
+                            "deadline_ms lists {} entries for {} layers",
+                            ds.len(),
+                            layers.len()
+                        ),
+                    ));
+                }
+                let mut out = Vec::with_capacity(ds.len());
+                for d in ds {
+                    out.push(match d {
+                        Json::Null => None,
+                        v => Some(uint("deadline_ms", v)?),
+                    });
+                }
+                out
+            }
+            Some(_) => {
+                return Err(err(
+                    ErrorKind::Parse,
+                    "deadline_ms must be a number or an array of numbers/nulls".to_string(),
+                ))
+            }
+        };
+        let opt_uint = |field: &str| -> Result<Option<u64>, (String, JobError)> {
+            match json.get(field) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => uint(field, v).map(Some),
+            }
+        };
+        let budget_ms = opt_uint("budget_ms")?;
+        let conflicts = opt_uint("conflicts")?;
+        let priority = match json.get("priority") {
+            None | Some(Json::Null) => 0,
+            Some(v) => v
+                .as_f64()
+                .filter(|n| n.fract() == 0.0 && n.abs() <= i64::MAX as f64)
+                .map(|n| n as i64)
+                .ok_or_else(|| err(ErrorKind::Parse, "priority must be an integer".to_string()))?,
+        };
+        let certify = match json.get("certify") {
+            None | Some(Json::Null) => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => {
+                return Err(err(
+                    ErrorKind::Parse,
+                    "certify must be a boolean".to_string(),
+                ))
+            }
+        };
+        Ok(ScheduleRequest {
+            id,
+            layers,
+            priority,
+            deadline_ms,
+            budget_ms,
+            conflicts,
+            certify,
+        })
+    }
+}
+
+/// `{"schedule": "<id>", "done": true, ...}` — the aggregated trailer of
+/// one schedule, emitted after every layer's own response (in layer
+/// completion order) has been delivered.
+///
+/// `provenance` has one entry per layer, in layer order: the winning
+/// strategy name for solved layers (`cache` for canonical-cache hits) or
+/// the error kind (`canceled`, `deadline`, ...) for unsolved ones — the
+/// per-layer provenance record the schedule's consumer audits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleSummary {
+    /// The schedule's correlation id.
+    pub id: String,
+    /// Layers the schedule carried.
+    pub layers: u64,
+    /// Layers answered successfully.
+    pub solved: u64,
+    /// Layers answered with a non-cancel error (deadline included).
+    pub failed: u64,
+    /// Layers canceled (cancel-with-partial-results: solved layers were
+    /// already delivered, these answered `canceled`).
+    pub canceled: u64,
+    /// Sum of solved layers' depths — the circuit's total shot count.
+    pub total_depth: u64,
+    /// Solved layers whose depth was proved optimal.
+    pub proved_optimal: u64,
+    /// Solved layers answered by the shared canonical cache — the
+    /// cross-layer (and cross-connection) reuse the schedule path exists
+    /// to exploit.
+    pub cache_hits: u64,
+    /// Layers whose response carried an optimality certificate (0 unless
+    /// the hello opted in and the schedule set `certify`).
+    pub certified: u64,
+    /// Total SAT conflicts spent across layers.
+    pub conflicts: u64,
+    /// Wall-clock milliseconds from schedule acceptance to the last
+    /// layer's answer (3-decimal wire precision).
+    pub millis: f64,
+    /// Per-layer provenance, in layer order (see the type docs).
+    pub provenance: Vec<String>,
+}
+
+impl ScheduleSummary {
+    /// Serializes the summary as one JSON line (always v2 — v1 has no
+    /// schedule frames).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{\"schedule\": ");
+        write_json_string(&mut out, &self.id);
+        // `{:.3}` of a non-finite float is not valid JSON; clamp to 0.
+        let millis = if self.millis.is_finite() {
+            self.millis
+        } else {
+            0.0
+        };
+        let _ = write!(
+            out,
+            ", \"done\": true, \"protocol\": 2, \"layers\": {}, \"solved\": {}, \
+             \"failed\": {}, \"canceled\": {}, \"total_depth\": {}, \"proved_optimal\": {}, \
+             \"cache_hits\": {}, \"certified\": {}, \"conflicts\": {}, \"millis\": {millis:.3}, \
+             \"provenance\": [",
+            self.layers,
+            self.solved,
+            self.failed,
+            self.canceled,
+            self.total_depth,
+            self.proved_optimal,
+            self.cache_hits,
+            self.certified,
+            self.conflicts,
+        );
+        for (i, p) in self.provenance.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(&mut out, p);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a schedule summary line (client side). Counter fields absent
+    /// in frames from future or older servers default to 0.
+    pub fn parse_line(line: &str) -> Result<ScheduleSummary, String> {
+        let json = parse_json(line)?;
+        let id = json
+            .get("schedule")
+            .and_then(Json::as_str)
+            .ok_or("not a schedule summary (no schedule id)")?
+            .to_string();
+        if json.get("done").and_then(Json::as_bool) != Some(true) {
+            return Err("not a schedule summary (no done marker)".to_string());
+        }
+        let num = |field: &str| -> u64 {
+            json.get(field)
+                .and_then(Json::as_f64)
+                .map(|n| n as u64)
+                .unwrap_or(0)
+        };
+        Ok(ScheduleSummary {
+            id,
+            layers: num("layers"),
+            solved: num("solved"),
+            failed: num("failed"),
+            canceled: num("canceled"),
+            total_depth: num("total_depth"),
+            proved_optimal: num("proved_optimal"),
+            cache_hits: num("cache_hits"),
+            certified: num("certified"),
+            conflicts: num("conflicts"),
+            millis: json.get("millis").and_then(Json::as_f64).unwrap_or(0.0),
+            provenance: json
+                .get("provenance")
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|p| p.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+
+    /// Whether a server line is a schedule summary (cheap classification
+    /// for clients interleaving layer responses and trailers).
+    pub fn is_summary_line(line: &str) -> bool {
+        line.starts_with("{\"schedule\": ") && line.contains("\"done\": true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(text: &str) -> BitMatrix {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn schedule_request_roundtrips() {
+        let mut req = ScheduleRequest::new(
+            "s1",
+            vec![layer("10\n01"), layer("11\n00"), layer("01\n10")],
+        );
+        req.priority = 3;
+        req.deadline_ms = vec![Some(500), None, Some(1000)];
+        req.budget_ms = Some(50);
+        req.conflicts = Some(2000);
+        req.certify = true;
+        let line = req.to_json_line();
+        let parsed = ScheduleRequest::from_json(&parse_json(&line).unwrap(), "f").unwrap();
+        assert_eq!(parsed, req);
+
+        // Defaults are omitted from the wire and restored on parse.
+        let bare = ScheduleRequest::new("s2", vec![layer("1")]);
+        let line = bare.to_json_line();
+        assert_eq!(line, "{\"schedule\": \"s2\", \"layers\": [[\"1\"]]}");
+        let parsed = ScheduleRequest::from_json(&parse_json(&line).unwrap(), "f").unwrap();
+        assert_eq!(parsed, bare);
+    }
+
+    #[test]
+    fn scalar_deadline_applies_to_every_layer() {
+        let line = "{\"schedule\": \"s\", \"layers\": [\"10;01\", \"11;00\"], \
+                    \"deadline_ms\": 250}";
+        let req = ScheduleRequest::from_json(&parse_json(line).unwrap(), "f").unwrap();
+        assert_eq!(req.deadline_ms, vec![Some(250), Some(250)]);
+    }
+
+    #[test]
+    fn layer_jobs_inherit_schedule_fields() {
+        let mut req = ScheduleRequest::new("s", vec![layer("10\n01"), layer("11\n00")]);
+        req.priority = -2;
+        req.deadline_ms = vec![None, Some(9)];
+        req.conflicts = Some(77);
+        let jobs = req.to_jobs();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, "s/L0");
+        assert_eq!(jobs[1].id, "s/L1");
+        assert!(jobs.iter().all(|j| j.priority == -2));
+        assert!(jobs.iter().all(|j| j.conflicts == Some(77)));
+        assert_eq!(jobs[0].deadline_ms, None);
+        assert_eq!(jobs[1].deadline_ms, Some(9));
+    }
+
+    #[test]
+    fn malformed_schedules_report_structured_errors() {
+        let cases = [
+            (
+                "{\"schedule\": 7, \"layers\": [\"1\"]}",
+                ErrorKind::Protocol,
+            ),
+            ("{\"schedule\": \"s\"}", ErrorKind::Protocol),
+            ("{\"schedule\": \"s\", \"layers\": []}", ErrorKind::Protocol),
+            ("{\"schedule\": \"s\", \"layers\": 3}", ErrorKind::Protocol),
+            (
+                "{\"schedule\": \"s\", \"layers\": [\"12\"]}",
+                ErrorKind::Matrix,
+            ),
+            (
+                // Mismatched layer shapes address no single array.
+                "{\"schedule\": \"s\", \"layers\": [\"10;01\", \"1\"]}",
+                ErrorKind::Matrix,
+            ),
+            (
+                "{\"schedule\": \"s\", \"layers\": [\"1\", \"0\"], \"deadline_ms\": [5]}",
+                ErrorKind::Parse,
+            ),
+            (
+                "{\"schedule\": \"s\", \"layers\": [\"1\"], \"certify\": \"yes\"}",
+                ErrorKind::Parse,
+            ),
+        ];
+        for (line, kind) in cases {
+            let (_, err) = ScheduleRequest::from_json(&parse_json(line).unwrap(), "f").unwrap_err();
+            assert_eq!(err.kind, kind, "{line}");
+        }
+        // The id is still used for correlation when readable.
+        let (id, _) =
+            ScheduleRequest::from_json(&parse_json("{\"schedule\": \"sx\"}").unwrap(), "f")
+                .unwrap_err();
+        assert_eq!(id, "sx");
+    }
+
+    #[test]
+    fn oversized_schedules_are_rejected() {
+        let layers: Vec<String> = (0..MAX_SCHEDULE_LAYERS + 1)
+            .map(|_| "\"1\"".to_string())
+            .collect();
+        let line = format!(
+            "{{\"schedule\": \"big\", \"layers\": [{}]}}",
+            layers.join(", ")
+        );
+        let (_, err) = ScheduleRequest::from_json(&parse_json(&line).unwrap(), "f").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Protocol);
+    }
+
+    #[test]
+    fn schedule_summary_roundtrips() {
+        let summary = ScheduleSummary {
+            id: "s1".to_string(),
+            layers: 3,
+            solved: 2,
+            failed: 0,
+            canceled: 1,
+            total_depth: 4,
+            proved_optimal: 2,
+            cache_hits: 1,
+            certified: 0,
+            conflicts: 831,
+            millis: 12.345,
+            provenance: vec!["sap".into(), "cache".into(), "canceled".into()],
+        };
+        let line = summary.to_json_line();
+        assert!(ScheduleSummary::is_summary_line(&line), "{line}");
+        assert_eq!(ScheduleSummary::parse_line(&line).unwrap(), summary);
+        // A schedule *request* line is not a summary.
+        assert!(!ScheduleSummary::is_summary_line(
+            "{\"schedule\": \"s1\", \"layers\": [[\"1\"]]}"
+        ));
+        // Counters absent in older/newer servers default to 0.
+        let sparse = "{\"schedule\": \"s\", \"done\": true}";
+        let parsed = ScheduleSummary::parse_line(sparse).unwrap();
+        assert_eq!(parsed.layers, 0);
+        assert_eq!(parsed.certified, 0);
+        assert!(parsed.provenance.is_empty());
+    }
+}

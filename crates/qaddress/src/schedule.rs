@@ -202,6 +202,22 @@ impl AddressingSchedule {
     }
 }
 
+/// The bridge from a compiled [`AddressingSchedule`] to the serving
+/// stack's wire layers: each shot's illuminated-site mask, in execution
+/// order. Every mask is a rank-≤1 rectangle over the schedule's array
+/// shape, so the list is exactly the ordered layer sequence a protocol-v2
+/// `schedule` frame carries — submit it and the per-layer responses come
+/// back one per shot (each trivially depth 1, but sharing the server's
+/// canonical cache and warm sessions with every other layer). Their union
+/// reconstructs the addressed pattern.
+pub fn schedule_to_jobs(schedule: &AddressingSchedule) -> Vec<BitMatrix> {
+    schedule
+        .shots()
+        .iter()
+        .map(|shot| shot.aod.site_mask())
+        .collect()
+}
+
 /// Compiles a pattern on an array into an addressing schedule.
 ///
 /// Vacant sites of the array become don't-cares: rectangles may sweep over
@@ -384,6 +400,26 @@ mod tests {
             s.estimated_duration(Duration::from_micros(10)),
             Duration::from_micros(10 * s.depth() as u64)
         );
+    }
+
+    #[test]
+    fn schedule_to_jobs_masks_partition_the_pattern() {
+        let m = fig1b();
+        let array = QubitArray::new(6, 6);
+        let s = compile(&array, &m, Strategy::Exact, Pulse::X).unwrap();
+        let layers = schedule_to_jobs(&s);
+        assert_eq!(layers.len(), s.depth());
+        let mut union = BitMatrix::zeros(6, 6);
+        for layer in &layers {
+            assert_eq!(layer.shape(), s.shape());
+            // Shots never overlap on a vacancy-free array, so the masks
+            // partition the pattern: disjoint, union = pattern.
+            for (i, j) in layer.ones_positions() {
+                assert!(!union.get(i, j), "site ({i},{j}) doubly covered");
+                union.set(i, j, true);
+            }
+        }
+        assert_eq!(union, m);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
 
 use proto::{
     read_line_bounded, CancelAck, ClientFrame, EngineSnapshot, ErrorKind, HelloAck, JobError,
@@ -28,6 +29,7 @@ use proto::{
     PROTOCOL_VERSION,
 };
 
+use crate::schedule::{run_schedule, ScheduleHandle, ScheduleShared, MAX_ACTIVE_SCHEDULES};
 use crate::service::{OutEvent, Service, Ticket};
 
 /// Totals of one drained connection.
@@ -41,6 +43,12 @@ pub struct ConnectionSummary {
     pub canceled: usize,
     /// Submissions rejected with `busy` (v2).
     pub busy: usize,
+    /// Multi-layer `schedule` frames accepted (v2).
+    pub schedule_jobs: usize,
+    /// Layers answered on behalf of those schedules (v2). Each layer's
+    /// response also counts into `solved`/`failed`/`canceled` above, like
+    /// any job answered on the connection.
+    pub schedule_layers: usize,
     /// The protocol version the connection ended in.
     pub version: WireVersion,
 }
@@ -118,6 +126,8 @@ pub fn stats_frame(service: &Service) -> StatsFrame {
         persisted_sessions: stats.persisted_sessions,
         budget_skips: stats.budget_skips,
         certified_jobs: stats.certified_jobs,
+        schedule_jobs: stats.schedule_jobs,
+        schedule_layers: stats.schedule_layers,
         canon_heuristic_hot: stats
             .hot_heuristic_keys
             .iter()
@@ -156,9 +166,14 @@ fn parse_failure(id: String, err: JobError) -> OutEvent {
 
 /// Reader half: parses lines, dispatches frames, submits jobs. Runs on
 /// its own thread; everything it emits goes through `tx` so the writer
-/// stays the single owner of the output stream.
-fn reader_loop<R: BufRead>(
-    service: &Service,
+/// stays the single owner of the output stream. Accepted `schedule`
+/// frames each spawn a runner thread onto the connection's `scope` —
+/// the runner holds a `tx` clone, so the writer's drain naturally waits
+/// for every in-flight schedule.
+#[allow(clippy::too_many_arguments)]
+fn reader_loop<'scope, R: BufRead>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    service: &'scope Service,
     mut input: R,
     tx: Sender<OutEvent>,
     wire: &WireState,
@@ -169,6 +184,7 @@ fn reader_loop<R: BufRead>(
     // worker pool: the writer cancels the group on its first write
     // error, and the sweep below catches jobs submitted after that.
     group: crate::service::GroupId,
+    sched: &'scope ScheduleShared,
 ) {
     let mut tickets: HashMap<String, Ticket> = HashMap::new();
     let mut ticket_order: std::collections::VecDeque<(String, Ticket)> =
@@ -329,13 +345,42 @@ fn reader_loop<R: BufRead>(
                         }
                     }
                     Ok(ClientFrame::Cancel { id }) => {
+                        // Job tickets first (ids are connection-scoped for
+                        // both namespaces), then in-flight schedules.
                         let done = tickets
                             .get(&id)
-                            .is_some_and(|ticket| service.cancel(*ticket));
+                            .is_some_and(|ticket| service.cancel(*ticket))
+                            || sched.cancel(service, &id);
                         OutEvent::Control(CancelAck { id, done }.to_json_line())
                     }
                     Ok(ClientFrame::Stats) => {
                         OutEvent::Control(stats_frame(service).to_json_line())
+                    }
+                    Ok(ClientFrame::Schedule(mut req)) => {
+                        // Same opt-in gate jobs get: proof logging is pure
+                        // cost unless the peer asked for certificates.
+                        req.certify = req.certify && wire.certificate.load(Ordering::Relaxed);
+                        match accept_schedule(service, sched, &req) {
+                            Ok((canceled, sched_group)) => {
+                                obs::registry().counter(obs::names::SCHEDULE_JOBS).inc();
+                                sched.jobs.fetch_add(1, Ordering::Relaxed);
+                                let runner_tx = tx.clone();
+                                scope.spawn(move || {
+                                    run_schedule(
+                                        service,
+                                        req,
+                                        runner_tx,
+                                        canceled,
+                                        sched_group,
+                                        sched,
+                                    );
+                                });
+                                continue;
+                            }
+                            Err(err) => {
+                                OutEvent::Response(JobResponse::failure(req.id.clone(), err))
+                            }
+                        }
                     }
                     Err((id, err)) => parse_failure(id, err),
                 };
@@ -350,9 +395,47 @@ fn reader_loop<R: BufRead>(
         // still-queued jobs so the shared workers move on to live work.
         // Their canceled responses go into the (discarding) writer drain.
         service.cancel_group(group);
+        sched.cancel_all(service);
     }
     // `tx` drops here; the writer's drain ends once every submitted job's
-    // sink clone has delivered its response.
+    // sink clone has delivered its response. Schedule runners hold their
+    // own clones, so the drain also waits for every in-flight schedule.
+}
+
+/// Registers a schedule for execution: enforces the per-connection
+/// in-flight cap and id uniqueness, and hands back the runner's
+/// cancellation handles.
+fn accept_schedule(
+    service: &Service,
+    sched: &ScheduleShared,
+    req: &proto::ScheduleRequest,
+) -> Result<(Arc<AtomicBool>, crate::service::GroupId), JobError> {
+    let mut registry = sched.registry.lock().expect("schedule registry poisoned");
+    if registry.len() >= MAX_ACTIVE_SCHEDULES {
+        obs::registry().counter(obs::names::ERR_BUSY).inc();
+        return Err(JobError::new(
+            ErrorKind::Busy,
+            format!("{MAX_ACTIVE_SCHEDULES} schedules already in flight; retry later"),
+        ));
+    }
+    if registry.contains_key(&req.id) {
+        return Err(JobError::new(
+            ErrorKind::Protocol,
+            format!("schedule id {:?} is already in flight", req.id),
+        ));
+    }
+    let canceled = Arc::new(AtomicBool::new(false));
+    // A private cancellation group per schedule: canceling one schedule
+    // must not abandon the connection's other queued work.
+    let sched_group = service.new_group();
+    registry.insert(
+        req.id.clone(),
+        ScheduleHandle {
+            canceled: Arc::clone(&canceled),
+            group: sched_group,
+        },
+    );
+    Ok((canceled, sched_group))
 }
 
 fn remember(
@@ -395,11 +478,15 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
     // This connection's cancellation group: a dead peer must not leave
     // its queued jobs occupying the shared worker pool.
     let group = service.new_group();
+    let sched = ScheduleShared::default();
+    let sched = &sched;
     let mut summary = ConnectionSummary::default();
 
     let write_error = std::thread::scope(|scope| {
         let reader_tx = tx;
-        scope.spawn(move || reader_loop(service, input, reader_tx, wire, abort, group));
+        scope.spawn(move || {
+            reader_loop(scope, service, input, reader_tx, wire, abort, group, sched)
+        });
 
         // Writer: single owner of the output stream, draining responses in
         // completion order with a flush per line. On a write error keep
@@ -440,12 +527,15 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
                     write_error = Some(e);
                     abort.store(true, Ordering::Relaxed);
                     service.cancel_group(group);
+                    sched.cancel_all(service);
                 }
             }
         }
         write_error
     });
     summary.version = load_version(&wire.version);
+    summary.schedule_jobs = sched.jobs.load(Ordering::Relaxed) as usize;
+    summary.schedule_layers = sched.layers.load(Ordering::Relaxed) as usize;
 
     if let Some(e) = write_error {
         return Err(e);
@@ -457,6 +547,8 @@ pub fn serve_connection<R: BufRead + Send, W: Write>(
         failed: summary.failed as u64,
         canceled: summary.canceled as u64,
         busy: summary.busy as u64,
+        schedule_jobs: summary.schedule_jobs as u64,
+        schedule_layers: summary.schedule_layers as u64,
         snapshot: engine_snapshot(service),
     };
     writeln!(output, "{}", frame.to_json_line(summary.version))?;

@@ -44,11 +44,13 @@
 
 mod client;
 mod connection;
+mod schedule;
 mod service;
 mod socket;
 
 pub use client::{pump, LineClient};
 pub use connection::{serve_connection, stats_frame, ConnectionSummary};
+pub use schedule::MAX_ACTIVE_SCHEDULES;
 pub use service::{
     GroupId, JobHandle, OutEvent, PersistConfig, Service, ServiceConfig, ServiceStats, SubmitError,
     Ticket, DEFAULT_QUEUE_DEPTH, DEFAULT_SNAPSHOT_EVERY,

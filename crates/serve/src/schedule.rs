@@ -1,0 +1,192 @@
+//! Server-side execution of multi-layer `schedule` frames.
+//!
+//! A schedule's layers are solved **sequentially** against the shared
+//! [`Service`] — layer `k+1` is submitted only after layer `k`'s answer
+//! arrived, so consecutive layers reuse the warm `SapSession` chain and
+//! the canonical cache the earlier layers populated (the whole point of
+//! submitting a circuit as one unit instead of racing its layers against
+//! each other). Each layer's ordinary response streams to the peer as it
+//! completes; the aggregated [`ScheduleSummary`] trails the batch.
+//!
+//! Each schedule runs on its own thread inside the connection's scope and
+//! owns a private cancellation group, so a `cancel` frame naming the
+//! schedule abandons *its* still-queued layer without touching the
+//! connection's other jobs: the already-solved layers were delivered, the
+//! in-flight layer finishes (started work is never interrupted), and the
+//! remaining layers answer [`ErrorKind::Canceled`] — partial results by
+//! construction.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use proto::{ErrorKind, JobError, JobResponse, ScheduleRequest, ScheduleSummary};
+
+use crate::service::{GroupId, OutEvent, Service};
+
+/// Bound on schedules a single connection may have in flight; one past it
+/// answers `busy` (same backpressure contract as a full queue).
+pub const MAX_ACTIVE_SCHEDULES: usize = 64;
+
+/// Cancellation handle of one in-flight schedule, registered under its
+/// wire id for `cancel` frames and connection teardown.
+pub struct ScheduleHandle {
+    /// Set by a cancel frame (or teardown); the runner stops submitting.
+    pub canceled: Arc<AtomicBool>,
+    /// The schedule's private cancellation group: canceling it abandons
+    /// the still-queued layer without touching sibling jobs.
+    pub group: GroupId,
+}
+
+/// Per-connection schedule state shared between the reader (accepting and
+/// canceling schedules) and the runner threads (completing them).
+#[derive(Default)]
+pub struct ScheduleShared {
+    /// In-flight schedules by wire id.
+    pub registry: Mutex<HashMap<String, ScheduleHandle>>,
+    /// Schedules accepted on this connection (summary trailer tally).
+    pub jobs: AtomicU64,
+    /// Layers answered on this connection's behalf (summary tally).
+    pub layers: AtomicU64,
+}
+
+impl ScheduleShared {
+    /// Flags every in-flight schedule canceled and abandons their queued
+    /// layers — connection teardown (peer hung up mid-stream).
+    pub fn cancel_all(&self, service: &Service) {
+        let registry = self.registry.lock().expect("schedule registry poisoned");
+        for handle in registry.values() {
+            handle.canceled.store(true, Ordering::Relaxed);
+            service.cancel_group(handle.group);
+        }
+    }
+
+    /// Routes a `cancel` frame naming `id` to its schedule. Returns
+    /// `false` when no schedule by that id is in flight.
+    pub fn cancel(&self, service: &Service, id: &str) -> bool {
+        let registry = self.registry.lock().expect("schedule registry poisoned");
+        match registry.get(id) {
+            Some(handle) => {
+                handle.canceled.store(true, Ordering::Relaxed);
+                service.cancel_group(handle.group);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Runs one accepted schedule to completion: solves the layers in order,
+/// forwards each layer's response to the connection writer, and trails
+/// the batch with the aggregated summary frame. Deregisters the schedule
+/// on the way out.
+pub fn run_schedule(
+    service: &Service,
+    req: ScheduleRequest,
+    out: Sender<OutEvent>,
+    canceled: Arc<AtomicBool>,
+    group: GroupId,
+    shared: &ScheduleShared,
+) {
+    let accepted = Instant::now();
+    let mut summary = ScheduleSummary {
+        id: req.id.clone(),
+        layers: req.layers.len() as u64,
+        solved: 0,
+        failed: 0,
+        canceled: 0,
+        total_depth: 0,
+        proved_optimal: 0,
+        cache_hits: 0,
+        certified: 0,
+        conflicts: 0,
+        millis: 0.0,
+        provenance: Vec::with_capacity(req.layers.len()),
+    };
+    for mut job in req.to_jobs() {
+        let response = if canceled.load(Ordering::Relaxed) {
+            JobResponse::failure(
+                job.id.clone(),
+                JobError::new(ErrorKind::Canceled, "schedule canceled"),
+            )
+        } else if let Some(expired) = expire(&mut job.deadline_ms, accepted) {
+            // Per-layer deadlines run from schedule *acceptance*: a layer
+            // whose clock ran out while its predecessors solved fails
+            // without ever occupying a worker.
+            JobResponse::failure(job.id.clone(), expired)
+        } else {
+            solve_layer(service, job, group)
+        };
+        match response.error_kind() {
+            None => {
+                summary.solved += 1;
+                summary.total_depth += response.depth as u64;
+                summary.proved_optimal += u64::from(response.proved_optimal);
+                summary.cache_hits += u64::from(response.cache_hit);
+                summary.certified += u64::from(response.certificate.is_some());
+                summary.conflicts += response.conflicts;
+                summary.provenance.push(response.provenance.clone());
+            }
+            Some(ErrorKind::Canceled) => {
+                summary.canceled += 1;
+                summary.provenance.push(ErrorKind::Canceled.to_string());
+            }
+            Some(kind) => {
+                summary.failed += 1;
+                summary.provenance.push(kind.to_string());
+            }
+        }
+        obs::registry().counter(obs::names::SCHEDULE_LAYERS).inc();
+        shared.layers.fetch_add(1, Ordering::Relaxed);
+        // A closed writer (connection torn down) just discards the rest.
+        if out.send(OutEvent::Response(response)).is_err() {
+            break;
+        }
+    }
+    summary.millis = accepted.elapsed().as_secs_f64() * 1000.0;
+    let _ = out.send(OutEvent::Control(summary.to_json_line()));
+    shared
+        .registry
+        .lock()
+        .expect("schedule registry poisoned")
+        .remove(&req.id);
+}
+
+/// Clamps a layer deadline to the time remaining since `accepted`;
+/// returns the deadline failure when it already expired.
+fn expire(deadline_ms: &mut Option<u64>, accepted: Instant) -> Option<JobError> {
+    let deadline = (*deadline_ms)?;
+    let elapsed = accepted.elapsed().as_millis().min(u64::MAX as u128) as u64;
+    match deadline.checked_sub(elapsed).filter(|r| *r > 0) {
+        Some(remaining) => {
+            *deadline_ms = Some(remaining);
+            None
+        }
+        None => {
+            obs::registry().counter(obs::names::ERR_DEADLINE).inc();
+            Some(JobError::new(
+                ErrorKind::Deadline,
+                format!("layer deadline of {deadline}ms expired {elapsed}ms into the schedule"),
+            ))
+        }
+    }
+}
+
+/// Submits one layer (blocking on queue space — sequential layers are
+/// natural backpressure) and waits for its response.
+fn solve_layer(service: &Service, job: proto::JobRequest, group: GroupId) -> JobResponse {
+    let id = job.id.clone();
+    let (tx, rx) = mpsc::channel();
+    match service.submit_grouped(job, tx, group, true) {
+        Ok(_ticket) => match rx.recv() {
+            Ok(OutEvent::Response(resp)) => resp,
+            Ok(OutEvent::Control(_)) | Err(_) => JobResponse::failure(
+                id,
+                JobError::new(ErrorKind::Internal, "service dropped the layer"),
+            ),
+        },
+        Err(e) => JobResponse::failure(id, e.to_job_error(service.queue_depth())),
+    }
+}

@@ -152,6 +152,11 @@ pub struct ServiceStats {
     pub hot_heuristic_keys: Vec<(String, u64)>,
     /// Jobs answered with a self-contained DRAT certificate attached.
     pub certified_jobs: u64,
+    /// Multi-layer `schedule` frames accepted service-wide.
+    pub schedule_jobs: u64,
+    /// Layers answered on behalf of `schedule` frames, whatever the
+    /// outcome (solved, failed, deadline-expired or canceled).
+    pub schedule_layers: u64,
     /// Snapshot loads rejected at startup for a reason *other than* the
     /// snapshot simply not existing yet (corruption, foreign schema, IO).
     /// A first boot is not a failure; a silently ignored warm state is.
@@ -655,6 +660,8 @@ impl Service {
             budget_skips: self.inner.engine.budget_skips(),
             hot_heuristic_keys: self.inner.engine.hot_heuristic_keys(8),
             certified_jobs: obs::registry().counter(obs::names::CERTIFIED_JOBS).get(),
+            schedule_jobs: obs::registry().counter(obs::names::SCHEDULE_JOBS).get(),
+            schedule_layers: obs::registry().counter(obs::names::SCHEDULE_LAYERS).get(),
             snapshot_load_failures: self.inner.snapshot_load_failures.load(Ordering::Relaxed),
         }
     }
@@ -684,6 +691,7 @@ impl Service {
             workers: self.worker_count as u64,
             timing: true,
             certificate: true,
+            schedule: true,
         }
     }
 

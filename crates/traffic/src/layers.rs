@@ -1,0 +1,99 @@
+//! Circuit-layer building blocks: the per-round addressing masks of a 2D
+//! nearest-neighbor gate schedule.
+//!
+//! Rosenbaum's 2D-CCNTC construction (and the nearest-neighbor mappings
+//! it inspired) executes two-qubit layers by pairing each site with one
+//! of its four grid neighbors; each direction's round addresses the same
+//! half-grid mask every time it comes up. A full round therefore cycles
+//! through four fixed masks — row stripes in both phases (vertical
+//! pairings) and checkerboard parities (the 2-coloring the horizontal
+//! pairings address) — and a deep circuit repeats them round after round.
+//! That repetition is precisely what the serving stack's canonical cache
+//! exists to exploit, so these layer sequences are the honest model for
+//! cross-layer reuse measurements.
+
+use bitmatrix::BitMatrix;
+use qaddress::patterns;
+
+use crate::rng::SplitMix64;
+
+/// Layers per nearest-neighbor round (see [`nearest_neighbor_round`]).
+pub const ROUND_LAYERS: usize = 4;
+
+/// The `k`-th layer of a nearest-neighbor gate round on a `rows × cols`
+/// grid (`k` taken modulo [`ROUND_LAYERS`]): row stripes phase 0/1, then
+/// checkerboard parity 0/1. Consecutive rounds repeat the same masks.
+pub fn nearest_neighbor_round(rows: usize, cols: usize, k: usize) -> BitMatrix {
+    match k % ROUND_LAYERS {
+        0 => patterns::stripes(rows, cols, 2, 0),
+        1 => patterns::stripes(rows, cols, 2, 1),
+        2 => patterns::checkerboard(rows, cols, 0),
+        _ => patterns::checkerboard(rows, cols, 1),
+    }
+}
+
+/// An `n`-layer vertical-pairing circuit for a protocol-v2 `schedule`
+/// frame: rounds alternate the two stripe phases, so layer `k` repeats
+/// layer `k − 2` exactly. Even the minimal 3-layer schedule already
+/// contains one repeat — the cross-layer duplicate structure the server's
+/// schedule path exists to exploit (and what the CI smoke asserts on).
+pub fn circuit_layers(rows: usize, cols: usize, n: usize) -> Vec<BitMatrix> {
+    (0..n)
+        .map(|k| patterns::stripes(rows, cols, 2, k % 2))
+        .collect()
+}
+
+/// A random row/column relabeling of `layer` — byte-distinct from the
+/// original but in the same canonical class, so a canonizer-keyed cache
+/// answers it without solving. This is how the generators mint duplicate
+/// classes that an exact-bytes cache would miss.
+pub fn rotate_layer(layer: &BitMatrix, rng: &mut SplitMix64) -> BitMatrix {
+    let (rows, cols) = layer.shape();
+    let row_perm = rng.permutation(rows);
+    let col_perm = rng.permutation(cols);
+    BitMatrix::from_fn(rows, cols, |i, j| layer.get(row_perm[i], col_perm[j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_cycle_four_fixed_masks() {
+        for k in 0..ROUND_LAYERS {
+            let a = nearest_neighbor_round(6, 6, k);
+            assert_eq!(a.shape(), (6, 6));
+            assert!(!a.is_zero());
+            // Round r and round r+1 address identical masks.
+            assert_eq!(a, nearest_neighbor_round(6, 6, k + ROUND_LAYERS));
+        }
+        // The four masks are pairwise distinct.
+        for k in 0..ROUND_LAYERS {
+            for l in (k + 1)..ROUND_LAYERS {
+                assert_ne!(
+                    nearest_neighbor_round(5, 7, k),
+                    nearest_neighbor_round(5, 7, l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn circuits_repeat_layers_two_apart() {
+        let layers = circuit_layers(6, 6, 5);
+        assert_eq!(layers.len(), 5);
+        for k in 2..layers.len() {
+            assert_eq!(layers[k], layers[k - 2]);
+        }
+        assert_ne!(layers[0], layers[1]);
+    }
+
+    #[test]
+    fn rotations_preserve_the_one_count() {
+        let mut rng = SplitMix64::new(3);
+        let layer = nearest_neighbor_round(6, 6, 2);
+        let rotated = rotate_layer(&layer, &mut rng);
+        assert_eq!(rotated.shape(), layer.shape());
+        assert_eq!(rotated.count_ones(), layer.count_ones());
+    }
+}

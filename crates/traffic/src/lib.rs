@@ -1,0 +1,38 @@
+//! Seeded, reproducible workload generation for the serving stack.
+//!
+//! The bench and CI smokes historically hammered the engine with i.i.d.
+//! random matrices — traffic that looks nothing like what a production
+//! addressing endpoint sees. Real consumers submit **correlated**
+//! streams: a handful of hot patterns dominating the mix (calibration
+//! sweeps re-running the same masks), on/off bursts (a circuit dispatch
+//! followed by silence), layer sequences of one circuit (consecutive
+//! layers sharing structure), and the occasional pathological matrix that
+//! exhausts the canonizer's budget.
+//!
+//! This crate generates those shapes as infinite, deterministic
+//! iterators: the same seed always produces the same stream, so a bench
+//! number or a CI assertion is reproducible down to the job. Everything
+//! is self-contained — the only dependencies are the workspace's own
+//! `bitmatrix` and `qaddress` crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use rect_addr_traffic::Workload;
+//!
+//! let jobs: Vec<_> = Workload::zipf(7, (6, 6), 8, 1.1).take(100).collect();
+//! assert_eq!(jobs.len(), 100);
+//! // Same seed, same stream.
+//! let again: Vec<_> = Workload::zipf(7, (6, 6), 8, 1.1).take(100).collect();
+//! assert_eq!(jobs, again);
+//! ```
+
+mod adversarial;
+mod layers;
+mod rng;
+mod workload;
+
+pub use adversarial::{paley_matrix, PALEY_PRIMES};
+pub use layers::{circuit_layers, nearest_neighbor_round, rotate_layer, ROUND_LAYERS};
+pub use rng::SplitMix64;
+pub use workload::{JobSpec, Workload};
