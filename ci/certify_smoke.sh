@@ -9,26 +9,14 @@
 #      the proof object on its certified response, the stats frame counts
 #      it in `certified_jobs`, and a session *without* the opt-in never
 #      sees the field.
-# Hardened like the other smokes: the server is always killed *and
-# reaped* (trap), temp files never leak, and a hung server fails the
-# step via `timeout` instead of hanging the runner.
 set -euo pipefail
+source "$(dirname "$0")/lib.sh"
 
-BIN=${BIN:-./target/release/rect-addr}
 SOCK=/tmp/rect-addr-certify-ci.sock
 PREFIX=/tmp/rect-addr-certify-ci
 JOBS=/tmp/rect-addr-certify-ci-jobs.jsonl
 OUT=/tmp/rect-addr-certify-ci-out.jsonl
-SERVER_PID=""
-
-cleanup() {
-  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill "$SERVER_PID" 2>/dev/null || true
-    wait "$SERVER_PID" 2>/dev/null || true
-  fi
-  rm -f "$SOCK" "$PREFIX".cnf "$PREFIX".drat "$PREFIX".drat.bad "$JOBS" "$OUT"
-}
-trap cleanup EXIT
+CLEANUP_FILES+=("$PREFIX.cnf" "$PREFIX.drat" "$PREFIX.drat.bad" "$JOBS" "$OUT")
 
 # Fig. 1b: depth 5 over a rank floor of 4 — optimality rests on an UNSAT
 # answer, so the certified solve must export its refutation.
@@ -41,35 +29,28 @@ FIG1B='101100
 
 printf '%s\n' "$FIG1B" | timeout 120 "$BIN" solve - --certify "$PREFIX" \
   | grep -q 'because depth 4 is UNSAT' \
-  || { echo "FAIL: certified solve did not report the refuted bound"; exit 1; }
+  || fail "certified solve did not report the refuted bound"
 [ -s "$PREFIX.cnf" ] && [ -s "$PREFIX.drat" ] \
-  || { echo "FAIL: certificate files missing or empty"; exit 1; }
+  || fail "certificate files missing or empty"
 
 # The embedded checker accepts the genuine pair...
 timeout 120 "$BIN" certcheck "$PREFIX.cnf" "$PREFIX.drat" | grep -q '^s VERIFIED' \
-  || { echo "FAIL: certcheck rejected a genuine certificate"; exit 1; }
+  || fail "certcheck rejected a genuine certificate"
 
 # ...and rejects a truncated trace with exit 1 and the NOT VERIFIED verdict.
 sed '$d' "$PREFIX.drat" > "$PREFIX.drat.bad"
 if OUTPUT=$(timeout 120 "$BIN" certcheck "$PREFIX.cnf" "$PREFIX.drat.bad"); then
-  echo "FAIL: certcheck accepted a truncated proof"; exit 1
+  fail "certcheck accepted a truncated proof"
 else
   CODE=$?
-  [ "$CODE" -eq 1 ] || { echo "FAIL: truncated proof exited $CODE, want 1"; exit 1; }
+  [ "$CODE" -eq 1 ] || fail "truncated proof exited $CODE, want 1"
 fi
 printf '%s\n' "$OUTPUT" | grep -q '^s NOT VERIFIED' \
-  || { echo "FAIL: truncated proof lacked the NOT VERIFIED verdict: $OUTPUT"; exit 1; }
+  || fail "truncated proof lacked the NOT VERIFIED verdict: $OUTPUT"
 
 # Socket server: the certificate must ride v2 responses when (and only
 # when) the handshake opted in, and the stats frame must count it.
-rm -f "$SOCK"
-"$BIN" serve --listen "$SOCK" &
-SERVER_PID=$!
-for _ in $(seq 40); do
-  [ -S "$SOCK" ] && break
-  sleep 0.25
-done
-[ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
+start_server "$SOCK"
 
 MATRIX='101100;010011;101010;010101;111000;000111'
 { echo '{"hello": 2, "certificate": true}'
@@ -77,18 +58,18 @@ MATRIX='101100;010011;101010;010101;111000;000111'
 } > "$JOBS"
 timeout 120 "$BIN" client "$SOCK" < "$JOBS" > "$OUT"
 
-grep -q '"certificate": true' "$OUT" \
-  || { echo "FAIL: hello ack lacks the certificate capability"; exit 1; }
+assert_json_field "$OUT" certificate true \
+  "hello ack lacks the certificate capability"
 grep '"id": "c0"' "$OUT" | grep -q '"certificate": {"bound": 4' \
-  || { echo "FAIL: opted-in certified response lacks the certificate object"; exit 1; }
+  || fail "opted-in certified response lacks the certificate object"
 grep '"id": "c0"' "$OUT" | grep -q '"drat"' \
-  || { echo "FAIL: wire certificate lacks the DRAT trace"; exit 1; }
+  || fail "wire certificate lacks the DRAT trace"
 
 # A second session (after the first fully drained): the stats frame must
 # now count the certified job.
 printf '{"hello": 2}\n{"stats": true}\n' | timeout 120 "$BIN" client "$SOCK" > "$OUT"
-grep -q '"certified_jobs": [1-9]' "$OUT" \
-  || { echo "FAIL: stats frame did not count the certified job"; exit 1; }
+assert_json_field "$OUT" certified_jobs '[1-9]' \
+  "stats frame did not count the certified job"
 
 # Without the handshake flag the proof stays off the wire entirely.
 { echo '{"hello": 2}'
@@ -96,12 +77,10 @@ grep -q '"certified_jobs": [1-9]' "$OUT" \
 } > "$JOBS"
 timeout 120 "$BIN" client "$SOCK" < "$JOBS" > "$OUT"
 grep '"id": "plain"' "$OUT" | grep -q '"certificate"' \
-  && { echo "FAIL: certificate leaked onto a non-opted connection"; exit 1; }
+  && fail "certificate leaked onto a non-opted connection"
 grep '"id": "plain"' "$OUT" | grep -q '"ok": true' \
-  || { echo "FAIL: non-opted certify job must still solve"; exit 1; }
+  || fail "non-opted certify job must still solve"
 
-kill "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
+stop_server
 
 echo "certify smoke OK"

@@ -6,36 +6,18 @@
 #   2. a v2 "stats" frame reports the latency section with percentiles;
 #   3. the --metrics-dump file appears with a nonzero jobs_completed
 #      counter and histogram percentiles.
-# Hardened like the other smokes: the server is always killed *and
-# reaped* (trap), temp files never leak, and a hung server fails the
-# step via `timeout` instead of hanging the runner.
 set -euo pipefail
+source "$(dirname "$0")/lib.sh"
 
-BIN=${BIN:-./target/release/rect-addr}
 SOCK=/tmp/rect-addr-metrics-ci.sock
 DUMP=/tmp/rect-addr-metrics-ci.json
 JOBS=/tmp/rect-addr-metrics-ci-jobs.jsonl
 OUT=/tmp/rect-addr-metrics-ci-out.jsonl
 STATS=/tmp/rect-addr-metrics-ci-stats.jsonl
-SERVER_PID=""
+CLEANUP_FILES+=("$DUMP" "$JOBS" "$OUT" "$STATS")
 
-cleanup() {
-  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill "$SERVER_PID" 2>/dev/null || true
-    wait "$SERVER_PID" 2>/dev/null || true
-  fi
-  rm -f "$SOCK" "$DUMP" "$JOBS" "$OUT" "$STATS"
-}
-trap cleanup EXIT
-
-rm -f "$SOCK" "$DUMP"
-"$BIN" serve --listen "$SOCK" --metrics-dump "$DUMP" &
-SERVER_PID=$!
-for _ in $(seq 40); do
-  [ -S "$SOCK" ] && break
-  sleep 0.25
-done
-[ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
+rm -f "$DUMP"
+start_server "$SOCK" --metrics-dump "$DUMP"
 
 # Session 1: a timing-opted v2 connection pumping 20 jobs (10 distinct
 # permuted pairs, so the stream exercises both cache misses and hits).
@@ -49,33 +31,34 @@ done
   done } > "$JOBS"
 timeout 120 "$BIN" client "$SOCK" < "$JOBS" > "$OUT"
 
-grep -q '"timing": true' "$OUT" || { echo "FAIL: hello ack lacks the timing capability"; exit 1; }
+assert_json_field "$OUT" timing true "hello ack lacks the timing capability"
 test "$(grep -c '"ok": true' "$OUT")" -eq 20
 
 # Every solved response carries a stage trace whose stages sum to at
 # most the end-to-end total (the total also covers dispatch overhead).
 grep '"ok": true' "$OUT" | while IFS= read -r line; do
   nums=$(printf '%s\n' "$line" | sed -n 's/.*"timing": {"queue_us": \([0-9]*\), "canon_us": \([0-9]*\), "cache_us": \([0-9]*\), "race_us": \([0-9]*\), "total_us": \([0-9]*\)}.*/\1 \2 \3 \4 \5/p')
-  [ -n "$nums" ] || { echo "FAIL: solved response without timing: $line"; exit 1; }
+  [ -n "$nums" ] || fail "solved response without timing: $line"
   set -- $nums
   sum=$(( $1 + $2 + $3 + $4 ))
-  [ "$sum" -le "$5" ] || { echo "FAIL: stages sum to $sum > total $5: $line"; exit 1; }
+  [ "$sum" -le "$5" ] || fail "stages sum to $sum > total $5: $line"
 done
 
 # Session 2 (after session 1 fully drained): the stats frame must now
 # report the latency section with populated percentiles.
 printf '{"hello": 2}\n{"stats": true}\n' | timeout 120 "$BIN" client "$SOCK" > "$STATS"
-grep -q '"latency": {' "$STATS" || { echo "FAIL: stats frame lacks the latency section"; exit 1; }
-grep -q '"job_us"' "$STATS" || { echo "FAIL: stats latency lacks the job_us histogram"; exit 1; }
-grep -q '"p99"' "$STATS" || { echo "FAIL: stats latency lacks percentiles"; exit 1; }
-grep -q '"snapshot_load_failures": 0' "$STATS" || { echo "FAIL: stats frame lacks snapshot_load_failures"; exit 1; }
+grep -q '"latency": {' "$STATS" || fail "stats frame lacks the latency section"
+grep -q '"job_us"' "$STATS" || fail "stats latency lacks the job_us histogram"
+grep -q '"p99"' "$STATS" || fail "stats latency lacks percentiles"
+assert_json_field "$STATS" snapshot_load_failures 0 \
+  "stats frame lacks snapshot_load_failures"
 
 # The periodic metrics dump (1s cadence) must materialize with the
 # completed jobs counted and percentiles present.
 FOUND=0
 for _ in $(seq 40); do
   if [ -f "$DUMP" ] && grep -q '"jobs_completed"' "$DUMP"; then
-    DONE=$(sed -n 's/.*"jobs_completed": \([0-9]*\).*/\1/p' "$DUMP" | head -n 1)
+    DONE=$(json_field_value "$DUMP" jobs_completed)
     if [ -n "$DONE" ] && [ "$DONE" -ge 20 ]; then
       FOUND=1
       break
@@ -83,12 +66,10 @@ for _ in $(seq 40); do
   fi
   sleep 0.25
 done
-[ "$FOUND" -eq 1 ] || { echo "FAIL: metrics dump never reported the completed jobs"; exit 1; }
-grep -q '"p99"' "$DUMP" || { echo "FAIL: metrics dump lacks percentiles"; exit 1; }
-grep -q '"histograms"' "$DUMP" || { echo "FAIL: metrics dump lacks the histograms section"; exit 1; }
+[ "$FOUND" -eq 1 ] || fail "metrics dump never reported the completed jobs"
+grep -q '"p99"' "$DUMP" || fail "metrics dump lacks percentiles"
+grep -q '"histograms"' "$DUMP" || fail "metrics dump lacks the histograms section"
 
-kill "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
+stop_server
 
 echo "metrics smoke OK"

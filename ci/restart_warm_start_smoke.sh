@@ -5,27 +5,17 @@
 # restored sessions and (2) the second run's responses sum to fewer SAT
 # conflicts than the first — the persisted learnt-clause core did the work.
 set -euo pipefail
+source "$(dirname "$0")/lib.sh"
 
-BIN=${BIN:-./target/release/rect-addr}
 SOCK=/tmp/rect-addr-restart.sock
 STATE=/tmp/rect-addr-restart-state
 JOBS=/tmp/rect-addr-restart-jobs.jsonl
 OUT1=/tmp/rect-addr-restart-1.jsonl
 OUT2=/tmp/rect-addr-restart-2.jsonl
-SERVER_PID=""
-
-cleanup() {
-  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill "$SERVER_PID" 2>/dev/null || true
-    wait "$SERVER_PID" 2>/dev/null || true
-  fi
-  rm -f "$SOCK" "$JOBS" "$OUT1" "$OUT2"
-  rm -rf "$STATE"
-}
-trap cleanup EXIT
+CLEANUP_FILES+=("$JOBS" "$OUT1" "$OUT2")
+CLEANUP_DIRS+=("$STATE")
 
 rm -rf "$STATE"
-rm -f "$SOCK"
 
 # A rank-gap instance whose SAP descent costs thousands of conflicts; the
 # 2500-conflict per-job budget forces the descent to span several jobs,
@@ -39,40 +29,22 @@ MATRIX=$("$BIN" gen gap 12 12 4 0 | tr '\n' ';' | sed 's/;*$//')
   done
 } > "$JOBS"
 
-start_server() {
-  "$BIN" serve --listen "$SOCK" --workers 1 \
-    --state-dir "$STATE" --snapshot-every 1 &
-  SERVER_PID=$!
-  for _ in $(seq 40); do
-    [ -S "$SOCK" ] && break
-    sleep 0.25
-  done
-  [ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
-}
-
-stop_server() {
-  kill "$SERVER_PID"
-  wait "$SERVER_PID" 2>/dev/null || true
-  SERVER_PID=""
-  rm -f "$SOCK"
-}
-
 # Run 1: day-zero cold state dir.
-start_server
+start_server "$SOCK" --workers 1 --state-dir "$STATE" --snapshot-every 1
 timeout 180 "$BIN" client "$SOCK" < "$JOBS" > "$OUT1"
 stop_server
-grep -q '"persisted_sessions": 0' "$OUT1" || {
-  echo "FAIL: first boot must report zero persisted sessions"; exit 1; }
-test -f "$STATE/engine.snapshot" || {
-  echo "FAIL: periodic flush left no snapshot behind"; exit 1; }
+assert_json_field "$OUT1" persisted_sessions 0 \
+  "first boot must report zero persisted sessions"
+test -f "$STATE/engine.snapshot" \
+  || fail "periodic flush left no snapshot behind"
 
 # Run 2: a genuinely restarted process against the same state dir.
-start_server
+start_server "$SOCK" --workers 1 --state-dir "$STATE" --snapshot-every 1
 timeout 180 "$BIN" client "$SOCK" < "$JOBS" > "$OUT2"
 stop_server
 
-grep -q '"persisted_sessions": [1-9]' "$OUT2" || {
-  echo "FAIL: restarted server must report restored sessions"; exit 1; }
+assert_json_field "$OUT2" persisted_sessions '[1-9]' \
+  "restarted server must report restored sessions"
 
 sum_conflicts() {
   grep -o '"conflicts": [0-9]*' "$1" | awk '{s+=$2} END {print s+0}'
@@ -80,7 +52,7 @@ sum_conflicts() {
 C1=$(sum_conflicts "$OUT1")
 C2=$(sum_conflicts "$OUT2")
 echo "run 1 total conflicts: $C1; run 2 (restarted): $C2"
-test "$C1" -gt 0 || { echo "FAIL: first run must spend SAT conflicts"; exit 1; }
-test "$C2" -lt "$C1" || {
-  echo "FAIL: restarted run must spend fewer conflicts than the first"; exit 1; }
+test "$C1" -gt 0 || fail "first run must spend SAT conflicts"
+test "$C2" -lt "$C1" \
+  || fail "restarted run must spend fewer conflicts than the first"
 echo "restart warm-start smoke OK"

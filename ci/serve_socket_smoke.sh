@@ -2,34 +2,17 @@
 # Serve-socket smoke: start the socket server, pump 50 v1 job lines
 # through `rect-addr client`, assert the drained summary. 49 jobs are
 # permuted duplicates of one 2x2 class — the shared cache must answer 49
-# hits. Hardened: the server is always killed *and reaped* (trap), the
-# temp files never leak, and a hung server fails the step via `timeout`
-# instead of hanging the runner.
+# hits. Hardening (trap-reaped server, no temp leaks, `timeout` instead
+# of hangs) comes from ci/lib.sh.
 set -euo pipefail
+source "$(dirname "$0")/lib.sh"
 
-BIN=${BIN:-./target/release/rect-addr}
 SOCK=/tmp/rect-addr-ci.sock
 JOBS=/tmp/rect-addr-ci-jobs.jsonl
 OUT=/tmp/rect-addr-ci-out.jsonl
-SERVER_PID=""
+CLEANUP_FILES+=("$JOBS" "$OUT")
 
-cleanup() {
-  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill "$SERVER_PID" 2>/dev/null || true
-    wait "$SERVER_PID" 2>/dev/null || true
-  fi
-  rm -f "$SOCK" "$JOBS" "$OUT"
-}
-trap cleanup EXIT
-
-rm -f "$SOCK"
-"$BIN" serve --listen "$SOCK" &
-SERVER_PID=$!
-for _ in $(seq 40); do
-  [ -S "$SOCK" ] && break
-  sleep 0.25
-done
-[ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
+start_server "$SOCK"
 
 { for i in $(seq 50); do
     if [ $((i % 2)) -eq 0 ]; then
@@ -41,13 +24,11 @@ done
 
 timeout 120 "$BIN" client "$SOCK" < "$JOBS" > "$OUT"
 
-kill "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
+stop_server
 
 tail -n 1 "$OUT"
-grep -q '"summary": true' "$OUT"
-grep -q '"solved": 50' "$OUT"
-grep -q '"cache_hits": 49' "$OUT"
+assert_json_field "$OUT" summary true
+assert_json_field "$OUT" solved 50
+assert_json_field "$OUT" cache_hits 49
 test "$(wc -l < "$OUT")" -eq 51
 echo "serve-socket smoke OK"

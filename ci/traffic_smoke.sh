@@ -5,36 +5,20 @@
 # are nonzero — layer 2 repeats layer 0, so the sequential schedule
 # runner must harvest the reuse. (2) The stats frame must count the
 # schedule and its layers. (3) A seeded `rect-addr traffic` stream must
-# replay byte-identically and solve through the same server. Hardened
-# like the serve smoke: trap-reaped server, no temp leaks, `timeout`
-# instead of hangs.
+# replay byte-identically and solve through the same server. Hardening
+# (trap-reaped server, no temp leaks, `timeout` instead of hangs) comes
+# from ci/lib.sh.
 set -euo pipefail
+source "$(dirname "$0")/lib.sh"
 
-BIN=${BIN:-./target/release/rect-addr}
 SOCK=/tmp/rect-addr-traffic-ci.sock
 IN=/tmp/rect-addr-traffic-ci-in.jsonl
 OUT=/tmp/rect-addr-traffic-ci-out.jsonl
 GEN_A=/tmp/rect-addr-traffic-ci-gen-a.jsonl
 GEN_B=/tmp/rect-addr-traffic-ci-gen-b.jsonl
-SERVER_PID=""
+CLEANUP_FILES+=("$IN" "$OUT" "$GEN_A" "$GEN_B")
 
-cleanup() {
-  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill "$SERVER_PID" 2>/dev/null || true
-    wait "$SERVER_PID" 2>/dev/null || true
-  fi
-  rm -f "$SOCK" "$IN" "$OUT" "$GEN_A" "$GEN_B"
-}
-trap cleanup EXIT
-
-rm -f "$SOCK"
-"$BIN" serve --listen "$SOCK" &
-SERVER_PID=$!
-for _ in $(seq 40); do
-  [ -S "$SOCK" ] && break
-  sleep 0.25
-done
-[ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
+start_server "$SOCK"
 
 # One v2 session: a 3-layer schedule (layer 2 == layer 0). The client
 # half-closes after stdin, so the summary drains too.
@@ -46,16 +30,20 @@ timeout 120 "$BIN" client "$SOCK" < "$IN" > "$OUT"
 
 cat "$OUT"
 # Every layer answered under its schedule-scoped id, in order.
-grep -q '"id": "smoke/L0", "ok": true' "$OUT"
-grep -q '"id": "smoke/L1", "ok": true' "$OUT"
-grep -q '"id": "smoke/L2", "ok": true' "$OUT"
+grep -q '"id": "smoke/L0", "ok": true' "$OUT" || fail "layer 0 unanswered"
+grep -q '"id": "smoke/L1", "ok": true' "$OUT" || fail "layer 1 unanswered"
+grep -q '"id": "smoke/L2", "ok": true' "$OUT" || fail "layer 2 unanswered"
 # The schedule summary reports the cross-layer reuse: >= 1 cache hit
 # (layer 2 repeats layer 0 byte-for-byte).
-grep '"schedule": "smoke", "done": true' "$OUT" | grep -q '"solved": 3'
-grep '"schedule": "smoke", "done": true' "$OUT" | grep -Eq '"cache_hits": [1-9]'
+grep '"schedule": "smoke", "done": true' "$OUT" | grep -q '"solved": 3' \
+  || fail "schedule summary must report 3 solved layers"
+grep '"schedule": "smoke", "done": true' "$OUT" | grep -Eq '"cache_hits": [1-9]' \
+  || fail "schedule summary must harvest the cross-layer cache hit"
 # The session summary tallies the schedule alongside the layer totals.
-grep '"summary": true' "$OUT" | grep -q '"schedule_jobs": 1'
-grep '"summary": true' "$OUT" | grep -q '"schedule_layers": 3'
+grep '"summary": true' "$OUT" | grep -q '"schedule_jobs": 1' \
+  || fail "session summary lacks schedule_jobs"
+grep '"summary": true' "$OUT" | grep -q '"schedule_layers": 3' \
+  || fail "session summary lacks schedule_layers"
 
 # A second session probes the service-wide stats counters after the
 # first fully drained (probing inside the schedule's own session would
@@ -65,20 +53,21 @@ grep '"summary": true' "$OUT" | grep -q '"schedule_layers": 3'
   echo '{"stats": true}'
 } > "$IN"
 timeout 120 "$BIN" client "$SOCK" < "$IN" > "$OUT"
-grep '"stats": true' "$OUT" | grep -q '"schedule_jobs": 1'
-grep '"stats": true' "$OUT" | grep -q '"schedule_layers": 3'
+grep '"stats": true' "$OUT" | grep -q '"schedule_jobs": 1' \
+  || fail "stats frame lacks schedule_jobs"
+grep '"stats": true' "$OUT" | grep -q '"schedule_layers": 3' \
+  || fail "stats frame lacks schedule_layers"
 
 # Seeded generator: byte-identical replay, and the stream solves through
 # the same live server.
 "$BIN" traffic bursty --seed 11 --count 16 > "$GEN_A"
 "$BIN" traffic bursty --seed 11 --count 16 > "$GEN_B"
-cmp "$GEN_A" "$GEN_B" || { echo "FAIL: traffic stream is not reproducible"; exit 1; }
+cmp "$GEN_A" "$GEN_B" || fail "traffic stream is not reproducible"
 test "$(wc -l < "$GEN_A")" -eq 16
 timeout 120 "$BIN" client "$SOCK" < "$GEN_A" > "$OUT"
-grep '"summary": true' "$OUT" | grep -q '"solved": 16'
+grep '"summary": true' "$OUT" | grep -q '"solved": 16' \
+  || fail "replayed traffic stream must fully solve"
 
-kill "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
+stop_server
 
 echo "traffic smoke OK"

@@ -48,7 +48,10 @@ use engine::protocol::{JobRequest, JobResponse, SummaryFrame};
 use engine::{Engine, EngineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serve::{pump, serve_connection, serve_socket, BindAddr, Service, ServiceConfig};
+use serve::{
+    pump, serve_connection, serve_socket, serve_socket_event, BindAddr, LineClient, PersistConfig,
+    Service, ServiceConfig,
+};
 
 struct RunMetrics {
     wall_seconds: f64,
@@ -680,6 +683,237 @@ fn traffic_schedule_phase(workers: usize) -> TrafficScheduleMetrics {
     }
 }
 
+/// One idle-ballast arm of the scaling phase (phase 8): the event-driven
+/// front-end holds `idle` parked connections while a single active client
+/// measures stream throughput and then sequential round-trip latency.
+/// The jobs/s figure must not collapse as the connection table grows —
+/// that is what the 70% `--check` gate compares (1024 idle vs 1).
+struct ScalingArm {
+    idle: usize,
+    jobs_per_second: f64,
+    p99_rtt_us: u64,
+}
+
+/// Two service instances sharing one `--state-dir` behind the writer
+/// lease: the second instance must restore the first's warm state and
+/// adopt its snapshot generation, and the pair's combined throughput is
+/// reported against the single instance's.
+struct TwoInstanceMetrics {
+    adopted_generation: u64,
+    restored_sessions: u64,
+    single_jobs_per_second: f64,
+    dual_jobs_per_second: f64,
+}
+
+struct ScalingMetrics {
+    jobs: usize,
+    arms: Vec<ScalingArm>,
+    two_instance: TwoInstanceMetrics,
+}
+
+const SCALING_RTT_PROBES: usize = 150;
+
+fn scaling_arm(stream: &str, jobs: usize, workers: usize, idle: usize) -> ScalingArm {
+    let service = Arc::new(Service::with_engine_config(
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+        ServiceConfig {
+            queue_depth: jobs.max(serve::DEFAULT_QUEUE_DEPTH),
+            ..ServiceConfig::default()
+        },
+    ));
+    let mut server = serve_socket_event(Arc::clone(&service), &BindAddr::parse("127.0.0.1:0"))
+        .expect("bind loopback");
+
+    let ballast: Vec<_> = (0..idle)
+        .map(|k| {
+            serve::connect(server.local_addr())
+                .unwrap_or_else(|e| panic!("ballast connection {k} of {idle}: {e}"))
+        })
+        .collect();
+    // Measure only once the loop has the full connection table registered.
+    while service.open_connections() < idle as u64 {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let mut input = String::from("{\"hello\": 2}\n");
+    input.push_str(stream);
+    let start = Instant::now();
+    let mut raw = Vec::new();
+    pump(server.local_addr(), input.as_bytes(), &mut raw).expect("scaling pump");
+    let wall = start.elapsed().as_secs_f64();
+    let text = String::from_utf8(raw).expect("responses are UTF-8");
+    let summary = text
+        .lines()
+        .find(|l| SummaryFrame::is_summary_line(l))
+        .map(|l| SummaryFrame::parse_line(l).expect("well-formed summary"))
+        .expect("summary frame present");
+    assert_eq!(
+        summary.solved as usize, jobs,
+        "every scaling job must solve under {idle} idle connections"
+    );
+
+    // Sequential request/response round trips for tail latency: the same
+    // (cached) probe job each time, so the p99 is serving-tier overhead,
+    // not solver variance.
+    let probe = random_benchmark(8, 8, 0.4, 77).matrix;
+    let mut client = LineClient::connect(server.local_addr()).expect("rtt client");
+    client.handshake().expect("rtt handshake");
+    let mut rtts: Vec<u64> = (0..SCALING_RTT_PROBES)
+        .map(|k| {
+            let req = JobRequest::new(format!("rtt-{idle}-{k:03}"), probe.clone());
+            let start = Instant::now();
+            client.send_job(&req).expect("rtt send");
+            let line = client.recv_line().expect("rtt recv").expect("rtt response");
+            let resp = JobResponse::parse_line(&line).expect("well-formed rtt response");
+            assert!(resp.error.is_none(), "rtt probe failed: {line}");
+            start.elapsed().as_micros() as u64
+        })
+        .collect();
+    rtts.sort_unstable();
+    let p99 = rtts[(rtts.len() * 99 / 100).min(rtts.len() - 1)];
+
+    drop(client);
+    drop(ballast);
+    server.shutdown();
+    ScalingArm {
+        idle,
+        jobs_per_second: jobs as f64 / wall,
+        p99_rtt_us: p99,
+    }
+}
+
+fn scaling_two_instance(stream: &str, jobs: usize, workers: usize) -> TwoInstanceMetrics {
+    let dir = std::env::temp_dir().join(format!("rect-addr-bench-scaling-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let instance = || {
+        Arc::new(Service::with_engine_config(
+            EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            },
+            ServiceConfig {
+                queue_depth: jobs.max(serve::DEFAULT_QUEUE_DEPTH),
+                persist: Some(PersistConfig::shared(
+                    &dir,
+                    std::time::Duration::from_millis(500),
+                )),
+                ..ServiceConfig::default()
+            },
+        ))
+    };
+
+    // Instance 1 (the lease holder) serves the whole stream alone: the
+    // single-instance figure, and the warm state the second instance
+    // must pick up.
+    let writer = instance();
+    let mut server1 = serve_socket_event(Arc::clone(&writer), &BindAddr::parse("127.0.0.1:0"))
+        .expect("bind writer instance");
+    let mut input = String::from("{\"hello\": 2}\n");
+    input.push_str(stream);
+    let start = Instant::now();
+    let mut raw = Vec::new();
+    pump(server1.local_addr(), input.as_bytes(), &mut raw).expect("single-instance pump");
+    let single_wall = start.elapsed().as_secs_f64();
+    assert!(
+        writer.is_snapshot_writer(),
+        "first instance must hold the lease"
+    );
+    writer.snapshot_now().expect("writer snapshot");
+
+    // Instance 2 on the same directory: a reader that restores the
+    // writer's snapshot at startup.
+    let reader = instance();
+    let restored_sessions = reader.stats().persisted_sessions;
+    let adopted_generation = reader.snapshot_generation();
+    assert!(
+        adopted_generation >= 1,
+        "second instance adopted no snapshot generation"
+    );
+    let mut server2 = serve_socket_event(Arc::clone(&reader), &BindAddr::parse("127.0.0.1:0"))
+        .expect("bind reader instance");
+
+    // Both instances serve half the stream concurrently.
+    let lines: Vec<&str> = stream.lines().collect();
+    let half_input = |chunk: &[&str]| {
+        let mut s = String::from("{\"hello\": 2}\n");
+        for line in chunk {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    };
+    let first = half_input(&lines[..lines.len() / 2]);
+    let second = half_input(&lines[lines.len() / 2..]);
+    let addr1 = server1.local_addr().clone();
+    let addr2 = server2.local_addr().clone();
+    fn jobs_on(addr: &BindAddr, input: String) -> usize {
+        let mut raw = Vec::new();
+        pump(addr, input.as_bytes(), &mut raw).expect("dual-instance pump");
+        String::from_utf8(raw)
+            .expect("responses are UTF-8")
+            .lines()
+            .find(|l| SummaryFrame::is_summary_line(l))
+            .map(|l| SummaryFrame::parse_line(l).expect("well-formed summary"))
+            .expect("summary frame present")
+            .solved as usize
+    }
+    let start = Instant::now();
+    let solved: usize = std::thread::scope(|scope| {
+        let h1 = scope.spawn(move || jobs_on(&addr1, first));
+        let h2 = scope.spawn(move || jobs_on(&addr2, second));
+        h1.join().expect("first half") + h2.join().expect("second half")
+    });
+    let dual_wall = start.elapsed().as_secs_f64();
+    assert_eq!(solved, jobs, "every dual-instance job must solve");
+
+    server1.shutdown();
+    server2.shutdown();
+    drop(writer);
+    drop(reader);
+    let _ = std::fs::remove_dir_all(&dir);
+    TwoInstanceMetrics {
+        adopted_generation,
+        restored_sessions,
+        single_jobs_per_second: jobs as f64 / single_wall,
+        dual_jobs_per_second: jobs as f64 / dual_wall,
+    }
+}
+
+fn scaling_phase(workers: usize) -> ScalingMetrics {
+    // The connection counts come in pairs of file descriptors (client +
+    // in-process server end), so the deepest arm needs ~2x its count:
+    // raise the limit first and skip arms the hard limit cannot hold.
+    let fd_limit = match serve::sys::raise_nofile_limit() {
+        Ok(limit) => limit,
+        Err(e) => {
+            eprintln!("scaling: could not raise fd limit ({e}); assuming 1024");
+            1024
+        }
+    };
+    let jobs = 300;
+    let stream = build_stream(jobs, 30, 8);
+    let arms: Vec<ScalingArm> = [1usize, 64, 1024, 8192]
+        .into_iter()
+        .filter(|&idle| {
+            let fits = 2 * idle as u64 + 256 <= fd_limit;
+            if !fits {
+                eprintln!("scaling: skipping {idle} idle connections (fd limit {fd_limit})");
+            }
+            fits
+        })
+        .map(|idle| scaling_arm(&stream, jobs, workers, idle))
+        .collect();
+    let two_instance = scaling_two_instance(&stream, jobs, workers);
+    ScalingMetrics {
+        jobs,
+        arms,
+        two_instance,
+    }
+}
+
 fn main() {
     // `--check-baseline <file>` carries a value; extract the pair before
     // the flag/positional split.
@@ -886,6 +1120,25 @@ fn main() {
         sched.independent_cache_hits,
     );
 
+    // Phase 8: the horizontally scaled serving tier — the event-driven
+    // front-end under idle-connection ballast, then two instances
+    // sharing one state directory behind the writer lease.
+    let scaling = scaling_phase(workers);
+    for arm in &scaling.arms {
+        eprintln!(
+            "scaling/{} idle: {:.0} jobs/s, p99 rtt {} us",
+            arm.idle, arm.jobs_per_second, arm.p99_rtt_us,
+        );
+    }
+    eprintln!(
+        "scaling/two-instance: generation {} adopted, {} sessions restored, \
+         {:.0} jobs/s single vs {:.0} dual",
+        scaling.two_instance.adopted_generation,
+        scaling.two_instance.restored_sessions,
+        scaling.two_instance.single_jobs_per_second,
+        scaling.two_instance.dual_jobs_per_second,
+    );
+
     let mut json = String::from("{\n");
     let _ = write!(
         json,
@@ -959,8 +1212,34 @@ fn main() {
     let _ = write!(
         json,
         "  \"socket\": {{\n    \"jobs\": {jobs},\n    \"wall_seconds\": {:.4},\n    \
-         \"jobs_per_second\": {:.1},\n    \"hit_rate\": {:.4}\n  }}\n}}\n",
+         \"jobs_per_second\": {:.1},\n    \"hit_rate\": {:.4}\n  }},\n",
         socket.wall_seconds, socket.jobs_per_second, socket.hit_rate,
+    );
+    let _ = write!(
+        json,
+        "  \"scaling\": {{\n    \"jobs\": {},\n    \"arms\": [\n",
+        scaling.jobs
+    );
+    for (i, arm) in scaling.arms.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"idle_connections\": {}, \"jobs_per_second\": {:.1}, \
+             \"p99_rtt_us\": {} }}{}",
+            arm.idle,
+            arm.jobs_per_second,
+            arm.p99_rtt_us,
+            if i + 1 == scaling.arms.len() { "" } else { "," },
+        );
+    }
+    let _ = write!(
+        json,
+        "    ],\n    \"two_instance\": {{\n      \"adopted_generation\": {},\n      \
+         \"restored_sessions\": {},\n      \"single_jobs_per_second\": {:.1},\n      \
+         \"dual_jobs_per_second\": {:.1}\n    }}\n  }}\n}}\n",
+        scaling.two_instance.adopted_generation,
+        scaling.two_instance.restored_sessions,
+        scaling.two_instance.single_jobs_per_second,
+        scaling.two_instance.dual_jobs_per_second,
     );
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("{json}");
@@ -991,6 +1270,30 @@ fn main() {
                 "FAIL: a {}-layer circuit schedule harvested no cross-layer cache hits",
                 sched.layers
             );
+            failed = true;
+        }
+        // The event loop must hold its throughput as the connection
+        // table grows: 1024 parked connections may cost at most 30% of
+        // the 1-connection jobs/s figure.
+        let arm_at = |idle| scaling.arms.iter().find(|a| a.idle == idle);
+        match (arm_at(1), arm_at(1024)) {
+            (Some(one), Some(kilo)) => {
+                if kilo.jobs_per_second < 0.7 * one.jobs_per_second {
+                    eprintln!(
+                        "FAIL: {:.0} jobs/s under 1024 idle connections is below 70% of \
+                         the 1-connection {:.0} jobs/s",
+                        kilo.jobs_per_second, one.jobs_per_second,
+                    );
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!("FAIL: scaling arms (1 and 1024 idle connections) did not run");
+                failed = true;
+            }
+        }
+        if scaling.two_instance.restored_sessions == 0 {
+            eprintln!("FAIL: second instance on the shared state dir restored no sessions");
             failed = true;
         }
     }

@@ -98,6 +98,8 @@ USAGE:
   rect-addr serve    [opts]                     batch mode reading stdin until EOF
   rect-addr serve    --listen <addr|path> [opts]  socket server (unix path or host:port)
   rect-addr client   <addr|path>                pump stdin jobs through a socket server
+  rect-addr idle     <addr|path> <count>        hold <count> idle connections open;
+                                                prints 'held N', exits on stdin EOF
   rect-addr help | --version
 
 Batch/serve options: --workers N, --budget-ms T, --conflicts C, --trials K,
@@ -108,7 +110,12 @@ search), --queue-depth N (submission queue bound; a full queue answers
 busy to protocol-v2 clients), --state-dir DIR (persist warm SAP sessions
 and scheduler statistics across restarts; loaded at startup, snapshotted
 on drain), --snapshot-every N (also snapshot every N completed jobs;
-default 32, 0 = only on drain), --metrics-dump PATH (write the process's
+default 32, 0 = only on drain), --lease (with --state-dir: share the
+directory between several server processes — one holds the snapshot
+writer lease, the rest adopt its snapshots and take over if it dies),
+--event-loop (serve --listen only: one readiness loop owns every
+connection instead of a thread each, for tens of thousands of idle
+connections), --metrics-dump PATH (write the process's
 counters and latency histograms as JSON: periodically while a --listen
 server runs, once on drain for batch/serve). One job per line: {\"id\": \"l0\",
 \"matrix\": [\"101\", \"010\"], \"budget_ms\": 500}; responses stream back in
@@ -154,6 +161,7 @@ pub fn run(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
         Some("batch") => cmd_batch(args, stdin),
         Some("serve") => cmd_serve(args, stdin),
         Some("client") => cmd_client(args, stdin),
+        Some("idle") => cmd_idle(args),
         Some("help") | Some("--help") | Some("-h") => CliOutput::ok(format!("{USAGE}\n")),
         Some("--version") | Some("-V") => {
             CliOutput::ok(format!("rect-addr {}\n", env!("CARGO_PKG_VERSION")))
@@ -617,6 +625,9 @@ fn build_service(rest: &[String]) -> Result<Service, String> {
             if rest.iter().any(|a| a == "--snapshot-every") {
                 return Err("--snapshot-every needs --state-dir".to_string());
             }
+            if rest.iter().any(|a| a == "--lease") {
+                return Err("--lease needs --state-dir".to_string());
+            }
             None
         }
         Some(i) => {
@@ -632,6 +643,10 @@ fn build_service(rest: &[String]) -> Result<Service, String> {
             Some(serve::PersistConfig {
                 state_dir: dir.into(),
                 snapshot_every: (every > 0).then_some(every as u64),
+                lease: rest
+                    .iter()
+                    .any(|a| a == "--lease")
+                    .then_some(engine::lease::DEFAULT_LEASE_TTL),
             })
         }
     };
@@ -702,10 +717,20 @@ fn run_service_batch<W: std::io::Write>(
 /// while the server runs.
 fn run_serve_listen(addr: &str, rest: &[String]) -> Result<(), String> {
     let dump = metrics_dump_path(rest)?;
+    let event_loop = rest.iter().any(|a| a == "--event-loop");
     let service = std::sync::Arc::new(build_service(rest)?);
     let addr = serve::BindAddr::parse(addr);
-    let mut server =
-        serve::serve_socket(service, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let mut server = if event_loop {
+        // One readiness loop owns every connection socket, so the file
+        // descriptor limit is the connection limit: raise it up front.
+        match serve::sys::raise_nofile_limit() {
+            Ok(limit) => eprintln!("rect-addr: event loop, fd limit {limit}"),
+            Err(e) => eprintln!("rect-addr: could not raise fd limit: {e}"),
+        }
+        serve::serve_socket_event(service, &addr).map_err(|e| format!("binding {addr}: {e}"))?
+    } else {
+        serve::serve_socket(service, &addr).map_err(|e| format!("binding {addr}: {e}"))?
+    };
     eprintln!("rect-addr: listening on {}", server.local_addr());
     if let Some(path) = dump {
         std::thread::spawn(move || loop {
@@ -761,6 +786,52 @@ fn cmd_serve(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
         Ok(None) => cmd_batch_collected("-", &args[1..], stdin),
         Err(e) => CliOutput::err(e),
     }
+}
+
+/// Validates `idle` arguments for the collecting harness; the command
+/// itself blocks until stdin EOF, so like `serve --listen` it only runs
+/// from the binary's streaming entry point.
+fn cmd_idle(args: &[String]) -> CliOutput {
+    match idle_args(&args[1..]) {
+        Ok(_) => CliOutput::err("idle runs only as the binary's streaming mode".to_string()),
+        Err(e) => CliOutput::err(e),
+    }
+}
+
+/// Parses `idle <addr> <count>` arguments.
+fn idle_args(rest: &[String]) -> Result<(&String, usize), String> {
+    let addr = rest
+        .first()
+        .ok_or_else(|| "idle needs a server address (host:port or socket path)".to_string())?;
+    let count = rest
+        .get(1)
+        .ok_or_else(|| "idle needs a connection count".to_string())?;
+    let count: usize = count
+        .parse()
+        .map_err(|_| format!("idle: invalid connection count {count:?}"))?;
+    Ok((addr, count))
+}
+
+/// Holds `count` idle connections against a server, reports `held N`,
+/// and keeps them open until stdin reaches EOF — a remote-controlled
+/// connection ballast for the scaling smoke test and bench.
+fn run_idle<W: std::io::Write>(addr: &str, count: usize, output: &mut W) -> Result<(), String> {
+    if let Err(e) = serve::sys::raise_nofile_limit() {
+        eprintln!("rect-addr: could not raise fd limit: {e}");
+    }
+    let addr = serve::BindAddr::parse(addr);
+    let mut held = Vec::with_capacity(count);
+    for i in 0..count {
+        match serve::connect(&addr) {
+            Ok(stream) => held.push(stream),
+            Err(e) => return Err(format!("idle: connection {} of {count}: {e}", i + 1)),
+        }
+    }
+    writeln!(output, "held {}", held.len()).map_err(|e| format!("idle: {e}"))?;
+    output.flush().map_err(|e| format!("idle: {e}"))?;
+    let mut sink = Vec::new();
+    let _ = std::io::Read::read_to_end(&mut std::io::stdin(), &mut sink);
+    Ok(())
 }
 
 fn cmd_client(args: &[String], stdin: &mut dyn std::io::Read) -> CliOutput {
@@ -819,6 +890,16 @@ pub fn try_run_streaming<W: std::io::Write>(args: &[String], output: &mut W) -> 
             return match serve::pump(&serve::BindAddr::parse(addr), input, output) {
                 Ok(_) => Some(0),
                 Err(e) => fail(format!("client: {e}")),
+            };
+        }
+        Some("idle") => {
+            let (addr, count) = match idle_args(&args[1..]) {
+                Ok(parsed) => parsed,
+                Err(_) => return None, // run() reports the usage error
+            };
+            return match run_idle(addr, count, output) {
+                Ok(()) => Some(0),
+                Err(e) => fail(e),
             };
         }
         _ => return None,
@@ -1201,6 +1282,51 @@ mod tests {
         let out = run_str(&["client"], "");
         assert_eq!(out.code, 2);
         assert!(out.stdout.contains("client needs"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn idle_argument_errors_and_streaming_only() {
+        let out = run_str(&["idle"], "");
+        assert_eq!(out.code, 2);
+        assert!(out.stdout.contains("idle needs a server"), "{}", out.stdout);
+
+        let out = run_str(&["idle", "127.0.0.1:9"], "");
+        assert_eq!(out.code, 2);
+        assert!(
+            out.stdout.contains("idle needs a connection count"),
+            "{}",
+            out.stdout
+        );
+
+        let out = run_str(&["idle", "127.0.0.1:9", "many"], "");
+        assert_eq!(out.code, 2);
+        assert!(
+            out.stdout.contains("invalid connection count"),
+            "{}",
+            out.stdout
+        );
+
+        // A well-formed invocation blocks until stdin EOF, so the
+        // collecting harness refuses it like `serve --listen`.
+        let out = run_str(&["idle", "127.0.0.1:9", "4"], "");
+        assert_eq!(out.code, 2);
+        assert!(out.stdout.contains("streaming"), "{}", out.stdout);
+
+        // Malformed arguments fall back to run() for the usage error.
+        let mut sink = Vec::new();
+        let args: Vec<String> = vec!["idle".to_string(), "127.0.0.1:9".to_string()];
+        assert!(try_run_streaming(&args, &mut sink).is_none());
+    }
+
+    #[test]
+    fn lease_requires_a_state_dir() {
+        let out = run_str(&["batch", "-", "--lease"], "");
+        assert_eq!(out.code, 2);
+        assert!(
+            out.stdout.contains("--lease needs --state-dir"),
+            "{}",
+            out.stdout
+        );
     }
 
     #[test]

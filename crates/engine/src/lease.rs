@@ -1,0 +1,292 @@
+//! The snapshot-writer lease: one file electing a single snapshot writer
+//! among N server processes sharing a `--state-dir`.
+//!
+//! Multi-process serving wants every process to *read* the shared
+//! snapshot but only one to *write* it — concurrent writers would fight
+//! over the temp file and interleave generations non-monotonically. The
+//! lease is a tiny text file next to the snapshot holding the current
+//! writer's token and an expiry stamp:
+//!
+//! * **Acquire** creates the file atomically (`O_EXCL`); if it already
+//!   exists and is unexpired, the caller stays a reader.
+//! * **Refresh** extends the holder's expiry (tmp + rename, atomic) and
+//!   re-reads the file afterwards: a holder that lost a race to a
+//!   stealer discovers it here and demotes itself.
+//! * **Steal** replaces an *expired* lease (its holder died without
+//!   releasing — `SIGKILL` runs no destructor) by renaming a fresh lease
+//!   over it, then verifying ownership by reading the file back. Rename
+//!   is atomic, so of two concurrent stealers exactly one's token
+//!   survives and the read-back tells each which one it was.
+//!
+//! Expiry is wall-clock (`SystemTime`), which is safe here because every
+//! contender runs on the same host and reads the same clock; the lease
+//! protects a cache directory, not a consensus log.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// File name of the lease inside a state directory.
+pub const LEASE_FILE: &str = "writer.lease";
+
+/// Default lease time-to-live. A holder refreshes well inside this; a
+/// holder dead longer than this loses the lease to the first contender
+/// that notices.
+pub const DEFAULT_LEASE_TTL: Duration = Duration::from_secs(5);
+
+const MAGIC: &str = "rect-addr-lease";
+
+/// What a lease file says, as read from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseInfo {
+    /// The holder's unique token.
+    pub token: String,
+    /// Expiry as milliseconds since the Unix epoch.
+    pub expires_unix_ms: u64,
+    /// The holder's process id (diagnostics only).
+    pub pid: u32,
+}
+
+impl LeaseInfo {
+    /// Whether the lease expired (its holder stopped refreshing).
+    pub fn expired(&self) -> bool {
+        now_unix_ms() > self.expires_unix_ms
+    }
+}
+
+/// A held (or once-held) snapshot-writer lease. Holding is a claim, not
+/// a guarantee: every [`Lease::refresh`] re-verifies against the file,
+/// so a holder that was stolen from discovers the loss on its next
+/// heartbeat.
+#[derive(Debug)]
+pub struct Lease {
+    path: PathBuf,
+    token: String,
+    ttl: Duration,
+}
+
+fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// The lease path inside `state_dir`.
+pub fn lease_path(state_dir: &Path) -> PathBuf {
+    state_dir.join(LEASE_FILE)
+}
+
+/// Reads the lease file without contending for it. `None` when the file
+/// is missing or unreadable as a lease (a garbled lease counts as
+/// absent: stealing it is always safe because no live holder wrote it).
+pub fn peek(state_dir: &Path) -> Option<LeaseInfo> {
+    parse(&std::fs::read_to_string(lease_path(state_dir)).ok()?)
+}
+
+fn parse(text: &str) -> Option<LeaseInfo> {
+    let mut t = text.split_whitespace();
+    if t.next() != Some(MAGIC) {
+        return None;
+    }
+    let token = t.next()?.to_string();
+    let expires_unix_ms = t.next()?.parse().ok()?;
+    let pid = t.next()?.parse().ok()?;
+    Some(LeaseInfo {
+        token,
+        expires_unix_ms,
+        pid,
+    })
+}
+
+impl Lease {
+    /// Tries to become the snapshot writer for `state_dir`. Returns
+    /// `Ok(None)` when another process holds an unexpired lease — the
+    /// caller stays a reader and may retry later (holders die).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than the ordinary "someone
+    /// else holds it" outcomes.
+    pub fn acquire(state_dir: &Path, ttl: Duration) -> io::Result<Option<Lease>> {
+        std::fs::create_dir_all(state_dir)?;
+        let path = lease_path(state_dir);
+        // Nanos + pid: unique across the processes of one host, which is
+        // the lease's entire scope.
+        let token = format!(
+            "{}-{:x}",
+            std::process::id(),
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        );
+        let lease = Lease { path, token, ttl };
+        // Fast path: no lease file yet — create it exclusively.
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lease.path)
+        {
+            Ok(mut file) => {
+                use std::io::Write as _;
+                file.write_all(lease.render().as_bytes())?;
+                return Ok(Some(lease));
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+            Err(e) => return Err(e),
+        }
+        // A lease file exists. Live holder → reader. Expired or garbled
+        // → steal it: rename a fresh lease over the corpse and verify
+        // ownership by reading back (two concurrent stealers both
+        // rename, exactly one token survives).
+        match peek(state_dir) {
+            Some(info) if !info.expired() => return Ok(None),
+            _ => {}
+        }
+        lease.write_atomic()?;
+        match peek(state_dir) {
+            Some(info) if info.token == lease.token => Ok(Some(lease)),
+            _ => Ok(None),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "{MAGIC} {} {} {}\n",
+            self.token,
+            now_unix_ms() + self.ttl.as_millis().min(u64::MAX as u128) as u64,
+            std::process::id()
+        )
+    }
+
+    fn write_atomic(&self) -> io::Result<()> {
+        // Temp name keyed by token so concurrent stealers never clobber
+        // each other's temp file mid-write.
+        let tmp = self.path.with_extension(format!("tmp-{}", self.token));
+        std::fs::write(&tmp, self.render())?;
+        std::fs::rename(&tmp, &self.path)
+    }
+
+    /// Extends the lease's expiry and re-verifies ownership. Returns
+    /// `false` when the lease was lost (another process stole it after
+    /// an expiry this holder let happen) — the caller must demote itself
+    /// to a reader and stop writing snapshots.
+    pub fn refresh(&self) -> bool {
+        // Don't overwrite someone else's live claim: verify first.
+        if !self.held() {
+            return false;
+        }
+        if self.write_atomic().is_err() {
+            // A failed refresh is not yet a lost lease; the holder keeps
+            // writing until the file actually names someone else.
+            return self.held();
+        }
+        self.held()
+    }
+
+    /// Whether the on-disk lease still carries this holder's token.
+    pub fn held(&self) -> bool {
+        std::fs::read_to_string(&self.path)
+            .ok()
+            .and_then(|text| parse(&text))
+            .is_some_and(|info| info.token == self.token)
+    }
+
+    /// The configured time-to-live.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// Releases the lease if still held (removes the file), letting the
+    /// next contender acquire without waiting out the TTL.
+    pub fn release(&self) {
+        if self.held() {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rect-addr-lease-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn first_acquire_wins_second_reads() {
+        let d = dir("first");
+        let a = Lease::acquire(&d, Duration::from_secs(60))
+            .unwrap()
+            .expect("first contender acquires");
+        assert!(a.held());
+        let b = Lease::acquire(&d, Duration::from_secs(60)).unwrap();
+        assert!(b.is_none(), "live lease must not be stolen");
+        assert!(a.refresh(), "holder keeps the lease across refreshes");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn release_lets_the_next_contender_in() {
+        let d = dir("release");
+        let a = Lease::acquire(&d, Duration::from_secs(60))
+            .unwrap()
+            .unwrap();
+        a.release();
+        let b = Lease::acquire(&d, Duration::from_secs(60)).unwrap();
+        assert!(b.is_some(), "released lease is immediately acquirable");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn expired_lease_is_stolen_and_old_holder_demotes() {
+        let d = dir("steal");
+        let a = Lease::acquire(&d, Duration::from_millis(0))
+            .unwrap()
+            .unwrap();
+        // TTL 0: the lease is expired the moment it is written (the
+        // holder "died" without refreshing).
+        std::thread::sleep(Duration::from_millis(5));
+        let b = Lease::acquire(&d, Duration::from_secs(60))
+            .unwrap()
+            .expect("expired lease must be stolen");
+        assert!(b.held());
+        assert!(!a.held(), "stolen-from holder no longer appears on disk");
+        assert!(
+            !a.refresh(),
+            "refresh reports the loss instead of clobbering"
+        );
+        assert!(
+            b.held(),
+            "the loser's failed refresh left the winner intact"
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn garbled_lease_counts_as_absent() {
+        let d = dir("garbled");
+        std::fs::create_dir_all(&d).unwrap();
+        std::fs::write(lease_path(&d), "not a lease at all\n").unwrap();
+        assert!(peek(&d).is_none());
+        let a = Lease::acquire(&d, Duration::from_secs(60)).unwrap();
+        assert!(a.is_some(), "garbage is stolen, not respected");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn peek_reports_holder_metadata() {
+        let d = dir("peek");
+        let _a = Lease::acquire(&d, Duration::from_secs(60))
+            .unwrap()
+            .unwrap();
+        let info = peek(&d).expect("lease file parses");
+        assert_eq!(info.pid, std::process::id());
+        assert!(!info.expired());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -99,6 +99,9 @@ pub struct RestoreStats {
     pub sessions: usize,
     /// Scheduler buckets installed.
     pub buckets: usize,
+    /// The snapshot's generation number (0 for snapshots written before
+    /// generations existed, or by writers that don't count them).
+    pub generation: u64,
 }
 
 /// The snapshot path inside `state_dir`.
@@ -230,10 +233,31 @@ pub fn save_snapshot_with(
     engine: &Engine,
     max_core_clauses: usize,
 ) -> std::io::Result<SnapshotStats> {
+    save_snapshot_gen(state_dir, engine, max_core_clauses, 0)
+}
+
+/// [`save_snapshot_with`] stamping an explicit **generation** into the
+/// snapshot header. Generations are the multi-process flush signal: the
+/// lease-holding writer bumps the number on every flush, and reader
+/// processes poll [`snapshot_generation`] — a number larger than the one
+/// they last installed means a newer warm state is on disk. The header
+/// stays back-compatible in both directions: readers predating
+/// generations ignore the extra token, and a two-token header reads as
+/// generation 0.
+///
+/// # Errors
+///
+/// See [`save_snapshot`].
+pub fn save_snapshot_gen(
+    state_dir: &Path,
+    engine: &Engine,
+    max_core_clauses: usize,
+    generation: u64,
+) -> std::io::Result<SnapshotStats> {
     std::fs::create_dir_all(state_dir)?;
     let (body, mut stats) = serialize_body(engine, max_core_clauses);
     let mut file = format!(
-        "{MAGIC} {SNAPSHOT_SCHEMA}\nchecksum {:016x}\n",
+        "{MAGIC} {SNAPSHOT_SCHEMA} {generation}\nchecksum {:016x}\n",
         fnv1a(body.as_bytes())
     );
     file.push_str(&body);
@@ -504,6 +528,9 @@ pub fn load_snapshot(state_dir: &Path, engine: &Engine) -> Result<RestoreStats, 
     if found != SNAPSHOT_SCHEMA {
         return Err(SnapshotError::SchemaMismatch { found });
     }
+    // Optional third token: the writer's generation counter. Absent on
+    // snapshots from before generations existed — those read as 0.
+    let generation: u64 = t.next().and_then(|v| v.parse().ok()).unwrap_or(0);
 
     // Header line 2: checksum of everything after it.
     let sum_line = lines
@@ -538,7 +565,35 @@ pub fn load_snapshot(state_dir: &Path, engine: &Engine) -> Result<RestoreStats, 
     engine
         .restored_sessions_counter()
         .fetch_add(sessions as u64, Ordering::Relaxed);
-    Ok(RestoreStats { buckets, sessions })
+    Ok(RestoreStats {
+        buckets,
+        sessions,
+        generation,
+    })
+}
+
+/// Reads just the generation number from the snapshot header — the cheap
+/// poll a reader process runs to detect a newer flush without parsing
+/// (or validating) the whole snapshot. `None` when no snapshot exists or
+/// its header is unreadable; a two-token pre-generation header reads as
+/// `Some(0)`.
+pub fn snapshot_generation(state_dir: &Path) -> Option<u64> {
+    use std::io::Read as _;
+    // The header line is tiny (magic + schema + generation); 128 bytes
+    // covers it with room to spare and never pulls the body in.
+    let mut head = [0u8; 128];
+    let mut file = std::fs::File::open(snapshot_path(state_dir)).ok()?;
+    let n = file.read(&mut head).ok()?;
+    let text = std::str::from_utf8(&head[..n]).ok()?;
+    let line = text.lines().next()?;
+    let mut t = line.split_whitespace();
+    if t.next() != Some(MAGIC) {
+        return None;
+    }
+    if t.next().and_then(|v| v.parse::<u32>().ok()) != Some(SNAPSHOT_SCHEMA) {
+        return None;
+    }
+    Some(t.next().and_then(|v| v.parse().ok()).unwrap_or(0))
 }
 
 #[cfg(test)]
@@ -678,6 +733,48 @@ mod tests {
             Err(SnapshotError::SchemaMismatch { .. })
         ));
         assert_eq!(fresh.warm_sessions(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_roundtrips_through_header_and_peek() {
+        let dir = state_dir("generation");
+        let donor = hard_engine();
+        solve_hard(&donor);
+        save_snapshot_gen(&dir, &donor, DEFAULT_MAX_CORE_CLAUSES, 7).expect("save");
+        assert_eq!(snapshot_generation(&dir), Some(7), "cheap header peek");
+        let fresh = hard_engine();
+        let restored = load_snapshot(&dir, &fresh).expect("load");
+        assert_eq!(restored.generation, 7, "full load reports the generation");
+        assert!(restored.sessions >= 1, "generation rides a real snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_generation_snapshot_reads_as_generation_zero() {
+        let dir = state_dir("pregen");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A two-token header exactly as PR 5 wrote it.
+        let body = "buckets 0\nsessions 0\n";
+        let file = format!(
+            "{MAGIC} {SNAPSHOT_SCHEMA}\nchecksum {:016x}\n{body}",
+            fnv1a(body.as_bytes())
+        );
+        std::fs::write(snapshot_path(&dir), file).unwrap();
+        assert_eq!(snapshot_generation(&dir), Some(0));
+        let fresh = hard_engine();
+        let restored = load_snapshot(&dir, &fresh).expect("legacy header loads");
+        assert_eq!(restored.generation, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_peek_is_none_without_a_snapshot() {
+        let dir = state_dir("nogen");
+        assert_eq!(snapshot_generation(&dir), None);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(snapshot_path(&dir), "not a snapshot\n").unwrap();
+        assert_eq!(snapshot_generation(&dir), None, "bad magic peeks as absent");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

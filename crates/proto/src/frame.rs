@@ -496,6 +496,14 @@ pub struct StatsFrame {
     /// Startup snapshot loads that failed for any reason other than the
     /// file not existing (0 when persistence is off or the load worked).
     pub snapshot_load_failures: u64,
+    /// Connections currently open on this server's socket front-end
+    /// (absent in frames from servers predating the scaled serving tier,
+    /// and 0 on the stdin/batch transport, which has no socket).
+    pub open_connections: u64,
+    /// Generation of the warm-state snapshot this process last wrote or
+    /// adopted — the multi-process flush signal. 0 when persistence is
+    /// off, before the first flush, or in frames from older servers.
+    pub snapshot_generation: u64,
     /// Named latency histograms, keyed by metric name (`job_us`,
     /// `queue_wait_us`, …). Empty in frames from servers predating the
     /// telemetry section.
@@ -517,7 +525,8 @@ impl StatsFrame {
              \"canon_heuristic\": {}}}, \"queue\": {{\"depth\": {}, \"len\": {}}}, \
              \"warm_sessions\": {}, \"persisted_sessions\": {}, \"budget_skips\": {}, \
              \"certified_jobs\": {}, \"schedule_jobs\": {}, \"schedule_layers\": {}, \
-             \"snapshot_load_failures\": {}, \"canon_heuristic_hot\": [",
+             \"snapshot_load_failures\": {}, \"open_connections\": {}, \
+             \"snapshot_generation\": {}, \"canon_heuristic_hot\": [",
             WireVersion::V2.number(),
             s.cache_hits,
             s.cache_misses,
@@ -535,6 +544,8 @@ impl StatsFrame {
             self.schedule_jobs,
             self.schedule_layers,
             self.snapshot_load_failures,
+            self.open_connections,
+            self.snapshot_generation,
         );
         for (i, hot) in self.canon_heuristic_hot.iter().enumerate() {
             if i > 0 {
@@ -594,6 +605,10 @@ impl StatsFrame {
             schedule_jobs: num(&json, "schedule_jobs"),
             schedule_layers: num(&json, "schedule_layers"),
             snapshot_load_failures: num(&json, "snapshot_load_failures"),
+            // Absent on lines from servers predating the scaled serving
+            // tier → 0, like every other additive stats field.
+            open_connections: num(&json, "open_connections"),
+            snapshot_generation: num(&json, "snapshot_generation"),
             // Absent on lines from older servers → empty histograms.
             latency: match json.get("latency") {
                 Some(Json::Obj(map)) => map
@@ -862,6 +877,8 @@ mod tests {
                 count: 9,
             }],
             snapshot_load_failures: 2,
+            open_connections: 2049,
+            snapshot_generation: 12,
             latency: BTreeMap::new(),
         };
         let parsed = StatsFrame::parse_line(&frame.to_json_line()).unwrap();
@@ -873,6 +890,8 @@ mod tests {
         assert_eq!(parsed.schedule_jobs, 2);
         assert_eq!(parsed.schedule_layers, 6);
         assert_eq!(parsed.snapshot_load_failures, 2);
+        assert_eq!(parsed.open_connections, 2049);
+        assert_eq!(parsed.snapshot_generation, 12);
         // A pre-persistence stats line — the keys genuinely absent, as an
         // older server would emit — still parses, defaulting both to 0.
         let legacy_line = "{\"stats\": true, \"protocol\": 2, \
@@ -944,6 +963,9 @@ mod tests {
         assert_eq!(legacy.certified_jobs, 0);
         assert_eq!(legacy.schedule_jobs, 0);
         assert_eq!(legacy.schedule_layers, 0);
+        // Fields the scaled serving tier added, absent the same way.
+        assert_eq!(legacy.open_connections, 0);
+        assert_eq!(legacy.snapshot_generation, 0);
         // A malformed latency value degrades to empty, not an error.
         let odd = legacy_line.replace(
             ", \"canon_heuristic_hot\"",

@@ -56,9 +56,9 @@ pub struct ConnectionSummary {
 /// Bound on the id→ticket correlation map kept for `cancel` frames; when
 /// exceeded the oldest mappings are forgotten (their jobs have almost
 /// certainly completed — cancel only ever lands on queued jobs anyway).
-const CANCEL_MAP_CAP: usize = 16_384;
+pub(crate) const CANCEL_MAP_CAP: usize = 16_384;
 
-fn load_version(version: &AtomicU8) -> WireVersion {
+pub(crate) fn load_version(version: &AtomicU8) -> WireVersion {
     if version.load(Ordering::Relaxed) >= 2 {
         WireVersion::V2
     } else {
@@ -69,16 +69,16 @@ fn load_version(version: &AtomicU8) -> WireVersion {
 /// Per-connection negotiated wire state: the granted protocol version and
 /// the handshake opt-ins. The reader sets it while handling the hello
 /// frame; the writer gates serialization on it.
-struct WireState {
-    version: AtomicU8,
+pub(crate) struct WireState {
+    pub(crate) version: AtomicU8,
     /// Peer opted into per-job `timing` objects.
-    timing: AtomicBool,
+    pub(crate) timing: AtomicBool,
     /// Peer opted into `certificate` objects on certified responses.
-    certificate: AtomicBool,
+    pub(crate) certificate: AtomicBool,
 }
 
 impl WireState {
-    fn new() -> WireState {
+    pub(crate) fn new() -> WireState {
         WireState {
             version: AtomicU8::new(1),
             timing: AtomicBool::new(false),
@@ -107,7 +107,7 @@ fn snapshot_of(cache: &engine::CacheStats, warm_sessions: u64) -> EngineSnapshot
 /// frames. Reads plain counters only — cheap enough for every
 /// connection's summary trailer (unlike [`Service::stats`], which also
 /// collects and sorts the hot heuristic keys).
-fn engine_snapshot(service: &Service) -> EngineSnapshot {
+pub(crate) fn engine_snapshot(service: &Service) -> EngineSnapshot {
     snapshot_of(
         &service.engine().cache_stats(),
         service.engine().warm_sessions() as u64,
@@ -137,6 +137,8 @@ pub fn stats_frame(service: &Service) -> StatsFrame {
             })
             .collect(),
         snapshot_load_failures: stats.snapshot_load_failures,
+        open_connections: stats.open_connections,
+        snapshot_generation: stats.snapshot_generation,
         latency: obs::registry()
             .histogram_summaries()
             .into_iter()
@@ -159,7 +161,7 @@ pub fn stats_frame(service: &Service) -> StatsFrame {
 /// A parse/protocol failure response, counted into the error-class
 /// registry on its way out — every arm that answers a malformed line
 /// funnels through here so the counter can never drift from the wire.
-fn parse_failure(id: String, err: JobError) -> OutEvent {
+pub(crate) fn parse_failure(id: String, err: JobError) -> OutEvent {
     obs::registry().counter(obs::names::ERR_PARSE).inc();
     OutEvent::Response(JobResponse::failure(id, err))
 }
@@ -364,7 +366,7 @@ fn reader_loop<'scope, R: BufRead>(
                             Ok((canceled, sched_group)) => {
                                 obs::registry().counter(obs::names::SCHEDULE_JOBS).inc();
                                 sched.jobs.fetch_add(1, Ordering::Relaxed);
-                                let runner_tx = tx.clone();
+                                let runner_tx = Arc::new(tx.clone());
                                 scope.spawn(move || {
                                     run_schedule(
                                         service,
@@ -405,7 +407,7 @@ fn reader_loop<'scope, R: BufRead>(
 /// Registers a schedule for execution: enforces the per-connection
 /// in-flight cap and id uniqueness, and hands back the runner's
 /// cancellation handles.
-fn accept_schedule(
+pub(crate) fn accept_schedule(
     service: &Service,
     sched: &ScheduleShared,
     req: &proto::ScheduleRequest,
@@ -438,7 +440,7 @@ fn accept_schedule(
     Ok((canceled, sched_group))
 }
 
-fn remember(
+pub(crate) fn remember(
     tickets: &mut HashMap<String, Ticket>,
     order: &mut std::collections::VecDeque<(String, Ticket)>,
     id: String,

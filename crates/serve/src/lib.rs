@@ -44,15 +44,18 @@
 
 mod client;
 mod connection;
+mod event;
 mod schedule;
 mod service;
 mod socket;
+pub mod sys;
 
 pub use client::{pump, LineClient};
 pub use connection::{serve_connection, stats_frame, ConnectionSummary};
+pub use event::{serve_socket_event, serve_socket_event_with, EventLoopConfig};
 pub use schedule::MAX_ACTIVE_SCHEDULES;
 pub use service::{
-    GroupId, JobHandle, OutEvent, PersistConfig, Service, ServiceConfig, ServiceStats, SubmitError,
-    Ticket, DEFAULT_QUEUE_DEPTH, DEFAULT_SNAPSHOT_EVERY,
+    GroupId, JobHandle, OutEvent, PersistConfig, ResponseSink, Service, ServiceConfig,
+    ServiceStats, SubmitError, Ticket, DEFAULT_QUEUE_DEPTH, DEFAULT_SNAPSHOT_EVERY,
 };
-pub use socket::{connect, serve_socket, BindAddr, SocketServer, SocketStream};
+pub use socket::{connect, serve_socket, BindAddr, SocketServer, SocketStream, WRITE_TIMEOUT};

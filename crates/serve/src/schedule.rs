@@ -18,13 +18,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Sender};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use proto::{ErrorKind, JobError, JobResponse, ScheduleRequest, ScheduleSummary};
 
-use crate::service::{GroupId, OutEvent, Service};
+use crate::service::{GroupId, OutEvent, ResponseSink, Service};
 
 /// Bound on schedules a single connection may have in flight; one past it
 /// answers `busy` (same backpressure contract as a full queue).
@@ -85,7 +85,7 @@ impl ScheduleShared {
 pub fn run_schedule(
     service: &Service,
     req: ScheduleRequest,
-    out: Sender<OutEvent>,
+    out: Arc<dyn ResponseSink>,
     canceled: Arc<AtomicBool>,
     group: GroupId,
     shared: &ScheduleShared,
@@ -141,12 +141,12 @@ pub fn run_schedule(
         obs::registry().counter(obs::names::SCHEDULE_LAYERS).inc();
         shared.layers.fetch_add(1, Ordering::Relaxed);
         // A closed writer (connection torn down) just discards the rest.
-        if out.send(OutEvent::Response(response)).is_err() {
+        if !out.deliver(OutEvent::Response(response)) {
             break;
         }
     }
     summary.millis = accepted.elapsed().as_secs_f64() * 1000.0;
-    let _ = out.send(OutEvent::Control(summary.to_json_line()));
+    let _ = out.deliver(OutEvent::Control(summary.to_json_line()));
     shared
         .registry
         .lock()

@@ -9,13 +9,17 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use engine::persist::{load_snapshot, save_snapshot, SnapshotError, SnapshotStats};
+use engine::lease::Lease;
+use engine::persist::{
+    load_snapshot, save_snapshot_gen, snapshot_generation, SnapshotError, SnapshotStats,
+    DEFAULT_MAX_CORE_CLAUSES,
+};
 use engine::{CacheStats, Engine, EngineConfig};
 use obs::JobTrace;
 use proto::{Capabilities, ErrorKind, JobError, JobRequest, JobResponse, Timing};
@@ -34,6 +38,15 @@ pub struct PersistConfig {
     /// [`Service::shutdown`]). A periodic flush is what survives an
     /// unclean kill — `SIGKILL` runs no destructor.
     pub snapshot_every: Option<u64>,
+    /// Multi-process coordination: `Some(ttl)` makes this service contend
+    /// for the state dir's snapshot-writer lease instead of assuming it
+    /// owns the directory. The lease holder flushes snapshots (bumping
+    /// the generation); every other process is a **reader** that polls
+    /// the on-disk generation and adopts newer snapshots into its live
+    /// engine, and takes the lease over if the holder dies (no refresh
+    /// for `ttl`). `None` (the default) keeps the single-process
+    /// behavior: this process always writes.
+    pub lease: Option<Duration>,
 }
 
 impl PersistConfig {
@@ -43,6 +56,16 @@ impl PersistConfig {
         PersistConfig {
             state_dir: state_dir.into(),
             snapshot_every: Some(DEFAULT_SNAPSHOT_EVERY),
+            lease: None,
+        }
+    }
+
+    /// [`PersistConfig::at`] with lease-based multi-process coordination
+    /// at the given time-to-live.
+    pub fn shared(state_dir: impl Into<PathBuf>, ttl: Duration) -> Self {
+        PersistConfig {
+            lease: Some(ttl),
+            ..PersistConfig::at(state_dir)
         }
     }
 }
@@ -114,6 +137,25 @@ pub type Ticket = u64;
 /// up. `0` means ungrouped.
 pub type GroupId = u64;
 
+/// Where a submission's events go. The service pushes a job's
+/// [`OutEvent::Response`] (and cancellation notices) through this; the
+/// blanket impl for [`Sender<OutEvent>`] keeps channel-based transports
+/// working unchanged, while the event-driven acceptor implements it to
+/// route completions back into its readiness loop without a thread per
+/// connection.
+pub trait ResponseSink: Send + Sync {
+    /// Delivers one event. Returns `false` when the receiver is gone (the
+    /// submitter hung up) — senders may use that to stop early, and must
+    /// tolerate the event being discarded.
+    fn deliver(&self, event: OutEvent) -> bool;
+}
+
+impl ResponseSink for Sender<OutEvent> {
+    fn deliver(&self, event: OutEvent) -> bool {
+        self.send(event).is_ok()
+    }
+}
+
 /// One event delivered to a submission's response sink. Control frames
 /// ([`OutEvent::Control`]) are pre-serialized lines a connection injects
 /// into its own writer channel so they interleave cleanly with responses;
@@ -161,6 +203,13 @@ pub struct ServiceStats {
     /// snapshot simply not existing yet (corruption, foreign schema, IO).
     /// A first boot is not a failure; a silently ignored warm state is.
     pub snapshot_load_failures: u64,
+    /// Transport connections currently open against this process (the
+    /// socket layers call [`Service::connection_opened`]/`_closed`).
+    pub open_connections: u64,
+    /// Generation of the newest snapshot this process wrote or adopted
+    /// (`0` = none yet). Under a shared state dir this is how an operator
+    /// sees reader processes tracking the writer.
+    pub snapshot_generation: u64,
 }
 
 /// Queue ordering: higher priority first, FIFO within a priority.
@@ -170,7 +219,7 @@ struct Queued {
     ticket: Ticket,
     group: GroupId,
     req: JobRequest,
-    sink: Sender<OutEvent>,
+    sink: Arc<dyn ResponseSink>,
     submitted: Instant,
     /// Per-job stage trace, born at submission so its total spans queue
     /// wait plus solve. The engine fills the canon/cache/race stages; the
@@ -206,6 +255,19 @@ struct Inner {
     /// Startup snapshot loads rejected for a reason other than
     /// [`SnapshotError::Missing`] (see [`ServiceStats`]).
     snapshot_load_failures: AtomicU64,
+    /// Generation of the newest snapshot written *or adopted* by this
+    /// process (0 = none yet).
+    snapshot_generation: AtomicU64,
+    /// The snapshot-writer lease, when [`PersistConfig::lease`] is set and
+    /// this process currently holds it. `None` in lease mode means this
+    /// process is a reader.
+    lease: Mutex<Option<Lease>>,
+    /// [`PersistConfig::lease`], hoisted for cheap "is lease mode on"
+    /// checks without re-borrowing persist.
+    lease_ttl: Option<Duration>,
+    /// Transport connections currently open (socket layers report
+    /// open/close through the [`Service`] facade).
+    open_connections: AtomicU64,
 }
 
 impl Inner {
@@ -215,14 +277,31 @@ impl Inner {
     /// another worker makes this one a no-op instead of queueing.
     fn flush_snapshot(&self, skip_if_busy: bool) -> Option<SnapshotStats> {
         let persist = self.persist.as_ref()?;
+        // In lease mode only the elected writer flushes; readers adopt the
+        // writer's snapshots through the coordinator instead.
+        if self.lease_ttl.is_some() && !self.is_writer() {
+            return None;
+        }
         let _gate = if skip_if_busy {
             self.snapshot_gate.try_lock().ok()?
         } else {
             self.snapshot_gate.lock().expect("snapshot gate poisoned")
         };
         let flush_start = Instant::now();
-        match save_snapshot(&persist.state_dir, &self.engine) {
+        // Generations stay monotonic across processes: continue from
+        // whichever is newer, the on-disk header (a previous lease holder
+        // may have written since we last did) or our local counter.
+        let disk_gen = snapshot_generation(&persist.state_dir).unwrap_or(0);
+        let generation = disk_gen.max(self.snapshot_generation.load(Ordering::Relaxed)) + 1;
+        match save_snapshot_gen(
+            &persist.state_dir,
+            &self.engine,
+            DEFAULT_MAX_CORE_CLAUSES,
+            generation,
+        ) {
             Ok(stats) => {
+                self.snapshot_generation
+                    .store(generation, Ordering::Relaxed);
                 obs::registry()
                     .histogram(obs::names::SNAPSHOT_FLUSH_US)
                     .record_duration(flush_start.elapsed());
@@ -236,6 +315,22 @@ impl Inner {
                 None
             }
         }
+    }
+
+    /// Whether this process may write snapshots right now: always outside
+    /// lease mode, and only while actually holding the lease inside it.
+    /// Verified against the file (one small read), not just the cached
+    /// claim, so a holder stolen from between heartbeats stops writing at
+    /// its next flush rather than its next heartbeat.
+    fn is_writer(&self) -> bool {
+        if self.lease_ttl.is_none() {
+            return true;
+        }
+        self.lease
+            .lock()
+            .expect("lease slot poisoned")
+            .as_ref()
+            .is_some_and(|l| l.held())
     }
 
     /// The periodic flush hook, called once per completed job. The flush
@@ -294,6 +389,71 @@ impl Inner {
     }
 }
 
+/// The lease coordinator: a single low-frequency thread (lease mode only)
+/// that keeps this process's role honest. A **holder** heartbeats the
+/// lease each tick and demotes itself to reader if the refresh reveals
+/// the lease was lost. A **reader** adopts any newer on-disk snapshot
+/// generation into the live engine (the writer's flushes propagate
+/// without restarts) and then contends for the lease, taking over within
+/// one TTL of the holder dying.
+fn coordinator_loop(inner: Arc<Inner>, stop: Arc<AtomicBool>) {
+    let Some(ttl) = inner.lease_ttl else { return };
+    let Some(persist) = inner.persist.clone() else {
+        return;
+    };
+    let tick = (ttl / 3).max(Duration::from_millis(20));
+    while !stop.load(Ordering::Relaxed) {
+        {
+            let mut slot = inner.lease.lock().expect("lease slot poisoned");
+            match slot.as_ref() {
+                Some(lease) => {
+                    if !lease.refresh() {
+                        eprintln!(
+                            "rect-addr: snapshot-writer lease on {} lost; demoting to reader",
+                            persist.state_dir.display()
+                        );
+                        *slot = None;
+                    }
+                }
+                None => {
+                    // Reader: adopt a newer snapshot before contending, so
+                    // a takeover starts from the dead writer's final state.
+                    let local = inner.snapshot_generation.load(Ordering::Relaxed);
+                    if let Some(disk_gen) = snapshot_generation(&persist.state_dir) {
+                        if disk_gen > local {
+                            // A failed load here is not a cold start: the
+                            // writer may be mid-rename. Retry next tick.
+                            if let Ok(restored) = load_snapshot(&persist.state_dir, &inner.engine) {
+                                inner
+                                    .snapshot_generation
+                                    .store(restored.generation, Ordering::Relaxed);
+                                eprintln!(
+                                    "rect-addr: adopted snapshot generation {} ({} sessions) from {}",
+                                    restored.generation,
+                                    restored.sessions,
+                                    persist.state_dir.display()
+                                );
+                            }
+                        }
+                    }
+                    if let Ok(Some(lease)) = Lease::acquire(&persist.state_dir, ttl) {
+                        eprintln!(
+                            "rect-addr: acquired snapshot-writer lease on {}",
+                            persist.state_dir.display()
+                        );
+                        *slot = Some(lease);
+                    }
+                }
+            }
+        }
+        // Sleep in short slices so shutdown never waits a full tick.
+        let deadline = Instant::now() + tick;
+        while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
 fn worker_loop(inner: Arc<Inner>) {
     loop {
         let job = {
@@ -331,7 +491,7 @@ fn worker_loop(inner: Arc<Inner>) {
             total_us: job.trace.total_us(),
         });
         // A closed sink (the submitter hung up) just discards the answer.
-        let _ = job.sink.send(OutEvent::Response(response));
+        let _ = job.sink.deliver(OutEvent::Response(response));
         inner.note_job_done();
     }
 }
@@ -392,6 +552,9 @@ pub struct Service {
     inner: Arc<Inner>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     worker_count: usize,
+    /// The lease coordinator thread (lease mode only).
+    coordinator: Mutex<Option<JoinHandle<()>>>,
+    coord_stop: Arc<AtomicBool>,
 }
 
 impl Service {
@@ -403,9 +566,11 @@ impl Service {
     /// cold-starts, with the rejection reason on stderr.
     pub fn new(engine: Arc<Engine>, config: ServiceConfig) -> Service {
         let mut load_failures = 0u64;
+        let mut loaded_generation = 0u64;
         if let Some(persist) = &config.persist {
             match load_snapshot(&persist.state_dir, &engine) {
                 Ok(restored) => {
+                    loaded_generation = restored.generation;
                     if restored.sessions > 0 || restored.buckets > 0 {
                         eprintln!(
                             "rect-addr: restored {} warm sessions and {} scheduler buckets from {}",
@@ -435,6 +600,33 @@ impl Service {
         } else {
             config.workers
         };
+        let lease_ttl = config.persist.as_ref().and_then(|p| p.lease);
+        // One acquisition attempt up front so a lone process is the writer
+        // from its very first flush; the coordinator retries for readers.
+        let initial_lease = match (&config.persist, lease_ttl) {
+            (Some(persist), Some(ttl)) => match Lease::acquire(&persist.state_dir, ttl) {
+                Ok(lease) => {
+                    eprintln!(
+                        "rect-addr: {} for snapshots in {}",
+                        if lease.is_some() {
+                            "elected writer"
+                        } else {
+                            "reader (writer lease held elsewhere)"
+                        },
+                        persist.state_dir.display()
+                    );
+                    lease
+                }
+                Err(e) => {
+                    eprintln!(
+                        "rect-addr: lease acquisition in {} failed ({e}); starting as reader",
+                        persist.state_dir.display()
+                    );
+                    None
+                }
+            },
+            _ => None,
+        };
         let inner = Arc::new(Inner {
             engine,
             state: Mutex::new(QueueState::default()),
@@ -447,6 +639,10 @@ impl Service {
             jobs_done: AtomicU64::new(0),
             snapshot_gate: Mutex::new(()),
             snapshot_load_failures: AtomicU64::new(load_failures),
+            snapshot_generation: AtomicU64::new(loaded_generation),
+            lease: Mutex::new(initial_lease),
+            lease_ttl,
+            open_connections: AtomicU64::new(0),
         });
         let workers = (0..worker_count)
             .map(|_| {
@@ -454,10 +650,18 @@ impl Service {
                 std::thread::spawn(move || worker_loop(inner))
             })
             .collect();
+        let coord_stop = Arc::new(AtomicBool::new(false));
+        let coordinator = lease_ttl.map(|_| {
+            let inner = inner.clone();
+            let stop = coord_stop.clone();
+            std::thread::spawn(move || coordinator_loop(inner, stop))
+        });
         Service {
             inner,
             workers: Mutex::new(workers),
             worker_count,
+            coordinator: Mutex::new(coordinator),
+            coord_stop,
         }
     }
 
@@ -490,7 +694,7 @@ impl Service {
         req: JobRequest,
         sink: Sender<OutEvent>,
     ) -> Result<Ticket, SubmitError> {
-        self.enqueue(req, sink, 0, false)
+        self.enqueue(req, Arc::new(sink), 0, false)
     }
 
     /// Like [`Service::submit_to`] but **blocks** for queue space instead
@@ -501,7 +705,7 @@ impl Service {
         req: JobRequest,
         sink: Sender<OutEvent>,
     ) -> Result<Ticket, SubmitError> {
-        self.enqueue(req, sink, 0, true)
+        self.enqueue(req, Arc::new(sink), 0, true)
     }
 
     /// A fresh cancellation group for [`Service::submit_grouped`] —
@@ -520,7 +724,36 @@ impl Service {
         group: GroupId,
         blocking: bool,
     ) -> Result<Ticket, SubmitError> {
+        self.enqueue(req, Arc::new(sink), group, blocking)
+    }
+
+    /// [`Service::submit_grouped`] for sinks that are not channels — the
+    /// event-driven acceptor's completion queue implements
+    /// [`ResponseSink`] directly, so a worker finishing a job wakes the
+    /// readiness loop instead of a per-connection writer thread.
+    pub fn submit_sink(
+        &self,
+        req: JobRequest,
+        sink: Arc<dyn ResponseSink>,
+        group: GroupId,
+        blocking: bool,
+    ) -> Result<Ticket, SubmitError> {
         self.enqueue(req, sink, group, blocking)
+    }
+
+    /// Non-blocking [`Service::submit_sink`] that hands the request back
+    /// on rejection — the event loop parks a rejected v1 job for retry
+    /// instead of cloning every request on the off chance of a full
+    /// queue. The large `Err` variant is the point: rejection must not
+    /// allocate, so the request rides back by value.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn submit_sink_reclaim(
+        &self,
+        req: JobRequest,
+        sink: Arc<dyn ResponseSink>,
+        group: GroupId,
+    ) -> Result<Ticket, (SubmitError, JobRequest)> {
+        self.enqueue_inner(req, sink, group, false)
     }
 
     /// Submits a job and returns a [`JobHandle`] to wait on — the
@@ -535,24 +768,36 @@ impl Service {
     fn enqueue(
         &self,
         req: JobRequest,
-        sink: Sender<OutEvent>,
+        sink: Arc<dyn ResponseSink>,
         group: GroupId,
         blocking: bool,
     ) -> Result<Ticket, SubmitError> {
+        self.enqueue_inner(req, sink, group, blocking)
+            .map_err(|(e, _req)| e)
+    }
+
+    #[allow(clippy::result_large_err)] // rejection returns the request by value, no alloc
+    fn enqueue_inner(
+        &self,
+        req: JobRequest,
+        sink: Arc<dyn ResponseSink>,
+        group: GroupId,
+        blocking: bool,
+    ) -> Result<Ticket, (SubmitError, JobRequest)> {
         let inner = &*self.inner;
         let mut state = inner.state.lock().expect("service queue poisoned");
         while state.by_order.len() >= inner.queue_depth {
             if state.stop {
-                return Err(SubmitError::ShuttingDown);
+                return Err((SubmitError::ShuttingDown, req));
             }
             if !blocking {
                 obs::registry().counter(obs::names::ERR_BUSY).inc();
-                return Err(SubmitError::Busy);
+                return Err((SubmitError::Busy, req));
             }
             state = inner.space.wait(state).expect("service queue poisoned");
         }
         if state.stop {
-            return Err(SubmitError::ShuttingDown);
+            return Err((SubmitError::ShuttingDown, req));
         }
         let ticket = inner.next_ticket.fetch_add(1, Ordering::Relaxed);
         state.seq += 1;
@@ -597,7 +842,7 @@ impl Service {
             job.req.id.clone(),
             JobError::new(ErrorKind::Canceled, "canceled while queued"),
         );
-        let _ = job.sink.send(OutEvent::Response(response));
+        let _ = job.sink.deliver(OutEvent::Response(response));
         true
     }
 
@@ -637,7 +882,7 @@ impl Service {
                 job.req.id.clone(),
                 JobError::new(ErrorKind::Canceled, "canceled: submitter hung up"),
             );
-            let _ = job.sink.send(OutEvent::Response(response));
+            let _ = job.sink.deliver(OutEvent::Response(response));
         }
         count
     }
@@ -663,7 +908,38 @@ impl Service {
             schedule_jobs: obs::registry().counter(obs::names::SCHEDULE_JOBS).get(),
             schedule_layers: obs::registry().counter(obs::names::SCHEDULE_LAYERS).get(),
             snapshot_load_failures: self.inner.snapshot_load_failures.load(Ordering::Relaxed),
+            open_connections: self.inner.open_connections.load(Ordering::Relaxed),
+            snapshot_generation: self.inner.snapshot_generation.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one transport connection opening (the socket layers call
+    /// this; the count surfaces in [`ServiceStats::open_connections`]).
+    pub fn connection_opened(&self) {
+        self.inner.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one transport connection closing.
+    pub fn connection_closed(&self) {
+        self.inner.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Transport connections currently open against this process.
+    pub fn open_connections(&self) -> u64 {
+        self.inner.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Generation of the newest snapshot this process wrote or adopted
+    /// (`0` = none yet).
+    pub fn snapshot_generation(&self) -> u64 {
+        self.inner.snapshot_generation.load(Ordering::Relaxed)
+    }
+
+    /// Whether this process is currently the state dir's snapshot writer.
+    /// Trivially true without a [`PersistConfig::lease`]; under one, true
+    /// only while the lease is held.
+    pub fn is_snapshot_writer(&self) -> bool {
+        self.inner.is_writer()
     }
 
     /// Writes a warm-state snapshot immediately (no-op without a
@@ -712,9 +988,26 @@ impl Service {
             let _ = handle.join();
         }
         // Snapshot exactly once (the first shutdown call joins the
-        // workers; repeats see an empty list).
+        // workers; repeats see an empty list). The coordinator stays alive
+        // through the drain — a long drain must not let the lease lapse —
+        // and stops only after the final flush, which releases the lease
+        // so the next contender takes over without waiting out the TTL.
         if drained_any {
             self.inner.flush_snapshot(false);
+        }
+        self.coord_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self
+            .coordinator
+            .lock()
+            .expect("coordinator slot poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+        if drained_any {
+            if let Some(lease) = self.inner.lease.lock().expect("lease slot poisoned").take() {
+                lease.release();
+            }
         }
     }
 }

@@ -101,6 +101,36 @@ impl SocketStream {
             SocketStream::Tcp(s) => s.set_write_timeout(timeout),
         }
     }
+
+    /// Switches the stream between blocking and nonblocking mode (the
+    /// event-driven acceptor runs every connection nonblocking).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            SocketStream::Unix(s) => s.set_nonblocking(nonblocking),
+            SocketStream::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Disables Nagle's algorithm on TCP streams (no-op for Unix
+    /// sockets). The protocol is line-delimited request/response, so
+    /// coalescing small writes only adds delayed-ACK stalls — without
+    /// this, sequential round-trips over loopback plateau near the
+    /// 40 ms delayed-ACK timer instead of the microseconds they cost.
+    pub fn set_nodelay(&self) -> io::Result<()> {
+        match self {
+            SocketStream::Unix(_) => Ok(()),
+            SocketStream::Tcp(s) => s.set_nodelay(true),
+        }
+    }
+
+    /// The underlying file descriptor, for readiness registration.
+    pub fn as_raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd as _;
+        match self {
+            SocketStream::Unix(s) => s.as_raw_fd(),
+            SocketStream::Tcp(s) => s.as_raw_fd(),
+        }
+    }
 }
 
 impl Read for SocketStream {
@@ -130,24 +160,79 @@ impl Write for SocketStream {
 
 /// Connects to a listening [`SocketServer`] (client side).
 pub fn connect(addr: &BindAddr) -> io::Result<SocketStream> {
-    Ok(match addr {
+    let stream = match addr {
         BindAddr::Unix(path) => SocketStream::Unix(UnixStream::connect(path)?),
         BindAddr::Tcp(addr) => SocketStream::Tcp(TcpStream::connect(addr.as_str())?),
-    })
+    };
+    stream.set_nodelay()?;
+    Ok(stream)
 }
 
-enum Listener {
+pub(crate) enum Listener {
     Unix(UnixListener),
     Tcp(TcpListener),
 }
 
 impl Listener {
-    fn accept(&self) -> io::Result<SocketStream> {
-        Ok(match self {
+    pub(crate) fn accept(&self) -> io::Result<SocketStream> {
+        let stream = match self {
             Listener::Unix(l) => SocketStream::Unix(l.accept()?.0),
             Listener::Tcp(l) => SocketStream::Tcp(l.accept()?.0),
-        })
+        };
+        stream.set_nodelay()?;
+        Ok(stream)
     }
+
+    /// Nonblocking accept for the event-driven front-end.
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    pub(crate) fn as_raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd as _;
+        match self {
+            Listener::Unix(l) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+}
+
+/// Binds `addr`, replacing a stale Unix socket file from a crashed run
+/// (but refusing to clobber a non-socket at a typo'd path). Shared by the
+/// thread-per-connection and event-driven front-ends.
+pub(crate) fn bind_listener(addr: &BindAddr) -> io::Result<(Listener, BindAddr, Option<PathBuf>)> {
+    Ok(match addr {
+        BindAddr::Unix(path) => {
+            if let Ok(meta) = std::fs::symlink_metadata(path) {
+                use std::os::unix::fs::FileTypeExt;
+                if !meta.file_type().is_socket() {
+                    // Refuse to clobber a regular file/dir at a typo'd path.
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("{} exists and is not a socket", path.display()),
+                    ));
+                }
+                if UnixStream::connect(path).is_err() {
+                    // Nothing is listening: a stale socket from a crashed run.
+                    std::fs::remove_file(path)?;
+                }
+            }
+            let listener = UnixListener::bind(path)?;
+            (
+                Listener::Unix(listener),
+                BindAddr::Unix(path.clone()),
+                Some(path.clone()),
+            )
+        }
+        BindAddr::Tcp(spec) => {
+            let listener = TcpListener::bind(spec.as_str())?;
+            let local = BindAddr::Tcp(listener.local_addr()?.to_string());
+            (Listener::Tcp(listener), local, None)
+        }
+    })
 }
 
 /// Per-write stall bound on accepted connections: a peer that stops
@@ -165,6 +250,23 @@ pub struct SocketServer {
 }
 
 impl SocketServer {
+    /// Assembles a server handle around an already-running acceptor — the
+    /// event-driven front-end reuses this shutdown/join machinery (its
+    /// readiness loop is also woken by the shutdown self-connection).
+    pub(crate) fn from_parts(
+        local: BindAddr,
+        stop: Arc<AtomicBool>,
+        acceptor: JoinHandle<Option<io::Error>>,
+        unix_path: Option<PathBuf>,
+    ) -> SocketServer {
+        SocketServer {
+            local,
+            stop,
+            acceptor: Some(acceptor),
+            unix_path,
+        }
+    }
+
     /// The actually-bound address — for `tcp:host:0` this carries the
     /// kernel-assigned port, so tests and logs can connect to it.
     pub fn local_addr(&self) -> &BindAddr {
@@ -227,35 +329,7 @@ impl std::fmt::Debug for SocketServer {
 /// run is replaced. Returns immediately; accepting runs on a background
 /// thread, one more thread per live connection.
 pub fn serve_socket(service: Arc<Service>, addr: &BindAddr) -> io::Result<SocketServer> {
-    let (listener, local, unix_path) = match addr {
-        BindAddr::Unix(path) => {
-            if let Ok(meta) = std::fs::symlink_metadata(path) {
-                use std::os::unix::fs::FileTypeExt;
-                if !meta.file_type().is_socket() {
-                    // Refuse to clobber a regular file/dir at a typo'd path.
-                    return Err(io::Error::new(
-                        io::ErrorKind::AddrInUse,
-                        format!("{} exists and is not a socket", path.display()),
-                    ));
-                }
-                if UnixStream::connect(path).is_err() {
-                    // Nothing is listening: a stale socket from a crashed run.
-                    std::fs::remove_file(path)?;
-                }
-            }
-            let listener = UnixListener::bind(path)?;
-            (
-                Listener::Unix(listener),
-                BindAddr::Unix(path.clone()),
-                Some(path.clone()),
-            )
-        }
-        BindAddr::Tcp(spec) => {
-            let listener = TcpListener::bind(spec.as_str())?;
-            let local = BindAddr::Tcp(listener.local_addr()?.to_string());
-            (Listener::Tcp(listener), local, None)
-        }
-    };
+    let (listener, local, unix_path) = bind_listener(addr)?;
     let stop = Arc::new(AtomicBool::new(false));
     let acceptor = {
         let stop = stop.clone();
@@ -289,18 +363,20 @@ pub fn serve_socket(service: Arc<Service>, addr: &BindAddr) -> io::Result<Socket
                         };
                         let service = service.clone();
                         let handle = std::thread::spawn(move || {
-                            let Ok(mut writer) = stream.try_clone() else {
-                                return;
-                            };
-                            let reader = BufReader::new(stream);
-                            // A peer that hangs up mid-stream surfaces as a
-                            // write error; the connection already drained.
-                            let _ = serve_connection(&service, reader, &mut writer);
-                            // The acceptor still holds a control clone of
-                            // this socket, so dropping our handles alone
-                            // would not EOF the peer: half-close explicitly
-                            // to end the client's read loop.
-                            let _ = writer.shutdown_write();
+                            service.connection_opened();
+                            if let Ok(mut writer) = stream.try_clone() {
+                                let reader = BufReader::new(stream);
+                                // A peer that hangs up mid-stream surfaces as
+                                // a write error; the connection already
+                                // drained.
+                                let _ = serve_connection(&service, reader, &mut writer);
+                                // The acceptor still holds a control clone of
+                                // this socket, so dropping our handles alone
+                                // would not EOF the peer: half-close
+                                // explicitly to end the client's read loop.
+                                let _ = writer.shutdown_write();
+                            }
+                            service.connection_closed();
                         });
                         connections.push((handle, control));
                         // Reap finished connections so a long-lived server

@@ -30,6 +30,7 @@ fn service_at(dir: &Path, snapshot_every: Option<u64>) -> Service {
             persist: Some(PersistConfig {
                 state_dir: dir.to_path_buf(),
                 snapshot_every,
+                lease: None,
             }),
         },
     )
